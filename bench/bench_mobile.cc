@@ -1,0 +1,117 @@
+// E4 (Fig 3): mobile interaction response time vs link bandwidth — full-tree
+// shipping vs progressive LOD (+ delta encoding). The poster's mobile claim:
+// progressive transmission makes first-response time roughly
+// bandwidth-independent while full shipping degrades with tree size / link.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/drugtree.h"
+#include "mobile/session.h"
+#include "util/string_util.h"
+#include "util/clock.h"
+
+namespace {
+
+using namespace drugtree;
+
+std::unique_ptr<core::DrugTree> MakeInstance(util::SimulatedClock* clock) {
+  core::BuildOptions options;
+  options.seed = 13;
+  options.num_families = 8;
+  options.taxa_per_family = 32;  // 256 leaves -> ~510 nodes
+  options.num_ligands = 300;
+  auto built = core::DrugTree::Build(options, clock);
+  DT_CHECK(built.ok()) << built.status();
+  return std::move(*built);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("E4 (Fig 3)",
+                "mobile interaction latency vs link bandwidth:\n"
+                "full-tree shipping vs progressive LOD + delta encoding");
+  util::SimulatedClock clock;
+  auto dt = MakeInstance(&clock);
+  std::printf("tree: %zu nodes, %zu leaves\n", dt->tree().NumNodes(),
+              dt->tree().NumLeaves());
+
+  mobile::TraceParams tp;
+  tp.num_actions = 40;
+  auto trace = dt->MakeTrace(tp, 77);
+
+  struct LinkPoint {
+    const char* label;
+    int64_t bandwidth;  // bytes/sec
+    int64_t rtt_us;
+  };
+  LinkPoint links[] = {
+      {"2G-edge (30 KB/s)", 30'000, 400'000},
+      {"3G (125 KB/s)", 125'000, 250'000},
+      {"3.5G (500 KB/s)", 500'000, 120'000},
+      {"wifi (2.5 MB/s)", 2'500'000, 40'000},
+      {"lan (50 MB/s)", 50'000'000, 2'000},
+  };
+
+  std::printf("\n%-20s %14s %14s %14s %12s\n", "link", "full mean(ms)",
+              "lod mean(ms)", "lod p95(ms)", "bytes ratio");
+  for (const auto& link : links) {
+    auto run = [&](bool lod, bool delta) {
+      mobile::DeviceProfile device = mobile::DeviceProfile::Phone3G();
+      device.link.bandwidth_bytes_per_sec = link.bandwidth;
+      device.link.latency_micros = link.rtt_us;
+      device.link.jitter_fraction = 0;
+      mobile::SessionOptions sopts;
+      sopts.progressive_lod = lod;
+      sopts.delta_encoding = delta;
+      auto session = dt->MakeSession(device, sopts,
+                                     query::PlannerOptions::Optimized());
+      auto report = session.Run(trace);
+      DT_CHECK(report.ok()) << report.status();
+      return *report;
+    };
+    auto full = run(false, false);
+    auto lod = run(true, true);
+    std::printf("%-20s %14.1f %14.1f %14.1f %11.1fx\n", link.label,
+                full.latency_ms.Mean(), lod.latency_ms.Mean(),
+                lod.latency_ms.Percentile(95),
+                double(full.bytes_shipped) /
+                    double(std::max<uint64_t>(1, lod.bytes_shipped)));
+  }
+
+  // Ablation at the 3G point: LOD and delta independently.
+  std::printf("\n-- 3G ablation --\n");
+  struct Config {
+    const char* label;
+    bool lod, delta;
+  };
+  struct FullConfig {
+    const char* label;
+    bool lod, delta;
+    double boost;
+  };
+  for (const FullConfig& c :
+       {FullConfig{"full shipping", false, false, 1.0},
+        FullConfig{"LOD only", true, false, 1.0},
+        FullConfig{"LOD + delta", true, true, 1.0},
+        FullConfig{"LOD + delta + hot-boost", true, true, 4.0}}) {
+    mobile::SessionOptions sopts;
+    sopts.progressive_lod = c.lod;
+    sopts.delta_encoding = c.delta;
+    sopts.lod.annotation_boost = c.boost;
+    sopts.lod.annotation_hot_threshold = 0.8;  // log10-count overlay scale
+    auto session = dt->MakeSession(mobile::DeviceProfile::Phone3G(), sopts,
+                                   query::PlannerOptions::Optimized());
+    auto report = session.Run(trace);
+    DT_CHECK(report.ok());
+    std::printf("%-24s mean=%7.1fms p95=%7.1fms bytes=%s nodes=%llu\n",
+                c.label, report->latency_ms.Mean(),
+                report->latency_ms.Percentile(95),
+                util::HumanBytes(report->bytes_shipped).c_str(),
+                (unsigned long long)report->nodes_shipped);
+  }
+  std::printf("\nshape check: full shipping degrades as bandwidth shrinks;\n"
+              "LOD keeps mean latency near the RTT floor at every link.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// E6 (Fig 4): ligand similarity search — linear Tanimoto scan vs the
+// popcount-bound (Swamidass-Baldi) binned index, across library sizes and
+// thresholds; plus top-k search.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_util.h"
+#include "chem/fingerprint.h"
+#include "chem/similarity.h"
+#include "chem/smiles.h"
+#include "chem/synthetic_ligands.h"
+
+namespace {
+
+using namespace drugtree;
+using chem::Fingerprint;
+using chem::SimilarityIndex;
+
+struct Library {
+  SimilarityIndex index{1024};
+  std::vector<Fingerprint> fingerprints;
+};
+
+Library* GetLibrary(int size) {
+  static std::map<int, Library*> cache;
+  auto it = cache.find(size);
+  if (it != cache.end()) return it->second;
+  auto* lib = new Library();
+  util::Rng rng(static_cast<uint64_t>(size) + 3);
+  chem::LigandGenParams params;
+  params.num_families = std::max(10, size / 40);
+  auto ligands = chem::GenerateLigands(size, params, &rng);
+  DT_CHECK(ligands.ok());
+  for (size_t i = 0; i < ligands->size(); ++i) {
+    auto mol = chem::ParseSmiles((*ligands)[i].smiles);
+    DT_CHECK(mol.ok());
+    auto fp = chem::ComputeFingerprint(*mol);
+    DT_CHECK(fp.ok());
+    lib->fingerprints.push_back(*fp);
+    DT_CHECK(lib->index.Add(static_cast<int64_t>(i), *fp).ok());
+  }
+  cache[size] = lib;
+  return lib;
+}
+
+// Threshold is passed scaled by 100 in range(1).
+void BM_LinearScan(benchmark::State& state) {
+  Library* lib = GetLibrary(static_cast<int>(state.range(0)));
+  double threshold = state.range(1) / 100.0;
+  size_t cursor = 0;
+  int64_t hits = 0;
+  for (auto _ : state) {
+    const auto& q = lib->fingerprints[cursor++ % lib->fingerprints.size()];
+    auto result = lib->index.LinearSearchThreshold(q, threshold);
+    hits += static_cast<int64_t>(result.size());
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["hits"] = benchmark::Counter(
+      double(hits) / double(state.iterations()));
+}
+
+void BM_BinnedIndex(benchmark::State& state) {
+  Library* lib = GetLibrary(static_cast<int>(state.range(0)));
+  double threshold = state.range(1) / 100.0;
+  size_t cursor = 0;
+  int64_t hits = 0;
+  for (auto _ : state) {
+    const auto& q = lib->fingerprints[cursor++ % lib->fingerprints.size()];
+    auto result = lib->index.SearchThreshold(q, threshold);
+    DT_CHECK(result.ok());
+    hits += static_cast<int64_t>(result->size());
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["hits"] = benchmark::Counter(
+      double(hits) / double(state.iterations()));
+}
+
+void BM_TopK(benchmark::State& state) {
+  Library* lib = GetLibrary(static_cast<int>(state.range(0)));
+  size_t cursor = 0;
+  for (auto _ : state) {
+    const auto& q = lib->fingerprints[cursor++ % lib->fingerprints.size()];
+    auto result = lib->index.SearchTopK(q, 10);
+    DT_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_LinearScan)
+    ->Args({1000, 70})->Args({5000, 70})->Args({20000, 70})
+    ->Args({20000, 90});
+BENCHMARK(BM_BinnedIndex)
+    ->Args({1000, 70})->Args({5000, 70})->Args({20000, 70})
+    ->Args({20000, 90});
+BENCHMARK(BM_TopK)->Arg(1000)->Arg(5000)->Arg(20000);
+
+int main(int argc, char** argv) {
+  drugtree::bench::Banner(
+      "E6 (Fig 4)",
+      "ligand Tanimoto search: linear scan vs popcount-binned index\n"
+      "(args: {library size, threshold*100})");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

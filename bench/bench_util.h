@@ -1,0 +1,88 @@
+// Shared helpers for the experiment benchmarks (E1-E9). Each bench binary
+// regenerates one table/figure of the reconstructed evaluation; see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for results.
+
+#ifndef DRUGTREE_BENCH_BENCH_UTIL_H_
+#define DRUGTREE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/overlay.h"
+#include "phylo/tree.h"
+#include "phylo/tree_index.h"
+#include "query/catalog.h"
+#include "query/planner.h"
+#include "storage/table.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace drugtree {
+namespace bench {
+
+/// Grows a random binary tree with `num_leaves` leaves (named L0..Ln-1).
+/// Cheap (no sequence evolution), used where only tree *query* behaviour
+/// matters, not reconstruction.
+inline phylo::Tree MakeRandomTree(int num_leaves, uint64_t seed) {
+  util::Rng rng(seed);
+  phylo::Tree tree;
+  phylo::NodeId root = *tree.AddRoot();
+  std::vector<phylo::NodeId> leaves = {root};
+  while (static_cast<int>(leaves.size()) < num_leaves) {
+    size_t pick = rng.Uniform(leaves.size());
+    phylo::NodeId node = leaves[pick];
+    leaves.erase(leaves.begin() + static_cast<long>(pick));
+    leaves.push_back(*tree.AddChild(node, "", rng.NextDouble()));
+    leaves.push_back(*tree.AddChild(node, "", rng.NextDouble()));
+  }
+  int counter = 0;
+  for (size_t i = 0; i < tree.NumNodes(); ++i) {
+    auto id = static_cast<phylo::NodeId>(i);
+    if (tree.node(id).IsLeaf()) {
+      tree.mutable_node(id).name = "L" + std::to_string(counter++);
+    }
+  }
+  return tree;
+}
+
+/// Builds a `tree_nodes` table (with B+-tree on pre, hash on node_id) for a
+/// tree, mirroring core::Overlay's relation.
+inline std::unique_ptr<storage::Table> BuildTreeNodesTable(
+    const phylo::Tree& tree, const phylo::TreeIndex& index) {
+  using storage::Value;
+  auto table = std::make_unique<storage::Table>("tree_nodes",
+                                                core::TreeNodeTableSchema());
+  for (size_t i = 0; i < tree.NumNodes(); ++i) {
+    auto id = static_cast<phylo::NodeId>(i);
+    const phylo::Node& n = tree.node(id);
+    storage::Row row = {
+        Value::Int64(id),
+        n.IsRoot() ? Value::Null() : Value::Int64(n.parent),
+        Value::String(n.name),
+        Value::Int64(index.Pre(id)),
+        Value::Int64(index.Post(id)),
+        Value::Int64(index.Depth(id)),
+        Value::Double(n.branch_length),
+        Value::Bool(n.IsLeaf()),
+        Value::Int64(index.SubtreeLeafCount(id)),
+    };
+    DT_CHECK(table->Insert(std::move(row)).ok());
+  }
+  DT_CHECK(table->CreateIndex("pre", storage::IndexKind::kBTree).ok());
+  DT_CHECK(table->CreateIndex("node_id", storage::IndexKind::kHash).ok());
+  DT_CHECK(table->Analyze().ok());
+  return table;
+}
+
+/// Prints the experiment banner all bench binaries lead with.
+inline void Banner(const char* id, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace drugtree
+
+#endif  // DRUGTREE_BENCH_BENCH_UTIL_H_

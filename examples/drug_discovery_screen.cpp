@@ -1,0 +1,103 @@
+// Drug-discovery screening — the pharma workflow the poster's introduction
+// motivates. An analyst picks a target clade on the phylogeny, finds its
+// strongest known binder, and screens the ligand library for similar
+// compounds that are still drug-like.
+//
+//   $ ./build/examples/drug_discovery_screen
+
+#include <cstdio>
+
+#include "chem/fingerprint.h"
+#include "chem/similarity.h"
+#include "chem/smiles.h"
+#include "core/drugtree.h"
+#include "util/clock.h"
+
+using namespace drugtree;
+
+int main() {
+  util::SimulatedClock clock;
+  core::BuildOptions options;
+  options.seed = 11;
+  options.num_families = 5;
+  options.taxa_per_family = 12;
+  options.num_ligands = 600;
+  auto built = core::DrugTree::Build(options, &clock);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  auto& dt = *built;
+
+  // Step 1: pick the clade with the most assay data (hot target family).
+  auto hot = dt->Query(
+      "SELECT t.node_id, o.activity_count FROM tree_nodes t "
+      "JOIN node_overlay o ON t.node_id = o.node_id "
+      "WHERE t.depth = 1 ORDER BY o.activity_count DESC, t.node_id LIMIT 1");
+  if (!hot.ok() || hot->result.rows.empty()) {
+    std::fprintf(stderr, "no clade found\n");
+    return 1;
+  }
+  long long clade = hot->result.rows[0][0].AsInt64();
+  std::printf("target clade: node %lld (%lld assays in subtree)\n\n", clade,
+              (long long)hot->result.rows[0][1].AsInt64());
+
+  // Step 2: the strongest binder against that clade.
+  char sql[1024];
+  std::snprintf(sql, sizeof(sql),
+                "SELECT l.ligand_id, l.smiles, a.affinity_nm "
+                "FROM proteins p "
+                "JOIN activities a ON p.accession = a.accession "
+                "JOIN ligands l ON a.ligand_id = l.ligand_id "
+                "WHERE SUBTREE(p.node_id, %lld) "
+                "ORDER BY a.affinity_nm, l.ligand_id LIMIT 1",
+                clade);
+  auto lead = dt->Query(sql);
+  if (!lead.ok() || lead->result.rows.empty()) {
+    std::fprintf(stderr, "no lead compound found\n");
+    return 1;
+  }
+  std::string lead_id = lead->result.rows[0][0].AsString();
+  std::string lead_smiles = lead->result.rows[0][1].AsString();
+  std::printf("lead compound: %s (%.1f nM)\n  %s\n\n", lead_id.c_str(),
+              lead->result.rows[0][2].AsDouble(), lead_smiles.c_str());
+
+  // Step 3: similarity screen of the whole library against the lead.
+  auto lead_mol = chem::ParseSmiles(lead_smiles);
+  if (!lead_mol.ok()) {
+    std::fprintf(stderr, "bad lead SMILES\n");
+    return 1;
+  }
+  auto lead_fp = chem::ComputeFingerprint(*lead_mol);
+  chem::SimilarityIndex index(1024);
+  auto* ligands = dt->ligands();
+  auto id_col = *ligands->schema().IndexOf("ligand_id");
+  auto smiles_col = *ligands->schema().IndexOf("smiles");
+  auto drug_col = *ligands->schema().IndexOf("drug_like");
+  std::vector<std::string> ids;
+  for (auto rid : ligands->LiveRows()) {
+    const auto& row = ligands->row(rid);
+    auto mol = chem::ParseSmiles(row[smiles_col].AsString());
+    if (!mol.ok()) continue;
+    auto fp = chem::ComputeFingerprint(*mol);
+    if (!fp.ok()) continue;
+    if (!index.Add(static_cast<int64_t>(ids.size()), *fp).ok()) continue;
+    ids.push_back(row[id_col].AsString());
+  }
+  auto hits = index.SearchTopK(*lead_fp, 10);
+  if (!hits.ok()) {
+    std::fprintf(stderr, "similarity search failed\n");
+    return 1;
+  }
+  std::printf("top analogues by Tanimoto similarity (drug-like flag):\n");
+  for (const auto& hit : *hits) {
+    const std::string& lig = ids[static_cast<size_t>(hit.id)];
+    // Look the drug-likeness flag up relationally.
+    auto rows = ligands->IndexLookup("ligand_id", storage::Value::String(lig));
+    bool drug_like = rows.ok() && !rows->empty() &&
+                     ligands->row((*rows)[0])[drug_col].AsBool();
+    std::printf("  %-10s sim=%.3f %s\n", lig.c_str(), hit.similarity,
+                drug_like ? "[drug-like]" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Mobile analyst session — replays a generated interaction trace against the
+// DrugTree server on three device profiles, with and without the mobile
+// optimizations, and prints the latency report.
+//
+//   $ ./build/examples/mobile_session
+
+#include <cstdio>
+
+#include "core/drugtree.h"
+#include "util/clock.h"
+
+using namespace drugtree;
+
+int main() {
+  util::SimulatedClock clock;
+  core::BuildOptions options;
+  options.seed = 23;
+  options.num_families = 6;
+  options.taxa_per_family = 24;
+  options.num_ligands = 400;
+  auto built = core::DrugTree::Build(options, &clock);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  auto& dt = *built;
+  std::printf("tree: %zu nodes, %zu leaves\n\n", dt->tree().NumNodes(),
+              dt->tree().NumLeaves());
+
+  mobile::TraceParams tp;
+  tp.num_actions = 40;
+  auto trace = dt->MakeTrace(tp, 99);
+
+  struct Config {
+    const char* label;
+    mobile::DeviceProfile device;
+    bool lod;
+    bool delta;
+  };
+  Config configs[] = {
+      {"phone-3G, full shipping", mobile::DeviceProfile::Phone3G(), false,
+       false},
+      {"phone-3G, LOD + delta", mobile::DeviceProfile::Phone3G(), true, true},
+      {"tablet-wifi, LOD + delta", mobile::DeviceProfile::TabletWifi(), true,
+       true},
+      {"desktop-lan, LOD + delta", mobile::DeviceProfile::DesktopLan(), true,
+       true},
+  };
+  for (const auto& config : configs) {
+    mobile::SessionOptions sopts;
+    sopts.progressive_lod = config.lod;
+    sopts.delta_encoding = config.delta;
+    auto session = dt->MakeSession(config.device, sopts,
+                                   query::PlannerOptions::Optimized());
+    auto report = session.Run(trace);
+    if (!report.ok()) {
+      std::fprintf(stderr, "session failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("== %s ==\n%s\n", config.label, report->ToString().c_str());
+  }
+  return 0;
+}

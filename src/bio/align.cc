@@ -1,0 +1,314 @@
+#include "bio/align.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace drugtree {
+namespace bio {
+
+namespace {
+
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+
+util::Status ValidateParams(const AlignParams& params) {
+  if (params.matrix == nullptr) {
+    return util::Status::InvalidArgument("alignment matrix must not be null");
+  }
+  if (params.gap_open < 0 || params.gap_extend < 0) {
+    return util::Status::InvalidArgument("gap penalties must be non-negative");
+  }
+  if (params.gap_open == 0 && params.gap_extend == 0) {
+    return util::Status::InvalidArgument(
+        "at least one of gap_open/gap_extend must be positive");
+  }
+  return util::Status::OK();
+}
+
+// Backtrace direction codes per DP layer.
+enum : uint8_t { kFromM = 0, kFromX = 1, kFromY = 2, kStop = 3 };
+
+}  // namespace
+
+double Alignment::Identity() const {
+  size_t matches = 0, cols = 0;
+  for (size_t i = 0; i < aligned_a.size(); ++i) {
+    if (aligned_a[i] == '-' || aligned_b[i] == '-') continue;
+    ++cols;
+    if (aligned_a[i] == aligned_b[i]) ++matches;
+  }
+  return cols ? static_cast<double>(matches) / static_cast<double>(cols) : 0.0;
+}
+
+double Alignment::GapFraction() const {
+  if (aligned_a.empty()) return 0.0;
+  size_t gaps = 0;
+  for (size_t i = 0; i < aligned_a.size(); ++i) {
+    if (aligned_a[i] == '-' || aligned_b[i] == '-') ++gaps;
+  }
+  return static_cast<double>(gaps) / static_cast<double>(aligned_a.size());
+}
+
+util::Result<Alignment> GlobalAlign(const Sequence& a, const Sequence& b,
+                                    const AlignParams& params) {
+  DRUGTREE_RETURN_IF_ERROR(ValidateParams(params));
+  const std::string& sa = a.residues();
+  const std::string& sb = b.residues();
+  const int m = static_cast<int>(sa.size());
+  const int n = static_cast<int>(sb.size());
+  const int go = params.gap_open;
+  const int ge = params.gap_extend;
+  const SubstitutionMatrix& mat = *params.matrix;
+
+  // Three-layer Gotoh DP. M = a[i] aligned to b[j]; X = gap in b (a consumes);
+  // Y = gap in a (b consumes).
+  auto idx = [n](int i, int j) { return i * (n + 1) + j; };
+  std::vector<int> M((m + 1) * (n + 1), kNegInf);
+  std::vector<int> X((m + 1) * (n + 1), kNegInf);
+  std::vector<int> Y((m + 1) * (n + 1), kNegInf);
+  std::vector<uint8_t> bm((m + 1) * (n + 1), kStop);
+  std::vector<uint8_t> bx((m + 1) * (n + 1), kStop);
+  std::vector<uint8_t> by((m + 1) * (n + 1), kStop);
+
+  M[idx(0, 0)] = 0;
+  for (int i = 1; i <= m; ++i) {
+    X[idx(i, 0)] = -go - i * ge;
+    bx[idx(i, 0)] = (i == 1) ? kFromM : kFromX;
+  }
+  for (int j = 1; j <= n; ++j) {
+    Y[idx(0, j)] = -go - j * ge;
+    by[idx(0, j)] = (j == 1) ? kFromM : kFromY;
+  }
+
+  for (int i = 1; i <= m; ++i) {
+    int ra = ResidueIndex(sa[i - 1]);
+    for (int j = 1; j <= n; ++j) {
+      int rb = ResidueIndex(sb[j - 1]);
+      int s = mat.ScoreByIndex(ra, rb);
+      // M layer.
+      int prev_m = M[idx(i - 1, j - 1)];
+      int prev_x = X[idx(i - 1, j - 1)];
+      int prev_y = Y[idx(i - 1, j - 1)];
+      int best = prev_m;
+      uint8_t from = kFromM;
+      if (prev_x > best) { best = prev_x; from = kFromX; }
+      if (prev_y > best) { best = prev_y; from = kFromY; }
+      if (best > kNegInf) {
+        M[idx(i, j)] = best + s;
+        bm[idx(i, j)] = from;
+      }
+      // X layer (gap in b; consume a[i-1]).
+      int open_x = M[idx(i - 1, j)] > kNegInf ? M[idx(i - 1, j)] - go - ge
+                                              : kNegInf;
+      int ext_x = X[idx(i - 1, j)] > kNegInf ? X[idx(i - 1, j)] - ge : kNegInf;
+      if (open_x >= ext_x) {
+        X[idx(i, j)] = open_x;
+        bx[idx(i, j)] = kFromM;
+      } else {
+        X[idx(i, j)] = ext_x;
+        bx[idx(i, j)] = kFromX;
+      }
+      // Y layer (gap in a; consume b[j-1]).
+      int open_y = M[idx(i, j - 1)] > kNegInf ? M[idx(i, j - 1)] - go - ge
+                                              : kNegInf;
+      int ext_y = Y[idx(i, j - 1)] > kNegInf ? Y[idx(i, j - 1)] - ge : kNegInf;
+      if (open_y >= ext_y) {
+        Y[idx(i, j)] = open_y;
+        by[idx(i, j)] = kFromM;
+      } else {
+        Y[idx(i, j)] = ext_y;
+        by[idx(i, j)] = kFromY;
+      }
+    }
+  }
+
+  // Pick the best final layer and backtrace.
+  Alignment out;
+  int layer = kFromM;
+  int best = M[idx(m, n)];
+  if (X[idx(m, n)] > best) { best = X[idx(m, n)]; layer = kFromX; }
+  if (Y[idx(m, n)] > best) { best = Y[idx(m, n)]; layer = kFromY; }
+  out.score = best;
+
+  int i = m, j = n;
+  std::string ra, rb;
+  while (i > 0 || j > 0) {
+    if (layer == kFromM) {
+      uint8_t from = bm[idx(i, j)];
+      ra += sa[i - 1];
+      rb += sb[j - 1];
+      --i;
+      --j;
+      layer = from;
+    } else if (layer == kFromX) {
+      uint8_t from = bx[idx(i, j)];
+      ra += sa[i - 1];
+      rb += '-';
+      --i;
+      layer = from;
+    } else {  // kFromY
+      uint8_t from = by[idx(i, j)];
+      ra += '-';
+      rb += sb[j - 1];
+      --j;
+      layer = from;
+    }
+  }
+  std::reverse(ra.begin(), ra.end());
+  std::reverse(rb.begin(), rb.end());
+  out.aligned_a = std::move(ra);
+  out.aligned_b = std::move(rb);
+  return out;
+}
+
+util::Result<Alignment> LocalAlign(const Sequence& a, const Sequence& b,
+                                   const AlignParams& params) {
+  DRUGTREE_RETURN_IF_ERROR(ValidateParams(params));
+  const std::string& sa = a.residues();
+  const std::string& sb = b.residues();
+  const int m = static_cast<int>(sa.size());
+  const int n = static_cast<int>(sb.size());
+  const int go = params.gap_open;
+  const int ge = params.gap_extend;
+  const SubstitutionMatrix& mat = *params.matrix;
+
+  auto idx = [n](int i, int j) { return i * (n + 1) + j; };
+  std::vector<int> M((m + 1) * (n + 1), 0);
+  std::vector<int> X((m + 1) * (n + 1), kNegInf);
+  std::vector<int> Y((m + 1) * (n + 1), kNegInf);
+  std::vector<uint8_t> bm((m + 1) * (n + 1), kStop);
+  std::vector<uint8_t> bx((m + 1) * (n + 1), kStop);
+  std::vector<uint8_t> by((m + 1) * (n + 1), kStop);
+
+  int best = 0, bi = 0, bj = 0, blayer = kStop;
+  for (int i = 1; i <= m; ++i) {
+    int ra = ResidueIndex(sa[i - 1]);
+    for (int j = 1; j <= n; ++j) {
+      int rb = ResidueIndex(sb[j - 1]);
+      int s = mat.ScoreByIndex(ra, rb);
+      int prev_m = M[idx(i - 1, j - 1)];
+      int prev_x = X[idx(i - 1, j - 1)];
+      int prev_y = Y[idx(i - 1, j - 1)];
+      int v = prev_m;
+      uint8_t from = kFromM;
+      if (prev_x > v) { v = prev_x; from = kFromX; }
+      if (prev_y > v) { v = prev_y; from = kFromY; }
+      v += s;
+      // Canonical Smith-Waterman: any cell at zero restarts the alignment,
+      // so traceback stops there even when the path could extend at no cost.
+      if (v <= 0) {
+        v = std::max(v, 0);
+        from = kStop;
+      }
+      M[idx(i, j)] = v;
+      bm[idx(i, j)] = from;
+
+      int open_x = M[idx(i - 1, j)] - go - ge;
+      int ext_x = X[idx(i - 1, j)] > kNegInf ? X[idx(i - 1, j)] - ge : kNegInf;
+      if (open_x >= ext_x) {
+        X[idx(i, j)] = open_x;
+        bx[idx(i, j)] = kFromM;
+      } else {
+        X[idx(i, j)] = ext_x;
+        bx[idx(i, j)] = kFromX;
+      }
+      int open_y = M[idx(i, j - 1)] - go - ge;
+      int ext_y = Y[idx(i, j - 1)] > kNegInf ? Y[idx(i, j - 1)] - ge : kNegInf;
+      if (open_y >= ext_y) {
+        Y[idx(i, j)] = open_y;
+        by[idx(i, j)] = kFromM;
+      } else {
+        Y[idx(i, j)] = ext_y;
+        by[idx(i, j)] = kFromY;
+      }
+      if (M[idx(i, j)] > best) {
+        best = M[idx(i, j)];
+        bi = i;
+        bj = j;
+        blayer = kFromM;
+      }
+    }
+  }
+
+  Alignment out;
+  out.score = best;
+  if (best == 0) return out;  // no positive-scoring local region
+
+  int i = bi, j = bj, layer = blayer;
+  std::string ra, rb;
+  while (i > 0 && j > 0) {
+    if (layer == kFromM) {
+      if (M[idx(i, j)] == 0 && bm[idx(i, j)] == kStop) break;
+      uint8_t from = bm[idx(i, j)];
+      ra += sa[i - 1];
+      rb += sb[j - 1];
+      --i;
+      --j;
+      if (from == kStop) break;
+      layer = from;
+    } else if (layer == kFromX) {
+      uint8_t from = bx[idx(i, j)];
+      ra += sa[i - 1];
+      rb += '-';
+      --i;
+      layer = from;
+    } else {
+      uint8_t from = by[idx(i, j)];
+      ra += '-';
+      rb += sb[j - 1];
+      --j;
+      layer = from;
+    }
+  }
+  std::reverse(ra.begin(), ra.end());
+  std::reverse(rb.begin(), rb.end());
+  out.aligned_a = std::move(ra);
+  out.aligned_b = std::move(rb);
+  return out;
+}
+
+util::Result<int> GlobalAlignScore(const Sequence& a, const Sequence& b,
+                                   const AlignParams& params) {
+  DRUGTREE_RETURN_IF_ERROR(ValidateParams(params));
+  const std::string& sa = a.residues();
+  const std::string& sb = b.residues();
+  const int m = static_cast<int>(sa.size());
+  const int n = static_cast<int>(sb.size());
+  const int go = params.gap_open;
+  const int ge = params.gap_extend;
+  const SubstitutionMatrix& mat = *params.matrix;
+
+  // Two rolling rows per layer.
+  std::vector<int> M0(n + 1, kNegInf), M1(n + 1, kNegInf);
+  std::vector<int> X0(n + 1, kNegInf), X1(n + 1, kNegInf);
+  std::vector<int> Y0(n + 1, kNegInf), Y1(n + 1, kNegInf);
+  M0[0] = 0;
+  for (int j = 1; j <= n; ++j) Y0[j] = -go - j * ge;
+
+  for (int i = 1; i <= m; ++i) {
+    std::fill(M1.begin(), M1.end(), kNegInf);
+    std::fill(X1.begin(), X1.end(), kNegInf);
+    std::fill(Y1.begin(), Y1.end(), kNegInf);
+    X1[0] = -go - i * ge;
+    int ra = ResidueIndex(sa[i - 1]);
+    for (int j = 1; j <= n; ++j) {
+      int rb = ResidueIndex(sb[j - 1]);
+      int s = mat.ScoreByIndex(ra, rb);
+      int diag = std::max({M0[j - 1], X0[j - 1], Y0[j - 1]});
+      if (diag > kNegInf) M1[j] = diag + s;
+      int open_x = M0[j] > kNegInf ? M0[j] - go - ge : kNegInf;
+      int ext_x = X0[j] > kNegInf ? X0[j] - ge : kNegInf;
+      X1[j] = std::max(open_x, ext_x);
+      int open_y = M1[j - 1] > kNegInf ? M1[j - 1] - go - ge : kNegInf;
+      int ext_y = Y1[j - 1] > kNegInf ? Y1[j - 1] - ge : kNegInf;
+      Y1[j] = std::max(open_y, ext_y);
+    }
+    M0.swap(M1);
+    X0.swap(X1);
+    Y0.swap(Y1);
+  }
+  return std::max({M0[n], X0[n], Y0[n]});
+}
+
+}  // namespace bio
+}  // namespace drugtree

@@ -1,0 +1,62 @@
+// Pairwise sequence alignment: global (Needleman-Wunsch) and local
+// (Smith-Waterman), both with affine gap penalties (Gotoh's algorithm).
+// Alignment-derived identity feeds the phylogenetic distance matrices.
+
+#ifndef DRUGTREE_BIO_ALIGN_H_
+#define DRUGTREE_BIO_ALIGN_H_
+
+#include <string>
+
+#include "bio/sequence.h"
+#include "bio/substitution_matrix.h"
+#include "util/result.h"
+
+namespace drugtree {
+namespace bio {
+
+/// Alignment parameters. Gap cost for a run of length L is
+/// gap_open + L * gap_extend (both are positive penalties).
+struct AlignParams {
+  const SubstitutionMatrix* matrix = &SubstitutionMatrix::Blosum62();
+  int gap_open = 10;
+  int gap_extend = 1;
+};
+
+/// A computed pairwise alignment. aligned_a/aligned_b are equal-length
+/// strings over residues plus '-' gap characters.
+struct Alignment {
+  int score = 0;
+  std::string aligned_a;
+  std::string aligned_b;
+
+  /// Number of aligned columns (including gap columns).
+  size_t Length() const { return aligned_a.size(); }
+
+  /// Fraction of non-gap columns where the residues are identical,
+  /// in [0, 1]. Returns 0 for an empty alignment.
+  double Identity() const;
+
+  /// Fraction of columns containing a gap.
+  double GapFraction() const;
+};
+
+/// Global alignment (Needleman-Wunsch with affine gaps). Fails on invalid
+/// parameters (non-positive gap penalties are rejected; empty sequences are
+/// allowed and align entirely against gaps).
+util::Result<Alignment> GlobalAlign(const Sequence& a, const Sequence& b,
+                                    const AlignParams& params = {});
+
+/// Local alignment (Smith-Waterman with affine gaps). The aligned strings
+/// cover the best-scoring local region; score is >= 0.
+util::Result<Alignment> LocalAlign(const Sequence& a, const Sequence& b,
+                                   const AlignParams& params = {});
+
+/// Score-only global alignment in O(min(m,n)) space; used when only the
+/// distance is needed (tree building over many pairs).
+util::Result<int> GlobalAlignScore(const Sequence& a, const Sequence& b,
+                                   const AlignParams& params = {});
+
+}  // namespace bio
+}  // namespace drugtree
+
+#endif  // DRUGTREE_BIO_ALIGN_H_

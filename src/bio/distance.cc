@@ -1,0 +1,194 @@
+#include "bio/distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace bio {
+
+util::Result<DistanceMatrix> DistanceMatrix::Create(
+    std::vector<std::string> names) {
+  std::unordered_set<std::string> seen;
+  for (const auto& n : names) {
+    if (!seen.insert(n).second) {
+      return util::Status::InvalidArgument("duplicate taxon name: " + n);
+    }
+  }
+  DistanceMatrix m;
+  m.names_ = std::move(names);
+  m.data_.assign(m.names_.size() * m.names_.size(), 0.0);
+  return m;
+}
+
+void DistanceMatrix::Set(size_t i, size_t j, double v) {
+  DT_CHECK(i < size() && j < size()) << "index out of range";
+  DT_CHECK(i != j) << "diagonal must stay zero";
+  DT_CHECK(v >= 0.0) << "distances must be non-negative";
+  data_[i * size() + j] = v;
+  data_[j * size() + i] = v;
+}
+
+bool DistanceMatrix::IsValid() const {
+  size_t n = size();
+  for (size_t i = 0; i < n; ++i) {
+    if (at(i, i) != 0.0) return false;
+    for (size_t j = i + 1; j < n; ++j) {
+      if (at(i, j) < 0.0 || at(i, j) != at(j, i)) return false;
+    }
+  }
+  return true;
+}
+
+int DistanceMatrix::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+util::Result<double> AlignmentDistance(const Sequence& a, const Sequence& b,
+                                       const DistanceParams& params) {
+  DRUGTREE_ASSIGN_OR_RETURN(Alignment aln, GlobalAlign(a, b, params.align));
+  double identity = aln.Identity();
+  double d;
+  if (params.poisson_correct) {
+    // Poisson correction: distance = -ln(identity). Clamp for identity ~ 0.
+    double id = std::max(identity, std::exp(-params.max_distance));
+    d = -std::log(id);
+  } else {
+    d = 1.0 - identity;
+  }
+  return std::min(d, params.max_distance);
+}
+
+namespace {
+
+template <typename PairFn>
+util::Status FillMatrix(DistanceMatrix* m, size_t n, util::ThreadPool* pool,
+                        const PairFn& fn) {
+  // Enumerate the upper triangle.
+  std::vector<std::pair<size_t, size_t>> pairs;
+  pairs.reserve(n * (n - 1) / 2);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
+  }
+  if (pool == nullptr) {
+    for (auto [i, j] : pairs) {
+      auto d = fn(i, j);
+      if (!d.ok()) return d.status();
+      m->Set(i, j, *d);
+    }
+    return util::Status::OK();
+  }
+  std::vector<util::Status> errors(pairs.size());
+  std::vector<double> values(pairs.size(), 0.0);
+  pool->ParallelFor(pairs.size(), [&](size_t p) {
+    auto d = fn(pairs[p].first, pairs[p].second);
+    if (d.ok()) {
+      values[p] = *d;
+    } else {
+      errors[p] = d.status();
+    }
+  });
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    if (!errors[p].ok()) return errors[p];
+    m->Set(pairs[p].first, pairs[p].second, values[p]);
+  }
+  return util::Status::OK();
+}
+
+std::vector<std::string> NamesOf(const std::vector<Sequence>& seqs) {
+  std::vector<std::string> names;
+  names.reserve(seqs.size());
+  for (const auto& s : seqs) names.push_back(s.id());
+  return names;
+}
+
+}  // namespace
+
+util::Result<DistanceMatrix> AlignmentDistanceMatrix(
+    const std::vector<Sequence>& seqs, const DistanceParams& params,
+    util::ThreadPool* pool) {
+  DRUGTREE_ASSIGN_OR_RETURN(DistanceMatrix m,
+                            DistanceMatrix::Create(NamesOf(seqs)));
+  DRUGTREE_RETURN_IF_ERROR(FillMatrix(
+      &m, seqs.size(), pool, [&](size_t i, size_t j) {
+        return AlignmentDistance(seqs[i], seqs[j], params);
+      }));
+  return m;
+}
+
+namespace {
+
+// Dense k-mer count profile over the 20-letter alphabet; 20^k entries.
+util::Result<std::vector<float>> KmerProfile(const Sequence& s, int k) {
+  size_t dims = 1;
+  for (int i = 0; i < k; ++i) dims *= kNumAminoAcids;
+  std::vector<float> prof(dims, 0.0f);
+  if (s.length() < static_cast<size_t>(k)) return prof;
+  const std::string& r = s.residues();
+  for (size_t i = 0; i + k <= r.size(); ++i) {
+    size_t code = 0;
+    for (int j = 0; j < k; ++j) {
+      int idx = ResidueIndex(r[i + j]);
+      if (idx < 0) {
+        return util::Status::InvalidArgument("invalid residue in " + s.id());
+      }
+      code = code * kNumAminoAcids + static_cast<size_t>(idx);
+    }
+    prof[code] += 1.0f;
+  }
+  return prof;
+}
+
+double CosineDistance(const std::vector<float>& a, const std::vector<float>& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += double(a[i]) * b[i];
+    na += double(a[i]) * a[i];
+    nb += double(b[i]) * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 1.0;
+  double cos = dot / (std::sqrt(na) * std::sqrt(nb));
+  return std::max(0.0, 1.0 - cos);
+}
+
+}  // namespace
+
+util::Result<double> KmerDistance(const Sequence& a, const Sequence& b, int k) {
+  if (k < 1 || k > 4) {
+    return util::Status::InvalidArgument(
+        util::StringPrintf("k must be in [1,4], got %d", k));
+  }
+  DRUGTREE_ASSIGN_OR_RETURN(std::vector<float> pa, KmerProfile(a, k));
+  DRUGTREE_ASSIGN_OR_RETURN(std::vector<float> pb, KmerProfile(b, k));
+  return CosineDistance(pa, pb);
+}
+
+util::Result<DistanceMatrix> KmerDistanceMatrix(
+    const std::vector<Sequence>& seqs, int k, util::ThreadPool* pool) {
+  if (k < 1 || k > 4) {
+    return util::Status::InvalidArgument(
+        util::StringPrintf("k must be in [1,4], got %d", k));
+  }
+  // Precompute all profiles once (the dominant cost for large k).
+  std::vector<std::vector<float>> profiles(seqs.size());
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    DRUGTREE_ASSIGN_OR_RETURN(profiles[i], KmerProfile(seqs[i], k));
+  }
+  DRUGTREE_ASSIGN_OR_RETURN(DistanceMatrix m,
+                            DistanceMatrix::Create(NamesOf(seqs)));
+  DRUGTREE_RETURN_IF_ERROR(FillMatrix(
+      &m, seqs.size(), pool, [&](size_t i, size_t j) -> util::Result<double> {
+        return CosineDistance(profiles[i], profiles[j]);
+      }));
+  return m;
+}
+
+}  // namespace bio
+}  // namespace drugtree

@@ -1,0 +1,81 @@
+// Sequence distances and distance matrices — the input to tree construction.
+//
+// Two estimators are provided:
+//  * alignment identity distance with a Poisson (Kimura-style) correction,
+//    accurate but O(len^2) per pair;
+//  * k-mer profile distance, a cheap alignment-free approximation used for
+//    large protein sets.
+
+#ifndef DRUGTREE_BIO_DISTANCE_H_
+#define DRUGTREE_BIO_DISTANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "bio/align.h"
+#include "bio/sequence.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace drugtree {
+namespace bio {
+
+/// A symmetric matrix of pairwise distances with a zero diagonal, plus the
+/// taxon names the rows/columns refer to.
+class DistanceMatrix {
+ public:
+  DistanceMatrix() = default;
+
+  /// Creates an n x n zero matrix labelled by `names` (must be unique).
+  static util::Result<DistanceMatrix> Create(std::vector<std::string> names);
+
+  size_t size() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+  double at(size_t i, size_t j) const { return data_[i * size() + j]; }
+
+  /// Sets d(i,j) = d(j,i) = v. v must be >= 0 and i != j.
+  void Set(size_t i, size_t j, double v);
+
+  /// True iff the matrix is symmetric with a zero diagonal and no negative
+  /// entries (validated by tests and asserted by builders).
+  bool IsValid() const;
+
+  /// Index of a taxon name, or -1.
+  int IndexOf(const std::string& name) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<double> data_;
+};
+
+/// Distance between two aligned sequences: 1 - identity, optionally with the
+/// Poisson correction -ln(identity) clamped at `max_distance`.
+struct DistanceParams {
+  AlignParams align;
+  bool poisson_correct = true;
+  double max_distance = 5.0;
+};
+
+/// Pairwise alignment-based distance for one pair.
+util::Result<double> AlignmentDistance(const Sequence& a, const Sequence& b,
+                                       const DistanceParams& params = {});
+
+/// Full alignment-based distance matrix; O(n^2) alignments, parallelized
+/// across `pool` if provided.
+util::Result<DistanceMatrix> AlignmentDistanceMatrix(
+    const std::vector<Sequence>& seqs, const DistanceParams& params = {},
+    util::ThreadPool* pool = nullptr);
+
+/// k-mer profile (cosine) distance for one pair; k in [1, 4].
+util::Result<double> KmerDistance(const Sequence& a, const Sequence& b, int k = 3);
+
+/// Full k-mer distance matrix; O(n^2) cheap profile comparisons.
+util::Result<DistanceMatrix> KmerDistanceMatrix(
+    const std::vector<Sequence>& seqs, int k = 3,
+    util::ThreadPool* pool = nullptr);
+
+}  // namespace bio
+}  // namespace drugtree
+
+#endif  // DRUGTREE_BIO_DISTANCE_H_

@@ -1,0 +1,105 @@
+#include "bio/fasta.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace bio {
+
+util::Result<std::vector<Sequence>> ParseFasta(const std::string& text) {
+  std::vector<Sequence> out;
+  std::unordered_set<std::string> seen_ids;
+  std::string cur_id;
+  std::string cur_desc;
+  std::string cur_residues;
+  bool in_record = false;
+
+  auto flush = [&]() -> util::Status {
+    if (!in_record) return util::Status::OK();
+    if (cur_residues.empty()) {
+      return util::Status::ParseError("FASTA record '" + cur_id +
+                                      "' has no sequence data");
+    }
+    auto seq = Sequence::Create(cur_id, std::move(cur_residues));
+    if (!seq.ok()) return seq.status();
+    out.push_back(std::move(seq).ValueUnsafe());
+    cur_residues.clear();
+    return util::Status::OK();
+  };
+
+  std::istringstream stream(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed[0] == '>') {
+      DRUGTREE_RETURN_IF_ERROR(flush());
+      std::string_view header = util::Trim(trimmed.substr(1));
+      if (header.empty()) {
+        return util::Status::ParseError(util::StringPrintf(
+            "FASTA line %zu: empty header", line_no));
+      }
+      size_t space = header.find_first_of(" \t");
+      cur_id = std::string(space == std::string_view::npos
+                               ? header
+                               : header.substr(0, space));
+      if (!seen_ids.insert(cur_id).second) {
+        return util::Status::ParseError("duplicate FASTA id: " + cur_id);
+      }
+      in_record = true;
+    } else {
+      if (!in_record) {
+        return util::Status::ParseError(util::StringPrintf(
+            "FASTA line %zu: sequence data before first header", line_no));
+      }
+      for (char c : trimmed) {
+        if (!std::isspace(static_cast<unsigned char>(c))) cur_residues += c;
+      }
+    }
+  }
+  DRUGTREE_RETURN_IF_ERROR(flush());
+  return out;
+}
+
+std::string WriteFasta(const std::vector<Sequence>& seqs, int width) {
+  if (width <= 0) width = 60;
+  std::string out;
+  for (const auto& seq : seqs) {
+    out += '>';
+    out += seq.id();
+    out += '\n';
+    const std::string& r = seq.residues();
+    for (size_t i = 0; i < r.size(); i += static_cast<size_t>(width)) {
+      out += r.substr(i, static_cast<size_t>(width));
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+util::Result<std::vector<Sequence>> ReadFastaFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IoError("cannot open FASTA file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto result = ParseFasta(buf.str());
+  if (!result.ok()) return result.status().WithContext(path);
+  return result;
+}
+
+util::Status WriteFastaFile(const std::string& path,
+                            const std::vector<Sequence>& seqs, int width) {
+  std::ofstream out(path);
+  if (!out) return util::Status::IoError("cannot open for write: " + path);
+  out << WriteFasta(seqs, width);
+  if (!out) return util::Status::IoError("write failed: " + path);
+  return util::Status::OK();
+}
+
+}  // namespace bio
+}  // namespace drugtree

@@ -1,0 +1,35 @@
+// FASTA parsing and serialization (the interchange format the simulated
+// protein sources speak, mirroring what DrugTree pulled from web databases).
+
+#ifndef DRUGTREE_BIO_FASTA_H_
+#define DRUGTREE_BIO_FASTA_H_
+
+#include <string>
+#include <vector>
+
+#include "bio/sequence.h"
+#include "util/result.h"
+
+namespace drugtree {
+namespace bio {
+
+/// Parses FASTA text. Header lines are ">id optional description"; the id is
+/// the first whitespace-delimited token. Blank lines are ignored; sequence
+/// data may span multiple lines. Fails on malformed input (data before the
+/// first header, invalid residues, duplicate ids, empty records).
+util::Result<std::vector<Sequence>> ParseFasta(const std::string& text);
+
+/// Serializes sequences as FASTA with lines wrapped at `width` residues.
+std::string WriteFasta(const std::vector<Sequence>& seqs, int width = 60);
+
+/// Reads and parses a FASTA file from disk.
+util::Result<std::vector<Sequence>> ReadFastaFile(const std::string& path);
+
+/// Writes sequences to a FASTA file on disk.
+util::Status WriteFastaFile(const std::string& path,
+                            const std::vector<Sequence>& seqs, int width = 60);
+
+}  // namespace bio
+}  // namespace drugtree
+
+#endif  // DRUGTREE_BIO_FASTA_H_

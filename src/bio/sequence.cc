@@ -1,0 +1,93 @@
+#include "bio/sequence.h"
+
+#include <array>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace bio {
+
+namespace {
+
+// Average monoisotopic-ish residue masses (Da), indexed like kAminoAcids.
+constexpr double kResidueMassDa[kNumAminoAcids] = {
+    71.08,   // A
+    156.19,  // R
+    114.10,  // N
+    115.09,  // D
+    103.14,  // C
+    128.13,  // Q
+    129.12,  // E
+    57.05,   // G
+    137.14,  // H
+    113.16,  // I
+    113.16,  // L
+    128.17,  // K
+    131.19,  // M
+    147.18,  // F
+    97.12,   // P
+    87.08,   // S
+    101.10,  // T
+    186.21,  // W
+    163.18,  // Y
+    99.13,   // V
+};
+
+std::array<int, 256> BuildResidueIndexTable() {
+  std::array<int, 256> table;
+  table.fill(-1);
+  for (int i = 0; i < kNumAminoAcids; ++i) {
+    unsigned char upper = static_cast<unsigned char>(kAminoAcids[i]);
+    table[upper] = i;
+    table[static_cast<unsigned char>(std::tolower(upper))] = i;
+  }
+  return table;
+}
+
+const std::array<int, 256>& ResidueIndexTable() {
+  static const std::array<int, 256> table = BuildResidueIndexTable();
+  return table;
+}
+
+}  // namespace
+
+int ResidueIndex(char c) {
+  return ResidueIndexTable()[static_cast<unsigned char>(c)];
+}
+
+bool IsValidResidue(char c) { return ResidueIndex(c) >= 0; }
+
+util::Result<Sequence> Sequence::Create(std::string id, std::string residues) {
+  for (size_t i = 0; i < residues.size(); ++i) {
+    int idx = ResidueIndex(residues[i]);
+    if (idx < 0) {
+      return util::Status::ParseError(util::StringPrintf(
+          "sequence '%s': invalid residue '%c' at position %zu", id.c_str(),
+          residues[i], i));
+    }
+    residues[i] = kAminoAcids[idx];  // normalize to upper case
+  }
+  return Sequence(std::move(id), std::move(residues));
+}
+
+std::vector<int> Sequence::Composition() const {
+  std::vector<int> counts(kNumAminoAcids, 0);
+  for (char c : residues_) {
+    int idx = ResidueIndex(c);
+    if (idx >= 0) ++counts[idx];
+  }
+  return counts;
+}
+
+double Sequence::ApproximateMassDa() const {
+  double mass = residues_.empty() ? 0.0 : 18.02;  // one water for the chain
+  for (char c : residues_) {
+    int idx = ResidueIndex(c);
+    if (idx >= 0) mass += kResidueMassDa[idx];
+  }
+  return mass;
+}
+
+}  // namespace bio
+}  // namespace drugtree

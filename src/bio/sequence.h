@@ -1,0 +1,64 @@
+// Protein sequences and the residue alphabet.
+
+#ifndef DRUGTREE_BIO_SEQUENCE_H_
+#define DRUGTREE_BIO_SEQUENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace drugtree {
+namespace bio {
+
+/// The 20 canonical amino acids, in the conventional alphabetical
+/// one-letter-code order used by substitution matrices.
+inline constexpr char kAminoAcids[] = "ARNDCQEGHILKMFPSTWYV";
+inline constexpr int kNumAminoAcids = 20;
+
+/// Maps a one-letter residue code to its index in kAminoAcids, or -1 if the
+/// character is not a canonical residue. Case-insensitive.
+int ResidueIndex(char c);
+
+/// True iff `c` is a canonical one-letter residue code.
+bool IsValidResidue(char c);
+
+/// A named protein sequence. Residues are stored upper-case.
+class Sequence {
+ public:
+  Sequence() = default;
+  Sequence(std::string id, std::string residues)
+      : id_(std::move(id)), residues_(std::move(residues)) {}
+
+  /// Validates that every character is a canonical residue; returns the
+  /// sequence or a ParseError naming the offending position.
+  static util::Result<Sequence> Create(std::string id, std::string residues);
+
+  const std::string& id() const { return id_; }
+  const std::string& residues() const { return residues_; }
+  size_t length() const { return residues_.size(); }
+  bool empty() const { return residues_.empty(); }
+  char at(size_t i) const { return residues_[i]; }
+
+  /// Residue composition: counts[i] = occurrences of kAminoAcids[i].
+  std::vector<int> Composition() const;
+
+  /// Average residue mass in daltons times length (approximate molecular
+  /// weight of the chain, ignoring water).
+  double ApproximateMassDa() const;
+
+  bool operator==(const Sequence& other) const {
+    return id_ == other.id_ && residues_ == other.residues_;
+  }
+
+ private:
+  std::string id_;
+  std::string residues_;
+};
+
+}  // namespace bio
+}  // namespace drugtree
+
+#endif  // DRUGTREE_BIO_SEQUENCE_H_

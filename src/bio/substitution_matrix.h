@@ -1,0 +1,54 @@
+// Amino-acid substitution scoring matrices (BLOSUM62, PAM250) used by the
+// alignment algorithms and by the evolution simulator's mutation kernel.
+
+#ifndef DRUGTREE_BIO_SUBSTITUTION_MATRIX_H_
+#define DRUGTREE_BIO_SUBSTITUTION_MATRIX_H_
+
+#include <array>
+#include <string>
+
+#include "bio/sequence.h"
+#include "util/result.h"
+
+namespace drugtree {
+namespace bio {
+
+/// A 20x20 integer scoring matrix over the canonical residue alphabet.
+class SubstitutionMatrix {
+ public:
+  using Table = std::array<std::array<int, kNumAminoAcids>, kNumAminoAcids>;
+
+  SubstitutionMatrix(std::string name, const Table& table)
+      : name_(std::move(name)), table_(table) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Score for aligning residue indices i, j (see ResidueIndex()).
+  int ScoreByIndex(int i, int j) const { return table_[i][j]; }
+
+  /// Score for aligning residue characters a, b; both must be canonical.
+  int Score(char a, char b) const {
+    return table_[ResidueIndex(a)][ResidueIndex(b)];
+  }
+
+  /// True iff the matrix is symmetric (all standard matrices are).
+  bool IsSymmetric() const;
+
+  /// The classic BLOSUM62 matrix (process-wide singleton).
+  static const SubstitutionMatrix& Blosum62();
+
+  /// The classic PAM250 matrix (process-wide singleton).
+  static const SubstitutionMatrix& Pam250();
+
+  /// Looks a matrix up by name ("BLOSUM62" / "PAM250", case-insensitive).
+  static util::Result<const SubstitutionMatrix*> ByName(const std::string& name);
+
+ private:
+  std::string name_;
+  Table table_;
+};
+
+}  // namespace bio
+}  // namespace drugtree
+
+#endif  // DRUGTREE_BIO_SUBSTITUTION_MATRIX_H_

@@ -1,0 +1,193 @@
+#include "bio/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace bio {
+
+namespace {
+
+// Background amino-acid frequencies (roughly UniProt-wide averages), indexed
+// like kAminoAcids: A R N D C Q E G H I L K M F P S T W Y V.
+constexpr double kBackgroundFreq[kNumAminoAcids] = {
+    0.083, 0.055, 0.041, 0.055, 0.014, 0.039, 0.067, 0.071, 0.023, 0.059,
+    0.097, 0.058, 0.024, 0.039, 0.047, 0.066, 0.054, 0.011, 0.029, 0.069,
+};
+
+char SampleResidue(util::Rng* rng) {
+  static const std::vector<double> weights(std::begin(kBackgroundFreq),
+                                           std::end(kBackgroundFreq));
+  return kAminoAcids[rng->WeightedIndex(weights)];
+}
+
+std::string RandomAncestor(int length, util::Rng* rng) {
+  std::string s;
+  s.reserve(static_cast<size_t>(length));
+  for (int i = 0; i < length; ++i) s += SampleResidue(rng);
+  return s;
+}
+
+// Applies `expected_subs = rate * branch_length * len` mutation events.
+std::string Mutate(const std::string& parent, double branch_length,
+                   const EvolutionParams& params, util::Rng* rng) {
+  std::string child = parent;
+  double expected =
+      params.mutation_rate * branch_length * static_cast<double>(child.size());
+  // Poisson-ish: sample the event count from a rounded exponential sum.
+  int events = 0;
+  double t = 0.0;
+  while (true) {
+    t += rng->NextExponential(1.0);
+    if (t > expected) break;
+    ++events;
+  }
+  for (int e = 0; e < events && !child.empty(); ++e) {
+    if (rng->Bernoulli(params.indel_probability)) {
+      int len = static_cast<int>(rng->UniformRange(1, 3));
+      if (rng->Bernoulli(0.5)) {
+        // Insertion.
+        size_t pos = rng->Uniform(child.size() + 1);
+        std::string ins;
+        for (int i = 0; i < len; ++i) ins += SampleResidue(rng);
+        child.insert(pos, ins);
+      } else {
+        // Deletion (keep at least 10 residues).
+        if (child.size() > static_cast<size_t>(len) + 10) {
+          size_t pos = rng->Uniform(child.size() - len);
+          child.erase(pos, static_cast<size_t>(len));
+        }
+      }
+    } else {
+      size_t pos = rng->Uniform(child.size());
+      char nc;
+      do {
+        nc = SampleResidue(rng);
+      } while (nc == child[pos]);
+      child[pos] = nc;
+    }
+  }
+  return child;
+}
+
+struct SimNode {
+  int left = -1;
+  int right = -1;
+  double branch_length = 0.0;  // to parent
+  std::string sequence;
+  std::string name;  // leaves only
+};
+
+void WriteNewick(const std::vector<SimNode>& nodes, int idx, std::string* out) {
+  const SimNode& n = nodes[static_cast<size_t>(idx)];
+  if (n.left < 0) {
+    *out += n.name;
+  } else {
+    *out += '(';
+    WriteNewick(nodes, n.left, out);
+    *out += ',';
+    WriteNewick(nodes, n.right, out);
+    *out += ')';
+  }
+  *out += util::StringPrintf(":%.6f", n.branch_length);
+}
+
+}  // namespace
+
+util::Result<EvolvedFamily> EvolveFamily(const EvolutionParams& params,
+                                         util::Rng* rng) {
+  if (params.num_taxa < 2) {
+    return util::Status::InvalidArgument("num_taxa must be >= 2");
+  }
+  if (params.sequence_length < 20) {
+    return util::Status::InvalidArgument("sequence_length must be >= 20");
+  }
+  if (params.mutation_rate <= 0 || params.mean_branch_length <= 0) {
+    return util::Status::InvalidArgument(
+        "mutation_rate and mean_branch_length must be positive");
+  }
+  if (rng == nullptr) return util::Status::InvalidArgument("rng must not be null");
+
+  // Grow a random binary tree by repeatedly splitting a random leaf.
+  std::vector<SimNode> nodes;
+  nodes.push_back(SimNode{});  // root
+  std::vector<int> leaves = {0};
+  auto sample_branch = [&]() {
+    double b = rng->NextExponential(1.0 / params.mean_branch_length);
+    return std::max(b, 0.01);
+  };
+  while (static_cast<int>(leaves.size()) < params.num_taxa) {
+    size_t pick = params.clock_like ? 0 : rng->Uniform(leaves.size());
+    if (params.clock_like) {
+      // Clock-like growth: always split the shallowest leaf (breadth-first),
+      // giving all leaves similar root depth.
+      pick = 0;
+    }
+    int leaf = leaves[pick];
+    leaves.erase(leaves.begin() + static_cast<long>(pick));
+    int l = static_cast<int>(nodes.size());
+    nodes.push_back(SimNode{});
+    int r = static_cast<int>(nodes.size());
+    nodes.push_back(SimNode{});
+    nodes[static_cast<size_t>(leaf)].left = l;
+    nodes[static_cast<size_t>(leaf)].right = r;
+    double bl = params.clock_like ? params.mean_branch_length : sample_branch();
+    double br = params.clock_like ? params.mean_branch_length : sample_branch();
+    nodes[static_cast<size_t>(l)].branch_length = bl;
+    nodes[static_cast<size_t>(r)].branch_length = br;
+    leaves.push_back(l);
+    leaves.push_back(r);
+  }
+
+  // Name leaves deterministically in index order.
+  int taxon = 0;
+  for (auto& n : nodes) {
+    if (n.left < 0) {
+      n.name = util::StringPrintf("%s%04d", params.id_prefix.c_str(), taxon++);
+    }
+  }
+
+  // Evolve sequences root-down (iterative DFS to bound stack depth).
+  nodes[0].sequence = RandomAncestor(params.sequence_length, rng);
+  std::vector<int> stack = {0};
+  while (!stack.empty()) {
+    int idx = stack.back();
+    stack.pop_back();
+    const SimNode& n = nodes[static_cast<size_t>(idx)];
+    if (n.left < 0) continue;
+    for (int child : {n.left, n.right}) {
+      SimNode& c = nodes[static_cast<size_t>(child)];
+      c.sequence = Mutate(n.sequence, c.branch_length, params, rng);
+      stack.push_back(child);
+    }
+  }
+
+  EvolvedFamily out;
+  for (const auto& n : nodes) {
+    if (n.left < 0) {
+      DRUGTREE_ASSIGN_OR_RETURN(Sequence s, Sequence::Create(n.name, n.sequence));
+      out.sequences.push_back(std::move(s));
+    }
+  }
+  std::string newick;
+  WriteNewick(nodes, 0, &newick);
+  // The root's :0.0 branch is harmless but conventional Newick drops it.
+  out.true_tree_newick = newick + ";";
+  return out;
+}
+
+std::vector<Sequence> RandomSequences(int n, int length, util::Rng* rng,
+                                      const std::string& id_prefix) {
+  std::vector<Sequence> out;
+  out.reserve(static_cast<size_t>(std::max(n, 0)));
+  for (int i = 0; i < n; ++i) {
+    out.emplace_back(util::StringPrintf("%s%04d", id_prefix.c_str(), i),
+                     RandomAncestor(length, rng));
+  }
+  return out;
+}
+
+}  // namespace bio
+}  // namespace drugtree

@@ -1,0 +1,72 @@
+// Sequence-evolution simulator.
+//
+// DrugTree's evaluation needs protein families with genuine phylogenetic
+// signal but the paper's real data sources are unavailable, so we evolve
+// synthetic families: a random branching process produces a reference tree,
+// an ancestral sequence is mutated down its branches, and the leaf sequences
+// (plus the true tree in Newick form) are returned. Distance-based
+// reconstruction on such data behaves like it does on curated families, and
+// the true tree gives an accuracy yardstick (Robinson-Foulds in phylo/).
+
+#ifndef DRUGTREE_BIO_SYNTHETIC_H_
+#define DRUGTREE_BIO_SYNTHETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "bio/sequence.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace drugtree {
+namespace bio {
+
+/// Parameters of the evolution simulation.
+struct EvolutionParams {
+  /// Number of leaf taxa (proteins) to generate. Must be >= 2.
+  int num_taxa = 32;
+
+  /// Length of the ancestral sequence.
+  int sequence_length = 200;
+
+  /// Expected substitutions per site along a branch of length 1.
+  double mutation_rate = 0.3;
+
+  /// Mean branch length (branch lengths are exponential around this mean).
+  double mean_branch_length = 0.4;
+
+  /// Probability that a mutation event is an insertion or deletion instead
+  /// of a substitution (indels are applied with length 1-3).
+  double indel_probability = 0.02;
+
+  /// Prefix for generated taxon ids ("P0001", ...).
+  std::string id_prefix = "P";
+
+  /// Whether the random topology is ultrametric-ish (clock-like: all leaves
+  /// roughly equidistant from the root, which favours UPGMA) or freely
+  /// branching (which NJ handles better). Used by experiment E5.
+  bool clock_like = false;
+};
+
+/// Output of the simulator: leaf sequences and the generating tree.
+struct EvolvedFamily {
+  std::vector<Sequence> sequences;
+
+  /// The true generating tree in Newick syntax, leaf names matching the
+  /// sequence ids, with branch lengths.
+  std::string true_tree_newick;
+};
+
+/// Evolves a synthetic protein family. Deterministic given `rng`'s seed.
+util::Result<EvolvedFamily> EvolveFamily(const EvolutionParams& params,
+                                         util::Rng* rng);
+
+/// Generates `n` unrelated random sequences (uniform residues) — the
+/// null-signal control in tests.
+std::vector<Sequence> RandomSequences(int n, int length, util::Rng* rng,
+                                      const std::string& id_prefix = "R");
+
+}  // namespace bio
+}  // namespace drugtree
+
+#endif  // DRUGTREE_BIO_SYNTHETIC_H_

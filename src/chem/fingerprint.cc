@@ -1,0 +1,144 @@
+#include "chem/fingerprint.h"
+
+#include <algorithm>
+#include <bit>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace chem {
+
+Fingerprint::Fingerprint(int num_bits)
+    : num_bits_(std::max(64, (num_bits + 63) / 64 * 64)),
+      words_(static_cast<size_t>(num_bits_ / 64), 0) {}
+
+void Fingerprint::SetBit(int i) {
+  words_[static_cast<size_t>(i / 64)] |= uint64_t{1} << (i % 64);
+}
+
+bool Fingerprint::TestBit(int i) const {
+  return (words_[static_cast<size_t>(i / 64)] >> (i % 64)) & 1;
+}
+
+int Fingerprint::PopCount() const {
+  int n = 0;
+  for (uint64_t w : words_) n += std::popcount(w);
+  return n;
+}
+
+int Fingerprint::AndCount(const Fingerprint& other) const {
+  int n = 0;
+  size_t m = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < m; ++i) n += std::popcount(words_[i] & other.words_[i]);
+  return n;
+}
+
+int Fingerprint::OrCount(const Fingerprint& other) const {
+  int n = 0;
+  size_t m = std::max(words_.size(), other.words_.size());
+  for (size_t i = 0; i < m; ++i) {
+    uint64_t a = i < words_.size() ? words_[i] : 0;
+    uint64_t b = i < other.words_.size() ? other.words_[i] : 0;
+    n += std::popcount(a | b);
+  }
+  return n;
+}
+
+namespace {
+
+// Token for one atom in a path string: element symbol, aromatic flag.
+std::string AtomToken(const Atom& a) {
+  std::string t = ElementSymbol(a.element);
+  if (a.aromatic) t = util::ToLower(t);
+  if (a.charge > 0) t += '+';
+  if (a.charge < 0) t += '-';
+  return t;
+}
+
+char BondToken(BondOrder o) {
+  switch (o) {
+    case BondOrder::kSingle: return '-';
+    case BondOrder::kDouble: return '=';
+    case BondOrder::kTriple: return '#';
+    case BondOrder::kAromatic: return ':';
+  }
+  return '?';
+}
+
+}  // namespace
+
+util::Result<Fingerprint> ComputeFingerprint(const Molecule& mol,
+                                             const FingerprintParams& params) {
+  if (params.num_bits < 64) {
+    return util::Status::InvalidArgument("num_bits must be >= 64");
+  }
+  if (params.max_path_bonds < 0 || params.max_path_bonds > 8) {
+    return util::Status::InvalidArgument("max_path_bonds must be in [0, 8]");
+  }
+  if (params.bits_per_path < 1 || params.bits_per_path > 4) {
+    return util::Status::InvalidArgument("bits_per_path must be in [1, 4]");
+  }
+  Fingerprint fp(params.num_bits);
+  if (mol.num_atoms() == 0) return fp;
+
+  auto hash_path = [&](const std::string& fwd, const std::string& rev) {
+    const std::string& canon = fwd <= rev ? fwd : rev;
+    uint64_t h = util::Fnv1a64(canon);
+    for (int b = 0; b < params.bits_per_path; ++b) {
+      fp.SetBit(static_cast<int>(h % static_cast<uint64_t>(fp.num_bits())));
+      h = h * 0x9E3779B97F4A7C15ULL + 0x7F4A7C15ULL;
+    }
+  };
+
+  // DFS path enumeration from every atom; paths are simple (no repeated
+  // atoms). Each path is counted from both endpoints, which the
+  // canonicalization collapses, so bits are deterministic.
+  struct Frame {
+    int atom;
+    size_t next_neighbor;
+  };
+  const int n = mol.num_atoms();
+  std::vector<bool> on_path(static_cast<size_t>(n), false);
+  for (int start = 0; start < n; ++start) {
+    std::vector<Frame> path;
+    std::string fwd = AtomToken(mol.atom(start));
+    std::string rev = fwd;
+    // Path strings per depth are rebuilt on the fly; keep a token stack.
+    std::vector<std::string> fwd_stack = {fwd};
+    std::vector<std::string> rev_stack = {rev};
+    path.push_back({start, 0});
+    on_path[static_cast<size_t>(start)] = true;
+    hash_path(fwd_stack.back(), rev_stack.back());  // length-0 path (atom type)
+    while (!path.empty()) {
+      Frame& f = path.back();
+      const auto& nbrs = mol.Neighbors(f.atom);
+      bool descended = false;
+      while (f.next_neighbor < nbrs.size()) {
+        int w = nbrs[f.next_neighbor++];
+        if (on_path[static_cast<size_t>(w)]) continue;
+        if (static_cast<int>(path.size()) > params.max_path_bonds) break;
+        const Bond* b = mol.FindBond(f.atom, w);
+        char bt = BondToken(b->order);
+        std::string at = AtomToken(mol.atom(w));
+        fwd_stack.push_back(fwd_stack.back() + bt + at);
+        rev_stack.push_back(at + bt + rev_stack.back());
+        path.push_back({w, 0});
+        on_path[static_cast<size_t>(w)] = true;
+        hash_path(fwd_stack.back(), rev_stack.back());
+        descended = true;
+        break;
+      }
+      if (!descended) {
+        on_path[static_cast<size_t>(f.atom)] = false;
+        path.pop_back();
+        fwd_stack.pop_back();
+        rev_stack.pop_back();
+      }
+    }
+  }
+  return fp;
+}
+
+}  // namespace chem
+}  // namespace drugtree

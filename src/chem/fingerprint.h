@@ -1,0 +1,66 @@
+// Molecular fingerprints: fixed-width hashed bit vectors over linear atom
+// paths (Daylight-style). Fingerprints drive the similarity search that the
+// drug-discovery screening workflow (example 2, experiment E6) exercises.
+
+#ifndef DRUGTREE_CHEM_FINGERPRINT_H_
+#define DRUGTREE_CHEM_FINGERPRINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "chem/molecule.h"
+#include "util/result.h"
+
+namespace drugtree {
+namespace chem {
+
+/// A fixed-width bit vector with fast popcount operations.
+class Fingerprint {
+ public:
+  /// Creates an all-zero fingerprint of `num_bits` (rounded up to 64).
+  explicit Fingerprint(int num_bits = 1024);
+
+  int num_bits() const { return num_bits_; }
+
+  void SetBit(int i);
+  bool TestBit(int i) const;
+
+  /// Number of set bits.
+  int PopCount() const;
+
+  /// Number of bits set in both.
+  int AndCount(const Fingerprint& other) const;
+
+  /// Number of bits set in either.
+  int OrCount(const Fingerprint& other) const;
+
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  bool operator==(const Fingerprint& other) const {
+    return num_bits_ == other.num_bits_ && words_ == other.words_;
+  }
+
+ private:
+  int num_bits_;
+  std::vector<uint64_t> words_;
+};
+
+/// Path-fingerprint parameters.
+struct FingerprintParams {
+  int num_bits = 1024;
+  /// Maximum path length in bonds (paths of length 0..max_path_bonds).
+  int max_path_bonds = 5;
+  /// Bits set per hashed path.
+  int bits_per_path = 2;
+};
+
+/// Computes the hashed linear-path fingerprint of a molecule. Enumerates all
+/// simple paths up to max_path_bonds bonds, canonicalizes each (forward vs
+/// reverse lexicographic), hashes, and sets bits_per_path bits per path.
+util::Result<Fingerprint> ComputeFingerprint(const Molecule& mol,
+                                             const FingerprintParams& params = {});
+
+}  // namespace chem
+}  // namespace drugtree
+
+#endif  // DRUGTREE_CHEM_FINGERPRINT_H_

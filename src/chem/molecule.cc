@@ -1,0 +1,174 @@
+#include "chem/molecule.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace chem {
+
+const char* ElementSymbol(Element e) {
+  switch (e) {
+    case Element::kCarbon: return "C";
+    case Element::kNitrogen: return "N";
+    case Element::kOxygen: return "O";
+    case Element::kSulfur: return "S";
+    case Element::kPhosphorus: return "P";
+    case Element::kFluorine: return "F";
+    case Element::kChlorine: return "Cl";
+    case Element::kBromine: return "Br";
+    case Element::kIodine: return "I";
+    case Element::kHydrogen: return "H";
+  }
+  return "?";
+}
+
+double ElementMassDa(Element e) {
+  switch (e) {
+    case Element::kCarbon: return 12.011;
+    case Element::kNitrogen: return 14.007;
+    case Element::kOxygen: return 15.999;
+    case Element::kSulfur: return 32.06;
+    case Element::kPhosphorus: return 30.974;
+    case Element::kFluorine: return 18.998;
+    case Element::kChlorine: return 35.45;
+    case Element::kBromine: return 79.904;
+    case Element::kIodine: return 126.904;
+    case Element::kHydrogen: return 1.008;
+  }
+  return 0.0;
+}
+
+int ElementValence(Element e) {
+  switch (e) {
+    case Element::kCarbon: return 4;
+    case Element::kNitrogen: return 3;
+    case Element::kOxygen: return 2;
+    case Element::kSulfur: return 2;
+    case Element::kPhosphorus: return 3;
+    case Element::kFluorine:
+    case Element::kChlorine:
+    case Element::kBromine:
+    case Element::kIodine:
+    case Element::kHydrogen:
+      return 1;
+  }
+  return 0;
+}
+
+int Molecule::AddAtom(const Atom& atom) {
+  atoms_.push_back(atom);
+  adjacency_.emplace_back();
+  return num_atoms() - 1;
+}
+
+util::Status Molecule::AddBond(int a, int b, BondOrder order) {
+  if (a < 0 || a >= num_atoms() || b < 0 || b >= num_atoms()) {
+    return util::Status::InvalidArgument(
+        util::StringPrintf("bond atom index out of range: %d-%d", a, b));
+  }
+  if (a == b) {
+    return util::Status::InvalidArgument("self-bonds are not allowed");
+  }
+  if (FindBond(a, b) != nullptr) {
+    return util::Status::AlreadyExists(
+        util::StringPrintf("duplicate bond %d-%d", a, b));
+  }
+  bonds_.push_back(Bond{a, b, order});
+  adjacency_[static_cast<size_t>(a)].push_back(b);
+  adjacency_[static_cast<size_t>(b)].push_back(a);
+  return util::Status::OK();
+}
+
+const Bond* Molecule::FindBond(int a, int b) const {
+  for (const auto& bond : bonds_) {
+    if ((bond.a == a && bond.b == b) || (bond.a == b && bond.b == a)) {
+      return &bond;
+    }
+  }
+  return nullptr;
+}
+
+int Molecule::HydrogenCount(int i) const {
+  const Atom& atom = atoms_[static_cast<size_t>(i)];
+  if (atom.explicit_hydrogens >= 0) return atom.explicit_hydrogens;
+  int used = 0;
+  for (const auto& bond : bonds_) {
+    if (bond.a == i || bond.b == i) {
+      used += bond.order == BondOrder::kAromatic
+                  ? 1  // ring closure brings the order sum to ~aromatic valence
+                  : static_cast<int>(bond.order);
+    }
+  }
+  if (atom.aromatic) used += 1;  // one electron is committed to the ring system
+  int valence = ElementValence(atom.element) + std::max(0, atom.charge);
+  return std::max(0, valence - used);
+}
+
+bool Molecule::IsConnected() const {
+  if (atoms_.empty()) return true;
+  std::vector<bool> seen(atoms_.size(), false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  size_t count = 1;
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    for (int w : adjacency_[static_cast<size_t>(v)]) {
+      if (!seen[static_cast<size_t>(w)]) {
+        seen[static_cast<size_t>(w)] = true;
+        ++count;
+        stack.push_back(w);
+      }
+    }
+  }
+  return count == atoms_.size();
+}
+
+bool Molecule::BondInRing(int i) const {
+  const Bond& bond = bonds_[static_cast<size_t>(i)];
+  std::vector<bool> seen(atoms_.size(), false);
+  std::vector<int> stack = {bond.a};
+  seen[static_cast<size_t>(bond.a)] = true;
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    for (int w : adjacency_[static_cast<size_t>(v)]) {
+      if ((v == bond.a && w == bond.b) || (v == bond.b && w == bond.a)) {
+        continue;  // skip the bond under test
+      }
+      if (w == bond.b) return true;
+      if (!seen[static_cast<size_t>(w)]) {
+        seen[static_cast<size_t>(w)] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+int Molecule::RingCount() const {
+  if (atoms_.empty()) return 0;
+  std::vector<bool> seen(atoms_.size(), false);
+  int components = 0;
+  for (int start = 0; start < num_atoms(); ++start) {
+    if (seen[static_cast<size_t>(start)]) continue;
+    ++components;
+    std::vector<int> stack = {start};
+    seen[static_cast<size_t>(start)] = true;
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      for (int w : adjacency_[static_cast<size_t>(v)]) {
+        if (!seen[static_cast<size_t>(w)]) {
+          seen[static_cast<size_t>(w)] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return num_bonds() - num_atoms() + components;
+}
+
+}  // namespace chem
+}  // namespace drugtree

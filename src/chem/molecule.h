@@ -1,0 +1,110 @@
+// Molecular model: an attributed graph of atoms and bonds, the substrate for
+// ligand data in DrugTree. Populated from the SMILES subset parser
+// (smiles.h) or the synthetic generator.
+
+#ifndef DRUGTREE_CHEM_MOLECULE_H_
+#define DRUGTREE_CHEM_MOLECULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace drugtree {
+namespace chem {
+
+/// Chemical elements supported by the SMILES subset (organic subset).
+enum class Element : uint8_t {
+  kCarbon,
+  kNitrogen,
+  kOxygen,
+  kSulfur,
+  kPhosphorus,
+  kFluorine,
+  kChlorine,
+  kBromine,
+  kIodine,
+  kHydrogen,
+};
+
+/// Symbol of the element ("C", "N", ...).
+const char* ElementSymbol(Element e);
+
+/// Standard atomic mass in daltons.
+double ElementMassDa(Element e);
+
+/// Typical valence used for implicit-hydrogen completion.
+int ElementValence(Element e);
+
+enum class BondOrder : uint8_t { kSingle = 1, kDouble = 2, kTriple = 3,
+                                 kAromatic = 4 };
+
+struct Atom {
+  Element element = Element::kCarbon;
+  bool aromatic = false;
+  int charge = 0;
+  int explicit_hydrogens = -1;  // -1 => implicit per valence rules
+};
+
+struct Bond {
+  int a = 0;  // atom indices
+  int b = 0;
+  BondOrder order = BondOrder::kSingle;
+};
+
+/// A small molecule (ligand). Atom indices are stable, 0-based.
+class Molecule {
+ public:
+  Molecule() = default;
+
+  /// Adds an atom; returns its index.
+  int AddAtom(const Atom& atom);
+
+  /// Adds a bond between existing atoms; fails on out-of-range indices,
+  /// self-bonds, or duplicate bonds.
+  util::Status AddBond(int a, int b, BondOrder order);
+
+  int num_atoms() const { return static_cast<int>(atoms_.size()); }
+  int num_bonds() const { return static_cast<int>(bonds_.size()); }
+  const Atom& atom(int i) const { return atoms_[static_cast<size_t>(i)]; }
+  const std::vector<Bond>& bonds() const { return bonds_; }
+
+  /// Mutable bond access (used by the SMILES parser's aromaticity fix-up).
+  Bond* mutable_bond(int i) { return &bonds_[static_cast<size_t>(i)]; }
+
+  /// True iff bond i lies on a cycle (its endpoints stay connected when the
+  /// bond is removed).
+  bool BondInRing(int i) const;
+
+  /// Indices of atoms bonded to atom i.
+  const std::vector<int>& Neighbors(int i) const {
+    return adjacency_[static_cast<size_t>(i)];
+  }
+
+  /// Bond between atoms a,b or nullptr.
+  const Bond* FindBond(int a, int b) const;
+
+  /// Number of implicit hydrogens on atom i (valence minus bond order sum,
+  /// clamped at zero), or the explicit count if one was set.
+  int HydrogenCount(int i) const;
+
+  /// Heavy-atom count (excludes hydrogens, which are implicit here).
+  int HeavyAtomCount() const { return num_atoms(); }
+
+  /// True iff the bond graph is connected (single component).
+  bool IsConnected() const;
+
+  /// Number of rings = bonds - atoms + components (cyclomatic number).
+  int RingCount() const;
+
+ private:
+  std::vector<Atom> atoms_;
+  std::vector<Bond> bonds_;
+  std::vector<std::vector<int>> adjacency_;
+};
+
+}  // namespace chem
+}  // namespace drugtree
+
+#endif  // DRUGTREE_CHEM_MOLECULE_H_

@@ -1,0 +1,99 @@
+#include "chem/properties.h"
+
+namespace drugtree {
+namespace chem {
+
+int MolecularProperties::LipinskiViolations() const {
+  int v = 0;
+  if (molecular_weight > 500.0) ++v;
+  if (log_p > 5.0) ++v;
+  if (hbd > 5) ++v;
+  if (hba > 10) ++v;
+  return v;
+}
+
+namespace {
+
+// Coarse Crippen-style atomic logP contributions.
+double LogPContribution(const Molecule& mol, int i) {
+  const Atom& a = mol.atom(i);
+  int h = mol.HydrogenCount(i);
+  switch (a.element) {
+    case Element::kCarbon:
+      if (a.aromatic) return 0.29;
+      return h >= 2 ? 0.36 : 0.12;  // aliphatic CH2/CH3 vs substituted
+    case Element::kNitrogen:
+      return a.aromatic ? -0.50 : (h > 0 ? -1.0 : -0.60);
+    case Element::kOxygen:
+      return h > 0 ? -0.45 : -0.17;  // hydroxyl vs ether/carbonyl
+    case Element::kSulfur:
+      return 0.25;
+    case Element::kPhosphorus:
+      return -0.5;
+    case Element::kFluorine:
+      return 0.14;
+    case Element::kChlorine:
+      return 0.65;
+    case Element::kBromine:
+      return 0.86;
+    case Element::kIodine:
+      return 1.12;
+    case Element::kHydrogen:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+MolecularProperties ComputeProperties(const Molecule& mol) {
+  MolecularProperties p;
+  p.heavy_atoms = mol.HeavyAtomCount();
+  p.ring_count = mol.RingCount();
+  for (int i = 0; i < mol.num_atoms(); ++i) {
+    const Atom& a = mol.atom(i);
+    int h = mol.HydrogenCount(i);
+    p.molecular_weight += ElementMassDa(a.element) +
+                          h * ElementMassDa(Element::kHydrogen);
+    p.log_p += LogPContribution(mol, i);
+    if (a.element == Element::kNitrogen || a.element == Element::kOxygen) {
+      ++p.hba;
+      if (h > 0) ++p.hbd;
+    }
+  }
+  // Rotatable bonds: acyclic single bonds where both ends have degree >= 2.
+  // A bond is "in a ring" iff removing it keeps its endpoints connected;
+  // with the cheap cyclomatic test we approximate: bonds on any cycle are
+  // found by checking connectivity without the bond.
+  for (const Bond& b : mol.bonds()) {
+    if (b.order != BondOrder::kSingle) continue;
+    if (mol.Neighbors(b.a).size() < 2 || mol.Neighbors(b.b).size() < 2) {
+      continue;  // terminal bond
+    }
+    // Connectivity check from b.a to b.b avoiding the bond itself.
+    std::vector<bool> seen(static_cast<size_t>(mol.num_atoms()), false);
+    std::vector<int> stack = {b.a};
+    seen[static_cast<size_t>(b.a)] = true;
+    bool in_ring = false;
+    while (!stack.empty() && !in_ring) {
+      int v = stack.back();
+      stack.pop_back();
+      for (int w : mol.Neighbors(v)) {
+        if (v == b.a && w == b.b) continue;  // skip the bond under test
+        if (w == b.b) {
+          in_ring = true;
+          break;
+        }
+        if (!seen[static_cast<size_t>(w)]) {
+          seen[static_cast<size_t>(w)] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+    if (!in_ring) ++p.rotatable_bonds;
+  }
+  return p;
+}
+
+}  // namespace chem
+}  // namespace drugtree

@@ -1,0 +1,37 @@
+// Physicochemical property estimation and drug-likeness rules.
+//
+// logP uses a Crippen-style additive atom-contribution model (coarse
+// contributions, adequate for ranking and filtering); HBD/HBA follow the
+// Lipinski definitions (N/O counts).
+
+#ifndef DRUGTREE_CHEM_PROPERTIES_H_
+#define DRUGTREE_CHEM_PROPERTIES_H_
+
+#include "chem/molecule.h"
+
+namespace drugtree {
+namespace chem {
+
+/// Computed property bundle for one ligand.
+struct MolecularProperties {
+  double molecular_weight = 0.0;  // Da, including implicit hydrogens
+  double log_p = 0.0;             // octanol/water partition estimate
+  int hbd = 0;                    // hydrogen-bond donors (O-H, N-H)
+  int hba = 0;                    // hydrogen-bond acceptors (N + O)
+  int rotatable_bonds = 0;        // acyclic single bonds between heavy atoms
+  int ring_count = 0;
+  int heavy_atoms = 0;
+
+  /// Lipinski rule-of-five violations (MW > 500, logP > 5, HBD > 5,
+  /// HBA > 10); 0 or 1 violations is conventionally "drug-like".
+  int LipinskiViolations() const;
+  bool IsDrugLike() const { return LipinskiViolations() <= 1; }
+};
+
+/// Computes the property bundle.
+MolecularProperties ComputeProperties(const Molecule& mol);
+
+}  // namespace chem
+}  // namespace drugtree
+
+#endif  // DRUGTREE_CHEM_PROPERTIES_H_

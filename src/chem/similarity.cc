@@ -1,0 +1,128 @@
+#include "chem/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace chem {
+
+double Tanimoto(const Fingerprint& a, const Fingerprint& b) {
+  int inter = a.AndCount(b);
+  int uni = a.OrCount(b);
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double Dice(const Fingerprint& a, const Fingerprint& b) {
+  int inter = a.AndCount(b);
+  int total = a.PopCount() + b.PopCount();
+  if (total == 0) return 1.0;
+  return 2.0 * static_cast<double>(inter) / static_cast<double>(total);
+}
+
+util::Status SimilarityIndex::Add(int64_t id, Fingerprint fp) {
+  if (fp.num_bits() != num_bits_) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "fingerprint width %d does not match index width %d", fp.num_bits(),
+        num_bits_));
+  }
+  int pc = fp.PopCount();
+  if (bins_.size() <= static_cast<size_t>(num_bits_)) {
+    bins_.resize(static_cast<size_t>(num_bits_) + 1);
+  }
+  bins_[static_cast<size_t>(pc)].push_back(Entry{id, std::move(fp)});
+  ++count_;
+  return util::Status::OK();
+}
+
+util::Result<std::vector<SimilarityHit>> SimilarityIndex::SearchThreshold(
+    const Fingerprint& query, double threshold) const {
+  if (query.num_bits() != num_bits_) {
+    return util::Status::InvalidArgument("query fingerprint width mismatch");
+  }
+  if (threshold <= 0.0 || threshold > 1.0) {
+    return util::Status::InvalidArgument("threshold must be in (0, 1]");
+  }
+  std::vector<SimilarityHit> hits;
+  int qp = query.PopCount();
+  int lo = static_cast<int>(std::ceil(threshold * qp));
+  int hi = qp == 0 ? 0
+                   : static_cast<int>(std::floor(static_cast<double>(qp) /
+                                                 threshold));
+  hi = std::min(hi, num_bits_);
+  for (int p = lo; p <= hi && static_cast<size_t>(p) < bins_.size(); ++p) {
+    for (const Entry& e : bins_[static_cast<size_t>(p)]) {
+      double s = Tanimoto(query, e.fp);
+      if (s >= threshold) hits.push_back({e.id, s});
+    }
+  }
+  std::sort(hits.begin(), hits.end(), [](const auto& a, const auto& b) {
+    return a.similarity > b.similarity ||
+           (a.similarity == b.similarity && a.id < b.id);
+  });
+  return hits;
+}
+
+util::Result<std::vector<SimilarityHit>> SimilarityIndex::SearchTopK(
+    const Fingerprint& query, int k) const {
+  if (query.num_bits() != num_bits_) {
+    return util::Status::InvalidArgument("query fingerprint width mismatch");
+  }
+  if (k <= 0) return util::Status::InvalidArgument("k must be positive");
+  int qp = query.PopCount();
+
+  // Visit popcounts by decreasing upper bound min(p,q)/max(p,q).
+  std::vector<int> order;
+  for (size_t p = 0; p < bins_.size(); ++p) {
+    if (!bins_[p].empty()) order.push_back(static_cast<int>(p));
+  }
+  auto upper = [qp](int p) {
+    if (qp == 0 && p == 0) return 1.0;
+    if (qp == 0 || p == 0) return 0.0;
+    return static_cast<double>(std::min(p, qp)) /
+           static_cast<double>(std::max(p, qp));
+  };
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return upper(a) > upper(b); });
+
+  std::vector<SimilarityHit> best;
+  for (int p : order) {
+    if (static_cast<int>(best.size()) >= k &&
+        best.back().similarity >= upper(p)) {
+      break;  // no bin can beat the current k-th hit
+    }
+    for (const Entry& e : bins_[static_cast<size_t>(p)]) {
+      double s = Tanimoto(query, e.fp);
+      SimilarityHit hit{e.id, s};
+      auto pos = std::lower_bound(
+          best.begin(), best.end(), hit, [](const auto& a, const auto& b) {
+            return a.similarity > b.similarity ||
+                   (a.similarity == b.similarity && a.id < b.id);
+          });
+      best.insert(pos, hit);
+      if (static_cast<int>(best.size()) > k) best.pop_back();
+    }
+  }
+  return best;
+}
+
+std::vector<SimilarityHit> SimilarityIndex::LinearSearchThreshold(
+    const Fingerprint& query, double threshold) const {
+  std::vector<SimilarityHit> hits;
+  for (const auto& bin : bins_) {
+    for (const Entry& e : bin) {
+      double s = Tanimoto(query, e.fp);
+      if (s >= threshold) hits.push_back({e.id, s});
+    }
+  }
+  std::sort(hits.begin(), hits.end(), [](const auto& a, const auto& b) {
+    return a.similarity > b.similarity ||
+           (a.similarity == b.similarity && a.id < b.id);
+  });
+  return hits;
+}
+
+}  // namespace chem
+}  // namespace drugtree

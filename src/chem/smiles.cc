@@ -1,0 +1,417 @@
+#include "chem/smiles.h"
+
+#include <cctype>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace chem {
+
+namespace {
+
+struct PendingRing {
+  int atom;
+  BondOrder order;
+  bool order_explicit;
+};
+
+class SmilesParser {
+ public:
+  explicit SmilesParser(const std::string& text) : text_(text) {}
+
+  util::Result<Molecule> Parse() {
+    if (util::Trim(text_).empty()) {
+      return util::Status::ParseError("empty SMILES");
+    }
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '(') {
+        if (prev_atom_ < 0) return Error("branch before any atom");
+        branch_stack_.push_back(prev_atom_);
+        ++pos_;
+      } else if (c == ')') {
+        if (branch_stack_.empty()) return Error("unmatched ')'");
+        prev_atom_ = branch_stack_.back();
+        branch_stack_.pop_back();
+        ++pos_;
+      } else if (c == '-' || c == '=' || c == '#' || c == ':') {
+        if (pending_order_explicit_) return Error("two consecutive bond symbols");
+        pending_order_ = c == '-'   ? BondOrder::kSingle
+                         : c == '=' ? BondOrder::kDouble
+                         : c == '#' ? BondOrder::kTriple
+                                    : BondOrder::kAromatic;
+        pending_order_explicit_ = true;
+        ++pos_;
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '%') {
+        DRUGTREE_RETURN_IF_ERROR(HandleRingBond());
+      } else if (c == '[') {
+        DRUGTREE_RETURN_IF_ERROR(HandleBracketAtom());
+      } else if (c == '.') {
+        return Error("multi-fragment SMILES ('.') is not supported");
+      } else if (c == '/' || c == '\\' || c == '@') {
+        return Error("stereochemistry is not supported");
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else {
+        DRUGTREE_RETURN_IF_ERROR(HandleOrganicAtom());
+      }
+    }
+    if (!branch_stack_.empty()) return Error("unclosed '('");
+    if (!open_rings_.empty()) {
+      return Error(util::StringPrintf("unclosed ring bond %d",
+                                      open_rings_.begin()->first));
+    }
+    if (mol_.num_atoms() == 0) return Error("no atoms in SMILES");
+    // Aromaticity fix-up: an implicit bond between two aromatic atoms is
+    // only aromatic within a ring system. A chain bond joining two separate
+    // rings (biphenyl) is a plain single bond.
+    for (int i = 0; i < mol_.num_bonds(); ++i) {
+      Bond* b = mol_.mutable_bond(i);
+      if (b->order == BondOrder::kAromatic && !mol_.BondInRing(i)) {
+        b->order = BondOrder::kSingle;
+      }
+    }
+    return std::move(mol_);
+  }
+
+ private:
+  util::Status HandleOrganicAtom() {
+    char c = text_[pos_];
+    Atom atom;
+    bool two_char = false;
+    if (c == 'C' && pos_ + 1 < text_.size() && text_[pos_ + 1] == 'l') {
+      atom.element = Element::kChlorine;
+      two_char = true;
+    } else if (c == 'B' && pos_ + 1 < text_.size() && text_[pos_ + 1] == 'r') {
+      atom.element = Element::kBromine;
+      two_char = true;
+    } else {
+      switch (c) {
+        case 'C': atom.element = Element::kCarbon; break;
+        case 'N': atom.element = Element::kNitrogen; break;
+        case 'O': atom.element = Element::kOxygen; break;
+        case 'S': atom.element = Element::kSulfur; break;
+        case 'P': atom.element = Element::kPhosphorus; break;
+        case 'F': atom.element = Element::kFluorine; break;
+        case 'I': atom.element = Element::kIodine; break;
+        case 'c':
+          atom.element = Element::kCarbon;
+          atom.aromatic = true;
+          break;
+        case 'n':
+          atom.element = Element::kNitrogen;
+          atom.aromatic = true;
+          break;
+        case 'o':
+          atom.element = Element::kOxygen;
+          atom.aromatic = true;
+          break;
+        case 's':
+          atom.element = Element::kSulfur;
+          atom.aromatic = true;
+          break;
+        default:
+          return Error(util::StringPrintf("unexpected character '%c'", c));
+      }
+    }
+    pos_ += two_char ? 2 : 1;
+    return PlaceAtom(atom);
+  }
+
+  util::Status HandleBracketAtom() {
+    size_t close = text_.find(']', pos_);
+    if (close == std::string::npos) return Error("unterminated '['");
+    std::string body = text_.substr(pos_ + 1, close - pos_ - 1);
+    pos_ = close + 1;
+    if (body.empty()) return Error("empty bracket atom");
+
+    Atom atom;
+    size_t i = 0;
+    // Element symbol (one upper + optional lower, or a lone aromatic lower).
+    if (std::islower(static_cast<unsigned char>(body[0]))) {
+      atom.aromatic = true;
+      switch (body[0]) {
+        case 'c': atom.element = Element::kCarbon; break;
+        case 'n': atom.element = Element::kNitrogen; break;
+        case 'o': atom.element = Element::kOxygen; break;
+        case 's': atom.element = Element::kSulfur; break;
+        default: return Error("unsupported aromatic bracket atom");
+      }
+      i = 1;
+    } else {
+      std::string sym(1, body[0]);
+      if (body.size() > 1 && std::islower(static_cast<unsigned char>(body[1]))) {
+        sym += body[1];
+      }
+      static const std::map<std::string, Element> kSymbols = {
+          {"C", Element::kCarbon},    {"N", Element::kNitrogen},
+          {"O", Element::kOxygen},    {"S", Element::kSulfur},
+          {"P", Element::kPhosphorus},{"F", Element::kFluorine},
+          {"Cl", Element::kChlorine}, {"Br", Element::kBromine},
+          {"I", Element::kIodine},    {"H", Element::kHydrogen},
+      };
+      auto it = kSymbols.find(sym);
+      if (it == kSymbols.end() && sym.size() == 2) {
+        it = kSymbols.find(sym.substr(0, 1));
+        if (it != kSymbols.end()) sym = sym.substr(0, 1);
+      }
+      if (it == kSymbols.end()) {
+        return Error("unsupported element in bracket atom: " + sym);
+      }
+      atom.element = it->second;
+      i = sym.size();
+    }
+    // Optional H count, charge.
+    atom.explicit_hydrogens = 0;
+    while (i < body.size()) {
+      char c = body[i];
+      if (c == 'H') {
+        ++i;
+        int count = 1;
+        if (i < body.size() && std::isdigit(static_cast<unsigned char>(body[i]))) {
+          count = body[i] - '0';
+          ++i;
+        }
+        atom.explicit_hydrogens = count;
+      } else if (c == '+' || c == '-') {
+        int sign = c == '+' ? 1 : -1;
+        ++i;
+        int mag = 1;
+        if (i < body.size() && std::isdigit(static_cast<unsigned char>(body[i]))) {
+          mag = body[i] - '0';
+          ++i;
+        } else {
+          while (i < body.size() && body[i] == c) {
+            ++mag;
+            ++i;
+          }
+        }
+        atom.charge = sign * mag;
+      } else if (c == '@') {
+        return Error("stereochemistry is not supported");
+      } else {
+        return Error(util::StringPrintf("unsupported bracket token '%c'", c));
+      }
+    }
+    return PlaceAtom(atom);
+  }
+
+  util::Status HandleRingBond() {
+    int number;
+    char c = text_[pos_];
+    if (c == '%') {
+      if (pos_ + 2 >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])) ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_ + 2]))) {
+        return Error("'%' must be followed by two digits");
+      }
+      number = (text_[pos_ + 1] - '0') * 10 + (text_[pos_ + 2] - '0');
+      pos_ += 3;
+    } else {
+      number = c - '0';
+      ++pos_;
+    }
+    if (prev_atom_ < 0) return Error("ring bond before any atom");
+    auto it = open_rings_.find(number);
+    if (it == open_rings_.end()) {
+      open_rings_[number] = PendingRing{prev_atom_, TakePendingOrder(),
+                                        pending_was_explicit_};
+    } else {
+      PendingRing open = it->second;
+      open_rings_.erase(it);
+      BondOrder order = TakePendingOrder();
+      bool this_explicit = pending_was_explicit_;
+      if (open.order_explicit && this_explicit && open.order != order) {
+        return Error("conflicting ring-bond orders");
+      }
+      if (open.order_explicit) order = open.order;
+      if (!open.order_explicit && !this_explicit) {
+        // Aromatic-aromatic ring closures default to aromatic.
+        if (mol_.atom(open.atom).aromatic && mol_.atom(prev_atom_).aromatic) {
+          order = BondOrder::kAromatic;
+        }
+      }
+      DRUGTREE_RETURN_IF_ERROR(mol_.AddBond(open.atom, prev_atom_, order));
+    }
+    return util::Status::OK();
+  }
+
+  util::Status PlaceAtom(const Atom& atom) {
+    int idx = mol_.AddAtom(atom);
+    if (prev_atom_ >= 0) {
+      BondOrder order = TakePendingOrder();
+      if (!pending_was_explicit_ && mol_.atom(prev_atom_).aromatic &&
+          atom.aromatic) {
+        order = BondOrder::kAromatic;
+      }
+      DRUGTREE_RETURN_IF_ERROR(mol_.AddBond(prev_atom_, idx, order));
+    } else {
+      TakePendingOrder();  // discard (leading bond symbol is invalid anyway)
+    }
+    prev_atom_ = idx;
+    return util::Status::OK();
+  }
+
+  // Consumes the pending explicit bond order; records whether it was explicit
+  // in pending_was_explicit_.
+  BondOrder TakePendingOrder() {
+    pending_was_explicit_ = pending_order_explicit_;
+    BondOrder o = pending_order_;
+    pending_order_ = BondOrder::kSingle;
+    pending_order_explicit_ = false;
+    return o;
+  }
+
+  util::Status Error(const std::string& msg) const {
+    return util::Status::ParseError(
+        util::StringPrintf("SMILES position %zu: %s", pos_, msg.c_str()));
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  Molecule mol_;
+  int prev_atom_ = -1;
+  std::vector<int> branch_stack_;
+  std::map<int, PendingRing> open_rings_;
+  BondOrder pending_order_ = BondOrder::kSingle;
+  bool pending_order_explicit_ = false;
+  bool pending_was_explicit_ = false;
+};
+
+char AtomChar(const Atom& a, std::string* out) {
+  const char* sym = ElementSymbol(a.element);
+  std::string s = sym;
+  if (a.aromatic) s = util::ToLower(s);
+  bool bracket = a.charge != 0 || a.element == Element::kHydrogen ||
+                 (a.explicit_hydrogens > 0 && a.aromatic &&
+                  a.element == Element::kNitrogen);
+  if (bracket) {
+    *out += '[';
+    *out += s;
+    if (a.explicit_hydrogens > 0) {
+      *out += 'H';
+      if (a.explicit_hydrogens > 1) *out += char('0' + a.explicit_hydrogens);
+    }
+    if (a.charge > 0) {
+      *out += '+';
+      if (a.charge > 1) *out += char('0' + a.charge);
+    } else if (a.charge < 0) {
+      *out += '-';
+      if (a.charge < -1) *out += char('0' - a.charge);
+    }
+    *out += ']';
+  } else {
+    *out += s;
+  }
+  return s[0];
+}
+
+void BondChar(BondOrder order, bool both_aromatic, std::string* out) {
+  switch (order) {
+    case BondOrder::kSingle:
+      break;  // implicit
+    case BondOrder::kDouble:
+      *out += '=';
+      break;
+    case BondOrder::kTriple:
+      *out += '#';
+      break;
+    case BondOrder::kAromatic:
+      if (!both_aromatic) *out += ':';
+      break;  // implicit between aromatic atoms
+  }
+}
+
+}  // namespace
+
+util::Result<Molecule> ParseSmiles(const std::string& smiles) {
+  return SmilesParser(smiles).Parse();
+}
+
+util::Result<std::string> WriteSmiles(const Molecule& mol) {
+  if (mol.num_atoms() == 0) {
+    return util::Status::InvalidArgument("cannot write empty molecule");
+  }
+  if (!mol.IsConnected()) {
+    return util::Status::InvalidArgument(
+        "multi-fragment molecules are not supported");
+  }
+  // DFS; back-edges become ring closures.
+  std::vector<int> parent(static_cast<size_t>(mol.num_atoms()), -2);
+  std::vector<std::vector<std::pair<int, int>>> ring_digits(
+      static_cast<size_t>(mol.num_atoms()));  // atom -> (other, digit)
+  int next_digit = 1;
+
+  // First pass: build a DFS spanning tree; every non-tree bond becomes a
+  // ring-closure pair.
+  {
+    std::vector<int> stack = {0};
+    parent[0] = -1;
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      for (int w : mol.Neighbors(v)) {
+        if (parent[static_cast<size_t>(w)] == -2) {
+          parent[static_cast<size_t>(w)] = v;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  std::vector<std::pair<int, int>> back_edges;
+  for (const Bond& b : mol.bonds()) {
+    if (parent[static_cast<size_t>(b.a)] != b.b &&
+        parent[static_cast<size_t>(b.b)] != b.a) {
+      back_edges.emplace_back(b.a, b.b);
+    }
+  }
+  for (auto [a, b] : back_edges) {
+    if (next_digit > 99) {
+      return util::Status::ResourceExhausted("too many rings for SMILES digits");
+    }
+    ring_digits[static_cast<size_t>(a)].emplace_back(b, next_digit);
+    ring_digits[static_cast<size_t>(b)].emplace_back(a, next_digit);
+    ++next_digit;
+  }
+
+  std::string out;
+  // Recursive emit (ligands are small, so stack depth is bounded).
+  std::function<void(int, int)> emit = [&](int atom, int from) {
+    if (from >= 0) {
+      const Bond* b = mol.FindBond(from, atom);
+      BondChar(b->order, mol.atom(from).aromatic && mol.atom(atom).aromatic,
+               &out);
+    }
+    AtomChar(mol.atom(atom), &out);
+    for (auto [other, digit] : ring_digits[static_cast<size_t>(atom)]) {
+      const Bond* b = mol.FindBond(atom, other);
+      BondChar(b->order, mol.atom(atom).aromatic && mol.atom(other).aromatic,
+               &out);
+      if (digit >= 10) {
+        out += '%';
+        out += char('0' + digit / 10);
+        out += char('0' + digit % 10);
+      } else {
+        out += char('0' + digit);
+      }
+    }
+    std::vector<int> children;
+    for (int w : mol.Neighbors(atom)) {
+      if (parent[static_cast<size_t>(w)] == atom) children.push_back(w);
+    }
+    for (size_t i = 0; i < children.size(); ++i) {
+      bool last = i + 1 == children.size();
+      if (!last) out += '(';
+      emit(children[i], atom);
+      if (!last) out += ')';
+    }
+  };
+  emit(0, -1);
+  return out;
+}
+
+}  // namespace chem
+}  // namespace drugtree

@@ -1,0 +1,35 @@
+// SMILES subset parser and writer.
+//
+// Supported syntax (enough for drug-like organic molecules, which is what
+// DrugTree's ligand sources serve):
+//   * organic-subset atoms: B C N O P S F Cl Br I, aromatic c n o s
+//   * bracket atoms with charge and explicit H: [N+], [O-], [nH]
+//   * bonds: - = # and aromatic (implicit between aromatic atoms), ':'
+//   * branches: ( ... )
+//   * ring-bond digits 0-9 and %nn
+// Unsupported (rejected with ParseError): stereochemistry (/ \ @), isotopes,
+// wildcards, multi-fragment '.' notation.
+
+#ifndef DRUGTREE_CHEM_SMILES_H_
+#define DRUGTREE_CHEM_SMILES_H_
+
+#include <string>
+
+#include "chem/molecule.h"
+#include "util/result.h"
+
+namespace drugtree {
+namespace chem {
+
+/// Parses a SMILES string into a Molecule.
+util::Result<Molecule> ParseSmiles(const std::string& smiles);
+
+/// Writes a canonical-ish SMILES for the molecule (DFS from atom 0 with ring
+/// closure digits). Round-trips through ParseSmiles to an isomorphic graph,
+/// though not necessarily to the identical string.
+util::Result<std::string> WriteSmiles(const Molecule& mol);
+
+}  // namespace chem
+}  // namespace drugtree
+
+#endif  // DRUGTREE_CHEM_SMILES_H_

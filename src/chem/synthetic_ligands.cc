@@ -1,0 +1,142 @@
+#include "chem/synthetic_ligands.h"
+
+#include <array>
+
+#include "chem/smiles.h"
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace chem {
+
+namespace {
+
+// Ring cores. {n} in linkage positions is appended textually, so cores are
+// written so that appending substituent fragments stays valid SMILES.
+const std::array<const char*, 6> kCores = {
+    "c1ccccc1",   // benzene
+    "c1ccncc1",   // pyridine
+    "c1ccoc1",    // furan
+    "c1ccsc1",    // thiophene
+    "C1CCCCC1",   // cyclohexane
+    "C1CCNCC1",   // piperidine
+};
+
+// Substituent fragments appended after a core atom via a branch.
+const std::array<const char*, 10> kSubstituents = {
+    "C",        // methyl
+    "CC",       // ethyl
+    "O",        // hydroxyl
+    "OC",       // methoxy
+    "N",        // amino
+    "F",        // fluoro
+    "Cl",       // chloro
+    "C(=O)O",   // carboxyl
+    "C(=O)N",   // amide
+    "C#N",      // nitrile
+};
+
+// Linkers joining two cores.
+const std::array<const char*, 4> kLinkers = {"C", "CC", "CO", "CNC"};
+
+struct FamilyTemplate {
+  std::vector<int> cores;    // indices into kCores
+  std::vector<int> linkers;  // indices into kLinkers, size = cores.size()-1
+};
+
+FamilyTemplate MakeFamily(const LigandGenParams& params, util::Rng* rng) {
+  FamilyTemplate fam;
+  int rings = 1 + static_cast<int>(rng->Uniform(
+                      static_cast<uint64_t>(params.max_rings)));
+  for (int r = 0; r < rings; ++r) {
+    fam.cores.push_back(static_cast<int>(rng->Uniform(kCores.size())));
+    if (r > 0) {
+      fam.linkers.push_back(static_cast<int>(rng->Uniform(kLinkers.size())));
+    }
+  }
+  return fam;
+}
+
+// Renumbers ring-closure digits in a fragment so concatenated fragments never
+// collide: digit d becomes d + offset (all our fragments use digit 1 only).
+std::string ShiftRingDigits(const std::string& frag, int offset) {
+  std::string out;
+  for (char c : frag) {
+    if (c >= '1' && c <= '9') {
+      int d = (c - '0') + offset;
+      if (d <= 9) {
+        out += char('0' + d);
+      } else {
+        out += '%';
+        out += char('0' + d / 10);
+        out += char('0' + d % 10);
+      }
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string AssembleSmiles(const FamilyTemplate& fam,
+                           const LigandGenParams& params, util::Rng* rng) {
+  std::string smiles;
+  int ring_offset = 0;
+  for (size_t i = 0; i < fam.cores.size(); ++i) {
+    if (i > 0) smiles += kLinkers[static_cast<size_t>(fam.linkers[i - 1])];
+    smiles += ShiftRingDigits(kCores[static_cast<size_t>(fam.cores[i])],
+                              ring_offset);
+    ++ring_offset;
+  }
+  // Append substituents as branches on the end of the chain.
+  int subs = static_cast<int>(
+      rng->Uniform(static_cast<uint64_t>(params.max_substituents) + 1));
+  for (int s = 0; s < subs; ++s) {
+    smiles += '(';
+    smiles += kSubstituents[rng->Uniform(kSubstituents.size())];
+    smiles += ')';
+  }
+  return smiles;
+}
+
+}  // namespace
+
+util::Result<std::vector<LigandRecord>> GenerateLigands(
+    int n, const LigandGenParams& params, util::Rng* rng) {
+  if (n < 0) return util::Status::InvalidArgument("n must be non-negative");
+  if (params.num_families < 1) {
+    return util::Status::InvalidArgument("num_families must be >= 1");
+  }
+  if (params.max_rings < 1 || params.max_rings > 6) {
+    return util::Status::InvalidArgument("max_rings must be in [1, 6]");
+  }
+  if (rng == nullptr) return util::Status::InvalidArgument("rng must not be null");
+
+  std::vector<FamilyTemplate> families;
+  families.reserve(static_cast<size_t>(params.num_families));
+  for (int f = 0; f < params.num_families; ++f) {
+    families.push_back(MakeFamily(params, rng));
+  }
+
+  std::vector<LigandRecord> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const FamilyTemplate& fam = families[rng->Uniform(families.size())];
+    std::string smiles = AssembleSmiles(fam, params, rng);
+    // Invariant: everything we emit parses. Validate eagerly so downstream
+    // code can rely on it.
+    auto parsed = ParseSmiles(smiles);
+    if (!parsed.ok()) {
+      return parsed.status().WithContext("generated invalid SMILES '" + smiles +
+                                         "'");
+    }
+    LigandRecord rec;
+    rec.ligand_id = util::StringPrintf("%s%06d", params.id_prefix.c_str(), i);
+    rec.name = util::StringPrintf("ligand-%d", i);
+    rec.smiles = std::move(smiles);
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace chem
+}  // namespace drugtree

@@ -1,0 +1,51 @@
+// Synthetic ligand generation.
+//
+// The paper's ligand data came from curated drug databases we cannot ship;
+// instead we generate drug-like molecules by random scaffold assembly
+// (benzene/pyridine/furan rings plus aliphatic linkers and common
+// substituents). Generated SMILES parse with the in-tree parser and have
+// realistic property and fingerprint-similarity distributions, which is what
+// the similarity-search and overlay experiments need.
+
+#ifndef DRUGTREE_CHEM_SYNTHETIC_LIGANDS_H_
+#define DRUGTREE_CHEM_SYNTHETIC_LIGANDS_H_
+
+#include <string>
+#include <vector>
+
+#include "chem/molecule.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace drugtree {
+namespace chem {
+
+/// One generated ligand record, as the simulated ligand source serves it.
+struct LigandRecord {
+  std::string ligand_id;   // "L000123"
+  std::string name;        // "ligand-123"
+  std::string smiles;
+};
+
+/// Generator parameters.
+struct LigandGenParams {
+  /// Number of scaffold "families": ligands in the same family share a core
+  /// and differ by substituents, giving the similarity skew real screening
+  /// libraries have.
+  int num_families = 20;
+  /// Rings per molecule is 1..max_rings.
+  int max_rings = 3;
+  /// Substituents appended per molecule is 0..max_substituents.
+  int max_substituents = 4;
+  std::string id_prefix = "L";
+};
+
+/// Generates `n` ligands. Deterministic given the rng seed. Every returned
+/// SMILES is guaranteed to round-trip through ParseSmiles.
+util::Result<std::vector<LigandRecord>> GenerateLigands(
+    int n, const LigandGenParams& params, util::Rng* rng);
+
+}  // namespace chem
+}  // namespace drugtree
+
+#endif  // DRUGTREE_CHEM_SYNTHETIC_LIGANDS_H_

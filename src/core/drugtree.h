@@ -1,0 +1,161 @@
+// DrugTree: the system facade. One call builds the whole pipeline —
+// simulated sources -> mediator integration -> distance matrix -> tree ->
+// interval index -> overlay -> catalog + planner — and the instance then
+// answers SQL (with tree predicates), serves mobile sessions, and accepts
+// incremental activity updates.
+
+#ifndef DRUGTREE_CORE_DRUGTREE_H_
+#define DRUGTREE_CORE_DRUGTREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/overlay.h"
+#include "integration/activity_source.h"
+#include "integration/ligand_source.h"
+#include "integration/mediator.h"
+#include "integration/network.h"
+#include "integration/prefetcher.h"
+#include "integration/protein_source.h"
+#include "integration/semantic_cache.h"
+#include "mobile/device.h"
+#include "mobile/session.h"
+#include "phylo/builder.h"
+#include "phylo/layout.h"
+#include "phylo/tree.h"
+#include "phylo/tree_index.h"
+#include "query/planner.h"
+#include "query/result_cache.h"
+#include "util/clock.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace drugtree {
+namespace core {
+
+struct BuildOptions {
+  uint64_t seed = 42;
+
+  // Synthetic data scale.
+  int num_families = 4;
+  int taxa_per_family = 16;
+  int sequence_length = 120;
+  int num_ligands = 400;
+  double activities_per_protein = 6.0;
+
+  // Tree construction.
+  phylo::TreeMethod tree_method = phylo::TreeMethod::kNeighborJoining;
+  /// k-mer distances (fast) vs full alignment distances (accurate, O(n^2)
+  /// alignments).
+  bool use_alignment_distance = false;
+  int kmer_k = 3;
+
+  // Integration behaviour.
+  integration::NetworkParams source_network;
+  bool batch_requests = true;
+  uint64_t semantic_cache_bytes = 8 * 1024 * 1024;
+
+  // Query engine.
+  uint64_t result_cache_bytes = 16 * 1024 * 1024;
+};
+
+class DrugTree {
+ public:
+  /// Builds a full DrugTree instance over `clock` (SimulatedClock in
+  /// benchmarks, RealClock::Instance() interactively).
+  static util::Result<std::unique_ptr<DrugTree>> Build(
+      const BuildOptions& options, util::Clock* clock);
+
+  // Query API -----------------------------------------------------------
+
+  /// Runs one SQL statement. Registered tables: proteins, ligands,
+  /// activities, tree_nodes, node_overlay. Tree predicates:
+  /// SUBTREE(node_col, 'leaf-or-node-name'|node_id),
+  /// ANCESTOR_OF(node_col, ...), TREE_DEPTH(node_col), TREE_DIST(a, b).
+  util::Result<query::QueryOutcome> Query(const std::string& sql,
+                                          const query::PlannerOptions& options =
+                                              query::PlannerOptions());
+
+  /// Applies a fresh assay measurement: appends to the activities table,
+  /// updates overlay aggregates along the leaf's root path, and bumps the
+  /// data epoch (invalidating cached results).
+  util::Status AddActivity(const std::string& accession,
+                           const std::string& ligand_id, double affinity_nm,
+                           const std::string& assay_type = "IC50");
+
+  // Persistence ---------------------------------------------------------
+
+  /// Writes a self-contained snapshot (the three integrated base tables
+  /// plus the tree in Newick form) to a single page file at `path`,
+  /// overwriting any existing snapshot.
+  util::Status SaveSnapshot(const std::string& path);
+
+  /// Reconstructs a queryable DrugTree from a snapshot. The loaded instance
+  /// has no remote sources (protein_source() etc. return null); the query,
+  /// overlay, update, and mobile APIs are fully functional.
+  static util::Result<std::unique_ptr<DrugTree>> LoadSnapshot(
+      const std::string& path, util::Clock* clock);
+
+  // Mobile API ----------------------------------------------------------
+
+  /// Creates a trace-driven mobile session bound to this instance; overlay
+  /// queries inside the session run through the (optimized) planner.
+  mobile::MobileSession MakeSession(const mobile::DeviceProfile& device,
+                                    const mobile::SessionOptions& options,
+                                    const query::PlannerOptions& query_options);
+
+  /// Generates an interaction trace on this tree.
+  std::vector<mobile::Action> MakeTrace(const mobile::TraceParams& params,
+                                        uint64_t seed);
+
+  // Introspection -------------------------------------------------------
+
+  const phylo::Tree& tree() const { return tree_; }
+  const phylo::TreeIndex& tree_index() const { return *tree_index_; }
+  const phylo::TreeLayout& layout() const { return *layout_; }
+  Overlay* overlay() { return overlay_.get(); }
+  query::Catalog* catalog() { return &catalog_; }
+  query::ResultCache* result_cache() { return result_cache_.get(); }
+  integration::SemanticCache* semantic_cache() { return semantic_cache_.get(); }
+  integration::SimulatedNetwork* source_network() { return network_.get(); }
+  integration::ProteinSource* protein_source() { return protein_source_.get(); }
+  integration::LigandSource* ligand_source() { return ligand_source_.get(); }
+  integration::ActivitySource* activity_source() {
+    return activity_source_.get();
+  }
+  integration::Mediator* mediator() { return mediator_.get(); }
+  storage::Table* ligands() { return dataset_.ligands.get(); }
+  storage::Table* activities() { return dataset_.activities.get(); }
+
+ private:
+  DrugTree() = default;
+
+  /// Shared tail of Build/LoadSnapshot: from a populated `tree_` and
+  /// `dataset_`, constructs the index, layout, overlay, secondary indexes,
+  /// catalog bindings, result cache, and planner.
+  util::Status FinishWiring(uint64_t result_cache_bytes);
+
+  util::Clock* clock_ = nullptr;
+  std::unique_ptr<integration::SimulatedNetwork> network_;
+  std::unique_ptr<integration::ProteinSource> protein_source_;
+  std::unique_ptr<integration::LigandSource> ligand_source_;
+  std::unique_ptr<integration::ActivitySource> activity_source_;
+  std::unique_ptr<integration::SemanticCache> semantic_cache_;
+  std::unique_ptr<integration::Mediator> mediator_;
+  integration::IntegratedDataset dataset_;
+
+  phylo::Tree tree_;
+  std::unique_ptr<phylo::TreeIndex> tree_index_;
+  std::unique_ptr<phylo::TreeLayout> layout_;
+  std::unique_ptr<Overlay> overlay_;
+
+  query::Catalog catalog_;
+  std::unique_ptr<query::ResultCache> result_cache_;
+  std::unique_ptr<query::Planner> planner_;
+};
+
+}  // namespace core
+}  // namespace drugtree
+
+#endif  // DRUGTREE_CORE_DRUGTREE_H_

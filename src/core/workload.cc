@@ -1,0 +1,100 @@
+#include "core/workload.h"
+
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace core {
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kSubtreeProteins: return "subtree-proteins";
+    case QueryKind::kSubtreeOverlay: return "subtree-overlay";
+    case QueryKind::kScreeningJoin: return "screening-join";
+    case QueryKind::kFamilyAggregate: return "family-aggregate";
+    case QueryKind::kAncestorPath: return "ancestor-path";
+  }
+  return "?";
+}
+
+std::string MakeQuerySql(QueryKind kind, phylo::NodeId node,
+                         const phylo::Tree& tree,
+                         const WorkloadParams& params) {
+  (void)tree;  // kept in the signature for future name-based focus anchors
+  switch (kind) {
+    case QueryKind::kSubtreeProteins:
+      return util::StringPrintf(
+          "SELECT p.accession, p.family, p.organism FROM proteins p "
+          "WHERE SUBTREE(p.node_id, %d) ORDER BY p.accession",
+          node);
+    case QueryKind::kSubtreeOverlay:
+      return util::StringPrintf(
+          "SELECT o.node_id, o.activity_count, o.best_affinity_nm "
+          "FROM node_overlay o WHERE SUBTREE(o.node_id, %d) "
+          "ORDER BY o.activity_count DESC, o.node_id LIMIT 25",
+          node);
+    case QueryKind::kScreeningJoin:
+      return util::StringPrintf(
+          "SELECT p.accession, l.name, a.affinity_nm "
+          "FROM proteins p "
+          "JOIN activities a ON p.accession = a.accession "
+          "JOIN ligands l ON a.ligand_id = l.ligand_id "
+          "WHERE SUBTREE(p.node_id, %d) AND a.affinity_nm < %.1f "
+          "ORDER BY a.affinity_nm, p.accession, l.name LIMIT 20",
+          node, params.affinity_threshold_nm);
+    case QueryKind::kFamilyAggregate:
+      return
+          "SELECT p.family, COUNT(*) AS n, AVG(a.affinity_nm) AS avg_aff "
+          "FROM proteins p JOIN activities a ON p.accession = a.accession "
+          "GROUP BY p.family ORDER BY n DESC, p.family";
+    case QueryKind::kAncestorPath: {
+      // Anchor on a leaf within the focused subtree when possible.
+      return util::StringPrintf(
+          "SELECT t.node_id, t.depth, t.leaf_count FROM tree_nodes t "
+          "WHERE ANCESTOR_OF(t.node_id, %d) ORDER BY t.depth, t.node_id",
+          node);
+    }
+  }
+  return "";
+}
+
+std::vector<WorkloadQuery> GenerateWorkload(const phylo::Tree& tree,
+                                            const phylo::TreeIndex& index,
+                                            const WorkloadParams& params,
+                                            util::Rng* rng) {
+  (void)index;
+  // Candidate focus nodes: internal nodes, largest clades first (node id
+  // order approximates this for the builders used here; sort by subtree
+  // size to be exact).
+  std::vector<phylo::NodeId> internals;
+  tree.PreOrder([&](phylo::NodeId id) {
+    if (!tree.node(id).IsLeaf()) internals.push_back(id);
+  });
+  std::sort(internals.begin(), internals.end(),
+            [&](phylo::NodeId a, phylo::NodeId b) {
+              return index.SubtreeSize(a) > index.SubtreeSize(b);
+            });
+  std::vector<phylo::NodeId> leaves = tree.Leaves();
+
+  std::vector<double> weights = {
+      params.w_subtree_proteins, params.w_subtree_overlay,
+      params.w_screening_join, params.w_family_aggregate,
+      params.w_ancestor_path};
+  std::vector<WorkloadQuery> out;
+  out.reserve(static_cast<size_t>(params.num_queries));
+  for (int i = 0; i < params.num_queries; ++i) {
+    auto kind = static_cast<QueryKind>(rng->WeightedIndex(weights));
+    WorkloadQuery q;
+    q.kind = kind;
+    if (kind == QueryKind::kAncestorPath) {
+      q.focus = leaves[rng->Zipf(leaves.size(), params.node_skew)];
+    } else {
+      q.focus = internals[rng->Zipf(internals.size(), params.node_skew)];
+    }
+    q.sql = MakeQuerySql(kind, q.focus, tree, params);
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace drugtree

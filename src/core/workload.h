@@ -1,0 +1,66 @@
+// Query workload generator for the benchmarks: parameterized mixes of the
+// analyst queries the poster's system served (subtree overlays, screening
+// joins, aggregate rollups), with Zipf-skewed focus nodes to model hot
+// clades.
+
+#ifndef DRUGTREE_CORE_WORKLOAD_H_
+#define DRUGTREE_CORE_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "phylo/tree.h"
+#include "phylo/tree_index.h"
+#include "util/rng.h"
+
+namespace drugtree {
+namespace core {
+
+enum class QueryKind {
+  kSubtreeProteins,      // proteins in a clade
+  kSubtreeOverlay,       // overlay aggregates of a clade
+  kScreeningJoin,        // proteins x activities x ligands in a clade
+  kFamilyAggregate,      // per-family activity rollup
+  kAncestorPath,         // ancestors of a leaf
+};
+
+const char* QueryKindName(QueryKind kind);
+
+struct WorkloadParams {
+  int num_queries = 100;
+  /// Zipf skew over focus nodes (0 = uniform).
+  double node_skew = 0.7;
+  /// Mix weights; normalized internally.
+  double w_subtree_proteins = 0.3;
+  double w_subtree_overlay = 0.25;
+  double w_screening_join = 0.25;
+  double w_family_aggregate = 0.1;
+  double w_ancestor_path = 0.1;
+  /// Affinity threshold used by screening queries (nM).
+  double affinity_threshold_nm = 500.0;
+};
+
+struct WorkloadQuery {
+  QueryKind kind;
+  phylo::NodeId focus = phylo::kInvalidNode;
+  std::string sql;
+};
+
+/// Generates a workload over a DrugTree instance's tree. Focus nodes are
+/// internal nodes (clades), Zipf-skewed toward low node ids (which correlate
+/// with large clades under pre-order numbering — hot clades get hit often,
+/// matching interactive use).
+std::vector<WorkloadQuery> GenerateWorkload(const phylo::Tree& tree,
+                                            const phylo::TreeIndex& index,
+                                            const WorkloadParams& params,
+                                            util::Rng* rng);
+
+/// Builds the SQL text for one query kind focused on `node`.
+std::string MakeQuerySql(QueryKind kind, phylo::NodeId node,
+                         const phylo::Tree& tree,
+                         const WorkloadParams& params);
+
+}  // namespace core
+}  // namespace drugtree
+
+#endif  // DRUGTREE_CORE_WORKLOAD_H_

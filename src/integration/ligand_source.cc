@@ -1,0 +1,72 @@
+#include "integration/ligand_source.h"
+
+#include "chem/smiles.h"
+
+namespace drugtree {
+namespace integration {
+
+util::Result<LigandSource> LigandSource::Create(
+    int num_ligands, const chem::LigandGenParams& params,
+    SimulatedNetwork* network, util::Rng* rng) {
+  DRUGTREE_ASSIGN_OR_RETURN(std::vector<chem::LigandRecord> records,
+                            chem::GenerateLigands(num_ligands, params, rng));
+  LigandSource src("ligand-db", network);
+  for (auto& rec : records) {
+    DRUGTREE_ASSIGN_OR_RETURN(chem::Molecule mol,
+                              chem::ParseSmiles(rec.smiles));
+    LigandEntry entry;
+    entry.properties = chem::ComputeProperties(mol);
+    entry.record = std::move(rec);
+    src.by_id_[entry.record.ligand_id] = src.entries_.size();
+    src.entries_.push_back(std::move(entry));
+  }
+  return src;
+}
+
+util::Result<LigandEntry> LigandSource::FetchById(
+    const std::string& ligand_id) {
+  auto it = by_id_.find(ligand_id);
+  if (it == by_id_.end()) {
+    Charge(64);
+    return util::Status::NotFound("no ligand with id " + ligand_id);
+  }
+  const LigandEntry& e = entries_[it->second];
+  Charge(e.ApproxBytes());
+  return e;
+}
+
+std::vector<LigandEntry> LigandSource::FetchBatch(
+    const std::vector<std::string>& ids) {
+  std::vector<LigandEntry> out;
+  uint64_t bytes = 64;
+  for (const auto& id : ids) {
+    auto it = by_id_.find(id);
+    if (it == by_id_.end()) continue;
+    out.push_back(entries_[it->second]);
+    bytes += out.back().ApproxBytes();
+  }
+  Charge(bytes);
+  return out;
+}
+
+std::vector<LigandEntry> LigandSource::FetchAll() {
+  uint64_t bytes = 64;
+  for (const auto& e : entries_) bytes += e.ApproxBytes();
+  Charge(bytes);
+  return entries_;
+}
+
+std::vector<std::string> LigandSource::ListIds() {
+  std::vector<std::string> out;
+  uint64_t bytes = 16;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    out.push_back(e.record.ligand_id);
+    bytes += out.back().size();
+  }
+  Charge(bytes);
+  return out;
+}
+
+}  // namespace integration
+}  // namespace drugtree

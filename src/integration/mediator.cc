@@ -1,0 +1,282 @@
+#include "integration/mediator.h"
+
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace integration {
+
+using storage::Column;
+using storage::Row;
+using storage::Schema;
+using storage::Table;
+using storage::Value;
+using storage::ValueType;
+
+Schema ProteinTableSchema() {
+  auto s = Schema::Create({
+      {"accession", ValueType::kString, false},
+      {"name", ValueType::kString, false},
+      {"family", ValueType::kString, false},
+      {"organism", ValueType::kString, false},
+      {"seq_len", ValueType::kInt64, false},
+      {"sequence", ValueType::kString, false},
+  });
+  DT_CHECK(s.ok());
+  return *s;
+}
+
+Schema LigandTableSchema() {
+  auto s = Schema::Create({
+      {"ligand_id", ValueType::kString, false},
+      {"name", ValueType::kString, false},
+      {"smiles", ValueType::kString, false},
+      {"mw", ValueType::kDouble, false},
+      {"logp", ValueType::kDouble, false},
+      {"hbd", ValueType::kInt64, false},
+      {"hba", ValueType::kInt64, false},
+      {"rings", ValueType::kInt64, false},
+      {"drug_like", ValueType::kBool, false},
+  });
+  DT_CHECK(s.ok());
+  return *s;
+}
+
+Schema ActivityTableSchema() {
+  auto s = Schema::Create({
+      {"accession", ValueType::kString, false},
+      {"ligand_id", ValueType::kString, false},
+      {"affinity_nm", ValueType::kDouble, false},
+      {"assay_type", ValueType::kString, false},
+      {"source_db", ValueType::kString, false},
+  });
+  DT_CHECK(s.ok());
+  return *s;
+}
+
+namespace {
+
+Row ProteinToRow(const ProteinRecord& p) {
+  return {Value::String(p.accession),
+          Value::String(p.name),
+          Value::String(p.family),
+          Value::String(p.organism),
+          Value::Int64(static_cast<int64_t>(p.sequence.size())),
+          Value::String(p.sequence)};
+}
+
+Row LigandToRow(const LigandEntry& e) {
+  const auto& pr = e.properties;
+  return {Value::String(e.record.ligand_id),
+          Value::String(e.record.name),
+          Value::String(e.record.smiles),
+          Value::Double(pr.molecular_weight),
+          Value::Double(pr.log_p),
+          Value::Int64(pr.hbd),
+          Value::Int64(pr.hba),
+          Value::Int64(pr.ring_count),
+          Value::Bool(pr.IsDrugLike())};
+}
+
+Row ActivityToRow(const ActivityRecord& a) {
+  return {Value::String(a.accession), Value::String(a.ligand_id),
+          Value::Double(a.affinity_nm), Value::String(a.assay_type),
+          Value::String(a.source_db)};
+}
+
+}  // namespace
+
+std::string Mediator::EncodeProtein(const ProteinRecord& rec) {
+  std::string out;
+  storage::EncodeRow(ProteinToRow(rec), &out);
+  return out;
+}
+
+util::Result<ProteinRecord> Mediator::DecodeProtein(const std::string& blob) {
+  size_t off = 0;
+  DRUGTREE_ASSIGN_OR_RETURN(Row row, storage::DecodeRow(blob, &off));
+  if (row.size() != 6) {
+    return util::Status::ParseError("bad protein blob arity");
+  }
+  ProteinRecord rec;
+  rec.accession = row[0].AsString();
+  rec.name = row[1].AsString();
+  rec.family = row[2].AsString();
+  rec.organism = row[3].AsString();
+  rec.sequence = row[5].AsString();
+  return rec;
+}
+
+std::string Mediator::EncodeActivities(
+    const std::vector<ActivityRecord>& recs) {
+  std::string out;
+  Row header = {Value::Int64(static_cast<int64_t>(recs.size()))};
+  storage::EncodeRow(header, &out);
+  for (const auto& a : recs) storage::EncodeRow(ActivityToRow(a), &out);
+  return out;
+}
+
+util::Result<std::vector<ActivityRecord>> Mediator::DecodeActivities(
+    const std::string& blob) {
+  size_t off = 0;
+  DRUGTREE_ASSIGN_OR_RETURN(Row header, storage::DecodeRow(blob, &off));
+  if (header.size() != 1 || header[0].type() != ValueType::kInt64) {
+    return util::Status::ParseError("bad activities blob header");
+  }
+  int64_t count = header[0].AsInt64();
+  std::vector<ActivityRecord> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    DRUGTREE_ASSIGN_OR_RETURN(Row row, storage::DecodeRow(blob, &off));
+    if (row.size() != 5) {
+      return util::Status::ParseError("bad activity row arity");
+    }
+    ActivityRecord a;
+    a.accession = row[0].AsString();
+    a.ligand_id = row[1].AsString();
+    a.affinity_nm = row[2].AsDouble();
+    a.assay_type = row[3].AsString();
+    a.source_db = row[4].AsString();
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+util::Result<ProteinRecord> Mediator::GetProtein(
+    const std::string& accession, const MediatorOptions& options) {
+  const std::string key = SemanticCache::ProteinKey(accession);
+  if (CacheEnabled(options)) {
+    if (auto blob = cache_->Get(key)) return DecodeProtein(*blob);
+  }
+  DRUGTREE_ASSIGN_OR_RETURN(ProteinRecord rec,
+                            protein_source_->FetchByAccession(accession));
+  if (CacheEnabled(options)) cache_->Put(key, EncodeProtein(rec));
+  return rec;
+}
+
+util::Result<std::vector<ActivityRecord>> Mediator::GetActivities(
+    const std::string& accession, const MediatorOptions& options) {
+  const std::string key = SemanticCache::ActivitiesByProteinKey(accession);
+  if (CacheEnabled(options)) {
+    if (auto blob = cache_->Get(key)) return DecodeActivities(*blob);
+  }
+  std::vector<ActivityRecord> recs =
+      activity_source_->FetchByAccession(accession);
+  if (CacheEnabled(options)) cache_->Put(key, EncodeActivities(recs));
+  return recs;
+}
+
+util::Result<std::vector<ProteinRecord>> Mediator::GetFamily(
+    const std::string& family, const MediatorOptions& options) {
+  const std::string fam_key = SemanticCache::FamilyKey(family);
+  if (CacheEnabled(options) && cache_->Contains(fam_key)) {
+    // Every member was cached individually when the family was fetched;
+    // decode the membership list and serve from the fine-grained entries.
+    auto blob = cache_->Get(fam_key);
+    if (blob) {
+      std::vector<ProteinRecord> out;
+      bool all_present = true;
+      for (const auto& acc : util::Split(*blob, ',')) {
+        if (acc.empty()) continue;
+        auto member = cache_->Get(SemanticCache::ProteinKey(acc));
+        if (!member) {
+          all_present = false;  // member evicted: fall through to refetch
+          break;
+        }
+        DRUGTREE_ASSIGN_OR_RETURN(ProteinRecord rec, DecodeProtein(*member));
+        out.push_back(std::move(rec));
+      }
+      if (all_present) return out;
+    }
+  }
+  std::vector<ProteinRecord> recs = protein_source_->FetchFamily(family);
+  if (CacheEnabled(options)) {
+    std::vector<std::string> accs;
+    for (const auto& rec : recs) {
+      cache_->Put(SemanticCache::ProteinKey(rec.accession),
+                  EncodeProtein(rec));
+      accs.push_back(rec.accession);
+    }
+    cache_->Put(fam_key, util::Join(accs, ","));
+  }
+  return recs;
+}
+
+util::Result<IntegratedDataset> Mediator::IntegrateAll(
+    const MediatorOptions& options) {
+  IntegratedDataset ds;
+  ds.proteins = std::make_unique<Table>("proteins", ProteinTableSchema());
+  ds.ligands = std::make_unique<Table>("ligands", LigandTableSchema());
+  ds.activities = std::make_unique<Table>("activities", ActivityTableSchema());
+
+  // Proteins.
+  std::vector<ProteinRecord> proteins;
+  if (options.batch_requests) {
+    proteins = protein_source_->FetchAll();
+  } else {
+    for (const auto& acc : protein_source_->ListAccessions()) {
+      DRUGTREE_ASSIGN_OR_RETURN(ProteinRecord rec, GetProtein(acc, options));
+      proteins.push_back(std::move(rec));
+    }
+  }
+  for (const auto& p : proteins) {
+    DRUGTREE_RETURN_IF_ERROR(ds.proteins->Insert(ProteinToRow(p)).status());
+    if (CacheEnabled(options)) {
+      cache_->Put(SemanticCache::ProteinKey(p.accession), EncodeProtein(p));
+    }
+  }
+
+  // Ligands.
+  std::vector<LigandEntry> ligands;
+  if (options.batch_requests) {
+    ligands = ligand_source_->FetchAll();
+  } else {
+    for (const auto& id : ligand_source_->ListIds()) {
+      DRUGTREE_ASSIGN_OR_RETURN(LigandEntry e, ligand_source_->FetchById(id));
+      ligands.push_back(std::move(e));
+    }
+  }
+  for (const auto& e : ligands) {
+    DRUGTREE_RETURN_IF_ERROR(ds.ligands->Insert(LigandToRow(e)).status());
+  }
+
+  // Activities with conflict resolution. Measurements that agree on
+  // (accession, ligand, assay_type) but come from different databases are
+  // merged: geometric-mean affinity, provenance "merged".
+  std::vector<ActivityRecord> activities;
+  if (options.batch_requests) {
+    activities = activity_source_->FetchAll();
+  } else {
+    for (const auto& p : proteins) {
+      DRUGTREE_ASSIGN_OR_RETURN(std::vector<ActivityRecord> a,
+                                GetActivities(p.accession, options));
+      activities.insert(activities.end(), a.begin(), a.end());
+    }
+  }
+  std::map<std::tuple<std::string, std::string, std::string>,
+           std::vector<const ActivityRecord*>>
+      groups;
+  for (const auto& a : activities) {
+    groups[{a.accession, a.ligand_id, a.assay_type}].push_back(&a);
+  }
+  for (const auto& [key, recs] : groups) {
+    ActivityRecord merged = *recs.front();
+    if (recs.size() > 1) {
+      double log_sum = 0.0;
+      for (const auto* r : recs) log_sum += std::log(r->affinity_nm);
+      merged.affinity_nm = std::exp(log_sum / static_cast<double>(recs.size()));
+      merged.source_db = "merged";
+    }
+    DRUGTREE_RETURN_IF_ERROR(
+        ds.activities->Insert(ActivityToRow(merged)).status());
+  }
+
+  return ds;
+}
+
+}  // namespace integration
+}  // namespace drugtree

@@ -1,0 +1,60 @@
+#include "integration/network.h"
+
+#include <algorithm>
+
+namespace drugtree {
+namespace integration {
+
+int64_t SimulatedNetwork::EstimateMicros(uint64_t payload_bytes) const {
+  int64_t transfer =
+      params_.bandwidth_bytes_per_sec > 0
+          ? static_cast<int64_t>(payload_bytes * 1'000'000 /
+                                 static_cast<uint64_t>(
+                                     params_.bandwidth_bytes_per_sec))
+          : 0;
+  return params_.latency_micros + transfer;
+}
+
+bool SimulatedNetwork::TryRequest(uint64_t payload_bytes,
+                                  int64_t* charged_micros) {
+  ++num_requests_;
+  if (params_.failure_probability > 0 &&
+      rng_.Bernoulli(params_.failure_probability)) {
+    ++num_failures_;
+    clock_->AdvanceMicros(params_.timeout_micros);
+    busy_micros_ += params_.timeout_micros;
+    if (charged_micros != nullptr) *charged_micros = params_.timeout_micros;
+    return false;
+  }
+  int64_t base = EstimateMicros(payload_bytes);
+  int64_t jitter = 0;
+  if (params_.jitter_fraction > 0) {
+    double j = rng_.UniformDouble(-params_.jitter_fraction,
+                                  params_.jitter_fraction);
+    jitter = static_cast<int64_t>(params_.latency_micros * j);
+  }
+  int64_t total = std::max<int64_t>(0, base + jitter);
+  clock_->AdvanceMicros(total);
+  bytes_ += payload_bytes;
+  busy_micros_ += total;
+  if (charged_micros != nullptr) *charged_micros = total;
+  return true;
+}
+
+int64_t SimulatedNetwork::Request(uint64_t payload_bytes) {
+  // Retry until success; a bound guards against failure_probability = 1
+  // (after the cap the attempt is treated as delivered so callers make
+  // progress rather than spinning forever).
+  constexpr int kMaxAttempts = 1000;
+  int64_t total = 0;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    int64_t charged = 0;
+    bool ok = TryRequest(payload_bytes, &charged);
+    total += charged;
+    if (ok) return total;
+  }
+  return total;
+}
+
+}  // namespace integration
+}  // namespace drugtree

@@ -1,0 +1,73 @@
+// Simulated wide-area network. Every remote-source request is charged
+// request latency plus payload transfer time against a Clock — a
+// SimulatedClock in benchmarks (fast, deterministic) or a RealClock in the
+// interactive examples. This stands in for the web round trips the real
+// DrugTree paid to its protein/ligand databases.
+
+#ifndef DRUGTREE_INTEGRATION_NETWORK_H_
+#define DRUGTREE_INTEGRATION_NETWORK_H_
+
+#include <cstdint>
+
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace drugtree {
+namespace integration {
+
+/// Link parameters, roughly a 2013-era broadband path to a public database.
+struct NetworkParams {
+  int64_t latency_micros = 50'000;          // one-way-ish request overhead
+  int64_t bandwidth_bytes_per_sec = 1'000'000;
+  double jitter_fraction = 0.1;             // +- uniform jitter on latency
+  /// Probability a request times out (failure injection). A failed request
+  /// costs timeout_micros and transfers nothing; sources retry.
+  double failure_probability = 0.0;
+  int64_t timeout_micros = 2'000'000;
+};
+
+/// Charges simulated time for requests and transfers; accumulates counters.
+class SimulatedNetwork {
+ public:
+  SimulatedNetwork(util::Clock* clock, NetworkParams params, uint64_t seed = 7)
+      : clock_(clock), params_(params), rng_(seed) {}
+
+  /// Performs one request carrying `payload_bytes` of response data:
+  /// advances the clock by latency (+jitter) + transfer time. Returns the
+  /// microseconds charged. With failure injection enabled this is the
+  /// reliable path (failed attempts are retried internally until one
+  /// succeeds, each charging timeout_micros).
+  int64_t Request(uint64_t payload_bytes);
+
+  /// One attempt: returns false (charging timeout_micros) with probability
+  /// failure_probability, true (charging the normal cost) otherwise.
+  /// `charged_micros` may be null.
+  bool TryRequest(uint64_t payload_bytes, int64_t* charged_micros);
+
+  /// Cost model without advancing time (used by the prefetcher's budgeter).
+  int64_t EstimateMicros(uint64_t payload_bytes) const;
+
+  uint64_t num_requests() const { return num_requests_; }
+  uint64_t num_failures() const { return num_failures_; }
+  uint64_t bytes_transferred() const { return bytes_; }
+  int64_t busy_micros() const { return busy_micros_; }
+
+  const NetworkParams& params() const { return params_; }
+  void set_params(const NetworkParams& p) { params_ = p; }
+
+  util::Clock* clock() { return clock_; }
+
+ private:
+  util::Clock* clock_;
+  NetworkParams params_;
+  util::Rng rng_;
+  uint64_t num_requests_ = 0;
+  uint64_t num_failures_ = 0;
+  uint64_t bytes_ = 0;
+  int64_t busy_micros_ = 0;
+};
+
+}  // namespace integration
+}  // namespace drugtree
+
+#endif  // DRUGTREE_INTEGRATION_NETWORK_H_

@@ -1,0 +1,66 @@
+#include "integration/prefetcher.h"
+
+namespace drugtree {
+namespace integration {
+
+void TreeAwarePrefetcher::MarkPrefetched(const std::string& cache_key) {
+  if (speculative_.insert(cache_key).second) ++stats_.prefetched_records;
+}
+
+void TreeAwarePrefetcher::AccountRequest(const std::string& cache_key,
+                                         bool was_hit) {
+  if (was_hit) {
+    ++stats_.cache_hits;
+    auto it = speculative_.find(cache_key);
+    if (it != speculative_.end()) {
+      ++stats_.useful_prefetches;
+      speculative_.erase(it);  // count usefulness once
+    }
+  } else {
+    ++stats_.demand_fetches;
+  }
+}
+
+util::Result<ProteinRecord> TreeAwarePrefetcher::GetProtein(
+    const std::string& accession) {
+  const std::string key = SemanticCache::ProteinKey(accession);
+  MediatorOptions mopts;  // cache on, batch on
+  bool hit = cache_->Contains(key);
+  AccountRequest(key, hit);
+  if (hit) return mediator_->GetProtein(accession, mopts);
+
+  // Miss: demand-fetch the record itself first so the caller is not blocked
+  // on widening failures.
+  DRUGTREE_ASSIGN_OR_RETURN(ProteinRecord rec,
+                            mediator_->GetProtein(accession, mopts));
+  if (options_.widen_to_family) {
+    DRUGTREE_ASSIGN_OR_RETURN(std::vector<ProteinRecord> family,
+                              mediator_->GetFamily(rec.family, mopts));
+    for (const auto& member : family) {
+      if (member.accession == accession) continue;
+      MarkPrefetched(SemanticCache::ProteinKey(member.accession));
+      if (options_.prefetch_activities) {
+        const std::string akey =
+            SemanticCache::ActivitiesByProteinKey(member.accession);
+        if (!cache_->Contains(akey)) {
+          DRUGTREE_RETURN_IF_ERROR(
+              mediator_->GetActivities(member.accession, mopts).status());
+          MarkPrefetched(akey);
+        }
+      }
+    }
+  }
+  return rec;
+}
+
+util::Result<std::vector<ActivityRecord>> TreeAwarePrefetcher::GetActivities(
+    const std::string& accession) {
+  const std::string key = SemanticCache::ActivitiesByProteinKey(accession);
+  bool hit = cache_->Contains(key);
+  AccountRequest(key, hit);
+  MediatorOptions mopts;
+  return mediator_->GetActivities(accession, mopts);
+}
+
+}  // namespace integration
+}  // namespace drugtree

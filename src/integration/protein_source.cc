@@ -1,0 +1,106 @@
+#include "integration/protein_source.h"
+
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace integration {
+
+namespace {
+
+const char* kOrganisms[] = {"H. sapiens", "M. musculus", "E. coli",
+                            "S. cerevisiae", "D. melanogaster"};
+
+}  // namespace
+
+util::Result<ProteinSource> ProteinSource::Create(
+    const ProteinSourceParams& params, SimulatedNetwork* network,
+    util::Rng* rng) {
+  if (params.num_families < 1 || params.taxa_per_family < 2) {
+    return util::Status::InvalidArgument(
+        "need >= 1 family and >= 2 taxa per family");
+  }
+  ProteinSource src("protein-db", network);
+  for (int f = 0; f < params.num_families; ++f) {
+    bio::EvolutionParams ep;
+    ep.num_taxa = params.taxa_per_family;
+    ep.sequence_length = params.sequence_length;
+    ep.id_prefix = util::StringPrintf("P%02d_", f);
+    DRUGTREE_ASSIGN_OR_RETURN(bio::EvolvedFamily fam,
+                              bio::EvolveFamily(ep, rng));
+    src.true_trees_.push_back(fam.true_tree_newick);
+    std::string family_label = util::StringPrintf("family-%d", f);
+    for (const auto& seq : fam.sequences) {
+      ProteinRecord rec;
+      rec.accession = seq.id();
+      rec.name = "protein " + seq.id();
+      rec.family = family_label;
+      rec.organism = kOrganisms[rng->Uniform(std::size(kOrganisms))];
+      rec.sequence = seq.residues();
+      src.by_accession_[rec.accession] = src.records_.size();
+      src.records_.push_back(std::move(rec));
+    }
+  }
+  return src;
+}
+
+util::Result<ProteinRecord> ProteinSource::FetchByAccession(
+    const std::string& accession) {
+  auto it = by_accession_.find(accession);
+  if (it == by_accession_.end()) {
+    Charge(64);  // error responses still cost a round trip
+    return util::Status::NotFound("no protein with accession " + accession);
+  }
+  const ProteinRecord& rec = records_[it->second];
+  Charge(rec.ApproxBytes());
+  return rec;
+}
+
+std::vector<ProteinRecord> ProteinSource::FetchBatch(
+    const std::vector<std::string>& accs) {
+  std::vector<ProteinRecord> out;
+  uint64_t bytes = 64;
+  for (const auto& a : accs) {
+    auto it = by_accession_.find(a);
+    if (it == by_accession_.end()) continue;
+    out.push_back(records_[it->second]);
+    bytes += out.back().ApproxBytes();
+  }
+  Charge(bytes);
+  return out;
+}
+
+std::vector<ProteinRecord> ProteinSource::FetchAll() {
+  uint64_t bytes = 64;
+  for (const auto& r : records_) bytes += r.ApproxBytes();
+  Charge(bytes);
+  return records_;
+}
+
+std::vector<std::string> ProteinSource::ListAccessions() {
+  std::vector<std::string> out;
+  uint64_t bytes = 16;
+  out.reserve(records_.size());
+  for (const auto& r : records_) {
+    out.push_back(r.accession);
+    bytes += r.accession.size();
+  }
+  Charge(bytes);
+  return out;
+}
+
+std::vector<ProteinRecord> ProteinSource::FetchFamily(
+    const std::string& family) {
+  std::vector<ProteinRecord> out;
+  uint64_t bytes = 64;
+  for (const auto& r : records_) {
+    if (r.family == family) {
+      out.push_back(r);
+      bytes += r.ApproxBytes();
+    }
+  }
+  Charge(bytes);
+  return out;
+}
+
+}  // namespace integration
+}  // namespace drugtree

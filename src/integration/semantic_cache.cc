@@ -1,0 +1,2 @@
+// SemanticCache is header-only; this TU pins the header into the build.
+#include "integration/semantic_cache.h"

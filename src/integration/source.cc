@@ -1,0 +1,17 @@
+#include "integration/source.h"
+
+namespace drugtree {
+namespace integration {
+
+uint64_t ProteinRecord::ApproxBytes() const {
+  return accession.size() + name.size() + family.size() + organism.size() +
+         sequence.size() + 32;  // framing overhead
+}
+
+uint64_t ActivityRecord::ApproxBytes() const {
+  return accession.size() + ligand_id.size() + assay_type.size() +
+         source_db.size() + sizeof(double) + 32;
+}
+
+}  // namespace integration
+}  // namespace drugtree

@@ -1,0 +1,29 @@
+#include "mobile/client_cache.h"
+
+namespace drugtree {
+namespace mobile {
+
+void ClientCache::Install(const std::vector<LodNode>& nodes) {
+  for (const auto& n : nodes) {
+    cache_.Put(n.id, n.collapsed, kBytesPerNode);
+  }
+}
+
+std::unordered_set<int64_t> ClientCache::CollapsedIds() const {
+  std::unordered_set<int64_t> out;
+  cache_.ForEach([&](const int64_t& id, const bool& collapsed) {
+    if (collapsed) out.insert(id);
+  });
+  return out;
+}
+
+std::unordered_set<int64_t> ClientCache::ExpandedIds() const {
+  std::unordered_set<int64_t> out;
+  cache_.ForEach([&](const int64_t& id, const bool& collapsed) {
+    if (!collapsed) out.insert(id);
+  });
+  return out;
+}
+
+}  // namespace mobile
+}  // namespace drugtree

@@ -1,0 +1,41 @@
+// Simulated client-side node cache: which LOD nodes the device currently
+// holds, bounded by the device's cache budget (LRU by byte charge).
+
+#ifndef DRUGTREE_MOBILE_CLIENT_CACHE_H_
+#define DRUGTREE_MOBILE_CLIENT_CACHE_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "mobile/protocol.h"
+#include "storage/lru_cache.h"
+
+namespace drugtree {
+namespace mobile {
+
+class ClientCache {
+ public:
+  explicit ClientCache(uint64_t capacity_bytes)
+      : cache_(capacity_bytes) {}
+
+  /// Installs shipped nodes (called after a frame arrives).
+  void Install(const std::vector<LodNode>& nodes);
+
+  /// The node-id sets the delta encoder consults. Rebuilt lazily from the
+  /// LRU state on each call.
+  std::unordered_set<int64_t> CollapsedIds() const;
+  std::unordered_set<int64_t> ExpandedIds() const;
+
+  size_t size() const { return cache_.size(); }
+  const storage::CacheStats& stats() const { return cache_.stats(); }
+  void Clear() { cache_.Clear(); }
+
+ private:
+  // Key: node id; value: collapsed flag. Charge = kBytesPerNode.
+  mutable storage::LruCache<int64_t, bool> cache_;
+};
+
+}  // namespace mobile
+}  // namespace drugtree
+
+#endif  // DRUGTREE_MOBILE_CLIENT_CACHE_H_

@@ -1,0 +1,46 @@
+#include "mobile/device.h"
+
+namespace drugtree {
+namespace mobile {
+
+DeviceProfile DeviceProfile::Phone3G() {
+  DeviceProfile d;
+  d.name = "phone-3g";
+  d.screen_width_px = 320;
+  d.screen_height_px = 480;
+  d.link.latency_micros = 250'000;
+  d.link.bandwidth_bytes_per_sec = 125'000;  // ~1 Mbit/s
+  d.link.jitter_fraction = 0.2;
+  d.cache_bytes = 2 * 1024 * 1024;
+  d.render_micros_per_node = 60;
+  return d;
+}
+
+DeviceProfile DeviceProfile::TabletWifi() {
+  DeviceProfile d;
+  d.name = "tablet-wifi";
+  d.screen_width_px = 1024;
+  d.screen_height_px = 768;
+  d.link.latency_micros = 40'000;
+  d.link.bandwidth_bytes_per_sec = 2'500'000;  // ~20 Mbit/s
+  d.link.jitter_fraction = 0.15;
+  d.cache_bytes = 8 * 1024 * 1024;
+  d.render_micros_per_node = 30;
+  return d;
+}
+
+DeviceProfile DeviceProfile::DesktopLan() {
+  DeviceProfile d;
+  d.name = "desktop-lan";
+  d.screen_width_px = 1920;
+  d.screen_height_px = 1080;
+  d.link.latency_micros = 2'000;
+  d.link.bandwidth_bytes_per_sec = 50'000'000;  // ~400 Mbit/s
+  d.link.jitter_fraction = 0.05;
+  d.cache_bytes = 64 * 1024 * 1024;
+  d.render_micros_per_node = 10;
+  return d;
+}
+
+}  // namespace mobile
+}  // namespace drugtree

@@ -1,0 +1,39 @@
+// Simulated mobile device profiles (2013-era hardware, per the paper's
+// setting). The profile fixes the link model, the screen, and the client
+// cache budget used by the session simulator.
+
+#ifndef DRUGTREE_MOBILE_DEVICE_H_
+#define DRUGTREE_MOBILE_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "integration/network.h"
+
+namespace drugtree {
+namespace mobile {
+
+struct DeviceProfile {
+  std::string name;
+  int screen_width_px = 1024;
+  int screen_height_px = 768;
+  /// Link characteristics client <-> DrugTree server.
+  integration::NetworkParams link;
+  /// Client-side cache budget in bytes.
+  uint64_t cache_bytes = 4 * 1024 * 1024;
+  /// Per-node client render cost in microseconds (small CPUs hurt on big
+  /// payloads, which is part of why LOD matters).
+  int64_t render_micros_per_node = 30;
+
+  /// A 2013 smartphone on 3G: ~250 ms RTT, ~1 Mbit/s.
+  static DeviceProfile Phone3G();
+  /// A 2013 tablet on WiFi: ~40 ms RTT, ~20 Mbit/s.
+  static DeviceProfile TabletWifi();
+  /// Desktop on a LAN (the no-mobile control): ~2 ms RTT, ~400 Mbit/s.
+  static DeviceProfile DesktopLan();
+};
+
+}  // namespace mobile
+}  // namespace drugtree
+
+#endif  // DRUGTREE_MOBILE_DEVICE_H_

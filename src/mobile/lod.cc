@@ -1,0 +1,105 @@
+#include "mobile/lod.h"
+
+#include <algorithm>
+
+namespace drugtree {
+namespace mobile {
+
+using phylo::NodeId;
+
+namespace {
+
+double AnnotationOf(const std::vector<double>& annotation, NodeId id) {
+  return static_cast<size_t>(id) < annotation.size()
+             ? annotation[static_cast<size_t>(id)]
+             : 0.0;
+}
+
+// The subtree's vertical extent in layout units: its leaf count maps 1:1 to
+// y span under the rectangular layout.
+double SubtreeYExtent(const phylo::TreeIndex& index, NodeId id) {
+  return std::max(1.0, static_cast<double>(index.SubtreeLeafCount(id)));
+}
+
+}  // namespace
+
+util::Result<std::vector<LodNode>> ComputeLodCut(
+    const phylo::Tree& tree, const phylo::TreeIndex& index,
+    const phylo::TreeLayout& layout, const Viewport& viewport,
+    const std::vector<double>& annotation, const LodParams& params) {
+  if (params.min_subtree_pixels <= 0 || params.max_nodes < 1 ||
+      params.screen_height_px < 1 || params.annotation_boost < 1.0) {
+    return util::Status::InvalidArgument("invalid LOD parameters");
+  }
+  if (tree.Empty()) return std::vector<LodNode>{};
+
+  double layout_h = std::max(1e-9, viewport.Height());
+  double px_per_unit = static_cast<double>(params.screen_height_px) / layout_h;
+
+  std::vector<LodNode> out;
+  // (node, parent-in-cut)
+  std::vector<std::pair<NodeId, NodeId>> stack = {
+      {tree.root(), phylo::kInvalidNode}};
+  while (!stack.empty() && static_cast<int>(out.size()) < params.max_nodes) {
+    auto [id, cut_parent] = stack.back();
+    stack.pop_back();
+    const auto& pos = layout.position(id);
+    const phylo::Node& node = tree.node(id);
+
+    // A subtree strictly outside the viewport's y-band is skipped (x is kept
+    // permissive: ancestors of visible nodes often sit left of the window).
+    double y_lo = pos.y - SubtreeYExtent(index, id);
+    double y_hi = pos.y + SubtreeYExtent(index, id);
+    bool band_visible = y_hi >= viewport.y0 && y_lo <= viewport.y1;
+    if (!band_visible && cut_parent != phylo::kInvalidNode) continue;
+
+    LodNode ln;
+    ln.id = id;
+    ln.parent = cut_parent;
+    ln.x = pos.x;
+    ln.y = pos.y;
+    ln.leaf_count = index.SubtreeLeafCount(id);
+    ln.annotation = AnnotationOf(annotation, id);
+
+    double subtree_px = SubtreeYExtent(index, id) * px_per_unit;
+    double pixel_floor = params.min_subtree_pixels;
+    if (params.annotation_boost > 1.0 &&
+        ln.annotation >= params.annotation_hot_threshold) {
+      pixel_floor /= params.annotation_boost;  // hot clades earn detail
+    }
+    bool expand = !node.IsLeaf() && subtree_px >= pixel_floor &&
+                  pos.x <= viewport.x1;  // beyond the right edge: collapse
+    ln.collapsed = !node.IsLeaf() && !expand;
+    out.push_back(ln);
+    if (expand) {
+      for (auto it = node.children.rbegin(); it != node.children.rend(); ++it) {
+        stack.emplace_back(*it, id);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<LodNode> FullTreeCut(const phylo::Tree& tree,
+                                 const phylo::TreeIndex& index,
+                                 const phylo::TreeLayout& layout,
+                                 const std::vector<double>& annotation) {
+  std::vector<LodNode> out;
+  out.reserve(tree.NumNodes());
+  tree.PreOrder([&](NodeId id) {
+    const auto& pos = layout.position(id);
+    LodNode ln;
+    ln.id = id;
+    ln.parent = tree.node(id).parent;
+    ln.x = pos.x;
+    ln.y = pos.y;
+    ln.collapsed = false;
+    ln.leaf_count = index.SubtreeLeafCount(id);
+    ln.annotation = AnnotationOf(annotation, id);
+    out.push_back(ln);
+  });
+  return out;
+}
+
+}  // namespace mobile
+}  // namespace drugtree

@@ -1,0 +1,70 @@
+// Level-of-detail tree cuts.
+//
+// A phone cannot render (or afford to download) a 50k-node tree, and the
+// analyst cannot read one. The LOD cut walks the tree top-down and keeps a
+// node expanded only while it is (a) inside the viewport and (b) large
+// enough on screen to be distinguishable; everything below a cut point is
+// shipped as a single *collapsed* node carrying subtree aggregates (leaf
+// count, best overlay value). This bounds the payload by the pixel budget
+// instead of the tree size — the core mobile-interaction optimization.
+
+#ifndef DRUGTREE_MOBILE_LOD_H_
+#define DRUGTREE_MOBILE_LOD_H_
+
+#include <vector>
+
+#include "mobile/viewport.h"
+#include "phylo/layout.h"
+#include "phylo/tree.h"
+#include "phylo/tree_index.h"
+#include "util/result.h"
+
+namespace drugtree {
+namespace mobile {
+
+/// One shipped node.
+struct LodNode {
+  phylo::NodeId id = phylo::kInvalidNode;
+  phylo::NodeId parent = phylo::kInvalidNode;  // parent *within the cut*
+  double x = 0.0, y = 0.0;
+  bool collapsed = false;   // true => stands in for its whole subtree
+  int32_t leaf_count = 0;   // subtree leaves (1 for actual leaves)
+  double annotation = 0.0;  // subtree-aggregated overlay value
+};
+
+struct LodParams {
+  /// Minimum on-screen vertical extent, in pixels, for a subtree to stay
+  /// expanded. Below it the subtree collapses to one marker.
+  double min_subtree_pixels = 8.0;
+  /// Hard cap on shipped nodes (safety budget).
+  int max_nodes = 2000;
+  /// Screen height used to convert layout extent to pixels.
+  int screen_height_px = 768;
+  /// Annotation-guided detail: a subtree whose annotation value is >=
+  /// annotation_hot_threshold is kept expanded down to
+  /// min_subtree_pixels / annotation_boost pixels — the analyst's overlay
+  /// signal (assay density) earns extra detail where it matters. 1.0
+  /// disables the effect.
+  double annotation_boost = 1.0;
+  double annotation_hot_threshold = 1.0;
+};
+
+/// Computes the LOD cut for a viewport. `annotation` maps NodeId -> overlay
+/// value (already aggregated per subtree by the caller; empty = zeros).
+/// Nodes outside the viewport are dropped entirely (their nearest visible
+/// ancestor represents them); the root is always shipped.
+util::Result<std::vector<LodNode>> ComputeLodCut(
+    const phylo::Tree& tree, const phylo::TreeIndex& index,
+    const phylo::TreeLayout& layout, const Viewport& viewport,
+    const std::vector<double>& annotation, const LodParams& params);
+
+/// The no-LOD baseline: every node, viewport ignored.
+std::vector<LodNode> FullTreeCut(const phylo::Tree& tree,
+                                 const phylo::TreeIndex& index,
+                                 const phylo::TreeLayout& layout,
+                                 const std::vector<double>& annotation);
+
+}  // namespace mobile
+}  // namespace drugtree
+
+#endif  // DRUGTREE_MOBILE_LOD_H_

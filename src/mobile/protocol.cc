@@ -1,0 +1,27 @@
+#include "mobile/protocol.h"
+
+namespace drugtree {
+namespace mobile {
+
+Frame BuildFrame(const std::vector<LodNode>& cut,
+                 const std::unordered_set<int64_t>& client_collapsed,
+                 const std::unordered_set<int64_t>& client_expanded,
+                 bool delta) {
+  Frame frame;
+  frame.bytes = kResponseOverheadBytes;
+  for (const auto& node : cut) {
+    if (delta) {
+      const auto& held = node.collapsed ? client_collapsed : client_expanded;
+      if (held.count(node.id)) {
+        ++frame.delta_skipped;
+        continue;
+      }
+    }
+    frame.nodes.push_back(node);
+    frame.bytes += kBytesPerNode;
+  }
+  return frame;
+}
+
+}  // namespace mobile
+}  // namespace drugtree

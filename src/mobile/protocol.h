@@ -1,0 +1,42 @@
+// Wire protocol between the DrugTree server and the mobile client:
+// payload sizing for shipped LOD nodes and delta encoding against what the
+// client already holds.
+
+#ifndef DRUGTREE_MOBILE_PROTOCOL_H_
+#define DRUGTREE_MOBILE_PROTOCOL_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "mobile/lod.h"
+
+namespace drugtree {
+namespace mobile {
+
+/// Bytes to ship one LodNode (id + parent + 2 floats + flags + aggregates +
+/// a short label). A flat estimate keeps the simulation deterministic.
+inline constexpr uint64_t kBytesPerNode = 48;
+/// Fixed response framing overhead.
+inline constexpr uint64_t kResponseOverheadBytes = 128;
+
+/// A frame ready to send: the nodes plus delta bookkeeping.
+struct Frame {
+  std::vector<LodNode> nodes;        // nodes actually shipped
+  size_t delta_skipped = 0;          // nodes the client already had
+  uint64_t bytes = 0;                // shipped payload size
+};
+
+/// Builds the frame for a cut. With `delta` true, nodes whose id is in
+/// `client_nodes` (and which are shipped in the same role, i.e. collapsed
+/// state matches what the client holds) are skipped; the client re-uses its
+/// cached copy.
+Frame BuildFrame(const std::vector<LodNode>& cut,
+                 const std::unordered_set<int64_t>& client_collapsed,
+                 const std::unordered_set<int64_t>& client_expanded,
+                 bool delta);
+
+}  // namespace mobile
+}  // namespace drugtree
+
+#endif  // DRUGTREE_MOBILE_PROTOCOL_H_

@@ -1,0 +1,128 @@
+#include "mobile/session.h"
+
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace mobile {
+
+std::string SessionReport::ToString() const {
+  std::string out = "session: " + latency_ms.ToString() + " (ms)\n";
+  out += util::StringPrintf(
+      "  frames=%llu nodes=%llu delta-skipped=%llu bytes=%s total=%.1fs\n",
+      (unsigned long long)frames, (unsigned long long)nodes_shipped,
+      (unsigned long long)nodes_delta_skipped,
+      util::HumanBytes(bytes_shipped).c_str(),
+      static_cast<double>(total_session_micros) / 1e6);
+  for (const auto& [kind, stats] : latency_by_action_ms) {
+    out += util::StringPrintf("  %-14s n=%lld mean=%.1fms max=%.1fms\n",
+                              kind.c_str(), (long long)stats.count(),
+                              stats.mean(), stats.max());
+  }
+  return out;
+}
+
+MobileSession::MobileSession(const phylo::Tree* tree,
+                             const phylo::TreeIndex* index,
+                             const phylo::TreeLayout* layout,
+                             std::vector<double> annotation,
+                             DeviceProfile device, util::Clock* clock,
+                             SessionOptions options,
+                             OverlayQueryFn overlay_query)
+    : tree_(tree),
+      index_(index),
+      layout_(layout),
+      annotation_(std::move(annotation)),
+      device_(device),
+      clock_(clock),
+      options_(options),
+      overlay_query_(std::move(overlay_query)),
+      network_(clock, device.link),
+      client_cache_(device.cache_bytes),
+      viewport_(Viewport::FullExtent(*layout)) {}
+
+util::Result<int64_t> MobileSession::Interact(const Action& action) {
+  util::Timer timer(clock_);
+
+  // 1. Viewport update (client-side, instantaneous in the model).
+  switch (action.kind) {
+    case ActionKind::kInitialLoad:
+      viewport_ = Viewport::FullExtent(*layout_);
+      break;
+    case ActionKind::kZoomIn:
+      viewport_.Zoom(0.5, *layout_);
+      break;
+    case ActionKind::kZoomOut:
+      viewport_.Zoom(2.0, *layout_);
+      break;
+    case ActionKind::kPan:
+      viewport_.Pan(action.dx * viewport_.Width(),
+                    action.dy * viewport_.Height(), *layout_);
+      break;
+    case ActionKind::kFocusNode: {
+      const auto& pos = layout_->position(action.node);
+      double h = std::max(
+          2.0, static_cast<double>(index_->SubtreeLeafCount(action.node)));
+      viewport_.CenterOn(pos, viewport_.Width(), h * 1.2, *layout_);
+      break;
+    }
+    case ActionKind::kOverlayQuery:
+      break;
+  }
+
+  // 2. Server work + response shipping.
+  if (action.kind == ActionKind::kOverlayQuery) {
+    uint64_t payload = 256;
+    if (overlay_query_) {
+      // Charge real server compute time into the session clock.
+      util::Timer server_timer(util::RealClock::Instance());
+      DRUGTREE_ASSIGN_OR_RETURN(payload, overlay_query_(action.node));
+      clock_->AdvanceMicros(server_timer.ElapsedMicros());
+    }
+    network_.Request(payload);
+    report_.bytes_shipped += payload;
+  } else {
+    std::vector<LodNode> cut;
+    if (options_.progressive_lod) {
+      LodParams lod = options_.lod;
+      lod.screen_height_px = device_.screen_height_px;
+      DRUGTREE_ASSIGN_OR_RETURN(
+          cut, ComputeLodCut(*tree_, *index_, *layout_, viewport_,
+                             annotation_, lod));
+    } else {
+      cut = FullTreeCut(*tree_, *index_, *layout_, annotation_);
+    }
+    Frame frame = BuildFrame(
+        cut, client_cache_.CollapsedIds(), client_cache_.ExpandedIds(),
+        options_.delta_encoding);
+    network_.Request(frame.bytes);
+    client_cache_.Install(frame.nodes);
+    // 3. Client render cost for the shipped nodes.
+    clock_->AdvanceMicros(static_cast<int64_t>(frame.nodes.size()) *
+                          device_.render_micros_per_node);
+    report_.bytes_shipped += frame.bytes;
+    report_.nodes_shipped += frame.nodes.size();
+    report_.nodes_delta_skipped += frame.delta_skipped;
+    ++report_.frames;
+  }
+  return timer.ElapsedMicros();
+}
+
+util::Result<SessionReport> MobileSession::Run(
+    const std::vector<Action>& trace) {
+  report_ = SessionReport();
+  client_cache_.Clear();
+  int64_t start = clock_->NowMicros();
+  for (const auto& action : trace) {
+    DRUGTREE_ASSIGN_OR_RETURN(int64_t micros, Interact(action));
+    double ms = static_cast<double>(micros) / 1000.0;
+    report_.latency_ms.Add(ms);
+    report_.latency_by_action_ms[ActionKindName(action.kind)].Add(ms);
+    // Think time between interactions (does not count as latency).
+    clock_->AdvanceMicros(500'000);
+  }
+  report_.total_session_micros = clock_->NowMicros() - start;
+  return report_;
+}
+
+}  // namespace mobile
+}  // namespace drugtree

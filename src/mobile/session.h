@@ -1,0 +1,90 @@
+// The mobile-session simulator: replays an interaction trace against the
+// DrugTree server over a simulated device link and measures per-interaction
+// response time. This is the reproduction of the poster's "mobile
+// interaction" layer — the client is simulated, the server-side code paths
+// (LOD cuts, delta frames, overlay queries) are the real ones.
+
+#ifndef DRUGTREE_MOBILE_SESSION_H_
+#define DRUGTREE_MOBILE_SESSION_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "integration/network.h"
+#include "mobile/client_cache.h"
+#include "mobile/device.h"
+#include "mobile/lod.h"
+#include "mobile/trace.h"
+#include "mobile/viewport.h"
+#include "phylo/layout.h"
+#include "util/clock.h"
+#include "util/histogram.h"
+#include "util/result.h"
+
+namespace drugtree {
+namespace mobile {
+
+struct SessionOptions {
+  /// Progressive level-of-detail transmission vs shipping the full tree on
+  /// every interaction (the pre-optimization DrugTree behaviour).
+  bool progressive_lod = true;
+  /// Skip nodes the client already caches.
+  bool delta_encoding = true;
+  LodParams lod;
+};
+
+/// Callback that runs the ligand-overlay query for a focused subtree on the
+/// server and returns the response payload size in bytes. Wall-clock spent
+/// inside the callback is charged to the simulated session clock.
+using OverlayQueryFn =
+    std::function<util::Result<uint64_t>(phylo::NodeId node)>;
+
+struct SessionReport {
+  util::Histogram latency_ms;                    // per interaction
+  std::map<std::string, util::SummaryStats> latency_by_action_ms;
+  uint64_t bytes_shipped = 0;
+  uint64_t nodes_shipped = 0;
+  uint64_t nodes_delta_skipped = 0;
+  uint64_t frames = 0;
+  int64_t total_session_micros = 0;
+
+  std::string ToString() const;
+};
+
+class MobileSession {
+ public:
+  /// All pointers are borrowed. `annotation` may be empty. `overlay_query`
+  /// may be null (overlay actions then only cost one round trip).
+  MobileSession(const phylo::Tree* tree, const phylo::TreeIndex* index,
+                const phylo::TreeLayout* layout,
+                std::vector<double> annotation, DeviceProfile device,
+                util::Clock* clock, SessionOptions options,
+                OverlayQueryFn overlay_query = nullptr);
+
+  /// Replays the trace, returning the measured report.
+  util::Result<SessionReport> Run(const std::vector<Action>& trace);
+
+ private:
+  util::Result<int64_t> Interact(const Action& action);
+
+  const phylo::Tree* tree_;
+  const phylo::TreeIndex* index_;
+  const phylo::TreeLayout* layout_;
+  std::vector<double> annotation_;
+  DeviceProfile device_;
+  util::Clock* clock_;
+  SessionOptions options_;
+  OverlayQueryFn overlay_query_;
+
+  integration::SimulatedNetwork network_;
+  ClientCache client_cache_;
+  Viewport viewport_;
+  SessionReport report_;
+};
+
+}  // namespace mobile
+}  // namespace drugtree
+
+#endif  // DRUGTREE_MOBILE_SESSION_H_

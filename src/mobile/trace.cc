@@ -1,0 +1,61 @@
+#include "mobile/trace.h"
+
+namespace drugtree {
+namespace mobile {
+
+const char* ActionKindName(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kInitialLoad: return "initial-load";
+    case ActionKind::kZoomIn: return "zoom-in";
+    case ActionKind::kZoomOut: return "zoom-out";
+    case ActionKind::kPan: return "pan";
+    case ActionKind::kFocusNode: return "focus-node";
+    case ActionKind::kOverlayQuery: return "overlay-query";
+  }
+  return "?";
+}
+
+std::vector<Action> GenerateTrace(const phylo::Tree& tree,
+                                  const phylo::TreeIndex& index,
+                                  const TraceParams& params, util::Rng* rng) {
+  std::vector<Action> trace;
+  trace.push_back({ActionKind::kInitialLoad, tree.root(), 0, 0});
+  if (tree.Empty()) return trace;
+
+  phylo::NodeId focus = tree.root();
+  auto total = static_cast<int64_t>(tree.NumNodes());
+  for (int i = 1; i < params.num_actions; ++i) {
+    double total_p =
+        params.p_zoom + params.p_pan + params.p_focus + params.p_query;
+    double u = rng->NextDouble() * total_p;
+    Action a;
+    if (u < params.p_zoom) {
+      a.kind = rng->Bernoulli(0.65) ? ActionKind::kZoomIn
+                                    : ActionKind::kZoomOut;
+      a.node = focus;
+    } else if (u < params.p_zoom + params.p_pan) {
+      a.kind = ActionKind::kPan;
+      a.dx = rng->UniformDouble(-0.4, 0.4);
+      a.dy = rng->UniformDouble(-0.4, 0.4);
+    } else if (u < params.p_zoom + params.p_pan + params.p_focus) {
+      a.kind = ActionKind::kFocusNode;
+      if (rng->Bernoulli(params.locality) && !tree.node(focus).IsLeaf()) {
+        // Stay local: a random node within the focused subtree.
+        auto subtree = index.SubtreeNodes(focus);
+        a.node = subtree[rng->Uniform(subtree.size())];
+      } else {
+        a.node = static_cast<phylo::NodeId>(rng->Uniform(
+            static_cast<uint64_t>(total)));
+      }
+      focus = a.node;
+    } else {
+      a.kind = ActionKind::kOverlayQuery;
+      a.node = focus;
+    }
+    trace.push_back(a);
+  }
+  return trace;
+}
+
+}  // namespace mobile
+}  // namespace drugtree

@@ -1,0 +1,54 @@
+// Interaction traces: the scripted analyst behaviour the session simulator
+// replays. Generated traces model phylogenetic locality (an analyst drills
+// into a clade, inspects neighbours, occasionally jumps).
+
+#ifndef DRUGTREE_MOBILE_TRACE_H_
+#define DRUGTREE_MOBILE_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "phylo/tree.h"
+#include "phylo/tree_index.h"
+#include "util/rng.h"
+
+namespace drugtree {
+namespace mobile {
+
+enum class ActionKind {
+  kInitialLoad,   // open the tool: full-extent view
+  kZoomIn,        // zoom toward the current focus
+  kZoomOut,
+  kPan,           // shift within the current zoom level
+  kFocusNode,     // tap a clade: center + zoom onto a node
+  kOverlayQuery,  // run the ligand-overlay query for the focused subtree
+};
+
+const char* ActionKindName(ActionKind kind);
+
+struct Action {
+  ActionKind kind = ActionKind::kInitialLoad;
+  phylo::NodeId node = phylo::kInvalidNode;  // focus target
+  double dx = 0.0, dy = 0.0;                 // pan deltas (viewport fractions)
+};
+
+struct TraceParams {
+  int num_actions = 50;
+  /// Probability that the next focus stays within the current clade
+  /// (locality); the complement jumps to a random node.
+  double locality = 0.8;
+  double p_zoom = 0.3;
+  double p_pan = 0.3;
+  double p_focus = 0.25;
+  double p_query = 0.15;
+};
+
+/// Generates a trace over the given tree. Always starts with kInitialLoad.
+std::vector<Action> GenerateTrace(const phylo::Tree& tree,
+                                  const phylo::TreeIndex& index,
+                                  const TraceParams& params, util::Rng* rng);
+
+}  // namespace mobile
+}  // namespace drugtree
+
+#endif  // DRUGTREE_MOBILE_TRACE_H_

@@ -1,0 +1,74 @@
+#include "mobile/viewport.h"
+
+#include <algorithm>
+
+namespace drugtree {
+namespace mobile {
+
+namespace {
+
+// Clamps the window [lo, hi) of width w into [0, max].
+void ClampAxis(double* lo, double* hi, double max_extent) {
+  double w = *hi - *lo;
+  if (w > max_extent) {
+    *lo = 0;
+    *hi = max_extent;
+    return;
+  }
+  if (*lo < 0) {
+    *hi -= *lo;
+    *lo = 0;
+  }
+  if (*hi > max_extent) {
+    *lo -= *hi - max_extent;
+    *hi = max_extent;
+  }
+}
+
+}  // namespace
+
+void Viewport::Pan(double dx, double dy, const phylo::TreeLayout& layout) {
+  x0 += dx;
+  x1 += dx;
+  y0 += dy;
+  y1 += dy;
+  ClampAxis(&x0, &x1, layout.max_x());
+  ClampAxis(&y0, &y1, layout.max_y());
+}
+
+void Viewport::Zoom(double factor, const phylo::TreeLayout& layout) {
+  factor = std::clamp(factor, 0.05, 20.0);
+  double cx = (x0 + x1) / 2, cy = (y0 + y1) / 2;
+  double w = Width() * factor, h = Height() * factor;
+  // Lower bound keeps the viewport from degenerating.
+  w = std::max(w, layout.max_x() / 1024.0 + 1e-9);
+  h = std::max(h, layout.max_y() / 1024.0 + 1e-9);
+  x0 = cx - w / 2;
+  x1 = cx + w / 2;
+  y0 = cy - h / 2;
+  y1 = cy + h / 2;
+  ClampAxis(&x0, &x1, layout.max_x());
+  ClampAxis(&y0, &y1, layout.max_y());
+}
+
+void Viewport::CenterOn(const phylo::NodePosition& pos, double w, double h,
+                        const phylo::TreeLayout& layout) {
+  x0 = pos.x - w / 2;
+  x1 = pos.x + w / 2;
+  y0 = pos.y - h / 2;
+  y1 = pos.y + h / 2;
+  ClampAxis(&x0, &x1, layout.max_x());
+  ClampAxis(&y0, &y1, layout.max_y());
+}
+
+Viewport Viewport::FullExtent(const phylo::TreeLayout& layout) {
+  Viewport v;
+  v.x0 = 0;
+  v.y0 = 0;
+  v.x1 = layout.max_x();
+  v.y1 = std::max(1.0, layout.max_y());
+  return v;
+}
+
+}  // namespace mobile
+}  // namespace drugtree

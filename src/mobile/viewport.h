@@ -1,0 +1,41 @@
+// Viewport: the window into layout space the client is currently showing.
+// Layout coordinates come from phylo::TreeLayout (x = evolutionary distance,
+// y = leaf rank).
+
+#ifndef DRUGTREE_MOBILE_VIEWPORT_H_
+#define DRUGTREE_MOBILE_VIEWPORT_H_
+
+#include "phylo/layout.h"
+
+namespace drugtree {
+namespace mobile {
+
+struct Viewport {
+  double x0 = 0.0, y0 = 0.0;  // top-left in layout coordinates
+  double x1 = 1.0, y1 = 1.0;  // bottom-right
+
+  double Width() const { return x1 - x0; }
+  double Height() const { return y1 - y0; }
+
+  bool Contains(double x, double y) const {
+    return x >= x0 && x <= x1 && y >= y0 && y <= y1;
+  }
+
+  /// Shifts the viewport by (dx, dy), clamped to the layout bounds.
+  void Pan(double dx, double dy, const phylo::TreeLayout& layout);
+
+  /// Zooms by `factor` (< 1 zooms in) around the viewport center, clamped.
+  void Zoom(double factor, const phylo::TreeLayout& layout);
+
+  /// Centers on a node with a window of (w, h), clamped.
+  void CenterOn(const phylo::NodePosition& pos, double w, double h,
+                const phylo::TreeLayout& layout);
+
+  /// Full-extent viewport over a layout.
+  static Viewport FullExtent(const phylo::TreeLayout& layout);
+};
+
+}  // namespace mobile
+}  // namespace drugtree
+
+#endif  // DRUGTREE_MOBILE_VIEWPORT_H_

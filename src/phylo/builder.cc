@@ -1,0 +1,237 @@
+#include "phylo/builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace phylo {
+
+namespace {
+
+util::Status ValidateInput(const bio::DistanceMatrix& dist) {
+  if (dist.size() < 2) {
+    return util::Status::InvalidArgument("need at least 2 taxa to build a tree");
+  }
+  if (!dist.IsValid()) {
+    return util::Status::InvalidArgument(
+        "distance matrix must be symmetric, non-negative, zero-diagonal");
+  }
+  return util::Status::OK();
+}
+
+// During agglomeration each active cluster tracks a subtree assembled in a
+// scratch structure; the final pass copies it into a Tree (whose root must be
+// node 0).
+struct Scratch {
+  // For each scratch node: children (empty = leaf), name, branch length.
+  std::vector<std::vector<int>> children;
+  std::vector<std::string> names;
+  std::vector<double> branch;
+
+  int AddLeaf(const std::string& name) {
+    children.emplace_back();
+    names.push_back(name);
+    branch.push_back(0.0);
+    return static_cast<int>(names.size()) - 1;
+  }
+
+  int AddInternal(std::vector<int> kids) {
+    children.push_back(std::move(kids));
+    names.emplace_back();
+    branch.push_back(0.0);
+    return static_cast<int>(names.size()) - 1;
+  }
+};
+
+util::Result<Tree> ScratchToTree(const Scratch& s, int root) {
+  Tree tree;
+  DRUGTREE_ASSIGN_OR_RETURN(NodeId troot, tree.AddRoot(s.names[root], 0.0));
+  // Iterative copy.
+  std::vector<std::pair<int, NodeId>> stack = {{root, troot}};
+  while (!stack.empty()) {
+    auto [sid, tid] = stack.back();
+    stack.pop_back();
+    for (int c : s.children[static_cast<size_t>(sid)]) {
+      DRUGTREE_ASSIGN_OR_RETURN(
+          NodeId child,
+          tree.AddChild(tid, s.names[static_cast<size_t>(c)],
+                        std::max(0.0, s.branch[static_cast<size_t>(c)])));
+      stack.emplace_back(c, child);
+    }
+  }
+  DRUGTREE_RETURN_IF_ERROR(tree.Validate());
+  return tree;
+}
+
+}  // namespace
+
+util::Result<Tree> BuildUpgma(const bio::DistanceMatrix& dist) {
+  DRUGTREE_RETURN_IF_ERROR(ValidateInput(dist));
+  const size_t n = dist.size();
+
+  Scratch scratch;
+  // Active clusters: scratch node, member count, height (root-to-leaf path).
+  struct Cluster {
+    int node;
+    size_t count;
+    double height;
+    bool alive;
+  };
+  std::vector<Cluster> clusters;
+  clusters.reserve(2 * n);
+  // Working distance matrix over cluster indices (grows as clusters merge).
+  std::vector<std::vector<double>> d(2 * n - 1,
+                                     std::vector<double>(2 * n - 1, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    clusters.push_back({scratch.AddLeaf(dist.names()[i]), 1, 0.0, true});
+    for (size_t j = 0; j < n; ++j) d[i][j] = dist.at(i, j);
+  }
+
+  size_t active = n;
+  while (active > 1) {
+    // Find the closest live pair.
+    double best = std::numeric_limits<double>::infinity();
+    size_t bi = 0, bj = 0;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      if (!clusters[i].alive) continue;
+      for (size_t j = i + 1; j < clusters.size(); ++j) {
+        if (!clusters[j].alive) continue;
+        if (d[i][j] < best) {
+          best = d[i][j];
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    // Merge bi and bj at height best/2.
+    double height = best / 2.0;
+    int merged = scratch.AddInternal(
+        {clusters[bi].node, clusters[bj].node});
+    scratch.branch[static_cast<size_t>(clusters[bi].node)] =
+        height - clusters[bi].height;
+    scratch.branch[static_cast<size_t>(clusters[bj].node)] =
+        height - clusters[bj].height;
+    size_t ci = clusters[bi].count, cj = clusters[bj].count;
+    Cluster next{merged, ci + cj, height, true};
+    size_t k = clusters.size();
+    // Average-link update.
+    for (size_t t = 0; t < clusters.size(); ++t) {
+      if (!clusters[t].alive || t == bi || t == bj) continue;
+      double v = (d[bi][t] * static_cast<double>(ci) +
+                  d[bj][t] * static_cast<double>(cj)) /
+                 static_cast<double>(ci + cj);
+      d[k][t] = d[t][k] = v;
+    }
+    clusters[bi].alive = false;
+    clusters[bj].alive = false;
+    clusters.push_back(next);
+    --active;
+  }
+  // The last cluster added is the root.
+  return ScratchToTree(scratch, clusters.back().node);
+}
+
+util::Result<Tree> BuildNeighborJoining(const bio::DistanceMatrix& dist) {
+  DRUGTREE_RETURN_IF_ERROR(ValidateInput(dist));
+  const size_t n = dist.size();
+
+  Scratch scratch;
+  std::vector<int> active_nodes;       // scratch node per active cluster
+  std::vector<std::vector<double>> d;  // distances over active clusters
+
+  for (size_t i = 0; i < n; ++i) {
+    active_nodes.push_back(scratch.AddLeaf(dist.names()[i]));
+  }
+  d.assign(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) d[i][j] = dist.at(i, j);
+  }
+
+  if (n == 2) {
+    int root = scratch.AddInternal({active_nodes[0], active_nodes[1]});
+    scratch.branch[static_cast<size_t>(active_nodes[0])] = d[0][1] / 2.0;
+    scratch.branch[static_cast<size_t>(active_nodes[1])] = d[0][1] / 2.0;
+    return ScratchToTree(scratch, root);
+  }
+
+  while (active_nodes.size() > 3) {
+    const size_t m = active_nodes.size();
+    // Row sums.
+    std::vector<double> r(m, 0.0);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < m; ++j) r[i] += d[i][j];
+    }
+    // Q-criterion minimization.
+    double best_q = std::numeric_limits<double>::infinity();
+    size_t bi = 0, bj = 1;
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = i + 1; j < m; ++j) {
+        double q = static_cast<double>(m - 2) * d[i][j] - r[i] - r[j];
+        if (q < best_q) {
+          best_q = q;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    // Branch lengths to the new internal node.
+    double li = 0.5 * d[bi][bj] +
+                (r[bi] - r[bj]) / (2.0 * static_cast<double>(m - 2));
+    double lj = d[bi][bj] - li;
+    li = std::max(0.0, li);
+    lj = std::max(0.0, lj);
+    int u = scratch.AddInternal({active_nodes[bi], active_nodes[bj]});
+    scratch.branch[static_cast<size_t>(active_nodes[bi])] = li;
+    scratch.branch[static_cast<size_t>(active_nodes[bj])] = lj;
+
+    // New distance row.
+    std::vector<double> du(m, 0.0);
+    for (size_t t = 0; t < m; ++t) {
+      if (t == bi || t == bj) continue;
+      du[t] = 0.5 * (d[bi][t] + d[bj][t] - d[bi][bj]);
+      du[t] = std::max(0.0, du[t]);
+    }
+    // Compact: remove bj then bi (bj > bi), append u.
+    auto erase2 = [&](auto& vec) {
+      vec.erase(vec.begin() + static_cast<long>(bj));
+      vec.erase(vec.begin() + static_cast<long>(bi));
+    };
+    erase2(active_nodes);
+    active_nodes.push_back(u);
+    erase2(du);
+    for (auto& row : d) erase2(row);
+    erase2(d);
+    du.push_back(0.0);
+    for (size_t t = 0; t < d.size(); ++t) d[t].push_back(du[t]);
+    d.push_back(std::move(du));
+  }
+
+  // Join the final three clusters at the root.
+  double l0 = 0.5 * (d[0][1] + d[0][2] - d[1][2]);
+  double l1 = 0.5 * (d[0][1] + d[1][2] - d[0][2]);
+  double l2 = 0.5 * (d[0][2] + d[1][2] - d[0][1]);
+  int root = scratch.AddInternal({active_nodes[0], active_nodes[1],
+                                  active_nodes[2]});
+  scratch.branch[static_cast<size_t>(active_nodes[0])] = std::max(0.0, l0);
+  scratch.branch[static_cast<size_t>(active_nodes[1])] = std::max(0.0, l1);
+  scratch.branch[static_cast<size_t>(active_nodes[2])] = std::max(0.0, l2);
+  return ScratchToTree(scratch, root);
+}
+
+util::Result<Tree> BuildTree(const bio::DistanceMatrix& dist,
+                             TreeMethod method) {
+  switch (method) {
+    case TreeMethod::kUpgma:
+      return BuildUpgma(dist);
+    case TreeMethod::kNeighborJoining:
+      return BuildNeighborJoining(dist);
+  }
+  return util::Status::InvalidArgument("unknown tree method");
+}
+
+}  // namespace phylo
+}  // namespace drugtree

@@ -1,0 +1,35 @@
+// Distance-based tree construction: UPGMA and Neighbor-Joining.
+//
+// UPGMA assumes a molecular clock (ultrametric data) and runs in O(n^2) with
+// the nearest-neighbour-chain optimization here; NJ drops the clock
+// assumption at O(n^3) cost. Experiment E5 compares them on clock-like and
+// non-clock-like synthetic families.
+
+#ifndef DRUGTREE_PHYLO_BUILDER_H_
+#define DRUGTREE_PHYLO_BUILDER_H_
+
+#include "bio/distance.h"
+#include "phylo/tree.h"
+#include "util/result.h"
+
+namespace drugtree {
+namespace phylo {
+
+/// Builds a rooted ultrametric tree by unweighted pair-group averaging.
+/// Requires a valid distance matrix with >= 2 taxa.
+util::Result<Tree> BuildUpgma(const bio::DistanceMatrix& dist);
+
+/// Builds a tree by Saitou & Nei's neighbor-joining. The result is rooted at
+/// the final three-way join (so the root has degree 3 for n >= 3).
+/// Negative branch-length estimates are clamped to zero, as is conventional.
+util::Result<Tree> BuildNeighborJoining(const bio::DistanceMatrix& dist);
+
+/// Convenience enum + dispatcher used by the facade and benchmarks.
+enum class TreeMethod { kUpgma, kNeighborJoining };
+
+util::Result<Tree> BuildTree(const bio::DistanceMatrix& dist, TreeMethod method);
+
+}  // namespace phylo
+}  // namespace drugtree
+
+#endif  // DRUGTREE_PHYLO_BUILDER_H_

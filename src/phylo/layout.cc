@@ -1,0 +1,64 @@
+#include "phylo/layout.h"
+
+#include <algorithm>
+
+namespace drugtree {
+namespace phylo {
+
+util::Result<TreeLayout> TreeLayout::Compute(const Tree& tree,
+                                             const LayoutOptions& options) {
+  if (tree.Empty()) {
+    return util::Status::InvalidArgument("cannot lay out an empty tree");
+  }
+  TreeLayout layout;
+  layout.positions_.resize(tree.NumNodes());
+
+  // x: root distance (branch lengths or unit depth), top-down.
+  tree.PreOrder([&](NodeId id) {
+    const Node& n = tree.node(id);
+    NodePosition& p = layout.positions_[static_cast<size_t>(id)];
+    p.id = id;
+    if (n.IsRoot()) {
+      p.x = 0.0;
+    } else {
+      double step = options.use_branch_lengths ? n.branch_length : 1.0;
+      p.x = layout.positions_[static_cast<size_t>(n.parent)].x + step;
+    }
+    layout.max_x_ = std::max(layout.max_x_, p.x);
+  });
+
+  // y: leaves get consecutive ranks in DFS order; internal nodes are the mean
+  // of their children's y (post-order).
+  double next_leaf_y = 0.0;
+  // Pre-order assigns leaf ranks in display order.
+  tree.PreOrder([&](NodeId id) {
+    if (tree.node(id).IsLeaf()) {
+      layout.positions_[static_cast<size_t>(id)].y = next_leaf_y;
+      next_leaf_y += 1.0;
+    }
+  });
+  layout.max_y_ = std::max(0.0, next_leaf_y - 1.0);
+  tree.PostOrder([&](NodeId id) {
+    const Node& n = tree.node(id);
+    if (n.IsLeaf()) return;
+    double sum = 0.0;
+    for (NodeId c : n.children) {
+      sum += layout.positions_[static_cast<size_t>(c)].y;
+    }
+    layout.positions_[static_cast<size_t>(id)].y =
+        sum / static_cast<double>(n.children.size());
+  });
+  return layout;
+}
+
+std::vector<NodeId> TreeLayout::NodesInRect(double x0, double y0, double x1,
+                                            double y1) const {
+  std::vector<NodeId> out;
+  for (const auto& p : positions_) {
+    if (p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1) out.push_back(p.id);
+  }
+  return out;
+}
+
+}  // namespace phylo
+}  // namespace drugtree

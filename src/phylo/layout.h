@@ -1,0 +1,61 @@
+// 2-D tree layout for rendering. The mobile layer ships node coordinates to
+// the (simulated) client, and viewport queries select nodes by layout
+// position, so layout is a server-side concern exactly as in DrugTree.
+
+#ifndef DRUGTREE_PHYLO_LAYOUT_H_
+#define DRUGTREE_PHYLO_LAYOUT_H_
+
+#include <vector>
+
+#include "phylo/tree.h"
+#include "util/result.h"
+
+namespace drugtree {
+namespace phylo {
+
+/// Position of one node in layout space. x grows with evolutionary distance
+/// from the root (rectangular/"phylogram" layout); y is the leaf rank axis
+/// in [0, num_leaves - 1].
+struct NodePosition {
+  NodeId id = kInvalidNode;
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Layout options.
+struct LayoutOptions {
+  /// If true, x = branch-length distance from root (phylogram); otherwise
+  /// x = depth in edges (cladogram).
+  bool use_branch_lengths = true;
+};
+
+/// A computed layout: positions indexed by NodeId plus the bounding box.
+class TreeLayout {
+ public:
+  /// Computes a rectangular layout: leaves get consecutive integer y in DFS
+  /// order; internal nodes center on their children.
+  static util::Result<TreeLayout> Compute(const Tree& tree,
+                                          const LayoutOptions& options = {});
+
+  const NodePosition& position(NodeId id) const {
+    return positions_[static_cast<size_t>(id)];
+  }
+  const std::vector<NodePosition>& positions() const { return positions_; }
+
+  double max_x() const { return max_x_; }
+  double max_y() const { return max_y_; }
+
+  /// Node ids whose position falls inside [x0,x1] x [y0,y1].
+  std::vector<NodeId> NodesInRect(double x0, double y0, double x1,
+                                  double y1) const;
+
+ private:
+  std::vector<NodePosition> positions_;
+  double max_x_ = 0.0;
+  double max_y_ = 0.0;
+};
+
+}  // namespace phylo
+}  // namespace drugtree
+
+#endif  // DRUGTREE_PHYLO_LAYOUT_H_

@@ -1,0 +1,190 @@
+#include "phylo/newick.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace phylo {
+
+namespace {
+
+class NewickParser {
+ public:
+  explicit NewickParser(const std::string& text) : text_(text) {}
+
+  util::Result<Tree> Parse() {
+    Tree tree;
+    SkipSpace();
+    DRUGTREE_RETURN_IF_ERROR(ParseSubtree(&tree, kInvalidNode));
+    SkipSpace();
+    if (!Consume(';')) return Error("expected ';' at end of tree");
+    SkipSpace();
+    if (pos_ != text_.size()) return Error("trailing characters after ';'");
+    DRUGTREE_RETURN_IF_ERROR(tree.Validate());
+    return tree;
+  }
+
+ private:
+  util::Status ParseSubtree(Tree* tree, NodeId parent) {
+    SkipSpace();
+    NodeId me;
+    if (Peek() == '(') {
+      DRUGTREE_ASSIGN_OR_RETURN(me, AddNode(tree, parent));
+      Consume('(');
+      for (;;) {
+        DRUGTREE_RETURN_IF_ERROR(ParseSubtree(tree, me));
+        SkipSpace();
+        if (Consume(',')) continue;
+        if (Consume(')')) break;
+        return Error("expected ',' or ')' in subtree");
+      }
+    } else {
+      DRUGTREE_ASSIGN_OR_RETURN(me, AddNode(tree, parent));
+    }
+    SkipSpace();
+    // Optional label.
+    DRUGTREE_ASSIGN_OR_RETURN(std::string label, ParseLabel());
+    tree->mutable_node(me).name = label;
+    SkipSpace();
+    // Optional branch length.
+    if (Consume(':')) {
+      SkipSpace();
+      DRUGTREE_ASSIGN_OR_RETURN(double len, ParseNumber());
+      if (len < 0) return Error("negative branch length");
+      tree->mutable_node(me).branch_length = len;
+    }
+    return util::Status::OK();
+  }
+
+  util::Result<NodeId> AddNode(Tree* tree, NodeId parent) {
+    if (parent == kInvalidNode) return tree->AddRoot();
+    return tree->AddChild(parent);
+  }
+
+  util::Result<std::string> ParseLabel() {
+    if (Peek() == '\'') {
+      ++pos_;
+      std::string out;
+      while (pos_ < text_.size()) {
+        char c = text_[pos_];
+        if (c == '\'') {
+          // '' is an escaped quote inside a quoted label.
+          if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '\'') {
+            out += '\'';
+            pos_ += 2;
+            continue;
+          }
+          ++pos_;
+          return out;
+        }
+        out += c;
+        ++pos_;
+      }
+      return util::Status(util::StatusCode::kParseError,
+                          "unterminated quoted label");
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ',' || c == ')' || c == '(' || c == ':' || c == ';' ||
+          std::isspace(static_cast<unsigned char>(c))) {
+        break;
+      }
+      out += c;
+      ++pos_;
+    }
+    return out;
+  }
+
+  util::Result<double> ParseNumber() {
+    size_t start = pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' || c == '-' ||
+          c == '+' || c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Error("expected number");
+    auto v = util::ParseDouble(text_.substr(start, pos_ - start));
+    if (!v.ok()) return v.status();
+    return *v;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool Consume(char c) {
+    if (Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  util::Status Error(const std::string& msg) const {
+    return util::Status::ParseError(
+        util::StringPrintf("Newick position %zu: %s", pos_, msg.c_str()));
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+void WriteSubtree(const Tree& tree, NodeId id, bool is_root, std::string* out) {
+  const Node& n = tree.node(id);
+  if (!n.IsLeaf()) {
+    *out += '(';
+    for (size_t i = 0; i < n.children.size(); ++i) {
+      if (i) *out += ',';
+      WriteSubtree(tree, n.children[i], false, out);
+    }
+    *out += ')';
+  }
+  // Quote labels containing Newick metacharacters.
+  bool needs_quote = false;
+  for (char c : n.name) {
+    if (c == ',' || c == '(' || c == ')' || c == ':' || c == ';' || c == ' ' ||
+        c == '\'') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (needs_quote) {
+    *out += '\'';
+    for (char c : n.name) {
+      if (c == '\'') *out += "''";
+      else *out += c;
+    }
+    *out += '\'';
+  } else {
+    *out += n.name;
+  }
+  if (!is_root) *out += util::StringPrintf(":%.6f", n.branch_length);
+}
+
+}  // namespace
+
+util::Result<Tree> ParseNewick(const std::string& text) {
+  return NewickParser(text).Parse();
+}
+
+std::string WriteNewick(const Tree& tree) {
+  if (tree.Empty()) return ";";
+  std::string out;
+  WriteSubtree(tree, tree.root(), true, &out);
+  out += ';';
+  return out;
+}
+
+}  // namespace phylo
+}  // namespace drugtree

@@ -1,0 +1,33 @@
+// Newick tree format: the interchange format between the evolution
+// simulator, the tree builders, and external tools.
+//
+// Supported grammar (standard Newick):
+//   tree      := subtree ';'
+//   subtree   := leaf | internal
+//   leaf      := name? length?
+//   internal  := '(' subtree (',' subtree)* ')' name? length?
+//   length    := ':' number
+// Quoted labels ('...') and whitespace between tokens are handled.
+
+#ifndef DRUGTREE_PHYLO_NEWICK_H_
+#define DRUGTREE_PHYLO_NEWICK_H_
+
+#include <string>
+
+#include "phylo/tree.h"
+#include "util/result.h"
+
+namespace drugtree {
+namespace phylo {
+
+/// Parses a Newick string into a Tree. Errors name the offending position.
+util::Result<Tree> ParseNewick(const std::string& text);
+
+/// Serializes a tree to Newick. Branch lengths are written with 6 decimal
+/// places; the root's length is omitted (it is meaningless).
+std::string WriteNewick(const Tree& tree);
+
+}  // namespace phylo
+}  // namespace drugtree
+
+#endif  // DRUGTREE_PHYLO_NEWICK_H_

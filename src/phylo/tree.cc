@@ -1,0 +1,174 @@
+#include "phylo/tree.h"
+
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace phylo {
+
+util::Result<NodeId> Tree::AddRoot(std::string name, double branch_length) {
+  if (!nodes_.empty()) {
+    return util::Status::AlreadyExists("tree already has a root");
+  }
+  Node n;
+  n.id = 0;
+  n.name = std::move(name);
+  n.branch_length = branch_length;
+  nodes_.push_back(std::move(n));
+  return NodeId{0};
+}
+
+util::Result<NodeId> Tree::AddChild(NodeId parent, std::string name,
+                                    double branch_length) {
+  if (!Contains(parent)) {
+    return util::Status::InvalidArgument(
+        util::StringPrintf("parent node %d does not exist", parent));
+  }
+  Node n;
+  n.id = static_cast<NodeId>(nodes_.size());
+  n.parent = parent;
+  n.name = std::move(name);
+  n.branch_length = branch_length;
+  NodeId id = n.id;
+  nodes_.push_back(std::move(n));
+  nodes_[static_cast<size_t>(parent)].children.push_back(id);
+  return id;
+}
+
+size_t Tree::NumLeaves() const {
+  size_t n = 0;
+  for (const auto& node : nodes_) {
+    if (node.IsLeaf()) ++n;
+  }
+  return n;
+}
+
+std::vector<NodeId> Tree::Leaves() const {
+  std::vector<NodeId> out;
+  PreOrder([&](NodeId id) {
+    if (node(id).IsLeaf()) out.push_back(id);
+  });
+  return out;
+}
+
+std::vector<std::string> Tree::LeafNames() const {
+  std::vector<std::string> out;
+  PreOrder([&](NodeId id) {
+    if (node(id).IsLeaf()) out.push_back(node(id).name);
+  });
+  return out;
+}
+
+NodeId Tree::FindByName(const std::string& name) const {
+  for (const auto& n : nodes_) {
+    if (n.name == name) return n.id;
+  }
+  return kInvalidNode;
+}
+
+int Tree::Depth(NodeId id) const {
+  int d = 0;
+  while (node(id).parent != kInvalidNode) {
+    id = node(id).parent;
+    ++d;
+  }
+  return d;
+}
+
+int Tree::Height() const {
+  int h = 0;
+  for (const auto& n : nodes_) {
+    if (n.IsLeaf()) h = std::max(h, Depth(n.id));
+  }
+  return h;
+}
+
+double Tree::RootPathLength(NodeId id) const {
+  double total = 0.0;
+  while (node(id).parent != kInvalidNode) {
+    total += node(id).branch_length;
+    id = node(id).parent;
+  }
+  return total;
+}
+
+void Tree::PreOrder(const std::function<void(NodeId)>& visit) const {
+  if (nodes_.empty()) return;
+  std::vector<NodeId> stack = {root()};
+  while (!stack.empty()) {
+    NodeId id = stack.back();
+    stack.pop_back();
+    visit(id);
+    const auto& kids = node(id).children;
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+  }
+}
+
+void Tree::PostOrder(const std::function<void(NodeId)>& visit) const {
+  if (nodes_.empty()) return;
+  // Two-stack iterative post-order.
+  std::vector<NodeId> stack = {root()};
+  std::vector<NodeId> order;
+  while (!stack.empty()) {
+    NodeId id = stack.back();
+    stack.pop_back();
+    order.push_back(id);
+    for (NodeId c : node(id).children) stack.push_back(c);
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) visit(*it);
+}
+
+util::Status Tree::Validate() const {
+  if (nodes_.empty()) return util::Status::OK();
+  if (!nodes_[0].IsRoot()) {
+    return util::Status::Internal("node 0 is not the root");
+  }
+  std::unordered_set<std::string> leaf_names;
+  size_t visited = 0;
+  for (const auto& n : nodes_) {
+    if (n.id != kInvalidNode && static_cast<size_t>(n.id) >= nodes_.size()) {
+      return util::Status::Internal("node id out of range");
+    }
+    if (n.id != 0 && n.parent == kInvalidNode) {
+      return util::Status::Internal(
+          util::StringPrintf("node %d has no parent but is not the root", n.id));
+    }
+    if (n.branch_length < 0.0) {
+      return util::Status::Internal(
+          util::StringPrintf("node %d has negative branch length", n.id));
+    }
+    if (n.parent != kInvalidNode) {
+      if (!Contains(n.parent)) {
+        return util::Status::Internal("dangling parent pointer");
+      }
+      const auto& kids = node(n.parent).children;
+      bool linked = false;
+      for (NodeId c : kids) {
+        if (c == n.id) {
+          linked = true;
+          break;
+        }
+      }
+      if (!linked) {
+        return util::Status::Internal(util::StringPrintf(
+            "node %d not in its parent's child list", n.id));
+      }
+    }
+    if (n.IsLeaf() && !n.name.empty()) {
+      if (!leaf_names.insert(n.name).second) {
+        return util::Status::Internal("duplicate leaf name: " + n.name);
+      }
+    }
+  }
+  PreOrder([&](NodeId) { ++visited; });
+  if (visited != nodes_.size()) {
+    return util::Status::Internal(util::StringPrintf(
+        "tree is disconnected: visited %zu of %zu nodes", visited,
+        nodes_.size()));
+  }
+  return util::Status::OK();
+}
+
+}  // namespace phylo
+}  // namespace drugtree

@@ -1,0 +1,96 @@
+// Rooted phylogenetic tree. Nodes are stored in a flat vector and addressed
+// by integer NodeId, which is what the storage/query layers key on.
+
+#ifndef DRUGTREE_PHYLO_TREE_H_
+#define DRUGTREE_PHYLO_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace drugtree {
+namespace phylo {
+
+using NodeId = int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// One tree node. Leaves carry taxon names; internal nodes may be anonymous.
+struct Node {
+  NodeId id = kInvalidNode;
+  NodeId parent = kInvalidNode;
+  std::vector<NodeId> children;
+  std::string name;           // taxon name for leaves; may be empty internally
+  double branch_length = 0.0; // length of the edge to the parent
+
+  bool IsLeaf() const { return children.empty(); }
+  bool IsRoot() const { return parent == kInvalidNode; }
+};
+
+/// A rooted tree with arbitrary node degree (NJ trees root at a trifurcation).
+///
+/// Construction is via AddRoot/AddChild (builders and the Newick parser use
+/// this), after which the structure is immutable in practice; Validate()
+/// checks the invariants.
+class Tree {
+ public:
+  Tree() = default;
+
+  /// Creates the root node; fails if one already exists.
+  util::Result<NodeId> AddRoot(std::string name = "", double branch_length = 0.0);
+
+  /// Adds a child under `parent`; fails if parent is out of range.
+  util::Result<NodeId> AddChild(NodeId parent, std::string name = "",
+                                double branch_length = 0.0);
+
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumLeaves() const;
+  bool Empty() const { return nodes_.empty(); }
+
+  NodeId root() const { return nodes_.empty() ? kInvalidNode : 0; }
+
+  const Node& node(NodeId id) const { return nodes_[static_cast<size_t>(id)]; }
+  Node& mutable_node(NodeId id) { return nodes_[static_cast<size_t>(id)]; }
+  bool Contains(NodeId id) const {
+    return id >= 0 && static_cast<size_t>(id) < nodes_.size();
+  }
+
+  /// All leaf node ids, in DFS (pre-order) order.
+  std::vector<NodeId> Leaves() const;
+
+  /// Leaf taxon names in DFS order.
+  std::vector<std::string> LeafNames() const;
+
+  /// Finds the first node with the given name, or kInvalidNode.
+  NodeId FindByName(const std::string& name) const;
+
+  /// Depth (edge count from root) of a node.
+  int Depth(NodeId id) const;
+
+  /// Maximum leaf depth.
+  int Height() const;
+
+  /// Sum of branch lengths from the root to `id`.
+  double RootPathLength(NodeId id) const;
+
+  /// Pre-order traversal; visit(node_id) for every node.
+  void PreOrder(const std::function<void(NodeId)>& visit) const;
+
+  /// Post-order traversal.
+  void PostOrder(const std::function<void(NodeId)>& visit) const;
+
+  /// Checks structural invariants: node 0 is the only root, parent/child
+  /// links are mutually consistent, the graph is a single connected tree,
+  /// branch lengths are non-negative, and leaf names are unique.
+  util::Status Validate() const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace phylo
+}  // namespace drugtree
+
+#endif  // DRUGTREE_PHYLO_TREE_H_

@@ -1,0 +1,135 @@
+#include "phylo/tree_index.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace drugtree {
+namespace phylo {
+
+util::Result<TreeIndex> TreeIndex::Build(const Tree& tree) {
+  if (tree.Empty()) {
+    return util::Status::InvalidArgument("cannot index an empty tree");
+  }
+  DRUGTREE_RETURN_IF_ERROR(tree.Validate());
+
+  TreeIndex idx;
+  idx.tree_ = &tree;
+  const size_t n = tree.NumNodes();
+  idx.pre_.assign(n, 0);
+  idx.post_.assign(n, 0);
+  idx.depth_.assign(n, 0);
+  idx.leaf_count_.assign(n, 0);
+  idx.root_dist_.assign(n, 0.0);
+  idx.pre_to_node_.assign(n, kInvalidNode);
+  idx.first_occurrence_.assign(n, -1);
+
+  // Iterative DFS assigning pre-order numbers and building the Euler tour.
+  int32_t counter = 0;
+  struct Frame {
+    NodeId id;
+    size_t child_idx;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({tree.root(), 0});
+  idx.pre_[static_cast<size_t>(tree.root())] = counter;
+  idx.pre_to_node_[static_cast<size_t>(counter)] = tree.root();
+  ++counter;
+
+  auto tour_push = [&](NodeId id) {
+    if (idx.first_occurrence_[static_cast<size_t>(id)] < 0) {
+      idx.first_occurrence_[static_cast<size_t>(id)] =
+          static_cast<int32_t>(idx.euler_.size());
+    }
+    idx.euler_.push_back(id);
+    idx.euler_depth_.push_back(idx.depth_[static_cast<size_t>(id)]);
+  };
+  tour_push(tree.root());
+
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const Node& node = tree.node(f.id);
+    if (f.child_idx < node.children.size()) {
+      NodeId child = node.children[f.child_idx++];
+      idx.depth_[static_cast<size_t>(child)] =
+          idx.depth_[static_cast<size_t>(f.id)] + 1;
+      idx.root_dist_[static_cast<size_t>(child)] =
+          idx.root_dist_[static_cast<size_t>(f.id)] +
+          tree.node(child).branch_length;
+      idx.pre_[static_cast<size_t>(child)] = counter;
+      idx.pre_to_node_[static_cast<size_t>(counter)] = child;
+      ++counter;
+      stack.push_back({child, 0});
+      tour_push(child);
+    } else {
+      idx.post_[static_cast<size_t>(f.id)] = counter - 1;
+      idx.leaf_count_[static_cast<size_t>(f.id)] =
+          node.IsLeaf() ? 1 : 0;
+      for (NodeId c : node.children) {
+        idx.leaf_count_[static_cast<size_t>(f.id)] +=
+            idx.leaf_count_[static_cast<size_t>(c)];
+      }
+      stack.pop_back();
+      if (!stack.empty()) tour_push(stack.back().id);
+    }
+  }
+
+  // Sparse table over the Euler tour depths.
+  const size_t m = idx.euler_.size();
+  int levels = 1;
+  while ((size_t{1} << levels) <= m) ++levels;
+  idx.sparse_.assign(static_cast<size_t>(levels), {});
+  idx.sparse_[0].resize(m);
+  for (size_t i = 0; i < m; ++i) idx.sparse_[0][i] = static_cast<int32_t>(i);
+  for (int k = 1; k < levels; ++k) {
+    size_t span = size_t{1} << k;
+    if (span > m) break;
+    idx.sparse_[static_cast<size_t>(k)].resize(m - span + 1);
+    for (size_t i = 0; i + span <= m; ++i) {
+      int32_t a = idx.sparse_[static_cast<size_t>(k - 1)][i];
+      int32_t b = idx.sparse_[static_cast<size_t>(k - 1)][i + span / 2];
+      idx.sparse_[static_cast<size_t>(k)][i] =
+          idx.euler_depth_[static_cast<size_t>(a)] <=
+                  idx.euler_depth_[static_cast<size_t>(b)]
+              ? a
+              : b;
+    }
+  }
+  return idx;
+}
+
+NodeId TreeIndex::Lca(NodeId a, NodeId b) const {
+  DT_CHECK(tree_->Contains(a) && tree_->Contains(b)) << "bad node id";
+  int32_t fa = first_occurrence_[static_cast<size_t>(a)];
+  int32_t fb = first_occurrence_[static_cast<size_t>(b)];
+  if (fa > fb) std::swap(fa, fb);
+  size_t len = static_cast<size_t>(fb - fa + 1);
+  int k = 0;
+  while ((size_t{1} << (k + 1)) <= len) ++k;
+  int32_t left = sparse_[static_cast<size_t>(k)][static_cast<size_t>(fa)];
+  int32_t right = sparse_[static_cast<size_t>(k)]
+                         [static_cast<size_t>(fb) - (size_t{1} << k) + 1];
+  int32_t best = euler_depth_[static_cast<size_t>(left)] <=
+                         euler_depth_[static_cast<size_t>(right)]
+                     ? left
+                     : right;
+  return euler_[static_cast<size_t>(best)];
+}
+
+std::vector<NodeId> TreeIndex::SubtreeNodes(NodeId id) const {
+  std::vector<NodeId> out;
+  int32_t lo = Pre(id), hi = Post(id);
+  out.reserve(static_cast<size_t>(hi - lo + 1));
+  for (int32_t p = lo; p <= hi; ++p) out.push_back(NodeAtPre(p));
+  return out;
+}
+
+double TreeIndex::PathLength(NodeId a, NodeId b) const {
+  NodeId l = Lca(a, b);
+  return root_dist_[static_cast<size_t>(a)] +
+         root_dist_[static_cast<size_t>(b)] -
+         2.0 * root_dist_[static_cast<size_t>(l)];
+}
+
+}  // namespace phylo
+}  // namespace drugtree

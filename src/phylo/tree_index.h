@@ -1,0 +1,98 @@
+// TreeIndex — the tree-query acceleration structure, and the heart of the
+// poster's "novel mechanisms" claim.
+//
+// Each node receives a pre-order number `pre` and the maximum pre-order
+// number in its subtree `post`, so
+//     v is in subtree(u)  <=>  pre(u) <= pre(v) && pre(v) <= post(u).
+// Subtree and ancestor/descendant predicates thus become *interval range
+// predicates over integers*, which the query engine turns into B+-tree range
+// scans instead of per-row tree walks — this is what removes the "lags
+// concerning querying the tree".
+//
+// An Euler tour + sparse-table RMQ provides O(1) lowest-common-ancestor.
+
+#ifndef DRUGTREE_PHYLO_TREE_INDEX_H_
+#define DRUGTREE_PHYLO_TREE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "phylo/tree.h"
+#include "util/result.h"
+
+namespace drugtree {
+namespace phylo {
+
+/// Immutable acceleration index over a Tree. Build once after construction;
+/// O(n log n) space for the LCA table.
+class TreeIndex {
+ public:
+  /// Builds the index. Fails if the tree is empty or invalid.
+  static util::Result<TreeIndex> Build(const Tree& tree);
+
+  /// Pre-order number of a node (0-based; root is 0).
+  int32_t Pre(NodeId id) const { return pre_[static_cast<size_t>(id)]; }
+
+  /// Largest pre-order number within the node's subtree (inclusive).
+  int32_t Post(NodeId id) const { return post_[static_cast<size_t>(id)]; }
+
+  /// Depth in edges from the root.
+  int32_t Depth(NodeId id) const { return depth_[static_cast<size_t>(id)]; }
+
+  /// Number of nodes in the subtree rooted at `id`.
+  int32_t SubtreeSize(NodeId id) const {
+    return Post(id) - Pre(id) + 1;
+  }
+
+  /// Number of leaves in the subtree rooted at `id`.
+  int32_t SubtreeLeafCount(NodeId id) const {
+    return leaf_count_[static_cast<size_t>(id)];
+  }
+
+  /// True iff `descendant` lies in the subtree of `ancestor` (inclusive:
+  /// a node is its own ancestor).
+  bool IsAncestor(NodeId ancestor, NodeId descendant) const {
+    return Pre(ancestor) <= Pre(descendant) && Pre(descendant) <= Post(ancestor);
+  }
+
+  /// Lowest common ancestor in O(1).
+  NodeId Lca(NodeId a, NodeId b) const;
+
+  /// Node with the given pre-order number.
+  NodeId NodeAtPre(int32_t pre) const {
+    return pre_to_node_[static_cast<size_t>(pre)];
+  }
+
+  /// All nodes in the subtree of `id`, by ascending pre-order — materialized
+  /// from the interval, O(answer).
+  std::vector<NodeId> SubtreeNodes(NodeId id) const;
+
+  /// Patristic distance (sum of branch lengths) between two nodes, via LCA.
+  double PathLength(NodeId a, NodeId b) const;
+
+  size_t NumNodes() const { return pre_.size(); }
+
+ private:
+  TreeIndex() = default;
+
+  const Tree* tree_ = nullptr;
+  std::vector<int32_t> pre_;
+  std::vector<int32_t> post_;
+  std::vector<int32_t> depth_;
+  std::vector<int32_t> leaf_count_;
+  std::vector<double> root_dist_;     // branch-length distance from root
+  std::vector<NodeId> pre_to_node_;
+
+  // Euler tour for LCA.
+  std::vector<NodeId> euler_;               // node at each tour step
+  std::vector<int32_t> euler_depth_;        // depth at each tour step
+  std::vector<int32_t> first_occurrence_;   // node -> first tour index
+  // sparse_[k][i] = index (into euler_) of the min-depth step in
+  // [i, i + 2^k).
+  std::vector<std::vector<int32_t>> sparse_;
+};
+
+}  // namespace phylo
+}  // namespace drugtree
+
+#endif  // DRUGTREE_PHYLO_TREE_INDEX_H_

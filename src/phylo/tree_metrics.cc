@@ -1,0 +1,115 @@
+#include "phylo/tree_metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace drugtree {
+namespace phylo {
+
+namespace {
+
+// Collects the non-trivial splits of a tree as sorted leaf-name sets,
+// canonicalized to the side not containing the lexicographically smallest
+// leaf (so rooting does not matter).
+util::Result<std::set<std::vector<std::string>>> Splits(const Tree& tree) {
+  std::vector<std::string> all_leaves = tree.LeafNames();
+  std::sort(all_leaves.begin(), all_leaves.end());
+  if (all_leaves.empty()) {
+    return util::Status::InvalidArgument("tree has no leaves");
+  }
+  const std::string& anchor = all_leaves.front();
+
+  // Leaf sets bottom-up.
+  std::map<NodeId, std::vector<std::string>> below;
+  std::set<std::vector<std::string>> splits;
+  tree.PostOrder([&](NodeId id) {
+    const Node& n = tree.node(id);
+    std::vector<std::string> mine;
+    if (n.IsLeaf()) {
+      mine.push_back(n.name);
+    } else {
+      for (NodeId c : n.children) {
+        auto& cv = below[c];
+        mine.insert(mine.end(), cv.begin(), cv.end());
+      }
+      std::sort(mine.begin(), mine.end());
+    }
+    // Non-trivial split: 2 <= |side| <= n-2 after canonicalization.
+    if (!n.IsRoot() && mine.size() >= 2 && mine.size() <= all_leaves.size() - 2) {
+      std::vector<std::string> side = mine;
+      if (std::binary_search(side.begin(), side.end(), anchor)) {
+        // Complement.
+        std::vector<std::string> comp;
+        std::set_difference(all_leaves.begin(), all_leaves.end(), side.begin(),
+                            side.end(), std::back_inserter(comp));
+        side = std::move(comp);
+      }
+      if (side.size() >= 2) splits.insert(std::move(side));
+    }
+    below[id] = std::move(mine);
+  });
+  return splits;
+}
+
+}  // namespace
+
+util::Result<int> RobinsonFoulds(const Tree& a, const Tree& b) {
+  std::vector<std::string> la = a.LeafNames();
+  std::vector<std::string> lb = b.LeafNames();
+  std::sort(la.begin(), la.end());
+  std::sort(lb.begin(), lb.end());
+  if (la != lb) {
+    return util::Status::InvalidArgument(
+        "trees have different leaf sets; RF undefined");
+  }
+  DRUGTREE_ASSIGN_OR_RETURN(auto sa, Splits(a));
+  DRUGTREE_ASSIGN_OR_RETURN(auto sb, Splits(b));
+  int only_a = 0, only_b = 0;
+  for (const auto& s : sa) {
+    if (!sb.count(s)) ++only_a;
+  }
+  for (const auto& s : sb) {
+    if (!sa.count(s)) ++only_b;
+  }
+  return only_a + only_b;
+}
+
+util::Result<double> NormalizedRobinsonFoulds(const Tree& a, const Tree& b) {
+  DRUGTREE_ASSIGN_OR_RETURN(int rf, RobinsonFoulds(a, b));
+  DRUGTREE_ASSIGN_OR_RETURN(auto sa, Splits(a));
+  DRUGTREE_ASSIGN_OR_RETURN(auto sb, Splits(b));
+  size_t denom = sa.size() + sb.size();
+  if (denom == 0) return 0.0;
+  return static_cast<double>(rf) / static_cast<double>(denom);
+}
+
+double TotalBranchLength(const Tree& tree) {
+  double total = 0.0;
+  tree.PreOrder([&](NodeId id) {
+    if (!tree.node(id).IsRoot()) total += tree.node(id).branch_length;
+  });
+  return total;
+}
+
+bool IsUltrametric(const Tree& tree, double tolerance) {
+  bool first = true;
+  double depth0 = 0.0;
+  bool ok = true;
+  tree.PreOrder([&](NodeId id) {
+    if (!tree.node(id).IsLeaf()) return;
+    double d = tree.RootPathLength(id);
+    if (first) {
+      depth0 = d;
+      first = false;
+    } else if (std::abs(d - depth0) > tolerance) {
+      ok = false;
+    }
+  });
+  return ok;
+}
+
+}  // namespace phylo
+}  // namespace drugtree

@@ -1,0 +1,33 @@
+// Tree comparison metrics. Robinson-Foulds distance scores reconstruction
+// accuracy against the simulator's true tree (experiment E5).
+
+#ifndef DRUGTREE_PHYLO_TREE_METRICS_H_
+#define DRUGTREE_PHYLO_TREE_METRICS_H_
+
+#include "phylo/tree.h"
+#include "util/result.h"
+
+namespace drugtree {
+namespace phylo {
+
+/// Robinson-Foulds distance between two trees over the same leaf set:
+/// the number of non-trivial bipartitions present in exactly one tree.
+/// Fails if the trees' leaf-name sets differ.
+util::Result<int> RobinsonFoulds(const Tree& a, const Tree& b);
+
+/// Normalized RF in [0, 1]: RF divided by the maximum possible
+/// (2 * (n - 3) for two fully resolved unrooted trees; we use the sum of the
+/// two trees' non-trivial split counts, which handles multifurcations).
+util::Result<double> NormalizedRobinsonFoulds(const Tree& a, const Tree& b);
+
+/// Sum of all branch lengths.
+double TotalBranchLength(const Tree& tree);
+
+/// True iff all leaves are equidistant from the root within `tolerance`
+/// (i.e. the tree is ultrametric — what UPGMA guarantees).
+bool IsUltrametric(const Tree& tree, double tolerance = 1e-6);
+
+}  // namespace phylo
+}  // namespace drugtree
+
+#endif  // DRUGTREE_PHYLO_TREE_METRICS_H_

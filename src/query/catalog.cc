@@ -1,0 +1,47 @@
+#include "query/catalog.h"
+
+namespace drugtree {
+namespace query {
+
+util::Status Catalog::Register(storage::Table* table) {
+  if (table == nullptr) {
+    return util::Status::InvalidArgument("cannot register null table");
+  }
+  auto [it, inserted] = tables_.emplace(table->name(), table);
+  (void)it;
+  if (!inserted) {
+    return util::Status::AlreadyExists("table already registered: " +
+                                       table->name());
+  }
+  return util::Status::OK();
+}
+
+util::Result<storage::Table*> Catalog::Lookup(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return util::Status::NotFound("no such table: " + name);
+  }
+  return it->second;
+}
+
+util::Status Catalog::BindTree(const std::string& table, TreeBinding binding) {
+  DRUGTREE_ASSIGN_OR_RETURN(storage::Table * t, Lookup(table));
+  if (!t->schema().Has(binding.node_col) || !t->schema().Has(binding.pre_col)) {
+    return util::Status::InvalidArgument(
+        "tree binding references missing columns on " + table);
+  }
+  if (!binding.post_col.empty() && !t->schema().Has(binding.post_col)) {
+    return util::Status::InvalidArgument(
+        "tree binding post column missing on " + table);
+  }
+  tree_bindings_[table] = std::move(binding);
+  return util::Status::OK();
+}
+
+const TreeBinding* Catalog::GetTreeBinding(const std::string& table) const {
+  auto it = tree_bindings_.find(table);
+  return it == tree_bindings_.end() ? nullptr : &it->second;
+}
+
+}  // namespace query
+}  // namespace drugtree

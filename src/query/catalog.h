@@ -1,0 +1,71 @@
+// Catalog: name -> table resolution plus the tree metadata the optimizer's
+// tree-predicate rewrite needs.
+
+#ifndef DRUGTREE_QUERY_CATALOG_H_
+#define DRUGTREE_QUERY_CATALOG_H_
+
+#include <map>
+#include <string>
+
+#include "phylo/tree.h"
+#include "phylo/tree_index.h"
+#include "storage/table.h"
+#include "util/result.h"
+
+namespace drugtree {
+namespace query {
+
+/// Declares that a table's columns encode tree positions:
+///   node_col holds NodeIds, pre_col the node's pre-order number, and
+///   post_col (optional, empty when absent) the subtree-max pre-order.
+/// With this binding, SUBTREE(node_col, X) rewrites to
+///   pre_col BETWEEN pre(X) AND post(X)
+/// and ANCESTOR_OF(node_col, X) (only when post_col exists) to
+///   pre_col <= pre(X) AND post_col >= pre(X).
+struct TreeBinding {
+  std::string node_col;
+  std::string pre_col;
+  std::string post_col;
+};
+
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Registers a table under its name. The table is borrowed and must
+  /// outlive the catalog.
+  util::Status Register(storage::Table* table);
+
+  util::Result<storage::Table*> Lookup(const std::string& name) const;
+
+  /// Attaches the phylogeny used by tree functions and rewrites.
+  void SetTree(const phylo::Tree* tree, const phylo::TreeIndex* index) {
+    tree_ = tree;
+    tree_index_ = index;
+  }
+  const phylo::Tree* tree() const { return tree_; }
+  const phylo::TreeIndex* tree_index() const { return tree_index_; }
+
+  /// Declares a tree binding for a registered table.
+  util::Status BindTree(const std::string& table, TreeBinding binding);
+
+  /// Binding for a table, or nullptr.
+  const TreeBinding* GetTreeBinding(const std::string& table) const;
+
+  /// Bumps the data epoch; result caches key on this to invalidate stale
+  /// entries after data changes.
+  void BumpEpoch() { ++epoch_; }
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  std::map<std::string, storage::Table*> tables_;
+  std::map<std::string, TreeBinding> tree_bindings_;
+  const phylo::Tree* tree_ = nullptr;
+  const phylo::TreeIndex* tree_index_ = nullptr;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace query
+}  // namespace drugtree
+
+#endif  // DRUGTREE_QUERY_CATALOG_H_

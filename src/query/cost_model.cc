@@ -1,0 +1,135 @@
+#include "query/cost_model.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace query {
+
+using storage::ColumnStats;
+using storage::Value;
+
+const ColumnStats* CostModel::StatsFor(const std::string& qualified) const {
+  size_t dot = qualified.find('.');
+  if (dot == std::string::npos) return nullptr;
+  std::string alias = qualified.substr(0, dot);
+  std::string col = qualified.substr(dot + 1);
+  auto it = alias_to_table_.find(alias);
+  if (it == alias_to_table_.end()) return nullptr;
+  auto table = catalog_->Lookup(it->second);
+  if (!table.ok()) return nullptr;
+  const storage::TableStats* stats = (*table)->stats();
+  if (stats == nullptr) return nullptr;
+  auto idx = (*table)->schema().IndexOf(col);
+  if (!idx.ok()) return nullptr;
+  return &stats->column(*idx);
+}
+
+double CostModel::TableRows(const std::string& alias) const {
+  auto it = alias_to_table_.find(alias);
+  if (it == alias_to_table_.end()) return 1000.0;
+  auto table = catalog_->Lookup(it->second);
+  if (!table.ok()) return 1000.0;
+  return std::max<double>(1.0, static_cast<double>((*table)->NumRows()));
+}
+
+double CostModel::ConjunctSelectivity(const Expr& conjunct) const {
+  if (conjunct.kind == ExprKind::kBinary) {
+    const Expr* col = nullptr;
+    const Expr* lit = nullptr;
+    BinaryOp op = conjunct.bin_op;
+    const Expr* l = conjunct.children[0].get();
+    const Expr* r = conjunct.children[1].get();
+    auto flip = [](BinaryOp o) {
+      switch (o) {
+        case BinaryOp::kLt: return BinaryOp::kGt;
+        case BinaryOp::kLe: return BinaryOp::kGe;
+        case BinaryOp::kGt: return BinaryOp::kLt;
+        case BinaryOp::kGe: return BinaryOp::kLe;
+        default: return o;
+      }
+    };
+    if (l->kind == ExprKind::kColumnRef && r->kind == ExprKind::kLiteral) {
+      col = l;
+      lit = r;
+    } else if (r->kind == ExprKind::kColumnRef &&
+               l->kind == ExprKind::kLiteral) {
+      col = r;
+      lit = l;
+      op = flip(op);
+    }
+    if (col != nullptr) {
+      const ColumnStats* stats = StatsFor(col->column);
+      if (stats != nullptr) {
+        switch (op) {
+          case BinaryOp::kEq:
+            return stats->EqualitySelectivity(lit->literal);
+          case BinaryOp::kNe:
+            return std::clamp(
+                1.0 - stats->EqualitySelectivity(lit->literal), 0.0, 1.0);
+          case BinaryOp::kLt:
+          case BinaryOp::kLe:
+            return stats->RangeSelectivity(Value::Null(), true, lit->literal,
+                                           op == BinaryOp::kLe);
+          case BinaryOp::kGt:
+          case BinaryOp::kGe:
+            return stats->RangeSelectivity(lit->literal, op == BinaryOp::kGe,
+                                           Value::Null(), true);
+          default:
+            break;
+        }
+      }
+      // No stats: defaults.
+      switch (op) {
+        case BinaryOp::kEq: return 0.1;
+        case BinaryOp::kNe: return 0.9;
+        default: return 0.33;
+      }
+    }
+    if (conjunct.bin_op == BinaryOp::kAnd) {
+      return ConjunctSelectivity(*l) * ConjunctSelectivity(*r);
+    }
+    if (conjunct.bin_op == BinaryOp::kOr) {
+      double a = ConjunctSelectivity(*l), b = ConjunctSelectivity(*r);
+      return std::clamp(a + b - a * b, 0.0, 1.0);
+    }
+  }
+  if (conjunct.kind == ExprKind::kFunction) {
+    // Tree predicates before rewriting: assume a moderately selective clade.
+    if (conjunct.function == "SUBTREE") return 0.2;
+    if (conjunct.function == "ANCESTOR_OF") return 0.01;
+    if (conjunct.function == "IS_NULL") return 0.05;
+  }
+  if (conjunct.kind == ExprKind::kUnary &&
+      conjunct.un_op == UnaryOp::kNot) {
+    return std::clamp(1.0 - ConjunctSelectivity(*conjunct.children[0]), 0.0,
+                      1.0);
+  }
+  return 0.5;
+}
+
+double CostModel::EstimateScanRows(const std::string& alias,
+                                   const ExprPtr& pred) const {
+  double rows = TableRows(alias);
+  if (pred) {
+    for (const auto& c : SplitConjuncts(pred)) {
+      rows *= ConjunctSelectivity(*c);
+    }
+  }
+  return std::max(1.0, rows);
+}
+
+double CostModel::JoinSelectivity(const std::string& left_col,
+                                  const std::string& right_col) const {
+  const ColumnStats* l = StatsFor(left_col);
+  const ColumnStats* r = StatsFor(right_col);
+  double ndv = 0;
+  if (l != nullptr) ndv = std::max(ndv, static_cast<double>(l->num_distinct()));
+  if (r != nullptr) ndv = std::max(ndv, static_cast<double>(r->num_distinct()));
+  if (ndv <= 0) return 0.01;
+  return 1.0 / ndv;
+}
+
+}  // namespace query
+}  // namespace drugtree

@@ -1,0 +1,61 @@
+// Cardinality and cost estimation over table statistics — the "standard"
+// half of the poster's optimization story.
+
+#ifndef DRUGTREE_QUERY_COST_MODEL_H_
+#define DRUGTREE_QUERY_COST_MODEL_H_
+
+#include <map>
+#include <string>
+
+#include "query/catalog.h"
+#include "query/expr.h"
+#include "util/result.h"
+
+namespace drugtree {
+namespace query {
+
+/// Estimates selectivities and cardinalities. Alias-aware: expressions use
+/// qualified names ("p.family"), and the estimator is constructed with the
+/// alias -> table mapping of the current query.
+class CostModel {
+ public:
+  CostModel(const Catalog* catalog,
+            std::map<std::string, std::string> alias_to_table)
+      : catalog_(catalog), alias_to_table_(std::move(alias_to_table)) {}
+
+  /// Base row count of the table behind `alias`.
+  double TableRows(const std::string& alias) const;
+
+  /// Selectivity in [0,1] of one conjunct. Handles col-vs-literal
+  /// comparisons via column statistics; unknown shapes get the classic
+  /// default guesses (0.33 for range, 0.1 for equality, 0.5 otherwise).
+  double ConjunctSelectivity(const Expr& conjunct) const;
+
+  /// Estimated output of scanning `alias` under a conjunction (may be null).
+  double EstimateScanRows(const std::string& alias, const ExprPtr& pred) const;
+
+  /// Equi-join selectivity for `left_col = right_col`: 1/max(ndv_l, ndv_r);
+  /// falls back to 0.01 when statistics are missing.
+  double JoinSelectivity(const std::string& left_col,
+                         const std::string& right_col) const;
+
+  /// Per-operator cost constants (arbitrary units ~ row touches).
+  static constexpr double kSeqScanRowCost = 1.0;
+  static constexpr double kIndexProbeCost = 4.0;   // traversal overhead
+  static constexpr double kIndexRowCost = 1.5;     // fetch per matching row
+  static constexpr double kHashBuildRowCost = 1.5;
+  static constexpr double kHashProbeRowCost = 1.0;
+  static constexpr double kNestedLoopRowCost = 0.6;
+
+ private:
+  /// Splits "alias.column"; returns the ColumnStats or null.
+  const storage::ColumnStats* StatsFor(const std::string& qualified) const;
+
+  const Catalog* catalog_;
+  std::map<std::string, std::string> alias_to_table_;
+};
+
+}  // namespace query
+}  // namespace drugtree
+
+#endif  // DRUGTREE_QUERY_COST_MODEL_H_

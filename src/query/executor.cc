@@ -1,0 +1,72 @@
+#include "query/executor.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace query {
+
+uint64_t QueryResult::ApproxBytes() const {
+  uint64_t bytes = 64;
+  for (const auto& c : columns) bytes += c.size();
+  for (const auto& row : rows) {
+    bytes += 16;
+    for (const auto& v : row) {
+      bytes += 16;
+      if (v.type() == storage::ValueType::kString) bytes += v.AsString().size();
+    }
+  }
+  return bytes;
+}
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::vector<size_t> widths(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].size();
+  size_t shown = std::min(rows.size(), max_rows);
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < rows[r].size() && c < columns.size(); ++c) {
+      cells[r].push_back(rows[r][c].ToString());
+      widths[c] = std::max(widths[c], cells[r].back().size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& vals) {
+    out += "|";
+    for (size_t c = 0; c < columns.size(); ++c) {
+      std::string v = c < vals.size() ? vals[c] : "";
+      out += " " + v + std::string(widths[c] - v.size(), ' ') + " |";
+    }
+    out += "\n";
+  };
+  emit_row(columns);
+  out += "|";
+  for (size_t c = 0; c < columns.size(); ++c) {
+    out += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += "\n";
+  for (const auto& r : cells) emit_row(r);
+  if (rows.size() > shown) {
+    out += util::StringPrintf("... (%zu more rows)\n", rows.size() - shown);
+  }
+  return out;
+}
+
+util::Result<QueryResult> ExecutePlan(PhysicalOperator* root) {
+  DRUGTREE_RETURN_IF_ERROR(root->Open());
+  QueryResult result;
+  for (const auto& c : root->schema().columns()) {
+    result.columns.push_back(c.name);
+  }
+  storage::Row row;
+  for (;;) {
+    DRUGTREE_ASSIGN_OR_RETURN(bool more, root->Next(&row));
+    if (!more) break;
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace query
+}  // namespace drugtree

@@ -1,0 +1,33 @@
+// Query results and the pull-to-completion executor.
+
+#ifndef DRUGTREE_QUERY_EXECUTOR_H_
+#define DRUGTREE_QUERY_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "query/physical.h"
+#include "util/result.h"
+
+namespace drugtree {
+namespace query {
+
+/// A fully materialized query result.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<storage::Row> rows;
+
+  /// Rough in-memory footprint, used as the result-cache charge.
+  uint64_t ApproxBytes() const;
+
+  /// ASCII table rendering (for examples and debugging).
+  std::string ToString(size_t max_rows = 50) const;
+};
+
+/// Opens `root` and drains it into a QueryResult.
+util::Result<QueryResult> ExecutePlan(PhysicalOperator* root);
+
+}  // namespace query
+}  // namespace drugtree
+
+#endif  // DRUGTREE_QUERY_EXECUTOR_H_

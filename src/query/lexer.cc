@@ -1,0 +1,154 @@
+#include "query/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace query {
+
+bool IsKeyword(const std::string& upper_word) {
+  static const std::unordered_set<std::string> kKeywords = {
+      "SELECT", "FROM",  "WHERE", "AND",   "OR",    "NOT",     "JOIN",
+      "ON",     "GROUP", "BY",    "ORDER", "ASC",   "DESC",    "LIMIT",
+      "AS",     "TRUE",  "FALSE", "NULL",  "INNER", "IS",      "DISTINCT",
+      "BETWEEN",
+  };
+  return kKeywords.count(upper_word) > 0;
+}
+
+util::Result<std::vector<Token>> Lex(const std::string& text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+  auto error = [&](const std::string& msg) {
+    return util::Status::ParseError(
+        util::StringPrintf("query position %zu: %s", i, msg.c_str()));
+  };
+  while (i < n) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) ||
+                       text[i] == '_')) {
+        ++i;
+      }
+      std::string word = text.substr(start, i - start);
+      // Qualified identifier "a.b".
+      if (i < n && text[i] == '.' && i + 1 < n &&
+          (std::isalpha(static_cast<unsigned char>(text[i + 1])) ||
+           text[i + 1] == '_')) {
+        ++i;
+        size_t qstart = i;
+        while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) ||
+                         text[i] == '_')) {
+          ++i;
+        }
+        tok.kind = TokenKind::kIdentifier;
+        tok.text = word + "." + text.substr(qstart, i - qstart);
+        tokens.push_back(std::move(tok));
+        continue;
+      }
+      std::string upper = util::ToUpper(word);
+      if (IsKeyword(upper)) {
+        tok.kind = TokenKind::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.kind = TokenKind::kIdentifier;
+        tok.text = word;
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      if (i < n && text[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      }
+      if (i < n && (text[i] == 'e' || text[i] == 'E')) {
+        size_t save = i;
+        ++i;
+        if (i < n && (text[i] == '+' || text[i] == '-')) ++i;
+        if (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) {
+          is_float = true;
+          while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+        } else {
+          i = save;
+        }
+      }
+      std::string num = text.substr(start, i - start);
+      if (is_float) {
+        DRUGTREE_ASSIGN_OR_RETURN(double v, util::ParseDouble(num));
+        tok.kind = TokenKind::kFloat;
+        tok.float_value = v;
+      } else {
+        DRUGTREE_ASSIGN_OR_RETURN(int64_t v, util::ParseInt64(num));
+        tok.kind = TokenKind::kInteger;
+        tok.int_value = v;
+      }
+      tok.text = std::move(num);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string s;
+      bool closed = false;
+      while (i < n) {
+        if (text[i] == '\'') {
+          if (i + 1 < n && text[i + 1] == '\'') {
+            s += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        s += text[i++];
+      }
+      if (!closed) return error("unterminated string literal");
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(s);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Operators.
+    auto two = i + 1 < n ? text.substr(i, 2) : std::string();
+    if (two == "<>" || two == "<=" || two == ">=" || two == "!=") {
+      tok.kind = TokenKind::kOperator;
+      tok.text = two == "!=" ? "<>" : two;
+      i += 2;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::string("=<>+-*/(),.;").find(c) != std::string::npos) {
+      tok.kind = TokenKind::kOperator;
+      tok.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    return error(util::StringPrintf("unexpected character '%c'", c));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace query
+}  // namespace drugtree

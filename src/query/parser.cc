@@ -1,0 +1,401 @@
+#include "query/parser.h"
+
+#include "query/lexer.h"
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace query {
+
+using storage::Value;
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  util::Result<SelectStatement> Parse() {
+    SelectStatement stmt;
+    DRUGTREE_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    stmt.distinct = ConsumeKeyword("DISTINCT");
+    // Select list.
+    for (;;) {
+      DRUGTREE_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      stmt.select.push_back(std::move(item));
+      if (!ConsumeOperator(",")) break;
+    }
+    DRUGTREE_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    // Table refs with joins.
+    DRUGTREE_ASSIGN_OR_RETURN(TableRef first, ParseTableRef());
+    stmt.tables.push_back(std::move(first));
+    std::vector<ExprPtr> join_conditions;
+    for (;;) {
+      if (ConsumeOperator(",")) {
+        DRUGTREE_ASSIGN_OR_RETURN(TableRef t, ParseTableRef());
+        stmt.tables.push_back(std::move(t));
+        continue;
+      }
+      if (PeekKeyword("INNER") || PeekKeyword("JOIN")) {
+        ConsumeKeyword("INNER");
+        DRUGTREE_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        DRUGTREE_ASSIGN_OR_RETURN(TableRef t, ParseTableRef());
+        stmt.tables.push_back(std::move(t));
+        DRUGTREE_RETURN_IF_ERROR(ExpectKeyword("ON"));
+        DRUGTREE_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+        join_conditions.push_back(std::move(cond));
+        continue;
+      }
+      break;
+    }
+    // WHERE.
+    if (ConsumeKeyword("WHERE")) {
+      DRUGTREE_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    // Fold JOIN ... ON conditions into the WHERE conjunction.
+    for (auto& cond : join_conditions) {
+      stmt.where = stmt.where
+                       ? Expr::Binary(BinaryOp::kAnd, stmt.where, cond)
+                       : cond;
+    }
+    // GROUP BY.
+    if (ConsumeKeyword("GROUP")) {
+      DRUGTREE_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      for (;;) {
+        DRUGTREE_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        stmt.group_by.push_back(std::move(e));
+        if (!ConsumeOperator(",")) break;
+      }
+    }
+    // ORDER BY.
+    if (ConsumeKeyword("ORDER")) {
+      DRUGTREE_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      for (;;) {
+        OrderKey key;
+        DRUGTREE_ASSIGN_OR_RETURN(key.expr, ParseExpr());
+        if (ConsumeKeyword("DESC")) {
+          key.ascending = false;
+        } else {
+          ConsumeKeyword("ASC");
+        }
+        stmt.order_by.push_back(std::move(key));
+        if (!ConsumeOperator(",")) break;
+      }
+    }
+    // LIMIT.
+    if (ConsumeKeyword("LIMIT")) {
+      const Token& t = Peek();
+      if (t.kind != TokenKind::kInteger) {
+        return Error("LIMIT expects an integer");
+      }
+      if (t.int_value < 0) return Error("LIMIT must be non-negative");
+      stmt.limit = t.int_value;
+      ++pos_;
+    }
+    ConsumeOperator(";");
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing tokens");
+    }
+    return stmt;
+  }
+
+ private:
+  util::Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    if (PeekOperator("*")) {
+      ++pos_;
+      item.star = true;
+      return item;
+    }
+    DRUGTREE_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    if (ConsumeKeyword("AS")) {
+      const Token& t = Peek();
+      if (t.kind != TokenKind::kIdentifier) {
+        return Error("AS expects an identifier");
+      }
+      item.alias = t.text;
+      ++pos_;
+    } else if (Peek().kind == TokenKind::kIdentifier &&
+               !PeekKeyword("FROM")) {
+      item.alias = Peek().text;
+      ++pos_;
+    } else {
+      item.alias = item.expr->ToString();
+    }
+    return item;
+  }
+
+  util::Result<TableRef> ParseTableRef() {
+    const Token& t = Peek();
+    if (t.kind != TokenKind::kIdentifier) {
+      return Error("expected table name");
+    }
+    TableRef ref;
+    ref.table = t.text;
+    ref.alias = t.text;
+    ++pos_;
+    if (ConsumeKeyword("AS")) {
+      const Token& a = Peek();
+      if (a.kind != TokenKind::kIdentifier) {
+        return Error("AS expects an identifier");
+      }
+      ref.alias = a.text;
+      ++pos_;
+    } else if (Peek().kind == TokenKind::kIdentifier) {
+      ref.alias = Peek().text;
+      ++pos_;
+    }
+    return ref;
+  }
+
+  // Expression precedence climbing.
+  util::Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  util::Result<ExprPtr> ParseOr() {
+    DRUGTREE_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (ConsumeKeyword("OR")) {
+      DRUGTREE_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = Expr::Binary(BinaryOp::kOr, left, right);
+    }
+    return left;
+  }
+
+  util::Result<ExprPtr> ParseAnd() {
+    DRUGTREE_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (ConsumeKeyword("AND")) {
+      DRUGTREE_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = Expr::Binary(BinaryOp::kAnd, left, right);
+    }
+    return left;
+  }
+
+  util::Result<ExprPtr> ParseNot() {
+    if (ConsumeKeyword("NOT")) {
+      DRUGTREE_ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
+      return Expr::Unary(UnaryOp::kNot, e);
+    }
+    return ParseComparison();
+  }
+
+  util::Result<ExprPtr> ParseComparison() {
+    DRUGTREE_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    // BETWEEN lo AND hi desugars to (left >= lo AND left <= hi); the AND
+    // here belongs to BETWEEN, not to the logical conjunction.
+    if (ConsumeKeyword("BETWEEN")) {
+      DRUGTREE_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+      DRUGTREE_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      DRUGTREE_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+      return Expr::Binary(
+          BinaryOp::kAnd, Expr::Binary(BinaryOp::kGe, left->Clone(), lo),
+          Expr::Binary(BinaryOp::kLe, left, hi));
+    }
+    // IS [NOT] NULL postfix.
+    if (ConsumeKeyword("IS")) {
+      bool negated = ConsumeKeyword("NOT");
+      DRUGTREE_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      // IS NULL must be true for NULLs, which '=' cannot express under
+      // three-valued logic, so it becomes a dedicated function.
+      ExprPtr test = Expr::Function("IS_NULL", {left});
+      return negated ? Expr::Unary(UnaryOp::kNot, test) : test;
+    }
+    static const struct {
+      const char* text;
+      BinaryOp op;
+    } kOps[] = {{"=", BinaryOp::kEq}, {"<>", BinaryOp::kNe},
+                {"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe},
+                {"<", BinaryOp::kLt},  {">", BinaryOp::kGt}};
+    for (const auto& o : kOps) {
+      if (PeekOperator(o.text)) {
+        ++pos_;
+        DRUGTREE_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+        return Expr::Binary(o.op, left, right);
+      }
+    }
+    return left;
+  }
+
+  util::Result<ExprPtr> ParseAdditive() {
+    DRUGTREE_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    for (;;) {
+      if (PeekOperator("+")) {
+        ++pos_;
+        DRUGTREE_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+        left = Expr::Binary(BinaryOp::kAdd, left, right);
+      } else if (PeekOperator("-")) {
+        ++pos_;
+        DRUGTREE_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+        left = Expr::Binary(BinaryOp::kSub, left, right);
+      } else {
+        return left;
+      }
+    }
+  }
+
+  util::Result<ExprPtr> ParseMultiplicative() {
+    DRUGTREE_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    for (;;) {
+      if (PeekOperator("*")) {
+        ++pos_;
+        DRUGTREE_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+        left = Expr::Binary(BinaryOp::kMul, left, right);
+      } else if (PeekOperator("/")) {
+        ++pos_;
+        DRUGTREE_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+        left = Expr::Binary(BinaryOp::kDiv, left, right);
+      } else {
+        return left;
+      }
+    }
+  }
+
+  util::Result<ExprPtr> ParseUnary() {
+    if (PeekOperator("-")) {
+      ++pos_;
+      DRUGTREE_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+      return Expr::Unary(UnaryOp::kNeg, e);
+    }
+    return ParsePrimary();
+  }
+
+  util::Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInteger:
+        ++pos_;
+        return Expr::Literal(Value::Int64(t.int_value));
+      case TokenKind::kFloat:
+        ++pos_;
+        return Expr::Literal(Value::Double(t.float_value));
+      case TokenKind::kString:
+        ++pos_;
+        return Expr::Literal(Value::String(t.text));
+      case TokenKind::kKeyword:
+        if (t.text == "TRUE") {
+          ++pos_;
+          return Expr::Literal(Value::Bool(true));
+        }
+        if (t.text == "FALSE") {
+          ++pos_;
+          return Expr::Literal(Value::Bool(false));
+        }
+        if (t.text == "NULL") {
+          ++pos_;
+          return Expr::Literal(Value::Null());
+        }
+        return Error("unexpected keyword " + t.text);
+      case TokenKind::kIdentifier: {
+        std::string name = t.text;
+        ++pos_;
+        if (PeekOperator("(")) {
+          ++pos_;
+          std::vector<ExprPtr> args;
+          if (PeekOperator("*")) {
+            // COUNT(*)
+            ++pos_;
+          } else if (!PeekOperator(")")) {
+            for (;;) {
+              DRUGTREE_ASSIGN_OR_RETURN(ExprPtr a, ParseExpr());
+              args.push_back(std::move(a));
+              if (!ConsumeOperator(",")) break;
+            }
+          }
+          if (!ConsumeOperator(")")) return Error("expected ')'");
+          return Expr::Function(name, std::move(args));
+        }
+        return Expr::Column(name);
+      }
+      case TokenKind::kOperator:
+        if (t.text == "(") {
+          ++pos_;
+          DRUGTREE_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          if (!ConsumeOperator(")")) return Error("expected ')'");
+          return e;
+        }
+        return Error("unexpected operator " + t.text);
+      case TokenKind::kEnd:
+        return Error("unexpected end of query");
+    }
+    return Error("unexpected token");
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+
+  bool PeekKeyword(const std::string& kw) const {
+    return Peek().kind == TokenKind::kKeyword && Peek().text == kw;
+  }
+  bool PeekOperator(const std::string& op) const {
+    return Peek().kind == TokenKind::kOperator && Peek().text == op;
+  }
+  bool ConsumeKeyword(const std::string& kw) {
+    if (PeekKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeOperator(const std::string& op) {
+    if (PeekOperator(op)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  util::Status ExpectKeyword(const std::string& kw) {
+    if (!ConsumeKeyword(kw)) {
+      return util::Status::ParseError(util::StringPrintf(
+          "query position %zu: expected %s", Peek().position, kw.c_str()));
+    }
+    return util::Status::OK();
+  }
+  util::Status Error(const std::string& msg) const {
+    return util::Status::ParseError(util::StringPrintf(
+        "query position %zu: %s", Peek().position, msg.c_str()));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string SelectStatement::ToString() const {
+  std::string out = distinct ? "SELECT DISTINCT " : "SELECT ";
+  for (size_t i = 0; i < select.size(); ++i) {
+    if (i) out += ", ";
+    out += select[i].star ? "*" : select[i].expr->ToString();
+    if (!select[i].star && !select[i].alias.empty()) {
+      out += " AS " + select[i].alias;
+    }
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (i) out += ", ";
+    out += tables[i].table;
+    if (tables[i].alias != tables[i].table) out += " " + tables[i].alias;
+  }
+  if (where) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i) out += ", ";
+      out += group_by[i]->ToString();
+    }
+  }
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i) out += ", ";
+      out += order_by[i].expr->ToString();
+      if (!order_by[i].ascending) out += " DESC";
+    }
+  }
+  if (limit) out += util::StringPrintf(" LIMIT %lld", (long long)*limit);
+  return out;
+}
+
+util::Result<SelectStatement> ParseQuery(const std::string& text) {
+  DRUGTREE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  return Parser(std::move(tokens)).Parse();
+}
+
+}  // namespace query
+}  // namespace drugtree

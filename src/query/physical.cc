@@ -1,0 +1,653 @@
+#include "query/physical.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace query {
+
+using storage::Column;
+using storage::Row;
+using storage::Schema;
+using storage::Table;
+using storage::Value;
+using storage::ValueType;
+
+namespace {
+
+// Qualified scan schema for a base table under an alias.
+util::Result<Schema> ScanSchema(const Table& table, const std::string& alias) {
+  std::vector<Column> cols;
+  for (const auto& c : table.schema().columns()) {
+    cols.push_back({alias + "." + c.name, c.type, c.nullable});
+  }
+  return Schema::Create(std::move(cols));
+}
+
+uint64_t HashKey(const std::vector<Value>& key) {
+  uint64_t h = 0x9E3779B97F4A7C15ULL;
+  for (const auto& v : key) {
+    h ^= v.Hash() + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string PhysicalOperator::ExplainString(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += Describe();
+  out += "\n";
+  for (const auto* c : explain_children_) {
+    out += c->ExplainString(indent + 1);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- SeqScanOp
+
+SeqScanOp::SeqScanOp(const Table* table, std::string alias, ExprPtr predicate,
+                     EvalContext ctx, ExecStats* stats)
+    : table_(table),
+      alias_(std::move(alias)),
+      predicate_(std::move(predicate)),
+      ctx_(ctx),
+      stats_(stats) {}
+
+util::Status SeqScanOp::Open() {
+  DRUGTREE_ASSIGN_OR_RETURN(schema_, ScanSchema(*table_, alias_));
+  if (predicate_) {
+    DRUGTREE_RETURN_IF_ERROR(BindExpr(predicate_.get(), schema_));
+  }
+  cursor_ = 0;
+  return util::Status::OK();
+}
+
+util::Result<bool> SeqScanOp::Next(Row* out) {
+  while (cursor_ < table_->NumRows()) {
+    storage::RowId id = cursor_++;
+    if (table_->IsDeleted(id)) continue;
+    ++stats_->rows_scanned;
+    const Row& row = table_->row(id);
+    if (predicate_) {
+      ++stats_->predicate_evals;
+      DRUGTREE_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*predicate_, row, ctx_));
+      if (!keep) continue;
+    }
+    *out = row;
+    return true;
+  }
+  return false;
+}
+
+std::string SeqScanOp::Describe() const {
+  std::string out = "SeqScan " + table_->name();
+  if (alias_ != table_->name()) out += " AS " + alias_;
+  if (predicate_) out += " [filter: " + predicate_->ToString() + "]";
+  return out;
+}
+
+// -------------------------------------------------------------- IndexScanOp
+
+IndexScanOp::IndexScanOp(const Table* table, std::string alias,
+                         std::string column, Bounds bounds, ExprPtr residual,
+                         EvalContext ctx, ExecStats* stats)
+    : table_(table),
+      alias_(std::move(alias)),
+      column_(std::move(column)),
+      bounds_(std::move(bounds)),
+      residual_(std::move(residual)),
+      ctx_(ctx),
+      stats_(stats) {}
+
+util::Status IndexScanOp::Open() {
+  DRUGTREE_ASSIGN_OR_RETURN(schema_, ScanSchema(*table_, alias_));
+  if (residual_) {
+    DRUGTREE_RETURN_IF_ERROR(BindExpr(residual_.get(), schema_));
+  }
+  if (bounds_.is_point) {
+    DRUGTREE_ASSIGN_OR_RETURN(matches_,
+                              table_->IndexLookup(column_, bounds_.equal));
+  } else {
+    DRUGTREE_ASSIGN_OR_RETURN(
+        matches_, table_->IndexRange(column_, bounds_.lo, bounds_.lo_inclusive,
+                                     bounds_.hi, bounds_.hi_inclusive));
+  }
+  cursor_ = 0;
+  return util::Status::OK();
+}
+
+util::Result<bool> IndexScanOp::Next(Row* out) {
+  while (cursor_ < matches_.size()) {
+    storage::RowId id = matches_[cursor_++];
+    if (table_->IsDeleted(id)) continue;
+    ++stats_->rows_index_fetched;
+    const Row& row = table_->row(id);
+    if (residual_) {
+      ++stats_->predicate_evals;
+      DRUGTREE_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*residual_, row, ctx_));
+      if (!keep) continue;
+    }
+    *out = row;
+    return true;
+  }
+  return false;
+}
+
+std::string IndexScanOp::Describe() const {
+  std::string out = "IndexScan " + table_->name() + "." + column_;
+  if (bounds_.is_point) {
+    out += " = " + bounds_.equal.ToString();
+  } else {
+    out += util::StringPrintf(
+        " in %c%s, %s%c", bounds_.lo_inclusive ? '[' : '(',
+        bounds_.lo.is_null() ? "-inf" : bounds_.lo.ToString().c_str(),
+        bounds_.hi.is_null() ? "+inf" : bounds_.hi.ToString().c_str(),
+        bounds_.hi_inclusive ? ']' : ')');
+  }
+  if (residual_) out += " [residual: " + residual_->ToString() + "]";
+  return out;
+}
+
+// ----------------------------------------------------------------- FilterOp
+
+FilterOp::FilterOp(PhysicalPtr child, ExprPtr predicate, EvalContext ctx,
+                   ExecStats* stats)
+    : child_(std::move(child)),
+      predicate_(std::move(predicate)),
+      ctx_(ctx),
+      stats_(stats) {
+  explain_children_ = {child_.get()};
+}
+
+util::Status FilterOp::Open() {
+  DRUGTREE_RETURN_IF_ERROR(child_->Open());
+  schema_ = child_->schema();
+  if (predicate_) {
+    DRUGTREE_RETURN_IF_ERROR(BindExpr(predicate_.get(), schema_));
+  }
+  return util::Status::OK();
+}
+
+util::Result<bool> FilterOp::Next(Row* out) {
+  for (;;) {
+    DRUGTREE_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+    if (!more) return false;
+    if (!predicate_) return true;
+    ++stats_->predicate_evals;
+    DRUGTREE_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*predicate_, *out, ctx_));
+    if (keep) return true;
+  }
+}
+
+std::string FilterOp::Describe() const {
+  return "Filter " + (predicate_ ? predicate_->ToString() : "true");
+}
+
+// ---------------------------------------------------------------- ProjectOp
+
+ProjectOp::ProjectOp(PhysicalPtr child, std::vector<OutputColumn> outputs,
+                     EvalContext ctx)
+    : child_(std::move(child)), outputs_(std::move(outputs)), ctx_(ctx) {
+  explain_children_ = {child_.get()};
+}
+
+util::Status ProjectOp::Open() {
+  DRUGTREE_RETURN_IF_ERROR(child_->Open());
+  std::vector<Column> cols;
+  for (auto& o : outputs_) {
+    DRUGTREE_RETURN_IF_ERROR(BindExpr(o.expr.get(), child_->schema()));
+    cols.push_back({o.name, ValueType::kString, true});
+  }
+  DRUGTREE_ASSIGN_OR_RETURN(schema_, Schema::Create(std::move(cols)));
+  return util::Status::OK();
+}
+
+util::Result<bool> ProjectOp::Next(Row* out) {
+  Row in;
+  DRUGTREE_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+  if (!more) return false;
+  out->clear();
+  out->reserve(outputs_.size());
+  for (const auto& o : outputs_) {
+    DRUGTREE_ASSIGN_OR_RETURN(Value v, EvalExpr(*o.expr, in, ctx_));
+    out->push_back(std::move(v));
+  }
+  return true;
+}
+
+std::string ProjectOp::Describe() const {
+  std::string out = "Project ";
+  for (size_t i = 0; i < outputs_.size(); ++i) {
+    if (i) out += ", ";
+    out += outputs_[i].name;
+  }
+  return out;
+}
+
+// --------------------------------------------------------- NestedLoopJoinOp
+
+NestedLoopJoinOp::NestedLoopJoinOp(PhysicalPtr left, PhysicalPtr right,
+                                   ExprPtr condition, EvalContext ctx,
+                                   ExecStats* stats)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      condition_(std::move(condition)),
+      ctx_(ctx),
+      stats_(stats) {
+  explain_children_ = {left_.get(), right_.get()};
+}
+
+util::Status NestedLoopJoinOp::Open() {
+  DRUGTREE_RETURN_IF_ERROR(left_->Open());
+  DRUGTREE_RETURN_IF_ERROR(right_->Open());
+  std::vector<Column> cols;
+  for (const auto& c : left_->schema().columns()) cols.push_back(c);
+  for (const auto& c : right_->schema().columns()) cols.push_back(c);
+  DRUGTREE_ASSIGN_OR_RETURN(schema_, Schema::Create(std::move(cols)));
+  if (condition_) {
+    DRUGTREE_RETURN_IF_ERROR(BindExpr(condition_.get(), schema_));
+  }
+  // Materialize the inner side once.
+  right_rows_.clear();
+  Row r;
+  for (;;) {
+    DRUGTREE_ASSIGN_OR_RETURN(bool more, right_->Next(&r));
+    if (!more) break;
+    right_rows_.push_back(r);
+  }
+  have_left_ = false;
+  right_cursor_ = 0;
+  return util::Status::OK();
+}
+
+util::Result<bool> NestedLoopJoinOp::Next(Row* out) {
+  for (;;) {
+    if (!have_left_) {
+      DRUGTREE_ASSIGN_OR_RETURN(bool more, left_->Next(&current_left_));
+      if (!more) return false;
+      have_left_ = true;
+      right_cursor_ = 0;
+    }
+    while (right_cursor_ < right_rows_.size()) {
+      const Row& r = right_rows_[right_cursor_++];
+      Row joined = current_left_;
+      joined.insert(joined.end(), r.begin(), r.end());
+      if (condition_) {
+        ++stats_->predicate_evals;
+        DRUGTREE_ASSIGN_OR_RETURN(bool keep,
+                                  EvalPredicate(*condition_, joined, ctx_));
+        if (!keep) continue;
+      }
+      ++stats_->rows_joined;
+      *out = std::move(joined);
+      return true;
+    }
+    have_left_ = false;
+  }
+}
+
+std::string NestedLoopJoinOp::Describe() const {
+  return "NestedLoopJoin" +
+         (condition_ ? " ON " + condition_->ToString() : std::string(" (cross)"));
+}
+
+// --------------------------------------------------------------- HashJoinOp
+
+HashJoinOp::HashJoinOp(PhysicalPtr left, PhysicalPtr right,
+                       std::vector<std::pair<ExprPtr, ExprPtr>> key_pairs,
+                       ExprPtr residual, EvalContext ctx, ExecStats* stats)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      key_pairs_(std::move(key_pairs)),
+      residual_(std::move(residual)),
+      ctx_(ctx),
+      stats_(stats) {
+  explain_children_ = {left_.get(), right_.get()};
+}
+
+util::Result<uint64_t> HashJoinOp::KeyHash(const std::vector<ExprPtr>& exprs,
+                                           const Row& row,
+                                           std::vector<Value>* key_out) {
+  key_out->clear();
+  for (const auto& e : exprs) {
+    DRUGTREE_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, row, ctx_));
+    key_out->push_back(std::move(v));
+  }
+  return HashKey(*key_out);
+}
+
+util::Status HashJoinOp::Open() {
+  DRUGTREE_RETURN_IF_ERROR(left_->Open());
+  DRUGTREE_RETURN_IF_ERROR(right_->Open());
+  std::vector<Column> cols;
+  for (const auto& c : left_->schema().columns()) cols.push_back(c);
+  for (const auto& c : right_->schema().columns()) cols.push_back(c);
+  DRUGTREE_ASSIGN_OR_RETURN(schema_, Schema::Create(std::move(cols)));
+
+  // Bind: left keys to the left schema, right keys to the right schema,
+  // residual to the joined schema.
+  for (auto& [lk, rk] : key_pairs_) {
+    DRUGTREE_RETURN_IF_ERROR(BindExpr(lk.get(), left_->schema()));
+    DRUGTREE_RETURN_IF_ERROR(BindExpr(rk.get(), right_->schema()));
+  }
+  if (residual_) {
+    DRUGTREE_RETURN_IF_ERROR(BindExpr(residual_.get(), schema_));
+  }
+
+  // Build phase on the right input.
+  hash_table_.clear();
+  std::vector<ExprPtr> right_keys;
+  for (auto& [lk, rk] : key_pairs_) right_keys.push_back(rk);
+  Row r;
+  std::vector<Value> key;
+  for (;;) {
+    DRUGTREE_ASSIGN_OR_RETURN(bool more, right_->Next(&r));
+    if (!more) break;
+    DRUGTREE_ASSIGN_OR_RETURN(uint64_t h, KeyHash(right_keys, r, &key));
+    bool has_null = false;
+    for (const auto& v : key) has_null |= v.is_null();
+    if (has_null) continue;  // NULL keys never join
+    hash_table_.emplace(h, r);
+  }
+  have_left_ = false;
+  return util::Status::OK();
+}
+
+util::Result<bool> HashJoinOp::Next(Row* out) {
+  std::vector<ExprPtr> left_keys;
+  for (auto& [lk, rk] : key_pairs_) left_keys.push_back(lk);
+  std::vector<ExprPtr> right_keys;
+  for (auto& [lk, rk] : key_pairs_) right_keys.push_back(rk);
+  for (;;) {
+    if (!have_left_) {
+      DRUGTREE_ASSIGN_OR_RETURN(bool more, left_->Next(&current_left_));
+      if (!more) return false;
+      DRUGTREE_ASSIGN_OR_RETURN(uint64_t h,
+                                KeyHash(left_keys, current_left_,
+                                        &current_key_));
+      bool has_null = false;
+      for (const auto& v : current_key_) has_null |= v.is_null();
+      if (has_null) continue;
+      probe_range_ = hash_table_.equal_range(h);
+      have_left_ = true;
+    }
+    while (probe_range_.first != probe_range_.second) {
+      const Row& r = probe_range_.first->second;
+      ++probe_range_.first;
+      // Verify key equality (hash collisions).
+      std::vector<Value> rkey;
+      auto rh = KeyHash(right_keys, r, &rkey);
+      if (!rh.ok()) return rh.status();
+      if (rkey != current_key_) continue;
+      Row joined = current_left_;
+      joined.insert(joined.end(), r.begin(), r.end());
+      if (residual_) {
+        ++stats_->predicate_evals;
+        DRUGTREE_ASSIGN_OR_RETURN(bool keep,
+                                  EvalPredicate(*residual_, joined, ctx_));
+        if (!keep) continue;
+      }
+      ++stats_->rows_joined;
+      *out = std::move(joined);
+      return true;
+    }
+    have_left_ = false;
+  }
+}
+
+std::string HashJoinOp::Describe() const {
+  std::string out = "HashJoin ON ";
+  for (size_t i = 0; i < key_pairs_.size(); ++i) {
+    if (i) out += " AND ";
+    out += key_pairs_[i].first->ToString() + " = " +
+           key_pairs_[i].second->ToString();
+  }
+  if (residual_) out += " [residual: " + residual_->ToString() + "]";
+  return out;
+}
+
+// ------------------------------------------------------------------- SortOp
+
+SortOp::SortOp(PhysicalPtr child, std::vector<OrderKey> keys, EvalContext ctx)
+    : child_(std::move(child)), keys_(std::move(keys)), ctx_(ctx) {
+  explain_children_ = {child_.get()};
+}
+
+util::Status SortOp::Open() {
+  DRUGTREE_RETURN_IF_ERROR(child_->Open());
+  schema_ = child_->schema();
+  for (auto& k : keys_) {
+    DRUGTREE_RETURN_IF_ERROR(BindExpr(k.expr.get(), schema_));
+  }
+  rows_.clear();
+  Row r;
+  for (;;) {
+    DRUGTREE_ASSIGN_OR_RETURN(bool more, child_->Next(&r));
+    if (!more) break;
+    rows_.push_back(std::move(r));
+  }
+  // Precompute sort keys, then sort by them.
+  std::vector<std::pair<std::vector<Value>, size_t>> keyed;
+  keyed.reserve(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    std::vector<Value> kv;
+    for (const auto& k : keys_) {
+      DRUGTREE_ASSIGN_OR_RETURN(Value v, EvalExpr(*k.expr, rows_[i], ctx_));
+      kv.push_back(std::move(v));
+    }
+    keyed.emplace_back(std::move(kv), i);
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [this](const auto& a, const auto& b) {
+                     for (size_t k = 0; k < keys_.size(); ++k) {
+                       int c = a.first[k].Compare(b.first[k]);
+                       if (c != 0) return keys_[k].ascending ? c < 0 : c > 0;
+                     }
+                     return false;
+                   });
+  std::vector<Row> sorted;
+  sorted.reserve(rows_.size());
+  for (const auto& [kv, idx] : keyed) sorted.push_back(std::move(rows_[idx]));
+  rows_ = std::move(sorted);
+  cursor_ = 0;
+  return util::Status::OK();
+}
+
+util::Result<bool> SortOp::Next(Row* out) {
+  if (cursor_ >= rows_.size()) return false;
+  *out = rows_[cursor_++];
+  return true;
+}
+
+std::string SortOp::Describe() const {
+  std::string out = "Sort ";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i) out += ", ";
+    out += keys_[i].expr->ToString();
+    if (!keys_[i].ascending) out += " DESC";
+  }
+  return out;
+}
+
+// --------------------------------------------------------- HashAggregateOp
+
+HashAggregateOp::HashAggregateOp(PhysicalPtr child,
+                                 std::vector<ExprPtr> group_by,
+                                 std::vector<OutputColumn> aggregates,
+                                 Schema output_schema, EvalContext ctx)
+    : child_(std::move(child)),
+      group_by_(std::move(group_by)),
+      aggregates_(std::move(aggregates)),
+      ctx_(ctx) {
+  schema_ = std::move(output_schema);
+  explain_children_ = {child_.get()};
+}
+
+util::Status HashAggregateOp::Open() {
+  DRUGTREE_RETURN_IF_ERROR(child_->Open());
+  for (auto& g : group_by_) {
+    DRUGTREE_RETURN_IF_ERROR(BindExpr(g.get(), child_->schema()));
+  }
+  for (auto& a : aggregates_) {
+    // Bind the aggregate's argument (if any) against the child schema.
+    for (auto& arg : a.expr->children) {
+      DRUGTREE_RETURN_IF_ERROR(BindExpr(arg.get(), child_->schema()));
+    }
+  }
+  // Accumulate.
+  std::unordered_map<uint64_t, std::vector<size_t>> key_to_groups;
+  groups_.clear();
+  Row in;
+  for (;;) {
+    DRUGTREE_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    if (!more) break;
+    Row key;
+    for (const auto& g : group_by_) {
+      DRUGTREE_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, in, ctx_));
+      key.push_back(std::move(v));
+    }
+    uint64_t h = HashKey(key);
+    size_t group_idx = SIZE_MAX;
+    auto it = key_to_groups.find(h);
+    if (it != key_to_groups.end()) {
+      for (size_t gi : it->second) {
+        if (groups_[gi].first == key) {
+          group_idx = gi;
+          break;
+        }
+      }
+    }
+    if (group_idx == SIZE_MAX) {
+      group_idx = groups_.size();
+      groups_.emplace_back(key,
+                           std::vector<AggState>(aggregates_.size()));
+      key_to_groups[h].push_back(group_idx);
+    }
+    auto& states = groups_[group_idx].second;
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      AggState& st = states[a];
+      ++st.count;
+      const Expr& agg = *aggregates_[a].expr;
+      if (agg.children.empty()) continue;  // COUNT(*)
+      DRUGTREE_ASSIGN_OR_RETURN(Value v, EvalExpr(*agg.children[0], in, ctx_));
+      if (v.is_null()) continue;
+      ++st.non_null;
+      if (v.type() == ValueType::kInt64) {
+        st.sum += static_cast<double>(v.AsInt64());
+      } else if (v.type() == ValueType::kDouble) {
+        st.sum += v.AsDouble();
+        st.sum_is_int = false;
+      }
+      if (st.min.is_null() || v.Compare(st.min) < 0) st.min = v;
+      if (st.max.is_null() || v.Compare(st.max) > 0) st.max = v;
+    }
+  }
+  // A global aggregate (no GROUP BY) over zero rows still emits one group.
+  if (groups_.empty() && group_by_.empty()) {
+    groups_.emplace_back(Row{}, std::vector<AggState>(aggregates_.size()));
+  }
+  cursor_ = 0;
+  return util::Status::OK();
+}
+
+util::Result<bool> HashAggregateOp::Next(Row* out) {
+  if (cursor_ >= groups_.size()) return false;
+  const auto& [key, states] = groups_[cursor_++];
+  *out = key;
+  for (size_t a = 0; a < aggregates_.size(); ++a) {
+    const Expr& agg = *aggregates_[a].expr;
+    const AggState& st = states[a];
+    if (agg.function == "COUNT") {
+      out->push_back(Value::Int64(agg.children.empty() ? st.count
+                                                       : st.non_null));
+    } else if (agg.function == "SUM") {
+      if (st.non_null == 0) {
+        out->push_back(Value::Null());
+      } else if (st.sum_is_int) {
+        out->push_back(Value::Int64(static_cast<int64_t>(st.sum)));
+      } else {
+        out->push_back(Value::Double(st.sum));
+      }
+    } else if (agg.function == "AVG") {
+      out->push_back(st.non_null == 0
+                         ? Value::Null()
+                         : Value::Double(st.sum /
+                                         static_cast<double>(st.non_null)));
+    } else if (agg.function == "MIN") {
+      out->push_back(st.min);
+    } else if (agg.function == "MAX") {
+      out->push_back(st.max);
+    } else {
+      return util::Status::Unimplemented("aggregate " + agg.function);
+    }
+  }
+  return true;
+}
+
+std::string HashAggregateOp::Describe() const {
+  std::string out = "HashAggregate";
+  if (!group_by_.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by_.size(); ++i) {
+      if (i) out += ", ";
+      out += group_by_[i]->ToString();
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- DistinctOp
+
+DistinctOp::DistinctOp(PhysicalPtr child) : child_(std::move(child)) {
+  explain_children_ = {child_.get()};
+}
+
+util::Status DistinctOp::Open() {
+  DRUGTREE_RETURN_IF_ERROR(child_->Open());
+  schema_ = child_->schema();
+  seen_.clear();
+  return util::Status::OK();
+}
+
+util::Result<bool> DistinctOp::Next(Row* out) {
+  for (;;) {
+    DRUGTREE_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+    if (!more) return false;
+    std::string key;
+    storage::EncodeRow(*out, &key);
+    if (seen_.insert(std::move(key)).second) return true;
+  }
+}
+
+std::string DistinctOp::Describe() const { return "Distinct"; }
+
+// ------------------------------------------------------------------ LimitOp
+
+LimitOp::LimitOp(PhysicalPtr child, int64_t limit)
+    : child_(std::move(child)), limit_(limit) {
+  explain_children_ = {child_.get()};
+}
+
+util::Status LimitOp::Open() {
+  DRUGTREE_RETURN_IF_ERROR(child_->Open());
+  schema_ = child_->schema();
+  produced_ = 0;
+  return util::Status::OK();
+}
+
+util::Result<bool> LimitOp::Next(Row* out) {
+  if (produced_ >= limit_) return false;
+  DRUGTREE_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+  if (!more) return false;
+  ++produced_;
+  return true;
+}
+
+std::string LimitOp::Describe() const {
+  return util::StringPrintf("Limit %lld", (long long)limit_);
+}
+
+}  // namespace query
+}  // namespace drugtree

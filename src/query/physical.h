@@ -1,0 +1,256 @@
+// Physical operators (volcano iterator model). Each operator exposes
+// Open()/Next(&row) and its output schema; ExplainString() renders the
+// physical plan for EXPLAIN output and the E2 ablation logs.
+
+#ifndef DRUGTREE_QUERY_PHYSICAL_H_
+#define DRUGTREE_QUERY_PHYSICAL_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "query/catalog.h"
+#include "query/expr.h"
+#include "query/logical_plan.h"
+#include "query/parser.h"
+#include "storage/table.h"
+#include "util/result.h"
+
+namespace drugtree {
+namespace query {
+
+/// Execution-wide counters (reported by benchmarks).
+struct ExecStats {
+  int64_t rows_scanned = 0;       // rows read from base tables
+  int64_t rows_index_fetched = 0; // rows fetched through an index
+  int64_t rows_joined = 0;        // rows emitted by join operators
+  int64_t predicate_evals = 0;    // per-row predicate evaluations
+};
+
+class PhysicalOperator {
+ public:
+  virtual ~PhysicalOperator() = default;
+
+  /// Prepares for iteration (binds expressions, builds hash tables, sorts).
+  virtual util::Status Open() = 0;
+
+  /// Produces the next row. Returns false when exhausted.
+  virtual util::Result<bool> Next(storage::Row* out) = 0;
+
+  const storage::Schema& schema() const { return schema_; }
+
+  /// One-line operator description.
+  virtual std::string Describe() const = 0;
+
+  /// Indented subtree rendering.
+  std::string ExplainString(int indent = 0) const;
+
+ protected:
+  storage::Schema schema_;
+  std::vector<PhysicalOperator*> explain_children_;  // borrowed, for explain
+};
+
+using PhysicalPtr = std::unique_ptr<PhysicalOperator>;
+
+/// Full-table scan with an optional residual predicate.
+class SeqScanOp : public PhysicalOperator {
+ public:
+  SeqScanOp(const storage::Table* table, std::string alias, ExprPtr predicate,
+            EvalContext ctx, ExecStats* stats);
+  util::Status Open() override;
+  util::Result<bool> Next(storage::Row* out) override;
+  std::string Describe() const override;
+
+ private:
+  const storage::Table* table_;
+  std::string alias_;
+  ExprPtr predicate_;
+  EvalContext ctx_;
+  ExecStats* stats_;
+  int64_t cursor_ = 0;
+};
+
+/// Index access path: equality (hash or B+-tree) or range (B+-tree).
+class IndexScanOp : public PhysicalOperator {
+ public:
+  struct Bounds {
+    storage::Value equal;                // set for point lookups
+    storage::Value lo, hi;               // set for range scans (may be NULL)
+    bool lo_inclusive = true, hi_inclusive = true;
+    bool is_point = false;
+  };
+
+  IndexScanOp(const storage::Table* table, std::string alias,
+              std::string column, Bounds bounds, ExprPtr residual,
+              EvalContext ctx, ExecStats* stats);
+  util::Status Open() override;
+  util::Result<bool> Next(storage::Row* out) override;
+  std::string Describe() const override;
+
+ private:
+  const storage::Table* table_;
+  std::string alias_;
+  std::string column_;
+  Bounds bounds_;
+  ExprPtr residual_;
+  EvalContext ctx_;
+  ExecStats* stats_;
+  std::vector<storage::RowId> matches_;
+  size_t cursor_ = 0;
+};
+
+class FilterOp : public PhysicalOperator {
+ public:
+  FilterOp(PhysicalPtr child, ExprPtr predicate, EvalContext ctx,
+           ExecStats* stats);
+  util::Status Open() override;
+  util::Result<bool> Next(storage::Row* out) override;
+  std::string Describe() const override;
+
+ private:
+  PhysicalPtr child_;
+  ExprPtr predicate_;
+  EvalContext ctx_;
+  ExecStats* stats_;
+};
+
+class ProjectOp : public PhysicalOperator {
+ public:
+  ProjectOp(PhysicalPtr child, std::vector<OutputColumn> outputs,
+            EvalContext ctx);
+  util::Status Open() override;
+  util::Result<bool> Next(storage::Row* out) override;
+  std::string Describe() const override;
+
+ private:
+  PhysicalPtr child_;
+  std::vector<OutputColumn> outputs_;
+  EvalContext ctx_;
+};
+
+/// Nested-loop join with an arbitrary (possibly null) condition; the right
+/// input is materialized once.
+class NestedLoopJoinOp : public PhysicalOperator {
+ public:
+  NestedLoopJoinOp(PhysicalPtr left, PhysicalPtr right, ExprPtr condition,
+                   EvalContext ctx, ExecStats* stats);
+  util::Status Open() override;
+  util::Result<bool> Next(storage::Row* out) override;
+  std::string Describe() const override;
+
+ private:
+  PhysicalPtr left_, right_;
+  ExprPtr condition_;
+  EvalContext ctx_;
+  ExecStats* stats_;
+  std::vector<storage::Row> right_rows_;
+  storage::Row current_left_;
+  bool have_left_ = false;
+  size_t right_cursor_ = 0;
+};
+
+/// Hash join on one or more equi-key pairs, with an optional residual
+/// condition; builds on the right input, probes with the left.
+class HashJoinOp : public PhysicalOperator {
+ public:
+  HashJoinOp(PhysicalPtr left, PhysicalPtr right,
+             std::vector<std::pair<ExprPtr, ExprPtr>> key_pairs,
+             ExprPtr residual, EvalContext ctx, ExecStats* stats);
+  util::Status Open() override;
+  util::Result<bool> Next(storage::Row* out) override;
+  std::string Describe() const override;
+
+ private:
+  util::Result<uint64_t> KeyHash(const std::vector<ExprPtr>& exprs,
+                                 const storage::Row& row,
+                                 std::vector<storage::Value>* key_out);
+
+  PhysicalPtr left_, right_;
+  std::vector<std::pair<ExprPtr, ExprPtr>> key_pairs_;
+  ExprPtr residual_;
+  EvalContext ctx_;
+  ExecStats* stats_;
+  std::unordered_multimap<uint64_t, storage::Row> hash_table_;
+  storage::Row current_left_;
+  std::vector<storage::Value> current_key_;
+  bool have_left_ = false;
+  std::pair<std::unordered_multimap<uint64_t, storage::Row>::iterator,
+            std::unordered_multimap<uint64_t, storage::Row>::iterator>
+      probe_range_;
+};
+
+/// Full sort (materializing).
+class SortOp : public PhysicalOperator {
+ public:
+  SortOp(PhysicalPtr child, std::vector<OrderKey> keys, EvalContext ctx);
+  util::Status Open() override;
+  util::Result<bool> Next(storage::Row* out) override;
+  std::string Describe() const override;
+
+ private:
+  PhysicalPtr child_;
+  std::vector<OrderKey> keys_;
+  EvalContext ctx_;
+  std::vector<storage::Row> rows_;
+  size_t cursor_ = 0;
+};
+
+/// Hash aggregation with COUNT/SUM/AVG/MIN/MAX.
+class HashAggregateOp : public PhysicalOperator {
+ public:
+  HashAggregateOp(PhysicalPtr child, std::vector<ExprPtr> group_by,
+                  std::vector<OutputColumn> aggregates,
+                  storage::Schema output_schema, EvalContext ctx);
+  util::Status Open() override;
+  util::Result<bool> Next(storage::Row* out) override;
+  std::string Describe() const override;
+
+ private:
+  struct AggState {
+    int64_t count = 0;          // rows seen (for COUNT(*) / AVG)
+    int64_t non_null = 0;       // non-null inputs (for COUNT(x))
+    double sum = 0.0;
+    bool sum_is_int = true;
+    storage::Value min, max;
+  };
+
+  PhysicalPtr child_;
+  std::vector<ExprPtr> group_by_;
+  std::vector<OutputColumn> aggregates_;
+  EvalContext ctx_;
+  std::vector<std::pair<storage::Row, std::vector<AggState>>> groups_;
+  size_t cursor_ = 0;
+};
+
+/// Streaming duplicate elimination (hash set over encoded rows).
+class DistinctOp : public PhysicalOperator {
+ public:
+  explicit DistinctOp(PhysicalPtr child);
+  util::Status Open() override;
+  util::Result<bool> Next(storage::Row* out) override;
+  std::string Describe() const override;
+
+ private:
+  PhysicalPtr child_;
+  std::unordered_set<std::string> seen_;
+};
+
+class LimitOp : public PhysicalOperator {
+ public:
+  LimitOp(PhysicalPtr child, int64_t limit);
+  util::Status Open() override;
+  util::Result<bool> Next(storage::Row* out) override;
+  std::string Describe() const override;
+
+ private:
+  PhysicalPtr child_;
+  int64_t limit_;
+  int64_t produced_ = 0;
+};
+
+}  // namespace query
+}  // namespace drugtree
+
+#endif  // DRUGTREE_QUERY_PHYSICAL_H_

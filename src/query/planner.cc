@@ -1,0 +1,296 @@
+#include "query/planner.h"
+
+#include <algorithm>
+
+#include "query/parser.h"
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace query {
+
+using storage::Table;
+using storage::Value;
+using storage::ValueType;
+
+namespace {
+
+/// True iff every column the expression references resolves in `schema`.
+bool RefersOnly(const Expr& e, const storage::Schema& schema) {
+  std::vector<std::string> cols;
+  e.CollectColumns(&cols);
+  for (const auto& c : cols) {
+    if (!ResolveColumn(schema, c).ok()) return false;
+  }
+  return true;
+}
+
+/// Matches `col op literal` (either side); returns the canonical form.
+struct ColLiteral {
+  std::string column;   // qualified
+  BinaryOp op;
+  Value literal;
+};
+
+bool MatchColLiteral(const Expr& e, ColLiteral* out) {
+  if (e.kind != ExprKind::kBinary) return false;
+  switch (e.bin_op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      break;
+    default:
+      return false;
+  }
+  const Expr& l = *e.children[0];
+  const Expr& r = *e.children[1];
+  if (l.kind == ExprKind::kColumnRef && r.kind == ExprKind::kLiteral) {
+    out->column = l.column;
+    out->op = e.bin_op;
+    out->literal = r.literal;
+    return true;
+  }
+  if (r.kind == ExprKind::kColumnRef && l.kind == ExprKind::kLiteral) {
+    out->column = r.column;
+    out->literal = l.literal;
+    switch (e.bin_op) {
+      case BinaryOp::kEq: out->op = BinaryOp::kEq; break;
+      case BinaryOp::kLt: out->op = BinaryOp::kGt; break;
+      case BinaryOp::kLe: out->op = BinaryOp::kGe; break;
+      case BinaryOp::kGt: out->op = BinaryOp::kLt; break;
+      case BinaryOp::kGe: out->op = BinaryOp::kLe; break;
+      default: return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+/// Strips the "alias." prefix.
+std::string UnqualifiedName(const std::string& qualified) {
+  size_t dot = qualified.find('.');
+  return dot == std::string::npos ? qualified : qualified.substr(dot + 1);
+}
+
+}  // namespace
+
+util::Result<PhysicalPtr> Planner::ToPhysical(const LogicalPtr& node,
+                                              const PlannerOptions& options,
+                                              ExecStats* stats) {
+  EvalContext ctx{catalog_->tree(), catalog_->tree_index()};
+  switch (node->kind) {
+    case LogicalKind::kScan: {
+      DRUGTREE_ASSIGN_OR_RETURN(Table * table, catalog_->Lookup(node->table));
+      if (!options.enable_index_selection || !node->scan_predicate) {
+        return PhysicalPtr(std::make_unique<SeqScanOp>(
+            table, node->alias,
+            node->scan_predicate ? node->scan_predicate->Clone() : nullptr,
+            ctx, stats));
+      }
+      // Index selection: find the best access path among the conjuncts.
+      auto conjuncts = SplitConjuncts(node->scan_predicate);
+      // Candidate 1: equality on an indexed column.
+      int best_eq = -1;
+      // Candidate 2: range bounds on an indexed (B+-tree) column; collect
+      // all range conjuncts for the same column.
+      std::string best_range_col;
+      for (size_t i = 0; i < conjuncts.size(); ++i) {
+        ColLiteral cl;
+        if (!MatchColLiteral(*conjuncts[i], &cl)) continue;
+        std::string col = UnqualifiedName(cl.column);
+        if (cl.op == BinaryOp::kEq && table->HasIndex(col)) {
+          best_eq = static_cast<int>(i);
+          break;  // equality is always the best choice
+        }
+        if (cl.op != BinaryOp::kEq && table->GetBTreeIndex(col) != nullptr &&
+            best_range_col.empty()) {
+          best_range_col = col;
+        }
+      }
+      if (best_eq >= 0) {
+        ColLiteral cl;
+        MatchColLiteral(*conjuncts[static_cast<size_t>(best_eq)], &cl);
+        IndexScanOp::Bounds bounds;
+        bounds.is_point = true;
+        bounds.equal = cl.literal;
+        std::vector<ExprPtr> residual;
+        for (size_t i = 0; i < conjuncts.size(); ++i) {
+          if (static_cast<int>(i) != best_eq) residual.push_back(conjuncts[i]);
+        }
+        return PhysicalPtr(std::make_unique<IndexScanOp>(
+            table, node->alias, UnqualifiedName(cl.column), bounds,
+            CombineConjuncts(residual), ctx, stats));
+      }
+      if (!best_range_col.empty()) {
+        IndexScanOp::Bounds bounds;
+        std::vector<ExprPtr> residual;
+        for (auto& c : conjuncts) {
+          ColLiteral cl;
+          if (MatchColLiteral(*c, &cl) &&
+              UnqualifiedName(cl.column) == best_range_col &&
+              cl.op != BinaryOp::kEq) {
+            switch (cl.op) {
+              case BinaryOp::kLt:
+              case BinaryOp::kLe:
+                if (bounds.hi.is_null() || cl.literal.Compare(bounds.hi) < 0) {
+                  bounds.hi = cl.literal;
+                  bounds.hi_inclusive = cl.op == BinaryOp::kLe;
+                }
+                continue;
+              case BinaryOp::kGt:
+              case BinaryOp::kGe:
+                if (bounds.lo.is_null() || cl.literal.Compare(bounds.lo) > 0) {
+                  bounds.lo = cl.literal;
+                  bounds.lo_inclusive = cl.op == BinaryOp::kGe;
+                }
+                continue;
+              default:
+                break;
+            }
+          }
+          residual.push_back(c);
+        }
+        return PhysicalPtr(std::make_unique<IndexScanOp>(
+            table, node->alias, best_range_col, bounds,
+            CombineConjuncts(residual), ctx, stats));
+      }
+      return PhysicalPtr(std::make_unique<SeqScanOp>(
+          table, node->alias, node->scan_predicate->Clone(), ctx, stats));
+    }
+    case LogicalKind::kFilter: {
+      DRUGTREE_ASSIGN_OR_RETURN(PhysicalPtr child,
+                                ToPhysical(node->children[0], options, stats));
+      return PhysicalPtr(std::make_unique<FilterOp>(
+          std::move(child), node->predicate->Clone(), ctx, stats));
+    }
+    case LogicalKind::kProject: {
+      DRUGTREE_ASSIGN_OR_RETURN(PhysicalPtr child,
+                                ToPhysical(node->children[0], options, stats));
+      std::vector<OutputColumn> outputs;
+      for (const auto& o : node->outputs) {
+        outputs.push_back({o.expr->Clone(), o.name});
+      }
+      return PhysicalPtr(std::make_unique<ProjectOp>(std::move(child),
+                                                     std::move(outputs), ctx));
+    }
+    case LogicalKind::kJoin: {
+      DRUGTREE_ASSIGN_OR_RETURN(PhysicalPtr left,
+                                ToPhysical(node->children[0], options, stats));
+      DRUGTREE_ASSIGN_OR_RETURN(PhysicalPtr right,
+                                ToPhysical(node->children[1], options, stats));
+      // Split the condition into equi pairs and residual.
+      std::vector<std::pair<ExprPtr, ExprPtr>> key_pairs;
+      std::vector<ExprPtr> residual;
+      if (node->join_condition && options.enable_hash_join) {
+        const storage::Schema& ls = node->children[0]->schema;
+        const storage::Schema& rs = node->children[1]->schema;
+        for (auto& c : SplitConjuncts(node->join_condition)) {
+          bool matched = false;
+          if (c->kind == ExprKind::kBinary && c->bin_op == BinaryOp::kEq) {
+            ExprPtr a = c->children[0];
+            ExprPtr b = c->children[1];
+            if (RefersOnly(*a, ls) && RefersOnly(*b, rs)) {
+              key_pairs.emplace_back(a->Clone(), b->Clone());
+              matched = true;
+            } else if (RefersOnly(*b, ls) && RefersOnly(*a, rs)) {
+              key_pairs.emplace_back(b->Clone(), a->Clone());
+              matched = true;
+            }
+          }
+          if (!matched) residual.push_back(c);
+        }
+      } else if (node->join_condition) {
+        residual.push_back(node->join_condition->Clone());
+      }
+      if (!key_pairs.empty()) {
+        return PhysicalPtr(std::make_unique<HashJoinOp>(
+            std::move(left), std::move(right), std::move(key_pairs),
+            CombineConjuncts(residual), ctx, stats));
+      }
+      return PhysicalPtr(std::make_unique<NestedLoopJoinOp>(
+          std::move(left), std::move(right), CombineConjuncts(residual), ctx,
+          stats));
+    }
+    case LogicalKind::kAggregate: {
+      DRUGTREE_ASSIGN_OR_RETURN(PhysicalPtr child,
+                                ToPhysical(node->children[0], options, stats));
+      std::vector<ExprPtr> groups;
+      for (const auto& g : node->group_by) groups.push_back(g->Clone());
+      std::vector<OutputColumn> aggs;
+      for (const auto& a : node->outputs) {
+        aggs.push_back({a.expr->Clone(), a.name});
+      }
+      return PhysicalPtr(std::make_unique<HashAggregateOp>(
+          std::move(child), std::move(groups), std::move(aggs), node->schema,
+          ctx));
+    }
+    case LogicalKind::kSort: {
+      DRUGTREE_ASSIGN_OR_RETURN(PhysicalPtr child,
+                                ToPhysical(node->children[0], options, stats));
+      std::vector<OrderKey> keys;
+      for (const auto& k : node->order_by) {
+        keys.push_back({k.expr->Clone(), k.ascending});
+      }
+      return PhysicalPtr(
+          std::make_unique<SortOp>(std::move(child), std::move(keys), ctx));
+    }
+    case LogicalKind::kLimit: {
+      DRUGTREE_ASSIGN_OR_RETURN(PhysicalPtr child,
+                                ToPhysical(node->children[0], options, stats));
+      return PhysicalPtr(std::make_unique<LimitOp>(std::move(child),
+                                                   node->limit));
+    }
+    case LogicalKind::kDistinct: {
+      DRUGTREE_ASSIGN_OR_RETURN(PhysicalPtr child,
+                                ToPhysical(node->children[0], options, stats));
+      return PhysicalPtr(std::make_unique<DistinctOp>(std::move(child)));
+    }
+  }
+  return util::Status::Internal("unknown logical node kind");
+}
+
+util::Result<PhysicalPtr> Planner::Plan(const std::string& sql,
+                                        const PlannerOptions& options,
+                                        ExecStats* stats) {
+  DRUGTREE_ASSIGN_OR_RETURN(SelectStatement stmt, ParseQuery(sql));
+  DRUGTREE_ASSIGN_OR_RETURN(LogicalPtr logical,
+                            BuildLogicalPlan(stmt, *catalog_));
+  DRUGTREE_ASSIGN_OR_RETURN(
+      LogicalPtr optimized,
+      OptimizeLogicalPlan(logical, *catalog_, options.optimizer));
+  return ToPhysical(optimized, options, stats);
+}
+
+util::Result<QueryOutcome> Planner::Run(const std::string& sql,
+                                        const PlannerOptions& options) {
+  DRUGTREE_ASSIGN_OR_RETURN(SelectStatement stmt, ParseQuery(sql));
+  std::string cache_key;
+  if (options.use_result_cache && result_cache_ != nullptr) {
+    cache_key = ResultCache::MakeKey(stmt.ToString(), catalog_->epoch());
+    if (auto cached = result_cache_->Get(cache_key)) {
+      QueryOutcome outcome;
+      outcome.result = std::move(*cached);
+      outcome.from_result_cache = true;
+      return outcome;
+    }
+  }
+  DRUGTREE_ASSIGN_OR_RETURN(LogicalPtr logical,
+                            BuildLogicalPlan(stmt, *catalog_));
+  DRUGTREE_ASSIGN_OR_RETURN(
+      LogicalPtr optimized,
+      OptimizeLogicalPlan(logical, *catalog_, options.optimizer));
+  QueryOutcome outcome;
+  outcome.logical_plan = optimized->ToString();
+  DRUGTREE_ASSIGN_OR_RETURN(PhysicalPtr physical,
+                            ToPhysical(optimized, options, &outcome.stats));
+  outcome.physical_plan = physical->ExplainString();
+  DRUGTREE_ASSIGN_OR_RETURN(outcome.result, ExecutePlan(physical.get()));
+  if (options.use_result_cache && result_cache_ != nullptr) {
+    result_cache_->Put(cache_key, outcome.result);
+  }
+  return outcome;
+}
+
+}  // namespace query
+}  // namespace drugtree

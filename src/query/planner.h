@@ -1,0 +1,80 @@
+// Planner: the query engine's front door. Parses, optimizes, physically
+// plans, and executes statements, with every optimization independently
+// toggleable (the E1/E2 ablation axes) and an optional semantic result
+// cache in front of the whole pipeline.
+
+#ifndef DRUGTREE_QUERY_PLANNER_H_
+#define DRUGTREE_QUERY_PLANNER_H_
+
+#include <memory>
+#include <string>
+
+#include "query/catalog.h"
+#include "query/executor.h"
+#include "query/logical_plan.h"
+#include "query/result_cache.h"
+#include "query/rules.h"
+#include "util/result.h"
+
+namespace drugtree {
+namespace query {
+
+struct PlannerOptions {
+  OptimizerOptions optimizer;
+  /// Pick index access paths for pushed-down scan predicates.
+  bool enable_index_selection = true;
+  /// Prefer hash joins for equi-conditions (nested loops otherwise).
+  bool enable_hash_join = true;
+  /// Serve/install results in the semantic result cache.
+  bool use_result_cache = false;
+
+  /// Everything off: the E1/E2 "naive DrugTree" baseline.
+  static PlannerOptions Naive() {
+    PlannerOptions o;
+    o.optimizer = OptimizerOptions::AllOff();
+    o.enable_index_selection = false;
+    o.enable_hash_join = false;
+    o.use_result_cache = false;
+    return o;
+  }
+  /// Everything on (result cache still opt-in).
+  static PlannerOptions Optimized() { return PlannerOptions(); }
+};
+
+/// The outcome of running one statement, including plan introspection.
+struct QueryOutcome {
+  QueryResult result;
+  std::string logical_plan;   // optimized logical plan (EXPLAIN text)
+  std::string physical_plan;  // physical plan (EXPLAIN text)
+  ExecStats stats;
+  bool from_result_cache = false;
+};
+
+class Planner {
+ public:
+  /// `catalog` is borrowed; `result_cache` may be null.
+  explicit Planner(Catalog* catalog, ResultCache* result_cache = nullptr)
+      : catalog_(catalog), result_cache_(result_cache) {}
+
+  /// Parses + optimizes + plans + executes one SELECT.
+  util::Result<QueryOutcome> Run(const std::string& sql,
+                                 const PlannerOptions& options);
+
+  /// Builds the physical plan without executing (EXPLAIN).
+  util::Result<PhysicalPtr> Plan(const std::string& sql,
+                                 const PlannerOptions& options,
+                                 ExecStats* stats);
+
+ private:
+  util::Result<PhysicalPtr> ToPhysical(const LogicalPtr& node,
+                                       const PlannerOptions& options,
+                                       ExecStats* stats);
+
+  Catalog* catalog_;
+  ResultCache* result_cache_;
+};
+
+}  // namespace query
+}  // namespace drugtree
+
+#endif  // DRUGTREE_QUERY_PLANNER_H_

@@ -1,0 +1,15 @@
+#include "query/result_cache.h"
+
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace query {
+
+std::string ResultCache::MakeKey(const std::string& canonical_query,
+                                 uint64_t epoch) {
+  return util::StringPrintf("e%llu:", (unsigned long long)epoch) +
+         canonical_query;
+}
+
+}  // namespace query
+}  // namespace drugtree

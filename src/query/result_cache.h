@@ -1,0 +1,48 @@
+// Semantic result cache for whole queries.
+//
+// Keys combine the canonicalized statement text with the catalog's data
+// epoch, so any data change (BumpEpoch) invalidates prior entries without
+// scanning the cache. This is the second "novel mechanism" layer: repeated
+// interactive queries over the same overlay (the common case for a mobile
+// analyst panning around a clade) skip the engine entirely.
+
+#ifndef DRUGTREE_QUERY_RESULT_CACHE_H_
+#define DRUGTREE_QUERY_RESULT_CACHE_H_
+
+#include <optional>
+#include <string>
+
+#include "query/executor.h"
+#include "storage/lru_cache.h"
+
+namespace drugtree {
+namespace query {
+
+class ResultCache {
+ public:
+  explicit ResultCache(uint64_t capacity_bytes) : cache_(capacity_bytes) {}
+
+  /// Cache key for a statement under a data epoch.
+  static std::string MakeKey(const std::string& canonical_query,
+                             uint64_t epoch);
+
+  std::optional<QueryResult> Get(const std::string& key) {
+    return cache_.Get(key);
+  }
+
+  void Put(const std::string& key, QueryResult result) {
+    uint64_t charge = result.ApproxBytes();
+    cache_.Put(key, std::move(result), charge);
+  }
+
+  void Clear() { cache_.Clear(); }
+  const storage::CacheStats& stats() const { return cache_.stats(); }
+
+ private:
+  storage::LruCache<std::string, QueryResult> cache_;
+};
+
+}  // namespace query
+}  // namespace drugtree
+
+#endif  // DRUGTREE_QUERY_RESULT_CACHE_H_

@@ -1,0 +1,54 @@
+// The rule-based logical optimizer: constant folding, tree-predicate
+// rewriting (SUBTREE/ANCESTOR_OF -> pre-order interval comparisons),
+// predicate pushdown, and cost-based join reordering. Each rule can be
+// toggled independently — experiment E2's ablation axis.
+
+#ifndef DRUGTREE_QUERY_RULES_H_
+#define DRUGTREE_QUERY_RULES_H_
+
+#include <map>
+#include <string>
+
+#include "query/catalog.h"
+#include "query/expr.h"
+#include "query/logical_plan.h"
+#include "util/result.h"
+
+namespace drugtree {
+namespace query {
+
+struct OptimizerOptions {
+  bool enable_constant_folding = true;
+  bool enable_tree_rewrite = true;
+  bool enable_pushdown = true;
+  bool enable_join_reorder = true;
+
+  static OptimizerOptions AllOff() {
+    return {false, false, false, false};
+  }
+  static OptimizerOptions AllOn() { return {}; }
+};
+
+/// Folds literal-only subexpressions into literals. Never fails: on any
+/// evaluation error the original subtree is kept.
+ExprPtr FoldConstants(const ExprPtr& expr, const Catalog& catalog);
+
+/// Rewrites SUBTREE(col, lit) / ANCESTOR_OF(col, lit) calls into pre-order
+/// interval comparisons wherever the referenced table has a TreeBinding and
+/// the node argument resolves. `alias_to_table` maps query aliases to
+/// catalog table names. Unrewritable calls are kept (the executor can still
+/// evaluate them per row).
+util::Result<ExprPtr> RewriteTreePredicates(
+    const ExprPtr& expr, const Catalog& catalog,
+    const std::map<std::string, std::string>& alias_to_table);
+
+/// Runs the full logical optimization pipeline and returns the rewritten
+/// plan (schemas recomputed). The input plan is not modified.
+util::Result<LogicalPtr> OptimizeLogicalPlan(const LogicalPtr& plan,
+                                             const Catalog& catalog,
+                                             const OptimizerOptions& options);
+
+}  // namespace query
+}  // namespace drugtree
+
+#endif  // DRUGTREE_QUERY_RULES_H_

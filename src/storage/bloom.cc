@@ -1,0 +1,51 @@
+#include "storage/bloom.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace drugtree {
+namespace storage {
+
+BloomFilter::BloomFilter(size_t expected_items, int bits_per_key) {
+  size_t bits = std::max<size_t>(64, expected_items * static_cast<size_t>(
+                                          std::max(1, bits_per_key)));
+  bits_.assign((bits + 63) / 64, 0);
+  // k = ln(2) * bits/key, clamped to [1, 30].
+  num_hashes_ = std::clamp(
+      static_cast<int>(std::round(0.693 * bits_per_key)), 1, 30);
+}
+
+void BloomFilter::Add(const Value& v) {
+  uint64_t h = v.Hash();
+  uint64_t delta = (h >> 17) | (h << 47);  // double hashing
+  size_t nbits = num_bits();
+  for (int i = 0; i < num_hashes_; ++i) {
+    size_t bit = static_cast<size_t>(h % nbits);
+    bits_[bit / 64] |= uint64_t{1} << (bit % 64);
+    h += delta;
+  }
+  ++items_;
+}
+
+bool BloomFilter::MayContain(const Value& v) const {
+  uint64_t h = v.Hash();
+  uint64_t delta = (h >> 17) | (h << 47);
+  size_t nbits = num_bits();
+  for (int i = 0; i < num_hashes_; ++i) {
+    size_t bit = static_cast<size_t>(h % nbits);
+    if (!((bits_[bit / 64] >> (bit % 64)) & 1)) return false;
+    h += delta;
+  }
+  return true;
+}
+
+double BloomFilter::EstimatedFalsePositiveRate() const {
+  size_t set = 0;
+  for (uint64_t w : bits_) set += static_cast<size_t>(std::popcount(w));
+  double fill = static_cast<double>(set) / static_cast<double>(num_bits());
+  return std::pow(fill, num_hashes_);
+}
+
+}  // namespace storage
+}  // namespace drugtree

@@ -1,0 +1,41 @@
+// Bloom filter over Value keys. The integration layer consults per-source
+// blooms to avoid round trips for ids a source cannot have.
+
+#ifndef DRUGTREE_STORAGE_BLOOM_H_
+#define DRUGTREE_STORAGE_BLOOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace drugtree {
+namespace storage {
+
+class BloomFilter {
+ public:
+  /// Sized for `expected_items` at `bits_per_key` bits each (RocksDB-style
+  /// parameterization; 10 bits/key gives ~1% false positives).
+  BloomFilter(size_t expected_items, int bits_per_key = 10);
+
+  void Add(const Value& v);
+  /// True if possibly present; false means definitely absent.
+  bool MayContain(const Value& v) const;
+
+  size_t num_bits() const { return bits_.size() * 64; }
+  int num_hashes() const { return num_hashes_; }
+  size_t items_added() const { return items_; }
+
+  /// Measured false-positive estimate from the filter's fill factor.
+  double EstimatedFalsePositiveRate() const;
+
+ private:
+  std::vector<uint64_t> bits_;
+  int num_hashes_;
+  size_t items_ = 0;
+};
+
+}  // namespace storage
+}  // namespace drugtree
+
+#endif  // DRUGTREE_STORAGE_BLOOM_H_

@@ -1,0 +1,111 @@
+#include "storage/buffer_pool.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace storage {
+
+PageGuard::~PageGuard() {
+  if (pool_ && page_) pool_->Unpin(page_);
+}
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    if (pool_ && page_) pool_->Unpin(page_);
+    pool_ = other.pool_;
+    page_ = other.page_;
+    other.pool_ = nullptr;
+    other.page_ = nullptr;
+  }
+  return *this;
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity) : disk_(disk) {
+  DT_CHECK(capacity > 0) << "buffer pool needs at least one frame";
+  frames_.reserve(capacity);
+  for (size_t i = 0; i < capacity; ++i) {
+    frames_.push_back(std::make_unique<Page>());
+  }
+}
+
+void BufferPool::Unpin(Page* page) {
+  page->Unpin();
+  DT_CHECK(page->pin_count() >= 0) << "pin count underflow";
+}
+
+util::Result<size_t> BufferPool::FindVictim() {
+  // Prefer a frame not yet holding any page.
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i]->id() == kInvalidPage) return i;
+  }
+  // LRU scan for an unpinned frame.
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    size_t frame = *it;
+    if (frames_[frame]->pin_count() == 0) {
+      Page* victim = frames_[frame].get();
+      if (victim->dirty()) {
+        DRUGTREE_RETURN_IF_ERROR(disk_->WritePage(victim->id(), *victim));
+        victim->set_dirty(false);
+      }
+      table_.erase(victim->id());
+      lru_.erase(it);
+      lru_pos_.erase(frame);
+      return frame;
+    }
+  }
+  return util::Status::ResourceExhausted("all buffer frames are pinned");
+}
+
+util::Result<PageGuard> BufferPool::Fetch(PageId id) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    ++hits_;
+    size_t frame = it->second;
+    // Move to MRU position.
+    auto pos = lru_pos_.find(frame);
+    if (pos != lru_pos_.end()) {
+      lru_.erase(pos->second);
+    }
+    lru_.push_back(frame);
+    lru_pos_[frame] = std::prev(lru_.end());
+    frames_[frame]->Pin();
+    return PageGuard(this, frames_[frame].get());
+  }
+  ++misses_;
+  DRUGTREE_ASSIGN_OR_RETURN(size_t frame, FindVictim());
+  Page* page = frames_[frame].get();
+  DRUGTREE_RETURN_IF_ERROR(disk_->ReadPage(id, page));
+  table_[id] = frame;
+  lru_.push_back(frame);
+  lru_pos_[frame] = std::prev(lru_.end());
+  page->Pin();
+  return PageGuard(this, page);
+}
+
+util::Result<PageGuard> BufferPool::Allocate() {
+  DRUGTREE_ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage());
+  DRUGTREE_ASSIGN_OR_RETURN(size_t frame, FindVictim());
+  Page* page = frames_[frame].get();
+  // Fresh page: zero it in memory rather than reading back.
+  *page = Page();
+  page->set_id(id);
+  table_[id] = frame;
+  lru_.push_back(frame);
+  lru_pos_[frame] = std::prev(lru_.end());
+  page->Pin();
+  return PageGuard(this, page);
+}
+
+util::Status BufferPool::FlushAll() {
+  for (auto& frame : frames_) {
+    if (frame->id() != kInvalidPage && frame->dirty()) {
+      DRUGTREE_RETURN_IF_ERROR(disk_->WritePage(frame->id(), *frame));
+      frame->set_dirty(false);
+    }
+  }
+  return util::Status::OK();
+}
+
+}  // namespace storage
+}  // namespace drugtree

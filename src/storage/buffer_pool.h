@@ -1,0 +1,82 @@
+// Buffer pool: a fixed set of page frames with LRU replacement, fronting a
+// DiskManager. Pinned pages are never evicted. Hit/miss counters feed the
+// E8 storage microbenchmarks.
+
+#ifndef DRUGTREE_STORAGE_BUFFER_POOL_H_
+#define DRUGTREE_STORAGE_BUFFER_POOL_H_
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/result.h"
+
+namespace drugtree {
+namespace storage {
+
+/// RAII pin over a buffered page; unpins (and records dirtiness) on scope
+/// exit. Movable, not copyable.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(class BufferPool* pool, Page* page) : pool_(pool), page_(page) {}
+  ~PageGuard();
+
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  Page* operator->() { return page_; }
+  Page& operator*() { return *page_; }
+  Page* get() { return page_; }
+  const Page* get() const { return page_; }
+  bool valid() const { return page_ != nullptr; }
+
+ private:
+  class BufferPool* pool_ = nullptr;
+  Page* page_ = nullptr;
+};
+
+class BufferPool {
+ public:
+  /// `capacity` frames over `disk` (borrowed, must outlive the pool).
+  BufferPool(DiskManager* disk, size_t capacity);
+
+  /// Fetches (pinning) a page, reading from disk on a miss. Fails if every
+  /// frame is pinned.
+  util::Result<PageGuard> Fetch(PageId id);
+
+  /// Allocates a fresh page on disk and returns it pinned.
+  util::Result<PageGuard> Allocate();
+
+  /// Writes all dirty pages back.
+  util::Status FlushAll();
+
+  size_t capacity() const { return frames_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  DiskManager* disk() { return disk_; }
+
+ private:
+  friend class PageGuard;
+  void Unpin(Page* page);
+
+  /// Finds a frame for a new page, evicting the LRU unpinned page if needed.
+  util::Result<size_t> FindVictim();
+
+  DiskManager* disk_;
+  std::vector<std::unique_ptr<Page>> frames_;
+  std::unordered_map<PageId, size_t> table_;  // page id -> frame index
+  std::list<size_t> lru_;                     // frame indices, LRU first
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace storage
+}  // namespace drugtree
+
+#endif  // DRUGTREE_STORAGE_BUFFER_POOL_H_

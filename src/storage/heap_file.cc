@@ -1,0 +1,166 @@
+#include "storage/heap_file.h"
+
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace storage {
+
+namespace {
+
+// Page header offsets.
+constexpr size_t kNumSlotsOff = 0;
+constexpr size_t kFreeEndOff = 2;
+constexpr size_t kHeaderSize = 4;
+constexpr size_t kSlotSize = 4;  // u16 offset + u16 length
+
+uint16_t NumSlots(const Page& p) { return p.ReadAt<uint16_t>(kNumSlotsOff); }
+uint16_t FreeEnd(const Page& p) { return p.ReadAt<uint16_t>(kFreeEndOff); }
+
+void InitDataPage(Page* p) {
+  p->WriteAt<uint16_t>(kNumSlotsOff, 0);
+  p->WriteAt<uint16_t>(kFreeEndOff, static_cast<uint16_t>(kPageSize));
+}
+
+size_t SlotOffset(uint16_t slot) { return kHeaderSize + slot * kSlotSize; }
+
+// Free bytes between the slot array and the data area.
+size_t FreeBytes(const Page& p) {
+  size_t slots_end = SlotOffset(NumSlots(p));
+  return FreeEnd(p) - slots_end;
+}
+
+// Directory page layout: [u32 num_data_pages][u32 page_id]...
+constexpr size_t kDirCountOff = 0;
+constexpr size_t kDirEntriesOff = 4;
+constexpr size_t kMaxDirEntries = (kPageSize - kDirEntriesOff) / 4;
+
+}  // namespace
+
+util::Result<HeapFile> HeapFile::Create(BufferPool* pool) {
+  DRUGTREE_ASSIGN_OR_RETURN(PageGuard dir, pool->Allocate());
+  dir->WriteAt<uint32_t>(kDirCountOff, 0);
+  HeapFile hf(pool, dir->id());
+  return hf;
+}
+
+util::Result<HeapFile> HeapFile::Open(BufferPool* pool, PageId directory_page) {
+  HeapFile hf(pool, directory_page);
+  DRUGTREE_RETURN_IF_ERROR(hf.LoadDirectory());
+  return hf;
+}
+
+util::Status HeapFile::LoadDirectory() {
+  DRUGTREE_ASSIGN_OR_RETURN(PageGuard dir, pool_->Fetch(directory_page_));
+  uint32_t count = dir->ReadAt<uint32_t>(kDirCountOff);
+  if (count > kMaxDirEntries) {
+    return util::Status::Internal("corrupt heap-file directory");
+  }
+  data_pages_.clear();
+  for (uint32_t i = 0; i < count; ++i) {
+    data_pages_.push_back(
+        dir->ReadAt<uint32_t>(kDirEntriesOff + i * 4));
+  }
+  return util::Status::OK();
+}
+
+util::Status HeapFile::SaveDirectory() {
+  DRUGTREE_ASSIGN_OR_RETURN(PageGuard dir, pool_->Fetch(directory_page_));
+  dir->WriteAt<uint32_t>(kDirCountOff,
+                         static_cast<uint32_t>(data_pages_.size()));
+  for (size_t i = 0; i < data_pages_.size(); ++i) {
+    dir->WriteAt<uint32_t>(kDirEntriesOff + i * 4, data_pages_[i]);
+  }
+  return util::Status::OK();
+}
+
+util::Result<RecordId> HeapFile::Insert(const std::string& record) {
+  size_t needed = record.size() + kSlotSize;
+  if (record.size() > kPageSize - kHeaderSize - kSlotSize) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "record of %zu bytes exceeds page capacity", record.size()));
+  }
+  // Try the last data page first (append-mostly workloads).
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (!data_pages_.empty()) {
+      PageId pid = data_pages_.back();
+      DRUGTREE_ASSIGN_OR_RETURN(PageGuard page, pool_->Fetch(pid));
+      if (FreeBytes(*page) >= needed) {
+        uint16_t slot = NumSlots(*page);
+        uint16_t new_end =
+            static_cast<uint16_t>(FreeEnd(*page) - record.size());
+        std::memcpy(page->data() + new_end, record.data(), record.size());
+        page->WriteAt<uint16_t>(SlotOffset(slot), new_end);
+        page->WriteAt<uint16_t>(SlotOffset(slot) + 2,
+                                static_cast<uint16_t>(record.size()));
+        page->WriteAt<uint16_t>(kNumSlotsOff, static_cast<uint16_t>(slot + 1));
+        page->WriteAt<uint16_t>(kFreeEndOff, new_end);
+        return RecordId{pid, slot};
+      }
+    }
+    // Need a fresh data page.
+    if (data_pages_.size() >= kMaxDirEntries) {
+      return util::Status::ResourceExhausted("heap-file directory is full");
+    }
+    DRUGTREE_ASSIGN_OR_RETURN(PageGuard fresh, pool_->Allocate());
+    InitDataPage(fresh.get());
+    data_pages_.push_back(fresh->id());
+    DRUGTREE_RETURN_IF_ERROR(SaveDirectory());
+  }
+  return util::Status::Internal("insert failed after page allocation");
+}
+
+util::Result<std::string> HeapFile::Get(const RecordId& id) {
+  DRUGTREE_ASSIGN_OR_RETURN(PageGuard page, pool_->Fetch(id.page));
+  if (id.slot >= NumSlots(*page)) {
+    return util::Status::NotFound(
+        util::StringPrintf("no slot %u on page %u", id.slot, id.page));
+  }
+  uint16_t off = page->ReadAt<uint16_t>(SlotOffset(id.slot));
+  uint16_t len = page->ReadAt<uint16_t>(SlotOffset(id.slot) + 2);
+  if (len == 0) {
+    return util::Status::NotFound("record was deleted");
+  }
+  return std::string(page->data() + off, len);
+}
+
+util::Status HeapFile::Delete(const RecordId& id) {
+  DRUGTREE_ASSIGN_OR_RETURN(PageGuard page, pool_->Fetch(id.page));
+  if (id.slot >= NumSlots(*page)) {
+    return util::Status::NotFound(
+        util::StringPrintf("no slot %u on page %u", id.slot, id.page));
+  }
+  page->WriteAt<uint16_t>(SlotOffset(id.slot) + 2, 0);
+  return util::Status::OK();
+}
+
+util::Status HeapFile::Scan(
+    const std::function<util::Status(const RecordId&, const std::string&)>&
+        visit) {
+  for (PageId pid : data_pages_) {
+    DRUGTREE_ASSIGN_OR_RETURN(PageGuard page, pool_->Fetch(pid));
+    uint16_t slots = NumSlots(*page);
+    for (uint16_t s = 0; s < slots; ++s) {
+      uint16_t off = page->ReadAt<uint16_t>(SlotOffset(s));
+      uint16_t len = page->ReadAt<uint16_t>(SlotOffset(s) + 2);
+      if (len == 0) continue;
+      std::string rec(page->data() + off, len);
+      DRUGTREE_RETURN_IF_ERROR(visit(RecordId{pid, s}, rec));
+    }
+  }
+  return util::Status::OK();
+}
+
+util::Result<int64_t> HeapFile::Count() {
+  int64_t n = 0;
+  DRUGTREE_RETURN_IF_ERROR(
+      Scan([&n](const RecordId&, const std::string&) {
+        ++n;
+        return util::Status::OK();
+      }));
+  return n;
+}
+
+}  // namespace storage
+}  // namespace drugtree

@@ -1,0 +1,77 @@
+// Heap file: unordered record storage over slotted pages, via the buffer
+// pool. This is the persistence layer tables serialize to; record ids are
+// (page, slot) pairs that secondary indexes can reference.
+//
+// Slotted-page layout (within the 4 KiB page):
+//   [u16 num_slots][u16 free_end] [slot 0: u16 off, u16 len] ... | free | data
+// Records grow down from the end of the page; slot entries grow up after the
+// header. A deleted record keeps its slot with len == 0 (tombstone).
+
+#ifndef DRUGTREE_STORAGE_HEAP_FILE_H_
+#define DRUGTREE_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "util/result.h"
+
+namespace drugtree {
+namespace storage {
+
+/// Stable address of a record in a heap file.
+struct RecordId {
+  PageId page = kInvalidPage;
+  uint16_t slot = 0;
+
+  bool operator==(const RecordId& o) const {
+    return page == o.page && slot == o.slot;
+  }
+};
+
+class HeapFile {
+ public:
+  /// Creates a new heap file: allocates a directory page in `pool`'s disk.
+  static util::Result<HeapFile> Create(BufferPool* pool);
+
+  /// Reopens a heap file from its directory page.
+  static util::Result<HeapFile> Open(BufferPool* pool, PageId directory_page);
+
+  PageId directory_page() const { return directory_page_; }
+
+  /// Inserts a record (max ~4000 bytes), returning its id.
+  util::Result<RecordId> Insert(const std::string& record);
+
+  /// Reads a record by id. NotFound for tombstoned or out-of-range ids.
+  util::Result<std::string> Get(const RecordId& id);
+
+  /// Tombstones a record.
+  util::Status Delete(const RecordId& id);
+
+  /// Calls visit(id, record) for every live record, in page/slot order.
+  /// Stops and propagates on the first error.
+  util::Status Scan(
+      const std::function<util::Status(const RecordId&, const std::string&)>&
+          visit);
+
+  /// Number of live records.
+  util::Result<int64_t> Count();
+
+ private:
+  HeapFile(BufferPool* pool, PageId directory_page)
+      : pool_(pool), directory_page_(directory_page) {}
+
+  util::Status LoadDirectory();
+  util::Status SaveDirectory();
+
+  BufferPool* pool_;
+  PageId directory_page_;
+  std::vector<PageId> data_pages_;
+};
+
+}  // namespace storage
+}  // namespace drugtree
+
+#endif  // DRUGTREE_STORAGE_HEAP_FILE_H_

@@ -1,0 +1,10 @@
+// LruCache is header-only (template); this translation unit pins the header
+// into the build so compile errors surface with the library.
+#include "storage/lru_cache.h"
+
+namespace drugtree {
+namespace storage {
+// Explicit instantiation of a common configuration as a compile check.
+template class LruCache<uint64_t, uint64_t>;
+}  // namespace storage
+}  // namespace drugtree

@@ -1,0 +1,127 @@
+// Generic size-bounded LRU cache with hit/miss statistics. Backs the block
+// cache, the semantic result cache (query/result_cache.h), the integration
+// layer's record cache, and the simulated mobile client cache.
+
+#ifndef DRUGTREE_STORAGE_LRU_CACHE_H_
+#define DRUGTREE_STORAGE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+namespace drugtree {
+namespace storage {
+
+/// Counters shared by all cache instances' reporting.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+/// LRU cache keyed by K. Each entry carries a charge (its "size"); the cache
+/// evicts LRU entries once total charge exceeds capacity. K must be hashable
+/// and equality-comparable; V must be copyable (entries are returned by
+/// value so eviction cannot dangle).
+template <typename K, typename V>
+class LruCache {
+ public:
+  explicit LruCache(uint64_t capacity) : capacity_(capacity) {}
+
+  /// Inserts or overwrites. charge must be >= 1. Entries larger than the
+  /// whole capacity are not cached.
+  void Put(const K& key, V value, uint64_t charge = 1) {
+    if (charge > capacity_) return;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      used_ -= it->second.charge;
+      order_.erase(it->second.pos);
+      map_.erase(it);
+    }
+    order_.push_front(key);
+    map_.emplace(key, Entry{std::move(value), charge, order_.begin()});
+    used_ += charge;
+    ++stats_.insertions;
+    EvictIfNeeded();
+  }
+
+  /// Looks a key up, refreshing recency. Returns nullopt on miss.
+  std::optional<V> Get(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    ++stats_.hits;
+    order_.erase(it->second.pos);
+    order_.push_front(key);
+    it->second.pos = order_.begin();
+    return it->second.value;
+  }
+
+  /// Peek without recency update or stats (used by tests).
+  bool Contains(const K& key) const { return map_.count(key) > 0; }
+
+  /// Removes a key if present.
+  void Erase(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return;
+    used_ -= it->second.charge;
+    order_.erase(it->second.pos);
+    map_.erase(it);
+  }
+
+  void Clear() {
+    map_.clear();
+    order_.clear();
+    used_ = 0;
+  }
+
+  /// Visits every (key, value) pair in unspecified order (no recency
+  /// update). fn(const K&, const V&).
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (const auto& [k, e] : map_) fn(k, e.value);
+  }
+
+  size_t size() const { return map_.size(); }
+  uint64_t used() const { return used_; }
+  uint64_t capacity() const { return capacity_; }
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    V value;
+    uint64_t charge;
+    typename std::list<K>::iterator pos;
+  };
+
+  void EvictIfNeeded() {
+    while (used_ > capacity_ && !order_.empty()) {
+      const K& victim = order_.back();
+      auto it = map_.find(victim);
+      used_ -= it->second.charge;
+      map_.erase(it);
+      order_.pop_back();
+      ++stats_.evictions;
+    }
+  }
+
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  std::list<K> order_;  // MRU first
+  std::unordered_map<K, Entry> map_;
+  CacheStats stats_;
+};
+
+}  // namespace storage
+}  // namespace drugtree
+
+#endif  // DRUGTREE_STORAGE_LRU_CACHE_H_

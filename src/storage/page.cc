@@ -1,0 +1,73 @@
+#include "storage/page.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace storage {
+
+util::Result<std::unique_ptr<DiskManager>> DiskManager::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return util::Status::IoError("cannot open " + path + ": " +
+                                 std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return util::Status::IoError("fstat failed on " + path);
+  }
+  uint32_t pages = static_cast<uint32_t>(st.st_size / kPageSize);
+  return std::unique_ptr<DiskManager>(new DiskManager(fd, pages));
+}
+
+DiskManager::~DiskManager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+util::Result<PageId> DiskManager::AllocatePage() {
+  PageId id = num_pages_++;
+  Page zero;
+  zero.set_id(id);
+  DRUGTREE_RETURN_IF_ERROR(WritePage(id, zero));
+  return id;
+}
+
+util::Status DiskManager::ReadPage(PageId id, Page* page) {
+  if (id >= num_pages_) {
+    return util::Status::OutOfRange(
+        util::StringPrintf("page %u beyond end (%u pages)", id, num_pages_));
+  }
+  ssize_t n = ::pread(fd_, page->data(), kPageSize,
+                      static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return util::Status::IoError(
+        util::StringPrintf("short read on page %u", id));
+  }
+  page->set_id(id);
+  page->set_dirty(false);
+  ++reads_;
+  return util::Status::OK();
+}
+
+util::Status DiskManager::WritePage(PageId id, const Page& page) {
+  ssize_t n = ::pwrite(fd_, page.data(), kPageSize,
+                       static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return util::Status::IoError(
+        util::StringPrintf("short write on page %u", id));
+  }
+  ++writes_;
+  return util::Status::OK();
+}
+
+}  // namespace storage
+}  // namespace drugtree

@@ -1,0 +1,101 @@
+// Pages and the disk manager: fixed-size blocks persisted to a single file,
+// the unit the buffer pool caches. The slotted-page record layout lives in
+// heap_file.{h,cc}.
+
+#ifndef DRUGTREE_STORAGE_PAGE_H_
+#define DRUGTREE_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "util/result.h"
+
+namespace drugtree {
+namespace storage {
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPage = UINT32_MAX;
+inline constexpr size_t kPageSize = 4096;
+
+/// One in-memory page frame.
+class Page {
+ public:
+  Page() { data_.fill(0); }
+
+  char* data() { return data_.data(); }
+  const char* data() const { return data_.data(); }
+
+  PageId id() const { return id_; }
+  void set_id(PageId id) { id_ = id; }
+
+  bool dirty() const { return dirty_; }
+  void set_dirty(bool d) { dirty_ = d; }
+
+  int pin_count() const { return pin_count_; }
+  void Pin() { ++pin_count_; }
+  void Unpin() { --pin_count_; }
+
+  /// Typed read/write helpers at a byte offset.
+  template <typename T>
+  T ReadAt(size_t offset) const {
+    T v;
+    std::memcpy(&v, data_.data() + offset, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void WriteAt(size_t offset, const T& v) {
+    std::memcpy(data_.data() + offset, &v, sizeof(T));
+    dirty_ = true;
+  }
+
+ private:
+  std::array<char, kPageSize> data_;
+  PageId id_ = kInvalidPage;
+  bool dirty_ = false;
+  int pin_count_ = 0;
+};
+
+/// Allocates, reads, and writes pages in one backing file.
+class DiskManager {
+ public:
+  /// Opens (or creates) the backing file.
+  static util::Result<std::unique_ptr<DiskManager>> Open(const std::string& path);
+
+  ~DiskManager();
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Allocates a fresh zeroed page and returns its id.
+  util::Result<PageId> AllocatePage();
+
+  /// Reads page `id` into `page->data()`.
+  util::Status ReadPage(PageId id, Page* page);
+
+  /// Writes `page->data()` to page `id`.
+  util::Status WritePage(PageId id, const Page& page);
+
+  /// Number of pages ever allocated.
+  uint32_t NumPages() const { return num_pages_; }
+
+  /// Disk I/O counters (for E8).
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+
+ private:
+  explicit DiskManager(int fd, uint32_t num_pages)
+      : fd_(fd), num_pages_(num_pages) {}
+
+  int fd_;
+  uint32_t num_pages_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace storage
+}  // namespace drugtree
+
+#endif  // DRUGTREE_STORAGE_PAGE_H_

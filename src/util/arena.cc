@@ -1,0 +1,55 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace drugtree {
+namespace util {
+
+Arena::Arena(size_t block_size) : block_size_(std::max<size_t>(block_size, 256)) {}
+
+void Arena::AddBlock(size_t size) {
+  blocks_.push_back(Block{std::make_unique<char[]>(size), size});
+  cursor_ = blocks_.back().data.get();
+  limit_ = cursor_ + size;
+  bytes_reserved_ += size;
+}
+
+void* Arena::Allocate(size_t bytes, size_t alignment) {
+  if (bytes == 0) bytes = 1;
+  uintptr_t cur = reinterpret_cast<uintptr_t>(cursor_);
+  uintptr_t aligned = (cur + alignment - 1) & ~(alignment - 1);
+  size_t needed = bytes + (aligned - cur);
+  if (cursor_ == nullptr || needed > static_cast<size_t>(limit_ - cursor_)) {
+    AddBlock(std::max(block_size_, bytes + alignment));
+    cur = reinterpret_cast<uintptr_t>(cursor_);
+    aligned = (cur + alignment - 1) & ~(alignment - 1);
+    needed = bytes + (aligned - cur);
+  }
+  cursor_ += needed;
+  bytes_allocated_ += bytes;
+  return reinterpret_cast<void*>(aligned);
+}
+
+char* Arena::CopyBytes(const char* data, size_t len) {
+  char* dst = static_cast<char*>(Allocate(len, 1));
+  std::memcpy(dst, data, len);
+  return dst;
+}
+
+void Arena::Reset() {
+  if (blocks_.size() > 1) {
+    Block first = std::move(blocks_.front());
+    bytes_reserved_ = first.size;
+    blocks_.clear();
+    blocks_.push_back(std::move(first));
+  }
+  if (!blocks_.empty()) {
+    cursor_ = blocks_.front().data.get();
+    limit_ = cursor_ + blocks_.front().size;
+  }
+  bytes_allocated_ = 0;
+}
+
+}  // namespace util
+}  // namespace drugtree

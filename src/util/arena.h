@@ -1,0 +1,59 @@
+// Arena: bump allocator for short-lived, same-lifetime allocations
+// (query execution rows, parser AST nodes). Freed all at once on Reset().
+
+#ifndef DRUGTREE_UTIL_ARENA_H_
+#define DRUGTREE_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace drugtree {
+namespace util {
+
+/// Block-based bump allocator. Not thread-safe; each executor owns one.
+class Arena {
+ public:
+  explicit Arena(size_t block_size = 64 * 1024);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocates `bytes` with at least `alignment` alignment (a power of two).
+  /// Never returns null; allocations larger than the block size get their own
+  /// block.
+  void* Allocate(size_t bytes, size_t alignment = alignof(std::max_align_t));
+
+  /// Copies `data[0, len)` into the arena and returns the copy.
+  char* CopyBytes(const char* data, size_t len);
+
+  /// Frees everything allocated so far; keeps the first block for reuse.
+  void Reset();
+
+  /// Total bytes handed out since construction or the last Reset().
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+  /// Total bytes reserved from the system.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size;
+  };
+
+  void AddBlock(size_t size);
+
+  size_t block_size_;
+  std::vector<Block> blocks_;
+  char* cursor_ = nullptr;
+  char* limit_ = nullptr;
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace util
+}  // namespace drugtree
+
+#endif  // DRUGTREE_UTIL_ARENA_H_

@@ -1,0 +1,32 @@
+#include "util/clock.h"
+
+#include <chrono>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace drugtree {
+namespace util {
+
+int64_t RealClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RealClock::AdvanceMicros(int64_t micros) {
+  if (micros > 0) std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+RealClock* RealClock::Instance() {
+  static RealClock instance;
+  return &instance;
+}
+
+void SimulatedClock::SetMicros(int64_t micros) {
+  DT_CHECK(micros >= now_) << "simulated clock cannot move backwards";
+  now_ = micros;
+}
+
+}  // namespace util
+}  // namespace drugtree

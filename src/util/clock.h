@@ -1,0 +1,70 @@
+// Clocks. The integration and mobile layers need *simulated* time so that
+// benchmarks can model slow 2013-era mobile links without actually sleeping;
+// everything that waits takes a Clock* and works with either implementation.
+
+#ifndef DRUGTREE_UTIL_CLOCK_H_
+#define DRUGTREE_UTIL_CLOCK_H_
+
+#include <cstdint>
+
+namespace drugtree {
+namespace util {
+
+/// Abstract monotonic clock in microseconds.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current monotonic time in microseconds.
+  virtual int64_t NowMicros() const = 0;
+
+  /// Advances time by `micros`. Real clocks sleep; simulated clocks jump.
+  virtual void AdvanceMicros(int64_t micros) = 0;
+};
+
+/// Wall-clock backed implementation (AdvanceMicros sleeps).
+class RealClock : public Clock {
+ public:
+  int64_t NowMicros() const override;
+  void AdvanceMicros(int64_t micros) override;
+
+  /// Shared process-wide instance.
+  static RealClock* Instance();
+};
+
+/// Deterministic virtual clock for simulations: time only moves when someone
+/// advances it. This is what makes the network/mobile latency models
+/// reproducible and fast to benchmark.
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(int64_t start_micros = 0) : now_(start_micros) {}
+
+  int64_t NowMicros() const override { return now_; }
+  void AdvanceMicros(int64_t micros) override { now_ += micros; }
+
+  /// Jumps directly to an absolute time (must not move backwards).
+  void SetMicros(int64_t micros);
+
+ private:
+  int64_t now_;
+};
+
+/// Stopwatch over an arbitrary clock.
+class Timer {
+ public:
+  explicit Timer(const Clock* clock) : clock_(clock), start_(clock->NowMicros()) {}
+
+  /// Microseconds since construction or the last Reset().
+  int64_t ElapsedMicros() const { return clock_->NowMicros() - start_; }
+
+  void Reset() { start_ = clock_->NowMicros(); }
+
+ private:
+  const Clock* clock_;
+  int64_t start_;
+};
+
+}  // namespace util
+}  // namespace drugtree
+
+#endif  // DRUGTREE_UTIL_CLOCK_H_

@@ -1,0 +1,125 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace util {
+
+void SummaryStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  if (count_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double SummaryStats::Variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double SummaryStats::Stddev() const { return std::sqrt(Variance()); }
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+const std::vector<double>& Histogram::BucketBounds() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    b.reserve(kNumBuckets);
+    double v = 1.0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      b.push_back(v);
+      v *= 1.25;
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+int Histogram::BucketFor(double value) {
+  const auto& bounds = BucketBounds();
+  auto it = std::upper_bound(bounds.begin(), bounds.end(), value);
+  int idx = static_cast<int>(it - bounds.begin());
+  return std::min(idx, kNumBuckets - 1);
+}
+
+void Histogram::Add(double value) {
+  if (value < 0) value = 0;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = sum_ = 0.0;
+}
+
+double Histogram::min() const { return min_; }
+double Histogram::max() const { return max_; }
+
+double Histogram::Mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  double target = p / 100.0 * static_cast<double>(count_);
+  int64_t cum = 0;
+  const auto& bounds = BucketBounds();
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cum += buckets_[i];
+    if (static_cast<double>(cum) >= target) {
+      double lo = (i == 0) ? 0.0 : bounds[i - 1];
+      double hi = bounds[i];
+      // Interpolate within the bucket.
+      double before = static_cast<double>(cum - buckets_[i]);
+      double frac = buckets_[i] > 0
+                        ? (target - before) / static_cast<double>(buckets_[i])
+                        : 0.0;
+      double v = lo + frac * (hi - lo);
+      return std::clamp(v, min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  return StringPrintf(
+      "count=%lld mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f",
+      (long long)count_, Mean(), Percentile(50), Percentile(95),
+      Percentile(99), max_);
+}
+
+}  // namespace util
+}  // namespace drugtree

@@ -1,0 +1,80 @@
+// Measurement helpers: streaming summary statistics and a latency histogram
+// with approximate percentiles. Used by the benchmark harnesses and by the
+// mobile session driver to report interaction latencies.
+
+#ifndef DRUGTREE_UTIL_HISTOGRAM_H_
+#define DRUGTREE_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace drugtree {
+namespace util {
+
+/// Streaming mean/min/max/stddev accumulator (Welford's algorithm).
+class SummaryStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double Variance() const;
+  double Stddev() const;
+  double Sum() const { return sum_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Latency histogram with exponentially sized buckets (RocksDB-statistics
+/// style). Records non-negative values; percentiles are interpolated within
+/// buckets, so they are approximate but stable.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one observation (values < 0 are clamped to 0).
+  void Add(double value);
+
+  /// Merges another histogram's observations into this one.
+  void Merge(const Histogram& other);
+
+  void Clear();
+
+  int64_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double Mean() const;
+
+  /// Approximate p-th percentile, p in [0, 100].
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  /// One-line summary: count / mean / p50 / p95 / p99 / max.
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 140;
+  // Bucket i covers [bounds_[i-1], bounds_[i]).
+  static const std::vector<double>& BucketBounds();
+  static int BucketFor(double value);
+
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace util
+}  // namespace drugtree
+
+#endif  // DRUGTREE_UTIL_HISTOGRAM_H_

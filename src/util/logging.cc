@@ -1,0 +1,57 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace drugtree {
+namespace util {
+
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kFatal: return "FATAL";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level),
+      file_(file),
+      line_(line),
+      enabled_(static_cast<int>(level) >=
+                   g_min_level.load(std::memory_order_relaxed) ||
+               level == LogLevel::kFatal) {}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level_), Basename(file_),
+                 line_, stream_.str().c_str());
+  }
+  if (level_ == LogLevel::kFatal) std::abort();
+}
+
+}  // namespace util
+}  // namespace drugtree

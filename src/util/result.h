@@ -1,0 +1,77 @@
+// Result<T>: a value-or-Status union, the return type for fallible functions
+// that produce a value. Mirrors arrow::Result / absl::StatusOr.
+
+#ifndef DRUGTREE_UTIL_RESULT_H_
+#define DRUGTREE_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace drugtree {
+namespace util {
+
+/// Holds either a successfully computed T or the Status explaining why the
+/// computation failed. A Result is never "empty": default construction is
+/// disabled, and constructing from an OK Status is a programming error.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a failed Result. `status` must be non-OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  /// Constructs a successful Result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present, the error otherwise.
+  const Status& status() const { return status_; }
+
+  /// The contained value. Must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok() && "ValueOrDie on failed Result");
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok() && "ValueOrDie on failed Result");
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    assert(ok() && "ValueOrDie on failed Result");
+    return std::move(*value_);
+  }
+
+  /// Unchecked accessors used by DRUGTREE_ASSIGN_OR_RETURN (ok() has already
+  /// been verified by the macro).
+  T&& ValueUnsafe() && { return std::move(*value_); }
+  const T& ValueUnsafe() const& { return *value_; }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+  /// Dereference sugar; must only be used when ok().
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  Status status_;          // OK iff value_ present
+  std::optional<T> value_;
+};
+
+}  // namespace util
+}  // namespace drugtree
+
+#endif  // DRUGTREE_UTIL_RESULT_H_

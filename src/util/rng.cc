@@ -1,0 +1,124 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace drugtree {
+namespace util {
+
+namespace {
+
+// splitmix64: used to expand the seed into the xoshiro state.
+uint64_t SplitMix64(uint64_t& x) {
+  uint64_t z = (x += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& w : state_) w = SplitMix64(s);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0ULL - bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (have_gaussian_) {
+    have_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double mul = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * mul;
+  have_gaussian_ = true;
+  return u * mul;
+}
+
+double Rng::NextExponential(double rate) {
+  assert(rate > 0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+uint64_t Rng::Zipf(uint64_t n, double theta) {
+  assert(n > 0);
+  if (theta <= 0.0) return Uniform(n);
+  // Rejection-inversion style approximation adequate for workload skew:
+  // sample by inverse CDF over the generalized harmonic series computed on
+  // demand (cached per (n, theta) would be faster; benchmarks pre-generate).
+  double zetan = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) zetan += 1.0 / std::pow(double(i), theta);
+  double u = NextDouble() * zetan;
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(double(i), theta);
+    if (sum >= u) return i - 1;
+  }
+  return n - 1;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double u = NextDouble() * total;
+  double sum = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    sum += weights[i];
+    if (sum >= u) return i;
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xD1F2C3B4A5968778ULL); }
+
+}  // namespace util
+}  // namespace drugtree

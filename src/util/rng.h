@@ -1,0 +1,76 @@
+// Deterministic pseudo-random number generation.
+//
+// All synthetic data in DrugTree (sequences, ligands, workloads, network
+// jitter) flows through Rng so that experiments are reproducible from a seed.
+
+#ifndef DRUGTREE_UTIL_RNG_H_
+#define DRUGTREE_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace drugtree {
+namespace util {
+
+/// A small, fast, seedable PRNG (xoshiro256**). Not cryptographic.
+class Rng {
+ public:
+  /// Seeds the generator; the same seed always yields the same stream.
+  explicit Rng(uint64_t seed = 42);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal deviate (Box-Muller).
+  double NextGaussian();
+
+  /// Exponential deviate with the given rate (mean 1/rate).
+  double NextExponential(double rate);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Zipfian-distributed integer in [0, n) with skew parameter theta
+  /// (theta = 0 is uniform; larger is more skewed). Used by workload
+  /// generators to model hot-spot access patterns.
+  uint64_t Zipf(uint64_t n, double theta);
+
+  /// Samples an index in [0, weights.size()) proportional to weights.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for parallel determinism).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool have_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace util
+}  // namespace drugtree
+
+#endif  // DRUGTREE_UTIL_RNG_H_

@@ -1,0 +1,63 @@
+#include "util/status.h"
+
+namespace drugtree {
+namespace util {
+
+namespace {
+const std::string kEmptyString;
+}  // namespace
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kIoError: return "IoError";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kUnimplemented: return "Unimplemented";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kTimeout: return "Timeout";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string message) {
+  if (code != StatusCode::kOk) {
+    rep_ = std::make_unique<Rep>(Rep{code, std::move(message)});
+  }
+}
+
+Status::Status(const Status& other) {
+  if (other.rep_) rep_ = std::make_unique<Rep>(*other.rep_);
+}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+  }
+  return *this;
+}
+
+const std::string& Status::message() const {
+  return rep_ ? rep_->message : kEmptyString;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(rep_->code);
+  out += ": ";
+  out += rep_->message;
+  return out;
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(rep_->code, context + ": " + rep_->message);
+}
+
+}  // namespace util
+}  // namespace drugtree

@@ -1,0 +1,163 @@
+// Status: the error-handling backbone of the library.
+//
+// DrugTree follows the Arrow/RocksDB convention: no exceptions cross library
+// boundaries. Fallible operations return util::Status (or util::Result<T>,
+// see result.h) and callers must check it.
+
+#ifndef DRUGTREE_UTIL_STATUS_H_
+#define DRUGTREE_UTIL_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace drugtree {
+namespace util {
+
+/// Machine-readable error category carried by a non-OK Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kParseError = 5,
+  kIoError = 6,
+  kResourceExhausted = 7,
+  kUnimplemented = 8,
+  kInternal = 9,
+  kAborted = 10,
+  kTimeout = 11,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: either OK or a (code, message) pair.
+///
+/// The OK state is represented by a null internal pointer, so returning and
+/// moving an OK Status is free. Non-OK states carry a heap-allocated record.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. Prefer the named
+  /// factories (Status::InvalidArgument etc.) at call sites.
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Named factory for an OK status (mirrors the factories below).
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+
+  /// True iff the status represents success.
+  bool ok() const { return rep_ == nullptr; }
+
+  /// The status code; kOk for an OK status.
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// The error message; empty for an OK status.
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsTimeout() const { return code() == StatusCode::kTimeout; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Prefixes the error message with `context + ": "`; no-op on OK statuses.
+  /// Useful when propagating errors up through layers.
+  Status WithContext(const std::string& context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<Rep> rep_;  // null == OK
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace util
+}  // namespace drugtree
+
+/// Propagates a non-OK Status to the caller of the enclosing function.
+#define DRUGTREE_RETURN_IF_ERROR(expr)                      \
+  do {                                                      \
+    ::drugtree::util::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                              \
+  } while (0)
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors; otherwise assigns the
+/// contained value to `lhs` (which may be a declaration).
+#define DRUGTREE_ASSIGN_OR_RETURN(lhs, rexpr)               \
+  DRUGTREE_ASSIGN_OR_RETURN_IMPL(                           \
+      DRUGTREE_CONCAT_(_result_tmp_, __LINE__), lhs, rexpr)
+
+#define DRUGTREE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr)     \
+  auto tmp = (rexpr);                                       \
+  if (!tmp.ok()) return tmp.status();                       \
+  lhs = std::move(tmp).ValueUnsafe();
+
+#define DRUGTREE_CONCAT_(a, b) DRUGTREE_CONCAT_IMPL_(a, b)
+#define DRUGTREE_CONCAT_IMPL_(a, b) a##b
+
+#endif  // DRUGTREE_UTIL_STATUS_H_

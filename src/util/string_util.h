@@ -1,0 +1,56 @@
+// Small string helpers shared across modules (parsers, loggers, reports).
+
+#ifndef DRUGTREE_UTIL_STRING_UTIL_H_
+#define DRUGTREE_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace drugtree {
+namespace util {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+/// ASCII upper-casing.
+std::string ToUpper(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Strict integer parse of the whole string (no trailing junk).
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Strict double parse of the whole string (no trailing junk).
+Result<double> ParseDouble(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Human-friendly byte count ("1.5 KiB", "3.2 MiB").
+std::string HumanBytes(uint64_t bytes);
+
+/// FNV-1a 64-bit hash, used where a stable (cross-run) hash is needed.
+uint64_t Fnv1a64(std::string_view s);
+
+}  // namespace util
+}  // namespace drugtree
+
+#endif  // DRUGTREE_UTIL_STRING_UTIL_H_

@@ -1,0 +1,179 @@
+#include "bio/align.h"
+
+#include <gtest/gtest.h>
+
+#include "bio/synthetic.h"
+#include "util/rng.h"
+
+namespace drugtree {
+namespace bio {
+namespace {
+
+Sequence Seq(const std::string& id, const std::string& r) {
+  auto s = Sequence::Create(id, r);
+  EXPECT_TRUE(s.ok()) << s.status();
+  return *s;
+}
+
+TEST(GlobalAlignTest, IdenticalSequences) {
+  Sequence a = Seq("a", "MKVLWAALLV");
+  auto aln = GlobalAlign(a, a);
+  ASSERT_TRUE(aln.ok());
+  EXPECT_EQ(aln->aligned_a, "MKVLWAALLV");
+  EXPECT_EQ(aln->aligned_b, "MKVLWAALLV");
+  EXPECT_DOUBLE_EQ(aln->Identity(), 1.0);
+  EXPECT_DOUBLE_EQ(aln->GapFraction(), 0.0);
+  // Score = sum of diagonal BLOSUM62 scores.
+  int expected = 0;
+  for (char c : a.residues()) {
+    expected += SubstitutionMatrix::Blosum62().Score(c, c);
+  }
+  EXPECT_EQ(aln->score, expected);
+}
+
+TEST(GlobalAlignTest, SingleGap) {
+  // b is a with one residue deleted; affine gap alignment should produce a
+  // single '-' column.
+  Sequence a = Seq("a", "MKVLWAAL");
+  Sequence b = Seq("b", "MKVLAAL");  // W removed
+  auto aln = GlobalAlign(a, b);
+  ASSERT_TRUE(aln.ok());
+  EXPECT_EQ(aln->aligned_a.size(), 8u);
+  size_t gaps = 0;
+  for (char c : aln->aligned_b) gaps += c == '-';
+  EXPECT_EQ(gaps, 1u);
+  EXPECT_EQ(aln->aligned_a, "MKVLWAAL");
+}
+
+TEST(GlobalAlignTest, EmptyVsNonEmpty) {
+  Sequence a = Seq("a", "");
+  Sequence b = Seq("b", "MKV");
+  auto aln = GlobalAlign(a, b);
+  ASSERT_TRUE(aln.ok());
+  EXPECT_EQ(aln->aligned_a, "---");
+  EXPECT_EQ(aln->aligned_b, "MKV");
+  AlignParams p;
+  EXPECT_EQ(aln->score, -(p.gap_open + 3 * p.gap_extend));
+}
+
+TEST(GlobalAlignTest, BothEmpty) {
+  auto aln = GlobalAlign(Seq("a", ""), Seq("b", ""));
+  ASSERT_TRUE(aln.ok());
+  EXPECT_EQ(aln->score, 0);
+  EXPECT_EQ(aln->Length(), 0u);
+}
+
+TEST(GlobalAlignTest, AffineGapPrefersOneLongGap) {
+  // With affine penalties, one gap of length 2 beats two gaps of length 1.
+  Sequence a = Seq("a", "MKVLWAALLVAC");
+  Sequence b = Seq("b", "MKVLAALLVAC");  // drop W... make 2-gap: drop WA
+  Sequence c = Seq("c", "MKVLALLVAC");   // drop W and one A
+  auto aln = GlobalAlign(a, c);
+  ASSERT_TRUE(aln.ok());
+  // Count gap runs in aligned_b.
+  int runs = 0;
+  bool in_gap = false;
+  for (char ch : aln->aligned_b) {
+    if (ch == '-' && !in_gap) {
+      ++runs;
+      in_gap = true;
+    } else if (ch != '-') {
+      in_gap = false;
+    }
+  }
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(GlobalAlignTest, InvalidParamsRejected) {
+  Sequence a = Seq("a", "MKV");
+  AlignParams p;
+  p.gap_open = -1;
+  EXPECT_TRUE(GlobalAlign(a, a, p).status().IsInvalidArgument());
+  p = AlignParams();
+  p.matrix = nullptr;
+  EXPECT_TRUE(GlobalAlign(a, a, p).status().IsInvalidArgument());
+  p = AlignParams();
+  p.gap_open = 0;
+  p.gap_extend = 0;
+  EXPECT_TRUE(GlobalAlign(a, a, p).status().IsInvalidArgument());
+}
+
+TEST(GlobalAlignTest, SymmetricScore) {
+  Sequence a = Seq("a", "MKVLWAALLVACMKV");
+  Sequence b = Seq("b", "MKLWAGLLVAMKW");
+  auto ab = GlobalAlign(a, b);
+  auto ba = GlobalAlign(b, a);
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(ba.ok());
+  EXPECT_EQ(ab->score, ba->score);
+}
+
+TEST(LocalAlignTest, FindsEmbeddedMotif) {
+  Sequence a = Seq("a", "GGGGGMKVLWGGGGG");
+  Sequence b = Seq("b", "AAAAAMKVLWAAAAA");
+  auto aln = LocalAlign(a, b);
+  ASSERT_TRUE(aln.ok());
+  EXPECT_EQ(aln->aligned_a, "MKVLW");
+  EXPECT_EQ(aln->aligned_b, "MKVLW");
+  EXPECT_GT(aln->score, 0);
+}
+
+TEST(LocalAlignTest, UnrelatedSequencesLowScore) {
+  // Completely hostile pairing still yields score >= 0.
+  Sequence a = Seq("a", "WWWWW");
+  Sequence b = Seq("b", "GGGGG");
+  auto aln = LocalAlign(a, b);
+  ASSERT_TRUE(aln.ok());
+  EXPECT_GE(aln->score, 0);
+}
+
+TEST(LocalAlignTest, LocalScoreAtLeastGlobal) {
+  util::Rng rng(5);
+  auto seqs = RandomSequences(2, 60, &rng);
+  auto local = LocalAlign(seqs[0], seqs[1]);
+  auto global = GlobalAlign(seqs[0], seqs[1]);
+  ASSERT_TRUE(local.ok());
+  ASSERT_TRUE(global.ok());
+  EXPECT_GE(local->score, global->score);
+}
+
+class AlignScoreConsistency : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlignScoreConsistency, ScoreOnlyMatchesFullAlignment) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()));
+  auto seqs = RandomSequences(2, 40 + GetParam() * 7, &rng);
+  auto full = GlobalAlign(seqs[0], seqs[1]);
+  auto score = GlobalAlignScore(seqs[0], seqs[1]);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(score.ok());
+  EXPECT_EQ(full->score, *score);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPairs, AlignScoreConsistency,
+                         ::testing::Range(0, 12));
+
+class AlignmentWellFormed : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlignmentWellFormed, GaplessProjectionRecoversInputs) {
+  util::Rng rng(100 + static_cast<uint64_t>(GetParam()));
+  auto seqs = RandomSequences(2, 30 + GetParam() * 11, &rng);
+  auto aln = GlobalAlign(seqs[0], seqs[1]);
+  ASSERT_TRUE(aln.ok());
+  ASSERT_EQ(aln->aligned_a.size(), aln->aligned_b.size());
+  std::string a_no_gap, b_no_gap;
+  for (size_t i = 0; i < aln->aligned_a.size(); ++i) {
+    // No column may be all gaps.
+    EXPECT_FALSE(aln->aligned_a[i] == '-' && aln->aligned_b[i] == '-');
+    if (aln->aligned_a[i] != '-') a_no_gap += aln->aligned_a[i];
+    if (aln->aligned_b[i] != '-') b_no_gap += aln->aligned_b[i];
+  }
+  EXPECT_EQ(a_no_gap, seqs[0].residues());
+  EXPECT_EQ(b_no_gap, seqs[1].residues());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPairs, AlignmentWellFormed,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace bio
+}  // namespace drugtree

@@ -1,0 +1,200 @@
+#include "bio/distance.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bio/synthetic.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace drugtree {
+namespace bio {
+namespace {
+
+TEST(DistanceMatrixTest, CreateRejectsDuplicateNames) {
+  EXPECT_TRUE(
+      DistanceMatrix::Create({"a", "b", "a"}).status().IsInvalidArgument());
+}
+
+TEST(DistanceMatrixTest, SetIsSymmetric) {
+  auto m = DistanceMatrix::Create({"a", "b", "c"});
+  ASSERT_TRUE(m.ok());
+  m->Set(0, 2, 1.5);
+  EXPECT_DOUBLE_EQ(m->at(0, 2), 1.5);
+  EXPECT_DOUBLE_EQ(m->at(2, 0), 1.5);
+  EXPECT_DOUBLE_EQ(m->at(0, 0), 0.0);
+  EXPECT_TRUE(m->IsValid());
+}
+
+TEST(DistanceMatrixTest, IndexOf) {
+  auto m = DistanceMatrix::Create({"x", "y"});
+  EXPECT_EQ(m->IndexOf("y"), 1);
+  EXPECT_EQ(m->IndexOf("z"), -1);
+}
+
+TEST(AlignmentDistanceTest, IdenticalIsZero) {
+  auto a = Sequence::Create("a", "MKVLWAALLVMKVLWAALLV");
+  auto d = AlignmentDistance(*a, *a);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 0.0, 1e-9);
+}
+
+TEST(AlignmentDistanceTest, UnrelatedIsLarge) {
+  util::Rng rng(3);
+  auto seqs = RandomSequences(2, 100, &rng);
+  auto d = AlignmentDistance(seqs[0], seqs[1]);
+  ASSERT_TRUE(d.ok());
+  EXPECT_GT(*d, 0.5);
+}
+
+TEST(AlignmentDistanceTest, ClampedAtMax) {
+  DistanceParams p;
+  p.max_distance = 2.0;
+  util::Rng rng(4);
+  auto seqs = RandomSequences(2, 80, &rng);
+  auto d = AlignmentDistance(seqs[0], seqs[1], p);
+  ASSERT_TRUE(d.ok());
+  EXPECT_LE(*d, 2.0);
+}
+
+TEST(KmerDistanceTest, IdenticalIsZeroUnrelatedPositive) {
+  util::Rng rng(5);
+  auto seqs = RandomSequences(2, 120, &rng);
+  auto same = KmerDistance(seqs[0], seqs[0], 3);
+  ASSERT_TRUE(same.ok());
+  EXPECT_NEAR(*same, 0.0, 1e-9);
+  auto diff = KmerDistance(seqs[0], seqs[1], 3);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_GT(*diff, 0.1);
+  EXPECT_LE(*diff, 1.0);
+}
+
+TEST(KmerDistanceTest, RejectsBadK) {
+  util::Rng rng(6);
+  auto seqs = RandomSequences(2, 50, &rng);
+  EXPECT_TRUE(KmerDistance(seqs[0], seqs[1], 0).status().IsInvalidArgument());
+  EXPECT_TRUE(KmerDistance(seqs[0], seqs[1], 5).status().IsInvalidArgument());
+}
+
+TEST(KmerDistanceTest, ShortSequenceNoKmersMaxDistance) {
+  auto a = Sequence::Create("a", "MK");
+  auto b = Sequence::Create("b", "MKVLWMKVLW");
+  auto d = KmerDistance(*a, *b, 3);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 1.0);  // empty profile vs non-empty
+}
+
+// The central signal property: within-clade distances are smaller than
+// cross-family distances for evolved sequences.
+TEST(DistanceSignalTest, EvolvedFamilyHasTreeSignal) {
+  util::Rng rng(42);
+  EvolutionParams ep;
+  ep.num_taxa = 8;
+  ep.sequence_length = 150;
+  auto fam1 = EvolveFamily(ep, &rng);
+  auto fam2 = EvolveFamily(ep, &rng);
+  ASSERT_TRUE(fam1.ok());
+  ASSERT_TRUE(fam2.ok());
+  // Mean within-family kmer distance < mean cross-family distance.
+  double within = 0, cross = 0;
+  int wn = 0, cn = 0;
+  for (size_t i = 0; i < fam1->sequences.size(); ++i) {
+    for (size_t j = i + 1; j < fam1->sequences.size(); ++j) {
+      within += *KmerDistance(fam1->sequences[i], fam1->sequences[j]);
+      ++wn;
+    }
+    for (const auto& other : fam2->sequences) {
+      cross += *KmerDistance(fam1->sequences[i], other);
+      ++cn;
+    }
+  }
+  EXPECT_LT(within / wn, cross / cn);
+}
+
+TEST(DistanceMatrixBuildTest, KmerMatrixValid) {
+  util::Rng rng(7);
+  EvolutionParams ep;
+  ep.num_taxa = 10;
+  ep.sequence_length = 100;
+  auto fam = EvolveFamily(ep, &rng);
+  ASSERT_TRUE(fam.ok());
+  auto m = KmerDistanceMatrix(fam->sequences, 3);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->size(), 10u);
+  EXPECT_TRUE(m->IsValid());
+}
+
+TEST(DistanceMatrixBuildTest, AlignmentMatrixValid) {
+  util::Rng rng(8);
+  EvolutionParams ep;
+  ep.num_taxa = 6;
+  ep.sequence_length = 60;
+  auto fam = EvolveFamily(ep, &rng);
+  ASSERT_TRUE(fam.ok());
+  auto m = AlignmentDistanceMatrix(fam->sequences);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m->IsValid());
+}
+
+TEST(DistanceMatrixBuildTest, ParallelMatchesSerial) {
+  util::Rng rng(9);
+  EvolutionParams ep;
+  ep.num_taxa = 8;
+  ep.sequence_length = 80;
+  auto fam = EvolveFamily(ep, &rng);
+  ASSERT_TRUE(fam.ok());
+  util::ThreadPool pool(4);
+  auto serial = KmerDistanceMatrix(fam->sequences, 3, nullptr);
+  auto parallel = KmerDistanceMatrix(fam->sequences, 3, &pool);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  for (size_t i = 0; i < serial->size(); ++i) {
+    for (size_t j = 0; j < serial->size(); ++j) {
+      EXPECT_DOUBLE_EQ(serial->at(i, j), parallel->at(i, j));
+    }
+  }
+}
+
+TEST(SyntheticTest, EvolveFamilyDeterministic) {
+  EvolutionParams ep;
+  ep.num_taxa = 6;
+  util::Rng r1(11), r2(11);
+  auto f1 = EvolveFamily(ep, &r1);
+  auto f2 = EvolveFamily(ep, &r2);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  EXPECT_EQ(f1->true_tree_newick, f2->true_tree_newick);
+  ASSERT_EQ(f1->sequences.size(), f2->sequences.size());
+  for (size_t i = 0; i < f1->sequences.size(); ++i) {
+    EXPECT_EQ(f1->sequences[i], f2->sequences[i]);
+  }
+}
+
+TEST(SyntheticTest, EvolveFamilyValidatesParams) {
+  util::Rng rng(12);
+  EvolutionParams ep;
+  ep.num_taxa = 1;
+  EXPECT_TRUE(EvolveFamily(ep, &rng).status().IsInvalidArgument());
+  ep = EvolutionParams();
+  ep.sequence_length = 5;
+  EXPECT_TRUE(EvolveFamily(ep, &rng).status().IsInvalidArgument());
+  ep = EvolutionParams();
+  EXPECT_TRUE(EvolveFamily(ep, nullptr).status().IsInvalidArgument());
+}
+
+TEST(SyntheticTest, TaxonCountAndUniqueIds) {
+  util::Rng rng(13);
+  EvolutionParams ep;
+  ep.num_taxa = 17;
+  auto fam = EvolveFamily(ep, &rng);
+  ASSERT_TRUE(fam.ok());
+  EXPECT_EQ(fam->sequences.size(), 17u);
+  std::set<std::string> ids;
+  for (const auto& s : fam->sequences) ids.insert(s.id());
+  EXPECT_EQ(ids.size(), 17u);
+}
+
+}  // namespace
+}  // namespace bio
+}  // namespace drugtree

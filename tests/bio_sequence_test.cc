@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "bio/fasta.h"
+#include "bio/sequence.h"
+#include "bio/substitution_matrix.h"
+
+namespace drugtree {
+namespace bio {
+namespace {
+
+TEST(SequenceTest, ResidueIndexRoundTrips) {
+  for (int i = 0; i < kNumAminoAcids; ++i) {
+    EXPECT_EQ(ResidueIndex(kAminoAcids[i]), i);
+  }
+}
+
+TEST(SequenceTest, ResidueIndexCaseInsensitive) {
+  EXPECT_EQ(ResidueIndex('a'), ResidueIndex('A'));
+  EXPECT_EQ(ResidueIndex('w'), ResidueIndex('W'));
+}
+
+TEST(SequenceTest, InvalidResiduesRejected) {
+  EXPECT_LT(ResidueIndex('B'), 0);  // B, J, O, U, X, Z are not canonical
+  EXPECT_LT(ResidueIndex('X'), 0);
+  EXPECT_LT(ResidueIndex('*'), 0);
+  EXPECT_LT(ResidueIndex('1'), 0);
+  EXPECT_FALSE(IsValidResidue('Z'));
+  EXPECT_TRUE(IsValidResidue('K'));
+}
+
+TEST(SequenceTest, CreateValidatesAndNormalizes) {
+  auto s = Sequence::Create("p1", "acdef");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->residues(), "ACDEF");
+  EXPECT_EQ(s->id(), "p1");
+  EXPECT_EQ(s->length(), 5u);
+}
+
+TEST(SequenceTest, CreateRejectsInvalidResidue) {
+  auto s = Sequence::Create("p1", "ACXDE");
+  EXPECT_TRUE(s.status().IsParseError());
+  EXPECT_NE(s.status().message().find("position 2"), std::string::npos);
+}
+
+TEST(SequenceTest, EmptySequenceAllowed) {
+  auto s = Sequence::Create("p1", "");
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->empty());
+  EXPECT_DOUBLE_EQ(s->ApproximateMassDa(), 0.0);
+}
+
+TEST(SequenceTest, Composition) {
+  auto s = Sequence::Create("p", "AARV");
+  ASSERT_TRUE(s.ok());
+  auto counts = s->Composition();
+  EXPECT_EQ(counts[ResidueIndex('A')], 2);
+  EXPECT_EQ(counts[ResidueIndex('R')], 1);
+  EXPECT_EQ(counts[ResidueIndex('V')], 1);
+  EXPECT_EQ(counts[ResidueIndex('W')], 0);
+}
+
+TEST(SequenceTest, MassIncreasesWithLength) {
+  auto a = Sequence::Create("a", "AAA");
+  auto b = Sequence::Create("b", "AAAAAA");
+  EXPECT_GT(b->ApproximateMassDa(), a->ApproximateMassDa());
+  // Glycine (smallest) chain below tryptophan chain.
+  auto g = Sequence::Create("g", "GGG");
+  auto w = Sequence::Create("w", "WWW");
+  EXPECT_LT(g->ApproximateMassDa(), w->ApproximateMassDa());
+}
+
+TEST(FastaTest, ParseSingleRecord) {
+  auto seqs = ParseFasta(">p1 some description\nACDE\nFGHI\n");
+  ASSERT_TRUE(seqs.ok());
+  ASSERT_EQ(seqs->size(), 1u);
+  EXPECT_EQ((*seqs)[0].id(), "p1");
+  EXPECT_EQ((*seqs)[0].residues(), "ACDEFGHI");
+}
+
+TEST(FastaTest, ParseMultipleRecordsAndBlankLines) {
+  auto seqs = ParseFasta(">a\nACD\n\n>b\nWYV\n");
+  ASSERT_TRUE(seqs.ok());
+  ASSERT_EQ(seqs->size(), 2u);
+  EXPECT_EQ((*seqs)[1].id(), "b");
+  EXPECT_EQ((*seqs)[1].residues(), "WYV");
+}
+
+TEST(FastaTest, RejectsDataBeforeHeader) {
+  EXPECT_TRUE(ParseFasta("ACDE\n>a\nACD\n").status().IsParseError());
+}
+
+TEST(FastaTest, RejectsDuplicateIds) {
+  EXPECT_TRUE(ParseFasta(">a\nAC\n>a\nDE\n").status().IsParseError());
+}
+
+TEST(FastaTest, RejectsEmptyRecord) {
+  EXPECT_TRUE(ParseFasta(">a\n>b\nACD\n").status().IsParseError());
+}
+
+TEST(FastaTest, RejectsEmptyHeader) {
+  EXPECT_TRUE(ParseFasta(">\nACD\n").status().IsParseError());
+}
+
+TEST(FastaTest, RejectsInvalidResidues) {
+  EXPECT_TRUE(ParseFasta(">a\nAC1D\n").status().IsParseError());
+}
+
+TEST(FastaTest, WriteParseRoundTrip) {
+  std::vector<Sequence> seqs;
+  seqs.push_back(*Sequence::Create("prot_one", std::string(150, 'A')));
+  seqs.push_back(*Sequence::Create("prot_two", "MKVLW"));
+  std::string text = WriteFasta(seqs, 60);
+  auto parsed = ParseFasta(text);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0], seqs[0]);
+  EXPECT_EQ((*parsed)[1], seqs[1]);
+}
+
+TEST(FastaTest, WrappingAtWidth) {
+  std::vector<Sequence> seqs = {*Sequence::Create("p", std::string(100, 'G'))};
+  std::string text = WriteFasta(seqs, 40);
+  // 100 residues at width 40 -> 3 sequence lines.
+  int lines = 0;
+  for (char c : text) lines += c == '\n';
+  EXPECT_EQ(lines, 4);  // header + 3
+}
+
+TEST(FastaTest, FileRoundTrip) {
+  std::string path = testing::TempDir() + "/drugtree_fasta_test.fa";
+  std::vector<Sequence> seqs = {*Sequence::Create("x", "MKVLW")};
+  ASSERT_TRUE(WriteFastaFile(path, seqs).ok());
+  auto loaded = ReadFastaFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)[0], seqs[0]);
+}
+
+TEST(FastaTest, MissingFileIsIoError) {
+  EXPECT_TRUE(ReadFastaFile("/nonexistent/nope.fa").status().IsIoError());
+}
+
+TEST(SubstitutionMatrixTest, Blosum62KnownValues) {
+  const auto& m = SubstitutionMatrix::Blosum62();
+  EXPECT_EQ(m.Score('A', 'A'), 4);
+  EXPECT_EQ(m.Score('W', 'W'), 11);
+  EXPECT_EQ(m.Score('A', 'W'), -3);
+  EXPECT_EQ(m.Score('R', 'K'), 2);
+  EXPECT_EQ(m.Score('C', 'C'), 9);
+}
+
+TEST(SubstitutionMatrixTest, Pam250KnownValues) {
+  const auto& m = SubstitutionMatrix::Pam250();
+  EXPECT_EQ(m.Score('W', 'W'), 17);
+  EXPECT_EQ(m.Score('C', 'C'), 12);
+  EXPECT_EQ(m.Score('A', 'A'), 2);
+}
+
+TEST(SubstitutionMatrixTest, BothSymmetric) {
+  EXPECT_TRUE(SubstitutionMatrix::Blosum62().IsSymmetric());
+  EXPECT_TRUE(SubstitutionMatrix::Pam250().IsSymmetric());
+}
+
+TEST(SubstitutionMatrixTest, DiagonalIsMaxInRow) {
+  // Self-substitution should never score worse than substitution (BLOSUM62).
+  const auto& m = SubstitutionMatrix::Blosum62();
+  for (int i = 0; i < kNumAminoAcids; ++i) {
+    for (int j = 0; j < kNumAminoAcids; ++j) {
+      EXPECT_GE(m.ScoreByIndex(i, i), m.ScoreByIndex(i, j));
+    }
+  }
+}
+
+TEST(SubstitutionMatrixTest, ByNameLookup) {
+  auto b = SubstitutionMatrix::ByName("blosum62");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*b)->name(), "BLOSUM62");
+  auto p = SubstitutionMatrix::ByName("PAM250");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(SubstitutionMatrix::ByName("PAM30").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace bio
+}  // namespace drugtree

@@ -1,0 +1,206 @@
+#include "chem/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "chem/similarity.h"
+#include "chem/smiles.h"
+#include "chem/synthetic_ligands.h"
+#include "util/rng.h"
+
+namespace drugtree {
+namespace chem {
+namespace {
+
+Fingerprint FpOf(const std::string& smiles, int bits = 1024) {
+  auto m = ParseSmiles(smiles);
+  EXPECT_TRUE(m.ok()) << smiles;
+  FingerprintParams p;
+  p.num_bits = bits;
+  auto fp = ComputeFingerprint(*m, p);
+  EXPECT_TRUE(fp.ok());
+  return *fp;
+}
+
+TEST(FingerprintTest, BitOps) {
+  Fingerprint fp(128);
+  EXPECT_EQ(fp.num_bits(), 128);
+  EXPECT_EQ(fp.PopCount(), 0);
+  fp.SetBit(0);
+  fp.SetBit(63);
+  fp.SetBit(64);
+  fp.SetBit(127);
+  EXPECT_EQ(fp.PopCount(), 4);
+  EXPECT_TRUE(fp.TestBit(63));
+  EXPECT_FALSE(fp.TestBit(62));
+}
+
+TEST(FingerprintTest, WidthRoundsUpTo64) {
+  Fingerprint fp(100);
+  EXPECT_EQ(fp.num_bits(), 128);
+}
+
+TEST(FingerprintTest, AndOrCounts) {
+  Fingerprint a(128), b(128);
+  a.SetBit(1);
+  a.SetBit(2);
+  b.SetBit(2);
+  b.SetBit(3);
+  EXPECT_EQ(a.AndCount(b), 1);
+  EXPECT_EQ(a.OrCount(b), 3);
+}
+
+TEST(FingerprintTest, Deterministic) {
+  auto a = FpOf("CC(=O)Oc1ccccc1C(=O)O");
+  auto b = FpOf("CC(=O)Oc1ccccc1C(=O)O");
+  EXPECT_EQ(a, b);
+}
+
+TEST(FingerprintTest, NonTrivialDensity) {
+  auto fp = FpOf("CC(=O)Oc1ccccc1C(=O)O");
+  EXPECT_GT(fp.PopCount(), 10);
+  EXPECT_LT(fp.PopCount(), fp.num_bits() / 2);
+}
+
+TEST(FingerprintTest, ParamValidation) {
+  auto m = ParseSmiles("CCO");
+  FingerprintParams p;
+  p.num_bits = 32;
+  EXPECT_TRUE(ComputeFingerprint(*m, p).status().IsInvalidArgument());
+  p = FingerprintParams();
+  p.max_path_bonds = 9;
+  EXPECT_TRUE(ComputeFingerprint(*m, p).status().IsInvalidArgument());
+  p = FingerprintParams();
+  p.bits_per_path = 0;
+  EXPECT_TRUE(ComputeFingerprint(*m, p).status().IsInvalidArgument());
+}
+
+TEST(TanimotoTest, SelfSimilarityIsOne) {
+  auto fp = FpOf("c1ccccc1CCN");
+  EXPECT_DOUBLE_EQ(Tanimoto(fp, fp), 1.0);
+  EXPECT_DOUBLE_EQ(Dice(fp, fp), 1.0);
+}
+
+TEST(TanimotoTest, EmptyFingerprintsSimilarityOne) {
+  Fingerprint a(128), b(128);
+  EXPECT_DOUBLE_EQ(Tanimoto(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(Dice(a, b), 1.0);
+}
+
+TEST(TanimotoTest, SymmetricAndBounded) {
+  auto a = FpOf("CC(=O)Oc1ccccc1C(=O)O");
+  auto b = FpOf("c1ccncc1CCO");
+  double t = Tanimoto(a, b);
+  EXPECT_DOUBLE_EQ(t, Tanimoto(b, a));
+  EXPECT_GE(t, 0.0);
+  EXPECT_LE(t, 1.0);
+}
+
+TEST(TanimotoTest, SimilarMoleculesScoreHigherThanDissimilar) {
+  auto benzene = FpOf("c1ccccc1");
+  auto toluene = FpOf("Cc1ccccc1");
+  auto alkane = FpOf("CCCCCCCC");
+  EXPECT_GT(Tanimoto(benzene, toluene), Tanimoto(benzene, alkane));
+}
+
+class SimilarityIndexProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimilarityIndexProperty, ThresholdSearchMatchesLinearScan) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()) * 13 + 5);
+  LigandGenParams gen;
+  auto ligands = GenerateLigands(120, gen, &rng);
+  ASSERT_TRUE(ligands.ok());
+  SimilarityIndex index(1024);
+  std::vector<Fingerprint> fps;
+  for (size_t i = 0; i < ligands->size(); ++i) {
+    auto fp = FpOf((*ligands)[i].smiles);
+    fps.push_back(fp);
+    ASSERT_TRUE(index.Add(static_cast<int64_t>(i), fp).ok());
+  }
+  EXPECT_EQ(index.size(), 120u);
+  for (double threshold : {0.3, 0.6, 0.9}) {
+    for (int q = 0; q < 5; ++q) {
+      const Fingerprint& query = fps[rng.Uniform(fps.size())];
+      auto fast = index.SearchThreshold(query, threshold);
+      ASSERT_TRUE(fast.ok());
+      auto slow = index.LinearSearchThreshold(query, threshold);
+      ASSERT_EQ(fast->size(), slow.size()) << "threshold " << threshold;
+      for (size_t i = 0; i < slow.size(); ++i) {
+        EXPECT_EQ((*fast)[i].id, slow[i].id);
+        EXPECT_DOUBLE_EQ((*fast)[i].similarity, slow[i].similarity);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimilarityIndexProperty,
+                         ::testing::Range(0, 4));
+
+TEST(SimilarityIndexTest, TopKMatchesThresholdOrdering) {
+  util::Rng rng(77);
+  LigandGenParams gen;
+  auto ligands = GenerateLigands(80, gen, &rng);
+  ASSERT_TRUE(ligands.ok());
+  SimilarityIndex index(1024);
+  std::vector<Fingerprint> fps;
+  for (size_t i = 0; i < ligands->size(); ++i) {
+    fps.push_back(FpOf((*ligands)[i].smiles));
+    ASSERT_TRUE(index.Add(static_cast<int64_t>(i), fps.back()).ok());
+  }
+  const Fingerprint& query = fps[3];
+  auto topk = index.SearchTopK(query, 10);
+  ASSERT_TRUE(topk.ok());
+  ASSERT_EQ(topk->size(), 10u);
+  // Descending similarity; and must equal the top of a full linear ranking.
+  auto all = index.LinearSearchThreshold(query, 1e-9);
+  for (size_t i = 0; i < topk->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*topk)[i].similarity, all[i].similarity);
+    EXPECT_EQ((*topk)[i].id, all[i].id);
+  }
+}
+
+TEST(SimilarityIndexTest, TopKHandlesKLargerThanIndex) {
+  SimilarityIndex index(128);
+  Fingerprint fp(128);
+  fp.SetBit(5);
+  ASSERT_TRUE(index.Add(1, fp).ok());
+  auto hits = index.SearchTopK(fp, 10);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0].id, 1);
+}
+
+TEST(SimilarityIndexTest, Validation) {
+  SimilarityIndex index(128);
+  Fingerprint wrong(256);
+  EXPECT_TRUE(index.Add(1, wrong).IsInvalidArgument());
+  Fingerprint ok_fp(128);
+  ASSERT_TRUE(index.Add(1, ok_fp).ok());
+  EXPECT_TRUE(index.SearchThreshold(wrong, 0.5).status().IsInvalidArgument());
+  EXPECT_TRUE(index.SearchThreshold(ok_fp, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(index.SearchThreshold(ok_fp, 1.5).status().IsInvalidArgument());
+  EXPECT_TRUE(index.SearchTopK(ok_fp, 0).status().IsInvalidArgument());
+}
+
+TEST(SimilarityIndexTest, ExactDuplicateFoundAtThresholdOne) {
+  util::Rng rng(88);
+  LigandGenParams gen;
+  auto ligands = GenerateLigands(40, gen, &rng);
+  SimilarityIndex index(1024);
+  std::vector<Fingerprint> fps;
+  for (size_t i = 0; i < ligands->size(); ++i) {
+    fps.push_back(FpOf((*ligands)[i].smiles));
+    ASSERT_TRUE(index.Add(static_cast<int64_t>(i), fps.back()).ok());
+  }
+  auto hits = index.SearchThreshold(fps[7], 1.0);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_GE(hits->size(), 1u);
+  bool found = false;
+  for (const auto& h : *hits) found |= h.id == 7;
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace chem
+}  // namespace drugtree

@@ -1,0 +1,121 @@
+#include "chem/molecule.h"
+
+#include <gtest/gtest.h>
+
+namespace drugtree {
+namespace chem {
+namespace {
+
+TEST(ElementTest, SymbolsAndMasses) {
+  EXPECT_STREQ(ElementSymbol(Element::kCarbon), "C");
+  EXPECT_STREQ(ElementSymbol(Element::kChlorine), "Cl");
+  EXPECT_NEAR(ElementMassDa(Element::kCarbon), 12.011, 1e-3);
+  EXPECT_NEAR(ElementMassDa(Element::kOxygen), 15.999, 1e-3);
+  EXPECT_EQ(ElementValence(Element::kCarbon), 4);
+  EXPECT_EQ(ElementValence(Element::kNitrogen), 3);
+  EXPECT_EQ(ElementValence(Element::kFluorine), 1);
+}
+
+Molecule Ethanol() {
+  // CCO
+  Molecule m;
+  int c1 = m.AddAtom({Element::kCarbon});
+  int c2 = m.AddAtom({Element::kCarbon});
+  int o = m.AddAtom({Element::kOxygen});
+  EXPECT_TRUE(m.AddBond(c1, c2, BondOrder::kSingle).ok());
+  EXPECT_TRUE(m.AddBond(c2, o, BondOrder::kSingle).ok());
+  return m;
+}
+
+TEST(MoleculeTest, BuildEthanol) {
+  Molecule m = Ethanol();
+  EXPECT_EQ(m.num_atoms(), 3);
+  EXPECT_EQ(m.num_bonds(), 2);
+  EXPECT_TRUE(m.IsConnected());
+  EXPECT_EQ(m.RingCount(), 0);
+  // Implicit hydrogens: CH3 (3), CH2 (2), OH (1).
+  EXPECT_EQ(m.HydrogenCount(0), 3);
+  EXPECT_EQ(m.HydrogenCount(1), 2);
+  EXPECT_EQ(m.HydrogenCount(2), 1);
+}
+
+TEST(MoleculeTest, BondValidation) {
+  Molecule m = Ethanol();
+  EXPECT_TRUE(m.AddBond(0, 0, BondOrder::kSingle).IsInvalidArgument());
+  EXPECT_TRUE(m.AddBond(0, 9, BondOrder::kSingle).IsInvalidArgument());
+  EXPECT_TRUE(m.AddBond(0, 1, BondOrder::kSingle).IsAlreadyExists());
+  EXPECT_TRUE(m.AddBond(1, 0, BondOrder::kSingle).IsAlreadyExists());
+}
+
+TEST(MoleculeTest, FindBondIgnoresDirection) {
+  Molecule m = Ethanol();
+  EXPECT_NE(m.FindBond(0, 1), nullptr);
+  EXPECT_NE(m.FindBond(1, 0), nullptr);
+  EXPECT_EQ(m.FindBond(0, 2), nullptr);
+}
+
+TEST(MoleculeTest, NeighborsBidirectional) {
+  Molecule m = Ethanol();
+  EXPECT_EQ(m.Neighbors(1).size(), 2u);
+  EXPECT_EQ(m.Neighbors(0).size(), 1u);
+  EXPECT_EQ(m.Neighbors(0)[0], 1);
+}
+
+TEST(MoleculeTest, DoubleBondReducesHydrogens) {
+  // C=O formaldehyde-ish carbon.
+  Molecule m;
+  int c = m.AddAtom({Element::kCarbon});
+  int o = m.AddAtom({Element::kOxygen});
+  ASSERT_TRUE(m.AddBond(c, o, BondOrder::kDouble).ok());
+  EXPECT_EQ(m.HydrogenCount(c), 2);
+  EXPECT_EQ(m.HydrogenCount(o), 0);
+}
+
+TEST(MoleculeTest, ExplicitHydrogensOverride) {
+  Molecule m;
+  Atom a;
+  a.element = Element::kNitrogen;
+  a.explicit_hydrogens = 0;
+  int n = m.AddAtom(a);
+  EXPECT_EQ(m.HydrogenCount(n), 0);
+}
+
+TEST(MoleculeTest, ChargeExtendsValence) {
+  Molecule m;
+  Atom a;
+  a.element = Element::kNitrogen;
+  a.charge = 1;
+  int n = m.AddAtom(a);
+  EXPECT_EQ(m.HydrogenCount(n), 4);  // NH4+
+}
+
+TEST(MoleculeTest, RingDetection) {
+  // Cyclohexane.
+  Molecule m;
+  int atoms[6];
+  for (auto& atom : atoms) atom = m.AddAtom({Element::kCarbon});
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(m.AddBond(atoms[i], atoms[(i + 1) % 6], BondOrder::kSingle).ok());
+  }
+  EXPECT_EQ(m.RingCount(), 1);
+  EXPECT_TRUE(m.IsConnected());
+  EXPECT_EQ(m.HydrogenCount(0), 2);
+}
+
+TEST(MoleculeTest, DisconnectedDetected) {
+  Molecule m;
+  m.AddAtom({Element::kCarbon});
+  m.AddAtom({Element::kCarbon});
+  EXPECT_FALSE(m.IsConnected());
+  EXPECT_EQ(m.RingCount(), 0);  // 0 bonds - 2 atoms + 2 components
+}
+
+TEST(MoleculeTest, EmptyMolecule) {
+  Molecule m;
+  EXPECT_TRUE(m.IsConnected());
+  EXPECT_EQ(m.RingCount(), 0);
+}
+
+}  // namespace
+}  // namespace chem
+}  // namespace drugtree

@@ -1,0 +1,95 @@
+#include "chem/properties.h"
+
+#include <gtest/gtest.h>
+
+#include "chem/smiles.h"
+
+namespace drugtree {
+namespace chem {
+namespace {
+
+MolecularProperties PropsOf(const std::string& smiles) {
+  auto m = ParseSmiles(smiles);
+  EXPECT_TRUE(m.ok()) << smiles;
+  return ComputeProperties(*m);
+}
+
+TEST(PropertiesTest, WaterWeightEthanol) {
+  auto p = PropsOf("CCO");
+  EXPECT_NEAR(p.molecular_weight, 46.07, 0.1);
+  EXPECT_EQ(p.hba, 1);
+  EXPECT_EQ(p.hbd, 1);
+  EXPECT_EQ(p.heavy_atoms, 3);
+  EXPECT_EQ(p.ring_count, 0);
+}
+
+TEST(PropertiesTest, BenzeneWeight) {
+  auto p = PropsOf("c1ccccc1");
+  EXPECT_NEAR(p.molecular_weight, 78.11, 0.2);
+  EXPECT_EQ(p.ring_count, 1);
+  EXPECT_EQ(p.hbd, 0);
+  EXPECT_EQ(p.hba, 0);
+}
+
+TEST(PropertiesTest, AspirinBundle) {
+  auto p = PropsOf("CC(=O)Oc1ccccc1C(=O)O");
+  EXPECT_NEAR(p.molecular_weight, 180.16, 1.0);
+  EXPECT_EQ(p.hba, 4);
+  EXPECT_EQ(p.hbd, 1);
+  EXPECT_EQ(p.ring_count, 1);
+  EXPECT_EQ(p.LipinskiViolations(), 0);
+  EXPECT_TRUE(p.IsDrugLike());
+}
+
+TEST(PropertiesTest, HydrophobicChainHasPositiveLogP) {
+  EXPECT_GT(PropsOf("CCCCCCCCCCCC").log_p, 2.0);
+}
+
+TEST(PropertiesTest, PolyolHasNegativeLogP) {
+  EXPECT_LT(PropsOf("OCC(O)C(O)C(O)C(O)CO").log_p, 0.0);  // sorbitol
+}
+
+TEST(PropertiesTest, RotatableBonds) {
+  // Butane: one central rotatable bond (terminal bonds excluded).
+  EXPECT_EQ(PropsOf("CCCC").rotatable_bonds, 1);
+  // Ring bonds are not rotatable.
+  EXPECT_EQ(PropsOf("C1CCCCC1").rotatable_bonds, 0);
+  // Biphenyl-like: the inter-ring single bond rotates.
+  EXPECT_EQ(PropsOf("c1ccccc1c1ccccc1").rotatable_bonds, 1);
+  // Double bonds do not rotate.
+  EXPECT_EQ(PropsOf("CC=CC").rotatable_bonds, 0);
+}
+
+TEST(PropertiesTest, LipinskiViolationCounting) {
+  MolecularProperties p;
+  p.molecular_weight = 600;  // violation 1
+  p.log_p = 6;               // violation 2
+  p.hbd = 6;                 // violation 3
+  p.hba = 11;                // violation 4
+  EXPECT_EQ(p.LipinskiViolations(), 4);
+  EXPECT_FALSE(p.IsDrugLike());
+  p.hbd = 2;
+  p.hba = 4;
+  EXPECT_EQ(p.LipinskiViolations(), 2);
+  EXPECT_FALSE(p.IsDrugLike());
+  p.log_p = 3;
+  EXPECT_EQ(p.LipinskiViolations(), 1);
+  EXPECT_TRUE(p.IsDrugLike());
+}
+
+TEST(PropertiesTest, ChargedNitrogenCounted) {
+  auto p = PropsOf("C[N+](C)(C)C");
+  EXPECT_EQ(p.hba, 1);
+  EXPECT_EQ(p.hbd, 0);
+}
+
+TEST(PropertiesTest, EmptyMolecule) {
+  Molecule m;
+  auto p = ComputeProperties(m);
+  EXPECT_DOUBLE_EQ(p.molecular_weight, 0.0);
+  EXPECT_EQ(p.heavy_atoms, 0);
+}
+
+}  // namespace
+}  // namespace chem
+}  // namespace drugtree

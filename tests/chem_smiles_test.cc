@@ -1,0 +1,200 @@
+#include "chem/smiles.h"
+
+#include <gtest/gtest.h>
+
+#include "chem/properties.h"
+#include "chem/synthetic_ligands.h"
+#include "util/rng.h"
+
+namespace drugtree {
+namespace chem {
+namespace {
+
+TEST(SmilesParseTest, Ethanol) {
+  auto m = ParseSmiles("CCO");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->num_atoms(), 3);
+  EXPECT_EQ(m->num_bonds(), 2);
+  EXPECT_EQ(m->atom(2).element, Element::kOxygen);
+}
+
+TEST(SmilesParseTest, Benzene) {
+  auto m = ParseSmiles("c1ccccc1");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->num_atoms(), 6);
+  EXPECT_EQ(m->num_bonds(), 6);
+  EXPECT_EQ(m->RingCount(), 1);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(m->atom(i).aromatic);
+    EXPECT_EQ(m->HydrogenCount(i), 1);
+  }
+  // Ring closure between aromatic atoms is aromatic.
+  const Bond* closure = m->FindBond(0, 5);
+  ASSERT_NE(closure, nullptr);
+  EXPECT_EQ(closure->order, BondOrder::kAromatic);
+}
+
+TEST(SmilesParseTest, BranchesAndDoubleBonds) {
+  // Acetic acid CC(=O)O.
+  auto m = ParseSmiles("CC(=O)O");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->num_atoms(), 4);
+  const Bond* co = m->FindBond(1, 2);
+  ASSERT_NE(co, nullptr);
+  EXPECT_EQ(co->order, BondOrder::kDouble);
+  EXPECT_EQ(m->FindBond(1, 3)->order, BondOrder::kSingle);
+}
+
+TEST(SmilesParseTest, Aspirin) {
+  auto m = ParseSmiles("CC(=O)Oc1ccccc1C(=O)O");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->num_atoms(), 13);
+  EXPECT_EQ(m->RingCount(), 1);
+  EXPECT_TRUE(m->IsConnected());
+  auto props = ComputeProperties(*m);
+  EXPECT_NEAR(props.molecular_weight, 180.16, 1.0);
+}
+
+TEST(SmilesParseTest, Caffeine) {
+  auto m = ParseSmiles("Cn1cnc2c1c(=O)n(C)c(=O)n2C");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->num_atoms(), 14);
+  EXPECT_EQ(m->RingCount(), 2);
+  auto props = ComputeProperties(*m);
+  EXPECT_NEAR(props.molecular_weight, 194.19, 2.5);
+}
+
+TEST(SmilesParseTest, TwoLetterElements) {
+  auto m = ParseSmiles("ClCBr");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->atom(0).element, Element::kChlorine);
+  EXPECT_EQ(m->atom(1).element, Element::kCarbon);
+  EXPECT_EQ(m->atom(2).element, Element::kBromine);
+}
+
+TEST(SmilesParseTest, BracketAtomsChargeAndH) {
+  auto m = ParseSmiles("C[N+](C)(C)C");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->atom(1).charge, 1);
+  auto m2 = ParseSmiles("[O-]C");
+  ASSERT_TRUE(m2.ok());
+  EXPECT_EQ(m2->atom(0).charge, -1);
+  auto m3 = ParseSmiles("c1cc[nH]c1");  // pyrrole
+  ASSERT_TRUE(m3.ok());
+  EXPECT_EQ(m3->num_atoms(), 5);
+  EXPECT_EQ(m3->atom(3).explicit_hydrogens, 1);
+}
+
+TEST(SmilesParseTest, TripleBond) {
+  auto m = ParseSmiles("CC#N");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->FindBond(1, 2)->order, BondOrder::kTriple);
+  EXPECT_EQ(m->HydrogenCount(1), 0);
+}
+
+TEST(SmilesParseTest, PercentRingNumbers) {
+  auto m = ParseSmiles("C%12CCCCC%12");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->RingCount(), 1);
+}
+
+TEST(SmilesParseTest, ErrorCases) {
+  EXPECT_TRUE(ParseSmiles("").status().IsParseError());
+  EXPECT_TRUE(ParseSmiles("C(").status().IsParseError());
+  EXPECT_TRUE(ParseSmiles("C)").status().IsParseError());
+  EXPECT_TRUE(ParseSmiles("C1CC").status().IsParseError());  // open ring
+  EXPECT_TRUE(ParseSmiles("C..C").status().IsParseError());
+  EXPECT_TRUE(ParseSmiles("C/C=C/C").status().IsParseError());  // stereo
+  EXPECT_TRUE(ParseSmiles("C[Zn]C").status().IsParseError());
+  EXPECT_TRUE(ParseSmiles("C==C").status().IsParseError());
+  EXPECT_TRUE(ParseSmiles("[").status().IsParseError());
+}
+
+TEST(SmilesWriteTest, SimpleChainRoundTrip) {
+  auto m = ParseSmiles("CC(=O)O");
+  ASSERT_TRUE(m.ok());
+  auto text = WriteSmiles(*m);
+  ASSERT_TRUE(text.ok());
+  auto back = ParseSmiles(*text);
+  ASSERT_TRUE(back.ok()) << *text;
+  EXPECT_EQ(back->num_atoms(), m->num_atoms());
+  EXPECT_EQ(back->num_bonds(), m->num_bonds());
+}
+
+TEST(SmilesWriteTest, RingRoundTrip) {
+  auto m = ParseSmiles("c1ccc(CC2CCNCC2)cc1");
+  ASSERT_TRUE(m.ok());
+  auto text = WriteSmiles(*m);
+  ASSERT_TRUE(text.ok());
+  auto back = ParseSmiles(*text);
+  ASSERT_TRUE(back.ok()) << *text;
+  EXPECT_EQ(back->num_atoms(), m->num_atoms());
+  EXPECT_EQ(back->num_bonds(), m->num_bonds());
+  EXPECT_EQ(back->RingCount(), m->RingCount());
+}
+
+TEST(SmilesWriteTest, EmptyAndDisconnectedRejected) {
+  Molecule empty;
+  EXPECT_TRUE(WriteSmiles(empty).status().IsInvalidArgument());
+  Molecule disc;
+  disc.AddAtom({Element::kCarbon});
+  disc.AddAtom({Element::kCarbon});
+  EXPECT_TRUE(WriteSmiles(disc).status().IsInvalidArgument());
+}
+
+// Property: every generated ligand parses, and its SMILES round-trips
+// through write+parse to an equal-sized graph with equal properties.
+class GeneratedLigandRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratedLigandRoundTrip, ParseWriteParseStable) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()) * 7 + 1);
+  LigandGenParams params;
+  auto ligands = GenerateLigands(30, params, &rng);
+  ASSERT_TRUE(ligands.ok());
+  EXPECT_EQ(ligands->size(), 30u);
+  for (const auto& lig : *ligands) {
+    auto m = ParseSmiles(lig.smiles);
+    ASSERT_TRUE(m.ok()) << lig.smiles;
+    EXPECT_TRUE(m->IsConnected()) << lig.smiles;
+    auto text = WriteSmiles(*m);
+    ASSERT_TRUE(text.ok()) << lig.smiles;
+    auto back = ParseSmiles(*text);
+    ASSERT_TRUE(back.ok()) << lig.smiles << " -> " << *text;
+    EXPECT_EQ(back->num_atoms(), m->num_atoms()) << lig.smiles;
+    EXPECT_EQ(back->num_bonds(), m->num_bonds()) << lig.smiles;
+    auto p1 = ComputeProperties(*m);
+    auto p2 = ComputeProperties(*back);
+    EXPECT_NEAR(p1.molecular_weight, p2.molecular_weight, 1e-6) << lig.smiles;
+    EXPECT_EQ(p1.ring_count, p2.ring_count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedLigandRoundTrip,
+                         ::testing::Range(0, 5));
+
+TEST(GenerateLigandsTest, DeterministicAndValidated) {
+  LigandGenParams params;
+  util::Rng r1(9), r2(9);
+  auto a = GenerateLigands(20, params, &r1);
+  auto b = GenerateLigands(20, params, &r2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].smiles, (*b)[i].smiles);
+    EXPECT_EQ((*a)[i].ligand_id, (*b)[i].ligand_id);
+  }
+}
+
+TEST(GenerateLigandsTest, ParamValidation) {
+  util::Rng rng(1);
+  LigandGenParams p;
+  EXPECT_TRUE(GenerateLigands(-1, p, &rng).status().IsInvalidArgument());
+  p.num_families = 0;
+  EXPECT_TRUE(GenerateLigands(5, p, &rng).status().IsInvalidArgument());
+  p = LigandGenParams();
+  EXPECT_TRUE(GenerateLigands(5, p, nullptr).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace chem
+}  // namespace drugtree

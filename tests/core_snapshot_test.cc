@@ -1,0 +1,189 @@
+// Snapshot persistence and annotation-guided LOD tests.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/drugtree.h"
+#include "core/workload.h"
+#include "mobile/lod.h"
+#include "util/clock.h"
+
+namespace drugtree {
+namespace core {
+namespace {
+
+using query::PlannerOptions;
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "/drugtree_snapshot_test.db";
+    std::remove(path_.c_str());
+    BuildOptions options;
+    options.seed = 3;
+    options.num_families = 3;
+    options.taxa_per_family = 8;
+    options.sequence_length = 70;
+    options.num_ligands = 60;
+    auto built = DrugTree::Build(options, &clock_);
+    ASSERT_TRUE(built.ok()) << built.status();
+    dt_ = std::move(*built);
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  util::SimulatedClock clock_;
+  std::unique_ptr<DrugTree> dt_;
+  std::string path_;
+};
+
+TEST_F(SnapshotTest, SaveLoadRoundTripPreservesData) {
+  ASSERT_TRUE(dt_->SaveSnapshot(path_).ok());
+  auto loaded = DrugTree::LoadSnapshot(path_, &clock_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->tree().NumLeaves(), dt_->tree().NumLeaves());
+  EXPECT_EQ((*loaded)->ligands()->NumRows(), dt_->ligands()->NumRows());
+  EXPECT_EQ((*loaded)->activities()->NumRows(), dt_->activities()->NumRows());
+  EXPECT_EQ((*loaded)->overlay()->proteins()->NumRows(),
+            dt_->overlay()->proteins()->NumRows());
+  // Loaded instances have no remote sources.
+  EXPECT_EQ((*loaded)->protein_source(), nullptr);
+}
+
+TEST_F(SnapshotTest, LoadedInstanceAnswersQueriesIdentically) {
+  ASSERT_TRUE(dt_->SaveSnapshot(path_).ok());
+  auto loaded = DrugTree::LoadSnapshot(path_, &clock_);
+  ASSERT_TRUE(loaded.ok());
+  WorkloadParams wp;
+  wp.num_queries = 12;
+  util::Rng rng(7);
+  auto workload = GenerateWorkload(dt_->tree(), dt_->tree_index(), wp, &rng);
+  for (const auto& q : workload) {
+    // Workload node ids come from the original tree; map via name so the
+    // comparison is fair even if node numbering changed on reload.
+    auto a = dt_->Query(q.sql, PlannerOptions::Optimized());
+    ASSERT_TRUE(a.ok()) << q.sql;
+    // Rebuild the query against the loaded tree's numbering.
+    std::string name = dt_->tree().node(q.focus).name;
+    phylo::NodeId mapped = name.empty()
+                               ? q.focus
+                               : (*loaded)->tree().FindByName(name);
+    std::string sql2 = MakeQuerySql(q.kind, mapped, (*loaded)->tree(), wp);
+    auto b = (*loaded)->Query(sql2, PlannerOptions::Optimized());
+    ASSERT_TRUE(b.ok()) << sql2 << ": " << b.status();
+    // Node ids renumber on reload (Newick DFS order), so only compare
+    // queries whose outputs are numbering-independent and whose focus
+    // carried over by name.
+    bool numbering_free = q.kind == QueryKind::kSubtreeProteins ||
+                          q.kind == QueryKind::kScreeningJoin ||
+                          q.kind == QueryKind::kFamilyAggregate;
+    if (numbering_free &&
+        (!name.empty() || q.kind == QueryKind::kFamilyAggregate)) {
+      ASSERT_EQ(a->result.rows.size(), b->result.rows.size()) << q.sql;
+      for (size_t i = 0; i < a->result.rows.size(); ++i) {
+        EXPECT_EQ(a->result.rows[i], b->result.rows[i]) << q.sql;
+      }
+    }
+  }
+}
+
+TEST_F(SnapshotTest, LoadedInstanceSupportsUpdatesAndSessions) {
+  ASSERT_TRUE(dt_->SaveSnapshot(path_).ok());
+  auto loaded = DrugTree::LoadSnapshot(path_, &clock_);
+  ASSERT_TRUE(loaded.ok());
+  auto leaf = (*loaded)->tree().Leaves()[0];
+  ASSERT_TRUE(
+      (*loaded)->AddActivity((*loaded)->tree().node(leaf).name, "L000001", 2.0)
+          .ok());
+  mobile::TraceParams tp;
+  tp.num_actions = 6;
+  auto trace = (*loaded)->MakeTrace(tp, 1);
+  auto session = (*loaded)->MakeSession(mobile::DeviceProfile::TabletWifi(),
+                                        {}, PlannerOptions::Optimized());
+  auto report = session.Run(trace);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->latency_ms.count(), 6);
+}
+
+TEST_F(SnapshotTest, MissingAndCorruptSnapshotsRejected) {
+  auto missing = DrugTree::LoadSnapshot(path_ + ".nope", &clock_);
+  EXPECT_FALSE(missing.ok());
+  // Corrupt: write garbage into the superblock.
+  ASSERT_TRUE(dt_->SaveSnapshot(path_).ok());
+  FILE* f = std::fopen(path_.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  uint32_t junk = 0xBADC0DE;
+  std::fwrite(&junk, sizeof(junk), 1, f);
+  std::fclose(f);
+  auto corrupt = DrugTree::LoadSnapshot(path_, &clock_);
+  EXPECT_TRUE(corrupt.status().IsParseError());
+}
+
+TEST_F(SnapshotTest, SaveOverwritesExisting) {
+  ASSERT_TRUE(dt_->SaveSnapshot(path_).ok());
+  ASSERT_TRUE(dt_->SaveSnapshot(path_).ok());  // second save must not corrupt
+  auto loaded = DrugTree::LoadSnapshot(path_, &clock_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->tree().NumLeaves(), dt_->tree().NumLeaves());
+}
+
+TEST(AnnotationLodTest, HotCladesEarnDetail) {
+  // Balanced tree; one clade gets a hot annotation.
+  phylo::Tree tree;
+  auto root = *tree.AddRoot();
+  std::vector<phylo::NodeId> frontier = {root};
+  for (int level = 0; level < 6; ++level) {
+    std::vector<phylo::NodeId> next;
+    for (auto p : frontier) {
+      next.push_back(*tree.AddChild(p, "", 1.0));
+      next.push_back(*tree.AddChild(p, "", 1.0));
+    }
+    frontier = std::move(next);
+  }
+  auto index = *phylo::TreeIndex::Build(tree);
+  auto layout = *phylo::TreeLayout::Compute(tree);
+  // Annotate the left child's whole subtree as hot.
+  std::vector<double> ann(tree.NumNodes(), 0.0);
+  phylo::NodeId hot = tree.node(root).children[0];
+  for (auto n : index.SubtreeNodes(hot)) ann[static_cast<size_t>(n)] = 5.0;
+
+  mobile::Viewport vp = mobile::Viewport::FullExtent(layout);
+  mobile::LodParams params;
+  params.min_subtree_pixels = 120;
+  params.screen_height_px = 480;
+  auto flat = mobile::ComputeLodCut(tree, index, layout, vp, ann, params);
+  ASSERT_TRUE(flat.ok());
+  params.annotation_boost = 8.0;
+  params.annotation_hot_threshold = 1.0;
+  auto boosted = mobile::ComputeLodCut(tree, index, layout, vp, ann, params);
+  ASSERT_TRUE(boosted.ok());
+  // Boost ships more nodes, and the extra nodes are inside the hot clade.
+  EXPECT_GT(boosted->size(), flat->size());
+  size_t hot_flat = 0, hot_boosted = 0, cold_flat = 0, cold_boosted = 0;
+  for (const auto& n : *flat) {
+    (index.IsAncestor(hot, n.id) ? hot_flat : cold_flat) += 1;
+  }
+  for (const auto& n : *boosted) {
+    (index.IsAncestor(hot, n.id) ? hot_boosted : cold_boosted) += 1;
+  }
+  EXPECT_GT(hot_boosted, hot_flat);
+  EXPECT_EQ(cold_boosted, cold_flat);
+}
+
+TEST(AnnotationLodTest, BoostBelowOneRejected) {
+  phylo::Tree tree;
+  tree.AddRoot().ValueOrDie();
+  auto index = *phylo::TreeIndex::Build(tree);
+  auto layout = *phylo::TreeLayout::Compute(tree);
+  mobile::LodParams params;
+  params.annotation_boost = 0.5;
+  EXPECT_TRUE(mobile::ComputeLodCut(tree, index, layout,
+                                    mobile::Viewport::FullExtent(layout), {},
+                                    params)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace drugtree

@@ -1,0 +1,169 @@
+#include "phylo/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "bio/distance.h"
+#include "bio/synthetic.h"
+#include "phylo/newick.h"
+#include "phylo/tree_index.h"
+#include "phylo/tree_metrics.h"
+#include "util/rng.h"
+
+namespace drugtree {
+namespace phylo {
+namespace {
+
+bio::DistanceMatrix Matrix(std::vector<std::string> names,
+                           std::vector<std::vector<double>> d) {
+  auto m = bio::DistanceMatrix::Create(std::move(names));
+  EXPECT_TRUE(m.ok());
+  for (size_t i = 0; i < m->size(); ++i) {
+    for (size_t j = i + 1; j < m->size(); ++j) m->Set(i, j, d[i][j]);
+  }
+  return *m;
+}
+
+TEST(BuilderTest, RejectsTinyOrInvalidInput) {
+  auto one = bio::DistanceMatrix::Create({"a"});
+  EXPECT_TRUE(BuildUpgma(*one).status().IsInvalidArgument());
+  EXPECT_TRUE(BuildNeighborJoining(*one).status().IsInvalidArgument());
+}
+
+TEST(BuilderTest, TwoTaxa) {
+  auto m = Matrix({"a", "b"}, {{0, 4}, {4, 0}});
+  auto u = BuildUpgma(m);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->NumLeaves(), 2u);
+  EXPECT_DOUBLE_EQ(u->RootPathLength(u->FindByName("a")), 2.0);
+  auto nj = BuildNeighborJoining(m);
+  ASSERT_TRUE(nj.ok());
+  EXPECT_EQ(nj->NumLeaves(), 2u);
+}
+
+TEST(UpgmaTest, ClassicThreeTaxa) {
+  // d(a,b)=2, d(a,c)=d(b,c)=6: (a,b) merge at height 1, c joins at height 3.
+  auto m = Matrix({"a", "b", "c"}, {{0, 2, 6}, {2, 0, 6}, {6, 6, 0}});
+  auto t = BuildUpgma(m);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(IsUltrametric(*t));
+  EXPECT_DOUBLE_EQ(t->RootPathLength(t->FindByName("a")), 3.0);
+  EXPECT_DOUBLE_EQ(t->RootPathLength(t->FindByName("c")), 3.0);
+  // a and b are siblings.
+  NodeId a = t->FindByName("a");
+  NodeId b = t->FindByName("b");
+  EXPECT_EQ(t->node(a).parent, t->node(b).parent);
+}
+
+TEST(UpgmaTest, UltrametricOnEvolvedData) {
+  util::Rng rng(17);
+  bio::EvolutionParams ep;
+  ep.num_taxa = 12;
+  ep.sequence_length = 120;
+  auto fam = bio::EvolveFamily(ep, &rng);
+  ASSERT_TRUE(fam.ok());
+  auto dist = bio::KmerDistanceMatrix(fam->sequences, 3);
+  ASSERT_TRUE(dist.ok());
+  auto t = BuildUpgma(*dist);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->Validate().ok());
+  EXPECT_TRUE(IsUltrametric(*t, 1e-6));
+  EXPECT_EQ(t->NumLeaves(), 12u);
+}
+
+// NJ is consistent: on additive (tree-realizable) distances it recovers the
+// true topology exactly.
+TEST(NeighborJoiningTest, RecoversAdditiveTree) {
+  // True tree: ((a:2,b:3):1,(c:2,d:4):2); pairwise path distances:
+  // ab=5, ac=7, ad=9, bc=8, bd=10, cd=6.
+  auto m = Matrix({"a", "b", "c", "d"}, {{0, 5, 7, 9},
+                                         {5, 0, 8, 10},
+                                         {7, 8, 0, 6},
+                                         {9, 10, 6, 0}});
+  auto t = BuildNeighborJoining(m);
+  ASSERT_TRUE(t.ok());
+  auto truth = ParseNewick("((a:2,b:3):1,(c:2,d:4):2);");
+  ASSERT_TRUE(truth.ok());
+  auto rf = RobinsonFoulds(*t, *truth);
+  ASSERT_TRUE(rf.ok());
+  EXPECT_EQ(*rf, 0);
+  // Patristic distances are reproduced too.
+  auto idx = TreeIndex::Build(*t);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_NEAR(idx->PathLength(t->FindByName("a"), t->FindByName("b")), 5.0,
+              1e-9);
+  EXPECT_NEAR(idx->PathLength(t->FindByName("a"), t->FindByName("d")), 9.0,
+              1e-9);
+  EXPECT_NEAR(idx->PathLength(t->FindByName("c"), t->FindByName("d")), 6.0,
+              1e-9);
+}
+
+TEST(NeighborJoiningTest, RootHasDegreeThree) {
+  util::Rng rng(19);
+  bio::EvolutionParams ep;
+  ep.num_taxa = 10;
+  auto fam = bio::EvolveFamily(ep, &rng);
+  auto dist = bio::KmerDistanceMatrix(fam->sequences, 3);
+  auto t = BuildNeighborJoining(*dist);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->node(t->root()).children.size(), 3u);
+  EXPECT_TRUE(t->Validate().ok());
+  EXPECT_EQ(t->NumLeaves(), 10u);
+}
+
+// Reconstruction accuracy: both builders get close to the generating tree on
+// clock-like data; NJ tolerates non-clock data better (the E5 claim).
+class ReconstructionAccuracy : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReconstructionAccuracy, NjAccurateOnEvolvedFamilies) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()) * 101 + 3);
+  bio::EvolutionParams ep;
+  ep.num_taxa = 16;
+  ep.sequence_length = 300;
+  ep.mutation_rate = 0.2;
+  ep.indel_probability = 0.0;  // keep it alignment-free friendly
+  auto fam = bio::EvolveFamily(ep, &rng);
+  ASSERT_TRUE(fam.ok());
+  auto truth = ParseNewick(fam->true_tree_newick);
+  ASSERT_TRUE(truth.ok());
+  auto dist = bio::KmerDistanceMatrix(fam->sequences, 3);
+  ASSERT_TRUE(dist.ok());
+  auto nj = BuildNeighborJoining(*dist);
+  ASSERT_TRUE(nj.ok());
+  auto nrf = NormalizedRobinsonFoulds(*nj, *truth);
+  ASSERT_TRUE(nrf.ok());
+  EXPECT_LT(*nrf, 0.6) << "NJ should recover most of the true splits";
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, ReconstructionAccuracy,
+                         ::testing::Range(0, 5));
+
+TEST(BuilderDispatchTest, BuildTreeSelectsMethod) {
+  auto m = Matrix({"a", "b", "c"}, {{0, 2, 6}, {2, 0, 6}, {6, 6, 0}});
+  auto u = BuildTree(m, TreeMethod::kUpgma);
+  ASSERT_TRUE(u.ok());
+  EXPECT_TRUE(IsUltrametric(*u));
+  auto nj = BuildTree(m, TreeMethod::kNeighborJoining);
+  ASSERT_TRUE(nj.ok());
+  EXPECT_EQ(nj->NumLeaves(), 3u);
+}
+
+TEST(BuilderTest, AllLeafNamesPreserved) {
+  util::Rng rng(23);
+  bio::EvolutionParams ep;
+  ep.num_taxa = 20;
+  auto fam = bio::EvolveFamily(ep, &rng);
+  auto dist = bio::KmerDistanceMatrix(fam->sequences, 2);
+  for (auto method : {TreeMethod::kUpgma, TreeMethod::kNeighborJoining}) {
+    auto t = BuildTree(*dist, method);
+    ASSERT_TRUE(t.ok());
+    auto names = t->LeafNames();
+    std::sort(names.begin(), names.end());
+    std::vector<std::string> expected = dist->names();
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(names, expected);
+  }
+}
+
+}  // namespace
+}  // namespace phylo
+}  // namespace drugtree

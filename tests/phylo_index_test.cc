@@ -1,0 +1,188 @@
+#include "phylo/tree_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "phylo/newick.h"
+#include "util/rng.h"
+
+namespace drugtree {
+namespace phylo {
+namespace {
+
+// Brute-force ancestry via parent pointers.
+bool NaiveIsAncestor(const Tree& t, NodeId anc, NodeId desc) {
+  for (NodeId cur = desc;; cur = t.node(cur).parent) {
+    if (cur == anc) return true;
+    if (t.node(cur).IsRoot()) return false;
+  }
+}
+
+NodeId NaiveLca(const Tree& t, NodeId a, NodeId b) {
+  for (NodeId cur = a;; cur = t.node(cur).parent) {
+    if (NaiveIsAncestor(t, cur, b)) return cur;
+    if (t.node(cur).IsRoot()) return t.root();
+  }
+}
+
+Tree RandomTree(uint64_t seed, int extra_nodes) {
+  util::Rng rng(seed);
+  Tree t;
+  NodeId root = *t.AddRoot("root");
+  std::vector<NodeId> nodes = {root};
+  for (int i = 0; i < extra_nodes; ++i) {
+    NodeId parent = nodes[rng.Uniform(nodes.size())];
+    NodeId child = *t.AddChild(parent, "n" + std::to_string(i),
+                               rng.NextDouble() * 2);
+    nodes.push_back(child);
+  }
+  return t;
+}
+
+TEST(TreeIndexTest, RejectsEmptyTree) {
+  Tree t;
+  EXPECT_TRUE(TreeIndex::Build(t).status().IsInvalidArgument());
+}
+
+TEST(TreeIndexTest, SingleNode) {
+  Tree t;
+  t.AddRoot("solo").ValueOrDie();
+  auto idx = TreeIndex::Build(t);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx->Pre(0), 0);
+  EXPECT_EQ(idx->Post(0), 0);
+  EXPECT_EQ(idx->SubtreeSize(0), 1);
+  EXPECT_EQ(idx->SubtreeLeafCount(0), 1);
+  EXPECT_EQ(idx->Lca(0, 0), 0);
+}
+
+TEST(TreeIndexTest, KnownTreeNumbers) {
+  auto t = ParseNewick("((a,b)x,c)r;");
+  ASSERT_TRUE(t.ok());
+  auto idx = TreeIndex::Build(*t);
+  ASSERT_TRUE(idx.ok());
+  NodeId r = t->root();
+  NodeId x = t->FindByName("x");
+  NodeId a = t->FindByName("a");
+  NodeId b = t->FindByName("b");
+  NodeId c = t->FindByName("c");
+  EXPECT_EQ(idx->Pre(r), 0);
+  EXPECT_EQ(idx->Post(r), 4);
+  EXPECT_EQ(idx->Pre(x), 1);
+  EXPECT_EQ(idx->Post(x), 3);
+  EXPECT_EQ(idx->SubtreeSize(x), 3);
+  EXPECT_EQ(idx->SubtreeLeafCount(x), 2);
+  EXPECT_EQ(idx->SubtreeLeafCount(r), 3);
+  EXPECT_EQ(idx->Depth(a), 2);
+  EXPECT_TRUE(idx->IsAncestor(x, a));
+  EXPECT_TRUE(idx->IsAncestor(x, b));
+  EXPECT_FALSE(idx->IsAncestor(x, c));
+  EXPECT_TRUE(idx->IsAncestor(a, a));
+  EXPECT_EQ(idx->Lca(a, b), x);
+  EXPECT_EQ(idx->Lca(a, c), r);
+}
+
+TEST(TreeIndexTest, NodeAtPreInverse) {
+  Tree t = RandomTree(5, 50);
+  auto idx = TreeIndex::Build(t);
+  ASSERT_TRUE(idx.ok());
+  for (size_t i = 0; i < t.NumNodes(); ++i) {
+    auto id = static_cast<NodeId>(i);
+    EXPECT_EQ(idx->NodeAtPre(idx->Pre(id)), id);
+  }
+}
+
+TEST(TreeIndexTest, SubtreeNodesMatchInterval) {
+  Tree t = RandomTree(7, 60);
+  auto idx = TreeIndex::Build(t);
+  ASSERT_TRUE(idx.ok());
+  for (size_t i = 0; i < t.NumNodes(); ++i) {
+    auto id = static_cast<NodeId>(i);
+    auto nodes = idx->SubtreeNodes(id);
+    EXPECT_EQ(nodes.size(), static_cast<size_t>(idx->SubtreeSize(id)));
+    for (NodeId n : nodes) {
+      EXPECT_TRUE(NaiveIsAncestor(t, id, n));
+    }
+  }
+}
+
+TEST(TreeIndexTest, PathLengthViaLca) {
+  auto t = ParseNewick("((a:2,b:3)x:1,c:4)r;");
+  ASSERT_TRUE(t.ok());
+  auto idx = TreeIndex::Build(*t);
+  ASSERT_TRUE(idx.ok());
+  NodeId a = t->FindByName("a");
+  NodeId b = t->FindByName("b");
+  NodeId c = t->FindByName("c");
+  EXPECT_NEAR(idx->PathLength(a, b), 5.0, 1e-12);
+  EXPECT_NEAR(idx->PathLength(a, c), 7.0, 1e-12);
+  EXPECT_NEAR(idx->PathLength(a, a), 0.0, 1e-12);
+}
+
+// The core correctness property behind the interval-rewrite optimization:
+// interval containment must agree with parent-pointer ancestry everywhere.
+class IntervalAncestryProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalAncestryProperty, IntervalMatchesNaiveAncestry) {
+  Tree t = RandomTree(static_cast<uint64_t>(GetParam()) * 13 + 1,
+                      30 + GetParam() * 20);
+  auto idx = TreeIndex::Build(t);
+  ASSERT_TRUE(idx.ok());
+  const auto n = static_cast<NodeId>(t.NumNodes());
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      EXPECT_EQ(idx->IsAncestor(a, b), NaiveIsAncestor(t, a, b))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTrees, IntervalAncestryProperty,
+                         ::testing::Range(0, 6));
+
+class LcaProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LcaProperty, LcaMatchesNaive) {
+  Tree t = RandomTree(static_cast<uint64_t>(GetParam()) * 17 + 2,
+                      40 + GetParam() * 15);
+  auto idx = TreeIndex::Build(t);
+  ASSERT_TRUE(idx.ok());
+  util::Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 300; ++trial) {
+    auto a = static_cast<NodeId>(rng.Uniform(t.NumNodes()));
+    auto b = static_cast<NodeId>(rng.Uniform(t.NumNodes()));
+    EXPECT_EQ(idx->Lca(a, b), NaiveLca(t, a, b)) << "a=" << a << " b=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTrees, LcaProperty, ::testing::Range(0, 6));
+
+TEST(TreeIndexTest, LcaSymmetric) {
+  Tree t = RandomTree(99, 80);
+  auto idx = TreeIndex::Build(t);
+  ASSERT_TRUE(idx.ok());
+  util::Rng rng(100);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto a = static_cast<NodeId>(rng.Uniform(t.NumNodes()));
+    auto b = static_cast<NodeId>(rng.Uniform(t.NumNodes()));
+    EXPECT_EQ(idx->Lca(a, b), idx->Lca(b, a));
+  }
+}
+
+TEST(TreeIndexTest, SubtreeSizesSumCorrectly) {
+  Tree t = RandomTree(31, 70);
+  auto idx = TreeIndex::Build(t);
+  ASSERT_TRUE(idx.ok());
+  // For every internal node: size = 1 + sum(children sizes).
+  for (size_t i = 0; i < t.NumNodes(); ++i) {
+    auto id = static_cast<NodeId>(i);
+    int32_t sum = 1;
+    for (NodeId c : t.node(id).children) sum += idx->SubtreeSize(c);
+    EXPECT_EQ(idx->SubtreeSize(id), sum);
+  }
+}
+
+}  // namespace
+}  // namespace phylo
+}  // namespace drugtree

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "phylo/layout.h"
+#include "phylo/newick.h"
+#include "phylo/tree_metrics.h"
+
+namespace drugtree {
+namespace phylo {
+namespace {
+
+TEST(RobinsonFouldsTest, IdenticalTreesZero) {
+  auto a = ParseNewick("((a,b),(c,d));");
+  auto b = ParseNewick("((a,b),(c,d));");
+  auto rf = RobinsonFoulds(*a, *b);
+  ASSERT_TRUE(rf.ok());
+  EXPECT_EQ(*rf, 0);
+}
+
+TEST(RobinsonFouldsTest, RerootedEquivalentTreesZero) {
+  // Same unrooted topology written with different rootings.
+  auto a = ParseNewick("((a,b),(c,d));");
+  auto b = ParseNewick("(a,(b,(c,d)));");
+  auto rf = RobinsonFoulds(*a, *b);
+  ASSERT_TRUE(rf.ok());
+  EXPECT_EQ(*rf, 0);
+}
+
+TEST(RobinsonFouldsTest, DifferentTopologiesPositive) {
+  auto a = ParseNewick("((a,b),(c,d));");
+  auto b = ParseNewick("((a,c),(b,d));");
+  auto rf = RobinsonFoulds(*a, *b);
+  ASSERT_TRUE(rf.ok());
+  EXPECT_GT(*rf, 0);
+}
+
+TEST(RobinsonFouldsTest, MaximallyDifferentNormalizedIsOne) {
+  auto a = ParseNewick("((a,b),(c,d));");
+  auto b = ParseNewick("((a,c),(b,d));");
+  auto nrf = NormalizedRobinsonFoulds(*a, *b);
+  ASSERT_TRUE(nrf.ok());
+  EXPECT_DOUBLE_EQ(*nrf, 1.0);
+}
+
+TEST(RobinsonFouldsTest, DifferentLeafSetsRejected) {
+  auto a = ParseNewick("((a,b),c);");
+  auto b = ParseNewick("((a,b),d);");
+  EXPECT_TRUE(RobinsonFoulds(*a, *b).status().IsInvalidArgument());
+}
+
+TEST(RobinsonFouldsTest, SymmetricMetric) {
+  auto a = ParseNewick("(((a,b),c),(d,(e,f)));");
+  auto b = ParseNewick("(((a,c),b),(e,(d,f)));");
+  EXPECT_EQ(*RobinsonFoulds(*a, *b), *RobinsonFoulds(*b, *a));
+}
+
+TEST(TreeMetricsTest, TotalBranchLength) {
+  auto t = ParseNewick("((a:1,b:2):3,c:4);");
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(TotalBranchLength(*t), 10.0);
+}
+
+TEST(TreeMetricsTest, UltrametricDetection) {
+  auto ultra = ParseNewick("((a:1,b:1):1,c:2);");
+  EXPECT_TRUE(IsUltrametric(*ultra));
+  auto skew = ParseNewick("((a:1,b:5):1,c:2);");
+  EXPECT_FALSE(IsUltrametric(*skew));
+}
+
+TEST(LayoutTest, RejectsEmptyTree) {
+  Tree t;
+  EXPECT_TRUE(TreeLayout::Compute(t).status().IsInvalidArgument());
+}
+
+TEST(LayoutTest, LeavesGetConsecutiveRanks) {
+  auto t = ParseNewick("((a,b),(c,d));");
+  auto layout = TreeLayout::Compute(*t);
+  ASSERT_TRUE(layout.ok());
+  std::vector<double> ys;
+  for (NodeId leaf : t->Leaves()) ys.push_back(layout->position(leaf).y);
+  std::vector<double> expected = {0, 1, 2, 3};
+  EXPECT_EQ(ys, expected);
+  EXPECT_DOUBLE_EQ(layout->max_y(), 3.0);
+}
+
+TEST(LayoutTest, InternalNodesCenterOnChildren) {
+  auto t = ParseNewick("((a,b),(c,d));");
+  auto layout = TreeLayout::Compute(*t);
+  ASSERT_TRUE(layout.ok());
+  NodeId root = t->root();
+  double sum = 0;
+  for (NodeId c : t->node(root).children) sum += layout->position(c).y;
+  EXPECT_DOUBLE_EQ(layout->position(root).y,
+                   sum / t->node(root).children.size());
+}
+
+TEST(LayoutTest, PhylogramXUsesBranchLengths) {
+  auto t = ParseNewick("((a:2,b:1):3,c:1);");
+  auto layout = TreeLayout::Compute(*t);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_DOUBLE_EQ(layout->position(t->root()).x, 0.0);
+  EXPECT_DOUBLE_EQ(layout->position(t->FindByName("a")).x, 5.0);
+  EXPECT_DOUBLE_EQ(layout->position(t->FindByName("c")).x, 1.0);
+  EXPECT_DOUBLE_EQ(layout->max_x(), 5.0);
+}
+
+TEST(LayoutTest, CladogramXUsesUnitDepth) {
+  auto t = ParseNewick("((a:2,b:1):3,c:1);");
+  LayoutOptions opt;
+  opt.use_branch_lengths = false;
+  auto layout = TreeLayout::Compute(*t, opt);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_DOUBLE_EQ(layout->position(t->FindByName("a")).x, 2.0);
+  EXPECT_DOUBLE_EQ(layout->position(t->FindByName("c")).x, 1.0);
+}
+
+TEST(LayoutTest, NodesInRect) {
+  auto t = ParseNewick("((a:1,b:1):1,c:2);");
+  auto layout = TreeLayout::Compute(*t);
+  ASSERT_TRUE(layout.ok());
+  auto all = layout->NodesInRect(0, 0, 100, 100);
+  EXPECT_EQ(all.size(), t->NumNodes());
+  // Only the root sits at x == 0.
+  auto at_origin_x = layout->NodesInRect(-0.1, -100, 0.1, 100);
+  ASSERT_EQ(at_origin_x.size(), 1u);
+  EXPECT_EQ(at_origin_x[0], t->root());
+  EXPECT_TRUE(layout->NodesInRect(50, 50, 60, 60).empty());
+}
+
+}  // namespace
+}  // namespace phylo
+}  // namespace drugtree

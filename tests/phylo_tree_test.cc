@@ -1,0 +1,236 @@
+#include "phylo/tree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "phylo/newick.h"
+#include "util/rng.h"
+
+namespace drugtree {
+namespace phylo {
+namespace {
+
+// ((a,b),c) with branch lengths.
+Tree SmallTree() {
+  Tree t;
+  NodeId root = *t.AddRoot();
+  NodeId ab = *t.AddChild(root, "", 1.0);
+  t.AddChild(ab, "a", 0.5).ValueOrDie();
+  t.AddChild(ab, "b", 0.7).ValueOrDie();
+  t.AddChild(root, "c", 2.0).ValueOrDie();
+  return t;
+}
+
+TEST(TreeTest, BuildAndCount) {
+  Tree t = SmallTree();
+  EXPECT_EQ(t.NumNodes(), 5u);
+  EXPECT_EQ(t.NumLeaves(), 3u);
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(TreeTest, SecondRootRejected) {
+  Tree t;
+  ASSERT_TRUE(t.AddRoot().ok());
+  EXPECT_TRUE(t.AddRoot().status().IsAlreadyExists());
+}
+
+TEST(TreeTest, ChildOfMissingParentRejected) {
+  Tree t;
+  EXPECT_TRUE(t.AddChild(0).status().IsInvalidArgument());
+  t.AddRoot().ValueOrDie();
+  EXPECT_TRUE(t.AddChild(99).status().IsInvalidArgument());
+}
+
+TEST(TreeTest, LeavesInDfsOrder) {
+  Tree t = SmallTree();
+  auto names = t.LeafNames();
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(TreeTest, FindByName) {
+  Tree t = SmallTree();
+  NodeId b = t.FindByName("b");
+  ASSERT_NE(b, kInvalidNode);
+  EXPECT_EQ(t.node(b).name, "b");
+  EXPECT_EQ(t.FindByName("zzz"), kInvalidNode);
+}
+
+TEST(TreeTest, DepthAndHeight) {
+  Tree t = SmallTree();
+  EXPECT_EQ(t.Depth(t.root()), 0);
+  EXPECT_EQ(t.Depth(t.FindByName("a")), 2);
+  EXPECT_EQ(t.Depth(t.FindByName("c")), 1);
+  EXPECT_EQ(t.Height(), 2);
+}
+
+TEST(TreeTest, RootPathLength) {
+  Tree t = SmallTree();
+  EXPECT_DOUBLE_EQ(t.RootPathLength(t.FindByName("a")), 1.5);
+  EXPECT_DOUBLE_EQ(t.RootPathLength(t.FindByName("c")), 2.0);
+  EXPECT_DOUBLE_EQ(t.RootPathLength(t.root()), 0.0);
+}
+
+TEST(TreeTest, PreOrderVisitsParentBeforeChild) {
+  Tree t = SmallTree();
+  std::vector<NodeId> order;
+  t.PreOrder([&](NodeId id) { order.push_back(id); });
+  EXPECT_EQ(order.size(), t.NumNodes());
+  std::set<NodeId> seen;
+  for (NodeId id : order) {
+    if (!t.node(id).IsRoot()) {
+      EXPECT_TRUE(seen.count(t.node(id).parent)) << "child before parent";
+    }
+    seen.insert(id);
+  }
+}
+
+TEST(TreeTest, PostOrderVisitsChildBeforeParent) {
+  Tree t = SmallTree();
+  std::set<NodeId> seen;
+  t.PostOrder([&](NodeId id) {
+    for (NodeId c : t.node(id).children) {
+      EXPECT_TRUE(seen.count(c)) << "parent before child";
+    }
+    seen.insert(id);
+  });
+  EXPECT_EQ(seen.size(), t.NumNodes());
+}
+
+TEST(TreeTest, ValidateDetectsDuplicateLeafNames) {
+  Tree t;
+  NodeId root = *t.AddRoot();
+  t.AddChild(root, "x").ValueOrDie();
+  t.AddChild(root, "x").ValueOrDie();
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(TreeTest, EmptyTreeValidates) {
+  Tree t;
+  EXPECT_TRUE(t.Validate().ok());
+  EXPECT_EQ(t.root(), kInvalidNode);
+}
+
+TEST(NewickTest, ParseSimple) {
+  auto t = ParseNewick("((a:0.5,b:0.7):1.0,c:2.0);");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->NumLeaves(), 3u);
+  EXPECT_DOUBLE_EQ(t->node(t->FindByName("a")).branch_length, 0.5);
+  EXPECT_DOUBLE_EQ(t->node(t->FindByName("c")).branch_length, 2.0);
+}
+
+TEST(NewickTest, ParseWithoutLengths) {
+  auto t = ParseNewick("((a,b),(c,d));");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->NumLeaves(), 4u);
+  EXPECT_EQ(t->NumNodes(), 7u);
+}
+
+TEST(NewickTest, ParseInternalLabels) {
+  auto t = ParseNewick("((a,b)ab,c)root;");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->node(t->root()).name, "root");
+  EXPECT_NE(t->FindByName("ab"), kInvalidNode);
+}
+
+TEST(NewickTest, ParseQuotedLabels) {
+  auto t = ParseNewick("('a b':1,'it''s':2);");
+  ASSERT_TRUE(t.ok());
+  EXPECT_NE(t->FindByName("a b"), kInvalidNode);
+  EXPECT_NE(t->FindByName("it's"), kInvalidNode);
+}
+
+TEST(NewickTest, ParseMultifurcation) {
+  auto t = ParseNewick("(a,b,c,d);");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->node(t->root()).children.size(), 4u);
+}
+
+TEST(NewickTest, ParseSingleLeaf) {
+  auto t = ParseNewick("only;");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->NumNodes(), 1u);
+  EXPECT_EQ(t->node(0).name, "only");
+}
+
+TEST(NewickTest, ErrorsAreParseErrors) {
+  EXPECT_TRUE(ParseNewick("((a,b);").status().IsParseError());   // missing )
+  EXPECT_TRUE(ParseNewick("(a,b)").status().IsParseError());     // missing ;
+  EXPECT_TRUE(ParseNewick("(a,b); x").status().IsParseError());  // trailing
+  EXPECT_TRUE(ParseNewick("(a:,b);").status().IsParseError());   // bad number
+  EXPECT_TRUE(ParseNewick("('a,b);").status().IsParseError());   // open quote
+  EXPECT_TRUE(ParseNewick("(a:-1,b);").status().IsParseError()); // negative
+}
+
+TEST(NewickTest, WhitespaceTolerated) {
+  auto t = ParseNewick("  ( a : 1.0 , b : 2.0 ) ;  ");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->NumLeaves(), 2u);
+}
+
+TEST(NewickTest, WriteThenParseRoundTrip) {
+  Tree t = SmallTree();
+  std::string text = WriteNewick(t);
+  auto back = ParseNewick(text);
+  ASSERT_TRUE(back.ok()) << text;
+  EXPECT_EQ(back->NumNodes(), t.NumNodes());
+  EXPECT_EQ(back->LeafNames(), t.LeafNames());
+  EXPECT_DOUBLE_EQ(back->node(back->FindByName("b")).branch_length, 0.7);
+}
+
+TEST(NewickTest, WriteQuotesSpecialLabels) {
+  Tree t;
+  NodeId root = *t.AddRoot();
+  t.AddChild(root, "a b", 1).ValueOrDie();
+  t.AddChild(root, "c:d", 1).ValueOrDie();
+  std::string text = WriteNewick(t);
+  auto back = ParseNewick(text);
+  ASSERT_TRUE(back.ok()) << text;
+  EXPECT_NE(back->FindByName("a b"), kInvalidNode);
+  EXPECT_NE(back->FindByName("c:d"), kInvalidNode);
+}
+
+// Property: random trees round-trip through Newick preserving topology,
+// names, and branch lengths.
+class NewickRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(NewickRoundTrip, RandomTreePreserved) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 7);
+  Tree t;
+  NodeId root = *t.AddRoot();
+  std::vector<NodeId> nodes = {root};
+  int leaves = 0;
+  for (int i = 0; i < 40; ++i) {
+    NodeId parent = nodes[rng.Uniform(nodes.size())];
+    std::string name;
+    if (rng.Bernoulli(0.6)) {
+      name = "L" + std::to_string(leaves++);
+    }
+    NodeId child = *t.AddChild(parent, name, rng.NextDouble() * 3);
+    nodes.push_back(child);
+  }
+  // Note: interior nodes that stayed childless are leaves; names may clash
+  // with none since all generated names are unique.
+  std::string text = WriteNewick(t);
+  auto back = ParseNewick(text);
+  ASSERT_TRUE(back.ok()) << text;
+  EXPECT_EQ(back->NumNodes(), t.NumNodes());
+  EXPECT_EQ(back->NumLeaves(), t.NumLeaves());
+  // DFS order and branch lengths are preserved node-for-node.
+  std::vector<double> lens_a, lens_b;
+  t.PreOrder([&](NodeId id) { lens_a.push_back(t.node(id).branch_length); });
+  back->PreOrder(
+      [&](NodeId id) { lens_b.push_back(back->node(id).branch_length); });
+  lens_a[0] = lens_b[0] = 0;  // root length is not serialized
+  ASSERT_EQ(lens_a.size(), lens_b.size());
+  for (size_t i = 0; i < lens_a.size(); ++i) {
+    EXPECT_NEAR(lens_a[i], lens_b[i], 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTrees, NewickRoundTrip, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace phylo
+}  // namespace drugtree

@@ -1,0 +1,194 @@
+// Model-based aggregate verification: on random data, GROUP BY results must
+// match a brute-force reference computed with plain C++ maps — across naive
+// and optimized plans. Plus a SMILES-parser fuzz sweep (never crashes, only
+// clean ParseError or success).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "chem/properties.h"
+#include "chem/smiles.h"
+#include "query/planner.h"
+#include "util/rng.h"
+
+namespace drugtree {
+namespace query {
+namespace {
+
+using storage::Schema;
+using storage::Table;
+using storage::Value;
+using storage::ValueType;
+
+class AggregateModel : public ::testing::TestWithParam<int> {};
+
+TEST_P(AggregateModel, GroupByMatchesBruteForce) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()) * 131 + 17);
+  auto schema = Schema::Create({{"g", ValueType::kString, false},
+                                {"v", ValueType::kDouble, true},
+                                {"w", ValueType::kInt64, false}});
+  ASSERT_TRUE(schema.ok());
+  Table table("data", *schema);
+  struct Ref {
+    int64_t count = 0;
+    int64_t non_null = 0;
+    double sum = 0;
+    double min = 1e300, max = -1e300;
+  };
+  std::map<std::string, Ref> reference;
+  int rows = 200 + static_cast<int>(rng.Uniform(300));
+  for (int i = 0; i < rows; ++i) {
+    std::string g = "g" + std::to_string(rng.Uniform(7));
+    bool null_v = rng.Bernoulli(0.15);
+    double v = rng.NextGaussian() * 10;
+    int64_t w = rng.UniformRange(0, 100);
+    ASSERT_TRUE(table
+                    .Insert({Value::String(g),
+                             null_v ? Value::Null() : Value::Double(v),
+                             Value::Int64(w)})
+                    .ok());
+    Ref& ref = reference[g];
+    ++ref.count;
+    if (!null_v) {
+      ++ref.non_null;
+      ref.sum += v;
+      ref.min = std::min(ref.min, v);
+      ref.max = std::max(ref.max, v);
+    }
+  }
+  ASSERT_TRUE(table.Analyze().ok());
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Register(&table).ok());
+  Planner planner(&catalog);
+
+  for (auto opts :
+       {PlannerOptions::Naive(), PlannerOptions::Optimized()}) {
+    auto outcome = planner.Run(
+        "SELECT d.g, COUNT(*) AS n, COUNT(d.v) AS nv, SUM(d.v) AS s, "
+        "AVG(d.v) AS a, MIN(d.v) AS lo, MAX(d.v) AS hi "
+        "FROM data d GROUP BY d.g ORDER BY d.g",
+        opts);
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    ASSERT_EQ(outcome->result.rows.size(), reference.size());
+    size_t i = 0;
+    for (const auto& [g, ref] : reference) {
+      const auto& row = outcome->result.rows[i++];
+      EXPECT_EQ(row[0].AsString(), g);
+      EXPECT_EQ(row[1].AsInt64(), ref.count) << g;
+      EXPECT_EQ(row[2].AsInt64(), ref.non_null) << g;
+      if (ref.non_null == 0) {
+        EXPECT_TRUE(row[3].is_null());
+        EXPECT_TRUE(row[4].is_null());
+        EXPECT_TRUE(row[5].is_null());
+      } else {
+        EXPECT_NEAR(row[3].AsDouble(), ref.sum, 1e-6) << g;
+        EXPECT_NEAR(row[4].AsDouble(), ref.sum / ref.non_null, 1e-6) << g;
+        EXPECT_NEAR(row[5].AsDouble(), ref.min, 1e-9) << g;
+        EXPECT_NEAR(row[6].AsDouble(), ref.max, 1e-9) << g;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregateModel, ::testing::Range(0, 6));
+
+class AggregateWithFilterModel : public ::testing::TestWithParam<int> {};
+
+TEST_P(AggregateWithFilterModel, FilteredCountMatchesManualScan) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()) * 37 + 1);
+  auto schema = Schema::Create(
+      {{"k", ValueType::kInt64, false}, {"v", ValueType::kDouble, false}});
+  Table table("data", *schema);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(table
+                    .Insert({Value::Int64(rng.UniformRange(0, 50)),
+                             Value::Double(rng.NextDouble() * 100)})
+                    .ok());
+  }
+  ASSERT_TRUE(table.CreateIndex("k", storage::IndexKind::kBTree).ok());
+  ASSERT_TRUE(table.Analyze().ok());
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Register(&table).ok());
+  Planner planner(&catalog);
+  int64_t lo = rng.UniformRange(0, 25), hi = lo + 10;
+  double threshold = rng.UniformDouble(20, 80);
+  int64_t expected = 0;
+  for (auto rid : table.LiveRows()) {
+    const auto& row = table.row(rid);
+    if (row[0].AsInt64() >= lo && row[0].AsInt64() <= hi &&
+        row[1].AsDouble() < threshold) {
+      ++expected;
+    }
+  }
+  char sql[256];
+  std::snprintf(sql, sizeof(sql),
+                "SELECT COUNT(*) AS n FROM data d WHERE d.k BETWEEN %lld "
+                "AND %lld AND d.v < %.6f",
+                (long long)lo, (long long)hi, threshold);
+  for (auto opts : {PlannerOptions::Naive(), PlannerOptions::Optimized()}) {
+    auto outcome = planner.Run(sql, opts);
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    EXPECT_EQ(outcome->result.rows[0][0].AsInt64(), expected) << sql;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregateWithFilterModel,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace query
+
+namespace chem {
+namespace {
+
+// Fuzz: random character soup must either parse cleanly or return a
+// ParseError/InvalidArgument — never crash, never hang.
+class SmilesFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SmilesFuzz, RandomInputNeverCrashes) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()) * 911 + 77);
+  const std::string alphabet = "CNOSPFIclnos()[]=#123%+-H Br";
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string input;
+    size_t len = rng.Uniform(24);
+    for (size_t i = 0; i < len; ++i) {
+      input += alphabet[rng.Uniform(alphabet.size())];
+    }
+    auto mol = ParseSmiles(input);
+    if (mol.ok()) {
+      // Whatever parsed must be internally consistent.
+      EXPECT_GE(mol->num_atoms(), 1);
+      EXPECT_GE(mol->RingCount(), 0);
+      auto props = ComputeProperties(*mol);
+      EXPECT_GE(props.molecular_weight, 0.0);
+    } else {
+      EXPECT_TRUE(mol.status().IsParseError() ||
+                  mol.status().IsInvalidArgument() ||
+                  mol.status().IsAlreadyExists())
+          << input << " -> " << mol.status();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmilesFuzz, ::testing::Range(0, 4));
+
+// Mutation fuzz: valid SMILES with single-character corruptions.
+TEST(SmilesFuzzTest, CorruptedValidSmiles) {
+  util::Rng rng(5);
+  const std::string base = "CC(=O)Oc1ccccc1C(=O)O";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = base;
+    size_t pos = rng.Uniform(mutated.size());
+    mutated[pos] = char(32 + rng.Uniform(95));
+    auto mol = ParseSmiles(mutated);  // must not crash either way
+    if (mol.ok()) {
+      EXPECT_GE(mol->num_atoms(), 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chem
+}  // namespace drugtree

@@ -1,0 +1,406 @@
+// End-to-end query execution tests over hand-built tables, including the
+// naive-vs-optimized equivalence property that underpins E1/E2.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "phylo/newick.h"
+#include "query/planner.h"
+#include "util/rng.h"
+
+namespace drugtree {
+namespace query {
+namespace {
+
+using storage::IndexKind;
+using storage::Row;
+using storage::Schema;
+using storage::Table;
+using storage::Value;
+using storage::ValueType;
+
+class ExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Balanced 4-leaf tree for tree predicates.
+    auto t = phylo::ParseNewick("((a,b)x,(c,d)y)r;");
+    ASSERT_TRUE(t.ok());
+    tree_ = std::move(*t);
+    auto idx = phylo::TreeIndex::Build(tree_);
+    ASSERT_TRUE(idx.ok());
+    index_ = std::make_unique<phylo::TreeIndex>(std::move(*idx));
+
+    auto pschema = Schema::Create({{"acc", ValueType::kString, false},
+                                   {"family", ValueType::kString, false},
+                                   {"node_id", ValueType::kInt64, true},
+                                   {"pre", ValueType::kInt64, true}});
+    proteins_ = std::make_unique<Table>("proteins", *pschema);
+    for (auto leaf : tree_.Leaves()) {
+      const std::string& name = tree_.node(leaf).name;
+      ASSERT_TRUE(proteins_
+                      ->Insert({Value::String(name),
+                                Value::String(name < "c" ? "famA" : "famB"),
+                                Value::Int64(leaf),
+                                Value::Int64(index_->Pre(leaf))})
+                      .ok());
+    }
+    ASSERT_TRUE(proteins_->CreateIndex("pre", IndexKind::kBTree).ok());
+    ASSERT_TRUE(proteins_->CreateIndex("acc", IndexKind::kHash).ok());
+
+    auto aschema = Schema::Create({{"acc", ValueType::kString, false},
+                                   {"lig", ValueType::kString, false},
+                                   {"aff", ValueType::kDouble, false}});
+    activities_ = std::make_unique<Table>("activities", *aschema);
+    struct Act {
+      const char* acc;
+      const char* lig;
+      double aff;
+    };
+    for (const Act& act : std::initializer_list<Act>{
+             {"a", "L1", 10},
+             {"a", "L2", 500},
+             {"b", "L1", 20},
+             {"c", "L3", 5},
+             {"c", "L1", 900},
+             {"d", "L2", 50},
+         }) {
+      ASSERT_TRUE(activities_
+                      ->Insert({Value::String(act.acc), Value::String(act.lig),
+                                Value::Double(act.aff)})
+                      .ok());
+    }
+    auto lschema = Schema::Create({{"lig", ValueType::kString, false},
+                                   {"mw", ValueType::kDouble, false}});
+    ligands_ = std::make_unique<Table>("ligands", *lschema);
+    for (const char* lig : {"L1", "L2", "L3"}) {
+      ASSERT_TRUE(ligands_
+                      ->Insert({Value::String(lig),
+                                Value::Double(100.0 + lig[1] * 1.0)})
+                      .ok());
+    }
+    ASSERT_TRUE(proteins_->Analyze().ok());
+    ASSERT_TRUE(activities_->Analyze().ok());
+    ASSERT_TRUE(ligands_->Analyze().ok());
+
+    ASSERT_TRUE(catalog_.Register(proteins_.get()).ok());
+    ASSERT_TRUE(catalog_.Register(activities_.get()).ok());
+    ASSERT_TRUE(catalog_.Register(ligands_.get()).ok());
+    catalog_.SetTree(&tree_, index_.get());
+    ASSERT_TRUE(catalog_.BindTree("proteins", {"node_id", "pre", ""}).ok());
+
+    result_cache_ = std::make_unique<ResultCache>(1 << 20);
+    planner_ = std::make_unique<Planner>(&catalog_, result_cache_.get());
+  }
+
+  QueryResult Run(const std::string& sql,
+                  PlannerOptions opts = PlannerOptions::Optimized()) {
+    auto outcome = planner_->Run(sql, opts);
+    EXPECT_TRUE(outcome.ok()) << sql << ": " << outcome.status();
+    return outcome.ok() ? outcome->result : QueryResult{};
+  }
+
+  phylo::Tree tree_;
+  std::unique_ptr<phylo::TreeIndex> index_;
+  std::unique_ptr<Table> proteins_, activities_, ligands_;
+  Catalog catalog_;
+  std::unique_ptr<ResultCache> result_cache_;
+  std::unique_ptr<Planner> planner_;
+};
+
+TEST_F(ExecTest, SimpleProjection) {
+  auto r = Run("SELECT p.acc FROM proteins p");
+  EXPECT_EQ(r.columns, (std::vector<std::string>{"p.acc"}));
+  EXPECT_EQ(r.rows.size(), 4u);
+}
+
+TEST_F(ExecTest, FilterEquality) {
+  auto r = Run("SELECT p.acc FROM proteins p WHERE p.family = 'famA'");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "a");
+  EXPECT_EQ(r.rows[1][0].AsString(), "b");
+}
+
+TEST_F(ExecTest, ComputedProjection) {
+  auto r = Run("SELECT a.aff * 2 AS double_aff FROM activities a "
+               "WHERE a.acc = 'a' ORDER BY double_aff");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsDouble(), 20.0);
+  EXPECT_DOUBLE_EQ(r.rows[1][0].AsDouble(), 1000.0);
+}
+
+TEST_F(ExecTest, JoinTwoTables) {
+  auto r = Run(
+      "SELECT p.acc, a.aff FROM proteins p JOIN activities a "
+      "ON p.acc = a.acc ORDER BY a.aff");
+  EXPECT_EQ(r.rows.size(), 6u);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].AsDouble(), 5.0);
+  EXPECT_DOUBLE_EQ(r.rows[5][1].AsDouble(), 900.0);
+}
+
+TEST_F(ExecTest, ThreeWayJoin) {
+  auto r = Run(
+      "SELECT p.acc, l.lig FROM proteins p "
+      "JOIN activities a ON p.acc = a.acc "
+      "JOIN ligands l ON a.lig = l.lig "
+      "WHERE a.aff < 100 ORDER BY p.acc, l.lig");
+  // a-L1(10), b-L1(20), c-L3(5), d-L2(50).
+  ASSERT_EQ(r.rows.size(), 4u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "a");
+  EXPECT_EQ(r.rows[0][1].AsString(), "L1");
+  EXPECT_EQ(r.rows[2][0].AsString(), "c");
+  EXPECT_EQ(r.rows[2][1].AsString(), "L3");
+}
+
+TEST_F(ExecTest, CrossJoinWithoutCondition) {
+  auto r = Run("SELECT p.acc, l.lig FROM proteins p, ligands l");
+  EXPECT_EQ(r.rows.size(), 12u);  // 4 x 3
+}
+
+TEST_F(ExecTest, GroupByAggregates) {
+  auto r = Run(
+      "SELECT p.family, COUNT(*) AS n, MIN(a.aff) AS best, MAX(a.aff) AS "
+      "worst, AVG(a.aff) AS mean, SUM(a.aff) AS total "
+      "FROM proteins p JOIN activities a ON p.acc = a.acc "
+      "GROUP BY p.family ORDER BY p.family");
+  ASSERT_EQ(r.rows.size(), 2u);
+  // famA: a(10,500), b(20) -> n=3 best=10 worst=500 sum=530.
+  EXPECT_EQ(r.rows[0][0].AsString(), "famA");
+  EXPECT_EQ(r.rows[0][1].AsInt64(), 3);
+  EXPECT_DOUBLE_EQ(r.rows[0][2].AsDouble(), 10.0);
+  EXPECT_DOUBLE_EQ(r.rows[0][3].AsDouble(), 500.0);
+  EXPECT_NEAR(r.rows[0][4].AsDouble(), 530.0 / 3, 1e-9);
+  EXPECT_DOUBLE_EQ(r.rows[0][5].AsDouble(), 530.0);
+  // famB: c(5,900), d(50) -> n=3.
+  EXPECT_EQ(r.rows[1][1].AsInt64(), 3);
+}
+
+TEST_F(ExecTest, GlobalAggregateWithoutGroupBy) {
+  auto r = Run("SELECT COUNT(*) AS n, AVG(a.aff) AS m FROM activities a");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 6);
+  EXPECT_NEAR(r.rows[0][1].AsDouble(), 1485.0 / 6, 1e-9);
+}
+
+TEST_F(ExecTest, GlobalAggregateOverEmptyInput) {
+  auto r = Run("SELECT COUNT(*) AS n FROM activities a WHERE a.aff < 0");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 0);
+}
+
+TEST_F(ExecTest, OrderByDescAndLimit) {
+  auto r = Run(
+      "SELECT a.aff FROM activities a ORDER BY a.aff DESC LIMIT 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsDouble(), 900.0);
+  EXPECT_DOUBLE_EQ(r.rows[1][0].AsDouble(), 500.0);
+}
+
+TEST_F(ExecTest, LimitZero) {
+  auto r = Run("SELECT a.aff FROM activities a LIMIT 0");
+  EXPECT_TRUE(r.rows.empty());
+}
+
+TEST_F(ExecTest, SubtreePredicateSelectsClade) {
+  auto r = Run(
+      "SELECT p.acc FROM proteins p WHERE SUBTREE(p.node_id, 'x') "
+      "ORDER BY p.acc");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "a");
+  EXPECT_EQ(r.rows[1][0].AsString(), "b");
+}
+
+TEST_F(ExecTest, SubtreeByNodeIdLiteral) {
+  phylo::NodeId y = tree_.FindByName("y");
+  auto r = Run("SELECT p.acc FROM proteins p WHERE SUBTREE(p.node_id, " +
+               std::to_string(y) + ") ORDER BY p.acc");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "c");
+  EXPECT_EQ(r.rows[1][0].AsString(), "d");
+}
+
+TEST_F(ExecTest, SubtreeOfRootSelectsEverything) {
+  auto r = Run("SELECT p.acc FROM proteins p WHERE SUBTREE(p.node_id, 'r')");
+  EXPECT_EQ(r.rows.size(), 4u);
+}
+
+TEST_F(ExecTest, TreeDepthScalar) {
+  auto r = Run(
+      "SELECT p.acc, TREE_DEPTH(p.node_id) AS d FROM proteins p "
+      "ORDER BY p.acc LIMIT 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][1].AsInt64(), 2);
+}
+
+TEST_F(ExecTest, IsNullPredicate) {
+  ASSERT_TRUE(proteins_
+                  ->Insert({Value::String("orphan"), Value::String("famC"),
+                            Value::Null(), Value::Null()})
+                  .ok());
+  catalog_.BumpEpoch();
+  auto r = Run("SELECT p.acc FROM proteins p WHERE p.node_id IS NULL");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "orphan");
+  auto r2 = Run("SELECT p.acc FROM proteins p WHERE p.node_id IS NOT NULL");
+  EXPECT_EQ(r2.rows.size(), 4u);
+}
+
+TEST_F(ExecTest, NaiveAndOptimizedAgree) {
+  const char* queries[] = {
+      "SELECT p.acc FROM proteins p WHERE SUBTREE(p.node_id, 'x') "
+      "ORDER BY p.acc",
+      "SELECT p.acc, a.aff FROM proteins p JOIN activities a ON "
+      "p.acc = a.acc WHERE a.aff < 100 ORDER BY p.acc, a.aff",
+      "SELECT p.family, COUNT(*) AS n FROM proteins p JOIN activities a ON "
+      "p.acc = a.acc GROUP BY p.family ORDER BY p.family",
+      "SELECT p.acc, l.lig FROM proteins p JOIN activities a ON p.acc = "
+      "a.acc JOIN ligands l ON a.lig = l.lig WHERE SUBTREE(p.node_id, 'y') "
+      "ORDER BY p.acc, l.lig",
+  };
+  for (const char* sql : queries) {
+    auto naive = Run(sql, PlannerOptions::Naive());
+    auto optimized = Run(sql, PlannerOptions::Optimized());
+    ASSERT_EQ(naive.rows.size(), optimized.rows.size()) << sql;
+    for (size_t i = 0; i < naive.rows.size(); ++i) {
+      EXPECT_EQ(naive.rows[i], optimized.rows[i]) << sql << " row " << i;
+    }
+  }
+}
+
+TEST_F(ExecTest, IndexScanChosenAndCorrect) {
+  PlannerOptions opts = PlannerOptions::Optimized();
+  auto outcome = planner_->Run(
+      "SELECT p.acc FROM proteins p WHERE SUBTREE(p.node_id, 'x') "
+      "ORDER BY p.acc",
+      opts);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_NE(outcome->physical_plan.find("IndexScan"), std::string::npos)
+      << outcome->physical_plan;
+  EXPECT_EQ(outcome->result.rows.size(), 2u);
+  // The naive plan instead scans sequentially.
+  auto naive = planner_->Run(
+      "SELECT p.acc FROM proteins p WHERE SUBTREE(p.node_id, 'x') "
+      "ORDER BY p.acc",
+      PlannerOptions::Naive());
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(naive->physical_plan.find("IndexScan"), std::string::npos);
+  EXPECT_NE(naive->physical_plan.find("SeqScan"), std::string::npos);
+}
+
+TEST_F(ExecTest, HashJoinVsNestedLoopSameRows) {
+  PlannerOptions hash = PlannerOptions::Optimized();
+  PlannerOptions nlj = PlannerOptions::Optimized();
+  nlj.enable_hash_join = false;
+  const char* sql =
+      "SELECT p.acc, a.lig FROM proteins p JOIN activities a ON "
+      "p.acc = a.acc ORDER BY p.acc, a.lig";
+  auto h = planner_->Run(sql, hash);
+  auto n = planner_->Run(sql, nlj);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(n.ok());
+  EXPECT_NE(h->physical_plan.find("HashJoin"), std::string::npos);
+  EXPECT_NE(n->physical_plan.find("NestedLoopJoin"), std::string::npos);
+  EXPECT_EQ(h->result.rows, n->result.rows);
+}
+
+TEST_F(ExecTest, ResultCacheHitSkipsExecution) {
+  PlannerOptions opts = PlannerOptions::Optimized();
+  opts.use_result_cache = true;
+  const char* sql = "SELECT p.acc FROM proteins p ORDER BY p.acc";
+  auto first = planner_->Run(sql, opts);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->from_result_cache);
+  auto second = planner_->Run(sql, opts);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->from_result_cache);
+  EXPECT_EQ(second->result.rows, first->result.rows);
+  // Textually different but canonically identical query also hits.
+  auto third = planner_->Run("select  p.acc  from proteins p order by p.acc",
+                             opts);
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(third->from_result_cache);
+}
+
+TEST_F(ExecTest, EpochBumpInvalidatesResultCache) {
+  PlannerOptions opts = PlannerOptions::Optimized();
+  opts.use_result_cache = true;
+  const char* sql = "SELECT COUNT(*) AS n FROM proteins p";
+  auto first = planner_->Run(sql, opts);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(proteins_
+                  ->Insert({Value::String("fresh"), Value::String("famZ"),
+                            Value::Null(), Value::Null()})
+                  .ok());
+  catalog_.BumpEpoch();
+  auto second = planner_->Run(sql, opts);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->from_result_cache);
+  EXPECT_EQ(second->result.rows[0][0].AsInt64(),
+            first->result.rows[0][0].AsInt64() + 1);
+}
+
+TEST_F(ExecTest, ExecStatsPopulated) {
+  auto outcome = planner_->Run("SELECT p.acc FROM proteins p",
+                               PlannerOptions::Naive());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->stats.rows_scanned, 4);
+}
+
+TEST_F(ExecTest, SemanticErrorsSurface) {
+  EXPECT_TRUE(planner_->Run("SELECT nope FROM proteins p", {})
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(planner_->Run("SELECT p.acc FROM missing p", {})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(ExecTest, ResultToStringRenders) {
+  auto r = Run("SELECT p.acc FROM proteins p ORDER BY p.acc LIMIT 2");
+  std::string text = r.ToString();
+  EXPECT_NE(text.find("p.acc"), std::string::npos);
+  EXPECT_NE(text.find("a"), std::string::npos);
+}
+
+// Property: for randomized single-table range predicates, index-backed plans
+// must match naive full scans exactly.
+class IndexEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(IndexEquivalence, RangePredicatesAgree) {
+  // Fresh mini-catalog with a numeric indexed column.
+  auto schema = Schema::Create(
+      {{"k", ValueType::kInt64, false}, {"v", ValueType::kDouble, false}});
+  ASSERT_TRUE(schema.ok());
+  Table table("nums", *schema);
+  util::Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 9);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(table
+                    .Insert({Value::Int64(rng.UniformRange(0, 100)),
+                             Value::Double(rng.NextDouble())})
+                    .ok());
+  }
+  ASSERT_TRUE(table.CreateIndex("k", IndexKind::kBTree).ok());
+  ASSERT_TRUE(table.Analyze().ok());
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Register(&table).ok());
+  Planner planner(&catalog);
+  for (int trial = 0; trial < 10; ++trial) {
+    int64_t lo = rng.UniformRange(0, 100);
+    int64_t hi = rng.UniformRange(0, 100);
+    if (lo > hi) std::swap(lo, hi);
+    std::string sql = "SELECT n.k FROM nums n WHERE n.k >= " +
+                      std::to_string(lo) + " AND n.k <= " +
+                      std::to_string(hi) + " ORDER BY n.k";
+    auto fast = planner.Run(sql, PlannerOptions::Optimized());
+    auto slow = planner.Run(sql, PlannerOptions::Naive());
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(slow.ok());
+    EXPECT_EQ(fast->result.rows, slow->result.rows) << sql;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexEquivalence, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace query
+}  // namespace drugtree

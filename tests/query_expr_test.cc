@@ -1,0 +1,248 @@
+#include "query/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "phylo/newick.h"
+
+namespace drugtree {
+namespace query {
+namespace {
+
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+Schema TwoColSchema() {
+  auto s = Schema::Create(
+      {{"t.a", ValueType::kInt64, true}, {"t.b", ValueType::kString, true}});
+  EXPECT_TRUE(s.ok());
+  return *s;
+}
+
+Value Eval(ExprPtr e, const Row& row, const Schema& schema,
+           EvalContext ctx = {}) {
+  EXPECT_TRUE(BindExpr(e.get(), schema).ok());
+  auto v = EvalExpr(*e, row, ctx);
+  EXPECT_TRUE(v.ok()) << v.status();
+  return v.ok() ? *v : Value::Null();
+}
+
+TEST(ResolveColumnTest, ExactAndSuffixMatching) {
+  Schema s = TwoColSchema();
+  EXPECT_EQ(*ResolveColumn(s, "t.a"), 0u);
+  EXPECT_EQ(*ResolveColumn(s, "a"), 0u);
+  EXPECT_EQ(*ResolveColumn(s, "b"), 1u);
+  EXPECT_TRUE(ResolveColumn(s, "c").status().IsNotFound());
+}
+
+TEST(ResolveColumnTest, AmbiguousBareName) {
+  auto s = Schema::Create(
+      {{"x.a", ValueType::kInt64, true}, {"y.a", ValueType::kInt64, true}});
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(ResolveColumn(*s, "a").status().IsInvalidArgument());
+  EXPECT_EQ(*ResolveColumn(*s, "x.a"), 0u);
+}
+
+TEST(EvalTest, ColumnAndLiteral) {
+  Schema s = TwoColSchema();
+  Row row = {Value::Int64(5), Value::String("hi")};
+  EXPECT_EQ(Eval(Expr::Column("a"), row, s), Value::Int64(5));
+  EXPECT_EQ(Eval(Expr::Literal(Value::Double(2.5)), row, s),
+            Value::Double(2.5));
+}
+
+TEST(EvalTest, Comparisons) {
+  Schema s = TwoColSchema();
+  Row row = {Value::Int64(5), Value::String("hi")};
+  auto cmp = [&](BinaryOp op, Value lit) {
+    return Eval(Expr::Binary(op, Expr::Column("a"), Expr::Literal(lit)), row, s);
+  };
+  EXPECT_EQ(cmp(BinaryOp::kEq, Value::Int64(5)), Value::Bool(true));
+  EXPECT_EQ(cmp(BinaryOp::kNe, Value::Int64(5)), Value::Bool(false));
+  EXPECT_EQ(cmp(BinaryOp::kLt, Value::Int64(6)), Value::Bool(true));
+  EXPECT_EQ(cmp(BinaryOp::kGe, Value::Double(5.0)), Value::Bool(true));
+  EXPECT_EQ(cmp(BinaryOp::kGt, Value::Double(5.5)), Value::Bool(false));
+}
+
+TEST(EvalTest, NullComparisonsYieldNull) {
+  Schema s = TwoColSchema();
+  Row row = {Value::Null(), Value::String("hi")};
+  auto v = Eval(Expr::Binary(BinaryOp::kEq, Expr::Column("a"),
+                             Expr::Literal(Value::Int64(5))),
+                row, s);
+  EXPECT_TRUE(v.is_null());
+}
+
+TEST(EvalTest, KleeneLogic) {
+  Schema s = TwoColSchema();
+  Row row = {Value::Null(), Value::String("x")};
+  auto null_cmp = Expr::Binary(BinaryOp::kEq, Expr::Column("a"),
+                               Expr::Literal(Value::Int64(1)));
+  // NULL AND FALSE = FALSE.
+  EXPECT_EQ(Eval(Expr::Binary(BinaryOp::kAnd, null_cmp->Clone(),
+                              Expr::Literal(Value::Bool(false))),
+                 row, s),
+            Value::Bool(false));
+  // NULL AND TRUE = NULL.
+  EXPECT_TRUE(Eval(Expr::Binary(BinaryOp::kAnd, null_cmp->Clone(),
+                                Expr::Literal(Value::Bool(true))),
+                   row, s)
+                  .is_null());
+  // NULL OR TRUE = TRUE.
+  EXPECT_EQ(Eval(Expr::Binary(BinaryOp::kOr, null_cmp->Clone(),
+                              Expr::Literal(Value::Bool(true))),
+                 row, s),
+            Value::Bool(true));
+  // NOT NULL = NULL.
+  EXPECT_TRUE(Eval(Expr::Unary(UnaryOp::kNot, null_cmp->Clone()), row, s)
+                  .is_null());
+}
+
+TEST(EvalTest, Arithmetic) {
+  Schema s = TwoColSchema();
+  Row row = {Value::Int64(7), Value::String("x")};
+  auto a = Expr::Column("a");
+  EXPECT_EQ(Eval(Expr::Binary(BinaryOp::kAdd, a->Clone(),
+                              Expr::Literal(Value::Int64(3))),
+                 row, s),
+            Value::Int64(10));
+  EXPECT_EQ(Eval(Expr::Binary(BinaryOp::kMul, a->Clone(),
+                              Expr::Literal(Value::Int64(2))),
+                 row, s),
+            Value::Int64(14));
+  EXPECT_EQ(Eval(Expr::Binary(BinaryOp::kDiv, a->Clone(),
+                              Expr::Literal(Value::Int64(2))),
+                 row, s),
+            Value::Double(3.5));
+  EXPECT_EQ(Eval(Expr::Unary(UnaryOp::kNeg, a->Clone()), row, s),
+            Value::Int64(-7));
+}
+
+TEST(EvalTest, DivisionByZeroIsError) {
+  Schema s = TwoColSchema();
+  Row row = {Value::Int64(7), Value::String("x")};
+  auto e = Expr::Binary(BinaryOp::kDiv, Expr::Column("a"),
+                        Expr::Literal(Value::Int64(0)));
+  ASSERT_TRUE(BindExpr(e.get(), s).ok());
+  EXPECT_TRUE(EvalExpr(*e, row, {}).status().IsInvalidArgument());
+}
+
+TEST(EvalTest, IsNullFunction) {
+  Schema s = TwoColSchema();
+  Row with_null = {Value::Null(), Value::String("x")};
+  Row no_null = {Value::Int64(1), Value::String("x")};
+  auto e = Expr::Function("IS_NULL", {Expr::Column("a")});
+  EXPECT_EQ(Eval(e->Clone(), with_null, s), Value::Bool(true));
+  EXPECT_EQ(Eval(e->Clone(), no_null, s), Value::Bool(false));
+}
+
+TEST(EvalTest, AbsFunction) {
+  Schema s = TwoColSchema();
+  Row row = {Value::Int64(-4), Value::String("x")};
+  EXPECT_EQ(Eval(Expr::Function("ABS", {Expr::Column("a")}), row, s),
+            Value::Int64(4));
+}
+
+TEST(EvalTest, UnknownFunctionUnimplemented) {
+  Schema s = TwoColSchema();
+  Row row = {Value::Int64(1), Value::String("x")};
+  auto e = Expr::Function("FROBNICATE", {Expr::Column("a")});
+  ASSERT_TRUE(BindExpr(e.get(), s).ok());
+  EXPECT_TRUE(EvalExpr(*e, row, {}).status().IsUnimplemented());
+}
+
+TEST(EvalTest, PredicateNullCountsAsFalse) {
+  Schema s = TwoColSchema();
+  Row row = {Value::Null(), Value::String("x")};
+  auto e = Expr::Binary(BinaryOp::kEq, Expr::Column("a"),
+                        Expr::Literal(Value::Int64(1)));
+  ASSERT_TRUE(BindExpr(e.get(), s).ok());
+  auto keep = EvalPredicate(*e, row, {});
+  ASSERT_TRUE(keep.ok());
+  EXPECT_FALSE(*keep);
+}
+
+class TreeFunctionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto t = phylo::ParseNewick("((a:1,b:2)x:1,c:3)r;");
+    ASSERT_TRUE(t.ok());
+    tree_ = std::move(*t);
+    auto idx = phylo::TreeIndex::Build(tree_);
+    ASSERT_TRUE(idx.ok());
+    index_ = std::make_unique<phylo::TreeIndex>(std::move(*idx));
+    ctx_ = EvalContext{&tree_, index_.get()};
+    schema_ = *Schema::Create({{"t.node", ValueType::kInt64, true}});
+  }
+
+  phylo::Tree tree_;
+  std::unique_ptr<phylo::TreeIndex> index_;
+  EvalContext ctx_;
+  Schema schema_;
+};
+
+TEST_F(TreeFunctionTest, SubtreeByName) {
+  phylo::NodeId a = tree_.FindByName("a");
+  Row row = {Value::Int64(a)};
+  auto e = Expr::Function(
+      "SUBTREE", {Expr::Column("node"), Expr::Literal(Value::String("x"))});
+  ASSERT_TRUE(BindExpr(e.get(), schema_).ok());
+  auto v = EvalExpr(*e, row, ctx_);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::Bool(true));
+  Row c_row = {Value::Int64(tree_.FindByName("c"))};
+  EXPECT_EQ(*EvalExpr(*e, c_row, ctx_), Value::Bool(false));
+}
+
+TEST_F(TreeFunctionTest, AncestorOf) {
+  phylo::NodeId x = tree_.FindByName("x");
+  Row row = {Value::Int64(x)};
+  auto e = Expr::Function("ANCESTOR_OF", {Expr::Column("node"),
+                                          Expr::Literal(Value::String("a"))});
+  ASSERT_TRUE(BindExpr(e.get(), schema_).ok());
+  EXPECT_EQ(*EvalExpr(*e, row, ctx_), Value::Bool(true));
+  Row c_row = {Value::Int64(tree_.FindByName("c"))};
+  EXPECT_EQ(*EvalExpr(*e, c_row, ctx_), Value::Bool(false));
+}
+
+TEST_F(TreeFunctionTest, TreeDepthAndDist) {
+  Row row = {Value::Int64(tree_.FindByName("a"))};
+  auto depth = Expr::Function("TREE_DEPTH", {Expr::Column("node")});
+  ASSERT_TRUE(BindExpr(depth.get(), schema_).ok());
+  EXPECT_EQ(*EvalExpr(*depth, row, ctx_), Value::Int64(2));
+  auto dist = Expr::Function(
+      "TREE_DIST", {Expr::Column("node"), Expr::Literal(Value::String("b"))});
+  ASSERT_TRUE(BindExpr(dist.get(), schema_).ok());
+  EXPECT_EQ(*EvalExpr(*dist, row, ctx_), Value::Double(3.0));
+}
+
+TEST_F(TreeFunctionTest, UnknownNodeNameIsNotFound) {
+  Row row = {Value::Int64(0)};
+  auto e = Expr::Function(
+      "SUBTREE", {Expr::Column("node"), Expr::Literal(Value::String("zzz"))});
+  ASSERT_TRUE(BindExpr(e.get(), schema_).ok());
+  EXPECT_TRUE(EvalExpr(*e, row, ctx_).status().IsNotFound());
+}
+
+TEST_F(TreeFunctionTest, NullNodePropagates) {
+  Row row = {Value::Null()};
+  auto e = Expr::Function(
+      "SUBTREE", {Expr::Column("node"), Expr::Literal(Value::String("x"))});
+  ASSERT_TRUE(BindExpr(e.get(), schema_).ok());
+  auto v = EvalExpr(*e, row, ctx_);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+}
+
+TEST_F(TreeFunctionTest, MissingContextIsError) {
+  Row row = {Value::Int64(0)};
+  auto e = Expr::Function(
+      "SUBTREE", {Expr::Column("node"), Expr::Literal(Value::String("x"))});
+  ASSERT_TRUE(BindExpr(e.get(), schema_).ok());
+  EXPECT_TRUE(EvalExpr(*e, row, EvalContext{}).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace drugtree

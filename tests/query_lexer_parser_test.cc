@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "query/lexer.h"
+#include "query/parser.h"
+
+namespace drugtree {
+namespace query {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Lex("SELECT a.b, c FROM t WHERE x >= 3.5 AND y = 'hi'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[1].text, "a.b");
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Lex("select From wHeRe");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "FROM");
+  EXPECT_EQ((*tokens)[2].text, "WHERE");
+}
+
+TEST(LexerTest, NumbersIntAndFloat) {
+  auto tokens = Lex("42 3.5 1e3 7");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kInteger);
+  EXPECT_EQ((*tokens)[0].int_value, 42);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ((*tokens)[1].float_value, 3.5);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ((*tokens)[2].float_value, 1000.0);
+  EXPECT_EQ((*tokens)[3].int_value, 7);
+}
+
+TEST(LexerTest, StringsWithEscapedQuotes) {
+  auto tokens = Lex("'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[0].text, "it's");
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto tokens = Lex("<= >= <> !=");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "<=");
+  EXPECT_EQ((*tokens)[1].text, ">=");
+  EXPECT_EQ((*tokens)[2].text, "<>");
+  EXPECT_EQ((*tokens)[3].text, "<>");  // != normalizes
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_TRUE(Lex("'unterminated").status().IsParseError());
+  EXPECT_TRUE(Lex("a @ b").status().IsParseError());
+}
+
+TEST(ParserTest, MinimalSelect) {
+  auto stmt = ParseQuery("SELECT a FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select.size(), 1u);
+  EXPECT_EQ(stmt->tables.size(), 1u);
+  EXPECT_EQ(stmt->tables[0].table, "t");
+  EXPECT_EQ(stmt->tables[0].alias, "t");
+  EXPECT_EQ(stmt->where, nullptr);
+}
+
+TEST(ParserTest, SelectStar) {
+  auto stmt = ParseQuery("SELECT * FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->select[0].star);
+}
+
+TEST(ParserTest, AliasesWithAndWithoutAs) {
+  auto stmt = ParseQuery("SELECT a AS x, b y FROM t1 AS u, t2 v");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select[0].alias, "x");
+  EXPECT_EQ(stmt->select[1].alias, "y");
+  EXPECT_EQ(stmt->tables[0].alias, "u");
+  EXPECT_EQ(stmt->tables[1].alias, "v");
+}
+
+TEST(ParserTest, JoinOnFoldsIntoWhere) {
+  auto stmt = ParseQuery(
+      "SELECT p.a FROM proteins p JOIN activities a ON p.acc = a.acc "
+      "WHERE a.x < 5");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->tables.size(), 2u);
+  ASSERT_NE(stmt->where, nullptr);
+  // The fold produces (a.x < 5) AND (p.acc = a.acc).
+  auto conjuncts = SplitConjuncts(stmt->where);
+  EXPECT_EQ(conjuncts.size(), 2u);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto stmt = ParseQuery("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3");
+  ASSERT_TRUE(stmt.ok());
+  // OR binds loosest: (x=1) OR ((y=2) AND (z=3)).
+  EXPECT_EQ(stmt->where->bin_op, BinaryOp::kOr);
+  EXPECT_EQ(stmt->where->children[1]->bin_op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto stmt = ParseQuery("SELECT a + b * c FROM t");
+  ASSERT_TRUE(stmt.ok());
+  const Expr& e = *stmt->select[0].expr;
+  EXPECT_EQ(e.bin_op, BinaryOp::kAdd);
+  EXPECT_EQ(e.children[1]->bin_op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, ParensOverridePrecedence) {
+  auto stmt = ParseQuery("SELECT (a + b) * c FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select[0].expr->bin_op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, NotAndUnaryMinus) {
+  auto stmt = ParseQuery("SELECT a FROM t WHERE NOT x = -1");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->where->kind, ExprKind::kUnary);
+  EXPECT_EQ(stmt->where->un_op, UnaryOp::kNot);
+}
+
+TEST(ParserTest, FunctionsAndCountStar) {
+  auto stmt = ParseQuery(
+      "SELECT COUNT(*), SUM(x), SUBTREE(p.node, 'n1') FROM t GROUP BY y");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select[0].expr->function, "COUNT");
+  EXPECT_TRUE(stmt->select[0].expr->children.empty());
+  EXPECT_EQ(stmt->select[1].expr->function, "SUM");
+  EXPECT_EQ(stmt->select[2].expr->function, "SUBTREE");
+  EXPECT_EQ(stmt->select[2].expr->children.size(), 2u);
+  EXPECT_EQ(stmt->group_by.size(), 1u);
+}
+
+TEST(ParserTest, IsNullAndIsNotNull) {
+  auto s1 = ParseQuery("SELECT a FROM t WHERE x IS NULL");
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ(s1->where->function, "IS_NULL");
+  auto s2 = ParseQuery("SELECT a FROM t WHERE x IS NOT NULL");
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s2->where->un_op, UnaryOp::kNot);
+  EXPECT_EQ(s2->where->children[0]->function, "IS_NULL");
+}
+
+TEST(ParserTest, OrderByAndLimit) {
+  auto stmt = ParseQuery(
+      "SELECT a FROM t ORDER BY a DESC, b ASC, c LIMIT 10;");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->order_by.size(), 3u);
+  EXPECT_FALSE(stmt->order_by[0].ascending);
+  EXPECT_TRUE(stmt->order_by[1].ascending);
+  EXPECT_TRUE(stmt->order_by[2].ascending);
+  ASSERT_TRUE(stmt->limit.has_value());
+  EXPECT_EQ(*stmt->limit, 10);
+}
+
+TEST(ParserTest, Literals) {
+  auto stmt = ParseQuery(
+      "SELECT a FROM t WHERE b = TRUE AND c = FALSE AND d = NULL AND "
+      "e = 'str'");
+  ASSERT_TRUE(stmt.ok());
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_TRUE(ParseQuery("").status().IsParseError());
+  EXPECT_TRUE(ParseQuery("SELECT FROM t").status().IsParseError());
+  EXPECT_TRUE(ParseQuery("SELECT a").status().IsParseError());
+  EXPECT_TRUE(ParseQuery("SELECT a FROM").status().IsParseError());
+  EXPECT_TRUE(ParseQuery("SELECT a FROM t WHERE").status().IsParseError());
+  EXPECT_TRUE(ParseQuery("SELECT a FROM t LIMIT x").status().IsParseError());
+  EXPECT_TRUE(ParseQuery("SELECT a FROM t extra junk w").status().IsParseError());
+  EXPECT_TRUE(
+      ParseQuery("SELECT a FROM t JOIN u").status().IsParseError());  // no ON
+  EXPECT_TRUE(ParseQuery("SELECT f( FROM t").status().IsParseError());
+}
+
+TEST(ParserTest, CanonicalToStringStable) {
+  auto s1 = ParseQuery("select  a.x  from  t  a where a.x<5 limit 3");
+  ASSERT_TRUE(s1.ok());
+  auto s2 = ParseQuery(s1->ToString());
+  ASSERT_TRUE(s2.ok()) << s1->ToString();
+  EXPECT_EQ(s1->ToString(), s2->ToString());
+}
+
+TEST(ExprTest, SplitAndCombineConjuncts) {
+  auto stmt = ParseQuery("SELECT a FROM t WHERE x = 1 AND y = 2 AND z = 3");
+  ASSERT_TRUE(stmt.ok());
+  auto parts = SplitConjuncts(stmt->where);
+  EXPECT_EQ(parts.size(), 3u);
+  auto combined = CombineConjuncts(parts);
+  EXPECT_EQ(SplitConjuncts(combined).size(), 3u);
+  EXPECT_EQ(CombineConjuncts({}), nullptr);
+}
+
+TEST(ExprTest, CloneIsDeep) {
+  auto stmt = ParseQuery("SELECT a FROM t WHERE x = 1");
+  auto clone = stmt->where->Clone();
+  clone->children[0]->column = "changed";
+  EXPECT_EQ(stmt->where->children[0]->column, "x");
+}
+
+TEST(ExprTest, CollectColumnsDeduplicates) {
+  auto stmt = ParseQuery("SELECT a FROM t WHERE x = 1 AND x = 2 AND y = 3");
+  std::vector<std::string> cols;
+  stmt->where->CollectColumns(&cols);
+  EXPECT_EQ(cols, (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(ExprTest, AggregateDetection) {
+  auto stmt = ParseQuery("SELECT COUNT(*), a + 1 FROM t GROUP BY a");
+  EXPECT_TRUE(stmt->select[0].expr->IsAggregate());
+  EXPECT_TRUE(stmt->select[0].expr->ContainsAggregate());
+  EXPECT_FALSE(stmt->select[1].expr->IsAggregate());
+  EXPECT_FALSE(stmt->select[1].expr->ContainsAggregate());
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace drugtree

@@ -1,0 +1,156 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace drugtree {
+namespace util {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.Uniform(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(3);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= v == -3;
+    hit_hi |= v == 3;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(double(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallIndices) {
+  Rng rng(19);
+  const uint64_t n = 50;
+  int first = 0, last = 0;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.Zipf(n, 1.0);
+    EXPECT_LT(v, n);
+    if (v == 0) ++first;
+    if (v == n - 1) ++last;
+  }
+  EXPECT_GT(first, 10 * std::max(last, 1));
+}
+
+TEST(RngTest, ZipfZeroThetaIsUniformish) {
+  Rng rng(21);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.Zipf(10, 0.0)];
+  for (int c : counts) EXPECT_NEAR(c, 2000, 350);
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(23);
+  std::vector<double> w = {1.0, 3.0};
+  int ones = 0;
+  for (int i = 0; i < 20000; ++i) {
+    size_t idx = rng.WeightedIndex(w);
+    ASSERT_LT(idx, 2u);
+    ones += idx == 1;
+  }
+  EXPECT_NEAR(double(ones) / 20000, 0.75, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(31);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<size_t>(i)] = i;
+  auto orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);
+}
+
+TEST(RngTest, ForkIndependentButDeterministic) {
+  Rng a(37);
+  Rng child1 = a.Fork();
+  Rng b(37);
+  Rng child2 = b.Fork();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(child1.Next(), child2.Next());
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace drugtree

@@ -1,0 +1,135 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace drugtree {
+namespace util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::Timeout("x").IsTimeout());
+  Status s = Status::NotFound("no such thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "no such thing");
+  EXPECT_EQ(s.ToString(), "NotFound: no such thing");
+}
+
+TEST(StatusTest, CopyAndMovePreserveState) {
+  Status s = Status::Internal("boom");
+  Status copy = s;
+  EXPECT_EQ(copy, s);
+  Status moved = std::move(s);
+  EXPECT_TRUE(moved.IsInternal());
+  EXPECT_EQ(moved.message(), "boom");
+}
+
+TEST(StatusTest, CopyAssignOverwrites) {
+  Status a = Status::Internal("a");
+  Status b = Status::NotFound("b");
+  a = b;
+  EXPECT_TRUE(a.IsNotFound());
+  a = Status::OK();
+  EXPECT_TRUE(a.ok());
+}
+
+TEST(StatusTest, WithContextPrefixes) {
+  Status s = Status::IoError("disk gone").WithContext("loading proteins");
+  EXPECT_EQ(s.message(), "loading proteins: disk gone");
+  EXPECT_TRUE(s.IsIoError());
+  EXPECT_TRUE(Status::OK().WithContext("ctx").ok());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kTimeout), "Timeout");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chain(int x) {
+  DRUGTREE_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Chain(1).ok());
+  EXPECT_TRUE(Chain(-1).IsInvalidArgument());
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x;
+}
+
+Result<int> DoublePositive(int x) {
+  DRUGTREE_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok = 42;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_TRUE(ok.status().ok());
+
+  Result<int> err = Status::NotFound("gone");
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsNotFound());
+  EXPECT_EQ(err.ValueOr(-1), -1);
+  EXPECT_EQ(ok.ValueOr(-1), 42);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto ok = DoublePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  auto err = DoublePositive(0);
+  EXPECT_TRUE(err.status().IsOutOfRange());
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace drugtree
