@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_integration.dir/bench_integration.cc.o"
+  "CMakeFiles/bench_integration.dir/bench_integration.cc.o.d"
+  "bench_integration"
+  "bench_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mobile.dir/bench_mobile.cc.o"
+  "CMakeFiles/bench_mobile.dir/bench_mobile.cc.o.d"
+  "bench_mobile"
+  "bench_mobile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mobile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

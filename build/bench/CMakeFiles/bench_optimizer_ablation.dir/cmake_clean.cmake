@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimizer_ablation.dir/bench_optimizer_ablation.cc.o"
+  "CMakeFiles/bench_optimizer_ablation.dir/bench_optimizer_ablation.cc.o.d"
+  "bench_optimizer_ablation"
+  "bench_optimizer_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimizer_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tree_build.dir/bench_tree_build.cc.o"
+  "CMakeFiles/bench_tree_build.dir/bench_tree_build.cc.o.d"
+  "bench_tree_build"
+  "bench_tree_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tree_query.dir/bench_tree_query.cc.o"
+  "CMakeFiles/bench_tree_query.dir/bench_tree_query.cc.o.d"
+  "bench_tree_query"
+  "bench_tree_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drug_discovery_screen.dir/drug_discovery_screen.cpp.o"
+  "CMakeFiles/drug_discovery_screen.dir/drug_discovery_screen.cpp.o.d"
+  "drug_discovery_screen"
+  "drug_discovery_screen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drug_discovery_screen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for drug_discovery_screen.
+# This may be replaced when dependencies are built.

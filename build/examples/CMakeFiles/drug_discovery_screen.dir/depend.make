@@ -1,0 +1,2 @@
+# Empty dependencies file for drug_discovery_screen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_query.dir/federated_query.cpp.o"
+  "CMakeFiles/federated_query.dir/federated_query.cpp.o.d"
+  "federated_query"
+  "federated_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

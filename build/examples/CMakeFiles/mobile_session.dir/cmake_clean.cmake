@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_session.dir/mobile_session.cpp.o"
+  "CMakeFiles/mobile_session.dir/mobile_session.cpp.o.d"
+  "mobile_session"
+  "mobile_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bio/align.cc" "src/CMakeFiles/drugtree_bio.dir/bio/align.cc.o" "gcc" "src/CMakeFiles/drugtree_bio.dir/bio/align.cc.o.d"
+  "/root/repo/src/bio/distance.cc" "src/CMakeFiles/drugtree_bio.dir/bio/distance.cc.o" "gcc" "src/CMakeFiles/drugtree_bio.dir/bio/distance.cc.o.d"
+  "/root/repo/src/bio/fasta.cc" "src/CMakeFiles/drugtree_bio.dir/bio/fasta.cc.o" "gcc" "src/CMakeFiles/drugtree_bio.dir/bio/fasta.cc.o.d"
+  "/root/repo/src/bio/sequence.cc" "src/CMakeFiles/drugtree_bio.dir/bio/sequence.cc.o" "gcc" "src/CMakeFiles/drugtree_bio.dir/bio/sequence.cc.o.d"
+  "/root/repo/src/bio/substitution_matrix.cc" "src/CMakeFiles/drugtree_bio.dir/bio/substitution_matrix.cc.o" "gcc" "src/CMakeFiles/drugtree_bio.dir/bio/substitution_matrix.cc.o.d"
+  "/root/repo/src/bio/synthetic.cc" "src/CMakeFiles/drugtree_bio.dir/bio/synthetic.cc.o" "gcc" "src/CMakeFiles/drugtree_bio.dir/bio/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drugtree_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drugtree_bio.dir/bio/align.cc.o"
+  "CMakeFiles/drugtree_bio.dir/bio/align.cc.o.d"
+  "CMakeFiles/drugtree_bio.dir/bio/distance.cc.o"
+  "CMakeFiles/drugtree_bio.dir/bio/distance.cc.o.d"
+  "CMakeFiles/drugtree_bio.dir/bio/fasta.cc.o"
+  "CMakeFiles/drugtree_bio.dir/bio/fasta.cc.o.d"
+  "CMakeFiles/drugtree_bio.dir/bio/sequence.cc.o"
+  "CMakeFiles/drugtree_bio.dir/bio/sequence.cc.o.d"
+  "CMakeFiles/drugtree_bio.dir/bio/substitution_matrix.cc.o"
+  "CMakeFiles/drugtree_bio.dir/bio/substitution_matrix.cc.o.d"
+  "CMakeFiles/drugtree_bio.dir/bio/synthetic.cc.o"
+  "CMakeFiles/drugtree_bio.dir/bio/synthetic.cc.o.d"
+  "libdrugtree_bio.a"
+  "libdrugtree_bio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drugtree_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

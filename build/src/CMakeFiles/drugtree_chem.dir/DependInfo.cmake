@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chem/fingerprint.cc" "src/CMakeFiles/drugtree_chem.dir/chem/fingerprint.cc.o" "gcc" "src/CMakeFiles/drugtree_chem.dir/chem/fingerprint.cc.o.d"
+  "/root/repo/src/chem/molecule.cc" "src/CMakeFiles/drugtree_chem.dir/chem/molecule.cc.o" "gcc" "src/CMakeFiles/drugtree_chem.dir/chem/molecule.cc.o.d"
+  "/root/repo/src/chem/properties.cc" "src/CMakeFiles/drugtree_chem.dir/chem/properties.cc.o" "gcc" "src/CMakeFiles/drugtree_chem.dir/chem/properties.cc.o.d"
+  "/root/repo/src/chem/similarity.cc" "src/CMakeFiles/drugtree_chem.dir/chem/similarity.cc.o" "gcc" "src/CMakeFiles/drugtree_chem.dir/chem/similarity.cc.o.d"
+  "/root/repo/src/chem/smiles.cc" "src/CMakeFiles/drugtree_chem.dir/chem/smiles.cc.o" "gcc" "src/CMakeFiles/drugtree_chem.dir/chem/smiles.cc.o.d"
+  "/root/repo/src/chem/synthetic_ligands.cc" "src/CMakeFiles/drugtree_chem.dir/chem/synthetic_ligands.cc.o" "gcc" "src/CMakeFiles/drugtree_chem.dir/chem/synthetic_ligands.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drugtree_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drugtree_chem.dir/chem/fingerprint.cc.o"
+  "CMakeFiles/drugtree_chem.dir/chem/fingerprint.cc.o.d"
+  "CMakeFiles/drugtree_chem.dir/chem/molecule.cc.o"
+  "CMakeFiles/drugtree_chem.dir/chem/molecule.cc.o.d"
+  "CMakeFiles/drugtree_chem.dir/chem/properties.cc.o"
+  "CMakeFiles/drugtree_chem.dir/chem/properties.cc.o.d"
+  "CMakeFiles/drugtree_chem.dir/chem/similarity.cc.o"
+  "CMakeFiles/drugtree_chem.dir/chem/similarity.cc.o.d"
+  "CMakeFiles/drugtree_chem.dir/chem/smiles.cc.o"
+  "CMakeFiles/drugtree_chem.dir/chem/smiles.cc.o.d"
+  "CMakeFiles/drugtree_chem.dir/chem/synthetic_ligands.cc.o"
+  "CMakeFiles/drugtree_chem.dir/chem/synthetic_ligands.cc.o.d"
+  "libdrugtree_chem.a"
+  "libdrugtree_chem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drugtree_chem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

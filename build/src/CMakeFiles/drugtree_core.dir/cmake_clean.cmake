@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drugtree_core.dir/core/drugtree.cc.o"
+  "CMakeFiles/drugtree_core.dir/core/drugtree.cc.o.d"
+  "CMakeFiles/drugtree_core.dir/core/overlay.cc.o"
+  "CMakeFiles/drugtree_core.dir/core/overlay.cc.o.d"
+  "CMakeFiles/drugtree_core.dir/core/workload.cc.o"
+  "CMakeFiles/drugtree_core.dir/core/workload.cc.o.d"
+  "libdrugtree_core.a"
+  "libdrugtree_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drugtree_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

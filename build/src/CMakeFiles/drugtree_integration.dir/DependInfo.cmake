@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/integration/activity_source.cc" "src/CMakeFiles/drugtree_integration.dir/integration/activity_source.cc.o" "gcc" "src/CMakeFiles/drugtree_integration.dir/integration/activity_source.cc.o.d"
+  "/root/repo/src/integration/ligand_source.cc" "src/CMakeFiles/drugtree_integration.dir/integration/ligand_source.cc.o" "gcc" "src/CMakeFiles/drugtree_integration.dir/integration/ligand_source.cc.o.d"
+  "/root/repo/src/integration/mediator.cc" "src/CMakeFiles/drugtree_integration.dir/integration/mediator.cc.o" "gcc" "src/CMakeFiles/drugtree_integration.dir/integration/mediator.cc.o.d"
+  "/root/repo/src/integration/network.cc" "src/CMakeFiles/drugtree_integration.dir/integration/network.cc.o" "gcc" "src/CMakeFiles/drugtree_integration.dir/integration/network.cc.o.d"
+  "/root/repo/src/integration/prefetcher.cc" "src/CMakeFiles/drugtree_integration.dir/integration/prefetcher.cc.o" "gcc" "src/CMakeFiles/drugtree_integration.dir/integration/prefetcher.cc.o.d"
+  "/root/repo/src/integration/protein_source.cc" "src/CMakeFiles/drugtree_integration.dir/integration/protein_source.cc.o" "gcc" "src/CMakeFiles/drugtree_integration.dir/integration/protein_source.cc.o.d"
+  "/root/repo/src/integration/semantic_cache.cc" "src/CMakeFiles/drugtree_integration.dir/integration/semantic_cache.cc.o" "gcc" "src/CMakeFiles/drugtree_integration.dir/integration/semantic_cache.cc.o.d"
+  "/root/repo/src/integration/source.cc" "src/CMakeFiles/drugtree_integration.dir/integration/source.cc.o" "gcc" "src/CMakeFiles/drugtree_integration.dir/integration/source.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drugtree_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drugtree_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drugtree_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drugtree_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

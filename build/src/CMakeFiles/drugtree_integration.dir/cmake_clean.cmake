@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drugtree_integration.dir/integration/activity_source.cc.o"
+  "CMakeFiles/drugtree_integration.dir/integration/activity_source.cc.o.d"
+  "CMakeFiles/drugtree_integration.dir/integration/ligand_source.cc.o"
+  "CMakeFiles/drugtree_integration.dir/integration/ligand_source.cc.o.d"
+  "CMakeFiles/drugtree_integration.dir/integration/mediator.cc.o"
+  "CMakeFiles/drugtree_integration.dir/integration/mediator.cc.o.d"
+  "CMakeFiles/drugtree_integration.dir/integration/network.cc.o"
+  "CMakeFiles/drugtree_integration.dir/integration/network.cc.o.d"
+  "CMakeFiles/drugtree_integration.dir/integration/prefetcher.cc.o"
+  "CMakeFiles/drugtree_integration.dir/integration/prefetcher.cc.o.d"
+  "CMakeFiles/drugtree_integration.dir/integration/protein_source.cc.o"
+  "CMakeFiles/drugtree_integration.dir/integration/protein_source.cc.o.d"
+  "CMakeFiles/drugtree_integration.dir/integration/semantic_cache.cc.o"
+  "CMakeFiles/drugtree_integration.dir/integration/semantic_cache.cc.o.d"
+  "CMakeFiles/drugtree_integration.dir/integration/source.cc.o"
+  "CMakeFiles/drugtree_integration.dir/integration/source.cc.o.d"
+  "libdrugtree_integration.a"
+  "libdrugtree_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drugtree_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

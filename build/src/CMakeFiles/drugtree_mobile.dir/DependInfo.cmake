@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobile/client_cache.cc" "src/CMakeFiles/drugtree_mobile.dir/mobile/client_cache.cc.o" "gcc" "src/CMakeFiles/drugtree_mobile.dir/mobile/client_cache.cc.o.d"
+  "/root/repo/src/mobile/device.cc" "src/CMakeFiles/drugtree_mobile.dir/mobile/device.cc.o" "gcc" "src/CMakeFiles/drugtree_mobile.dir/mobile/device.cc.o.d"
+  "/root/repo/src/mobile/lod.cc" "src/CMakeFiles/drugtree_mobile.dir/mobile/lod.cc.o" "gcc" "src/CMakeFiles/drugtree_mobile.dir/mobile/lod.cc.o.d"
+  "/root/repo/src/mobile/protocol.cc" "src/CMakeFiles/drugtree_mobile.dir/mobile/protocol.cc.o" "gcc" "src/CMakeFiles/drugtree_mobile.dir/mobile/protocol.cc.o.d"
+  "/root/repo/src/mobile/session.cc" "src/CMakeFiles/drugtree_mobile.dir/mobile/session.cc.o" "gcc" "src/CMakeFiles/drugtree_mobile.dir/mobile/session.cc.o.d"
+  "/root/repo/src/mobile/trace.cc" "src/CMakeFiles/drugtree_mobile.dir/mobile/trace.cc.o" "gcc" "src/CMakeFiles/drugtree_mobile.dir/mobile/trace.cc.o.d"
+  "/root/repo/src/mobile/viewport.cc" "src/CMakeFiles/drugtree_mobile.dir/mobile/viewport.cc.o" "gcc" "src/CMakeFiles/drugtree_mobile.dir/mobile/viewport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drugtree_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drugtree_phylo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drugtree_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drugtree_integration.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drugtree_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drugtree_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drugtree_chem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drugtree_mobile.dir/mobile/client_cache.cc.o"
+  "CMakeFiles/drugtree_mobile.dir/mobile/client_cache.cc.o.d"
+  "CMakeFiles/drugtree_mobile.dir/mobile/device.cc.o"
+  "CMakeFiles/drugtree_mobile.dir/mobile/device.cc.o.d"
+  "CMakeFiles/drugtree_mobile.dir/mobile/lod.cc.o"
+  "CMakeFiles/drugtree_mobile.dir/mobile/lod.cc.o.d"
+  "CMakeFiles/drugtree_mobile.dir/mobile/protocol.cc.o"
+  "CMakeFiles/drugtree_mobile.dir/mobile/protocol.cc.o.d"
+  "CMakeFiles/drugtree_mobile.dir/mobile/session.cc.o"
+  "CMakeFiles/drugtree_mobile.dir/mobile/session.cc.o.d"
+  "CMakeFiles/drugtree_mobile.dir/mobile/trace.cc.o"
+  "CMakeFiles/drugtree_mobile.dir/mobile/trace.cc.o.d"
+  "CMakeFiles/drugtree_mobile.dir/mobile/viewport.cc.o"
+  "CMakeFiles/drugtree_mobile.dir/mobile/viewport.cc.o.d"
+  "libdrugtree_mobile.a"
+  "libdrugtree_mobile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drugtree_mobile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

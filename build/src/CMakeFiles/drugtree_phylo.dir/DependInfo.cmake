@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phylo/builder.cc" "src/CMakeFiles/drugtree_phylo.dir/phylo/builder.cc.o" "gcc" "src/CMakeFiles/drugtree_phylo.dir/phylo/builder.cc.o.d"
+  "/root/repo/src/phylo/layout.cc" "src/CMakeFiles/drugtree_phylo.dir/phylo/layout.cc.o" "gcc" "src/CMakeFiles/drugtree_phylo.dir/phylo/layout.cc.o.d"
+  "/root/repo/src/phylo/newick.cc" "src/CMakeFiles/drugtree_phylo.dir/phylo/newick.cc.o" "gcc" "src/CMakeFiles/drugtree_phylo.dir/phylo/newick.cc.o.d"
+  "/root/repo/src/phylo/tree.cc" "src/CMakeFiles/drugtree_phylo.dir/phylo/tree.cc.o" "gcc" "src/CMakeFiles/drugtree_phylo.dir/phylo/tree.cc.o.d"
+  "/root/repo/src/phylo/tree_index.cc" "src/CMakeFiles/drugtree_phylo.dir/phylo/tree_index.cc.o" "gcc" "src/CMakeFiles/drugtree_phylo.dir/phylo/tree_index.cc.o.d"
+  "/root/repo/src/phylo/tree_metrics.cc" "src/CMakeFiles/drugtree_phylo.dir/phylo/tree_metrics.cc.o" "gcc" "src/CMakeFiles/drugtree_phylo.dir/phylo/tree_metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drugtree_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drugtree_bio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drugtree_phylo.dir/phylo/builder.cc.o"
+  "CMakeFiles/drugtree_phylo.dir/phylo/builder.cc.o.d"
+  "CMakeFiles/drugtree_phylo.dir/phylo/layout.cc.o"
+  "CMakeFiles/drugtree_phylo.dir/phylo/layout.cc.o.d"
+  "CMakeFiles/drugtree_phylo.dir/phylo/newick.cc.o"
+  "CMakeFiles/drugtree_phylo.dir/phylo/newick.cc.o.d"
+  "CMakeFiles/drugtree_phylo.dir/phylo/tree.cc.o"
+  "CMakeFiles/drugtree_phylo.dir/phylo/tree.cc.o.d"
+  "CMakeFiles/drugtree_phylo.dir/phylo/tree_index.cc.o"
+  "CMakeFiles/drugtree_phylo.dir/phylo/tree_index.cc.o.d"
+  "CMakeFiles/drugtree_phylo.dir/phylo/tree_metrics.cc.o"
+  "CMakeFiles/drugtree_phylo.dir/phylo/tree_metrics.cc.o.d"
+  "libdrugtree_phylo.a"
+  "libdrugtree_phylo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drugtree_phylo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/catalog.cc" "src/CMakeFiles/drugtree_query.dir/query/catalog.cc.o" "gcc" "src/CMakeFiles/drugtree_query.dir/query/catalog.cc.o.d"
+  "/root/repo/src/query/cost_model.cc" "src/CMakeFiles/drugtree_query.dir/query/cost_model.cc.o" "gcc" "src/CMakeFiles/drugtree_query.dir/query/cost_model.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/CMakeFiles/drugtree_query.dir/query/executor.cc.o" "gcc" "src/CMakeFiles/drugtree_query.dir/query/executor.cc.o.d"
+  "/root/repo/src/query/expr.cc" "src/CMakeFiles/drugtree_query.dir/query/expr.cc.o" "gcc" "src/CMakeFiles/drugtree_query.dir/query/expr.cc.o.d"
+  "/root/repo/src/query/join_order.cc" "src/CMakeFiles/drugtree_query.dir/query/join_order.cc.o" "gcc" "src/CMakeFiles/drugtree_query.dir/query/join_order.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/CMakeFiles/drugtree_query.dir/query/lexer.cc.o" "gcc" "src/CMakeFiles/drugtree_query.dir/query/lexer.cc.o.d"
+  "/root/repo/src/query/logical_plan.cc" "src/CMakeFiles/drugtree_query.dir/query/logical_plan.cc.o" "gcc" "src/CMakeFiles/drugtree_query.dir/query/logical_plan.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/drugtree_query.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/drugtree_query.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/physical.cc" "src/CMakeFiles/drugtree_query.dir/query/physical.cc.o" "gcc" "src/CMakeFiles/drugtree_query.dir/query/physical.cc.o.d"
+  "/root/repo/src/query/planner.cc" "src/CMakeFiles/drugtree_query.dir/query/planner.cc.o" "gcc" "src/CMakeFiles/drugtree_query.dir/query/planner.cc.o.d"
+  "/root/repo/src/query/result_cache.cc" "src/CMakeFiles/drugtree_query.dir/query/result_cache.cc.o" "gcc" "src/CMakeFiles/drugtree_query.dir/query/result_cache.cc.o.d"
+  "/root/repo/src/query/rules.cc" "src/CMakeFiles/drugtree_query.dir/query/rules.cc.o" "gcc" "src/CMakeFiles/drugtree_query.dir/query/rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drugtree_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drugtree_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drugtree_phylo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drugtree_bio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

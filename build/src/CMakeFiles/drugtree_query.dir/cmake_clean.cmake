@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drugtree_query.dir/query/catalog.cc.o"
+  "CMakeFiles/drugtree_query.dir/query/catalog.cc.o.d"
+  "CMakeFiles/drugtree_query.dir/query/cost_model.cc.o"
+  "CMakeFiles/drugtree_query.dir/query/cost_model.cc.o.d"
+  "CMakeFiles/drugtree_query.dir/query/executor.cc.o"
+  "CMakeFiles/drugtree_query.dir/query/executor.cc.o.d"
+  "CMakeFiles/drugtree_query.dir/query/expr.cc.o"
+  "CMakeFiles/drugtree_query.dir/query/expr.cc.o.d"
+  "CMakeFiles/drugtree_query.dir/query/join_order.cc.o"
+  "CMakeFiles/drugtree_query.dir/query/join_order.cc.o.d"
+  "CMakeFiles/drugtree_query.dir/query/lexer.cc.o"
+  "CMakeFiles/drugtree_query.dir/query/lexer.cc.o.d"
+  "CMakeFiles/drugtree_query.dir/query/logical_plan.cc.o"
+  "CMakeFiles/drugtree_query.dir/query/logical_plan.cc.o.d"
+  "CMakeFiles/drugtree_query.dir/query/parser.cc.o"
+  "CMakeFiles/drugtree_query.dir/query/parser.cc.o.d"
+  "CMakeFiles/drugtree_query.dir/query/physical.cc.o"
+  "CMakeFiles/drugtree_query.dir/query/physical.cc.o.d"
+  "CMakeFiles/drugtree_query.dir/query/planner.cc.o"
+  "CMakeFiles/drugtree_query.dir/query/planner.cc.o.d"
+  "CMakeFiles/drugtree_query.dir/query/result_cache.cc.o"
+  "CMakeFiles/drugtree_query.dir/query/result_cache.cc.o.d"
+  "CMakeFiles/drugtree_query.dir/query/rules.cc.o"
+  "CMakeFiles/drugtree_query.dir/query/rules.cc.o.d"
+  "libdrugtree_query.a"
+  "libdrugtree_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drugtree_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bloom.cc" "src/CMakeFiles/drugtree_storage.dir/storage/bloom.cc.o" "gcc" "src/CMakeFiles/drugtree_storage.dir/storage/bloom.cc.o.d"
+  "/root/repo/src/storage/bptree.cc" "src/CMakeFiles/drugtree_storage.dir/storage/bptree.cc.o" "gcc" "src/CMakeFiles/drugtree_storage.dir/storage/bptree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/drugtree_storage.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/drugtree_storage.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/hash_index.cc" "src/CMakeFiles/drugtree_storage.dir/storage/hash_index.cc.o" "gcc" "src/CMakeFiles/drugtree_storage.dir/storage/hash_index.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/drugtree_storage.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/drugtree_storage.dir/storage/heap_file.cc.o.d"
+  "/root/repo/src/storage/lru_cache.cc" "src/CMakeFiles/drugtree_storage.dir/storage/lru_cache.cc.o" "gcc" "src/CMakeFiles/drugtree_storage.dir/storage/lru_cache.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/CMakeFiles/drugtree_storage.dir/storage/page.cc.o" "gcc" "src/CMakeFiles/drugtree_storage.dir/storage/page.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/drugtree_storage.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/drugtree_storage.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/statistics.cc" "src/CMakeFiles/drugtree_storage.dir/storage/statistics.cc.o" "gcc" "src/CMakeFiles/drugtree_storage.dir/storage/statistics.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/drugtree_storage.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/drugtree_storage.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/CMakeFiles/drugtree_storage.dir/storage/value.cc.o" "gcc" "src/CMakeFiles/drugtree_storage.dir/storage/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drugtree_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

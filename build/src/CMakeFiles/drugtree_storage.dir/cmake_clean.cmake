@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drugtree_storage.dir/storage/bloom.cc.o"
+  "CMakeFiles/drugtree_storage.dir/storage/bloom.cc.o.d"
+  "CMakeFiles/drugtree_storage.dir/storage/bptree.cc.o"
+  "CMakeFiles/drugtree_storage.dir/storage/bptree.cc.o.d"
+  "CMakeFiles/drugtree_storage.dir/storage/buffer_pool.cc.o"
+  "CMakeFiles/drugtree_storage.dir/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/drugtree_storage.dir/storage/hash_index.cc.o"
+  "CMakeFiles/drugtree_storage.dir/storage/hash_index.cc.o.d"
+  "CMakeFiles/drugtree_storage.dir/storage/heap_file.cc.o"
+  "CMakeFiles/drugtree_storage.dir/storage/heap_file.cc.o.d"
+  "CMakeFiles/drugtree_storage.dir/storage/lru_cache.cc.o"
+  "CMakeFiles/drugtree_storage.dir/storage/lru_cache.cc.o.d"
+  "CMakeFiles/drugtree_storage.dir/storage/page.cc.o"
+  "CMakeFiles/drugtree_storage.dir/storage/page.cc.o.d"
+  "CMakeFiles/drugtree_storage.dir/storage/schema.cc.o"
+  "CMakeFiles/drugtree_storage.dir/storage/schema.cc.o.d"
+  "CMakeFiles/drugtree_storage.dir/storage/statistics.cc.o"
+  "CMakeFiles/drugtree_storage.dir/storage/statistics.cc.o.d"
+  "CMakeFiles/drugtree_storage.dir/storage/table.cc.o"
+  "CMakeFiles/drugtree_storage.dir/storage/table.cc.o.d"
+  "CMakeFiles/drugtree_storage.dir/storage/value.cc.o"
+  "CMakeFiles/drugtree_storage.dir/storage/value.cc.o.d"
+  "libdrugtree_storage.a"
+  "libdrugtree_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drugtree_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

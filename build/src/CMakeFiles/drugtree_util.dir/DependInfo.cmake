@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/arena.cc" "src/CMakeFiles/drugtree_util.dir/util/arena.cc.o" "gcc" "src/CMakeFiles/drugtree_util.dir/util/arena.cc.o.d"
+  "/root/repo/src/util/clock.cc" "src/CMakeFiles/drugtree_util.dir/util/clock.cc.o" "gcc" "src/CMakeFiles/drugtree_util.dir/util/clock.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/drugtree_util.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/drugtree_util.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/drugtree_util.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/drugtree_util.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/drugtree_util.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/drugtree_util.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/drugtree_util.dir/util/status.cc.o" "gcc" "src/CMakeFiles/drugtree_util.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/drugtree_util.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/drugtree_util.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/drugtree_util.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/drugtree_util.dir/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

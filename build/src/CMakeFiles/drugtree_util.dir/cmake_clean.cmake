@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drugtree_util.dir/util/arena.cc.o"
+  "CMakeFiles/drugtree_util.dir/util/arena.cc.o.d"
+  "CMakeFiles/drugtree_util.dir/util/clock.cc.o"
+  "CMakeFiles/drugtree_util.dir/util/clock.cc.o.d"
+  "CMakeFiles/drugtree_util.dir/util/histogram.cc.o"
+  "CMakeFiles/drugtree_util.dir/util/histogram.cc.o.d"
+  "CMakeFiles/drugtree_util.dir/util/logging.cc.o"
+  "CMakeFiles/drugtree_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/drugtree_util.dir/util/rng.cc.o"
+  "CMakeFiles/drugtree_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/drugtree_util.dir/util/status.cc.o"
+  "CMakeFiles/drugtree_util.dir/util/status.cc.o.d"
+  "CMakeFiles/drugtree_util.dir/util/string_util.cc.o"
+  "CMakeFiles/drugtree_util.dir/util/string_util.cc.o.d"
+  "CMakeFiles/drugtree_util.dir/util/thread_pool.cc.o"
+  "CMakeFiles/drugtree_util.dir/util/thread_pool.cc.o.d"
+  "libdrugtree_util.a"
+  "libdrugtree_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drugtree_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

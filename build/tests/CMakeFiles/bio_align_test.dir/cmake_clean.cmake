@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bio_align_test.dir/bio_align_test.cc.o"
+  "CMakeFiles/bio_align_test.dir/bio_align_test.cc.o.d"
+  "bio_align_test"
+  "bio_align_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bio_align_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

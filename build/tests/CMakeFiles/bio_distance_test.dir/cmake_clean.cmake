@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bio_distance_test.dir/bio_distance_test.cc.o"
+  "CMakeFiles/bio_distance_test.dir/bio_distance_test.cc.o.d"
+  "bio_distance_test"
+  "bio_distance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bio_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bio_sequence_test.dir/bio_sequence_test.cc.o"
+  "CMakeFiles/bio_sequence_test.dir/bio_sequence_test.cc.o.d"
+  "bio_sequence_test"
+  "bio_sequence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bio_sequence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

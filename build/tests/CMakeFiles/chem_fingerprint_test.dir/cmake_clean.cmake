@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chem_fingerprint_test.dir/chem_fingerprint_test.cc.o"
+  "CMakeFiles/chem_fingerprint_test.dir/chem_fingerprint_test.cc.o.d"
+  "chem_fingerprint_test"
+  "chem_fingerprint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chem_fingerprint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chem_molecule_test.dir/chem_molecule_test.cc.o"
+  "CMakeFiles/chem_molecule_test.dir/chem_molecule_test.cc.o.d"
+  "chem_molecule_test"
+  "chem_molecule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chem_molecule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chem_properties_test.dir/chem_properties_test.cc.o"
+  "CMakeFiles/chem_properties_test.dir/chem_properties_test.cc.o.d"
+  "chem_properties_test"
+  "chem_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chem_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

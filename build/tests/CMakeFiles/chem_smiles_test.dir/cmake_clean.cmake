@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chem_smiles_test.dir/chem_smiles_test.cc.o"
+  "CMakeFiles/chem_smiles_test.dir/chem_smiles_test.cc.o.d"
+  "chem_smiles_test"
+  "chem_smiles_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chem_smiles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

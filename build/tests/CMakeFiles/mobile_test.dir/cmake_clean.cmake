@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_test.dir/mobile_test.cc.o"
+  "CMakeFiles/mobile_test.dir/mobile_test.cc.o.d"
+  "mobile_test"
+  "mobile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

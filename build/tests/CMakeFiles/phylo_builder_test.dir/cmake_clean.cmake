@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phylo_builder_test.dir/phylo_builder_test.cc.o"
+  "CMakeFiles/phylo_builder_test.dir/phylo_builder_test.cc.o.d"
+  "phylo_builder_test"
+  "phylo_builder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phylo_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

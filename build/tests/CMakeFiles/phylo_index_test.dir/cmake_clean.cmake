@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phylo_index_test.dir/phylo_index_test.cc.o"
+  "CMakeFiles/phylo_index_test.dir/phylo_index_test.cc.o.d"
+  "phylo_index_test"
+  "phylo_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phylo_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phylo_metrics_layout_test.dir/phylo_metrics_layout_test.cc.o"
+  "CMakeFiles/phylo_metrics_layout_test.dir/phylo_metrics_layout_test.cc.o.d"
+  "phylo_metrics_layout_test"
+  "phylo_metrics_layout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phylo_metrics_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

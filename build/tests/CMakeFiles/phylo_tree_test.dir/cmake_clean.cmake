@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phylo_tree_test.dir/phylo_tree_test.cc.o"
+  "CMakeFiles/phylo_tree_test.dir/phylo_tree_test.cc.o.d"
+  "phylo_tree_test"
+  "phylo_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phylo_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_aggregate_model_test.dir/query_aggregate_model_test.cc.o"
+  "CMakeFiles/query_aggregate_model_test.dir/query_aggregate_model_test.cc.o.d"
+  "query_aggregate_model_test"
+  "query_aggregate_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_aggregate_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

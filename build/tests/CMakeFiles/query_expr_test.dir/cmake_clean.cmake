@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_expr_test.dir/query_expr_test.cc.o"
+  "CMakeFiles/query_expr_test.dir/query_expr_test.cc.o.d"
+  "query_expr_test"
+  "query_expr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_lexer_parser_test.dir/query_lexer_parser_test.cc.o"
+  "CMakeFiles/query_lexer_parser_test.dir/query_lexer_parser_test.cc.o.d"
+  "query_lexer_parser_test"
+  "query_lexer_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_lexer_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_plan_test.dir/query_plan_test.cc.o"
+  "CMakeFiles/query_plan_test.dir/query_plan_test.cc.o.d"
+  "query_plan_test"
+  "query_plan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

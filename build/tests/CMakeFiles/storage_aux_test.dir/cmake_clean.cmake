@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_aux_test.dir/storage_aux_test.cc.o"
+  "CMakeFiles/storage_aux_test.dir/storage_aux_test.cc.o.d"
+  "storage_aux_test"
+  "storage_aux_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_aux_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

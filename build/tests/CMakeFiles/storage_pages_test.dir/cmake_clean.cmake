@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_pages_test.dir/storage_pages_test.cc.o"
+  "CMakeFiles/storage_pages_test.dir/storage_pages_test.cc.o.d"
+  "storage_pages_test"
+  "storage_pages_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_pages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

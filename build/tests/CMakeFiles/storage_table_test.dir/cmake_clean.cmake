@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_table_test.dir/storage_table_test.cc.o"
+  "CMakeFiles/storage_table_test.dir/storage_table_test.cc.o.d"
+  "storage_table_test"
+  "storage_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage_value_test.cc" "tests/CMakeFiles/storage_value_test.dir/storage_value_test.cc.o" "gcc" "tests/CMakeFiles/storage_value_test.dir/storage_value_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drugtree_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drugtree_mobile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drugtree_integration.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drugtree_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drugtree_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drugtree_phylo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drugtree_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drugtree_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drugtree_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_value_test.dir/storage_value_test.cc.o"
+  "CMakeFiles/storage_value_test.dir/storage_value_test.cc.o.d"
+  "storage_value_test"
+  "storage_value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
