@@ -102,7 +102,8 @@ void DrillDownSession(World& w, bool use_cache, bool prefetch,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto metrics_flag = drugtree::bench::ParseMetricsFlag(&argc, argv);
   bench::Banner("E3 (Fig 2)",
                 "federated integration latency vs source RTT\n"
                 "(96 proteins, 300 ligands; simulated network)");
@@ -175,5 +176,6 @@ int main() {
   std::printf("\nshape check: caching flattens repeat cost; prefetching\n"
               "collapses clade drill-downs to ~1 batched request per clade;\n"
               "retries absorb link failures at timeout-proportional cost.\n");
+  drugtree::bench::DumpMetrics(metrics_flag);
   return 0;
 }

@@ -28,7 +28,8 @@ std::unique_ptr<core::DrugTree> MakeInstance(util::SimulatedClock* clock) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto metrics_flag = drugtree::bench::ParseMetricsFlag(&argc, argv);
   bench::Banner("E4 (Fig 3)",
                 "mobile interaction latency vs link bandwidth:\n"
                 "full-tree shipping vs progressive LOD + delta encoding");
@@ -113,5 +114,6 @@ int main() {
   }
   std::printf("\nshape check: full shipping degrades as bandwidth shrinks;\n"
               "LOD keeps mean latency near the RTT floor at every link.\n");
+  drugtree::bench::DumpMetrics(metrics_flag);
   return 0;
 }

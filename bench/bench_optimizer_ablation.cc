@@ -119,7 +119,9 @@ int main(int argc, char** argv) {
       "E2 (Table 1)",
       "optimizer ablation on the 3-way overlay screening join\n"
       "(144 proteins x ~1200 activities x 500 ligands)");
+  auto metrics_flag = drugtree::bench::ParseMetricsFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  drugtree::bench::DumpMetrics(metrics_flag);
   return 0;
 }

@@ -15,7 +15,8 @@ using namespace drugtree;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto metrics_flag = drugtree::bench::ParseMetricsFlag(&argc, argv);
   bench::Banner("E7 (Fig 5)",
                 "semantic result cache over an interactive session\n"
                 "(Zipf-skewed workload; hit rate + speedup + invalidation)");
@@ -92,5 +93,6 @@ int main() {
               100.0 * hits / double(workload.size()));
   std::printf("\nshape check: hit rate climbs as hot clades repeat; epoch\n"
               "invalidation trades hits for freshness under churn.\n");
+  drugtree::bench::DumpMetrics(metrics_flag);
   return 0;
 }

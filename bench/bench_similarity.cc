@@ -103,7 +103,9 @@ int main(int argc, char** argv) {
       "E6 (Fig 4)",
       "ligand Tanimoto search: linear scan vs popcount-binned index\n"
       "(args: {library size, threshold*100})");
+  auto metrics_flag = drugtree::bench::ParseMetricsFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  drugtree::bench::DumpMetrics(metrics_flag);
   return 0;
 }

@@ -159,8 +159,10 @@ int main(int argc, char** argv) {
   drugtree::bench::Banner(
       "E8 (Table 3)",
       "storage microbenchmarks: B+-tree vs hash, bloom, buffer pool");
+  auto metrics_flag = drugtree::bench::ParseMetricsFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   std::remove("/tmp/drugtree_bench_storage.db");
+  drugtree::bench::DumpMetrics(metrics_flag);
   return 0;
 }

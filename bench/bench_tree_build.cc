@@ -102,8 +102,10 @@ int main(int argc, char** argv) {
   drugtree::bench::Banner("E5 (Table 2)",
                           "tree construction: UPGMA vs neighbor-joining\n"
                           "(build cost + reconstruction accuracy)");
+  auto metrics_flag = drugtree::bench::ParseMetricsFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   AccuracyTable();
+  drugtree::bench::DumpMetrics(metrics_flag);
   return 0;
 }

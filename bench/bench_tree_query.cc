@@ -124,7 +124,9 @@ int main(int argc, char** argv) {
   drugtree::bench::Banner(
       "E1 (Fig 1)", "subtree/ancestor query latency vs tree size:\n"
       "naive per-row tree walk vs interval rewrite + B+-tree range scan");
+  auto metrics_flag = drugtree::bench::ParseMetricsFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  drugtree::bench::DumpMetrics(metrics_flag);
   return 0;
 }

@@ -6,10 +6,12 @@
 #define DRUGTREE_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 
 #include "core/overlay.h"
+#include "obs/metrics.h"
 #include "phylo/tree.h"
 #include "phylo/tree_index.h"
 #include "query/catalog.h"
@@ -80,6 +82,51 @@ inline void Banner(const char* id, const char* title) {
   std::printf("\n================================================================\n");
   std::printf("%s — %s\n", id, title);
   std::printf("================================================================\n");
+}
+
+/// `--metrics-json[=path]` support for bench binaries.
+struct MetricsDumpOptions {
+  bool enabled = false;
+  std::string path;  // empty = stdout
+};
+
+/// Strips `--metrics-json` / `--metrics-json=path` out of argv. Call before
+/// benchmark::Initialize (google-benchmark rejects flags it does not know).
+inline MetricsDumpOptions ParseMetricsFlag(int* argc, char** argv) {
+  MetricsDumpOptions options;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      options.enabled = true;
+    } else if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) {
+      options.enabled = true;
+      options.path = argv[i] + 15;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  argv[out] = nullptr;
+  return options;
+}
+
+/// Dumps the process metric registry as JSON to the flag's destination.
+/// No-op when the flag was absent.
+inline void DumpMetrics(const MetricsDumpOptions& options) {
+  if (!options.enabled) return;
+  std::string json = obs::MetricRegistry::Default()->Snapshot().ToJson();
+  if (options.path.empty()) {
+    std::printf("%s\n", json.c_str());
+    return;
+  }
+  std::FILE* f = std::fopen(options.path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for metrics dump\n",
+                 options.path.c_str());
+    return;
+  }
+  std::fprintf(f, "%s\n", json.c_str());
+  std::fclose(f);
 }
 
 }  // namespace bench

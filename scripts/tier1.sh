@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then an ASan+UBSan smoke run
+# of the observability tests (the newest subsystem, and the one with the most
+# concurrency) in a separate sanitized build tree.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+cmake -B build-asan -S . -DDRUGTREE_SANITIZE=address
+cmake --build build-asan -j "$(nproc)" --target obs_test
+./build-asan/tests/obs_test
+
+echo "tier-1 OK"

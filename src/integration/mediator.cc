@@ -4,6 +4,8 @@
 #include <map>
 #include <tuple>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -86,6 +88,12 @@ Row ActivityToRow(const ActivityRecord& a) {
   return {Value::String(a.accession), Value::String(a.ligand_id),
           Value::Double(a.affinity_nm), Value::String(a.assay_type),
           Value::String(a.source_db)};
+}
+
+/// Per-source fetch counters (records pulled from each wrapped database).
+obs::Counter* FetchCounter(const char* source) {
+  return obs::MetricRegistry::Default()->GetCounter(
+      std::string("integration.fetch.") + source);
 }
 
 }  // namespace
@@ -208,6 +216,10 @@ util::Result<std::vector<ProteinRecord>> Mediator::GetFamily(
 
 util::Result<IntegratedDataset> Mediator::IntegrateAll(
     const MediatorOptions& options) {
+  DT_SPAN("integrate.all");
+  static obs::Counter* protein_fetches = FetchCounter("proteins");
+  static obs::Counter* ligand_fetches = FetchCounter("ligands");
+  static obs::Counter* activity_fetches = FetchCounter("activities");
   IntegratedDataset ds;
   ds.proteins = std::make_unique<Table>("proteins", ProteinTableSchema());
   ds.ligands = std::make_unique<Table>("ligands", LigandTableSchema());
@@ -215,14 +227,18 @@ util::Result<IntegratedDataset> Mediator::IntegrateAll(
 
   // Proteins.
   std::vector<ProteinRecord> proteins;
-  if (options.batch_requests) {
-    proteins = protein_source_->FetchAll();
-  } else {
-    for (const auto& acc : protein_source_->ListAccessions()) {
-      DRUGTREE_ASSIGN_OR_RETURN(ProteinRecord rec, GetProtein(acc, options));
-      proteins.push_back(std::move(rec));
+  {
+    DT_SPAN("integrate.fetch_proteins");
+    if (options.batch_requests) {
+      proteins = protein_source_->FetchAll();
+    } else {
+      for (const auto& acc : protein_source_->ListAccessions()) {
+        DRUGTREE_ASSIGN_OR_RETURN(ProteinRecord rec, GetProtein(acc, options));
+        proteins.push_back(std::move(rec));
+      }
     }
   }
+  protein_fetches->Add(static_cast<int64_t>(proteins.size()));
   for (const auto& p : proteins) {
     DRUGTREE_RETURN_IF_ERROR(ds.proteins->Insert(ProteinToRow(p)).status());
     if (CacheEnabled(options)) {
@@ -232,14 +248,18 @@ util::Result<IntegratedDataset> Mediator::IntegrateAll(
 
   // Ligands.
   std::vector<LigandEntry> ligands;
-  if (options.batch_requests) {
-    ligands = ligand_source_->FetchAll();
-  } else {
-    for (const auto& id : ligand_source_->ListIds()) {
-      DRUGTREE_ASSIGN_OR_RETURN(LigandEntry e, ligand_source_->FetchById(id));
-      ligands.push_back(std::move(e));
+  {
+    DT_SPAN("integrate.fetch_ligands");
+    if (options.batch_requests) {
+      ligands = ligand_source_->FetchAll();
+    } else {
+      for (const auto& id : ligand_source_->ListIds()) {
+        DRUGTREE_ASSIGN_OR_RETURN(LigandEntry e, ligand_source_->FetchById(id));
+        ligands.push_back(std::move(e));
+      }
     }
   }
+  ligand_fetches->Add(static_cast<int64_t>(ligands.size()));
   for (const auto& e : ligands) {
     DRUGTREE_RETURN_IF_ERROR(ds.ligands->Insert(LigandToRow(e)).status());
   }
@@ -248,15 +268,20 @@ util::Result<IntegratedDataset> Mediator::IntegrateAll(
   // (accession, ligand, assay_type) but come from different databases are
   // merged: geometric-mean affinity, provenance "merged".
   std::vector<ActivityRecord> activities;
-  if (options.batch_requests) {
-    activities = activity_source_->FetchAll();
-  } else {
-    for (const auto& p : proteins) {
-      DRUGTREE_ASSIGN_OR_RETURN(std::vector<ActivityRecord> a,
-                                GetActivities(p.accession, options));
-      activities.insert(activities.end(), a.begin(), a.end());
+  {
+    DT_SPAN("integrate.fetch_activities");
+    if (options.batch_requests) {
+      activities = activity_source_->FetchAll();
+    } else {
+      for (const auto& p : proteins) {
+        DRUGTREE_ASSIGN_OR_RETURN(std::vector<ActivityRecord> a,
+                                  GetActivities(p.accession, options));
+        activities.insert(activities.end(), a.begin(), a.end());
+      }
     }
   }
+  activity_fetches->Add(static_cast<int64_t>(activities.size()));
+  DT_SPAN("integrate.resolve");
   std::map<std::tuple<std::string, std::string, std::string>,
            std::vector<const ActivityRecord*>>
       groups;
@@ -275,6 +300,10 @@ util::Result<IntegratedDataset> Mediator::IntegrateAll(
         ds.activities->Insert(ActivityToRow(merged)).status());
   }
 
+  DT_LOG(INFO) << "integrated " << proteins.size() << " proteins, "
+               << ligands.size() << " ligands, " << activities.size()
+               << " activity measurements (" << groups.size()
+               << " after conflict resolution)";
   return ds;
 }
 

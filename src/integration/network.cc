@@ -2,8 +2,21 @@
 
 #include <algorithm>
 
+#include "util/logging.h"
+
 namespace drugtree {
 namespace integration {
+
+const SimulatedNetwork::Metrics& SimulatedNetwork::SharedMetrics() {
+  static const Metrics metrics = [] {
+    auto* registry = obs::MetricRegistry::Default();
+    return Metrics{registry->GetCounter("network.requests"),
+                   registry->GetCounter("network.bytes"),
+                   registry->GetCounter("network.failures"),
+                   registry->GetCounter("network.busy_micros")};
+  }();
+  return metrics;
+}
 
 int64_t SimulatedNetwork::EstimateMicros(uint64_t payload_bytes) const {
   int64_t transfer =
@@ -17,13 +30,19 @@ int64_t SimulatedNetwork::EstimateMicros(uint64_t payload_bytes) const {
 
 bool SimulatedNetwork::TryRequest(uint64_t payload_bytes,
                                   int64_t* charged_micros) {
+  const Metrics& metrics = SharedMetrics();
   ++num_requests_;
+  metrics.requests->Increment();
   if (params_.failure_probability > 0 &&
       rng_.Bernoulli(params_.failure_probability)) {
     ++num_failures_;
+    metrics.failures->Increment();
     clock_->AdvanceMicros(params_.timeout_micros);
     busy_micros_ += params_.timeout_micros;
+    metrics.busy_micros->Add(params_.timeout_micros);
     if (charged_micros != nullptr) *charged_micros = params_.timeout_micros;
+    DT_LOG(DEBUG) << "request timed out (" << payload_bytes << " bytes, "
+                  << params_.timeout_micros << "us charged)";
     return false;
   }
   int64_t base = EstimateMicros(payload_bytes);
@@ -37,6 +56,8 @@ bool SimulatedNetwork::TryRequest(uint64_t payload_bytes,
   clock_->AdvanceMicros(total);
   bytes_ += payload_bytes;
   busy_micros_ += total;
+  metrics.bytes->Add(static_cast<int64_t>(payload_bytes));
+  metrics.busy_micros->Add(total);
   if (charged_micros != nullptr) *charged_micros = total;
   return true;
 }

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "obs/metrics.h"
 #include "util/clock.h"
 #include "util/rng.h"
 
@@ -31,6 +32,15 @@ class SimulatedNetwork {
  public:
   SimulatedNetwork(util::Clock* clock, NetworkParams params, uint64_t seed = 7)
       : clock_(clock), params_(params), rng_(seed) {}
+
+  /// Registry counters mirrored by every instance (pointers cached once;
+  /// bumping is two relaxed atomic adds per request).
+  struct Metrics {
+    obs::Counter* requests;
+    obs::Counter* bytes;
+    obs::Counter* failures;
+    obs::Counter* busy_micros;
+  };
 
   /// Performs one request carrying `payload_bytes` of response data:
   /// advances the clock by latency (+jitter) + transfer time. Returns the
@@ -58,6 +68,8 @@ class SimulatedNetwork {
   util::Clock* clock() { return clock_; }
 
  private:
+  static const Metrics& SharedMetrics();
+
   util::Clock* clock_;
   NetworkParams params_;
   util::Rng rng_;

@@ -1,23 +1,55 @@
 #include "integration/prefetcher.h"
 
+#include "obs/metrics.h"
+
 namespace drugtree {
 namespace integration {
 
+namespace {
+
+/// Registry mirrors of PrefetchStats, shared across prefetcher instances.
+struct PrefetchMetrics {
+  obs::Counter* prefetched;
+  obs::Counter* useful;
+  obs::Counter* demand;
+  obs::Counter* hits;
+};
+
+const PrefetchMetrics& Metrics() {
+  static const PrefetchMetrics metrics = [] {
+    auto* registry = obs::MetricRegistry::Default();
+    return PrefetchMetrics{
+        registry->GetCounter("integration.prefetch.records"),
+        registry->GetCounter("integration.prefetch.useful"),
+        registry->GetCounter("integration.prefetch.demand_fetches"),
+        registry->GetCounter("integration.prefetch.cache_hits")};
+  }();
+  return metrics;
+}
+
+}  // namespace
+
 void TreeAwarePrefetcher::MarkPrefetched(const std::string& cache_key) {
-  if (speculative_.insert(cache_key).second) ++stats_.prefetched_records;
+  if (speculative_.insert(cache_key).second) {
+    ++stats_.prefetched_records;
+    Metrics().prefetched->Increment();
+  }
 }
 
 void TreeAwarePrefetcher::AccountRequest(const std::string& cache_key,
                                          bool was_hit) {
   if (was_hit) {
     ++stats_.cache_hits;
+    Metrics().hits->Increment();
     auto it = speculative_.find(cache_key);
     if (it != speculative_.end()) {
       ++stats_.useful_prefetches;
+      Metrics().useful->Increment();
       speculative_.erase(it);  // count usefulness once
     }
   } else {
     ++stats_.demand_fetches;
+    Metrics().demand->Increment();
   }
 }
 

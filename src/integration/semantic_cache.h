@@ -23,7 +23,9 @@ class SemanticCache {
  public:
   /// `capacity_bytes` bounds the sum of cached payload sizes.
   explicit SemanticCache(uint64_t capacity_bytes)
-      : cache_(capacity_bytes) {}
+      : cache_(capacity_bytes) {
+    cache_.EnableMetrics("integration.semantic_cache");
+  }
 
   /// Canonical key builders.
   static std::string ProteinKey(const std::string& accession) {

@@ -16,7 +16,9 @@ namespace mobile {
 class ClientCache {
  public:
   explicit ClientCache(uint64_t capacity_bytes)
-      : cache_(capacity_bytes) {}
+      : cache_(capacity_bytes) {
+    cache_.EnableMetrics("mobile.client_cache");
+  }
 
   /// Installs shipped nodes (called after a frame arrives).
   void Install(const std::vector<LodNode>& nodes);

@@ -1,5 +1,7 @@
 #include "mobile/session.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace drugtree {
@@ -41,6 +43,13 @@ MobileSession::MobileSession(const phylo::Tree* tree,
       viewport_(Viewport::FullExtent(*layout)) {}
 
 util::Result<int64_t> MobileSession::Interact(const Action& action) {
+  DT_SPAN("mobile.interact");
+  static obs::Counter* bytes_shipped =
+      obs::MetricRegistry::Default()->GetCounter("mobile.session.bytes");
+  static obs::Counter* nodes_shipped =
+      obs::MetricRegistry::Default()->GetCounter("mobile.session.nodes");
+  static obs::Counter* frames_shipped =
+      obs::MetricRegistry::Default()->GetCounter("mobile.session.frames");
   util::Timer timer(clock_);
 
   // 1. Viewport update (client-side, instantaneous in the model).
@@ -71,6 +80,7 @@ util::Result<int64_t> MobileSession::Interact(const Action& action) {
 
   // 2. Server work + response shipping.
   if (action.kind == ActionKind::kOverlayQuery) {
+    DT_SPAN("mobile.overlay_query");
     uint64_t payload = 256;
     if (overlay_query_) {
       // Charge real server compute time into the session clock.
@@ -80,17 +90,22 @@ util::Result<int64_t> MobileSession::Interact(const Action& action) {
     }
     network_.Request(payload);
     report_.bytes_shipped += payload;
+    bytes_shipped->Add(static_cast<int64_t>(payload));
   } else {
     std::vector<LodNode> cut;
-    if (options_.progressive_lod) {
-      LodParams lod = options_.lod;
-      lod.screen_height_px = device_.screen_height_px;
-      DRUGTREE_ASSIGN_OR_RETURN(
-          cut, ComputeLodCut(*tree_, *index_, *layout_, viewport_,
-                             annotation_, lod));
-    } else {
-      cut = FullTreeCut(*tree_, *index_, *layout_, annotation_);
+    {
+      DT_SPAN("mobile.lod_cut");
+      if (options_.progressive_lod) {
+        LodParams lod = options_.lod;
+        lod.screen_height_px = device_.screen_height_px;
+        DRUGTREE_ASSIGN_OR_RETURN(
+            cut, ComputeLodCut(*tree_, *index_, *layout_, viewport_,
+                               annotation_, lod));
+      } else {
+        cut = FullTreeCut(*tree_, *index_, *layout_, annotation_);
+      }
     }
+    DT_SPAN("mobile.frame_encode");
     Frame frame = BuildFrame(
         cut, client_cache_.CollapsedIds(), client_cache_.ExpandedIds(),
         options_.delta_encoding);
@@ -103,6 +118,9 @@ util::Result<int64_t> MobileSession::Interact(const Action& action) {
     report_.nodes_shipped += frame.nodes.size();
     report_.nodes_delta_skipped += frame.delta_skipped;
     ++report_.frames;
+    bytes_shipped->Add(static_cast<int64_t>(frame.bytes));
+    nodes_shipped->Add(static_cast<int64_t>(frame.nodes.size()));
+    frames_shipped->Increment();
   }
   return timer.ElapsedMicros();
 }

@@ -1,0 +1,220 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace obs {
+
+namespace {
+
+/// JSON string escaping for names/labels (control chars, quotes, backslash).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::StringPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+std::string RenderFullName(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string out = name + "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=" + v;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+size_t Counter::ShardIndex() {
+  // Hash the thread id once per thread; same thread always hits the same
+  // shard, different threads spread across the array.
+  static thread_local const size_t index =
+      std::hash<std::thread::id>()(std::this_thread::get_id()) % kShards;
+  return index;
+}
+
+std::string MetricSnapshot::FullName() const {
+  return RenderFullName(name, labels);
+}
+
+const MetricSnapshot* RegistrySnapshot::Find(
+    const std::string& full_name) const {
+  for (const auto& m : metrics) {
+    if (m.FullName() == full_name) return &m;
+  }
+  return nullptr;
+}
+
+int64_t RegistrySnapshot::Value(const std::string& full_name) const {
+  const MetricSnapshot* m = Find(full_name);
+  return m != nullptr ? m->value : 0;
+}
+
+std::string RegistrySnapshot::ToText() const {
+  size_t width = 0;
+  for (const auto& m : metrics) width = std::max(width, m.FullName().size());
+  std::string out;
+  for (const auto& m : metrics) {
+    std::string name = m.FullName();
+    out += name + std::string(width - name.size() + 2, ' ');
+    if (m.kind == MetricKind::kHistogram) {
+      out += m.hist.ToString();
+    } else {
+      out += util::StringPrintf("%lld", static_cast<long long>(m.value));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string RegistrySnapshot::ToJson() const {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const auto& m : metrics) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    out += JsonEscape(m.name);
+    out += "\"";
+    if (!m.labels.empty()) {
+      out += ",\"labels\":{";
+      bool lf = true;
+      for (const auto& [k, v] : m.labels) {
+        if (!lf) out += ",";
+        lf = false;
+        out += "\"" + JsonEscape(k) + "\":\"" + JsonEscape(v) + "\"";
+      }
+      out += "}";
+    }
+    out += util::StringPrintf(",\"kind\":\"%s\"", KindName(m.kind));
+    if (m.kind == MetricKind::kHistogram) {
+      out += ",\"histogram\":" + m.hist.ToJson();
+    } else {
+      out += util::StringPrintf(",\"value\":%lld",
+                                static_cast<long long>(m.value));
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+MetricRegistry* MetricRegistry::Default() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return registry;
+}
+
+MetricRegistry::Entry* MetricRegistry::GetOrCreate(const std::string& name,
+                                                   const Labels& labels,
+                                                   MetricKind kind) {
+  const std::string key = RenderFullName(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    DT_CHECK(it->second.kind == kind)
+        << "metric '" << key << "' registered as " << KindName(it->second.kind)
+        << ", requested as " << KindName(kind);
+    return &it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.name = name;
+  entry.labels = labels;
+  switch (kind) {
+    case MetricKind::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      entry.histogram = std::make_unique<HistogramMetric>();
+      break;
+  }
+  return &entries_.emplace(key, std::move(entry)).first->second;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name,
+                                    const Labels& labels) {
+  return GetOrCreate(name, labels, MetricKind::kCounter)->counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name, const Labels& labels) {
+  return GetOrCreate(name, labels, MetricKind::kGauge)->gauge.get();
+}
+
+HistogramMetric* MetricRegistry::GetHistogram(const std::string& name,
+                                              const Labels& labels) {
+  return GetOrCreate(name, labels, MetricKind::kHistogram)->histogram.get();
+}
+
+RegistrySnapshot MetricRegistry::Snapshot() const {
+  RegistrySnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.metrics.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    MetricSnapshot m;
+    m.name = entry.name;
+    m.labels = entry.labels;
+    m.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        m.value = entry.counter->Value();
+        break;
+      case MetricKind::kGauge:
+        m.value = entry.gauge->Value();
+        break;
+      case MetricKind::kHistogram:
+        m.hist = entry.histogram->Snapshot();
+        break;
+    }
+    snap.metrics.push_back(std::move(m));
+  }
+  return snap;  // map iteration order == sorted by FullName
+}
+
+void MetricRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, entry] : entries_) {
+    switch (entry.kind) {
+      case MetricKind::kCounter: entry.counter->Reset(); break;
+      case MetricKind::kGauge: entry.gauge->Reset(); break;
+      case MetricKind::kHistogram: entry.histogram->Reset(); break;
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace drugtree

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace drugtree {
@@ -54,6 +55,7 @@ std::string QueryResult::ToString(size_t max_rows) const {
 }
 
 util::Result<QueryResult> ExecutePlan(PhysicalOperator* root) {
+  DT_SPAN("query.execute");
   DRUGTREE_RETURN_IF_ERROR(root->Open());
   QueryResult result;
   for (const auto& c : root->schema().columns()) {

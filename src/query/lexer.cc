@@ -13,7 +13,7 @@ bool IsKeyword(const std::string& upper_word) {
       "SELECT", "FROM",  "WHERE", "AND",   "OR",    "NOT",     "JOIN",
       "ON",     "GROUP", "BY",    "ORDER", "ASC",   "DESC",    "LIMIT",
       "AS",     "TRUE",  "FALSE", "NULL",  "INNER", "IS",      "DISTINCT",
-      "BETWEEN",
+      "BETWEEN", "EXPLAIN", "ANALYZE",
   };
   return kKeywords.count(upper_word) > 0;
 }

@@ -397,5 +397,28 @@ util::Result<SelectStatement> ParseQuery(const std::string& text) {
   return Parser(std::move(tokens)).Parse();
 }
 
+util::Result<Statement> ParseStatement(const std::string& text) {
+  DRUGTREE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Statement stmt;
+  // Peel the optional EXPLAIN [ANALYZE] prefix off the token stream so the
+  // SELECT parser proper never sees it.
+  size_t skip = 0;
+  auto is_kw = [&](size_t i, const char* kw) {
+    return i < tokens.size() && tokens[i].kind == TokenKind::kKeyword &&
+           tokens[i].text == kw;
+  };
+  if (is_kw(0, "EXPLAIN")) {
+    skip = 1;
+    stmt.explain = ExplainMode::kPlan;
+    if (is_kw(1, "ANALYZE")) {
+      skip = 2;
+      stmt.explain = ExplainMode::kAnalyze;
+    }
+  }
+  if (skip > 0) tokens.erase(tokens.begin(), tokens.begin() + skip);
+  DRUGTREE_ASSIGN_OR_RETURN(stmt.select, Parser(std::move(tokens)).Parse());
+  return stmt;
+}
+
 }  // namespace query
 }  // namespace drugtree

@@ -60,6 +60,24 @@ struct SelectStatement {
 /// Parses one SELECT statement.
 util::Result<SelectStatement> ParseQuery(const std::string& text);
 
+/// EXPLAIN prefix attached to a statement. kPlan prints the physical plan
+/// without executing; kAnalyze executes and annotates each operator with
+/// rows_out / Next() calls / cumulative time.
+enum class ExplainMode {
+  kNone,
+  kPlan,     // EXPLAIN <select>
+  kAnalyze,  // EXPLAIN ANALYZE <select>
+};
+
+/// A top-level statement: an optional EXPLAIN [ANALYZE] prefix plus a SELECT.
+struct Statement {
+  ExplainMode explain = ExplainMode::kNone;
+  SelectStatement select;
+};
+
+/// Parses a statement, consuming an optional leading EXPLAIN [ANALYZE].
+util::Result<Statement> ParseStatement(const std::string& text);
+
 }  // namespace query
 }  // namespace drugtree
 

@@ -45,6 +45,45 @@ std::string PhysicalOperator::ExplainString(int indent) const {
   return out;
 }
 
+util::Status PhysicalOperator::Open() {
+  if (analyze_clock_ == nullptr) return OpenImpl();
+  int64_t start = analyze_clock_->NowMicros();
+  util::Status status = OpenImpl();
+  op_stats_.elapsed_micros += analyze_clock_->NowMicros() - start;
+  return status;
+}
+
+util::Result<bool> PhysicalOperator::Next(storage::Row* out) {
+  ++op_stats_.next_calls;
+  if (analyze_clock_ == nullptr) {
+    util::Result<bool> more = NextImpl(out);
+    if (more.ok() && *more) ++op_stats_.rows_out;
+    return more;
+  }
+  int64_t start = analyze_clock_->NowMicros();
+  util::Result<bool> more = NextImpl(out);
+  op_stats_.elapsed_micros += analyze_clock_->NowMicros() - start;
+  if (more.ok() && *more) ++op_stats_.rows_out;
+  return more;
+}
+
+void PhysicalOperator::EnableAnalyze(const util::Clock* clock) {
+  analyze_clock_ = clock;
+  for (auto* c : explain_children_) c->EnableAnalyze(clock);
+}
+
+obs::ExplainNode PhysicalOperator::AnalyzeTree() const {
+  obs::ExplainNode node;
+  node.label = Describe();
+  node.rows_out = op_stats_.rows_out;
+  node.next_calls = op_stats_.next_calls;
+  node.elapsed_micros = op_stats_.elapsed_micros;
+  for (const auto* c : explain_children_) {
+    node.children.push_back(c->AnalyzeTree());
+  }
+  return node;
+}
+
 // ---------------------------------------------------------------- SeqScanOp
 
 SeqScanOp::SeqScanOp(const Table* table, std::string alias, ExprPtr predicate,
@@ -55,7 +94,7 @@ SeqScanOp::SeqScanOp(const Table* table, std::string alias, ExprPtr predicate,
       ctx_(ctx),
       stats_(stats) {}
 
-util::Status SeqScanOp::Open() {
+util::Status SeqScanOp::OpenImpl() {
   DRUGTREE_ASSIGN_OR_RETURN(schema_, ScanSchema(*table_, alias_));
   if (predicate_) {
     DRUGTREE_RETURN_IF_ERROR(BindExpr(predicate_.get(), schema_));
@@ -64,7 +103,7 @@ util::Status SeqScanOp::Open() {
   return util::Status::OK();
 }
 
-util::Result<bool> SeqScanOp::Next(Row* out) {
+util::Result<bool> SeqScanOp::NextImpl(Row* out) {
   while (cursor_ < table_->NumRows()) {
     storage::RowId id = cursor_++;
     if (table_->IsDeleted(id)) continue;
@@ -101,7 +140,7 @@ IndexScanOp::IndexScanOp(const Table* table, std::string alias,
       ctx_(ctx),
       stats_(stats) {}
 
-util::Status IndexScanOp::Open() {
+util::Status IndexScanOp::OpenImpl() {
   DRUGTREE_ASSIGN_OR_RETURN(schema_, ScanSchema(*table_, alias_));
   if (residual_) {
     DRUGTREE_RETURN_IF_ERROR(BindExpr(residual_.get(), schema_));
@@ -118,7 +157,7 @@ util::Status IndexScanOp::Open() {
   return util::Status::OK();
 }
 
-util::Result<bool> IndexScanOp::Next(Row* out) {
+util::Result<bool> IndexScanOp::NextImpl(Row* out) {
   while (cursor_ < matches_.size()) {
     storage::RowId id = matches_[cursor_++];
     if (table_->IsDeleted(id)) continue;
@@ -161,7 +200,7 @@ FilterOp::FilterOp(PhysicalPtr child, ExprPtr predicate, EvalContext ctx,
   explain_children_ = {child_.get()};
 }
 
-util::Status FilterOp::Open() {
+util::Status FilterOp::OpenImpl() {
   DRUGTREE_RETURN_IF_ERROR(child_->Open());
   schema_ = child_->schema();
   if (predicate_) {
@@ -170,7 +209,7 @@ util::Status FilterOp::Open() {
   return util::Status::OK();
 }
 
-util::Result<bool> FilterOp::Next(Row* out) {
+util::Result<bool> FilterOp::NextImpl(Row* out) {
   for (;;) {
     DRUGTREE_ASSIGN_OR_RETURN(bool more, child_->Next(out));
     if (!more) return false;
@@ -193,7 +232,7 @@ ProjectOp::ProjectOp(PhysicalPtr child, std::vector<OutputColumn> outputs,
   explain_children_ = {child_.get()};
 }
 
-util::Status ProjectOp::Open() {
+util::Status ProjectOp::OpenImpl() {
   DRUGTREE_RETURN_IF_ERROR(child_->Open());
   std::vector<Column> cols;
   for (auto& o : outputs_) {
@@ -204,7 +243,7 @@ util::Status ProjectOp::Open() {
   return util::Status::OK();
 }
 
-util::Result<bool> ProjectOp::Next(Row* out) {
+util::Result<bool> ProjectOp::NextImpl(Row* out) {
   Row in;
   DRUGTREE_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
   if (!more) return false;
@@ -239,7 +278,7 @@ NestedLoopJoinOp::NestedLoopJoinOp(PhysicalPtr left, PhysicalPtr right,
   explain_children_ = {left_.get(), right_.get()};
 }
 
-util::Status NestedLoopJoinOp::Open() {
+util::Status NestedLoopJoinOp::OpenImpl() {
   DRUGTREE_RETURN_IF_ERROR(left_->Open());
   DRUGTREE_RETURN_IF_ERROR(right_->Open());
   std::vector<Column> cols;
@@ -262,7 +301,7 @@ util::Status NestedLoopJoinOp::Open() {
   return util::Status::OK();
 }
 
-util::Result<bool> NestedLoopJoinOp::Next(Row* out) {
+util::Result<bool> NestedLoopJoinOp::NextImpl(Row* out) {
   for (;;) {
     if (!have_left_) {
       DRUGTREE_ASSIGN_OR_RETURN(bool more, left_->Next(&current_left_));
@@ -318,7 +357,7 @@ util::Result<uint64_t> HashJoinOp::KeyHash(const std::vector<ExprPtr>& exprs,
   return HashKey(*key_out);
 }
 
-util::Status HashJoinOp::Open() {
+util::Status HashJoinOp::OpenImpl() {
   DRUGTREE_RETURN_IF_ERROR(left_->Open());
   DRUGTREE_RETURN_IF_ERROR(right_->Open());
   std::vector<Column> cols;
@@ -355,7 +394,7 @@ util::Status HashJoinOp::Open() {
   return util::Status::OK();
 }
 
-util::Result<bool> HashJoinOp::Next(Row* out) {
+util::Result<bool> HashJoinOp::NextImpl(Row* out) {
   std::vector<ExprPtr> left_keys;
   for (auto& [lk, rk] : key_pairs_) left_keys.push_back(lk);
   std::vector<ExprPtr> right_keys;
@@ -415,7 +454,7 @@ SortOp::SortOp(PhysicalPtr child, std::vector<OrderKey> keys, EvalContext ctx)
   explain_children_ = {child_.get()};
 }
 
-util::Status SortOp::Open() {
+util::Status SortOp::OpenImpl() {
   DRUGTREE_RETURN_IF_ERROR(child_->Open());
   schema_ = child_->schema();
   for (auto& k : keys_) {
@@ -455,7 +494,7 @@ util::Status SortOp::Open() {
   return util::Status::OK();
 }
 
-util::Result<bool> SortOp::Next(Row* out) {
+util::Result<bool> SortOp::NextImpl(Row* out) {
   if (cursor_ >= rows_.size()) return false;
   *out = rows_[cursor_++];
   return true;
@@ -485,7 +524,7 @@ HashAggregateOp::HashAggregateOp(PhysicalPtr child,
   explain_children_ = {child_.get()};
 }
 
-util::Status HashAggregateOp::Open() {
+util::Status HashAggregateOp::OpenImpl() {
   DRUGTREE_RETURN_IF_ERROR(child_->Open());
   for (auto& g : group_by_) {
     DRUGTREE_RETURN_IF_ERROR(BindExpr(g.get(), child_->schema()));
@@ -552,7 +591,7 @@ util::Status HashAggregateOp::Open() {
   return util::Status::OK();
 }
 
-util::Result<bool> HashAggregateOp::Next(Row* out) {
+util::Result<bool> HashAggregateOp::NextImpl(Row* out) {
   if (cursor_ >= groups_.size()) return false;
   const auto& [key, states] = groups_[cursor_++];
   *out = key;
@@ -604,14 +643,14 @@ DistinctOp::DistinctOp(PhysicalPtr child) : child_(std::move(child)) {
   explain_children_ = {child_.get()};
 }
 
-util::Status DistinctOp::Open() {
+util::Status DistinctOp::OpenImpl() {
   DRUGTREE_RETURN_IF_ERROR(child_->Open());
   schema_ = child_->schema();
   seen_.clear();
   return util::Status::OK();
 }
 
-util::Result<bool> DistinctOp::Next(Row* out) {
+util::Result<bool> DistinctOp::NextImpl(Row* out) {
   for (;;) {
     DRUGTREE_ASSIGN_OR_RETURN(bool more, child_->Next(out));
     if (!more) return false;
@@ -630,14 +669,14 @@ LimitOp::LimitOp(PhysicalPtr child, int64_t limit)
   explain_children_ = {child_.get()};
 }
 
-util::Status LimitOp::Open() {
+util::Status LimitOp::OpenImpl() {
   DRUGTREE_RETURN_IF_ERROR(child_->Open());
   schema_ = child_->schema();
   produced_ = 0;
   return util::Status::OK();
 }
 
-util::Result<bool> LimitOp::Next(Row* out) {
+util::Result<bool> LimitOp::NextImpl(Row* out) {
   if (produced_ >= limit_) return false;
   DRUGTREE_ASSIGN_OR_RETURN(bool more, child_->Next(out));
   if (!more) return false;

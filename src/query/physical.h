@@ -1,6 +1,9 @@
 // Physical operators (volcano iterator model). Each operator exposes
 // Open()/Next(&row) and its output schema; ExplainString() renders the
-// physical plan for EXPLAIN output and the E2 ablation logs.
+// physical plan for EXPLAIN output and the E2 ablation logs. Open()/Next()
+// are non-virtual shells on the base class that maintain per-operator
+// execution stats (rows_out, Next() calls, and — under EXPLAIN ANALYZE —
+// cumulative time); operators implement OpenImpl()/NextImpl().
 
 #ifndef DRUGTREE_QUERY_PHYSICAL_H_
 #define DRUGTREE_QUERY_PHYSICAL_H_
@@ -11,11 +14,13 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/explain.h"
 #include "query/catalog.h"
 #include "query/expr.h"
 #include "query/logical_plan.h"
 #include "query/parser.h"
 #include "storage/table.h"
+#include "util/clock.h"
 #include "util/result.h"
 
 namespace drugtree {
@@ -29,15 +34,26 @@ struct ExecStats {
   int64_t predicate_evals = 0;    // per-row predicate evaluations
 };
 
+/// Per-operator execution counters, collected by the base Open()/Next()
+/// shells. Row/call counts are always on (two increments per call); timing
+/// is only collected after EnableAnalyze() to keep the default path cheap.
+struct OperatorStats {
+  int64_t rows_out = 0;        // rows handed to the parent
+  int64_t next_calls = 0;      // Next() invocations (including the last
+                               // exhausted one)
+  int64_t elapsed_micros = 0;  // Open()+Next() time, inclusive of children
+                               // (only under EnableAnalyze)
+};
+
 class PhysicalOperator {
  public:
   virtual ~PhysicalOperator() = default;
 
   /// Prepares for iteration (binds expressions, builds hash tables, sorts).
-  virtual util::Status Open() = 0;
+  util::Status Open();
 
   /// Produces the next row. Returns false when exhausted.
-  virtual util::Result<bool> Next(storage::Row* out) = 0;
+  util::Result<bool> Next(storage::Row* out);
 
   const storage::Schema& schema() const { return schema_; }
 
@@ -47,9 +63,27 @@ class PhysicalOperator {
   /// Indented subtree rendering.
   std::string ExplainString(int indent = 0) const;
 
+  /// Switches the whole subtree into EXPLAIN ANALYZE mode: subsequent
+  /// Open()/Next() calls are timed against `clock` (a SimulatedClock gives
+  /// exact simulated attribution; RealClock gives wall time).
+  void EnableAnalyze(const util::Clock* clock);
+
+  const OperatorStats& op_stats() const { return op_stats_; }
+
+  /// The annotated plan tree for EXPLAIN ANALYZE rendering (call after the
+  /// plan has been drained).
+  obs::ExplainNode AnalyzeTree() const;
+
  protected:
+  virtual util::Status OpenImpl() = 0;
+  virtual util::Result<bool> NextImpl(storage::Row* out) = 0;
+
   storage::Schema schema_;
   std::vector<PhysicalOperator*> explain_children_;  // borrowed, for explain
+
+ private:
+  OperatorStats op_stats_;
+  const util::Clock* analyze_clock_ = nullptr;  // non-null => timing on
 };
 
 using PhysicalPtr = std::unique_ptr<PhysicalOperator>;
@@ -59,8 +93,8 @@ class SeqScanOp : public PhysicalOperator {
  public:
   SeqScanOp(const storage::Table* table, std::string alias, ExprPtr predicate,
             EvalContext ctx, ExecStats* stats);
-  util::Status Open() override;
-  util::Result<bool> Next(storage::Row* out) override;
+  util::Status OpenImpl() override;
+  util::Result<bool> NextImpl(storage::Row* out) override;
   std::string Describe() const override;
 
  private:
@@ -85,8 +119,8 @@ class IndexScanOp : public PhysicalOperator {
   IndexScanOp(const storage::Table* table, std::string alias,
               std::string column, Bounds bounds, ExprPtr residual,
               EvalContext ctx, ExecStats* stats);
-  util::Status Open() override;
-  util::Result<bool> Next(storage::Row* out) override;
+  util::Status OpenImpl() override;
+  util::Result<bool> NextImpl(storage::Row* out) override;
   std::string Describe() const override;
 
  private:
@@ -105,8 +139,8 @@ class FilterOp : public PhysicalOperator {
  public:
   FilterOp(PhysicalPtr child, ExprPtr predicate, EvalContext ctx,
            ExecStats* stats);
-  util::Status Open() override;
-  util::Result<bool> Next(storage::Row* out) override;
+  util::Status OpenImpl() override;
+  util::Result<bool> NextImpl(storage::Row* out) override;
   std::string Describe() const override;
 
  private:
@@ -120,8 +154,8 @@ class ProjectOp : public PhysicalOperator {
  public:
   ProjectOp(PhysicalPtr child, std::vector<OutputColumn> outputs,
             EvalContext ctx);
-  util::Status Open() override;
-  util::Result<bool> Next(storage::Row* out) override;
+  util::Status OpenImpl() override;
+  util::Result<bool> NextImpl(storage::Row* out) override;
   std::string Describe() const override;
 
  private:
@@ -136,8 +170,8 @@ class NestedLoopJoinOp : public PhysicalOperator {
  public:
   NestedLoopJoinOp(PhysicalPtr left, PhysicalPtr right, ExprPtr condition,
                    EvalContext ctx, ExecStats* stats);
-  util::Status Open() override;
-  util::Result<bool> Next(storage::Row* out) override;
+  util::Status OpenImpl() override;
+  util::Result<bool> NextImpl(storage::Row* out) override;
   std::string Describe() const override;
 
  private:
@@ -158,8 +192,8 @@ class HashJoinOp : public PhysicalOperator {
   HashJoinOp(PhysicalPtr left, PhysicalPtr right,
              std::vector<std::pair<ExprPtr, ExprPtr>> key_pairs,
              ExprPtr residual, EvalContext ctx, ExecStats* stats);
-  util::Status Open() override;
-  util::Result<bool> Next(storage::Row* out) override;
+  util::Status OpenImpl() override;
+  util::Result<bool> NextImpl(storage::Row* out) override;
   std::string Describe() const override;
 
  private:
@@ -185,8 +219,8 @@ class HashJoinOp : public PhysicalOperator {
 class SortOp : public PhysicalOperator {
  public:
   SortOp(PhysicalPtr child, std::vector<OrderKey> keys, EvalContext ctx);
-  util::Status Open() override;
-  util::Result<bool> Next(storage::Row* out) override;
+  util::Status OpenImpl() override;
+  util::Result<bool> NextImpl(storage::Row* out) override;
   std::string Describe() const override;
 
  private:
@@ -203,8 +237,8 @@ class HashAggregateOp : public PhysicalOperator {
   HashAggregateOp(PhysicalPtr child, std::vector<ExprPtr> group_by,
                   std::vector<OutputColumn> aggregates,
                   storage::Schema output_schema, EvalContext ctx);
-  util::Status Open() override;
-  util::Result<bool> Next(storage::Row* out) override;
+  util::Status OpenImpl() override;
+  util::Result<bool> NextImpl(storage::Row* out) override;
   std::string Describe() const override;
 
  private:
@@ -228,8 +262,8 @@ class HashAggregateOp : public PhysicalOperator {
 class DistinctOp : public PhysicalOperator {
  public:
   explicit DistinctOp(PhysicalPtr child);
-  util::Status Open() override;
-  util::Result<bool> Next(storage::Row* out) override;
+  util::Status OpenImpl() override;
+  util::Result<bool> NextImpl(storage::Row* out) override;
   std::string Describe() const override;
 
  private:
@@ -240,8 +274,8 @@ class DistinctOp : public PhysicalOperator {
 class LimitOp : public PhysicalOperator {
  public:
   LimitOp(PhysicalPtr child, int64_t limit);
-  util::Status Open() override;
-  util::Result<bool> Next(storage::Row* out) override;
+  util::Status OpenImpl() override;
+  util::Result<bool> NextImpl(storage::Row* out) override;
   std::string Describe() const override;
 
  private:

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/parser.h"
 #include "util/string_util.h"
 
@@ -264,10 +266,18 @@ util::Result<PhysicalPtr> Planner::Plan(const std::string& sql,
 
 util::Result<QueryOutcome> Planner::Run(const std::string& sql,
                                         const PlannerOptions& options) {
-  DRUGTREE_ASSIGN_OR_RETURN(SelectStatement stmt, ParseQuery(sql));
+  DRUGTREE_ASSIGN_OR_RETURN(Statement stmt, [&] {
+    DT_SPAN("query.parse");
+    return ParseStatement(sql);
+  }());
+  // EXPLAIN [ANALYZE] always runs the full pipeline: a cached result would
+  // have no plan to show.
   std::string cache_key;
-  if (options.use_result_cache && result_cache_ != nullptr) {
-    cache_key = ResultCache::MakeKey(stmt.ToString(), catalog_->epoch());
+  const bool use_cache = options.use_result_cache &&
+                         result_cache_ != nullptr &&
+                         stmt.explain == ExplainMode::kNone;
+  if (use_cache) {
+    cache_key = ResultCache::MakeKey(stmt.select.ToString(), catalog_->epoch());
     if (auto cached = result_cache_->Get(cache_key)) {
       QueryOutcome outcome;
       outcome.result = std::move(*cached);
@@ -275,18 +285,31 @@ util::Result<QueryOutcome> Planner::Run(const std::string& sql,
       return outcome;
     }
   }
-  DRUGTREE_ASSIGN_OR_RETURN(LogicalPtr logical,
-                            BuildLogicalPlan(stmt, *catalog_));
-  DRUGTREE_ASSIGN_OR_RETURN(
-      LogicalPtr optimized,
-      OptimizeLogicalPlan(logical, *catalog_, options.optimizer));
+  DRUGTREE_ASSIGN_OR_RETURN(LogicalPtr optimized, [&] {
+    DT_SPAN("query.optimize");
+    util::Result<LogicalPtr> logical = BuildLogicalPlan(stmt.select, *catalog_);
+    if (!logical.ok()) return logical;
+    return OptimizeLogicalPlan(*logical, *catalog_, options.optimizer);
+  }());
   QueryOutcome outcome;
   outcome.logical_plan = optimized->ToString();
-  DRUGTREE_ASSIGN_OR_RETURN(PhysicalPtr physical,
-                            ToPhysical(optimized, options, &outcome.stats));
+  DRUGTREE_ASSIGN_OR_RETURN(PhysicalPtr physical, [&] {
+    DT_SPAN("query.plan.physical");
+    return ToPhysical(optimized, options, &outcome.stats);
+  }());
   outcome.physical_plan = physical->ExplainString();
+  if (stmt.explain == ExplainMode::kPlan) {
+    // Plan-only: the plan texts are the result.
+    return outcome;
+  }
+  if (stmt.explain == ExplainMode::kAnalyze) {
+    physical->EnableAnalyze(obs::Tracer::Default()->clock());
+  }
   DRUGTREE_ASSIGN_OR_RETURN(outcome.result, ExecutePlan(physical.get()));
-  if (options.use_result_cache && result_cache_ != nullptr) {
+  if (stmt.explain == ExplainMode::kAnalyze) {
+    outcome.analyzed_plan = obs::RenderExplainTree(physical->AnalyzeTree());
+  }
+  if (use_cache) {
     result_cache_->Put(cache_key, outcome.result);
   }
   return outcome;

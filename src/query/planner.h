@@ -46,6 +46,9 @@ struct QueryOutcome {
   QueryResult result;
   std::string logical_plan;   // optimized logical plan (EXPLAIN text)
   std::string physical_plan;  // physical plan (EXPLAIN text)
+  /// For EXPLAIN ANALYZE: the executed plan annotated with per-operator
+  /// rows_out / Next() calls / cumulative time. Empty otherwise.
+  std::string analyzed_plan;
   ExecStats stats;
   bool from_result_cache = false;
 };
@@ -56,7 +59,10 @@ class Planner {
   explicit Planner(Catalog* catalog, ResultCache* result_cache = nullptr)
       : catalog_(catalog), result_cache_(result_cache) {}
 
-  /// Parses + optimizes + plans + executes one SELECT.
+  /// Parses + optimizes + plans + executes one statement. A leading
+  /// EXPLAIN prefix skips execution and returns only the plan text; a
+  /// leading EXPLAIN ANALYZE executes with per-operator instrumentation
+  /// and fills QueryOutcome::analyzed_plan (both bypass the result cache).
   util::Result<QueryOutcome> Run(const std::string& sql,
                                  const PlannerOptions& options);
 

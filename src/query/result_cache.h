@@ -20,7 +20,9 @@ namespace query {
 
 class ResultCache {
  public:
-  explicit ResultCache(uint64_t capacity_bytes) : cache_(capacity_bytes) {}
+  explicit ResultCache(uint64_t capacity_bytes) : cache_(capacity_bytes) {
+    cache_.EnableMetrics("query.result_cache");
+  }
 
   /// Cache key for a statement under a data epoch.
   static std::string MakeKey(const std::string& canonical_query,

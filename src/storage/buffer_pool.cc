@@ -1,10 +1,28 @@
 #include "storage/buffer_pool.h"
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace drugtree {
 namespace storage {
+
+namespace {
+
+/// Registry mirrors of the per-pool hit/miss counters (shared across pools).
+obs::Counter* PoolHits() {
+  static obs::Counter* c =
+      obs::MetricRegistry::Default()->GetCounter("storage.buffer_pool.hits");
+  return c;
+}
+
+obs::Counter* PoolMisses() {
+  static obs::Counter* c =
+      obs::MetricRegistry::Default()->GetCounter("storage.buffer_pool.misses");
+  return c;
+}
+
+}  // namespace
 
 PageGuard::~PageGuard() {
   if (pool_ && page_) pool_->Unpin(page_);
@@ -61,6 +79,7 @@ util::Result<PageGuard> BufferPool::Fetch(PageId id) {
   auto it = table_.find(id);
   if (it != table_.end()) {
     ++hits_;
+    PoolHits()->Increment();
     size_t frame = it->second;
     // Move to MRU position.
     auto pos = lru_pos_.find(frame);
@@ -73,6 +92,7 @@ util::Result<PageGuard> BufferPool::Fetch(PageId id) {
     return PageGuard(this, frames_[frame].get());
   }
   ++misses_;
+  PoolMisses()->Increment();
   DRUGTREE_ASSIGN_OR_RETURN(size_t frame, FindVictim());
   Page* page = frames_[frame].get();
   DRUGTREE_RETURN_IF_ERROR(disk_->ReadPage(id, page));

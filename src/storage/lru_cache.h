@@ -8,7 +8,10 @@
 #include <cstdint>
 #include <list>
 #include <optional>
+#include <string>
 #include <unordered_map>
+
+#include "obs/metrics.h"
 
 namespace drugtree {
 namespace storage {
@@ -35,6 +38,17 @@ class LruCache {
  public:
   explicit LruCache(uint64_t capacity) : capacity_(capacity) {}
 
+  /// Mirrors hit/miss/eviction counts into the process metric registry as
+  /// `<name>.hits|misses|evictions` (e.g. "query.result_cache.hits"). Call
+  /// once, right after construction; off by default so anonymous caches
+  /// (tests, scratch instances) stay out of the registry.
+  void EnableMetrics(const std::string& name) {
+    auto* registry = obs::MetricRegistry::Default();
+    metric_hits_ = registry->GetCounter(name + ".hits");
+    metric_misses_ = registry->GetCounter(name + ".misses");
+    metric_evictions_ = registry->GetCounter(name + ".evictions");
+  }
+
   /// Inserts or overwrites. charge must be >= 1. Entries larger than the
   /// whole capacity are not cached.
   void Put(const K& key, V value, uint64_t charge = 1) {
@@ -57,9 +71,11 @@ class LruCache {
     auto it = map_.find(key);
     if (it == map_.end()) {
       ++stats_.misses;
+      if (metric_misses_ != nullptr) metric_misses_->Increment();
       return std::nullopt;
     }
     ++stats_.hits;
+    if (metric_hits_ != nullptr) metric_hits_->Increment();
     order_.erase(it->second.pos);
     order_.push_front(key);
     it->second.pos = order_.begin();
@@ -111,6 +127,7 @@ class LruCache {
       map_.erase(it);
       order_.pop_back();
       ++stats_.evictions;
+      if (metric_evictions_ != nullptr) metric_evictions_->Increment();
     }
   }
 
@@ -119,6 +136,9 @@ class LruCache {
   std::list<K> order_;  // MRU first
   std::unordered_map<K, Entry> map_;
   CacheStats stats_;
+  obs::Counter* metric_hits_ = nullptr;
+  obs::Counter* metric_misses_ = nullptr;
+  obs::Counter* metric_evictions_ = nullptr;
 };
 
 }  // namespace storage

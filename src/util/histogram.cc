@@ -114,6 +114,14 @@ double Histogram::Percentile(double p) const {
   return max_;
 }
 
+std::string Histogram::ToJson() const {
+  return StringPrintf(
+      "{\"count\":%lld,\"mean\":%.6g,\"min\":%.6g,\"max\":%.6g,"
+      "\"p50\":%.6g,\"p95\":%.6g,\"p99\":%.6g}",
+      (long long)count_, Mean(), min(), max(), Percentile(50), Percentile(95),
+      Percentile(99));
+}
+
 std::string Histogram::ToString() const {
   return StringPrintf(
       "count=%lld mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f",

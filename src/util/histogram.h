@@ -61,6 +61,10 @@ class Histogram {
   /// One-line summary: count / mean / p50 / p95 / p99 / max.
   std::string ToString() const;
 
+  /// JSON object {"count":..,"mean":..,"min":..,"max":..,"p50":..,"p95":..,
+  /// "p99":..} — the shape the obs metrics exporter embeds.
+  std::string ToJson() const;
+
  private:
   static constexpr int kNumBuckets = 140;
   // Bucket i covers [bounds_[i-1], bounds_[i]).

@@ -28,6 +28,15 @@ void SetLogLevel(LogLevel level);
 /// Current process-wide minimum emitted level.
 LogLevel GetLogLevel();
 
+/// Parses a level name (DEBUG/INFO/WARNING/ERROR, case-insensitive; WARN
+/// accepted). Returns false and leaves `out` untouched on anything else.
+bool ParseLogLevel(const char* name, LogLevel* out);
+
+/// The initial process log level: DRUGTREE_LOG_LEVEL from the environment
+/// when set and valid, kWarning otherwise. (Applied automatically before
+/// the first message; exposed for tests.)
+LogLevel InitialLogLevel();
+
 /// One log statement. Accumulates the message via operator<< and emits it to
 /// stderr (with level tag and source location) on destruction. A kFatal
 /// message aborts the process after emitting.
@@ -53,11 +62,20 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+namespace log_internal {
+// ALL-CAPS aliases so DT_LOG(INFO) spells like the usage comment.
+inline constexpr LogLevel DEBUG = LogLevel::kDebug;
+inline constexpr LogLevel INFO = LogLevel::kInfo;
+inline constexpr LogLevel WARNING = LogLevel::kWarning;
+inline constexpr LogLevel ERROR = LogLevel::kError;
+inline constexpr LogLevel FATAL = LogLevel::kFatal;
+}  // namespace log_internal
+
 }  // namespace util
 }  // namespace drugtree
 
-#define DT_LOG(LEVEL)                                              \
-  ::drugtree::util::LogMessage(::drugtree::util::LogLevel::k##LEVEL, \
+#define DT_LOG(LEVEL)                                                  \
+  ::drugtree::util::LogMessage(::drugtree::util::log_internal::LEVEL,  \
                                __FILE__, __LINE__)
 
 /// Always-on invariant check; logs the failed condition and aborts.

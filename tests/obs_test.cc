@@ -1,0 +1,316 @@
+// Observability layer tests: metric registry semantics, span nesting with
+// simulated-clock attribution, and EXPLAIN / EXPLAIN ANALYZE through the
+// full parse -> plan -> execute pipeline.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/explain.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "query/planner.h"
+#include "util/clock.h"
+
+namespace drugtree {
+namespace {
+
+using obs::MetricRegistry;
+using obs::Tracer;
+
+// ---------------------------------------------------------------------------
+// Metric registry
+// ---------------------------------------------------------------------------
+
+TEST(MetricRegistryTest, CounterRegisterSnapshotReset) {
+  MetricRegistry registry;
+  obs::Counter* c = registry.GetCounter("test.counter");
+  ASSERT_NE(c, nullptr);
+  // Same (name, labels) -> same pointer (the hot-path caching contract).
+  EXPECT_EQ(c, registry.GetCounter("test.counter"));
+
+  c->Add(5);
+  c->Increment();
+  EXPECT_EQ(c->Value(), 6);
+  EXPECT_EQ(registry.Snapshot().Value("test.counter"), 6);
+
+  registry.ResetAll();
+  EXPECT_EQ(c->Value(), 0);
+  EXPECT_EQ(registry.Snapshot().Value("test.counter"), 0);
+}
+
+TEST(MetricRegistryTest, LabelsDiscriminateInstances) {
+  MetricRegistry registry;
+  obs::Counter* a = registry.GetCounter("net.requests", {{"link", "3g"}});
+  obs::Counter* b = registry.GetCounter("net.requests", {{"link", "wifi"}});
+  EXPECT_NE(a, b);
+  a->Add(2);
+  b->Add(7);
+  auto snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.Value("net.requests{link=3g}"), 2);
+  EXPECT_EQ(snapshot.Value("net.requests{link=wifi}"), 7);
+}
+
+TEST(MetricRegistryTest, GaugeAndHistogram) {
+  MetricRegistry registry;
+  obs::Gauge* g = registry.GetGauge("test.gauge");
+  g->Set(42);
+  g->Add(-2);
+  EXPECT_EQ(g->Value(), 40);
+
+  obs::HistogramMetric* h = registry.GetHistogram("test.latency");
+  h->Observe(1.0);
+  h->Observe(3.0);
+  auto snapshot = registry.Snapshot();
+  const obs::MetricSnapshot* hist = snapshot.Find("test.latency");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->kind, obs::MetricKind::kHistogram);
+  EXPECT_EQ(hist->hist.count(), 2);
+  EXPECT_DOUBLE_EQ(hist->hist.Mean(), 2.0);
+}
+
+TEST(MetricRegistryTest, SnapshotIsSortedAndRenders) {
+  MetricRegistry registry;
+  registry.GetCounter("b.metric")->Add(1);
+  registry.GetCounter("a.metric")->Add(2);
+  auto snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.metrics.size(), 2u);
+  EXPECT_EQ(snapshot.metrics[0].name, "a.metric");
+  EXPECT_EQ(snapshot.metrics[1].name, "b.metric");
+  EXPECT_NE(snapshot.ToText().find("a.metric"), std::string::npos);
+  std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"name\":\"a.metric\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":2"), std::string::npos);
+}
+
+TEST(MetricRegistryTest, CounterIsThreadSafe) {
+  MetricRegistry registry;
+  obs::Counter* c = registry.GetCounter("test.parallel");
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kAddsPerThread; ++i) c->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->Value(), kThreads * kAddsPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// Span tracing
+// ---------------------------------------------------------------------------
+
+TEST(TracerTest, NestedSpansWithSimulatedClockAttribution) {
+  util::SimulatedClock clock;
+  Tracer* tracer = Tracer::Default();
+  tracer->set_clock(&clock);
+  tracer->set_capture(true);
+  tracer->Clear();
+
+  {
+    obs::ScopedSpan outer(tracer, "test.outer");
+    clock.AdvanceMicros(100);
+    {
+      obs::ScopedSpan inner(tracer, "test.inner");
+      clock.AdvanceMicros(250);
+    }
+    clock.AdvanceMicros(50);
+  }
+  tracer->set_clock(nullptr);
+  tracer->set_capture(false);
+
+  const obs::Span* root = tracer->last_trace();
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->name, "test.outer");
+  EXPECT_EQ(root->DurationMicros(), 400);
+  EXPECT_EQ(root->SelfMicros(), 150);
+  ASSERT_EQ(root->children.size(), 1u);
+  EXPECT_EQ(root->children[0]->name, "test.inner");
+  EXPECT_EQ(root->children[0]->DurationMicros(), 250);
+
+  std::string rendered = tracer->RenderLastTrace();
+  EXPECT_NE(rendered.find("test.outer"), std::string::npos);
+  EXPECT_NE(rendered.find("test.inner"), std::string::npos);
+  std::string json = tracer->LastTraceJson();
+  EXPECT_NE(json.find("\"name\":\"test.inner\""), std::string::npos);
+}
+
+TEST(TracerTest, SpansMirrorIntoRegistry) {
+  util::SimulatedClock clock;
+  Tracer* tracer = Tracer::Default();
+  tracer->set_clock(&clock);
+  tracer->set_capture(true);
+  MetricRegistry::Default()->ResetAll();
+
+  for (int i = 0; i < 3; ++i) {
+    obs::ScopedSpan span(tracer, "test.mirrored");
+    clock.AdvanceMicros(10);
+  }
+  tracer->set_clock(nullptr);
+  tracer->set_capture(false);
+
+  auto snapshot = MetricRegistry::Default()->Snapshot();
+  EXPECT_EQ(snapshot.Value("span.test.mirrored.count"), 3);
+  EXPECT_EQ(snapshot.Value("span.test.mirrored.total_micros"), 30);
+}
+
+TEST(TracerTest, SiteSpansMirrorWithoutCapture) {
+  // DT_SPAN's default path: capture off means no span tree is built, but the
+  // per-site counters still accumulate off the tracer clock.
+  util::SimulatedClock clock;
+  Tracer* tracer = Tracer::Default();
+  tracer->set_clock(&clock);
+  tracer->Clear();
+  MetricRegistry::Default()->ResetAll();
+  ASSERT_FALSE(tracer->capturing());
+
+  static const obs::SpanSite site("test.nocapture");
+  for (int i = 0; i < 4; ++i) {
+    obs::ScopedSpan span(tracer, site);
+    clock.AdvanceMicros(25);
+  }
+  tracer->set_clock(nullptr);
+
+  auto snapshot = MetricRegistry::Default()->Snapshot();
+  EXPECT_EQ(snapshot.Value("span.test.nocapture.count"), 4);
+  EXPECT_EQ(snapshot.Value("span.test.nocapture.total_micros"), 100);
+  EXPECT_EQ(tracer->last_trace(), nullptr);
+}
+
+TEST(TracerTest, DisabledTracerIsInert) {
+  Tracer* tracer = Tracer::Default();
+  tracer->Clear();
+  tracer->set_enabled(false);
+  {
+    obs::ScopedSpan span(tracer, "test.disabled");
+  }
+  tracer->set_enabled(true);
+  EXPECT_EQ(tracer->last_trace(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN / EXPLAIN ANALYZE
+// ---------------------------------------------------------------------------
+
+using storage::IndexKind;
+using storage::Schema;
+using storage::Table;
+using storage::Value;
+using storage::ValueType;
+
+class ExplainAnalyzeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto pschema = Schema::Create({{"acc", ValueType::kString, false},
+                                   {"family", ValueType::kString, false},
+                                   {"score", ValueType::kDouble, false}});
+    proteins_ = std::make_unique<Table>("proteins", *pschema);
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(proteins_
+                      ->Insert({Value::String("P" + std::to_string(i)),
+                                Value::String(i % 2 ? "famA" : "famB"),
+                                Value::Double(i * 10.0)})
+                      .ok());
+    }
+    auto aschema = Schema::Create({{"acc", ValueType::kString, false},
+                                   {"aff", ValueType::kDouble, false}});
+    activities_ = std::make_unique<Table>("activities", *aschema);
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(activities_
+                      ->Insert({Value::String("P" + std::to_string(i)),
+                                Value::Double(i * 5.0)})
+                      .ok());
+    }
+    ASSERT_TRUE(proteins_->Analyze().ok());
+    ASSERT_TRUE(activities_->Analyze().ok());
+    ASSERT_TRUE(catalog_.Register(proteins_.get()).ok());
+    ASSERT_TRUE(catalog_.Register(activities_.get()).ok());
+    planner_ = std::make_unique<query::Planner>(&catalog_);
+  }
+
+  std::unique_ptr<Table> proteins_, activities_;
+  query::Catalog catalog_;
+  std::unique_ptr<query::Planner> planner_;
+};
+
+TEST_F(ExplainAnalyzeTest, ParseStatementModes) {
+  auto plain = query::ParseStatement("SELECT acc FROM proteins");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->explain, query::ExplainMode::kNone);
+
+  auto plan = query::ParseStatement("EXPLAIN SELECT acc FROM proteins");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->explain, query::ExplainMode::kPlan);
+
+  auto analyze =
+      query::ParseStatement("explain analyze SELECT acc FROM proteins");
+  ASSERT_TRUE(analyze.ok());
+  EXPECT_EQ(analyze->explain, query::ExplainMode::kAnalyze);
+
+  EXPECT_FALSE(query::ParseStatement("EXPLAIN ANALYZE").ok());
+}
+
+TEST_F(ExplainAnalyzeTest, ExplainPlanSkipsExecution) {
+  auto outcome = planner_->Run("EXPLAIN SELECT acc FROM proteins",
+                               query::PlannerOptions::Optimized());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->physical_plan.empty());
+  EXPECT_TRUE(outcome->analyzed_plan.empty());
+  EXPECT_TRUE(outcome->result.rows.empty());  // not executed
+}
+
+TEST_F(ExplainAnalyzeTest, AnalyzeRowCountsMatchResult) {
+  const char* sql =
+      "EXPLAIN ANALYZE SELECT p.acc, a.aff FROM proteins p "
+      "JOIN activities a ON p.acc = a.acc WHERE a.aff < 50.0";
+  auto outcome = planner_->Run(sql, query::PlannerOptions::Optimized());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->result.rows.size(), 10u);
+  ASSERT_FALSE(outcome->analyzed_plan.empty());
+  // The root operator's rows_out must equal the materialized row count.
+  char expected[64];
+  std::snprintf(expected, sizeof(expected), "rows=%zu",
+                outcome->result.rows.size());
+  EXPECT_NE(outcome->analyzed_plan.find(expected), std::string::npos)
+      << outcome->analyzed_plan;
+  EXPECT_NE(outcome->analyzed_plan.find("time="), std::string::npos);
+  EXPECT_NE(outcome->analyzed_plan.find("next="), std::string::npos);
+}
+
+TEST_F(ExplainAnalyzeTest, AnalyzeTreeStructureMatchesPlan) {
+  query::ExecStats stats;
+  auto physical = planner_->Plan("SELECT acc FROM proteins WHERE score > 95.0",
+                                 query::PlannerOptions::Optimized(), &stats);
+  ASSERT_TRUE(physical.ok());
+  util::SimulatedClock clock;
+  (*physical)->EnableAnalyze(&clock);
+  auto result = query::ExecutePlan(physical->get());
+  ASSERT_TRUE(result.ok());
+  obs::ExplainNode root = (*physical)->AnalyzeTree();
+  EXPECT_EQ(root.rows_out, static_cast<int64_t>(result->rows.size()));
+  // Next() is called once per row plus the exhausted call.
+  EXPECT_EQ(root.next_calls, root.rows_out + 1);
+  std::string rendered = obs::RenderExplainTree(root);
+  EXPECT_NE(rendered.find("rows="), std::string::npos);
+}
+
+TEST_F(ExplainAnalyzeTest, AnalyzeBypassesResultCache) {
+  query::ResultCache cache(1 << 20);
+  query::Planner planner(&catalog_, &cache);
+  query::PlannerOptions options = query::PlannerOptions::Optimized();
+  options.use_result_cache = true;
+  const char* sql = "EXPLAIN ANALYZE SELECT acc FROM proteins";
+  auto first = planner.Run(sql, options);
+  ASSERT_TRUE(first.ok());
+  auto second = planner.Run(sql, options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->from_result_cache);
+  EXPECT_FALSE(second->analyzed_plan.empty());
+}
+
+}  // namespace
+}  // namespace drugtree

@@ -133,6 +133,49 @@ TEST(HistogramTest, MergeCombines) {
   EXPECT_DOUBLE_EQ(a.max(), 1000.0);
 }
 
+TEST(HistogramTest, MergeFromEmptyKeepsStats) {
+  Histogram a, empty;
+  a.Add(2);
+  a.Add(8);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 8.0);
+  EXPECT_DOUBLE_EQ(a.Mean(), 5.0);
+}
+
+TEST(HistogramTest, MergeIntoEmptyAdoptsStats) {
+  Histogram empty, b;
+  b.Add(3);
+  b.Add(9);
+  empty.Merge(b);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_DOUBLE_EQ(empty.min(), 3.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 9.0);
+  EXPECT_DOUBLE_EQ(empty.Mean(), 6.0);
+}
+
+TEST(HistogramTest, MergeBothEmptyStaysEmpty) {
+  Histogram a, b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+  EXPECT_DOUBLE_EQ(a.Mean(), 0.0);
+}
+
+TEST(HistogramTest, ToJsonShape) {
+  Histogram h;
+  h.Add(1);
+  h.Add(3);
+  std::string json = h.ToJson();
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mean\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"min\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos) << json;
+}
+
 TEST(HistogramTest, ClearResets) {
   Histogram h;
   h.Add(3);
