@@ -24,7 +24,8 @@ struct WorkflowResult {
   double session_p95_ms = 0;
 };
 
-WorkflowResult RunWorkflow(bool optimized, bool batch_integration) {
+WorkflowResult RunWorkflow(bool optimized, bool batch_integration,
+                           int fetch_concurrency = 1, int parallelism = 1) {
   WorkflowResult result;
   util::SimulatedClock clock;
   // Spans opened during this workflow are stamped off the simulated clock,
@@ -38,6 +39,7 @@ WorkflowResult RunWorkflow(bool optimized, bool batch_integration) {
   options.taxa_per_family = 24;
   options.num_ligands = 400;
   options.batch_requests = batch_integration;
+  options.fetch_concurrency = fetch_concurrency;
   int64_t sim0 = clock.NowMicros();
   auto built = core::DrugTree::Build(options, &clock);
   DT_CHECK(built.ok()) << built.status();
@@ -48,6 +50,7 @@ WorkflowResult RunWorkflow(bool optimized, bool batch_integration) {
   query::PlannerOptions qopts = optimized ? query::PlannerOptions::Optimized()
                                           : query::PlannerOptions::Naive();
   qopts.use_result_cache = optimized;
+  qopts.parallelism = parallelism;
 
   // Analyst query batch.
   core::WorkloadParams wp;
@@ -99,8 +102,20 @@ int main(int argc, char** argv) {
   row("mobile interaction (mean)", naive.session_mean_ms,
       fast.session_mean_ms);
   row("mobile interaction (p95)", naive.session_p95_ms, fast.session_p95_ms);
+  std::printf("\n-- overlapped fetch + morsel parallelism: window sweep --\n");
+  std::printf("(per-record integration, optimized planner; concurrency\n"
+              "drives both the fetch window and query parallelism)\n");
+  std::printf("%12s %16s %18s\n", "concurrency", "build (ms)",
+              "query batch (ms)");
+  for (int c : {1, 2, 4, 8}) {
+    auto r = RunWorkflow(/*optimized=*/true, /*batch_integration=*/false,
+                         /*fetch_concurrency=*/c, /*parallelism=*/c);
+    std::printf("%12d %16.1f %18.1f\n", c, r.build_ms, r.query_phase_ms);
+  }
+
   std::printf("\nshape check: every phase improves; the query batch and the\n"
-              "mobile path (the poster's two complaints) improve the most.\n");
+              "mobile path (the poster's two complaints) improve the most;\n"
+              "widening the fetch window shrinks per-record build time.\n");
   bench::DumpMetrics(metrics_flag);
   return 0;
 }

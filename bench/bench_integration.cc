@@ -58,12 +58,14 @@ World MakeWorld(int64_t rtt_ms) {
 // Interactive access pattern: 200 protein+activity lookups with clade
 // locality (runs of the same family).
 void DrillDownSession(World& w, bool use_cache, bool prefetch,
-                      double* out_total_ms, uint64_t* out_requests) {
+                      bool async_prefetch, double* out_total_ms,
+                      uint64_t* out_requests) {
   util::Rng rng(5);
   MediatorOptions mopts;
   mopts.use_cache = use_cache;
   PrefetcherOptions popts;
   popts.widen_to_family = prefetch;
+  popts.async_prefetch = async_prefetch;
   TreeAwarePrefetcher prefetcher(w.mediator.get(), w.cache.get(), popts);
 
   int64_t t0 = w.clock->NowMicros();
@@ -96,6 +98,7 @@ void DrillDownSession(World& w, bool use_cache, bool prefetch,
       }
     }
   }
+  prefetcher.Quiesce();  // pay any overlapped widening still in flight
   *out_total_ms = (w.clock->NowMicros() - t0) / 1000.0;
   *out_requests = w.network->num_requests() - r0;
 }
@@ -137,15 +140,15 @@ int main(int argc, char** argv) {
     uint64_t nc_req, c_req, pf_req;
     {
       World w = MakeWorld(rtt);
-      DrillDownSession(w, false, false, &no_cache_ms, &nc_req);
+      DrillDownSession(w, false, false, false, &no_cache_ms, &nc_req);
     }
     {
       World w = MakeWorld(rtt);
-      DrillDownSession(w, true, false, &cache_ms, &c_req);
+      DrillDownSession(w, true, false, false, &cache_ms, &c_req);
     }
     {
       World w = MakeWorld(rtt);
-      DrillDownSession(w, true, true, &prefetch_ms, &pf_req);
+      DrillDownSession(w, true, true, false, &prefetch_ms, &pf_req);
     }
     std::printf("%8lld %14.1f %14.1f %14.1f %10llu/%llu/%llu\n",
                 (long long)rtt, no_cache_ms, cache_ms, prefetch_ms,
@@ -173,9 +176,48 @@ int main(int argc, char** argv) {
                 (unsigned long long)(w.network->num_failures() - f0));
   }
 
+  std::printf(
+      "\n-- overlapped fetch: per-record integration, window sweep --\n");
+  std::printf("(default link: 50 ms RTT, 1 MB/s, cold cache)\n");
+  std::printf("%12s %18s %10s %15s\n", "concurrency", "integrate (ms)",
+              "speedup", "peak in-flight");
+  double base_ms = 0.0;
+  for (int c : {1, 2, 4, 8}) {
+    World w = MakeWorld(50);
+    NetworkParams params = w.network->params();
+    params.max_concurrency = c;
+    w.network->set_params(params);
+    MediatorOptions opts;
+    opts.batch_requests = false;
+    opts.use_cache = false;
+    opts.max_concurrency = c;
+    int64_t t0 = w.clock->NowMicros();
+    DT_CHECK(w.mediator->IntegrateAll(opts).ok());
+    double ms = (w.clock->NowMicros() - t0) / 1000.0;
+    if (c == 1) base_ms = ms;
+    std::printf("%12d %18.1f %9.1fx %15d\n", c, ms, base_ms / ms,
+                w.mediator->async_stats().peak_in_flight);
+  }
+
+  std::printf(
+      "\n-- drill-down with overlapped prefetch (100 ms RTT, 4 channels) --\n");
+  std::printf("%18s %14s %12s\n", "prefetch mode", "session(ms)", "requests");
+  for (bool async_pf : {false, true}) {
+    World w = MakeWorld(100);
+    NetworkParams params = w.network->params();
+    params.max_concurrency = 4;
+    w.network->set_params(params);
+    double ms;
+    uint64_t req;
+    DrillDownSession(w, true, true, async_pf, &ms, &req);
+    std::printf("%18s %14.1f %12llu\n", async_pf ? "overlapped" : "blocking",
+                ms, (unsigned long long)req);
+  }
+
   std::printf("\nshape check: caching flattens repeat cost; prefetching\n"
               "collapses clade drill-downs to ~1 batched request per clade;\n"
-              "retries absorb link failures at timeout-proportional cost.\n");
+              "retries absorb link failures at timeout-proportional cost;\n"
+              "overlapping the fetch window hides per-record round trips.\n");
   drugtree::bench::DumpMetrics(metrics_flag);
   return 0;
 }

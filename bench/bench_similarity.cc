@@ -11,6 +11,7 @@
 #include "chem/similarity.h"
 #include "chem/smiles.h"
 #include "chem/synthetic_ligands.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -77,6 +78,35 @@ void BM_BinnedIndex(benchmark::State& state) {
       double(hits) / double(state.iterations()));
 }
 
+// Morsel-parallel binned scan; range(2) is the parallelism (1 = serial
+// fallback, pool of parallelism-1 workers + the caller otherwise).
+void BM_ParallelBinnedIndex(benchmark::State& state) {
+  Library* lib = GetLibrary(static_cast<int>(state.range(0)));
+  double threshold = state.range(1) / 100.0;
+  int parallelism = static_cast<int>(state.range(2));
+  static std::map<int, util::ThreadPool*> pools;
+  util::ThreadPool* pool = nullptr;
+  if (parallelism > 1) {
+    auto it = pools.find(parallelism);
+    if (it == pools.end()) {
+      it = pools.emplace(parallelism, new util::ThreadPool(parallelism - 1))
+               .first;
+    }
+    pool = it->second;
+  }
+  size_t cursor = 0;
+  int64_t hits = 0;
+  for (auto _ : state) {
+    const auto& q = lib->fingerprints[cursor++ % lib->fingerprints.size()];
+    auto result = lib->index.SearchThresholdParallel(q, threshold, pool);
+    DT_CHECK(result.ok());
+    hits += static_cast<int64_t>(result->size());
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["hits"] = benchmark::Counter(
+      double(hits) / double(state.iterations()));
+}
+
 void BM_TopK(benchmark::State& state) {
   Library* lib = GetLibrary(static_cast<int>(state.range(0)));
   size_t cursor = 0;
@@ -96,6 +126,9 @@ BENCHMARK(BM_LinearScan)
 BENCHMARK(BM_BinnedIndex)
     ->Args({1000, 70})->Args({5000, 70})->Args({20000, 70})
     ->Args({20000, 90});
+BENCHMARK(BM_ParallelBinnedIndex)
+    ->Args({20000, 70, 1})->Args({20000, 70, 2})->Args({20000, 70, 4})
+    ->Args({20000, 70, 8})->Args({20000, 90, 4});
 BENCHMARK(BM_TopK)->Arg(1000)->Arg(5000)->Arg(20000);
 
 int main(int argc, char** argv) {

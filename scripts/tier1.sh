@@ -13,4 +13,13 @@ cmake -B build-asan -S . -DDRUGTREE_SANITIZE=address
 cmake --build build-asan -j "$(nproc)" --target obs_test
 ./build-asan/tests/obs_test
 
+# TSan smoke of the concurrency-bearing paths: the thread pool itself, the
+# multi-channel network + windowed mediator, and morsel-parallel execution.
+cmake -B build-tsan -S . -DDRUGTREE_SANITIZE=thread
+cmake --build build-tsan -j "$(nproc)" \
+  --target util_thread_pool_test integration_async_test query_parallel_test
+./build-tsan/tests/util_thread_pool_test
+./build-tsan/tests/integration_async_test
+./build-tsan/tests/query_parallel_test
+
 echo "tier-1 OK"

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace drugtree {
 namespace chem {
@@ -57,6 +58,52 @@ util::Result<std::vector<SimilarityHit>> SimilarityIndex::SearchThreshold(
       double s = Tanimoto(query, e.fp);
       if (s >= threshold) hits.push_back({e.id, s});
     }
+  }
+  std::sort(hits.begin(), hits.end(), [](const auto& a, const auto& b) {
+    return a.similarity > b.similarity ||
+           (a.similarity == b.similarity && a.id < b.id);
+  });
+  return hits;
+}
+
+util::Result<std::vector<SimilarityHit>> SimilarityIndex::SearchThresholdParallel(
+    const Fingerprint& query, double threshold, util::ThreadPool* pool) const {
+  if (query.num_bits() != num_bits_) {
+    return util::Status::InvalidArgument("query fingerprint width mismatch");
+  }
+  if (threshold <= 0.0 || threshold > 1.0) {
+    return util::Status::InvalidArgument("threshold must be in (0, 1]");
+  }
+  // Candidate set: entries surviving the popcount bound, in bin order.
+  int qp = query.PopCount();
+  int lo = static_cast<int>(std::ceil(threshold * qp));
+  int hi = qp == 0 ? 0
+                   : static_cast<int>(std::floor(static_cast<double>(qp) /
+                                                 threshold));
+  hi = std::min(hi, num_bits_);
+  std::vector<const Entry*> candidates;
+  for (int p = lo; p <= hi && static_cast<size_t>(p) < bins_.size(); ++p) {
+    for (const Entry& e : bins_[static_cast<size_t>(p)]) {
+      candidates.push_back(&e);
+    }
+  }
+  constexpr size_t kMorsel = 512;
+  if (pool == nullptr || candidates.size() < 2 * kMorsel) {
+    return SearchThreshold(query, threshold);
+  }
+  const size_t num_morsels = (candidates.size() + kMorsel - 1) / kMorsel;
+  std::vector<std::vector<SimilarityHit>> partial(num_morsels);
+  pool->ParallelFor(num_morsels, [&](size_t m) {
+    const size_t begin = m * kMorsel;
+    const size_t end = std::min(candidates.size(), begin + kMorsel);
+    for (size_t i = begin; i < end; ++i) {
+      double s = Tanimoto(query, candidates[i]->fp);
+      if (s >= threshold) partial[m].push_back({candidates[i]->id, s});
+    }
+  });
+  std::vector<SimilarityHit> hits;
+  for (auto& p : partial) {
+    hits.insert(hits.end(), p.begin(), p.end());
   }
   std::sort(hits.begin(), hits.end(), [](const auto& a, const auto& b) {
     return a.similarity > b.similarity ||

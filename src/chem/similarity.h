@@ -18,6 +18,9 @@
 #include "util/result.h"
 
 namespace drugtree {
+namespace util {
+class ThreadPool;
+}  // namespace util
 namespace chem {
 
 /// Tanimoto (Jaccard) similarity in [0, 1]. Two all-zero fingerprints are
@@ -48,6 +51,14 @@ class SimilarityIndex {
   /// similarity. Uses the popcount bound to skip bins.
   util::Result<std::vector<SimilarityHit>> SearchThreshold(
       const Fingerprint& query, double threshold) const;
+
+  /// Morsel-parallel SearchThreshold: candidate entries (after the popcount
+  /// bound) are scored in fixed-size morsels on `pool`. The final sort uses
+  /// the same total order (similarity desc, id asc), so the result is
+  /// identical to SearchThreshold. Falls back to the serial path when
+  /// `pool` is null or the candidate set is small.
+  util::Result<std::vector<SimilarityHit>> SearchThresholdParallel(
+      const Fingerprint& query, double threshold, util::ThreadPool* pool) const;
 
   /// Top-k most similar entries, descending. Uses the bound adaptively: bins
   /// are visited in order of decreasing best-possible similarity and the scan

@@ -1,5 +1,6 @@
 #include "core/drugtree.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bio/distance.h"
@@ -24,8 +25,13 @@ util::Result<std::unique_ptr<DrugTree>> DrugTree::Build(
   util::Rng rng(options.seed);
 
   // 1. Simulated remote sources.
+  integration::NetworkParams np = options.source_network;
+  if (options.fetch_concurrency > 1) {
+    np.max_concurrency = std::max(np.max_concurrency,
+                                  options.fetch_concurrency);
+  }
   dt->network_ = std::make_unique<integration::SimulatedNetwork>(
-      clock, options.source_network, options.seed ^ 0x5EEDULL);
+      clock, np, options.seed ^ 0x5EEDULL);
   integration::ProteinSourceParams pp;
   pp.num_families = options.num_families;
   pp.taxa_per_family = options.taxa_per_family;
@@ -70,6 +76,7 @@ util::Result<std::unique_ptr<DrugTree>> DrugTree::Build(
       dt->activity_source_.get(), dt->semantic_cache_.get());
   integration::MediatorOptions mo;
   mo.batch_requests = options.batch_requests;
+  mo.max_concurrency = options.fetch_concurrency;
   DRUGTREE_ASSIGN_OR_RETURN(dt->dataset_, dt->mediator_->IntegrateAll(mo));
 
   // 3. Distance matrix + phylogeny over all integrated proteins.

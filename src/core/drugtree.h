@@ -54,6 +54,10 @@ struct BuildOptions {
   // Integration behaviour.
   integration::NetworkParams source_network;
   bool batch_requests = true;
+  /// Overlapped in-flight fetch window for per-record integration; also
+  /// sets source_network.max_concurrency when > 1. 1 = serial (identical
+  /// behaviour to historical builds).
+  int fetch_concurrency = 1;
   uint64_t semantic_cache_bytes = 8 * 1024 * 1024;
 
   // Query engine.

@@ -83,6 +83,21 @@ std::vector<ActivityRecord> ActivitySource::FetchByAccession(
   return out;
 }
 
+Deferred<std::vector<ActivityRecord>> ActivitySource::FetchByAccessionAsync(
+    const std::string& accession) {
+  Deferred<std::vector<ActivityRecord>> out;
+  uint64_t bytes = 64;
+  auto it = by_accession_.find(accession);
+  if (it != by_accession_.end()) {
+    for (size_t i : it->second) {
+      out.value.push_back(records_[i]);
+      bytes += out.value.back().ApproxBytes();
+    }
+  }
+  out.ready_micros = ChargeAsync(bytes);
+  return out;
+}
+
 std::vector<ActivityRecord> ActivitySource::FetchByLigand(
     const std::string& ligand_id) {
   std::vector<ActivityRecord> out;

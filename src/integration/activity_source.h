@@ -37,6 +37,10 @@ class ActivitySource : public RemoteSource {
   /// All measurements for one protein; one request.
   std::vector<ActivityRecord> FetchByAccession(const std::string& accession);
 
+  /// All measurements for one protein, scheduled without blocking.
+  Deferred<std::vector<ActivityRecord>> FetchByAccessionAsync(
+      const std::string& accession);
+
   /// All measurements for one ligand; one request.
   std::vector<ActivityRecord> FetchByLigand(const std::string& ligand_id);
 

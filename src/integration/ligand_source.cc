@@ -35,6 +35,19 @@ util::Result<LigandEntry> LigandSource::FetchById(
   return e;
 }
 
+util::Result<Deferred<LigandEntry>> LigandSource::FetchByIdAsync(
+    const std::string& ligand_id) {
+  auto it = by_id_.find(ligand_id);
+  if (it == by_id_.end()) {
+    ChargeAsync(64);
+    return util::Status::NotFound("no ligand with id " + ligand_id);
+  }
+  Deferred<LigandEntry> out;
+  out.value = entries_[it->second];
+  out.ready_micros = ChargeAsync(out.value.ApproxBytes());
+  return out;
+}
+
 std::vector<LigandEntry> LigandSource::FetchBatch(
     const std::vector<std::string>& ids) {
   std::vector<LigandEntry> out;

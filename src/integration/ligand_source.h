@@ -39,6 +39,10 @@ class LigandSource : public RemoteSource {
   /// One compound by id; one request.
   util::Result<LigandEntry> FetchById(const std::string& ligand_id);
 
+  /// One compound by id, scheduled without blocking.
+  util::Result<Deferred<LigandEntry>> FetchByIdAsync(
+      const std::string& ligand_id);
+
   /// Batch fetch in a single request; unknown ids are skipped.
   std::vector<LigandEntry> FetchBatch(const std::vector<std::string>& ids);
 

@@ -1,9 +1,11 @@
 #include "integration/mediator.h"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <tuple>
 
+#include "integration/network.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -214,6 +216,57 @@ util::Result<std::vector<ProteinRecord>> Mediator::GetFamily(
   return recs;
 }
 
+util::Result<Deferred<std::vector<ProteinRecord>>> Mediator::GetFamilyAsync(
+    const std::string& family, const MediatorOptions& options) {
+  const std::string fam_key = SemanticCache::FamilyKey(family);
+  if (CacheEnabled(options) && cache_->Contains(fam_key)) {
+    auto blob = cache_->Get(fam_key);
+    if (blob) {
+      Deferred<std::vector<ProteinRecord>> out;
+      bool all_present = true;
+      for (const auto& acc : util::Split(*blob, ',')) {
+        if (acc.empty()) continue;
+        auto member = cache_->Get(SemanticCache::ProteinKey(acc));
+        if (!member) {
+          all_present = false;
+          break;
+        }
+        DRUGTREE_ASSIGN_OR_RETURN(ProteinRecord rec, DecodeProtein(*member));
+        out.value.push_back(std::move(rec));
+      }
+      if (all_present) return out;
+    }
+  }
+  Deferred<std::vector<ProteinRecord>> out =
+      protein_source_->FetchFamilyAsync(family);
+  if (CacheEnabled(options)) {
+    std::vector<std::string> accs;
+    for (const auto& rec : out.value) {
+      cache_->Put(SemanticCache::ProteinKey(rec.accession),
+                  EncodeProtein(rec));
+      accs.push_back(rec.accession);
+    }
+    cache_->Put(fam_key, util::Join(accs, ","));
+  }
+  return out;
+}
+
+util::Result<Deferred<std::vector<ActivityRecord>>> Mediator::GetActivitiesAsync(
+    const std::string& accession, const MediatorOptions& options) {
+  const std::string key = SemanticCache::ActivitiesByProteinKey(accession);
+  if (CacheEnabled(options)) {
+    if (auto blob = cache_->Get(key)) {
+      Deferred<std::vector<ActivityRecord>> out;
+      DRUGTREE_ASSIGN_OR_RETURN(out.value, DecodeActivities(*blob));
+      return out;
+    }
+  }
+  Deferred<std::vector<ActivityRecord>> out =
+      activity_source_->FetchByAccessionAsync(accession);
+  if (CacheEnabled(options)) cache_->Put(key, EncodeActivities(out.value));
+  return out;
+}
+
 util::Result<IntegratedDataset> Mediator::IntegrateAll(
     const MediatorOptions& options) {
   DT_SPAN("integrate.all");
@@ -224,6 +277,8 @@ util::Result<IntegratedDataset> Mediator::IntegrateAll(
   ds.proteins = std::make_unique<Table>("proteins", ProteinTableSchema());
   ds.ligands = std::make_unique<Table>("ligands", LigandTableSchema());
   ds.activities = std::make_unique<Table>("activities", ActivityTableSchema());
+  async_stats_ = MediatorAsyncStats{};
+  const bool overlapped = options.max_concurrency > 1 && network() != nullptr;
 
   // Proteins.
   std::vector<ProteinRecord> proteins;
@@ -231,6 +286,31 @@ util::Result<IntegratedDataset> Mediator::IntegrateAll(
     DT_SPAN("integrate.fetch_proteins");
     if (options.batch_requests) {
       proteins = protein_source_->FetchAll();
+    } else if (overlapped) {
+      // Overlapped per-record fetch: keep up to max_concurrency requests in
+      // flight; cache semantics match the serial GetProtein path exactly.
+      FetchWindow window(network(), options.max_concurrency);
+      for (const auto& acc : protein_source_->ListAccessions()) {
+        const std::string key = SemanticCache::ProteinKey(acc);
+        if (CacheEnabled(options)) {
+          if (auto blob = cache_->Get(key)) {
+            DRUGTREE_ASSIGN_OR_RETURN(ProteinRecord rec, DecodeProtein(*blob));
+            proteins.push_back(std::move(rec));
+            continue;
+          }
+        }
+        window.Acquire();
+        DRUGTREE_ASSIGN_OR_RETURN(
+            Deferred<ProteinRecord> d,
+            protein_source_->FetchByAccessionAsync(acc));
+        window.Track(d.ready_micros);
+        ++async_stats_.async_requests;
+        if (CacheEnabled(options)) cache_->Put(key, EncodeProtein(d.value));
+        proteins.push_back(std::move(d.value));
+      }
+      window.Drain();
+      async_stats_.peak_in_flight =
+          std::max(async_stats_.peak_in_flight, window.peak_in_flight());
     } else {
       for (const auto& acc : protein_source_->ListAccessions()) {
         DRUGTREE_ASSIGN_OR_RETURN(ProteinRecord rec, GetProtein(acc, options));
@@ -252,6 +332,19 @@ util::Result<IntegratedDataset> Mediator::IntegrateAll(
     DT_SPAN("integrate.fetch_ligands");
     if (options.batch_requests) {
       ligands = ligand_source_->FetchAll();
+    } else if (overlapped) {
+      FetchWindow window(network(), options.max_concurrency);
+      for (const auto& id : ligand_source_->ListIds()) {
+        window.Acquire();
+        DRUGTREE_ASSIGN_OR_RETURN(Deferred<LigandEntry> d,
+                                  ligand_source_->FetchByIdAsync(id));
+        window.Track(d.ready_micros);
+        ++async_stats_.async_requests;
+        ligands.push_back(std::move(d.value));
+      }
+      window.Drain();
+      async_stats_.peak_in_flight =
+          std::max(async_stats_.peak_in_flight, window.peak_in_flight());
     } else {
       for (const auto& id : ligand_source_->ListIds()) {
         DRUGTREE_ASSIGN_OR_RETURN(LigandEntry e, ligand_source_->FetchById(id));
@@ -272,6 +365,30 @@ util::Result<IntegratedDataset> Mediator::IntegrateAll(
     DT_SPAN("integrate.fetch_activities");
     if (options.batch_requests) {
       activities = activity_source_->FetchAll();
+    } else if (overlapped) {
+      FetchWindow window(network(), options.max_concurrency);
+      for (const auto& p : proteins) {
+        const std::string key =
+            SemanticCache::ActivitiesByProteinKey(p.accession);
+        if (CacheEnabled(options)) {
+          if (auto blob = cache_->Get(key)) {
+            DRUGTREE_ASSIGN_OR_RETURN(std::vector<ActivityRecord> a,
+                                      DecodeActivities(*blob));
+            activities.insert(activities.end(), a.begin(), a.end());
+            continue;
+          }
+        }
+        window.Acquire();
+        Deferred<std::vector<ActivityRecord>> d =
+            activity_source_->FetchByAccessionAsync(p.accession);
+        window.Track(d.ready_micros);
+        ++async_stats_.async_requests;
+        if (CacheEnabled(options)) cache_->Put(key, EncodeActivities(d.value));
+        activities.insert(activities.end(), d.value.begin(), d.value.end());
+      }
+      window.Drain();
+      async_stats_.peak_in_flight =
+          std::max(async_stats_.peak_in_flight, window.peak_in_flight());
     } else {
       for (const auto& p : proteins) {
         DRUGTREE_ASSIGN_OR_RETURN(std::vector<ActivityRecord> a,

@@ -30,6 +30,11 @@ struct MediatorOptions {
   /// Consult / populate the semantic cache (may be null in which case this
   /// is ignored).
   bool use_cache = true;
+
+  /// Maximum number of overlapped in-flight requests for per-record fetch
+  /// paths. 1 reproduces the historical serial behaviour exactly; higher
+  /// values pipeline fetches over the simulated link's channels.
+  int max_concurrency = 1;
 };
 
 /// The integrated relational snapshot. Schemas:
@@ -49,6 +54,14 @@ struct IntegratedDataset {
 storage::Schema ProteinTableSchema();
 storage::Schema LigandTableSchema();
 storage::Schema ActivityTableSchema();
+
+/// Bookkeeping from the most recent overlapped integration run.
+struct MediatorAsyncStats {
+  /// Highest number of simultaneously in-flight requests observed.
+  int peak_in_flight = 0;
+  /// Requests issued through the overlapped (windowed) path.
+  uint64_t async_requests = 0;
+};
 
 class Mediator {
  public:
@@ -81,6 +94,24 @@ class Mediator {
   util::Result<std::vector<ProteinRecord>> GetFamily(
       const std::string& family, const MediatorOptions& options);
 
+  /// Overlapped variant of GetFamily: the request is scheduled on the
+  /// simulated link without advancing the clock; the caller decides when to
+  /// wait on `ready_micros`. Cache hits return ready_micros = 0 (no request).
+  /// The cache is populated immediately — in the simulation the payload is
+  /// known at submit time, only its arrival time is deferred.
+  util::Result<Deferred<std::vector<ProteinRecord>>> GetFamilyAsync(
+      const std::string& family, const MediatorOptions& options);
+
+  /// Overlapped variant of GetActivities; same semantics as GetFamilyAsync.
+  util::Result<Deferred<std::vector<ActivityRecord>>> GetActivitiesAsync(
+      const std::string& accession, const MediatorOptions& options);
+
+  /// The simulated link shared by the wrapped sources (may be null).
+  SimulatedNetwork* network() const { return protein_source_->network(); }
+
+  /// Stats from the last IntegrateAll run that used max_concurrency > 1.
+  const MediatorAsyncStats& async_stats() const { return async_stats_; }
+
   /// Serialization helpers (exposed for tests and the prefetcher).
   static std::string EncodeProtein(const ProteinRecord& rec);
   static util::Result<ProteinRecord> DecodeProtein(const std::string& blob);
@@ -97,6 +128,7 @@ class Mediator {
   LigandSource* ligand_source_;
   ActivitySource* activity_source_;
   SemanticCache* cache_;
+  MediatorAsyncStats async_stats_;
 };
 
 }  // namespace integration

@@ -3,11 +3,24 @@
 // SimulatedClock in benchmarks (fast, deterministic) or a RealClock in the
 // interactive examples. This stands in for the web round trips the real
 // DrugTree paid to its protein/ligand databases.
+//
+// The link has `max_concurrency` channels. Requests are scheduled onto the
+// earliest-free channel in *virtual* time: SubmitRequest records when the
+// response will be ready (completion-time bookkeeping) without advancing
+// the clock; WaitUntil advances the clock to a completion. Latencies of
+// concurrent requests overlap; transfers share link bandwidth (a transfer
+// that starts while k channels are busy runs at bandwidth/k). At
+// max_concurrency = 1 the blocking Request path is bit-identical to the
+// historical serial model.
 
 #ifndef DRUGTREE_INTEGRATION_NETWORK_H_
 #define DRUGTREE_INTEGRATION_NETWORK_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <queue>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "util/clock.h"
@@ -25,9 +38,15 @@ struct NetworkParams {
   /// costs timeout_micros and transfers nothing; sources retry.
   double failure_probability = 0.0;
   int64_t timeout_micros = 2'000'000;
+  /// In-flight request channels. 1 = the historical serial link; >1 lets
+  /// request latencies overlap while transfers share bandwidth.
+  int max_concurrency = 1;
 };
 
 /// Charges simulated time for requests and transfers; accumulates counters.
+/// Scheduling state (channels, rng, params) is mutex-protected and the
+/// counters are atomics, so concurrent callers — thread-pool morsel workers,
+/// an overlapping prefetcher — are race-free.
 class SimulatedNetwork {
  public:
   SimulatedNetwork(util::Clock* clock, NetworkParams params, uint64_t seed = 7)
@@ -40,43 +59,144 @@ class SimulatedNetwork {
     obs::Counter* bytes;
     obs::Counter* failures;
     obs::Counter* busy_micros;
+    obs::Counter* queue_wait_micros;
+    obs::Gauge* in_flight;
   };
 
-  /// Performs one request carrying `payload_bytes` of response data:
-  /// advances the clock by latency (+jitter) + transfer time. Returns the
-  /// microseconds charged. With failure injection enabled this is the
-  /// reliable path (failed attempts are retried internally until one
-  /// succeeds, each charging timeout_micros).
+  /// Outcome of scheduling one (reliable) request.
+  struct Completion {
+    int64_t ready_micros = 0;    // absolute virtual time the response lands
+    int64_t charged_micros = 0;  // link busy time charged, retries included
+  };
+
+  /// Schedules one request carrying `payload_bytes` of response data onto
+  /// the earliest-free channel WITHOUT advancing the clock. With failure
+  /// injection enabled this is the reliable path (failed attempts charge
+  /// timeout_micros on the same channel until one succeeds).
+  Completion SubmitRequest(uint64_t payload_bytes);
+
+  /// Advances the clock to `ready_micros` (no-op if the clock is already
+  /// past it).
+  void WaitUntil(int64_t ready_micros);
+
+  /// Advances the clock past every scheduled completion (drains the link).
+  void Quiesce();
+
+  /// Blocking request: SubmitRequest + WaitUntil. Returns the microseconds
+  /// charged. Bit-identical to the historical serial path when
+  /// max_concurrency == 1.
   int64_t Request(uint64_t payload_bytes);
 
-  /// One attempt: returns false (charging timeout_micros) with probability
-  /// failure_probability, true (charging the normal cost) otherwise.
-  /// `charged_micros` may be null.
+  /// One blocking attempt: returns false (charging timeout_micros) with
+  /// probability failure_probability, true (charging the normal cost)
+  /// otherwise. `charged_micros` may be null.
   bool TryRequest(uint64_t payload_bytes, int64_t* charged_micros);
 
   /// Cost model without advancing time (used by the prefetcher's budgeter).
   int64_t EstimateMicros(uint64_t payload_bytes) const;
 
-  uint64_t num_requests() const { return num_requests_; }
-  uint64_t num_failures() const { return num_failures_; }
-  uint64_t bytes_transferred() const { return bytes_; }
-  int64_t busy_micros() const { return busy_micros_; }
+  uint64_t num_requests() const {
+    return num_requests_.load(std::memory_order_relaxed);
+  }
+  uint64_t num_failures() const {
+    return num_failures_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_transferred() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  int64_t busy_micros() const {
+    return busy_micros_.load(std::memory_order_relaxed);
+  }
 
-  const NetworkParams& params() const { return params_; }
-  void set_params(const NetworkParams& p) { params_ = p; }
+  NetworkParams params() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return params_;
+  }
+  void set_params(const NetworkParams& p) {
+    std::lock_guard<std::mutex> lock(mu_);
+    params_ = p;
+    channels_.clear();  // re-sized lazily to the new max_concurrency
+  }
 
   util::Clock* clock() { return clock_; }
 
  private:
   static const Metrics& SharedMetrics();
 
+  /// Schedules one reliable request; assumes mu_ is held.
+  Completion SubmitLocked(uint64_t payload_bytes);
+
   util::Clock* clock_;
+  mutable std::mutex mu_;        // guards params_, rng_, channels_
   NetworkParams params_;
   util::Rng rng_;
-  uint64_t num_requests_ = 0;
-  uint64_t num_failures_ = 0;
-  uint64_t bytes_ = 0;
-  int64_t busy_micros_ = 0;
+  std::vector<int64_t> channels_;  // per-channel free-at time (virtual)
+  std::atomic<uint64_t> num_requests_{0};
+  std::atomic<uint64_t> num_failures_{0};
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<int64_t> busy_micros_{0};
+};
+
+/// Bounded in-flight window over async submissions, the mediator's and
+/// prefetcher's batching primitive. Callers Acquire() a slot before
+/// submitting (which, when the window is full, waits — in virtual time —
+/// for the earliest outstanding completion), then Track() the new
+/// completion, and Drain() once the batch is issued.
+class FetchWindow {
+ public:
+  /// `network` may be null (no virtual-time accounting; everything is
+  /// immediately complete).
+  FetchWindow(SimulatedNetwork* network, int window)
+      : network_(network), window_(window < 1 ? 1 : window) {}
+
+  /// Blocks (virtually) until fewer than `window` submissions are
+  /// outstanding.
+  void Acquire() {
+    Prune();
+    while (static_cast<int>(outstanding_.size()) >= window_) {
+      int64_t earliest = outstanding_.top();
+      outstanding_.pop();
+      if (network_ != nullptr) network_->WaitUntil(earliest);
+      Prune();
+    }
+  }
+
+  /// Records a submission's completion time.
+  void Track(int64_t ready_micros) {
+    outstanding_.push(ready_micros);
+    int depth = static_cast<int>(outstanding_.size());
+    if (depth > peak_in_flight_) peak_in_flight_ = depth;
+  }
+
+  /// Waits for every outstanding completion.
+  void Drain() {
+    int64_t last = 0;
+    while (!outstanding_.empty()) {
+      last = outstanding_.top();
+      outstanding_.pop();
+    }
+    if (network_ != nullptr && last > 0) network_->WaitUntil(last);
+  }
+
+  /// High-water mark of simultaneously outstanding submissions (what the
+  /// bounded-window tests assert on).
+  int peak_in_flight() const { return peak_in_flight_; }
+
+ private:
+  /// Drops completions the clock has already passed.
+  void Prune() {
+    if (network_ == nullptr) return;
+    int64_t now = network_->clock()->NowMicros();
+    while (!outstanding_.empty() && outstanding_.top() <= now) {
+      outstanding_.pop();
+    }
+  }
+
+  SimulatedNetwork* network_;
+  int window_;
+  int peak_in_flight_ = 0;
+  std::priority_queue<int64_t, std::vector<int64_t>, std::greater<int64_t>>
+      outstanding_;
 };
 
 }  // namespace integration

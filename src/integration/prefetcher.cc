@@ -1,5 +1,8 @@
 #include "integration/prefetcher.h"
 
+#include <algorithm>
+
+#include "integration/network.h"
 #include "obs/metrics.h"
 
 namespace drugtree {
@@ -66,23 +69,58 @@ util::Result<ProteinRecord> TreeAwarePrefetcher::GetProtein(
   DRUGTREE_ASSIGN_OR_RETURN(ProteinRecord rec,
                             mediator_->GetProtein(accession, mopts));
   if (options_.widen_to_family) {
-    DRUGTREE_ASSIGN_OR_RETURN(std::vector<ProteinRecord> family,
-                              mediator_->GetFamily(rec.family, mopts));
-    for (const auto& member : family) {
-      if (member.accession == accession) continue;
-      MarkPrefetched(SemanticCache::ProteinKey(member.accession));
-      if (options_.prefetch_activities) {
-        const std::string akey =
-            SemanticCache::ActivitiesByProteinKey(member.accession);
-        if (!cache_->Contains(akey)) {
-          DRUGTREE_RETURN_IF_ERROR(
-              mediator_->GetActivities(member.accession, mopts).status());
-          MarkPrefetched(akey);
+    if (options_.async_prefetch && mediator_->network() != nullptr) {
+      // Overlapped widening: schedule the family (and activity) fetches on
+      // spare link channels without advancing the clock. The payloads are
+      // installed into the cache immediately; the time cost is deferred
+      // until Quiesce() or the natural serialization of a later request.
+      DRUGTREE_ASSIGN_OR_RETURN(Deferred<std::vector<ProteinRecord>> family,
+                                mediator_->GetFamilyAsync(rec.family, mopts));
+      pending_ready_micros_ =
+          std::max(pending_ready_micros_, family.ready_micros);
+      for (const auto& member : family.value) {
+        if (member.accession == accession) continue;
+        MarkPrefetched(SemanticCache::ProteinKey(member.accession));
+        if (options_.prefetch_activities) {
+          const std::string akey =
+              SemanticCache::ActivitiesByProteinKey(member.accession);
+          if (!cache_->Contains(akey)) {
+            DRUGTREE_ASSIGN_OR_RETURN(
+                Deferred<std::vector<ActivityRecord>> acts,
+                mediator_->GetActivitiesAsync(member.accession, mopts));
+            pending_ready_micros_ =
+                std::max(pending_ready_micros_, acts.ready_micros);
+            MarkPrefetched(akey);
+          }
+        }
+      }
+    } else {
+      DRUGTREE_ASSIGN_OR_RETURN(std::vector<ProteinRecord> family,
+                                mediator_->GetFamily(rec.family, mopts));
+      for (const auto& member : family) {
+        if (member.accession == accession) continue;
+        MarkPrefetched(SemanticCache::ProteinKey(member.accession));
+        if (options_.prefetch_activities) {
+          const std::string akey =
+              SemanticCache::ActivitiesByProteinKey(member.accession);
+          if (!cache_->Contains(akey)) {
+            DRUGTREE_RETURN_IF_ERROR(
+                mediator_->GetActivities(member.accession, mopts).status());
+            MarkPrefetched(akey);
+          }
         }
       }
     }
   }
   return rec;
+}
+
+void TreeAwarePrefetcher::Quiesce() {
+  if (pending_ready_micros_ == 0) return;
+  if (SimulatedNetwork* net = mediator_->network()) {
+    net->WaitUntil(pending_ready_micros_);
+  }
+  pending_ready_micros_ = 0;
 }
 
 util::Result<std::vector<ActivityRecord>> TreeAwarePrefetcher::GetActivities(

@@ -40,6 +40,11 @@ struct PrefetcherOptions {
   bool widen_to_family = true;
   /// Also prefetch the activity lists of the widened members.
   bool prefetch_activities = false;
+  /// Issue the widening fetches as overlapped requests on spare link
+  /// channels instead of blocking the demand fetch on them. The caller (or
+  /// the next demand fetch) pays the wait via Quiesce(). Off by default so
+  /// the serial timing of existing sessions is unchanged.
+  bool async_prefetch = false;
 };
 
 class TreeAwarePrefetcher {
@@ -57,6 +62,11 @@ class TreeAwarePrefetcher {
   util::Result<std::vector<ActivityRecord>> GetActivities(
       const std::string& accession);
 
+  /// Waits until all overlapped prefetch requests have completed (advances
+  /// the simulated clock to the latest outstanding completion). No-op when
+  /// async_prefetch is off or nothing is outstanding.
+  void Quiesce();
+
   const PrefetcherStats& stats() const { return stats_; }
 
  private:
@@ -68,6 +78,7 @@ class TreeAwarePrefetcher {
   PrefetcherOptions options_;
   PrefetcherStats stats_;
   std::unordered_set<std::string> speculative_;  // keys installed by prefetch
+  int64_t pending_ready_micros_ = 0;  // latest overlapped completion time
 };
 
 }  // namespace integration

@@ -55,6 +55,19 @@ util::Result<ProteinRecord> ProteinSource::FetchByAccession(
   return rec;
 }
 
+util::Result<Deferred<ProteinRecord>> ProteinSource::FetchByAccessionAsync(
+    const std::string& accession) {
+  auto it = by_accession_.find(accession);
+  if (it == by_accession_.end()) {
+    ChargeAsync(64);  // error responses still cost a round trip
+    return util::Status::NotFound("no protein with accession " + accession);
+  }
+  Deferred<ProteinRecord> out;
+  out.value = records_[it->second];
+  out.ready_micros = ChargeAsync(out.value.ApproxBytes());
+  return out;
+}
+
 std::vector<ProteinRecord> ProteinSource::FetchBatch(
     const std::vector<std::string>& accs) {
   std::vector<ProteinRecord> out;
@@ -99,6 +112,20 @@ std::vector<ProteinRecord> ProteinSource::FetchFamily(
     }
   }
   Charge(bytes);
+  return out;
+}
+
+Deferred<std::vector<ProteinRecord>> ProteinSource::FetchFamilyAsync(
+    const std::string& family) {
+  Deferred<std::vector<ProteinRecord>> out;
+  uint64_t bytes = 64;
+  for (const auto& r : records_) {
+    if (r.family == family) {
+      out.value.push_back(r);
+      bytes += r.ApproxBytes();
+    }
+  }
+  out.ready_micros = ChargeAsync(bytes);
   return out;
 }
 

@@ -35,6 +35,15 @@ class ProteinSource : public RemoteSource {
   /// One accession. Charges one request.
   util::Result<ProteinRecord> FetchByAccession(const std::string& accession);
 
+  /// One accession, scheduled without blocking: the record is returned
+  /// immediately, the network charge completes at `ready_micros`.
+  util::Result<Deferred<ProteinRecord>> FetchByAccessionAsync(
+      const std::string& accession);
+
+  /// All records of one family, scheduled without blocking.
+  Deferred<std::vector<ProteinRecord>> FetchFamilyAsync(
+      const std::string& family);
+
   /// A batch of accessions in one request (one latency charge, summed
   /// payload) — the batching optimization E3 measures. Unknown accessions
   /// are skipped.

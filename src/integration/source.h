@@ -41,6 +41,16 @@ struct ActivityRecord {
   uint64_t ApproxBytes() const;
 };
 
+/// A fetch whose response payload is known (the data is simulated) but
+/// whose network completion lies in the virtual future. `ready_micros` is
+/// the absolute virtual time the response lands; callers overlap fetches by
+/// submitting several before waiting on any (see FetchWindow).
+template <typename T>
+struct Deferred {
+  T value{};
+  int64_t ready_micros = 0;
+};
+
 /// Common behaviour of a simulated remote source.
 class RemoteSource {
  public:
@@ -51,11 +61,23 @@ class RemoteSource {
   const std::string& name() const { return name_; }
   uint64_t num_requests() const { return requests_; }
 
+  /// The link this source charges (null in offline tests).
+  SimulatedNetwork* network() { return network_; }
+
  protected:
-  /// Charges one request of `payload_bytes` to the network.
+  /// Charges one request of `payload_bytes` to the network (blocking in
+  /// virtual time).
   void Charge(uint64_t payload_bytes) {
     ++requests_;
     if (network_ != nullptr) network_->Request(payload_bytes);
+  }
+
+  /// Schedules one request without blocking; returns the absolute virtual
+  /// completion time (0 when there is no network).
+  int64_t ChargeAsync(uint64_t payload_bytes) {
+    ++requests_;
+    if (network_ == nullptr) return 0;
+    return network_->SubmitRequest(payload_bytes).ready_micros;
   }
 
  private:

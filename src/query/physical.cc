@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace drugtree {
@@ -31,6 +33,19 @@ uint64_t HashKey(const std::vector<Value>& key) {
     h ^= v.Hash() + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
   }
   return h;
+}
+
+/// Morsel accounting for the parallel operator paths.
+obs::Counter* MorselCounter() {
+  static obs::Counter* c =
+      obs::MetricRegistry::Default()->GetCounter("query.parallel.morsels");
+  return c;
+}
+
+obs::Counter* ParallelRowsCounter() {
+  static obs::Counter* c =
+      obs::MetricRegistry::Default()->GetCounter("query.parallel.rows");
+  return c;
 }
 
 }  // namespace
@@ -87,12 +102,13 @@ obs::ExplainNode PhysicalOperator::AnalyzeTree() const {
 // ---------------------------------------------------------------- SeqScanOp
 
 SeqScanOp::SeqScanOp(const Table* table, std::string alias, ExprPtr predicate,
-                     EvalContext ctx, ExecStats* stats)
+                     EvalContext ctx, ExecStats* stats, ParallelContext par)
     : table_(table),
       alias_(std::move(alias)),
       predicate_(std::move(predicate)),
       ctx_(ctx),
-      stats_(stats) {}
+      stats_(stats),
+      par_(par) {}
 
 util::Status SeqScanOp::OpenImpl() {
   DRUGTREE_ASSIGN_OR_RETURN(schema_, ScanSchema(*table_, alias_));
@@ -100,10 +116,62 @@ util::Status SeqScanOp::OpenImpl() {
     DRUGTREE_RETURN_IF_ERROR(BindExpr(predicate_.get(), schema_));
   }
   cursor_ = 0;
+  mcursor_ = 0;
+  materialized_ = false;
+  matches_.clear();
+  if (par_.enabled() && predicate_ &&
+      static_cast<size_t>(table_->NumRows()) >= 2 * par_.morsel_rows) {
+    DRUGTREE_RETURN_IF_ERROR(MaterializeParallel());
+    materialized_ = true;
+  }
+  return util::Status::OK();
+}
+
+util::Status SeqScanOp::MaterializeParallel() {
+  DT_SPAN("exec.parallel_scan");
+  const size_t n = static_cast<size_t>(table_->NumRows());
+  const size_t morsel = par_.morsel_rows;
+  const size_t num_morsels = (n + morsel - 1) / morsel;
+  std::vector<std::vector<storage::RowId>> hits(num_morsels);
+  std::vector<util::Status> errors(num_morsels, util::Status::OK());
+  std::vector<int64_t> scanned(num_morsels, 0);
+  std::vector<int64_t> evals(num_morsels, 0);
+  par_.pool->ParallelFor(num_morsels, [&](size_t m) {
+    const size_t begin = m * morsel;
+    const size_t end = std::min(n, begin + morsel);
+    for (size_t i = begin; i < end; ++i) {
+      storage::RowId id = static_cast<storage::RowId>(i);
+      if (table_->IsDeleted(id)) continue;
+      ++scanned[m];
+      ++evals[m];
+      auto keep = EvalPredicate(*predicate_, table_->row(id), ctx_);
+      if (!keep.ok()) {
+        errors[m] = keep.status();
+        return;
+      }
+      if (*keep) hits[m].push_back(id);
+    }
+  });
+  for (const auto& s : errors) {
+    if (!s.ok()) return s;
+  }
+  for (size_t m = 0; m < num_morsels; ++m) {
+    stats_->rows_scanned += scanned[m];
+    stats_->predicate_evals += evals[m];
+    matches_.insert(matches_.end(), hits[m].begin(), hits[m].end());
+  }
+  MorselCounter()->Add(static_cast<int64_t>(num_morsels));
+  ParallelRowsCounter()->Add(static_cast<int64_t>(n));
   return util::Status::OK();
 }
 
 util::Result<bool> SeqScanOp::NextImpl(Row* out) {
+  if (materialized_) {
+    // Stats were accumulated during the parallel materialization.
+    if (mcursor_ >= matches_.size()) return false;
+    *out = table_->row(matches_[mcursor_++]);
+    return true;
+  }
   while (cursor_ < table_->NumRows()) {
     storage::RowId id = cursor_++;
     if (table_->IsDeleted(id)) continue;
@@ -336,13 +404,15 @@ std::string NestedLoopJoinOp::Describe() const {
 
 HashJoinOp::HashJoinOp(PhysicalPtr left, PhysicalPtr right,
                        std::vector<std::pair<ExprPtr, ExprPtr>> key_pairs,
-                       ExprPtr residual, EvalContext ctx, ExecStats* stats)
+                       ExprPtr residual, EvalContext ctx, ExecStats* stats,
+                       ParallelContext par)
     : left_(std::move(left)),
       right_(std::move(right)),
       key_pairs_(std::move(key_pairs)),
       residual_(std::move(residual)),
       ctx_(ctx),
-      stats_(stats) {
+      stats_(stats),
+      par_(par) {
   explain_children_ = {left_.get(), right_.get()};
 }
 
@@ -375,22 +445,65 @@ util::Status HashJoinOp::OpenImpl() {
     DRUGTREE_RETURN_IF_ERROR(BindExpr(residual_.get(), schema_));
   }
 
-  // Build phase on the right input.
+  // Build phase on the right input: materialize, hash the keys (in morsels
+  // when a pool is available), then index hash -> row positions in row
+  // order. The index layout is independent of the hashing schedule, so the
+  // probe side sees identical match order at any parallelism.
   hash_table_.clear();
+  right_rows_.clear();
   std::vector<ExprPtr> right_keys;
   for (auto& [lk, rk] : key_pairs_) right_keys.push_back(rk);
   Row r;
-  std::vector<Value> key;
   for (;;) {
     DRUGTREE_ASSIGN_OR_RETURN(bool more, right_->Next(&r));
     if (!more) break;
-    DRUGTREE_ASSIGN_OR_RETURN(uint64_t h, KeyHash(right_keys, r, &key));
-    bool has_null = false;
-    for (const auto& v : key) has_null |= v.is_null();
-    if (has_null) continue;  // NULL keys never join
-    hash_table_.emplace(h, r);
+    right_rows_.push_back(r);
+  }
+  const size_t n = right_rows_.size();
+  std::vector<uint64_t> hashes(n);
+  std::vector<char> valid(n, 0);
+  if (par_.enabled() && n >= 2 * par_.morsel_rows) {
+    DT_SPAN("exec.parallel_build");
+    const size_t morsel = par_.morsel_rows;
+    const size_t num_morsels = (n + morsel - 1) / morsel;
+    std::vector<util::Status> errors(num_morsels, util::Status::OK());
+    par_.pool->ParallelFor(num_morsels, [&](size_t m) {
+      std::vector<Value> key;
+      const size_t begin = m * morsel;
+      const size_t end = std::min(n, begin + morsel);
+      for (size_t i = begin; i < end; ++i) {
+        auto h = KeyHash(right_keys, right_rows_[i], &key);
+        if (!h.ok()) {
+          errors[m] = h.status();
+          return;
+        }
+        bool has_null = false;
+        for (const auto& v : key) has_null |= v.is_null();
+        valid[i] = has_null ? 0 : 1;  // NULL keys never join
+        hashes[i] = *h;
+      }
+    });
+    for (const auto& s : errors) {
+      if (!s.ok()) return s;
+    }
+    MorselCounter()->Add(static_cast<int64_t>(num_morsels));
+    ParallelRowsCounter()->Add(static_cast<int64_t>(n));
+  } else {
+    std::vector<Value> key;
+    for (size_t i = 0; i < n; ++i) {
+      DRUGTREE_ASSIGN_OR_RETURN(uint64_t h,
+                                KeyHash(right_keys, right_rows_[i], &key));
+      bool has_null = false;
+      for (const auto& v : key) has_null |= v.is_null();
+      valid[i] = has_null ? 0 : 1;  // NULL keys never join
+      hashes[i] = h;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (valid[i]) hash_table_[hashes[i]].push_back(i);
   }
   have_left_ = false;
+  probe_list_ = nullptr;
   return util::Status::OK();
 }
 
@@ -409,12 +522,13 @@ util::Result<bool> HashJoinOp::NextImpl(Row* out) {
       bool has_null = false;
       for (const auto& v : current_key_) has_null |= v.is_null();
       if (has_null) continue;
-      probe_range_ = hash_table_.equal_range(h);
+      auto it = hash_table_.find(h);
+      probe_list_ = it == hash_table_.end() ? nullptr : &it->second;
+      probe_pos_ = 0;
       have_left_ = true;
     }
-    while (probe_range_.first != probe_range_.second) {
-      const Row& r = probe_range_.first->second;
-      ++probe_range_.first;
+    while (probe_list_ != nullptr && probe_pos_ < probe_list_->size()) {
+      const Row& r = right_rows_[(*probe_list_)[probe_pos_++]];
       // Verify key equality (hash collisions).
       std::vector<Value> rkey;
       auto rh = KeyHash(right_keys, r, &rkey);

@@ -22,6 +22,7 @@
 #include "storage/table.h"
 #include "util/clock.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace drugtree {
 namespace query {
@@ -32,6 +33,20 @@ struct ExecStats {
   int64_t rows_index_fetched = 0; // rows fetched through an index
   int64_t rows_joined = 0;        // rows emitted by join operators
   int64_t predicate_evals = 0;    // per-row predicate evaluations
+};
+
+/// Morsel-parallel execution context threaded from the planner into
+/// CPU-heavy operators (scan filtering, hash-join build hashing). A null
+/// pool or parallelism <= 1 keeps every operator on the serial path.
+/// Parallel operators are morsel-deterministic: per-morsel results are
+/// recombined in morsel order, so output is identical to serial execution.
+struct ParallelContext {
+  util::ThreadPool* pool = nullptr;
+  int parallelism = 1;
+  /// Rows per morsel; also the minimum input size worth parallelizing.
+  size_t morsel_rows = 1024;
+
+  bool enabled() const { return pool != nullptr && parallelism > 1; }
 };
 
 /// Per-operator execution counters, collected by the base Open()/Next()
@@ -92,18 +107,27 @@ using PhysicalPtr = std::unique_ptr<PhysicalOperator>;
 class SeqScanOp : public PhysicalOperator {
  public:
   SeqScanOp(const storage::Table* table, std::string alias, ExprPtr predicate,
-            EvalContext ctx, ExecStats* stats);
+            EvalContext ctx, ExecStats* stats, ParallelContext par = {});
   util::Status OpenImpl() override;
   util::Result<bool> NextImpl(storage::Row* out) override;
   std::string Describe() const override;
 
  private:
+  /// Filters the whole table in morsels on par_.pool at Open() time; hits
+  /// are concatenated in morsel (= row) order so the row stream is
+  /// identical to the serial cursor path.
+  util::Status MaterializeParallel();
+
   const storage::Table* table_;
   std::string alias_;
   ExprPtr predicate_;
   EvalContext ctx_;
   ExecStats* stats_;
+  ParallelContext par_;
   int64_t cursor_ = 0;
+  bool materialized_ = false;             // parallel path taken at Open()
+  std::vector<storage::RowId> matches_;   // surviving rows, in row order
+  size_t mcursor_ = 0;
 };
 
 /// Index access path: equality (hash or B+-tree) or range (B+-tree).
@@ -191,7 +215,8 @@ class HashJoinOp : public PhysicalOperator {
  public:
   HashJoinOp(PhysicalPtr left, PhysicalPtr right,
              std::vector<std::pair<ExprPtr, ExprPtr>> key_pairs,
-             ExprPtr residual, EvalContext ctx, ExecStats* stats);
+             ExprPtr residual, EvalContext ctx, ExecStats* stats,
+             ParallelContext par = {});
   util::Status OpenImpl() override;
   util::Result<bool> NextImpl(storage::Row* out) override;
   std::string Describe() const override;
@@ -206,13 +231,18 @@ class HashJoinOp : public PhysicalOperator {
   ExprPtr residual_;
   EvalContext ctx_;
   ExecStats* stats_;
-  std::unordered_multimap<uint64_t, storage::Row> hash_table_;
+  ParallelContext par_;
+  // Build side: rows materialized in arrival order; the table maps key hash
+  // to row indices in that order. Key hashing is morsel-parallel when a
+  // pool is available, but the index lists (and thus probe match order) are
+  // assembled serially in row order, so output is parallelism-independent.
+  std::vector<storage::Row> right_rows_;
+  std::unordered_map<uint64_t, std::vector<size_t>> hash_table_;
   storage::Row current_left_;
   std::vector<storage::Value> current_key_;
   bool have_left_ = false;
-  std::pair<std::unordered_multimap<uint64_t, storage::Row>::iterator,
-            std::unordered_multimap<uint64_t, storage::Row>::iterator>
-      probe_range_;
+  const std::vector<size_t>* probe_list_ = nullptr;
+  size_t probe_pos_ = 0;
 };
 
 /// Full sort (materializing).

@@ -77,10 +77,26 @@ std::string UnqualifiedName(const std::string& qualified) {
 
 }  // namespace
 
+ParallelContext Planner::MakeParallelContext(const PlannerOptions& options) {
+  if (options.parallelism <= 1) return {};
+  // The ParallelFor caller participates in the work loop, so a pool of
+  // parallelism - 1 threads yields `parallelism` workers in total.
+  int workers = options.parallelism - 1;
+  if (pool_ == nullptr || pool_workers_ != workers) {
+    pool_ = std::make_unique<util::ThreadPool>(workers);
+    pool_workers_ = workers;
+  }
+  ParallelContext par;
+  par.pool = pool_.get();
+  par.parallelism = options.parallelism;
+  return par;
+}
+
 util::Result<PhysicalPtr> Planner::ToPhysical(const LogicalPtr& node,
                                               const PlannerOptions& options,
                                               ExecStats* stats) {
   EvalContext ctx{catalog_->tree(), catalog_->tree_index()};
+  ParallelContext par = MakeParallelContext(options);
   switch (node->kind) {
     case LogicalKind::kScan: {
       DRUGTREE_ASSIGN_OR_RETURN(Table * table, catalog_->Lookup(node->table));
@@ -88,7 +104,7 @@ util::Result<PhysicalPtr> Planner::ToPhysical(const LogicalPtr& node,
         return PhysicalPtr(std::make_unique<SeqScanOp>(
             table, node->alias,
             node->scan_predicate ? node->scan_predicate->Clone() : nullptr,
-            ctx, stats));
+            ctx, stats, par));
       }
       // Index selection: find the best access path among the conjuncts.
       auto conjuncts = SplitConjuncts(node->scan_predicate);
@@ -158,7 +174,7 @@ util::Result<PhysicalPtr> Planner::ToPhysical(const LogicalPtr& node,
             CombineConjuncts(residual), ctx, stats));
       }
       return PhysicalPtr(std::make_unique<SeqScanOp>(
-          table, node->alias, node->scan_predicate->Clone(), ctx, stats));
+          table, node->alias, node->scan_predicate->Clone(), ctx, stats, par));
     }
     case LogicalKind::kFilter: {
       DRUGTREE_ASSIGN_OR_RETURN(PhysicalPtr child,
@@ -208,7 +224,7 @@ util::Result<PhysicalPtr> Planner::ToPhysical(const LogicalPtr& node,
       if (!key_pairs.empty()) {
         return PhysicalPtr(std::make_unique<HashJoinOp>(
             std::move(left), std::move(right), std::move(key_pairs),
-            CombineConjuncts(residual), ctx, stats));
+            CombineConjuncts(residual), ctx, stats, par));
       }
       return PhysicalPtr(std::make_unique<NestedLoopJoinOp>(
           std::move(left), std::move(right), CombineConjuncts(residual), ctx,

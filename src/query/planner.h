@@ -27,6 +27,10 @@ struct PlannerOptions {
   bool enable_hash_join = true;
   /// Serve/install results in the semantic result cache.
   bool use_result_cache = false;
+  /// Morsel-parallel worker count for CPU-heavy operators (seq-scan
+  /// filtering, hash-join build). 1 = serial execution; results are
+  /// identical at any setting.
+  int parallelism = 1;
 
   /// Everything off: the E1/E2 "naive DrugTree" baseline.
   static PlannerOptions Naive() {
@@ -76,8 +80,14 @@ class Planner {
                                        const PlannerOptions& options,
                                        ExecStats* stats);
 
+  /// The parallel context for one planning pass; lazily creates (and, on a
+  /// parallelism change, resizes) the planner-owned worker pool.
+  ParallelContext MakeParallelContext(const PlannerOptions& options);
+
   Catalog* catalog_;
   ResultCache* result_cache_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  int pool_workers_ = 0;
 };
 
 }  // namespace query

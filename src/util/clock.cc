@@ -24,8 +24,8 @@ RealClock* RealClock::Instance() {
 }
 
 void SimulatedClock::SetMicros(int64_t micros) {
-  DT_CHECK(micros >= now_) << "simulated clock cannot move backwards";
-  now_ = micros;
+  DT_CHECK(micros >= NowMicros()) << "simulated clock cannot move backwards";
+  now_.store(micros, std::memory_order_relaxed);
 }
 
 }  // namespace util

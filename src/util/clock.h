@@ -5,6 +5,7 @@
 #ifndef DRUGTREE_UTIL_CLOCK_H_
 #define DRUGTREE_UTIL_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace drugtree {
@@ -34,19 +35,25 @@ class RealClock : public Clock {
 
 /// Deterministic virtual clock for simulations: time only moves when someone
 /// advances it. This is what makes the network/mobile latency models
-/// reproducible and fast to benchmark.
+/// reproducible and fast to benchmark. Reads and advances are atomic so
+/// thread-pool workers can observe the clock while the multi-channel
+/// network scheduler moves it.
 class SimulatedClock : public Clock {
  public:
   explicit SimulatedClock(int64_t start_micros = 0) : now_(start_micros) {}
 
-  int64_t NowMicros() const override { return now_; }
-  void AdvanceMicros(int64_t micros) override { now_ += micros; }
+  int64_t NowMicros() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void AdvanceMicros(int64_t micros) override {
+    now_.fetch_add(micros, std::memory_order_relaxed);
+  }
 
   /// Jumps directly to an absolute time (must not move backwards).
   void SetMicros(int64_t micros);
 
  private:
-  int64_t now_;
+  std::atomic<int64_t> now_;
 };
 
 /// Stopwatch over an arbitrary clock.

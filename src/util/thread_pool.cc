@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace drugtree {
 namespace util {
@@ -38,18 +39,38 @@ void ThreadPool::Wait() {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  std::atomic<size_t> next{0};
-  size_t shards = std::min(n, static_cast<size_t>(num_threads()));
-  for (size_t s = 0; s < shards; ++s) {
-    Submit([&next, n, &fn] {
-      for (;;) {
-        size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
-        fn(i);
+  // Per-call completion state. Shared-ptr ownership: a shard task that gets
+  // scheduled only after every item has been claimed (all work stolen by
+  // faster shards or the caller) may run after this frame returned; it then
+  // sees next >= n and exits without touching `fn`.
+  struct State {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> finished{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+  };
+  auto state = std::make_shared<State>();
+  auto work = [state, n, &fn] {
+    for (;;) {
+      size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+      if (state->finished.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->done_cv.notify_all();
       }
-    });
-  }
-  Wait();
+    }
+  };
+  size_t shards = std::min(n, static_cast<size_t>(num_threads()) + 1);
+  for (size_t s = 0; s + 1 < shards; ++s) Submit(work);
+  // The caller runs a shard too: every item gets claimed even when all
+  // workers are tied up with other callers (or this call is nested inside
+  // a pool task), so the wait below cannot deadlock.
+  work();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] {
+    return state->finished.load(std::memory_order_acquire) == n;
+  });
 }
 
 void ThreadPool::WorkerLoop() {

@@ -30,10 +30,16 @@ class ThreadPool {
   /// Enqueues a task for execution.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. Note this is
+  /// pool-wide: with concurrent submitters it waits for *their* work too.
+  /// ParallelFor does not use it (per-call completion state instead), so
+  /// concurrent ParallelFor/Submit callers do not interfere.
   void Wait();
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// The calling thread participates in the work loop, so ParallelFor is
+  /// safe to call concurrently from many threads — and even from inside a
+  /// pool task — without deadlocking or waiting on unrelated work.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }

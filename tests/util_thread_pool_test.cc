@@ -1,0 +1,119 @@
+// ThreadPool semantics, focused on the concurrency contract ParallelFor
+// gained for morsel execution: per-call completion (no interference between
+// concurrent callers) and safe nesting inside pool tasks.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace drugtree {
+namespace util {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10'000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.ParallelFor(kN, [&](size_t i) { counts[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(counts[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndOne) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "fn called for n=0"; });
+  std::atomic<int> calls{0};
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitDrains) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 100);
+}
+
+// The regression this file exists for: concurrent ParallelFor callers (plus
+// a background Submit stream) must each observe exactly their own work
+// completed when their call returns. The old implementation waited on the
+// pool-wide idle condition, so callers blocked on each other's queues.
+TEST(ThreadPoolTest, ConcurrentParallelForCallersDoNotInterfere) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 8;
+  constexpr int kRounds = 25;
+  constexpr size_t kItems = 500;
+
+  std::atomic<int> background{0};
+  std::atomic<bool> stop{false};
+  std::thread submitter([&] {
+    while (!stop.load()) {
+      pool.Submit([&background] { background.fetch_add(1); });
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> callers;
+  std::vector<std::atomic<bool>> failed(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      std::vector<int> owned(kItems);
+      for (int round = 0; round < kRounds; ++round) {
+        std::fill(owned.begin(), owned.end(), 0);
+        pool.ParallelFor(kItems, [&owned](size_t i) { owned[i] += 1; });
+        // Everything this caller asked for is done the moment its call
+        // returns, regardless of the other callers' in-flight work.
+        for (size_t i = 0; i < kItems; ++i) {
+          if (owned[i] != 1) failed[c].store(true);
+        }
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  stop.store(true);
+  submitter.join();
+  pool.Wait();
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_FALSE(failed[c].load()) << "caller " << c << " saw unfinished work";
+  }
+  EXPECT_GT(background.load(), 0);
+}
+
+// Nested use: a pool task issuing its own ParallelFor must complete (the
+// caller participates in the work loop, so this cannot deadlock even when
+// every worker is occupied by the outer tasks).
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  ThreadPool pool(2);
+  constexpr size_t kOuter = 8;
+  constexpr size_t kInner = 64;
+  std::vector<std::atomic<int>> cells(kOuter * kInner);
+  pool.ParallelFor(kOuter, [&](size_t o) {
+    pool.ParallelFor(kInner,
+                     [&, o](size_t i) { cells[o * kInner + i].fetch_add(1); });
+  });
+  for (size_t i = 0; i < cells.size(); ++i) EXPECT_EQ(cells[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForSumMatchesSerial) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 4096;
+  std::vector<int64_t> values(kN);
+  std::iota(values.begin(), values.end(), 1);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(kN, [&](size_t i) { sum.fetch_add(values[i]); });
+  EXPECT_EQ(sum.load(), static_cast<int64_t>(kN) * (kN + 1) / 2);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace drugtree
