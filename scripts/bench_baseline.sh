@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Record the perf baseline for the E3 (federated integration) and E9
-# (end-to-end workflow) benches. Each run writes two artifacts into
-# baselines/: BENCH_<name>.json (the process metric registry snapshot via
-# --metrics-json) and BENCH_<name>.txt (the human-readable tables), so
-# later PRs can diff the perf trajectory against this one.
+# Record the perf baseline for the E3 (federated integration), E9
+# (end-to-end workflow), and E10 (multi-session serving) benches. Each run
+# writes two artifacts into baselines/: BENCH_<name>.json (the process
+# metric registry snapshot via --metrics-json) and BENCH_<name>.txt (the
+# human-readable tables), so later PRs can diff the perf trajectory against
+# this one.
 #
 # Usage: scripts/bench_baseline.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -17,9 +18,9 @@ if [[ ! -d "${BUILD_DIR}" ]]; then
   cmake -B "${BUILD_DIR}" -S .
 fi
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
-  --target bench_integration bench_end_to_end
+  --target bench_integration bench_end_to_end bench_server
 
-for name in bench_integration bench_end_to_end; do
+for name in bench_integration bench_end_to_end bench_server; do
   bin="${BUILD_DIR}/bench/${name}"
   echo "== ${name} -> ${OUT_DIR}/BENCH_${name}.{json,txt}"
   "${bin}" --metrics-json="${OUT_DIR}/BENCH_${name}.json" \

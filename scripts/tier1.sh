@@ -14,12 +14,15 @@ cmake --build build-asan -j "$(nproc)" --target obs_test
 ./build-asan/tests/obs_test
 
 # TSan smoke of the concurrency-bearing paths: the thread pool itself, the
-# multi-channel network + windowed mediator, and morsel-parallel execution.
+# multi-channel network + windowed mediator, morsel-parallel execution, and
+# the multi-session serving layer (admission/scheduler/cancellation).
 cmake -B build-tsan -S . -DDRUGTREE_SANITIZE=thread
 cmake --build build-tsan -j "$(nproc)" \
-  --target util_thread_pool_test integration_async_test query_parallel_test
+  --target util_thread_pool_test integration_async_test query_parallel_test \
+           server_test
 ./build-tsan/tests/util_thread_pool_test
 ./build-tsan/tests/integration_async_test
 ./build-tsan/tests/query_parallel_test
+./build-tsan/tests/server_test
 
 echo "tier-1 OK"

@@ -262,23 +262,51 @@ util::Status DrugTree::AddActivity(const std::string& accession,
   return util::Status::OK();
 }
 
+std::string DrugTree::OverlayQuerySql(phylo::NodeId node) const {
+  return util::StringPrintf(
+      "SELECT o.node_id, o.activity_count, o.best_affinity_nm "
+      "FROM node_overlay o WHERE SUBTREE(o.node_id, %d) "
+      "ORDER BY o.best_affinity_nm LIMIT 50",
+      node);
+}
+
 mobile::MobileSession DrugTree::MakeSession(
     const mobile::DeviceProfile& device, const mobile::SessionOptions& options,
     const query::PlannerOptions& query_options) {
   mobile::OverlayQueryFn overlay_fn =
       [this, query_options](phylo::NodeId node) -> util::Result<uint64_t> {
-    std::string sql = util::StringPrintf(
-        "SELECT o.node_id, o.activity_count, o.best_affinity_nm "
-        "FROM node_overlay o WHERE SUBTREE(o.node_id, %d) "
-        "ORDER BY o.best_affinity_nm LIMIT 50",
-        node);
-    DRUGTREE_ASSIGN_OR_RETURN(query::QueryOutcome outcome,
-                              planner_->Run(sql, query_options));
+    DRUGTREE_ASSIGN_OR_RETURN(
+        query::QueryOutcome outcome,
+        planner_->Run(OverlayQuerySql(node), query_options));
     return outcome.result.ApproxBytes();
   };
   return mobile::MobileSession(&tree_, tree_index_.get(), layout_.get(),
                                overlay_->AnnotationVector(), device, clock_,
                                options, overlay_fn);
+}
+
+std::unique_ptr<server::DrugTreeServer> DrugTree::MakeServer(
+    const server::ServerOptions& options, util::Clock* clock) {
+  return std::make_unique<server::DrugTreeServer>(
+      &catalog_, clock != nullptr ? clock : clock_, options);
+}
+
+mobile::MobileSession DrugTree::MakeSession(
+    const mobile::DeviceProfile& device, const mobile::SessionOptions& options,
+    const query::PlannerOptions& query_options,
+    server::DrugTreeServer* server, uint64_t session_id,
+    int64_t overlay_deadline_micros) {
+  mobile::ServedQueryConfig served;
+  served.server = server;
+  served.session_id = session_id;
+  served.overlay_deadline_micros = overlay_deadline_micros;
+  served.planner = query_options;
+  served.overlay_sql = [this](phylo::NodeId node) {
+    return OverlayQuerySql(node);
+  };
+  return mobile::MobileSession(&tree_, tree_index_.get(), layout_.get(),
+                               overlay_->AnnotationVector(), device, clock_,
+                               options, nullptr, std::move(served));
 }
 
 std::vector<mobile::Action> DrugTree::MakeTrace(

@@ -27,6 +27,7 @@
 #include "phylo/tree_index.h"
 #include "query/planner.h"
 #include "query/result_cache.h"
+#include "server/server.h"
 #include "util/clock.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -108,6 +109,31 @@ class DrugTree {
   mobile::MobileSession MakeSession(const mobile::DeviceProfile& device,
                                     const mobile::SessionOptions& options,
                                     const query::PlannerOptions& query_options);
+
+  // Serving API ----------------------------------------------------------
+
+  /// The SQL a session issues for the ligand overlay of a focused subtree
+  /// (what MakeSession's direct callback runs internally). Exposed so the
+  /// serving layer can issue the identical statement as a QueryRequest.
+  std::string OverlayQuerySql(phylo::NodeId node) const;
+
+  /// Creates a multi-session server over this instance's catalog. `clock`
+  /// defaults to the instance clock; pass RealClock::Instance() when real
+  /// deadlines are wanted over a simulated-clock build. The server must not
+  /// outlive this DrugTree, and must be drained before AddActivity.
+  std::unique_ptr<server::DrugTreeServer> MakeServer(
+      const server::ServerOptions& options = server::ServerOptions(),
+      util::Clock* clock = nullptr);
+
+  /// Creates a mobile session whose overlay queries go through `server` as
+  /// kInteractive requests with `overlay_deadline_micros` budgets, instead
+  /// of calling the planner directly.
+  mobile::MobileSession MakeSession(const mobile::DeviceProfile& device,
+                                    const mobile::SessionOptions& options,
+                                    const query::PlannerOptions& query_options,
+                                    server::DrugTreeServer* server,
+                                    uint64_t session_id,
+                                    int64_t overlay_deadline_micros = 150'000);
 
   /// Generates an interaction trace on this tree.
   std::vector<mobile::Action> MakeTrace(const mobile::TraceParams& params,

@@ -20,6 +20,12 @@ std::string SessionReport::ToString() const {
                               kind.c_str(), (long long)stats.count(),
                               stats.mean(), stats.max());
   }
+  if (overlay_queries > 0) {
+    out += util::StringPrintf(
+        "  served-overlays=%llu shed=%llu deadline-missed=%llu\n",
+        (unsigned long long)overlay_queries, (unsigned long long)overlay_shed,
+        (unsigned long long)overlay_deadline_missed);
+  }
   return out;
 }
 
@@ -29,7 +35,8 @@ MobileSession::MobileSession(const phylo::Tree* tree,
                              std::vector<double> annotation,
                              DeviceProfile device, util::Clock* clock,
                              SessionOptions options,
-                             OverlayQueryFn overlay_query)
+                             OverlayQueryFn overlay_query,
+                             ServedQueryConfig served)
     : tree_(tree),
       index_(index),
       layout_(layout),
@@ -38,9 +45,45 @@ MobileSession::MobileSession(const phylo::Tree* tree,
       clock_(clock),
       options_(options),
       overlay_query_(std::move(overlay_query)),
+      served_(std::move(served)),
       network_(clock, device.link),
       client_cache_(device.cache_bytes),
       viewport_(Viewport::FullExtent(*layout)) {}
+
+void MobileSession::ServeVia(ServedQueryConfig config) {
+  served_ = std::move(config);
+}
+
+util::Result<uint64_t> MobileSession::ServedOverlayQuery(phylo::NodeId node) {
+  DT_SPAN("mobile.served_overlay");
+  server::QueryRequest request;
+  request.session_id = served_.session_id;
+  request.sql = served_.overlay_sql(node);
+  request.query_class = server::QueryClass::kInteractive;
+  request.priority = served_.priority;
+  if (served_.overlay_deadline_micros > 0) {
+    request.deadline_micros = served_.server->clock()->NowMicros() +
+                              served_.overlay_deadline_micros;
+  }
+  request.planner = served_.planner;
+  ++report_.overlay_queries;
+  util::Result<query::QueryOutcome> outcome =
+      served_.server->Submit(std::move(request));
+  if (outcome.ok()) {
+    return outcome->result.ApproxBytes();
+  }
+  // Graceful degradation: the client gets a tiny "server busy, retry"
+  // frame instead of an overlay. Anything else is a real error.
+  if (outcome.status().IsResourceExhausted()) {
+    ++report_.overlay_shed;
+    return static_cast<uint64_t>(64);
+  }
+  if (outcome.status().IsCancelled()) {
+    ++report_.overlay_deadline_missed;
+    return static_cast<uint64_t>(64);
+  }
+  return outcome.status();
+}
 
 util::Result<int64_t> MobileSession::Interact(const Action& action) {
   DT_SPAN("mobile.interact");
@@ -82,7 +125,13 @@ util::Result<int64_t> MobileSession::Interact(const Action& action) {
   if (action.kind == ActionKind::kOverlayQuery) {
     DT_SPAN("mobile.overlay_query");
     uint64_t payload = 256;
-    if (overlay_query_) {
+    if (served_.server != nullptr) {
+      // Serving layer: admission + scheduling + execution, with the
+      // wall-clock spent (queueing included) charged to the session.
+      util::Timer server_timer(util::RealClock::Instance());
+      DRUGTREE_ASSIGN_OR_RETURN(payload, ServedOverlayQuery(action.node));
+      clock_->AdvanceMicros(server_timer.ElapsedMicros());
+    } else if (overlay_query_) {
       // Charge real server compute time into the session clock.
       util::Timer server_timer(util::RealClock::Instance());
       DRUGTREE_ASSIGN_OR_RETURN(payload, overlay_query_(action.node));

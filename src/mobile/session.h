@@ -19,6 +19,8 @@
 #include "mobile/trace.h"
 #include "mobile/viewport.h"
 #include "phylo/layout.h"
+#include "query/planner.h"
+#include "server/server.h"
 #include "util/clock.h"
 #include "util/histogram.h"
 #include "util/result.h"
@@ -37,9 +39,28 @@ struct SessionOptions {
 
 /// Callback that runs the ligand-overlay query for a focused subtree on the
 /// server and returns the response payload size in bytes. Wall-clock spent
-/// inside the callback is charged to the simulated session clock.
+/// inside the callback is charged to the simulated session clock. This is
+/// the legacy single-tenant path; served sessions (ServeVia) submit
+/// QueryRequests to a DrugTreeServer instead.
 using OverlayQueryFn =
     std::function<util::Result<uint64_t>(phylo::NodeId node)>;
+
+/// Routes overlay actions through the multi-session serving layer as
+/// kInteractive requests with a per-action deadline, instead of calling the
+/// overlay callback directly. The facade supplies `overlay_sql` (it knows
+/// the overlay relation); the session supplies session id, class, and
+/// deadline. Shed or deadline-cancelled requests degrade gracefully: the
+/// client gets a tiny "try again" frame and the session counts the miss.
+struct ServedQueryConfig {
+  server::DrugTreeServer* server = nullptr;  // borrowed; null = direct path
+  uint64_t session_id = 0;
+  /// Interactive budget per overlay action, on the server's clock.
+  int64_t overlay_deadline_micros = 150'000;
+  int priority = 0;
+  query::PlannerOptions planner;
+  /// Renders the overlay SQL for a focused node.
+  std::function<std::string(phylo::NodeId node)> overlay_sql;
+};
 
 struct SessionReport {
   util::Histogram latency_ms;                    // per interaction
@@ -49,6 +70,10 @@ struct SessionReport {
   uint64_t nodes_delta_skipped = 0;
   uint64_t frames = 0;
   int64_t total_session_micros = 0;
+  // Served-session outcomes (zero on the direct overlay-callback path).
+  uint64_t overlay_queries = 0;
+  uint64_t overlay_shed = 0;           // admission rejected (server busy)
+  uint64_t overlay_deadline_missed = 0;  // cancelled mid-flight or expired
 
   std::string ToString() const;
 };
@@ -61,13 +86,23 @@ class MobileSession {
                 const phylo::TreeLayout* layout,
                 std::vector<double> annotation, DeviceProfile device,
                 util::Clock* clock, SessionOptions options,
-                OverlayQueryFn overlay_query = nullptr);
+                OverlayQueryFn overlay_query = nullptr,
+                ServedQueryConfig served = ServedQueryConfig());
+
+  /// Switches overlay actions onto the serving layer. Call before Run();
+  /// `config.server` and `config.overlay_sql` must both be set.
+  void ServeVia(ServedQueryConfig config);
 
   /// Replays the trace, returning the measured report.
   util::Result<SessionReport> Run(const std::vector<Action>& trace);
 
  private:
   util::Result<int64_t> Interact(const Action& action);
+
+  /// Runs one overlay action through the server (served sessions) and
+  /// returns the payload size; shed/deadline outcomes degrade to a small
+  /// error frame and bump the report counters.
+  util::Result<uint64_t> ServedOverlayQuery(phylo::NodeId node);
 
   const phylo::Tree* tree_;
   const phylo::TreeIndex* index_;
@@ -77,6 +112,7 @@ class MobileSession {
   util::Clock* clock_;
   SessionOptions options_;
   OverlayQueryFn overlay_query_;
+  ServedQueryConfig served_;
 
   integration::SimulatedNetwork network_;
   ClientCache client_cache_;

@@ -54,8 +54,10 @@ std::string QueryResult::ToString(size_t max_rows) const {
   return out;
 }
 
-util::Result<QueryResult> ExecutePlan(PhysicalOperator* root) {
+util::Result<QueryResult> ExecutePlan(PhysicalOperator* root,
+                                      const QueryContext* context) {
   DT_SPAN("query.execute");
+  if (context != nullptr) root->SetQueryContext(context);
   DRUGTREE_RETURN_IF_ERROR(root->Open());
   QueryResult result;
   for (const auto& c : root->schema().columns()) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "query/physical.h"
+#include "query/query_context.h"
 #include "util/result.h"
 
 namespace drugtree {
@@ -24,8 +25,12 @@ struct QueryResult {
   std::string ToString(size_t max_rows = 50) const;
 };
 
-/// Opens `root` and drains it into a QueryResult.
-util::Result<QueryResult> ExecutePlan(PhysicalOperator* root);
+/// Opens `root` and drains it into a QueryResult. A non-null `context`
+/// attaches deadline/cancellation enforcement to the whole operator tree:
+/// execution aborts with kCancelled at the next operator checkpoint once
+/// the deadline passes or the cancel flag is set.
+util::Result<QueryResult> ExecutePlan(PhysicalOperator* root,
+                                      const QueryContext* context = nullptr);
 
 }  // namespace query
 }  // namespace drugtree

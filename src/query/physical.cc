@@ -61,6 +61,9 @@ std::string PhysicalOperator::ExplainString(int indent) const {
 }
 
 util::Status PhysicalOperator::Open() {
+  if (query_context_ != nullptr) {
+    DRUGTREE_RETURN_IF_ERROR(query_context_->Check());
+  }
   if (analyze_clock_ == nullptr) return OpenImpl();
   int64_t start = analyze_clock_->NowMicros();
   util::Status status = OpenImpl();
@@ -70,6 +73,11 @@ util::Status PhysicalOperator::Open() {
 
 util::Result<bool> PhysicalOperator::Next(storage::Row* out) {
   ++op_stats_.next_calls;
+  if (query_context_ != nullptr &&
+      (op_stats_.next_calls % kCancelCheckInterval) == 0) {
+    util::Status live = query_context_->Check();
+    if (!live.ok()) return live;
+  }
   if (analyze_clock_ == nullptr) {
     util::Result<bool> more = NextImpl(out);
     if (more.ok() && *more) ++op_stats_.rows_out;
@@ -85,6 +93,11 @@ util::Result<bool> PhysicalOperator::Next(storage::Row* out) {
 void PhysicalOperator::EnableAnalyze(const util::Clock* clock) {
   analyze_clock_ = clock;
   for (auto* c : explain_children_) c->EnableAnalyze(clock);
+}
+
+void PhysicalOperator::SetQueryContext(const QueryContext* context) {
+  query_context_ = context;
+  for (auto* c : explain_children_) c->SetQueryContext(context);
 }
 
 obs::ExplainNode PhysicalOperator::AnalyzeTree() const {
@@ -136,7 +149,17 @@ util::Status SeqScanOp::MaterializeParallel() {
   std::vector<util::Status> errors(num_morsels, util::Status::OK());
   std::vector<int64_t> scanned(num_morsels, 0);
   std::vector<int64_t> evals(num_morsels, 0);
+  const QueryContext* qctx = query_context();
   par_.pool->ParallelFor(num_morsels, [&](size_t m) {
+    // Morsel-boundary cancellation point: an expired deadline stops the
+    // scan within one morsel of work per worker.
+    if (qctx != nullptr) {
+      util::Status live = qctx->Check();
+      if (!live.ok()) {
+        errors[m] = live;
+        return;
+      }
+    }
     const size_t begin = m * morsel;
     const size_t end = std::min(n, begin + morsel);
     for (size_t i = begin; i < end; ++i) {
@@ -174,6 +197,11 @@ util::Result<bool> SeqScanOp::NextImpl(Row* out) {
   }
   while (cursor_ < table_->NumRows()) {
     storage::RowId id = cursor_++;
+    // A selective predicate can walk many rows per emitted one, so the
+    // base-shell checkpoint (per Next() call) is not enough here.
+    if (query_context() != nullptr && (cursor_ % kCancelCheckRows) == 0) {
+      DRUGTREE_RETURN_IF_ERROR(query_context()->Check());
+    }
     if (table_->IsDeleted(id)) continue;
     ++stats_->rows_scanned;
     const Row& row = table_->row(id);
@@ -378,6 +406,13 @@ util::Result<bool> NestedLoopJoinOp::NextImpl(Row* out) {
       right_cursor_ = 0;
     }
     while (right_cursor_ < right_rows_.size()) {
+      // A selective condition can walk the whole inner table per emitted
+      // row; checkpoint by inner-row count, not by Next() call.
+      if (query_context() != nullptr &&
+          (right_cursor_ % static_cast<size_t>(kCancelCheckRows)) == 0 &&
+          right_cursor_ != 0) {
+        DRUGTREE_RETURN_IF_ERROR(query_context()->Check());
+      }
       const Row& r = right_rows_[right_cursor_++];
       Row joined = current_left_;
       joined.insert(joined.end(), r.begin(), r.end());
@@ -467,7 +502,16 @@ util::Status HashJoinOp::OpenImpl() {
     const size_t morsel = par_.morsel_rows;
     const size_t num_morsels = (n + morsel - 1) / morsel;
     std::vector<util::Status> errors(num_morsels, util::Status::OK());
+    const QueryContext* qctx = query_context();
     par_.pool->ParallelFor(num_morsels, [&](size_t m) {
+      // Morsel-boundary cancellation point (same contract as the scan).
+      if (qctx != nullptr) {
+        util::Status live = qctx->Check();
+        if (!live.ok()) {
+          errors[m] = live;
+          return;
+        }
+      }
       std::vector<Value> key;
       const size_t begin = m * morsel;
       const size_t end = std::min(n, begin + morsel);

@@ -19,6 +19,7 @@
 #include "query/expr.h"
 #include "query/logical_plan.h"
 #include "query/parser.h"
+#include "query/query_context.h"
 #include "storage/table.h"
 #include "util/clock.h"
 #include "util/result.h"
@@ -83,6 +84,14 @@ class PhysicalOperator {
   /// exact simulated attribution; RealClock gives wall time).
   void EnableAnalyze(const util::Clock* clock);
 
+  /// Attaches a deadline/cancellation context to the whole subtree (null
+  /// detaches). The base shells check it in Open() and every
+  /// `kCancelCheckInterval` Next() calls; long-running operator loops
+  /// (serial scans, nested-loop inner passes, parallel morsels) add their
+  /// own checks so cancellation latency stays bounded by a morsel, not by
+  /// output cardinality.
+  void SetQueryContext(const QueryContext* context);
+
   const OperatorStats& op_stats() const { return op_stats_; }
 
   /// The annotated plan tree for EXPLAIN ANALYZE rendering (call after the
@@ -93,12 +102,21 @@ class PhysicalOperator {
   virtual util::Status OpenImpl() = 0;
   virtual util::Result<bool> NextImpl(storage::Row* out) = 0;
 
+  /// Cancellation checkpoint granularity for row-at-a-time loops.
+  static constexpr int64_t kCancelCheckInterval = 64;
+  /// Row granularity for checks inside tight operator-internal loops.
+  static constexpr int64_t kCancelCheckRows = 1024;
+
+  /// The attached context; null when the query is not cancellable.
+  const QueryContext* query_context() const { return query_context_; }
+
   storage::Schema schema_;
   std::vector<PhysicalOperator*> explain_children_;  // borrowed, for explain
 
  private:
   OperatorStats op_stats_;
   const util::Clock* analyze_clock_ = nullptr;  // non-null => timing on
+  const QueryContext* query_context_ = nullptr;
 };
 
 using PhysicalPtr = std::unique_ptr<PhysicalOperator>;

@@ -281,7 +281,11 @@ util::Result<PhysicalPtr> Planner::Plan(const std::string& sql,
 }
 
 util::Result<QueryOutcome> Planner::Run(const std::string& sql,
-                                        const PlannerOptions& options) {
+                                        const PlannerOptions& options,
+                                        const QueryContext* context) {
+  if (context != nullptr) {
+    DRUGTREE_RETURN_IF_ERROR(context->Check());
+  }
   DRUGTREE_ASSIGN_OR_RETURN(Statement stmt, [&] {
     DT_SPAN("query.parse");
     return ParseStatement(sql);
@@ -321,7 +325,8 @@ util::Result<QueryOutcome> Planner::Run(const std::string& sql,
   if (stmt.explain == ExplainMode::kAnalyze) {
     physical->EnableAnalyze(obs::Tracer::Default()->clock());
   }
-  DRUGTREE_ASSIGN_OR_RETURN(outcome.result, ExecutePlan(physical.get()));
+  DRUGTREE_ASSIGN_OR_RETURN(outcome.result,
+                            ExecutePlan(physical.get(), context));
   if (stmt.explain == ExplainMode::kAnalyze) {
     outcome.analyzed_plan = obs::RenderExplainTree(physical->AnalyzeTree());
   }

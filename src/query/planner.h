@@ -12,6 +12,7 @@
 #include "query/catalog.h"
 #include "query/executor.h"
 #include "query/logical_plan.h"
+#include "query/query_context.h"
 #include "query/result_cache.h"
 #include "query/rules.h"
 #include "util/result.h"
@@ -67,8 +68,12 @@ class Planner {
   /// EXPLAIN prefix skips execution and returns only the plan text; a
   /// leading EXPLAIN ANALYZE executes with per-operator instrumentation
   /// and fills QueryOutcome::analyzed_plan (both bypass the result cache).
+  /// A non-null `context` makes the run cancellable: kCancelled once its
+  /// deadline passes or its flag is set (checked before planning and at
+  /// every operator checkpoint during execution).
   util::Result<QueryOutcome> Run(const std::string& sql,
-                                 const PlannerOptions& options);
+                                 const PlannerOptions& options,
+                                 const QueryContext* context = nullptr);
 
   /// Builds the physical plan without executing (EXPLAIN).
   util::Result<PhysicalPtr> Plan(const std::string& sql,

@@ -9,6 +9,7 @@
 #ifndef DRUGTREE_QUERY_RESULT_CACHE_H_
 #define DRUGTREE_QUERY_RESULT_CACHE_H_
 
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -18,6 +19,10 @@
 namespace drugtree {
 namespace query {
 
+/// Thread-safe: Get/Put/Clear serialize on an internal mutex (Get mutates
+/// LRU recency), so one cache can sit behind every worker of the serving
+/// layer. stats() follows the registry snapshot contract — exact once
+/// writers quiesce.
 class ResultCache {
  public:
   explicit ResultCache(uint64_t capacity_bytes) : cache_(capacity_bytes) {
@@ -29,18 +34,24 @@ class ResultCache {
                              uint64_t epoch);
 
   std::optional<QueryResult> Get(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
     return cache_.Get(key);
   }
 
   void Put(const std::string& key, QueryResult result) {
     uint64_t charge = result.ApproxBytes();
+    std::lock_guard<std::mutex> lock(mu_);
     cache_.Put(key, std::move(result), charge);
   }
 
-  void Clear() { cache_.Clear(); }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.Clear();
+  }
   const storage::CacheStats& stats() const { return cache_.stats(); }
 
  private:
+  std::mutex mu_;
   storage::LruCache<std::string, QueryResult> cache_;
 };
 

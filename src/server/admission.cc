@@ -1,0 +1,85 @@
+#include "server/admission.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace server {
+
+AdmissionController::AdmissionController(const AdmissionOptions& options,
+                                         const util::Clock* clock)
+    : clock_(clock) {
+  auto* registry = obs::MetricRegistry::Default();
+  for (int c = 0; c < kNumQueryClasses; ++c) {
+    ClassQueue& q = classes_[static_cast<size_t>(c)];
+    QueryClass cls = static_cast<QueryClass>(c);
+    obs::Labels labels = {{"class", QueryClassName(cls)}};
+    // 0 is honoured (admit nothing — shed every request of this class).
+    q.capacity = std::max(0, options.queue_capacity(cls));
+    q.depth_gauge = registry->GetGauge("server.admission.queue_depth", labels);
+    q.admitted_counter =
+        registry->GetCounter("server.admission.admitted", labels);
+    q.shed_counter = registry->GetCounter("server.admission.shed", labels);
+    q.wait_ms =
+        registry->GetHistogram("server.admission.queue_wait_ms", labels);
+  }
+}
+
+util::Status AdmissionController::Admit(PendingRequest* req) {
+  ClassQueue& q = classes_[static_cast<size_t>(req->request.query_class)];
+  if (q.queue.size() >= static_cast<size_t>(q.capacity)) {
+    ++q.shed_count;
+    q.shed_counter->Increment();
+    return util::Status::ResourceExhausted(util::StringPrintf(
+        "%s queue full (%d queued)", QueryClassName(req->request.query_class),
+        q.capacity));
+  }
+  req->enqueue_micros = clock_->NowMicros();
+  req->seq = next_seq_++;
+  q.queue.push_back(std::move(*req));
+  ++q.admitted_count;
+  q.admitted_counter->Increment();
+  q.depth_gauge->Set(static_cast<int64_t>(q.queue.size()));
+  return util::Status::OK();
+}
+
+PendingRequest AdmissionController::Pop(QueryClass c) {
+  ClassQueue& q = classes_[static_cast<size_t>(c)];
+  // Scan for the best entry: priority desc, deadline asc (0 = none sorts
+  // last), admission order asc. Queues are bounded and small, so a linear
+  // scan beats maintaining a heap under the scheduling mutex.
+  auto better = [](const PendingRequest& a, const PendingRequest& b) {
+    if (a.request.priority != b.request.priority) {
+      return a.request.priority > b.request.priority;
+    }
+    int64_t da = a.request.deadline_micros;
+    int64_t db = b.request.deadline_micros;
+    if (da != db) {
+      if (da == 0) return false;  // no deadline loses to any deadline
+      if (db == 0) return true;
+      return da < db;
+    }
+    return a.seq < b.seq;
+  };
+  auto best = q.queue.begin();
+  for (auto it = std::next(q.queue.begin()); it != q.queue.end(); ++it) {
+    if (better(*it, *best)) best = it;
+  }
+  PendingRequest out = std::move(*best);
+  q.queue.erase(best);
+  q.depth_gauge->Set(static_cast<int64_t>(q.queue.size()));
+  q.wait_ms->Observe(
+      static_cast<double>(clock_->NowMicros() - out.enqueue_micros) / 1000.0);
+  return out;
+}
+
+bool AdmissionController::Empty() const {
+  for (const auto& q : classes_) {
+    if (!q.queue.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace server
+}  // namespace drugtree

@@ -1,0 +1,88 @@
+// Admission control: per-class bounded queues with load shedding. A full
+// class queue rejects new work immediately (kResourceExhausted) instead of
+// letting latency grow without bound — the mobile client retries or degrades
+// gracefully, and the server's completed-request latency stays bounded.
+//
+// Synchronization contract: the queue-mutating methods (Admit/Pop) and the
+// depth accessors are externally synchronized — DrugTreeServer calls them
+// under its scheduling mutex. Metric writes inside are safe from any thread.
+
+#ifndef DRUGTREE_SERVER_ADMISSION_H_
+#define DRUGTREE_SERVER_ADMISSION_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+
+#include "obs/metrics.h"
+#include "server/request.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace drugtree {
+namespace server {
+
+struct AdmissionOptions {
+  /// Per-class queue bounds; 0 admits nothing (sheds the whole class).
+  /// Interactive work is plentiful and cheap; give it headroom.
+  int interactive_queue_capacity = 64;
+  /// Analytic scans are heavy; keep the backlog short so an accepted scan
+  /// still means something.
+  int analytic_queue_capacity = 16;
+
+  int queue_capacity(QueryClass c) const {
+    return c == QueryClass::kInteractive ? interactive_queue_capacity
+                                         : analytic_queue_capacity;
+  }
+};
+
+class AdmissionController {
+ public:
+  /// `clock` is borrowed and times queue waits (the server's clock).
+  AdmissionController(const AdmissionOptions& options,
+                      const util::Clock* clock);
+
+  /// Enqueues the request, stamping enqueue time and admission order.
+  /// Returns kResourceExhausted — and counts a shed — when the class queue
+  /// is at capacity. The caller still owns `req.response` on rejection.
+  util::Status Admit(PendingRequest* req);
+
+  /// Pops the best queued request of `c`: highest priority first, then
+  /// earliest deadline (no deadline sorts last), then admission order.
+  /// Requires QueueDepth(c) > 0. Observes the queue-wait histogram.
+  PendingRequest Pop(QueryClass c);
+
+  size_t QueueDepth(QueryClass c) const {
+    return classes_[static_cast<size_t>(c)].queue.size();
+  }
+  bool Empty() const;
+
+  // Test/report accessors (snapshot semantics, like the obs counters).
+  int64_t admitted(QueryClass c) const {
+    return classes_[static_cast<size_t>(c)].admitted_count;
+  }
+  int64_t shed(QueryClass c) const {
+    return classes_[static_cast<size_t>(c)].shed_count;
+  }
+
+ private:
+  struct ClassQueue {
+    std::deque<PendingRequest> queue;
+    int capacity = 0;
+    int64_t admitted_count = 0;
+    int64_t shed_count = 0;
+    obs::Gauge* depth_gauge = nullptr;
+    obs::Counter* admitted_counter = nullptr;
+    obs::Counter* shed_counter = nullptr;
+    obs::HistogramMetric* wait_ms = nullptr;
+  };
+
+  const util::Clock* clock_;
+  std::array<ClassQueue, kNumQueryClasses> classes_;
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace server
+}  // namespace drugtree
+
+#endif  // DRUGTREE_SERVER_ADMISSION_H_

@@ -1,0 +1,45 @@
+#include "server/scheduler.h"
+
+#include <algorithm>
+
+namespace drugtree {
+namespace server {
+
+FairScheduler::FairScheduler(const SchedulerOptions& options,
+                             AdmissionController* admission)
+    : admission_(admission), options_(options) {
+  for (int c = 0; c < kNumQueryClasses; ++c) {
+    int w = std::max(1, options_.weight(static_cast<QueryClass>(c)));
+    stride_[static_cast<size_t>(c)] = kStrideScale / w;
+  }
+}
+
+std::optional<PendingRequest> FairScheduler::PickNext() {
+  if (running_total_ >= options_.total_slots) return std::nullopt;
+  int best = -1;
+  for (int c = 0; c < kNumQueryClasses; ++c) {
+    QueryClass cls = static_cast<QueryClass>(c);
+    size_t i = static_cast<size_t>(c);
+    if (admission_->QueueDepth(cls) == 0) continue;
+    if (running_[i] >= options_.slots(cls)) continue;
+    // Re-entry clamp: a class that sat idle joins at the current virtual
+    // time instead of bursting on its stale (small) pass.
+    pass_[i] = std::max(pass_[i], vtime_);
+    if (best < 0 || pass_[i] < pass_[static_cast<size_t>(best)]) best = c;
+  }
+  if (best < 0) return std::nullopt;
+  size_t b = static_cast<size_t>(best);
+  vtime_ = pass_[b];
+  pass_[b] += stride_[b];
+  ++running_[b];
+  ++running_total_;
+  return admission_->Pop(static_cast<QueryClass>(best));
+}
+
+void FairScheduler::OnComplete(QueryClass c) {
+  --running_[static_cast<size_t>(c)];
+  --running_total_;
+}
+
+}  // namespace server
+}  // namespace drugtree

@@ -1,0 +1,84 @@
+// Deadline-aware weighted-fair scheduling across query classes.
+//
+// Cross-class fairness is stride scheduling: each class carries a pass
+// value that advances by kStrideScale / weight per dispatch, and the
+// backlogged class with the smallest pass runs next. Interactive work
+// (weight 4 by default) therefore gets ~4 dispatch opportunities per
+// analytic one when both are backlogged, while analytic work is never
+// starved — its pass always catches up. A class re-entering after idling is
+// clamped to the current virtual time so it cannot burst on accumulated
+// lag. Within a class, AdmissionController::Pop orders by priority then
+// earliest deadline, which is what makes the scheduler deadline-aware.
+//
+// Per-class slots cap how much of the worker pool one class can occupy
+// (analytic scans cannot monopolize every worker), and total_slots caps
+// global concurrency. Externally synchronized by the server's mutex.
+
+#ifndef DRUGTREE_SERVER_SCHEDULER_H_
+#define DRUGTREE_SERVER_SCHEDULER_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "server/admission.h"
+#include "server/request.h"
+
+namespace drugtree {
+namespace server {
+
+struct SchedulerOptions {
+  int interactive_weight = 4;
+  int analytic_weight = 1;
+  /// Per-class concurrency caps. Their sum may exceed total_slots; the
+  /// global cap then arbitrates.
+  int interactive_slots = 3;
+  int analytic_slots = 2;
+  /// Global concurrency cap; keep <= the server's worker thread count so a
+  /// dispatched request never waits behind another in the pool queue.
+  int total_slots = 4;
+
+  int weight(QueryClass c) const {
+    return c == QueryClass::kInteractive ? interactive_weight
+                                         : analytic_weight;
+  }
+  int slots(QueryClass c) const {
+    return c == QueryClass::kInteractive ? interactive_slots : analytic_slots;
+  }
+};
+
+class FairScheduler {
+ public:
+  /// `admission` is borrowed; the scheduler pops from its queues.
+  FairScheduler(const SchedulerOptions& options,
+                AdmissionController* admission);
+
+  /// Pops and returns the next request to dispatch, charging the chosen
+  /// class's stride, or nullopt when nothing is runnable (all queues empty,
+  /// class slots exhausted, or the global cap is reached).
+  std::optional<PendingRequest> PickNext();
+
+  /// Releases the slot held by a completed request of class `c`.
+  void OnComplete(QueryClass c);
+
+  int running(QueryClass c) const {
+    return running_[static_cast<size_t>(c)];
+  }
+  int running_total() const { return running_total_; }
+
+ private:
+  static constexpr int64_t kStrideScale = 1 << 20;
+
+  AdmissionController* admission_;
+  SchedulerOptions options_;
+  std::array<int64_t, kNumQueryClasses> pass_{};
+  std::array<int64_t, kNumQueryClasses> stride_{};
+  std::array<int, kNumQueryClasses> running_{};
+  int64_t vtime_ = 0;  // pass of the most recent dispatch
+  int running_total_ = 0;
+};
+
+}  // namespace server
+}  // namespace drugtree
+
+#endif  // DRUGTREE_SERVER_SCHEDULER_H_

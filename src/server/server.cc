@@ -1,0 +1,226 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace drugtree {
+namespace server {
+
+bool ResponseHandle::Done() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mu_);
+  return state_->done_;
+}
+
+void ResponseHandle::Cancel() {
+  if (state_ == nullptr) return;
+  state_->cancel_.store(true, std::memory_order_relaxed);
+}
+
+util::Result<query::QueryOutcome> ResponseHandle::Wait() {
+  if (state_ == nullptr) {
+    return util::Status::Internal("empty response handle");
+  }
+  std::unique_lock<std::mutex> lock(state_->mu_);
+  state_->cv_.wait(lock, [&] { return state_->done_; });
+  if (state_->consumed_) {
+    return util::Status::Internal("result already consumed");
+  }
+  state_->consumed_ = true;
+  return std::move(state_->result_);
+}
+
+DrugTreeServer::DrugTreeServer(query::Catalog* catalog, util::Clock* clock,
+                               const ServerOptions& options)
+    : catalog_(catalog),
+      clock_(clock),
+      options_(options),
+      admission_(options.admission, clock),
+      scheduler_(options.scheduler, &admission_) {
+  if (options_.result_cache_bytes > 0) {
+    result_cache_ =
+        std::make_unique<query::ResultCache>(options_.result_cache_bytes);
+  }
+  int slots = std::max(1, options_.scheduler.total_slots);
+  for (int s = 0; s < slots; ++s) {
+    planners_.push_back(
+        std::make_unique<query::Planner>(catalog_, result_cache_.get()));
+    free_slots_.push_back(s);
+  }
+  auto* registry = obs::MetricRegistry::Default();
+  for (int c = 0; c < kNumQueryClasses; ++c) {
+    obs::Labels labels = {
+        {"class", QueryClassName(static_cast<QueryClass>(c))}};
+    ClassMetrics& m = metrics_[static_cast<size_t>(c)];
+    m.latency_ms = registry->GetHistogram("server.latency_ms", labels);
+    m.completed = registry->GetCounter("server.requests.completed", labels);
+    m.failed = registry->GetCounter("server.requests.failed", labels);
+    m.cancelled = registry->GetCounter("server.requests.cancelled", labels);
+    m.deadline_missed =
+        registry->GetCounter("server.requests.deadline_missed", labels);
+  }
+  pool_queue_gauge_ = registry->GetGauge("server.pool.queue_depth");
+  pool_ = std::make_unique<util::ThreadPool>(
+      std::max(1, options_.worker_threads));
+}
+
+DrugTreeServer::~DrugTreeServer() {
+  Resume();
+  Drain();
+}
+
+ResponseHandle DrugTreeServer::SubmitAsync(QueryRequest request) {
+  DT_SPAN("server.submit");
+  PendingRequest pending;
+  pending.request = std::move(request);
+  pending.response = std::make_shared<ResponseState>();
+  ResponseHandle handle(pending.response);
+  QueryClass cls = pending.request.query_class;
+  util::Status admitted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    admitted = admission_.Admit(&pending);
+    if (admitted.ok()) {
+      counters_[static_cast<size_t>(cls)].admitted++;
+      DispatchLocked();
+    } else {
+      counters_[static_cast<size_t>(cls)].shed++;
+    }
+  }
+  if (!admitted.ok()) {
+    Complete(handle.state_, std::move(admitted));
+  }
+  return handle;
+}
+
+util::Result<query::QueryOutcome> DrugTreeServer::Submit(
+    QueryRequest request) {
+  return SubmitAsync(std::move(request)).Wait();
+}
+
+void DrugTreeServer::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void DrugTreeServer::Resume() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = false;
+  DispatchLocked();
+}
+
+void DrugTreeServer::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [&] {
+    return admission_.Empty() && scheduler_.running_total() == 0;
+  });
+}
+
+DrugTreeServer::ClassCounters DrugTreeServer::counters(QueryClass c) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ClassCounters out = counters_[static_cast<size_t>(c)];
+  // Shed/admitted are also tracked by admission; keep the authoritative
+  // values consistent with the obs counters it bumps.
+  out.shed = admission_.shed(c);
+  return out;
+}
+
+void DrugTreeServer::EnableDispatchLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  dispatch_log_enabled_ = true;
+  dispatch_log_.clear();
+}
+
+std::vector<uint64_t> DrugTreeServer::TakeDispatchLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> out = std::move(dispatch_log_);
+  dispatch_log_.clear();
+  return out;
+}
+
+void DrugTreeServer::DispatchLocked() {
+  if (paused_) return;
+  while (!free_slots_.empty()) {
+    std::optional<PendingRequest> next = scheduler_.PickNext();
+    if (!next.has_value()) break;
+    int slot = free_slots_.back();
+    free_slots_.pop_back();
+    if (dispatch_log_enabled_) {
+      dispatch_log_.push_back(next->request.session_id);
+    }
+    // std::function requires a copyable callable; box the moved request.
+    auto boxed = std::make_shared<PendingRequest>(std::move(*next));
+    pool_->Submit([this, boxed, slot] { Execute(std::move(*boxed), slot); });
+  }
+  pool_queue_gauge_->Set(static_cast<int64_t>(pool_->QueueDepth()));
+}
+
+void DrugTreeServer::Execute(PendingRequest req, int slot) {
+  DT_SPAN("server.execute");
+  QueryClass cls = req.request.query_class;
+  ClassMetrics& m = metrics_[static_cast<size_t>(cls)];
+  int64_t deadline = req.request.deadline_micros;
+  int64_t now = clock_->NowMicros();
+
+  util::Result<query::QueryOutcome> result{util::Status::Internal("pending")};
+  bool already_dead = deadline > 0 && now > deadline;
+  if (req.response->cancel_.load(std::memory_order_relaxed)) {
+    result = util::Status::Cancelled("cancelled before dispatch");
+  } else if (already_dead) {
+    // Don't waste a slot on work nobody can use anymore.
+    result = util::Status::Cancelled("deadline exceeded before dispatch");
+  } else {
+    query::QueryContext context;
+    context.clock = clock_;
+    context.deadline_micros = deadline;
+    context.cancel = &req.response->cancel_;
+    result = planners_[static_cast<size_t>(slot)]->Run(
+        req.request.sql, req.request.planner, &context);
+  }
+
+  int64_t end = clock_->NowMicros();
+  bool deadline_missed = deadline > 0 && end > deadline;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ClassCounters& c = counters_[static_cast<size_t>(cls)];
+    if (result.ok()) {
+      ++c.completed;
+      m.completed->Increment();
+      m.latency_ms->Observe(
+          static_cast<double>(end - req.enqueue_micros) / 1000.0);
+    } else if (result.status().IsCancelled()) {
+      ++c.cancelled;
+      m.cancelled->Increment();
+      if (deadline_missed) {
+        ++c.deadline_missed;
+        m.deadline_missed->Increment();
+      }
+    } else {
+      ++c.failed;
+      m.failed->Increment();
+    }
+  }
+  Complete(req.response, std::move(result));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    scheduler_.OnComplete(cls);
+    free_slots_.push_back(slot);
+    DispatchLocked();
+  }
+  drain_cv_.notify_all();
+}
+
+void DrugTreeServer::Complete(const std::shared_ptr<ResponseState>& state,
+                              util::Result<query::QueryOutcome> result) {
+  {
+    std::lock_guard<std::mutex> lock(state->mu_);
+    state->result_ = std::move(result);
+    state->done_ = true;
+  }
+  state->cv_.notify_all();
+}
+
+}  // namespace server
+}  // namespace drugtree

@@ -1,0 +1,198 @@
+// DrugTreeServer: the multi-session query serving layer. Sits between
+// clients (mobile sessions, analyst shells, load generators) and the query
+// engine, and owns the full serving pipeline:
+//
+//   Submit -> AdmissionController (bounded per-class queues, load shedding)
+//          -> FairScheduler (deadline-aware weighted-fair dispatch)
+//          -> util::ThreadPool workers -> per-slot query::Planner
+//          -> ResponseHandle (futures-style completion)
+//
+// Deadlines are enforced, not advisory: every dispatched request carries a
+// query::QueryContext, so an expired deadline (or an explicit Cancel) stops
+// execution at the next operator checkpoint with kCancelled.
+//
+// Thread-safety: Submit/SubmitAsync/Pause/Resume/Drain and the stat
+// accessors may be called from any thread. The server serves reads; catalog
+// mutations (AddActivity et al.) require the server to be drained first.
+
+#ifndef DRUGTREE_SERVER_SERVER_H_
+#define DRUGTREE_SERVER_SERVER_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "query/planner.h"
+#include "query/query_context.h"
+#include "query/result_cache.h"
+#include "server/admission.h"
+#include "server/request.h"
+#include "server/scheduler.h"
+#include "util/clock.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace drugtree {
+namespace server {
+
+struct ServerOptions {
+  /// Worker threads executing dispatched requests. Keep >= scheduler
+  /// total_slots so a dispatched request never queues inside the pool.
+  int worker_threads = 4;
+  AdmissionOptions admission;
+  SchedulerOptions scheduler;
+  /// Server-owned semantic result cache shared by every worker (requests
+  /// opt in via PlannerOptions::use_result_cache). 0 disables it.
+  uint64_t result_cache_bytes = 16 * 1024 * 1024;
+};
+
+/// Shared completion state behind a ResponseHandle. Internal to the serving
+/// layer; clients interact through the handle.
+class ResponseState {
+ public:
+  ResponseState() : result_(util::Status::Internal("pending")) {}
+
+ private:
+  friend class DrugTreeServer;
+  friend class ResponseHandle;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  bool consumed_ = false;
+  util::Result<query::QueryOutcome> result_;
+  std::atomic<bool> cancel_{false};
+};
+
+/// Futures-style handle to an in-flight request. Copyable; all copies share
+/// the same completion state. The result is move-consumed by the first
+/// Wait() call.
+class ResponseHandle {
+ public:
+  ResponseHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once the request has completed (successfully or not).
+  bool Done() const;
+
+  /// Requests cooperative cancellation: takes effect before dispatch if the
+  /// request is still queued, at the next operator checkpoint otherwise.
+  void Cancel();
+
+  /// Blocks until completion and moves the result out. A second call
+  /// returns kInternal ("result already consumed").
+  util::Result<query::QueryOutcome> Wait();
+
+ private:
+  friend class DrugTreeServer;
+  explicit ResponseHandle(std::shared_ptr<ResponseState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<ResponseState> state_;
+};
+
+class DrugTreeServer {
+ public:
+  /// Per-class serving outcomes (snapshot; shed comes from admission).
+  struct ClassCounters {
+    int64_t admitted = 0;
+    int64_t shed = 0;
+    int64_t completed = 0;
+    int64_t failed = 0;            // non-cancellation errors
+    int64_t cancelled = 0;         // kCancelled (flag or deadline)
+    int64_t deadline_missed = 0;   // subset of cancelled: deadline-driven
+  };
+
+  /// `catalog` and `clock` are borrowed and must outlive the server. The
+  /// clock times deadlines and queue waits: RealClock for live serving,
+  /// SimulatedClock for deterministic tests.
+  DrugTreeServer(query::Catalog* catalog, util::Clock* clock,
+                 const ServerOptions& options = ServerOptions());
+
+  /// Resumes, drains, and joins the workers.
+  ~DrugTreeServer();
+
+  DrugTreeServer(const DrugTreeServer&) = delete;
+  DrugTreeServer& operator=(const DrugTreeServer&) = delete;
+
+  /// Admits and eventually executes `request`. Returns immediately; a shed
+  /// request's handle is already Done() with kResourceExhausted.
+  ResponseHandle SubmitAsync(QueryRequest request);
+
+  /// Synchronous convenience: SubmitAsync + Wait.
+  util::Result<query::QueryOutcome> Submit(QueryRequest request);
+
+  /// Stops dispatching (queues keep admitting). Tests use this to stage a
+  /// deterministic backlog; operationally it is maintenance mode.
+  void Pause();
+  void Resume();
+
+  /// Blocks until every admitted request has completed. Resume first if
+  /// paused, or queued work will keep Drain waiting.
+  void Drain();
+
+  util::Clock* clock() const { return clock_; }
+  query::ResultCache* result_cache() { return result_cache_.get(); }
+
+  ClassCounters counters(QueryClass c) const;
+
+  /// Test/debug hook: record session ids in dispatch order. Off by default
+  /// (the log grows per dispatched request).
+  void EnableDispatchLog();
+  std::vector<uint64_t> TakeDispatchLog();
+
+ private:
+  struct ClassMetrics {
+    obs::HistogramMetric* latency_ms = nullptr;  // completed requests only
+    obs::Counter* completed = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* cancelled = nullptr;
+    obs::Counter* deadline_missed = nullptr;
+  };
+
+  /// Dispatches admitted requests onto free slots until the scheduler has
+  /// nothing runnable. Caller holds mu_.
+  void DispatchLocked();
+
+  /// Runs one request on a pool worker using the slot's planner, then
+  /// completes its response state and releases the slot.
+  void Execute(PendingRequest req, int slot);
+
+  /// Completes a response state (own mutex; safe without mu_).
+  static void Complete(const std::shared_ptr<ResponseState>& state,
+                       util::Result<query::QueryOutcome> result);
+
+  query::Catalog* catalog_;
+  util::Clock* clock_;
+  ServerOptions options_;
+  std::unique_ptr<query::ResultCache> result_cache_;
+  /// One planner per scheduler slot: a slot is an exclusive token, so its
+  /// planner (and any lazily created morsel pool) is never shared.
+  std::vector<std::unique_ptr<query::Planner>> planners_;
+  std::array<ClassMetrics, kNumQueryClasses> metrics_;
+  obs::Gauge* pool_queue_gauge_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::condition_variable drain_cv_;
+  AdmissionController admission_;                      // guarded by mu_
+  FairScheduler scheduler_;                            // guarded by mu_
+  std::vector<int> free_slots_;                        // guarded by mu_
+  std::array<ClassCounters, kNumQueryClasses> counters_{};  // guarded by mu_
+  bool paused_ = false;                                // guarded by mu_
+  bool dispatch_log_enabled_ = false;                  // guarded by mu_
+  std::vector<uint64_t> dispatch_log_;                 // guarded by mu_
+
+  /// Declared last: destroyed (drained + joined) before any member a
+  /// worker task could still reference.
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace server
+}  // namespace drugtree
+
+#endif  // DRUGTREE_SERVER_SERVER_H_

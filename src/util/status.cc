@@ -21,6 +21,7 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kAborted: return "Aborted";
     case StatusCode::kTimeout: return "Timeout";
+    case StatusCode::kCancelled: return "Cancelled";
   }
   return "Unknown";
 }

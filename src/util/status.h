@@ -29,6 +29,7 @@ enum class StatusCode : int {
   kInternal = 9,
   kAborted = 10,
   kTimeout = 11,
+  kCancelled = 12,
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK",
@@ -89,6 +90,9 @@ class Status {
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   /// True iff the status represents success.
   bool ok() const { return rep_ == nullptr; }
@@ -112,6 +116,7 @@ class Status {
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsAborted() const { return code() == StatusCode::kAborted; }
   bool IsTimeout() const { return code() == StatusCode::kTimeout; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -73,6 +73,16 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   });
 }
 
+size_t ThreadPool::QueueDepth() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+int ThreadPool::ActiveCount() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return active_;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

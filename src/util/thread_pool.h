@@ -44,10 +44,18 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  /// Number of submitted tasks not yet picked up by a worker. Lets an
+  /// admission controller (or an obs gauge) observe backlog directly
+  /// instead of guessing from submit/complete counters.
+  size_t QueueDepth() const;
+
+  /// Number of tasks currently executing on workers.
+  int ActiveCount() const;
+
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
   std::deque<std::function<void()>> queue_;

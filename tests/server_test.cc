@@ -1,0 +1,272 @@
+// Serving-layer tests: admission control sheds at capacity, the weighted
+// fair scheduler interleaves classes deterministically, expired deadlines
+// cancel execution with kCancelled, and an unloaded server returns results
+// identical to the direct planner path. Everything runs on a virtual clock
+// so queue waits and deadlines are deterministic.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/drugtree.h"
+#include "server/server.h"
+#include "util/clock.h"
+
+namespace drugtree {
+namespace server {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    clock_ = new util::SimulatedClock();
+    core::BuildOptions options;
+    options.seed = 99;
+    options.num_families = 3;
+    options.taxa_per_family = 10;
+    options.sequence_length = 90;
+    options.num_ligands = 120;
+    auto built = core::DrugTree::Build(options, clock_);
+    ASSERT_TRUE(built.ok()) << built.status();
+    dt_ = built->release();
+  }
+  static void TearDownTestSuite() {
+    delete dt_;
+    dt_ = nullptr;
+    delete clock_;
+    clock_ = nullptr;
+  }
+
+  static QueryRequest Interactive(uint64_t session, std::string sql) {
+    QueryRequest r;
+    r.session_id = session;
+    r.sql = std::move(sql);
+    r.query_class = QueryClass::kInteractive;
+    return r;
+  }
+
+  static QueryRequest Analytic(uint64_t session, std::string sql) {
+    QueryRequest r = Interactive(session, std::move(sql));
+    r.query_class = QueryClass::kAnalytic;
+    return r;
+  }
+
+  static std::string CheapSql() {
+    return dt_->OverlayQuerySql(dt_->tree().root());
+  }
+
+  static util::SimulatedClock* clock_;
+  static core::DrugTree* dt_;
+};
+
+util::SimulatedClock* ServerTest::clock_ = nullptr;
+core::DrugTree* ServerTest::dt_ = nullptr;
+
+TEST_F(ServerTest, UnloadedServerMatchesDirectExecutor) {
+  auto server = dt_->MakeServer();
+  const std::string queries[] = {
+      CheapSql(),
+      "SELECT accession, family FROM proteins ORDER BY accession",
+      "SELECT COUNT(*), AVG(a.affinity_nm) FROM activities a",
+      "SELECT p.accession, a.affinity_nm FROM proteins p, activities a "
+      "WHERE p.accession = a.accession AND a.affinity_nm < 50.0 "
+      "ORDER BY a.affinity_nm LIMIT 20",
+  };
+  for (const std::string& sql : queries) {
+    auto direct = dt_->Query(sql);
+    ASSERT_TRUE(direct.ok()) << sql << ": " << direct.status();
+    auto served = server->Submit(Interactive(1, sql));
+    ASSERT_TRUE(served.ok()) << sql << ": " << served.status();
+    EXPECT_EQ(direct->result.columns, served->result.columns);
+    ASSERT_EQ(direct->result.rows.size(), served->result.rows.size()) << sql;
+    for (size_t i = 0; i < direct->result.rows.size(); ++i) {
+      EXPECT_EQ(direct->result.rows[i], served->result.rows[i])
+          << sql << " row " << i;
+    }
+  }
+  auto c = server->counters(QueryClass::kInteractive);
+  EXPECT_EQ(c.completed, 4);
+  EXPECT_EQ(c.shed, 0);
+  EXPECT_EQ(c.cancelled, 0);
+}
+
+TEST_F(ServerTest, AdmissionShedsAtCapacityWithResourceExhausted) {
+  ServerOptions options;
+  options.admission.interactive_queue_capacity = 4;
+  options.admission.analytic_queue_capacity = 2;
+  auto server = dt_->MakeServer(options);
+  server->Pause();  // stage a backlog: nothing dispatches yet
+
+  std::vector<ResponseHandle> handles;
+  for (int i = 0; i < 6; ++i) {
+    handles.push_back(server->SubmitAsync(Interactive(1, CheapSql())));
+  }
+  // First 4 queued; 5th and 6th shed immediately.
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(handles[i].Done()) << i;
+  for (int i = 4; i < 6; ++i) {
+    ASSERT_TRUE(handles[i].Done()) << i;
+    auto r = handles[i].Wait();
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsResourceExhausted()) << r.status();
+  }
+  // The analytic queue is independent: still admits.
+  auto analytic = server->SubmitAsync(Analytic(2, CheapSql()));
+  EXPECT_FALSE(analytic.Done());
+
+  auto shed = server->counters(QueryClass::kInteractive);
+  EXPECT_EQ(shed.admitted, 4);
+  EXPECT_EQ(shed.shed, 2);
+
+  server->Resume();
+  server->Drain();
+  for (int i = 0; i < 4; ++i) {
+    auto r = handles[i].Wait();
+    EXPECT_TRUE(r.ok()) << r.status();
+  }
+  EXPECT_TRUE(analytic.Wait().ok());
+  auto done = server->counters(QueryClass::kInteractive);
+  EXPECT_EQ(done.completed, 4);
+}
+
+TEST_F(ServerTest, WeightedFairSchedulerInterleavesClasses) {
+  ServerOptions options;
+  options.worker_threads = 1;
+  options.scheduler.total_slots = 1;
+  options.scheduler.interactive_slots = 1;
+  options.scheduler.analytic_slots = 1;
+  options.scheduler.interactive_weight = 4;
+  options.scheduler.analytic_weight = 1;
+  auto server = dt_->MakeServer(options);
+  server->EnableDispatchLog();
+  server->Pause();
+  for (int i = 0; i < 12; ++i) {
+    server->SubmitAsync(Interactive(1, CheapSql()));
+  }
+  for (int i = 0; i < 3; ++i) {
+    server->SubmitAsync(Analytic(2, CheapSql()));
+  }
+  server->Resume();
+  server->Drain();
+
+  // Stride scheduling at 4:1 with a single slot: analytic runs every fifth
+  // dispatch — steady progress, no starvation, no bursts.
+  std::vector<uint64_t> log = server->TakeDispatchLog();
+  std::vector<uint64_t> expected = {1, 2, 1, 1, 1, 1, 2, 1,
+                                    1, 1, 1, 2, 1, 1, 1};
+  EXPECT_EQ(log, expected);
+  EXPECT_EQ(server->counters(QueryClass::kInteractive).completed, 12);
+  EXPECT_EQ(server->counters(QueryClass::kAnalytic).completed, 3);
+}
+
+TEST_F(ServerTest, DispatchOrderIsDeterministicUnderVirtualClock) {
+  auto run_once = [&]() {
+    ServerOptions options;
+    options.worker_threads = 1;
+    options.scheduler.total_slots = 1;
+    auto server = dt_->MakeServer(options);
+    server->EnableDispatchLog();
+    server->Pause();
+    for (int i = 0; i < 5; ++i) {
+      QueryRequest r = Interactive(10 + static_cast<uint64_t>(i), CheapSql());
+      r.priority = i % 2;  // priorities reorder within the class
+      server->SubmitAsync(std::move(r));
+      server->SubmitAsync(Analytic(100 + static_cast<uint64_t>(i), CheapSql()));
+    }
+    server->Resume();
+    server->Drain();
+    return server->TakeDispatchLog();
+  };
+  std::vector<uint64_t> first = run_once();
+  std::vector<uint64_t> second = run_once();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.size(), 10u);
+}
+
+TEST_F(ServerTest, ExpiredDeadlineIsCancelledWithoutExecuting) {
+  auto server = dt_->MakeServer();
+  server->Pause();
+  QueryRequest r = Interactive(1, CheapSql());
+  r.deadline_micros = clock_->NowMicros() + 1'000;
+  ResponseHandle handle = server->SubmitAsync(std::move(r));
+  clock_->AdvanceMicros(10'000);  // deadline passes while queued
+  server->Resume();
+  auto result = handle.Wait();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status();
+  auto c = server->counters(QueryClass::kInteractive);
+  EXPECT_EQ(c.cancelled, 1);
+  EXPECT_EQ(c.deadline_missed, 1);
+  EXPECT_EQ(c.completed, 0);
+}
+
+TEST_F(ServerTest, DeadlineExpiryCancelsMidScan) {
+  auto server = dt_->MakeServer();
+  // A cubic nested-loop self-join: ~180^3 predicate evaluations, far past
+  // many kCancelCheckRows checkpoints. The deadline expires (virtual clock
+  // advance below) long before the scan can finish.
+  QueryRequest r = Analytic(
+      7,
+      "SELECT COUNT(*) FROM activities a1, activities a2, activities a3 "
+      "WHERE a1.affinity_nm < a2.affinity_nm "
+      "AND a2.affinity_nm < a3.affinity_nm");
+  r.deadline_micros = clock_->NowMicros() + 1'000;
+  ResponseHandle handle = server->SubmitAsync(std::move(r));
+  clock_->AdvanceMicros(1'000'000);
+  auto result = handle.Wait();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status();
+  auto c = server->counters(QueryClass::kAnalytic);
+  EXPECT_EQ(c.cancelled, 1);
+  EXPECT_EQ(c.deadline_missed, 1);
+}
+
+TEST_F(ServerTest, ExplicitCancelStopsQueuedRequest) {
+  auto server = dt_->MakeServer();
+  server->Pause();
+  ResponseHandle handle = server->SubmitAsync(Interactive(1, CheapSql()));
+  handle.Cancel();
+  server->Resume();
+  auto result = handle.Wait();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status();
+  // Cancelled before execution: no deadline involved, so not a miss.
+  EXPECT_EQ(server->counters(QueryClass::kInteractive).deadline_missed, 0);
+}
+
+TEST_F(ServerTest, WaitConsumesResultOnce) {
+  auto server = dt_->MakeServer();
+  ResponseHandle handle = server->SubmitAsync(Interactive(1, CheapSql()));
+  ResponseHandle copy = handle;
+  EXPECT_TRUE(handle.Wait().ok());
+  auto again = copy.Wait();
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), util::StatusCode::kInternal);
+}
+
+TEST_F(ServerTest, ServedSessionDegradesGracefullyWhenShed) {
+  // A served mobile session against a zero-capacity server: every overlay
+  // query is shed, the session still completes, and the report counts the
+  // misses.
+  ServerOptions options;
+  options.admission.interactive_queue_capacity = 0;
+  auto server = dt_->MakeServer(options);
+  mobile::SessionOptions sopts;
+  auto session = dt_->MakeSession(mobile::DeviceProfile::TabletWifi(), sopts,
+                                  query::PlannerOptions::Optimized(),
+                                  server.get(), /*session_id=*/5);
+  mobile::TraceParams tp;
+  tp.num_actions = 20;
+  tp.p_query = 0.6;  // make sure the trace contains overlay actions
+  auto trace = dt_->MakeTrace(tp, 31);
+  auto report = session.Run(trace);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GT(report->overlay_queries, 0u);
+  EXPECT_EQ(report->overlay_shed, report->overlay_queries);
+  EXPECT_EQ(report->overlay_deadline_missed, 0u);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace drugtree

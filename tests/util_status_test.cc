@@ -28,6 +28,7 @@ TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_TRUE(Status::Aborted("x").IsAborted());
   EXPECT_TRUE(Status::Timeout("x").IsTimeout());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
   Status s = Status::NotFound("no such thing");
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.message(), "no such thing");
@@ -70,6 +71,19 @@ TEST(StatusTest, CodeNames) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kParseError), "ParseError");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kTimeout), "Timeout");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
+}
+
+TEST(StatusTest, CancelledCarriesMessageAndSurvivesContext) {
+  Status s = Status::Cancelled("deadline exceeded");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  EXPECT_EQ(s.ToString(), "Cancelled: deadline exceeded");
+  Status wrapped = s.WithContext("serving request 7");
+  EXPECT_TRUE(wrapped.IsCancelled());
+  EXPECT_EQ(wrapped.message(), "serving request 7: deadline exceeded");
+  EXPECT_FALSE(s.IsTimeout());
+  EXPECT_FALSE(s.IsAborted());
 }
 
 Status FailIfNegative(int x) {

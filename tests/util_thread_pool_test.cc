@@ -104,6 +104,27 @@ TEST(ThreadPoolTest, NestedParallelForCompletes) {
   for (size_t i = 0; i < cells.size(); ++i) EXPECT_EQ(cells[i].load(), 1) << i;
 }
 
+TEST(ThreadPoolTest, QueueDepthObservesBacklog) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+  EXPECT_EQ(pool.ActiveCount(), 0);
+  std::mutex gate;
+  gate.lock();
+  // The single worker blocks on `gate`; everything submitted behind it
+  // stays visible in the queue.
+  pool.Submit([&] { std::lock_guard<std::mutex> hold(gate); });
+  constexpr size_t kBacklog = 5;
+  for (size_t i = 0; i < kBacklog; ++i) pool.Submit([] {});
+  // The blocker may still be queued or already active; the backlog behind
+  // it is queued either way.
+  EXPECT_GE(pool.QueueDepth(), kBacklog);
+  EXPECT_LE(pool.QueueDepth(), kBacklog + 1);
+  gate.unlock();
+  pool.Wait();
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+  EXPECT_EQ(pool.ActiveCount(), 0);
+}
+
 TEST(ThreadPoolTest, ParallelForSumMatchesSerial) {
   ThreadPool pool(4);
   constexpr size_t kN = 4096;
