@@ -1,0 +1,96 @@
+// Throughput gate for the vectorized engine: a scan-filter-project query
+// over a 200k-row synthetic table, timed through the legacy row-at-a-time
+// path (batch_size=1) and the columnar batch path (batch_size=1024).
+//
+// This is not a google-benchmark binary: it is a pass/fail smoke used by
+// scripts/tier1.sh (release build) that exits non-zero if the batch engine
+// is ever slower than the row engine on the workload vectorization is
+// supposed to win. scripts/bench_baseline.sh records its output so the
+// measured speedup lands in baselines/.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "query/planner.h"
+#include "storage/table.h"
+
+namespace {
+
+using namespace drugtree;
+
+constexpr int kRows = 200000;
+constexpr int kRounds = 5;
+const char* kSql =
+    "SELECT w.k, w.v * 2.0 AS v2 FROM wide w "
+    "WHERE w.v > 50.0 AND w.k < 50000";
+
+double RunOnce(query::Planner* planner, size_t batch_size, size_t* rows_out) {
+  query::PlannerOptions opts;  // optimized defaults
+  opts.batch_size = batch_size;
+  auto start = std::chrono::steady_clock::now();
+  auto outcome = planner->Run(kSql, opts);
+  auto stop = std::chrono::steady_clock::now();
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 outcome.status().ToString().c_str());
+    std::exit(2);
+  }
+  *rows_out = outcome->result.rows.size();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+}  // namespace
+
+int main() {
+  auto schema = storage::Schema::Create({
+      {"k", storage::ValueType::kInt64, false},
+      {"v", storage::ValueType::kDouble, false},
+      {"s", storage::ValueType::kString, false},
+  });
+  if (!schema.ok()) return 2;
+  storage::Table wide("wide", *schema);
+  for (int i = 0; i < kRows; ++i) {
+    auto s = wide.Insert({storage::Value::Int64(i),
+                          storage::Value::Double((i * 37) % 200),
+                          storage::Value::String("tag" + std::to_string(i % 8))});
+    if (!s.ok()) return 2;
+  }
+  if (!wide.Analyze().ok()) return 2;
+  query::Catalog catalog;
+  if (!catalog.Register(&wide).ok()) return 2;
+  query::Planner planner(&catalog);
+
+  // Interleaved best-of-N so one-off stalls don't skew either side.
+  double row_best = 1e300, batch_best = 1e300;
+  size_t row_rows = 0, batch_rows = 0;
+  for (int r = 0; r < kRounds; ++r) {
+    row_best = std::min(row_best, RunOnce(&planner, 1, &row_rows));
+    batch_best = std::min(batch_best, RunOnce(&planner, 1024, &batch_rows));
+  }
+  if (row_rows != batch_rows) {
+    std::fprintf(stderr, "row/batch result mismatch: %zu vs %zu rows\n",
+                 row_rows, batch_rows);
+    return 2;
+  }
+
+  double speedup = row_best / batch_best;
+  std::printf(
+      "vectorized smoke: scan-filter-project over %d rows (%zu out)\n"
+      "  row engine   (batch=1):    %8.3f ms  (%6.1f Mrows/s)\n"
+      "  batch engine (batch=1024): %8.3f ms  (%6.1f Mrows/s)\n"
+      "  speedup: %.2fx\n",
+      kRows, row_rows, row_best * 1e3, kRows / row_best / 1e6,
+      batch_best * 1e3, kRows / batch_best / 1e6, speedup);
+  if (speedup < 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: batch engine slower than row engine (%.2fx)\n",
+                 speedup);
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Record the perf baseline for the E3 (federated integration), E9
-# (end-to-end workflow), and E10 (multi-session serving) benches. Each run
-# writes two artifacts into baselines/: BENCH_<name>.json (the process
-# metric registry snapshot via --metrics-json) and BENCH_<name>.txt (the
-# human-readable tables), so later PRs can diff the perf trajectory against
-# this one.
+# Record the perf baseline for the E1 (tree query), E2 (optimizer ablation +
+# vectorization), E3 (federated integration), E9 (end-to-end workflow), and
+# E10 (multi-session serving) benches. Each run writes two artifacts into
+# baselines/: BENCH_<name>.json (the process metric registry snapshot via
+# --metrics-json) and BENCH_<name>.txt (the human-readable tables), so later
+# PRs can diff the perf trajectory against this one. The vectorized
+# throughput smoke's row-vs-batch speedup is recorded as text as well.
 #
 # Usage: scripts/bench_baseline.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -18,13 +19,19 @@ if [[ ! -d "${BUILD_DIR}" ]]; then
   cmake -B "${BUILD_DIR}" -S .
 fi
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
-  --target bench_integration bench_end_to_end bench_server
+  --target bench_integration bench_end_to_end bench_server \
+           bench_tree_query bench_optimizer_ablation bench_vectorized_smoke
 
-for name in bench_integration bench_end_to_end bench_server; do
+for name in bench_integration bench_end_to_end bench_server \
+            bench_tree_query bench_optimizer_ablation; do
   bin="${BUILD_DIR}/bench/${name}"
   echo "== ${name} -> ${OUT_DIR}/BENCH_${name}.{json,txt}"
   "${bin}" --metrics-json="${OUT_DIR}/BENCH_${name}.json" \
     | tee "${OUT_DIR}/BENCH_${name}.txt"
 done
+
+echo "== bench_vectorized_smoke -> ${OUT_DIR}/BENCH_bench_vectorized_smoke.txt"
+"${BUILD_DIR}/bench/bench_vectorized_smoke" \
+  | tee "${OUT_DIR}/BENCH_bench_vectorized_smoke.txt"
 
 echo "baselines written to ${OUT_DIR}/"

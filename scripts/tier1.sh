@@ -10,19 +10,28 @@ cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
 cmake -B build-asan -S . -DDRUGTREE_SANITIZE=address
-cmake --build build-asan -j "$(nproc)" --target obs_test
+cmake --build build-asan -j "$(nproc)" --target obs_test query_batch_test
 ./build-asan/tests/obs_test
+./build-asan/tests/query_batch_test
 
 # TSan smoke of the concurrency-bearing paths: the thread pool itself, the
-# multi-channel network + windowed mediator, morsel-parallel execution, and
-# the multi-session serving layer (admission/scheduler/cancellation).
+# multi-channel network + windowed mediator, morsel-parallel execution, the
+# multi-session serving layer (admission/scheduler/cancellation), and the
+# vectorized batch engine under parallelism + mid-query cancellation.
 cmake -B build-tsan -S . -DDRUGTREE_SANITIZE=thread
 cmake --build build-tsan -j "$(nproc)" \
   --target util_thread_pool_test integration_async_test query_parallel_test \
-           server_test
+           server_test query_batch_test
 ./build-tsan/tests/util_thread_pool_test
 ./build-tsan/tests/integration_async_test
 ./build-tsan/tests/query_parallel_test
 ./build-tsan/tests/server_test
+./build-tsan/tests/query_batch_test
+
+# Release-build throughput smoke: the columnar batch engine must never be
+# slower than the row engine on the scan-filter-project workload it targets.
+cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-rel -j "$(nproc)" --target bench_vectorized_smoke
+./build-rel/bench/bench_vectorized_smoke
 
 echo "tier-1 OK"

@@ -11,9 +11,10 @@ void RenderNode(const ExplainNode& node, int depth, std::string* out) {
   *out += std::string(static_cast<size_t>(depth) * 2, ' ');
   *out += node.label;
   *out += util::StringPrintf(
-      " (rows=%lld next=%lld time=%.3fms)\n",
+      " (rows=%lld next=%lld batches=%lld time=%.3fms)\n",
       static_cast<long long>(node.rows_out),
       static_cast<long long>(node.next_calls),
+      static_cast<long long>(node.batches),
       static_cast<double>(node.elapsed_micros) / 1000.0);
   for (const auto& child : node.children) RenderNode(child, depth + 1, out);
 }
@@ -26,9 +27,10 @@ void NodeToJson(const ExplainNode& node, std::string* out) {
   }
   *out += util::StringPrintf(
       "{\"label\":\"%s\",\"rows_out\":%lld,\"next_calls\":%lld,"
-      "\"elapsed_micros\":%lld",
+      "\"batches\":%lld,\"elapsed_micros\":%lld",
       label.c_str(), static_cast<long long>(node.rows_out),
       static_cast<long long>(node.next_calls),
+      static_cast<long long>(node.batches),
       static_cast<long long>(node.elapsed_micros));
   if (!node.children.empty()) {
     *out += ",\"children\":[";

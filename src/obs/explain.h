@@ -18,15 +18,17 @@ namespace obs {
 struct ExplainNode {
   std::string label;           // operator description, e.g. "HashJoin [...]"
   int64_t rows_out = 0;        // rows produced to the parent
-  int64_t next_calls = 0;      // Next() invocations (rows_out + 1 typically)
+  int64_t next_calls = 0;      // Next()/NextBatch() invocations (one per
+                               // batch under vectorized execution)
+  int64_t batches = 0;         // batches produced (0 on pure row paths)
   int64_t elapsed_micros = 0;  // cumulative time inside Open()+Next(),
                                // inclusive of children (Postgres-style)
   std::vector<ExplainNode> children;
 };
 
 /// Annotated plan tree:
-///   Project [...] (rows=50 next=51 time=0.41ms)
-///     Sort [...] (rows=50 next=51 time=0.39ms)
+///   Project [...] (rows=50 next=51 batches=1 time=0.41ms)
+///     Sort [...] (rows=50 next=51 batches=0 time=0.39ms)
 ///       ...
 std::string RenderExplainTree(const ExplainNode& root);
 

@@ -55,13 +55,24 @@ std::string QueryResult::ToString(size_t max_rows) const {
 }
 
 util::Result<QueryResult> ExecutePlan(PhysicalOperator* root,
-                                      const QueryContext* context) {
+                                      const QueryContext* context,
+                                      size_t batch_size) {
   DT_SPAN("query.execute");
   if (context != nullptr) root->SetQueryContext(context);
+  if (batch_size > 1) root->SetBatchSize(batch_size);
   DRUGTREE_RETURN_IF_ERROR(root->Open());
   QueryResult result;
   for (const auto& c : root->schema().columns()) {
     result.columns.push_back(c.name);
+  }
+  if (batch_size > 1) {
+    storage::RowBatch batch;
+    for (;;) {
+      DRUGTREE_ASSIGN_OR_RETURN(bool more, root->NextBatch(&batch));
+      if (!more) break;
+      batch.EmitRowsTo(&result.rows);
+    }
+    return result;
   }
   storage::Row row;
   for (;;) {

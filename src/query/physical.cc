@@ -61,6 +61,8 @@ std::string PhysicalOperator::ExplainString(int indent) const {
 }
 
 util::Status PhysicalOperator::Open() {
+  drain_batch_.Reset(0);
+  drain_pos_ = 0;
   if (query_context_ != nullptr) {
     DRUGTREE_RETURN_IF_ERROR(query_context_->Check());
   }
@@ -71,6 +73,19 @@ util::Status PhysicalOperator::Open() {
   return status;
 }
 
+util::Result<bool> PhysicalOperator::NextRowOrDrain(storage::Row* out) {
+  if (batch_size_ <= 1 || !HasBatchImpl()) return NextImpl(out);
+  // Batch->row drain adapter: the parent iterates rows while this operator
+  // produces vectorized batches underneath.
+  while (drain_pos_ >= drain_batch_.size()) {
+    DRUGTREE_ASSIGN_OR_RETURN(bool more, NextBatchImpl(&drain_batch_));
+    if (!more) return false;
+    drain_pos_ = 0;
+  }
+  *out = drain_batch_.RowAt(drain_pos_++);
+  return true;
+}
+
 util::Result<bool> PhysicalOperator::Next(storage::Row* out) {
   ++op_stats_.next_calls;
   if (query_context_ != nullptr &&
@@ -79,15 +94,64 @@ util::Result<bool> PhysicalOperator::Next(storage::Row* out) {
     if (!live.ok()) return live;
   }
   if (analyze_clock_ == nullptr) {
-    util::Result<bool> more = NextImpl(out);
+    util::Result<bool> more = NextRowOrDrain(out);
     if (more.ok() && *more) ++op_stats_.rows_out;
     return more;
   }
   int64_t start = analyze_clock_->NowMicros();
-  util::Result<bool> more = NextImpl(out);
+  util::Result<bool> more = NextRowOrDrain(out);
   op_stats_.elapsed_micros += analyze_clock_->NowMicros() - start;
   if (more.ok() && *more) ++op_stats_.rows_out;
   return more;
+}
+
+util::Result<bool> PhysicalOperator::NextBatch(storage::RowBatch* out) {
+  ++op_stats_.next_calls;
+  // One checkpoint per batch: cheap relative to the batch of work it gates,
+  // and it bounds cancellation latency by batch_size rows per operator.
+  if (query_context_ != nullptr) {
+    util::Status live = query_context_->Check();
+    if (!live.ok()) return live;
+  }
+  if (analyze_clock_ == nullptr) {
+    util::Result<bool> more = NextBatchImpl(out);
+    if (more.ok() && *more) {
+      op_stats_.rows_out += static_cast<int64_t>(out->size());
+      ++op_stats_.batches;
+    }
+    return more;
+  }
+  int64_t start = analyze_clock_->NowMicros();
+  util::Result<bool> more = NextBatchImpl(out);
+  op_stats_.elapsed_micros += analyze_clock_->NowMicros() - start;
+  if (more.ok() && *more) {
+    op_stats_.rows_out += static_cast<int64_t>(out->size());
+    ++op_stats_.batches;
+  }
+  return more;
+}
+
+util::Result<bool> PhysicalOperator::NextBatchImpl(storage::RowBatch* out) {
+  // Row->batch adapter: accumulate NextImpl() rows. Used by operators
+  // without a native batch implementation (Sort, HashAggregate,
+  // NestedLoopJoin, Distinct) so the batch driver runs any plan.
+  out->Reset(schema_.columns().size());
+  storage::Row row;
+  for (size_t i = 0; i < batch_size_; ++i) {
+    if (query_context_ != nullptr && i != 0 &&
+        (i % static_cast<size_t>(kCancelCheckInterval)) == 0) {
+      DRUGTREE_RETURN_IF_ERROR(query_context_->Check());
+    }
+    DRUGTREE_ASSIGN_OR_RETURN(bool more, NextImpl(&row));
+    if (!more) break;
+    out->AppendRow(std::move(row));
+  }
+  return out->physical_size() > 0;
+}
+
+void PhysicalOperator::SetBatchSize(size_t batch_size) {
+  batch_size_ = batch_size == 0 ? 1 : batch_size;
+  for (auto* c : explain_children_) c->SetBatchSize(batch_size);
 }
 
 void PhysicalOperator::EnableAnalyze(const util::Clock* clock) {
@@ -105,6 +169,7 @@ obs::ExplainNode PhysicalOperator::AnalyzeTree() const {
   node.label = Describe();
   node.rows_out = op_stats_.rows_out;
   node.next_calls = op_stats_.next_calls;
+  node.batches = op_stats_.batches;
   node.elapsed_micros = op_stats_.elapsed_micros;
   for (const auto* c : explain_children_) {
     node.children.push_back(c->AnalyzeTree());
@@ -216,6 +281,42 @@ util::Result<bool> SeqScanOp::NextImpl(Row* out) {
   return false;
 }
 
+util::Result<bool> SeqScanOp::NextBatchImpl(storage::RowBatch* out) {
+  const size_t cols = schema_.columns().size();
+  if (materialized_) {
+    // Stats were accumulated during the parallel materialization; slice the
+    // surviving rows into batches (one batch per morsel at the defaults).
+    out->Reset(cols);
+    while (mcursor_ < matches_.size() && out->physical_size() < batch_size()) {
+      out->AppendRow(table_->row(matches_[mcursor_++]));
+    }
+    return out->physical_size() > 0;
+  }
+  for (;;) {
+    out->Reset(cols);
+    size_t got = table_->ScanBatch(&cursor_, batch_size(), out);
+    if (got == 0) return false;  // only tombstones remained
+    stats_->rows_scanned += static_cast<int64_t>(got);
+    if (predicate_) {
+      stats_->predicate_evals += static_cast<int64_t>(got);
+      std::vector<uint32_t> sel;
+      DRUGTREE_RETURN_IF_ERROR(EvalPredicateBatch(*predicate_, *out, ctx_,
+                                                  &sel));
+      if (sel.empty()) {
+        // Everything filtered out; a selective predicate can walk many
+        // batches per emitted one, so checkpoint here like the row path
+        // does per kCancelCheckRows rows.
+        if (query_context() != nullptr) {
+          DRUGTREE_RETURN_IF_ERROR(query_context()->Check());
+        }
+        continue;
+      }
+      out->SetSelection(std::move(sel));
+    }
+    return true;
+  }
+}
+
 std::string SeqScanOp::Describe() const {
   std::string out = "SeqScan " + table_->name();
   if (alias_ != table_->name()) out += " AS " + alias_;
@@ -270,6 +371,31 @@ util::Result<bool> IndexScanOp::NextImpl(Row* out) {
   return false;
 }
 
+util::Result<bool> IndexScanOp::NextBatchImpl(storage::RowBatch* out) {
+  const size_t cols = schema_.columns().size();
+  for (;;) {
+    out->Reset(cols);
+    size_t appended = 0;
+    while (cursor_ < matches_.size() && appended < batch_size()) {
+      storage::RowId id = matches_[cursor_++];
+      if (table_->IsDeleted(id)) continue;
+      ++stats_->rows_index_fetched;
+      out->AppendRow(table_->row(id));
+      ++appended;
+    }
+    if (appended == 0) return false;
+    if (residual_) {
+      stats_->predicate_evals += static_cast<int64_t>(appended);
+      std::vector<uint32_t> sel;
+      DRUGTREE_RETURN_IF_ERROR(EvalPredicateBatch(*residual_, *out, ctx_,
+                                                  &sel));
+      if (sel.empty()) continue;  // match set is bounded; shell checkpoints
+      out->SetSelection(std::move(sel));
+    }
+    return true;
+  }
+}
+
 std::string IndexScanOp::Describe() const {
   std::string out = "IndexScan " + table_->name() + "." + column_;
   if (bounds_.is_point) {
@@ -316,6 +442,21 @@ util::Result<bool> FilterOp::NextImpl(Row* out) {
   }
 }
 
+util::Result<bool> FilterOp::NextBatchImpl(storage::RowBatch* out) {
+  for (;;) {
+    DRUGTREE_ASSIGN_OR_RETURN(bool more, child_->NextBatch(out));
+    if (!more) return false;
+    if (!predicate_) return true;
+    stats_->predicate_evals += static_cast<int64_t>(out->size());
+    std::vector<uint32_t> sel;
+    DRUGTREE_RETURN_IF_ERROR(EvalPredicateBatch(*predicate_, *out, ctx_,
+                                                &sel));
+    if (sel.empty()) continue;  // child's NextBatch shell checkpoints
+    out->SetSelection(std::move(sel));
+    return true;
+  }
+}
+
 std::string FilterOp::Describe() const {
   return "Filter " + (predicate_ ? predicate_->ToString() : "true");
 }
@@ -336,19 +477,59 @@ util::Status ProjectOp::OpenImpl() {
     cols.push_back({o.name, ValueType::kString, true});
   }
   DRUGTREE_ASSIGN_OR_RETURN(schema_, Schema::Create(std::move(cols)));
+  // Row-path move optimization: an output that is a bare column ref may
+  // steal the child's Value instead of copying — but only if no other
+  // output expression also reads that column (SELECT p.acc, p.acc or
+  // SELECT x, x + 1 must keep copying).
+  std::vector<int> ref_counts;
+  auto count_refs = [&ref_counts](const Expr& e, auto&& self) -> void {
+    if (e.kind == ExprKind::kColumnRef && e.bound_index >= 0) {
+      if (static_cast<size_t>(e.bound_index) >= ref_counts.size()) {
+        ref_counts.resize(static_cast<size_t>(e.bound_index) + 1, 0);
+      }
+      ++ref_counts[static_cast<size_t>(e.bound_index)];
+    }
+    for (const auto& c : e.children) self(*c, self);
+  };
+  for (const auto& o : outputs_) count_refs(*o.expr, count_refs);
+  move_cols_.assign(outputs_.size(), -1);
+  for (size_t i = 0; i < outputs_.size(); ++i) {
+    const Expr& e = *outputs_[i].expr;
+    if (e.kind == ExprKind::kColumnRef && e.bound_index >= 0 &&
+        ref_counts[static_cast<size_t>(e.bound_index)] == 1) {
+      move_cols_[i] = e.bound_index;
+    }
+  }
   return util::Status::OK();
 }
 
 util::Result<bool> ProjectOp::NextImpl(Row* out) {
-  Row in;
-  DRUGTREE_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+  DRUGTREE_ASSIGN_OR_RETURN(bool more, child_->Next(&in_row_));
   if (!more) return false;
   out->clear();
   out->reserve(outputs_.size());
-  for (const auto& o : outputs_) {
-    DRUGTREE_ASSIGN_OR_RETURN(Value v, EvalExpr(*o.expr, in, ctx_));
+  for (size_t i = 0; i < outputs_.size(); ++i) {
+    if (move_cols_[i] >= 0) {
+      // The child row is discarded after this call; steal the value.
+      out->push_back(std::move(in_row_[static_cast<size_t>(move_cols_[i])]));
+      continue;
+    }
+    DRUGTREE_ASSIGN_OR_RETURN(Value v, EvalExpr(*outputs_[i].expr, in_row_,
+                                                ctx_));
     out->push_back(std::move(v));
   }
+  return true;
+}
+
+util::Result<bool> ProjectOp::NextBatchImpl(storage::RowBatch* out) {
+  DRUGTREE_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&child_batch_));
+  if (!more) return false;
+  out->Reset(outputs_.size());
+  for (size_t c = 0; c < outputs_.size(); ++c) {
+    DRUGTREE_RETURN_IF_ERROR(
+        EvalExprBatch(*outputs_[c].expr, child_batch_, ctx_, &out->column(c)));
+  }
+  out->FinishAppendedRows();
   return true;
 }
 
@@ -480,14 +661,20 @@ util::Status HashJoinOp::OpenImpl() {
     DRUGTREE_RETURN_IF_ERROR(BindExpr(residual_.get(), schema_));
   }
 
+  // Split the key pairs once; both Next paths reuse these.
+  left_keys_.clear();
+  right_keys_.clear();
+  for (auto& [lk, rk] : key_pairs_) {
+    left_keys_.push_back(lk);
+    right_keys_.push_back(rk);
+  }
+
   // Build phase on the right input: materialize, hash the keys (in morsels
   // when a pool is available), then index hash -> row positions in row
   // order. The index layout is independent of the hashing schedule, so the
   // probe side sees identical match order at any parallelism.
   hash_table_.clear();
   right_rows_.clear();
-  std::vector<ExprPtr> right_keys;
-  for (auto& [lk, rk] : key_pairs_) right_keys.push_back(rk);
   Row r;
   for (;;) {
     DRUGTREE_ASSIGN_OR_RETURN(bool more, right_->Next(&r));
@@ -516,7 +703,7 @@ util::Status HashJoinOp::OpenImpl() {
       const size_t begin = m * morsel;
       const size_t end = std::min(n, begin + morsel);
       for (size_t i = begin; i < end; ++i) {
-        auto h = KeyHash(right_keys, right_rows_[i], &key);
+        auto h = KeyHash(right_keys_, right_rows_[i], &key);
         if (!h.ok()) {
           errors[m] = h.status();
           return;
@@ -536,7 +723,7 @@ util::Status HashJoinOp::OpenImpl() {
     std::vector<Value> key;
     for (size_t i = 0; i < n; ++i) {
       DRUGTREE_ASSIGN_OR_RETURN(uint64_t h,
-                                KeyHash(right_keys, right_rows_[i], &key));
+                                KeyHash(right_keys_, right_rows_[i], &key));
       bool has_null = false;
       for (const auto& v : key) has_null |= v.is_null();
       valid[i] = has_null ? 0 : 1;  // NULL keys never join
@@ -548,20 +735,40 @@ util::Status HashJoinOp::OpenImpl() {
   }
   have_left_ = false;
   probe_list_ = nullptr;
+  probe_batch_.Reset(0);
+  probe_key_cols_.clear();
+  probe_idx_ = 0;
   return util::Status::OK();
 }
 
+// Emits the surviving join row for right-side candidate `r` into `joined`,
+// or leaves it empty. Shared by both probe paths so match verification,
+// residual evaluation, and stats accounting stay identical.
+util::Result<bool> HashJoinOp::MatchCandidate(const Row& r, Row* joined) {
+  // Verify key equality (hash collisions).
+  std::vector<Value> rkey;
+  auto rh = KeyHash(right_keys_, r, &rkey);
+  if (!rh.ok()) return rh.status();
+  if (rkey != current_key_) return false;
+  *joined = current_left_;
+  joined->insert(joined->end(), r.begin(), r.end());
+  if (residual_) {
+    ++stats_->predicate_evals;
+    DRUGTREE_ASSIGN_OR_RETURN(bool keep,
+                              EvalPredicate(*residual_, *joined, ctx_));
+    if (!keep) return false;
+  }
+  ++stats_->rows_joined;
+  return true;
+}
+
 util::Result<bool> HashJoinOp::NextImpl(Row* out) {
-  std::vector<ExprPtr> left_keys;
-  for (auto& [lk, rk] : key_pairs_) left_keys.push_back(lk);
-  std::vector<ExprPtr> right_keys;
-  for (auto& [lk, rk] : key_pairs_) right_keys.push_back(rk);
   for (;;) {
     if (!have_left_) {
       DRUGTREE_ASSIGN_OR_RETURN(bool more, left_->Next(&current_left_));
       if (!more) return false;
       DRUGTREE_ASSIGN_OR_RETURN(uint64_t h,
-                                KeyHash(left_keys, current_left_,
+                                KeyHash(left_keys_, current_left_,
                                         &current_key_));
       bool has_null = false;
       for (const auto& v : current_key_) has_null |= v.is_null();
@@ -573,24 +780,56 @@ util::Result<bool> HashJoinOp::NextImpl(Row* out) {
     }
     while (probe_list_ != nullptr && probe_pos_ < probe_list_->size()) {
       const Row& r = right_rows_[(*probe_list_)[probe_pos_++]];
-      // Verify key equality (hash collisions).
-      std::vector<Value> rkey;
-      auto rh = KeyHash(right_keys, r, &rkey);
-      if (!rh.ok()) return rh.status();
-      if (rkey != current_key_) continue;
-      Row joined = current_left_;
-      joined.insert(joined.end(), r.begin(), r.end());
-      if (residual_) {
-        ++stats_->predicate_evals;
-        DRUGTREE_ASSIGN_OR_RETURN(bool keep,
-                                  EvalPredicate(*residual_, joined, ctx_));
-        if (!keep) continue;
-      }
-      ++stats_->rows_joined;
+      Row joined;
+      DRUGTREE_ASSIGN_OR_RETURN(bool match, MatchCandidate(r, &joined));
+      if (!match) continue;
       *out = std::move(joined);
       return true;
     }
     have_left_ = false;
+  }
+}
+
+util::Result<bool> HashJoinOp::NextBatchImpl(storage::RowBatch* out) {
+  out->Reset(schema_.columns().size());
+  for (;;) {
+    // Drain the current probe row's match list first.
+    while (probe_list_ != nullptr && probe_pos_ < probe_list_->size()) {
+      const Row& r = right_rows_[(*probe_list_)[probe_pos_++]];
+      Row joined;
+      DRUGTREE_ASSIGN_OR_RETURN(bool match, MatchCandidate(r, &joined));
+      if (!match) continue;
+      out->AppendRow(std::move(joined));
+      if (out->physical_size() >= batch_size()) return true;
+    }
+    probe_list_ = nullptr;
+    // Advance to the next probe row, fetching (and key-evaluating) a fresh
+    // left batch when the current one is exhausted.
+    if (probe_idx_ >= probe_batch_.size()) {
+      DRUGTREE_ASSIGN_OR_RETURN(bool more, left_->NextBatch(&probe_batch_));
+      if (!more) return out->physical_size() > 0;  // flush the tail
+      probe_idx_ = 0;
+      probe_key_cols_.resize(left_keys_.size());
+      for (size_t k = 0; k < left_keys_.size(); ++k) {
+        DRUGTREE_RETURN_IF_ERROR(EvalExprBatch(*left_keys_[k], probe_batch_,
+                                               ctx_, &probe_key_cols_[k]));
+      }
+    }
+    const size_t i = probe_idx_++;
+    current_key_.clear();
+    bool has_null = false;
+    for (const auto& col : probe_key_cols_) {
+      Value v = col.GetValue(i);
+      has_null |= v.is_null();
+      current_key_.push_back(std::move(v));
+    }
+    if (has_null) continue;  // NULL keys never join
+    uint64_t h = HashKey(current_key_);
+    auto it = hash_table_.find(h);
+    if (it == hash_table_.end()) continue;
+    current_left_ = probe_batch_.RowAt(i);
+    probe_list_ = &it->second;
+    probe_pos_ = 0;
   }
 }
 
@@ -654,7 +893,8 @@ util::Status SortOp::OpenImpl() {
 
 util::Result<bool> SortOp::NextImpl(Row* out) {
   if (cursor_ >= rows_.size()) return false;
-  *out = rows_[cursor_++];
+  // Each sorted row is handed out exactly once; move, don't copy.
+  *out = std::move(rows_[cursor_++]);
   return true;
 }
 
@@ -751,8 +991,9 @@ util::Status HashAggregateOp::OpenImpl() {
 
 util::Result<bool> HashAggregateOp::NextImpl(Row* out) {
   if (cursor_ >= groups_.size()) return false;
-  const auto& [key, states] = groups_[cursor_++];
-  *out = key;
+  auto& [key, states] = groups_[cursor_++];
+  // Each group is emitted exactly once; move the key row out.
+  *out = std::move(key);
   for (size_t a = 0; a < aggregates_.size(); ++a) {
     const Expr& agg = *aggregates_[a].expr;
     const AggState& st = states[a];
@@ -839,6 +1080,26 @@ util::Result<bool> LimitOp::NextImpl(Row* out) {
   DRUGTREE_ASSIGN_OR_RETURN(bool more, child_->Next(out));
   if (!more) return false;
   ++produced_;
+  return true;
+}
+
+util::Result<bool> LimitOp::NextBatchImpl(storage::RowBatch* out) {
+  if (produced_ >= limit_) return false;
+  DRUGTREE_ASSIGN_OR_RETURN(bool more, child_->NextBatch(out));
+  if (!more) return false;
+  const int64_t remaining = limit_ - produced_;
+  if (static_cast<int64_t>(out->size()) > remaining) {
+    // Truncate by selection; the overshoot rows were already computed by
+    // the child, so dropping them keeps output identical to the row path.
+    std::vector<uint32_t> sel;
+    sel.reserve(static_cast<size_t>(remaining));
+    for (int64_t i = 0; i < remaining; ++i) {
+      sel.push_back(
+          static_cast<uint32_t>(out->PhysicalIndex(static_cast<size_t>(i))));
+    }
+    out->SetSelection(std::move(sel));
+  }
+  produced_ += static_cast<int64_t>(out->size());
   return true;
 }
 

@@ -1,9 +1,14 @@
-// Physical operators (volcano iterator model). Each operator exposes
-// Open()/Next(&row) and its output schema; ExplainString() renders the
-// physical plan for EXPLAIN output and the E2 ablation logs. Open()/Next()
-// are non-virtual shells on the base class that maintain per-operator
-// execution stats (rows_out, Next() calls, and — under EXPLAIN ANALYZE —
-// cumulative time); operators implement OpenImpl()/NextImpl().
+// Physical operators (volcano iterator model with vectorized batches).
+// Each operator exposes Open()/Next(&row)/NextBatch(&batch) and its output
+// schema; ExplainString() renders the physical plan for EXPLAIN output and
+// the E2 ablation logs. Open()/Next()/NextBatch() are non-virtual shells on
+// the base class that maintain per-operator execution stats (rows_out,
+// next_calls, batches, and — under EXPLAIN ANALYZE — cumulative time);
+// operators implement OpenImpl()/NextImpl() and, for the vectorized hot
+// path, NextBatchImpl(). Adapter shims run in both directions: operators
+// without a batch implementation are batched by accumulating NextImpl()
+// rows, and batch-native operators serve row-at-a-time parents by draining
+// an internal batch — so row and batch operators compose freely in one plan.
 
 #ifndef DRUGTREE_QUERY_PHYSICAL_H_
 #define DRUGTREE_QUERY_PHYSICAL_H_
@@ -20,6 +25,7 @@
 #include "query/logical_plan.h"
 #include "query/parser.h"
 #include "query/query_context.h"
+#include "storage/row_batch.h"
 #include "storage/table.h"
 #include "util/clock.h"
 #include "util/result.h"
@@ -50,15 +56,23 @@ struct ParallelContext {
   bool enabled() const { return pool != nullptr && parallelism > 1; }
 };
 
-/// Per-operator execution counters, collected by the base Open()/Next()
-/// shells. Row/call counts are always on (two increments per call); timing
+/// Per-operator execution counters, collected by the base
+/// Open()/Next()/NextBatch() shells. Row/call counts are always on; timing
 /// is only collected after EnableAnalyze() to keep the default path cheap.
+///
+/// next_calls semantics under batching: one increment per NextBatch() call
+/// — i.e. per *batch*, not per row — including the final exhausted call.
+/// In row-at-a-time mode (batch_size 1, or a batch-native operator drained
+/// by a row-consuming parent) it counts Next() calls as before, so
+/// next_calls == rows_out + 1 only holds on pure row paths.
 struct OperatorStats {
-  int64_t rows_out = 0;        // rows handed to the parent
-  int64_t next_calls = 0;      // Next() invocations (including the last
-                               // exhausted one)
-  int64_t elapsed_micros = 0;  // Open()+Next() time, inclusive of children
-                               // (only under EnableAnalyze)
+  int64_t rows_out = 0;        // rows handed to the parent (either mode)
+  int64_t next_calls = 0;      // Next()/NextBatch() invocations (including
+                               // the last exhausted one)
+  int64_t batches = 0;         // non-empty batches handed to the parent via
+                               // NextBatch() (0 on pure row paths)
+  int64_t elapsed_micros = 0;  // Open()+Next()+NextBatch() time, inclusive
+                               // of children (only under EnableAnalyze)
 };
 
 class PhysicalOperator {
@@ -68,8 +82,23 @@ class PhysicalOperator {
   /// Prepares for iteration (binds expressions, builds hash tables, sorts).
   util::Status Open();
 
-  /// Produces the next row. Returns false when exhausted.
+  /// Produces the next row. Returns false when exhausted. When the operator
+  /// is batch-native and a batch size > 1 is configured, rows are drained
+  /// from an internal batch, so row-consuming parents still benefit from
+  /// the vectorized pipeline below them.
   util::Result<bool> Next(storage::Row* out);
+
+  /// Produces the next batch (up to the configured batch size). Returns
+  /// false when exhausted; a true return always carries at least one
+  /// logical row. Operators without a native batch implementation are
+  /// adapted automatically by accumulating NextImpl() rows, so the batch
+  /// driver can run any plan. Output row order is identical to Next().
+  util::Result<bool> NextBatch(storage::RowBatch* out);
+
+  /// Configures the rows-per-batch target for the whole subtree. 1 (the
+  /// default) preserves the exact legacy row-at-a-time path everywhere;
+  /// values > 1 enable the vectorized path and the drain adapter in Next().
+  void SetBatchSize(size_t batch_size);
 
   const storage::Schema& schema() const { return schema_; }
 
@@ -102,6 +131,16 @@ class PhysicalOperator {
   virtual util::Status OpenImpl() = 0;
   virtual util::Result<bool> NextImpl(storage::Row* out) = 0;
 
+  /// Batch production; the default implementation adapts NextImpl(). Batch
+  /// overrides must return true only with >= 1 logical row in `out`.
+  virtual util::Result<bool> NextBatchImpl(storage::RowBatch* out);
+
+  /// True when NextBatchImpl is a native override (drives the batch->row
+  /// drain adapter inside Next()).
+  virtual bool HasBatchImpl() const { return false; }
+
+  size_t batch_size() const { return batch_size_; }
+
   /// Cancellation checkpoint granularity for row-at-a-time loops.
   static constexpr int64_t kCancelCheckInterval = 64;
   /// Row granularity for checks inside tight operator-internal loops.
@@ -114,9 +153,16 @@ class PhysicalOperator {
   std::vector<PhysicalOperator*> explain_children_;  // borrowed, for explain
 
  private:
+  /// Row production for the Next() shell: NextImpl() on the row path, the
+  /// batch->row drain adapter when this operator is batch-native.
+  util::Result<bool> NextRowOrDrain(storage::Row* out);
+
   OperatorStats op_stats_;
   const util::Clock* analyze_clock_ = nullptr;  // non-null => timing on
   const QueryContext* query_context_ = nullptr;
+  size_t batch_size_ = 1;
+  storage::RowBatch drain_batch_;  // batch->row adapter state
+  size_t drain_pos_ = 0;
 };
 
 using PhysicalPtr = std::unique_ptr<PhysicalOperator>;
@@ -128,6 +174,8 @@ class SeqScanOp : public PhysicalOperator {
             EvalContext ctx, ExecStats* stats, ParallelContext par = {});
   util::Status OpenImpl() override;
   util::Result<bool> NextImpl(storage::Row* out) override;
+  util::Result<bool> NextBatchImpl(storage::RowBatch* out) override;
+  bool HasBatchImpl() const override { return true; }
   std::string Describe() const override;
 
  private:
@@ -163,6 +211,8 @@ class IndexScanOp : public PhysicalOperator {
               EvalContext ctx, ExecStats* stats);
   util::Status OpenImpl() override;
   util::Result<bool> NextImpl(storage::Row* out) override;
+  util::Result<bool> NextBatchImpl(storage::RowBatch* out) override;
+  bool HasBatchImpl() const override { return true; }
   std::string Describe() const override;
 
  private:
@@ -183,6 +233,8 @@ class FilterOp : public PhysicalOperator {
            ExecStats* stats);
   util::Status OpenImpl() override;
   util::Result<bool> NextImpl(storage::Row* out) override;
+  util::Result<bool> NextBatchImpl(storage::RowBatch* out) override;
+  bool HasBatchImpl() const override { return true; }
   std::string Describe() const override;
 
  private:
@@ -198,12 +250,21 @@ class ProjectOp : public PhysicalOperator {
             EvalContext ctx);
   util::Status OpenImpl() override;
   util::Result<bool> NextImpl(storage::Row* out) override;
+  util::Result<bool> NextBatchImpl(storage::RowBatch* out) override;
+  bool HasBatchImpl() const override { return true; }
   std::string Describe() const override;
 
  private:
   PhysicalPtr child_;
   std::vector<OutputColumn> outputs_;
   EvalContext ctx_;
+  // Row path: output positions whose expression is a bare column ref that
+  // no other output references; those Values are moved out of the child row
+  // instead of re-evaluated+copied (-1 = evaluate normally). The child row
+  // buffer is a member so its capacity is reused across calls.
+  std::vector<int> move_cols_;
+  storage::Row in_row_;
+  storage::RowBatch child_batch_;  // batch path input
 };
 
 /// Nested-loop join with an arbitrary (possibly null) condition; the right
@@ -237,12 +298,19 @@ class HashJoinOp : public PhysicalOperator {
              ParallelContext par = {});
   util::Status OpenImpl() override;
   util::Result<bool> NextImpl(storage::Row* out) override;
+  util::Result<bool> NextBatchImpl(storage::RowBatch* out) override;
+  bool HasBatchImpl() const override { return true; }
   std::string Describe() const override;
 
  private:
   util::Result<uint64_t> KeyHash(const std::vector<ExprPtr>& exprs,
                                  const storage::Row& row,
                                  std::vector<storage::Value>* key_out);
+
+  /// Verifies one right-side candidate against current_key_, applies the
+  /// residual, and (on a match) fills `joined` and updates the stats.
+  util::Result<bool> MatchCandidate(const storage::Row& r,
+                                    storage::Row* joined);
 
   PhysicalPtr left_, right_;
   std::vector<std::pair<ExprPtr, ExprPtr>> key_pairs_;
@@ -256,11 +324,19 @@ class HashJoinOp : public PhysicalOperator {
   // assembled serially in row order, so output is parallelism-independent.
   std::vector<storage::Row> right_rows_;
   std::unordered_map<uint64_t, std::vector<size_t>> hash_table_;
+  // Key expressions split out of key_pairs_ at Open() so neither Next path
+  // rebuilds the vectors per call.
+  std::vector<ExprPtr> left_keys_, right_keys_;
   storage::Row current_left_;
   std::vector<storage::Value> current_key_;
   bool have_left_ = false;
   const std::vector<size_t>* probe_list_ = nullptr;
   size_t probe_pos_ = 0;
+  // Batch probe state: the current left batch, its evaluated key columns
+  // (logical row order), and the next logical row to probe.
+  storage::RowBatch probe_batch_;
+  std::vector<storage::ColumnVector> probe_key_cols_;
+  size_t probe_idx_ = 0;
 };
 
 /// Full sort (materializing).
@@ -324,6 +400,8 @@ class LimitOp : public PhysicalOperator {
   LimitOp(PhysicalPtr child, int64_t limit);
   util::Status OpenImpl() override;
   util::Result<bool> NextImpl(storage::Row* out) override;
+  util::Result<bool> NextBatchImpl(storage::RowBatch* out) override;
+  bool HasBatchImpl() const override { return true; }
   std::string Describe() const override;
 
  private:

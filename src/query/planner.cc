@@ -325,8 +325,9 @@ util::Result<QueryOutcome> Planner::Run(const std::string& sql,
   if (stmt.explain == ExplainMode::kAnalyze) {
     physical->EnableAnalyze(obs::Tracer::Default()->clock());
   }
-  DRUGTREE_ASSIGN_OR_RETURN(outcome.result,
-                            ExecutePlan(physical.get(), context));
+  DRUGTREE_ASSIGN_OR_RETURN(
+      outcome.result,
+      ExecutePlan(physical.get(), context, options.batch_size));
   if (stmt.explain == ExplainMode::kAnalyze) {
     outcome.analyzed_plan = obs::RenderExplainTree(physical->AnalyzeTree());
   }

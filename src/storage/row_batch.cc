@@ -1,0 +1,286 @@
+#include "storage/row_batch.h"
+
+#include "util/logging.h"
+
+namespace drugtree {
+namespace storage {
+
+void ColumnVector::Clear() {
+  type_ = ValueType::kNull;
+  mixed_ = false;
+  size_ = 0;
+  null_words_.clear();
+  bools_.clear();
+  ints_.clear();
+  doubles_.clear();
+  strings_.clear();
+  values_.clear();
+}
+
+void ColumnVector::Reserve(size_t n) {
+  null_words_.reserve((n + 63) / 64);
+  switch (type_) {
+    case ValueType::kBool: bools_.reserve(n); break;
+    case ValueType::kInt64: ints_.reserve(n); break;
+    case ValueType::kDouble: doubles_.reserve(n); break;
+    case ValueType::kString: strings_.reserve(n); break;
+    case ValueType::kNull: break;
+  }
+  if (mixed_) values_.reserve(n);
+}
+
+bool ColumnVector::NoNulls() const {
+  size_t full_words = size_ / 64;
+  for (size_t w = 0; w < full_words; ++w) {
+    if (null_words_[w] != 0) return false;
+  }
+  size_t tail = size_ & 63;
+  if (tail != 0 && full_words < null_words_.size()) {
+    uint64_t mask = (uint64_t{1} << tail) - 1;
+    if ((null_words_[full_words] & mask) != 0) return false;
+  }
+  return true;
+}
+
+void ColumnVector::Demote() {
+  DT_CHECK(!mixed_);
+  values_.clear();
+  values_.reserve(size_ + 1);
+  for (size_t i = 0; i < size_; ++i) values_.push_back(GetValue(i));
+  bools_.clear();
+  ints_.clear();
+  doubles_.clear();
+  strings_.clear();
+  mixed_ = true;
+}
+
+void ColumnVector::AppendTypedPayload(const Value& v) {
+  switch (type_) {
+    case ValueType::kBool: bools_.push_back(v.AsBool() ? 1 : 0); break;
+    case ValueType::kInt64: ints_.push_back(v.AsInt64()); break;
+    case ValueType::kDouble: doubles_.push_back(v.AsDouble()); break;
+    case ValueType::kString: strings_.push_back(v.AsString()); break;
+    case ValueType::kNull: break;
+  }
+}
+
+void ColumnVector::AppendNull() {
+  EnsureNullCapacity(size_ + 1);
+  SetNullBit(size_);
+  if (mixed_) {
+    values_.push_back(Value::Null());
+  } else {
+    // Placeholder payload so typed arrays stay index-aligned with rows.
+    switch (type_) {
+      case ValueType::kBool: bools_.push_back(0); break;
+      case ValueType::kInt64: ints_.push_back(0); break;
+      case ValueType::kDouble: doubles_.push_back(0.0); break;
+      case ValueType::kString: strings_.emplace_back(); break;
+      case ValueType::kNull: break;
+    }
+  }
+  ++size_;
+}
+
+void ColumnVector::Append(const Value& v) {
+  ValueType t = v.type();
+  if (t == ValueType::kNull) {
+    AppendNull();
+    return;
+  }
+  if (mixed_) {
+    EnsureNullCapacity(size_ + 1);
+    values_.push_back(v);
+    ++size_;
+    return;
+  }
+  if (type_ == ValueType::kNull) {
+    // First non-null value fixes the type; backfill placeholder slots for
+    // any leading nulls.
+    type_ = t;
+    switch (type_) {
+      case ValueType::kBool: bools_.assign(size_, 0); break;
+      case ValueType::kInt64: ints_.assign(size_, 0); break;
+      case ValueType::kDouble: doubles_.assign(size_, 0.0); break;
+      case ValueType::kString: strings_.assign(size_, std::string()); break;
+      case ValueType::kNull: break;
+    }
+  } else if (t != type_) {
+    Demote();
+    EnsureNullCapacity(size_ + 1);
+    values_.push_back(v);
+    ++size_;
+    return;
+  }
+  EnsureNullCapacity(size_ + 1);
+  AppendTypedPayload(v);
+  ++size_;
+}
+
+void ColumnVector::Append(Value&& v) {
+  // Moving only matters for strings; route them specially, forward the rest.
+  if (v.type() == ValueType::kString && !mixed_ &&
+      (type_ == ValueType::kString || type_ == ValueType::kNull)) {
+    // Const-cast-free move: take the string out via the mixed-safe path.
+    if (type_ == ValueType::kNull) {
+      type_ = ValueType::kString;
+      strings_.assign(size_, std::string());
+    }
+    EnsureNullCapacity(size_ + 1);
+    strings_.push_back(std::move(const_cast<std::string&>(v.AsString())));
+    ++size_;
+    return;
+  }
+  if (mixed_ && v.type() != ValueType::kNull) {
+    EnsureNullCapacity(size_ + 1);
+    values_.push_back(std::move(v));
+    ++size_;
+    return;
+  }
+  Append(static_cast<const Value&>(v));
+}
+
+Value ColumnVector::GetValue(size_t i) const {
+  if (mixed_) return values_[i];
+  if (IsNull(i)) return Value::Null();
+  switch (type_) {
+    case ValueType::kBool: return Value::Bool(bools_[i] != 0);
+    case ValueType::kInt64: return Value::Int64(ints_[i]);
+    case ValueType::kDouble: return Value::Double(doubles_[i]);
+    case ValueType::kString: return Value::String(strings_[i]);
+    case ValueType::kNull: return Value::Null();
+  }
+  return Value::Null();
+}
+
+void ColumnVector::GatherFrom(const ColumnVector& src, const uint32_t* idx,
+                              size_t n) {
+  DT_CHECK(size_ == 0);
+  if (src.mixed_) {
+    Reserve(n);
+    for (size_t i = 0; i < n; ++i) Append(src.values_[idx[i]]);
+    return;
+  }
+  type_ = src.type_;
+  EnsureNullCapacity(n);
+  switch (type_) {
+    case ValueType::kBool:
+      bools_.resize(n);
+      for (size_t i = 0; i < n; ++i) bools_[i] = src.bools_[idx[i]];
+      break;
+    case ValueType::kInt64:
+      ints_.resize(n);
+      for (size_t i = 0; i < n; ++i) ints_[i] = src.ints_[idx[i]];
+      break;
+    case ValueType::kDouble:
+      doubles_.resize(n);
+      for (size_t i = 0; i < n; ++i) doubles_[i] = src.doubles_[idx[i]];
+      break;
+    case ValueType::kString:
+      strings_.reserve(n);
+      for (size_t i = 0; i < n; ++i) strings_.push_back(src.strings_[idx[i]]);
+      break;
+    case ValueType::kNull:
+      break;
+  }
+  size_ = n;
+  if (type_ == ValueType::kNull) {
+    // Untyped source: every row is null.
+    for (size_t i = 0; i < n; ++i) SetNullBit(i);
+  } else if (!src.NoNulls()) {
+    for (size_t i = 0; i < n; ++i) {
+      if (src.IsNull(idx[i])) SetNullBit(i);
+    }
+  }
+}
+
+// -------------------------------------------------------------------------
+
+void RowBatch::Reset(size_t num_columns) {
+  if (columns_.size() != num_columns) columns_.resize(num_columns);
+  for (auto& c : columns_) c.Clear();
+  sel_.clear();
+  sel_active_ = false;
+  num_rows_ = 0;
+}
+
+void RowBatch::SetSelection(std::vector<uint32_t> sel) {
+  sel_ = std::move(sel);
+  sel_active_ = true;
+}
+
+void RowBatch::ClearSelection() {
+  sel_.clear();
+  sel_active_ = false;
+}
+
+void RowBatch::AppendRow(const Row& row) {
+  DT_CHECK(!sel_active_);
+  DT_CHECK(row.size() == columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) columns_[c].Append(row[c]);
+  ++num_rows_;
+}
+
+void RowBatch::AppendRow(Row&& row) {
+  DT_CHECK(!sel_active_);
+  DT_CHECK(row.size() == columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].Append(std::move(row[c]));
+  }
+  ++num_rows_;
+}
+
+void RowBatch::FinishAppendedRows() {
+  size_t n = columns_.empty() ? 0 : columns_[0].size();
+  for (const auto& c : columns_) DT_CHECK(c.size() == n);
+  num_rows_ = n;
+}
+
+Row RowBatch::RowAt(size_t i) const {
+  size_t p = PhysicalIndex(i);
+  Row row;
+  row.reserve(columns_.size());
+  for (const auto& c : columns_) row.push_back(c.GetValue(p));
+  return row;
+}
+
+void RowBatch::EmitRowsTo(std::vector<Row>* out) const {
+  // Deliberately no reserve(): an exact-size reserve per batch would defeat
+  // push_back's geometric growth and turn repeated emission quadratic.
+  size_t n = size();
+  if (n == 0) return;
+  size_t base = out->size();
+  size_t cols = columns_.size();
+  for (size_t i = 0; i < n; ++i) out->emplace_back(cols);
+  // Column-major fill: one representation dispatch per column, not per cell.
+  for (size_t c = 0; c < cols; ++c) {
+    const ColumnVector& col = columns_[c];
+    if (!col.mixed() && col.NoNulls()) {
+      switch (col.type()) {
+        case ValueType::kInt64:
+          for (size_t i = 0; i < n; ++i) {
+            (*out)[base + i][c] = Value::Int64(col.Int64At(PhysicalIndex(i)));
+          }
+          continue;
+        case ValueType::kDouble:
+          for (size_t i = 0; i < n; ++i) {
+            (*out)[base + i][c] = Value::Double(col.DoubleAt(PhysicalIndex(i)));
+          }
+          continue;
+        case ValueType::kString:
+          for (size_t i = 0; i < n; ++i) {
+            (*out)[base + i][c] = Value::String(col.StringAt(PhysicalIndex(i)));
+          }
+          continue;
+        default:
+          break;
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      (*out)[base + i][c] = col.GetValue(PhysicalIndex(i));
+    }
+  }
+}
+
+}  // namespace storage
+}  // namespace drugtree

@@ -1,0 +1,194 @@
+// Columnar execution batches: ColumnVector (one typed column with a null
+// bitmap) and RowBatch (a set of columns plus an optional selection vector).
+// These are the unit of data flow in the vectorized execution engine; the
+// row-at-a-time Row/Value currency stays the storage and result format, and
+// conversion in both directions is exact (a batch round-trips every Value
+// bit-identically, including the Int64-vs-Double distinction per cell).
+//
+// Layout rules:
+//  - A ColumnVector starts untyped (kNull). The first non-null append fixes
+//    its type; appending a differently typed value afterwards demotes the
+//    column to a "mixed" representation (std::vector<Value>) that is always
+//    correct but skips the typed fast paths. Table columns are homogeneous
+//    in practice, so mixed columns only appear for expression outputs that
+//    genuinely mix types.
+//  - Nulls are tracked in a word-packed bitmap regardless of representation;
+//    typed payload slots for null rows hold zero values.
+//  - A RowBatch's selection vector holds *physical* row indices in
+//    ascending emission order. Logical row i of the batch is physical row
+//    sel[i] (or i when no selection is installed). Filters refine batches by
+//    installing/shrinking the selection instead of copying column data.
+
+#ifndef DRUGTREE_STORAGE_ROW_BATCH_H_
+#define DRUGTREE_STORAGE_ROW_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace drugtree {
+namespace storage {
+
+class ColumnVector {
+ public:
+  ColumnVector() = default;
+
+  /// Declared element type. kNull until the first non-null append (or for
+  /// an all-null column); meaningless when mixed().
+  ValueType type() const { return type_; }
+  /// True once the column holds values of more than one non-null type.
+  bool mixed() const { return mixed_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Clear();
+  void Reserve(size_t n);
+
+  /// Generic append; dispatches on the value's runtime type.
+  void Append(const Value& v);
+  void Append(Value&& v);
+  void AppendNull();
+
+  // Typed appends: inline fast path when the column is already in the
+  // matching typed representation (the steady state of every vectorized
+  // kernel loop); first-append type fixing and demotion take the generic
+  // path. Skipping the per-cell Value round trip here is what makes the
+  // batch kernels' emit loops cheap.
+  void AppendBool(bool v) {
+    if (!mixed_ && type_ == ValueType::kBool) {
+      EnsureNullCapacity(size_ + 1);
+      bools_.push_back(v ? 1 : 0);
+      ++size_;
+    } else {
+      Append(Value::Bool(v));
+    }
+  }
+  void AppendInt64(int64_t v) {
+    if (!mixed_ && type_ == ValueType::kInt64) {
+      EnsureNullCapacity(size_ + 1);
+      ints_.push_back(v);
+      ++size_;
+    } else {
+      Append(Value::Int64(v));
+    }
+  }
+  void AppendDouble(double v) {
+    if (!mixed_ && type_ == ValueType::kDouble) {
+      EnsureNullCapacity(size_ + 1);
+      doubles_.push_back(v);
+      ++size_;
+    } else {
+      Append(Value::Double(v));
+    }
+  }
+  void AppendString(std::string v) {
+    if (!mixed_ && type_ == ValueType::kString) {
+      EnsureNullCapacity(size_ + 1);
+      strings_.push_back(std::move(v));
+      ++size_;
+    } else {
+      Append(Value::String(std::move(v)));
+    }
+  }
+
+  bool IsNull(size_t i) const {
+    return (null_words_[i >> 6] >> (i & 63)) & 1;
+  }
+  /// True iff no row of the column is null (cheap word-wise scan).
+  bool NoNulls() const;
+
+  /// Typed accessors; only valid for non-null rows of a non-mixed column of
+  /// the matching type.
+  bool BoolAt(size_t i) const { return bools_[i] != 0; }
+  int64_t Int64At(size_t i) const { return ints_[i]; }
+  double DoubleAt(size_t i) const { return doubles_[i]; }
+  const std::string& StringAt(size_t i) const { return strings_[i]; }
+
+  /// Materializes row i as a Value (exact, any representation).
+  Value GetValue(size_t i) const;
+
+  /// Bulk-appends src[idx[0..n)] into this column (which must be empty),
+  /// adopting src's representation. The typed fast path copies payload
+  /// slots directly instead of round-tripping each cell through Value.
+  void GatherFrom(const ColumnVector& src, const uint32_t* idx, size_t n);
+
+ private:
+  void SetNullBit(size_t i) {
+    null_words_[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+  void EnsureNullCapacity(size_t n) {
+    size_t words = (n + 63) / 64;
+    if (null_words_.size() < words) null_words_.resize(words, 0);
+  }
+  /// Migrates the typed representation to the mixed fallback.
+  void Demote();
+  /// Appends a payload slot for row `size_` in the current representation.
+  void AppendTypedPayload(const Value& v);
+
+  ValueType type_ = ValueType::kNull;
+  bool mixed_ = false;
+  size_t size_ = 0;
+  std::vector<uint64_t> null_words_;  // bit i set => row i is NULL
+
+  // Exactly one of these is populated, per type_ / mixed_.
+  std::vector<uint8_t> bools_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  std::vector<Value> values_;  // mixed fallback
+};
+
+class RowBatch {
+ public:
+  RowBatch() = default;
+
+  /// Clears all rows and the selection, (re)sizing to `num_columns` columns.
+  void Reset(size_t num_columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  /// Logical row count: selection size when installed, else physical rows.
+  size_t size() const { return sel_active_ ? sel_.size() : num_rows_; }
+  bool empty() const { return size() == 0; }
+  /// Rows physically stored in the columns (ignores the selection).
+  size_t physical_size() const { return num_rows_; }
+
+  ColumnVector& column(size_t i) { return columns_[i]; }
+  const ColumnVector& column(size_t i) const { return columns_[i]; }
+
+  bool has_selection() const { return sel_active_; }
+  const std::vector<uint32_t>& selection() const { return sel_; }
+  /// Installs a selection (physical indices, ascending). Replaces any
+  /// existing selection; callers refining an existing one must compose
+  /// indices themselves (EvalPredicateBatch does).
+  void SetSelection(std::vector<uint32_t> sel);
+  void ClearSelection();
+
+  /// Physical index of logical row i.
+  size_t PhysicalIndex(size_t i) const { return sel_active_ ? sel_[i] : i; }
+
+  /// Appends one row across all columns (physical append; must match
+  /// num_columns). Invalid while a selection is installed.
+  void AppendRow(const Row& row);
+  void AppendRow(Row&& row);
+  /// Bumps the physical row count after appending directly to columns.
+  void FinishAppendedRows();
+
+  /// Materializes logical row i.
+  Row RowAt(size_t i) const;
+  /// Appends all logical rows to `out` (the executor's batch -> result
+  /// conversion).
+  void EmitRowsTo(std::vector<Row>* out) const;
+
+ private:
+  std::vector<ColumnVector> columns_;
+  std::vector<uint32_t> sel_;
+  bool sel_active_ = false;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace storage
+}  // namespace drugtree
+
+#endif  // DRUGTREE_STORAGE_ROW_BATCH_H_

@@ -1,0 +1,477 @@
+// Vectorized execution tests: ColumnVector/RowBatch invariants, batch
+// expression evaluation, and the golden-equivalence property — the batch
+// engine must produce bit-identical results to the row engine for the whole
+// query corpus at every (batch_size, parallelism) combination, including
+// under cancellation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "phylo/newick.h"
+#include "query/executor.h"
+#include "query/physical.h"
+#include "query/planner.h"
+#include "storage/row_batch.h"
+
+namespace drugtree {
+namespace query {
+namespace {
+
+using storage::ColumnVector;
+using storage::IndexKind;
+using storage::Row;
+using storage::RowBatch;
+using storage::Schema;
+using storage::Table;
+using storage::Value;
+using storage::ValueType;
+
+// ------------------------------------------------------------ ColumnVector
+
+TEST(ColumnVectorTest, TypeFixingAndNullBackfill) {
+  ColumnVector col;
+  EXPECT_EQ(col.type(), ValueType::kNull);
+  col.AppendNull();
+  col.AppendNull();
+  col.AppendInt64(7);  // first non-null append fixes the type
+  EXPECT_EQ(col.type(), ValueType::kInt64);
+  EXPECT_FALSE(col.mixed());
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_TRUE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_FALSE(col.IsNull(2));
+  EXPECT_EQ(col.Int64At(2), 7);
+  EXPECT_FALSE(col.NoNulls());
+  EXPECT_TRUE(col.GetValue(0).is_null());
+  EXPECT_EQ(col.GetValue(2), Value::Int64(7));
+}
+
+TEST(ColumnVectorTest, MixedDemotionPreservesValues) {
+  ColumnVector col;
+  col.AppendInt64(1);
+  col.AppendNull();
+  col.AppendString("x");  // type mismatch -> mixed representation
+  EXPECT_TRUE(col.mixed());
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_EQ(col.GetValue(0), Value::Int64(1));
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_TRUE(col.GetValue(1).is_null());
+  EXPECT_EQ(col.GetValue(2), Value::String("x"));
+}
+
+TEST(ColumnVectorTest, ValueRoundTripIsExact) {
+  // The Int64-vs-Double distinction must survive a batch round trip.
+  ColumnVector col;
+  col.Append(Value::Int64(1));
+  col.Append(Value::Double(1.0));
+  EXPECT_TRUE(col.mixed());
+  EXPECT_EQ(col.GetValue(0).type(), ValueType::kInt64);
+  EXPECT_EQ(col.GetValue(1).type(), ValueType::kDouble);
+}
+
+TEST(RowBatchTest, SelectionControlsLogicalRows) {
+  RowBatch batch;
+  batch.Reset(2);
+  for (int i = 0; i < 5; ++i) {
+    batch.AppendRow({Value::Int64(i), Value::String("r" + std::to_string(i))});
+  }
+  EXPECT_EQ(batch.size(), 5u);
+  batch.SetSelection({1, 3, 4});
+  EXPECT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch.physical_size(), 5u);
+  EXPECT_EQ(batch.PhysicalIndex(0), 1u);
+  Row r = batch.RowAt(1);
+  EXPECT_EQ(r[0], Value::Int64(3));
+  std::vector<Row> rows;
+  batch.EmitRowsTo(&rows);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[2][1], Value::String("r4"));
+}
+
+// ---------------------------------------------------- batch expression eval
+
+class BatchExprTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = Schema::Create({{"n.k", ValueType::kInt64, true},
+                                  {"n.v", ValueType::kDouble, false},
+                                  {"n.s", ValueType::kString, false}});
+    ASSERT_TRUE(schema.ok());
+    schema_ = std::move(*schema);
+    batch_.Reset(3);
+    for (int i = 0; i < 20; ++i) {
+      rows_.push_back({i % 5 == 3 ? Value::Null() : Value::Int64(i % 7),
+                       Value::Double(i * 0.5 - 3.0),
+                       Value::String("s" + std::to_string(i % 4))});
+      batch_.AppendRow(rows_.back());
+    }
+  }
+
+  ExprPtr Bind(ExprPtr e) {
+    EXPECT_TRUE(BindExpr(e.get(), schema_).ok());
+    return e;
+  }
+
+  // Asserts EvalExprBatch agrees cell-for-cell with per-row EvalExpr.
+  void ExpectBatchMatchesRows(const ExprPtr& e) {
+    ColumnVector out;
+    ASSERT_TRUE(EvalExprBatch(*e, batch_, ctx_, &out).ok());
+    ASSERT_EQ(out.size(), batch_.size());
+    for (size_t i = 0; i < batch_.size(); ++i) {
+      auto v = EvalExpr(*e, batch_.RowAt(i), ctx_);
+      ASSERT_TRUE(v.ok());
+      EXPECT_EQ(out.GetValue(i), *v) << e->ToString() << " row " << i;
+      EXPECT_EQ(out.GetValue(i).type(), v->type()) << e->ToString();
+    }
+  }
+
+  Schema schema_;
+  std::vector<Row> rows_;
+  RowBatch batch_;
+  EvalContext ctx_;
+};
+
+TEST_F(BatchExprTest, TypedFastPathsMatchRowEval) {
+  using B = BinaryOp;
+  // Int/Int, Int/Double, Double/const comparisons; arithmetic; strings.
+  ExpectBatchMatchesRows(Bind(Expr::Binary(
+      B::kLt, Expr::Column("n.k"), Expr::Literal(Value::Int64(4)))));
+  ExpectBatchMatchesRows(Bind(Expr::Binary(
+      B::kGe, Expr::Column("n.v"), Expr::Column("n.k"))));
+  ExpectBatchMatchesRows(Bind(Expr::Binary(
+      B::kAdd, Expr::Column("n.k"), Expr::Literal(Value::Int64(10)))));
+  ExpectBatchMatchesRows(Bind(Expr::Binary(
+      B::kMul, Expr::Column("n.v"), Expr::Column("n.k"))));
+  ExpectBatchMatchesRows(Bind(Expr::Binary(
+      B::kDiv, Expr::Column("n.k"), Expr::Literal(Value::Double(4.0)))));
+  ExpectBatchMatchesRows(Bind(Expr::Binary(
+      B::kEq, Expr::Column("n.s"), Expr::Literal(Value::String("s2")))));
+  ExpectBatchMatchesRows(Bind(Expr::Binary(
+      B::kNe, Expr::Column("n.s"), Expr::Column("n.s"))));
+}
+
+TEST_F(BatchExprTest, KleeneLogicMatchesRowEval) {
+  using B = BinaryOp;
+  // n.k < 4 has NULL rows, so AND/OR exercise three-valued logic.
+  ExprPtr lt = Expr::Binary(B::kLt, Expr::Column("n.k"),
+                            Expr::Literal(Value::Int64(4)));
+  ExprPtr gt = Expr::Binary(B::kGt, Expr::Column("n.v"),
+                            Expr::Literal(Value::Double(0.0)));
+  ExpectBatchMatchesRows(Bind(Expr::Binary(B::kAnd, lt->Clone(), gt->Clone())));
+  ExpectBatchMatchesRows(Bind(Expr::Binary(B::kOr, lt->Clone(), gt->Clone())));
+  ExpectBatchMatchesRows(Bind(Expr::Unary(UnaryOp::kNot, lt->Clone())));
+}
+
+TEST_F(BatchExprTest, PredicateSelectionMatchesRowEval) {
+  ExprPtr pred = Bind(Expr::Binary(
+      BinaryOp::kAnd,
+      Expr::Binary(BinaryOp::kGe, Expr::Column("n.k"),
+                   Expr::Literal(Value::Int64(2))),
+      Expr::Binary(BinaryOp::kLt, Expr::Column("n.v"),
+                   Expr::Literal(Value::Double(5.0)))));
+  std::vector<uint32_t> sel;
+  ASSERT_TRUE(EvalPredicateBatch(*pred, batch_, ctx_, &sel).ok());
+  std::vector<uint32_t> expected;
+  for (size_t i = 0; i < batch_.size(); ++i) {
+    auto keep = EvalPredicate(*pred, batch_.RowAt(i), ctx_);
+    ASSERT_TRUE(keep.ok());
+    if (*keep) expected.push_back(static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(sel, expected);
+}
+
+TEST_F(BatchExprTest, PredicateRefinesExistingSelection) {
+  batch_.SetSelection({0, 2, 4, 6, 8, 10});
+  ExprPtr pred = Bind(Expr::Binary(BinaryOp::kGt, Expr::Column("n.v"),
+                                   Expr::Literal(Value::Double(-1.0))));
+  std::vector<uint32_t> sel;
+  ASSERT_TRUE(EvalPredicateBatch(*pred, batch_, ctx_, &sel).ok());
+  // Output must be physical indices drawn from the installed selection.
+  for (uint32_t p : sel) EXPECT_EQ(p % 2, 0u);
+  batch_.SetSelection(sel);
+  for (size_t i = 0; i < batch_.size(); ++i) {
+    auto keep = EvalPredicate(*pred, batch_.RowAt(i), ctx_);
+    ASSERT_TRUE(keep.ok() && *keep);
+  }
+}
+
+TEST_F(BatchExprTest, DivisionByZeroErrorsMatch) {
+  ExprPtr bad = Bind(Expr::Binary(BinaryOp::kDiv,
+                                  Expr::Literal(Value::Double(1.0)),
+                                  Expr::Binary(BinaryOp::kMul,
+                                               Expr::Column("n.v"),
+                                               Expr::Literal(Value::Double(0.0)))));
+  ColumnVector out;
+  util::Status batch_status = EvalExprBatch(*bad, batch_, ctx_, &out);
+  ASSERT_FALSE(batch_status.ok());
+  auto row_status = EvalExpr(*bad, batch_.RowAt(0), ctx_);
+  ASSERT_FALSE(row_status.ok());
+  EXPECT_EQ(batch_status.ToString(), row_status.status().ToString());
+}
+
+// ------------------------------------------------------- golden equivalence
+
+class BatchEquivTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto t = phylo::ParseNewick("((a,b)x,(c,d)y)r;");
+    ASSERT_TRUE(t.ok());
+    tree_ = std::move(*t);
+    auto idx = phylo::TreeIndex::Build(tree_);
+    ASSERT_TRUE(idx.ok());
+    index_ = std::make_unique<phylo::TreeIndex>(std::move(*idx));
+
+    auto pschema = Schema::Create({{"acc", ValueType::kString, false},
+                                   {"family", ValueType::kString, false},
+                                   {"node_id", ValueType::kInt64, true},
+                                   {"pre", ValueType::kInt64, true}});
+    proteins_ = std::make_unique<Table>("proteins", *pschema);
+    for (auto leaf : tree_.Leaves()) {
+      const std::string& name = tree_.node(leaf).name;
+      ASSERT_TRUE(proteins_
+                      ->Insert({Value::String(name),
+                                Value::String(name < "c" ? "famA" : "famB"),
+                                Value::Int64(leaf),
+                                Value::Int64(index_->Pre(leaf))})
+                      .ok());
+    }
+    ASSERT_TRUE(proteins_->CreateIndex("pre", IndexKind::kBTree).ok());
+    ASSERT_TRUE(proteins_->CreateIndex("acc", IndexKind::kHash).ok());
+
+    auto aschema = Schema::Create({{"acc", ValueType::kString, false},
+                                   {"lig", ValueType::kString, false},
+                                   {"aff", ValueType::kDouble, false}});
+    activities_ = std::make_unique<Table>("activities", *aschema);
+    struct Act { const char* acc; const char* lig; double aff; };
+    for (const Act& act : std::initializer_list<Act>{
+             {"a", "L1", 10}, {"a", "L2", 500}, {"b", "L1", 20},
+             {"c", "L3", 5}, {"c", "L1", 900}, {"d", "L2", 50}}) {
+      ASSERT_TRUE(activities_
+                      ->Insert({Value::String(act.acc), Value::String(act.lig),
+                                Value::Double(act.aff)})
+                      .ok());
+    }
+
+    // A larger mixed-type table with NULLs, duplicates, and tombstones so
+    // odd batch sizes hit partial batches, null bitmaps, and deleted-row
+    // skipping in the middle of a scan.
+    auto nschema = Schema::Create({{"k", ValueType::kInt64, true},
+                                   {"v", ValueType::kDouble, false},
+                                   {"s", ValueType::kString, false},
+                                   {"g", ValueType::kString, true}});
+    nums_ = std::make_unique<Table>("nums", *nschema);
+    for (int i = 0; i < 60; ++i) {
+      ASSERT_TRUE(
+          nums_
+              ->Insert({i % 7 == 3 ? Value::Null() : Value::Int64(i % 17),
+                        Value::Double(i * 0.5 - 10.0),
+                        Value::String("s" + std::to_string(i % 5)),
+                        i % 4 == 0 ? Value::Null()
+                                   : Value::String(i % 2 ? "odd" : "even")})
+              .ok());
+    }
+    for (storage::RowId id : {5, 6, 30, 59}) {
+      ASSERT_TRUE(nums_->Delete(id).ok());
+    }
+
+    ASSERT_TRUE(proteins_->Analyze().ok());
+    ASSERT_TRUE(activities_->Analyze().ok());
+    ASSERT_TRUE(nums_->Analyze().ok());
+    ASSERT_TRUE(catalog_.Register(proteins_.get()).ok());
+    ASSERT_TRUE(catalog_.Register(activities_.get()).ok());
+    ASSERT_TRUE(catalog_.Register(nums_.get()).ok());
+    catalog_.SetTree(&tree_, index_.get());
+    ASSERT_TRUE(catalog_.BindTree("proteins", {"node_id", "pre", ""}).ok());
+    planner_ = std::make_unique<Planner>(&catalog_);
+  }
+
+  static void ExpectIdentical(const QueryResult& ref, const QueryResult& got,
+                              const std::string& tag) {
+    ASSERT_EQ(ref.columns, got.columns) << tag;
+    ASSERT_EQ(ref.rows.size(), got.rows.size()) << tag;
+    for (size_t r = 0; r < ref.rows.size(); ++r) {
+      ASSERT_EQ(ref.rows[r].size(), got.rows[r].size()) << tag << " row " << r;
+      for (size_t c = 0; c < ref.rows[r].size(); ++c) {
+        // Bit-identical: same variant alternative AND same payload.
+        EXPECT_EQ(ref.rows[r][c].type(), got.rows[r][c].type())
+            << tag << " cell (" << r << "," << c << ")";
+        EXPECT_TRUE(ref.rows[r][c] == got.rows[r][c])
+            << tag << " cell (" << r << "," << c
+            << "): " << ref.rows[r][c].ToString() << " vs "
+            << got.rows[r][c].ToString();
+      }
+    }
+  }
+
+  phylo::Tree tree_;
+  std::unique_ptr<phylo::TreeIndex> index_;
+  std::unique_ptr<Table> proteins_, activities_, nums_;
+  Catalog catalog_;
+  std::unique_ptr<Planner> planner_;
+};
+
+const char* kCorpus[] = {
+    // Scans, filters, projections.
+    "SELECT p.acc FROM proteins p",
+    "SELECT p.acc FROM proteins p WHERE p.family = 'famA'",
+    "SELECT n.k, n.v, n.s, n.g FROM nums n",
+    "SELECT n.k FROM nums n WHERE n.k > 5",
+    "SELECT n.s, n.k + 1 AS k1, n.v * 2.0 AS v2 FROM nums n "
+    "WHERE n.v >= -5.0",
+    "SELECT n.v - n.k AS d FROM nums n",
+    "SELECT n.k / 4.0 AS q FROM nums n WHERE n.v > 0.1",
+    "SELECT n.s FROM nums n WHERE n.s >= 's2'",
+    "SELECT n.k FROM nums n WHERE n.k IS NULL",
+    "SELECT n.k FROM nums n WHERE n.k IS NOT NULL AND n.g = 'even'",
+    "SELECT n.k FROM nums n WHERE n.g = 'even' OR n.k < 3",
+    "SELECT n.k FROM nums n WHERE NOT n.g = 'odd'",
+    "SELECT n.k, n.v FROM nums n WHERE n.k BETWEEN 3 AND 9 "
+    "ORDER BY n.k, n.v",
+    // Index access paths.
+    "SELECT p.acc FROM proteins p WHERE p.pre >= 1 AND p.pre <= 5",
+    "SELECT p.acc FROM proteins p WHERE p.acc = 'c'",
+    // Limits (including mid-batch truncation) and DISTINCT.
+    "SELECT n.k FROM nums n LIMIT 7",
+    "SELECT a.aff FROM activities a ORDER BY a.aff DESC LIMIT 2",
+    "SELECT a.aff FROM activities a LIMIT 0",
+    "SELECT DISTINCT n.s FROM nums n ORDER BY n.s",
+    "SELECT DISTINCT n.g FROM nums n",
+    // Joins: hash (with NULL keys), residuals, nested-loop, cross, 3-way.
+    "SELECT p.acc, a.aff FROM proteins p JOIN activities a "
+    "ON p.acc = a.acc WHERE a.aff < 100.0",
+    "SELECT n1.k, n2.v FROM nums n1 JOIN nums n2 ON n1.k = n2.k "
+    "WHERE n1.v < n2.v",
+    "SELECT n1.s FROM nums n1, nums n2 WHERE n1.k = n2.k "
+    "AND n1.v + n2.v > 0.0",
+    "SELECT p.acc, l.aff FROM proteins p, activities l WHERE l.aff > 400.0",
+    "SELECT p.acc, a.lig, a2.aff FROM proteins p "
+    "JOIN activities a ON p.acc = a.acc "
+    "JOIN activities a2 ON a.lig = a2.lig WHERE a2.aff >= 10.0",
+    // Aggregation.
+    "SELECT p.family, COUNT(*) AS n, MIN(a.aff) AS best, MAX(a.aff) AS worst "
+    "FROM proteins p JOIN activities a ON p.acc = a.acc GROUP BY p.family "
+    "ORDER BY p.family",
+    "SELECT COUNT(*) AS n, AVG(a.aff) AS m FROM activities a",
+    "SELECT COUNT(*) AS n FROM activities a WHERE a.aff < 0",
+    "SELECT n.g, COUNT(*) AS c, SUM(n.k) AS sk, AVG(n.v) AS av FROM nums n "
+    "GROUP BY n.g ORDER BY c, sk",
+    // Tree predicates and scalars (per-row fallback inside the batch path).
+    "SELECT p.acc FROM proteins p WHERE SUBTREE(p.node_id, 'x') "
+    "ORDER BY p.acc",
+    "SELECT p.acc, TREE_DEPTH(p.node_id) AS d FROM proteins p ORDER BY p.acc",
+    "SELECT p.acc FROM proteins p WHERE SUBTREE(p.node_id, 'x') "
+    "AND p.family = 'famA'",
+};
+
+TEST_F(BatchEquivTest, CorpusBitIdenticalAcrossBatchSizesAndParallelism) {
+  const size_t batch_sizes[] = {1, 3, 1024};
+  const int parallelisms[] = {1, 4};
+  for (const char* sql : kCorpus) {
+    for (bool optimized : {false, true}) {
+      PlannerOptions ref_opts =
+          optimized ? PlannerOptions::Optimized() : PlannerOptions::Naive();
+      ref_opts.batch_size = 1;  // reference: legacy serial row engine
+      ref_opts.parallelism = 1;
+      auto ref = planner_->Run(sql, ref_opts);
+      ASSERT_TRUE(ref.ok()) << sql << ": " << ref.status();
+      for (size_t bs : batch_sizes) {
+        for (int par : parallelisms) {
+          PlannerOptions opts = ref_opts;
+          opts.batch_size = bs;
+          opts.parallelism = par;
+          auto got = planner_->Run(sql, opts);
+          ASSERT_TRUE(got.ok()) << sql << ": " << got.status();
+          ExpectIdentical(ref->result, got->result,
+                          std::string(sql) + " [batch=" + std::to_string(bs) +
+                              " par=" + std::to_string(par) +
+                              (optimized ? " opt]" : " naive]"));
+        }
+      }
+    }
+  }
+}
+
+TEST_F(BatchEquivTest, RuntimeErrorsAgreeAcrossBatchSizes) {
+  // Row 20 of nums has v == 0.0, so this divides by zero in every engine.
+  const char* sql = "SELECT 1.0 / n.v AS q FROM nums n";
+  std::string ref_error;
+  for (size_t bs : {size_t{1}, size_t{3}, size_t{1024}}) {
+    PlannerOptions opts;
+    opts.batch_size = bs;
+    auto outcome = planner_->Run(sql, opts);
+    ASSERT_FALSE(outcome.ok()) << "batch=" << bs;
+    if (ref_error.empty()) {
+      ref_error = outcome.status().ToString();
+    } else {
+      EXPECT_EQ(outcome.status().ToString(), ref_error) << "batch=" << bs;
+    }
+  }
+}
+
+TEST_F(BatchEquivTest, AnalyzeReportsBatchesUnderVectorizedExecution) {
+  PlannerOptions opts;
+  opts.batch_size = 8;
+  auto outcome = planner_->Run(
+      "EXPLAIN ANALYZE SELECT n.k FROM nums n WHERE n.k > 5", opts);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_NE(outcome->analyzed_plan.find("batches="), std::string::npos)
+      << outcome->analyzed_plan;
+}
+
+// ------------------------------------------------------------- cancellation
+
+TEST_F(BatchEquivTest, MidBatchCancellationStopsScan) {
+  // Deterministic mid-stream cancel: pull two batches, flip the flag, and
+  // the very next NextBatch checkpoint must abort.
+  ExecStats stats;
+  SeqScanOp scan(nums_.get(), "n", nullptr, {}, &stats);
+  std::atomic<bool> cancel{false};
+  QueryContext ctx;
+  ctx.cancel = &cancel;
+  scan.SetQueryContext(&ctx);
+  scan.SetBatchSize(16);
+  ASSERT_TRUE(scan.Open().ok());
+  RowBatch batch;
+  ASSERT_TRUE(scan.NextBatch(&batch).ok());
+  ASSERT_TRUE(scan.NextBatch(&batch).ok());
+  cancel.store(true);
+  auto more = scan.NextBatch(&batch);
+  ASSERT_FALSE(more.ok());
+  EXPECT_TRUE(more.status().IsCancelled()) << more.status();
+}
+
+TEST_F(BatchEquivTest, CancellationMidQueryUnderBatchExecution) {
+  // Mirrors server_test's mid-scan cancel without the serving layer: a
+  // cubic nested-loop join far too large to finish before the flag flips.
+  auto bschema = Schema::Create({{"k", ValueType::kInt64, false}});
+  Table big("big", *bschema);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(big.Insert({Value::Int64(i)}).ok());
+  }
+  ASSERT_TRUE(big.Analyze().ok());
+  ASSERT_TRUE(catalog_.Register(&big).ok());
+
+  std::atomic<bool> cancel{false};
+  QueryContext ctx;
+  ctx.cancel = &cancel;
+  PlannerOptions opts;
+  opts.batch_size = 1024;
+  std::thread canceller([&cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    cancel.store(true);
+  });
+  auto outcome = planner_->Run(
+      "SELECT COUNT(*) AS n FROM big b1, big b2, big b3 "
+      "WHERE b1.k < b2.k AND b2.k < b3.k",
+      opts, &ctx);
+  canceller.join();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_TRUE(outcome.status().IsCancelled()) << outcome.status();
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace drugtree
