@@ -8,12 +8,17 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/drugtree.h"
+#include "obs/trace.h"
+#include "obs/trace_store.h"
 #include "server/server.h"
 #include "util/clock.h"
 #include "util/histogram.h"
@@ -90,10 +95,158 @@ ClientResult RunClient(core::DrugTree* dt, server::DrugTreeServer* server,
   return out;
 }
 
+// E11: the slow-query forensics pipeline, end to end, on a virtual clock so
+// every number is exact and repeatable. Stage 1 builds a deterministic
+// dispatch backlog (paused server + clock advance), which pushes a batch of
+// requests over the slow-query threshold — the store logs them with their
+// full phase timeline and EXPLAIN ANALYZE. Stage 2 replays a served mobile
+// session over a 3G link with the server's TraceStore as its sink, so
+// fetch-blocked time shows up in the "mobile" class. The run then emits the
+// slow-query log, a Chrome trace JSON, and the per-class tail attribution
+// (shares must sum to ~100%).
+int RunForensics(const std::string& trace_json_path) {
+  bench::Banner("E11",
+                "slow-query forensics: phase timelines, slow-query log,\n"
+                "Chrome trace export, per-class tail attribution");
+  util::SimulatedClock clock;
+  auto dt = MakeInstance(&clock);
+  obs::Tracer::Default()->set_clock(&clock);
+  std::printf("tree: %zu nodes, %zu leaves (virtual clock)\n",
+              dt->tree().NumNodes(), dt->tree().NumLeaves());
+
+  server::ServerOptions sopts;
+  sopts.worker_threads = 2;
+  sopts.scheduler.total_slots = 2;
+  sopts.scheduler.interactive_slots = 2;
+  sopts.scheduler.analytic_slots = 1;
+  sopts.admission.interactive_queue_capacity = 32;
+  sopts.admission.analytic_queue_capacity = 8;
+  sopts.slow_query_micros = 50'000;  // arm the slow-query log at 50ms
+  auto server = dt->MakeServer(sopts);
+  obs::TraceStore* store = server->trace_store();
+  std::printf("slow-query threshold: %.1fms\n",
+              static_cast<double>(store->slow_threshold_micros()) / 1000.0);
+
+  // Stage 1a: unloaded requests — dispatch immediately, total ~0 virtual
+  // time, nowhere near the threshold.
+  util::Rng rng(23);
+  size_t num_nodes = dt->tree().NumNodes();
+  for (int i = 0; i < 8; ++i) {
+    server::QueryRequest request;
+    request.session_id = static_cast<uint64_t>(100 + i);
+    request.sql = dt->OverlayQuerySql(
+        static_cast<phylo::NodeId>(rng.Uniform(num_nodes)));
+    request.query_class = server::QueryClass::kInteractive;
+    auto r = server->Submit(std::move(request));
+    DT_CHECK(r.ok()) << r.status();
+  }
+
+  // Stage 1b: a deterministic backlog. Pause dispatch, queue a burst, age
+  // it 120ms of virtual time, resume: every queued request crosses the
+  // threshold with queue_wait as the dominant phase.
+  server->Pause();
+  std::vector<server::ResponseHandle> backlog;
+  for (int i = 0; i < 6; ++i) {
+    server::QueryRequest request;
+    request.session_id = static_cast<uint64_t>(200 + i);
+    request.sql = dt->OverlayQuerySql(
+        static_cast<phylo::NodeId>(rng.Uniform(num_nodes)));
+    request.query_class = server::QueryClass::kInteractive;
+    backlog.push_back(server->SubmitAsync(std::move(request)));
+  }
+  for (int i = 0; i < 2; ++i) {
+    server::QueryRequest request;
+    request.session_id = static_cast<uint64_t>(300 + i);
+    request.sql = kAnalyticSql;
+    request.query_class = server::QueryClass::kAnalytic;
+    backlog.push_back(server->SubmitAsync(std::move(request)));
+  }
+  clock.AdvanceMicros(120'000);
+  server->Resume();
+  for (auto& handle : backlog) {
+    auto r = handle.Wait();
+    DT_CHECK(r.ok()) << r.status();
+  }
+  server->Drain();
+
+  // Stage 2: a served mobile session on 3G, traced into the same store —
+  // device-link transfers become fetch_blocked time in the "mobile" class.
+  mobile::SessionOptions msopts;
+  msopts.trace_sink = store;
+  msopts.charge_real_compute = false;  // virtual-time only: bit-deterministic
+  auto session = dt->MakeSession(mobile::DeviceProfile::Phone3G(), msopts,
+                                 query::PlannerOptions::Optimized(),
+                                 server.get(), /*session_id=*/7,
+                                 /*overlay_deadline_micros=*/500'000);
+  mobile::TraceParams tp;
+  tp.num_actions = 20;
+  auto trace = dt->MakeTrace(tp, 9);
+  auto report = session.Run(trace);
+  DT_CHECK(report.ok()) << report.status();
+  std::printf("\n-- served mobile session (3G, traced) --\n%s",
+              report->ToString().c_str());
+
+  // Forensics output 1: the slow-query log.
+  std::vector<obs::TraceRecord> slow = store->SlowQueries();
+  DT_CHECK(!slow.empty()) << "backlog produced no slow queries";
+  std::printf("\n-- slow-query log (%zu offenders, threshold %.0fms) --\n",
+              slow.size(),
+              static_cast<double>(store->slow_threshold_micros()) / 1000.0);
+  std::printf("%s", slow.front().TimelineString().c_str());
+  DT_CHECK(!slow.front().analyzed_plan.empty())
+      << "slow offender lost its EXPLAIN ANALYZE";
+  std::printf("offender plan:\n%s", slow.front().analyzed_plan.c_str());
+
+  // Forensics output 2: Chrome trace export.
+  std::string json = obs::ExportChromeTrace(store->Snapshot());
+  DT_CHECK(json.rfind("{\"traceEvents\":", 0) == 0);
+  std::FILE* f = std::fopen(trace_json_path.c_str(), "w");
+  DT_CHECK(f != nullptr) << "cannot open " << trace_json_path;
+  std::fprintf(f, "%s\n", json.c_str());
+  std::fclose(f);
+  // (Byte size is not printed: which slot lane served a request is
+  // scheduling-dependent, so the JSON differs by a tid digit across runs
+  // even though every timestamp and duration is exact.)
+  std::printf("\nChrome trace (%zu records) -> %s\n", store->Snapshot().size(),
+              trace_json_path.c_str());
+
+  // Forensics output 3: per-class tail attribution. Shares must account
+  // for ~100% of tail latency.
+  std::printf("\n-- per-class tail attribution --\n%s",
+              server->TailAttributionReport().c_str());
+  auto attrs = obs::ComputeTailAttribution(store->Snapshot());
+  DT_CHECK(!attrs.empty());
+  for (const auto& a : attrs) {
+    double sum = a.other_share;
+    for (double s : a.share) sum += s;
+    DT_CHECK(std::fabs(sum - 1.0) < 0.01)
+        << a.query_class << " attribution sums to " << sum;
+  }
+  std::printf("\nshape check: every class's phase shares sum to ~100%%; the\n"
+              "backlogged interactive tail is dominated by queue_wait and\n"
+              "the mobile tail by fetch_blocked (3G link).\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   auto metrics_flag = drugtree::bench::ParseMetricsFlag(&argc, argv);
+  // `--forensics [--trace-json=path]` runs the deterministic E11 forensics
+  // pipeline instead of the E10 load sweep.
+  bool forensics = false;
+  std::string trace_json_path = "bench_forensics_trace.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--forensics") == 0) forensics = true;
+    if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
+      trace_json_path = argv[i] + 13;
+    }
+  }
+  if (forensics) {
+    int rc = RunForensics(trace_json_path);
+    drugtree::bench::DumpMetrics(metrics_flag);
+    return rc;
+  }
   bench::Banner("E10",
                 "multi-session serving under offered-load sweep:\n"
                 "admission shedding, fair scheduling, deadline cancellation");
@@ -147,9 +300,8 @@ int main(int argc, char** argv) {
   // The interactive SLO: ~1.5x unloaded p99 (floored against timer jitter).
   int64_t deadline_budget_micros =
       std::max<int64_t>(2'000, static_cast<int64_t>(unloaded_p99_ms * 1500.0));
-  std::printf("unloaded interactive: p50=%.2fms p99=%.2fms -> "
-              "deadline budget %.1fms\n\n",
-              unloaded.Median(), unloaded_p99_ms,
+  std::printf("unloaded interactive: %s -> deadline budget %.1fms\n\n",
+              bench::PercentileSummary(unloaded).c_str(),
               static_cast<double>(deadline_budget_micros) / 1000.0);
 
   // Offered-load sweep. 4 slots serve the fleet; every 4th client is a

@@ -17,8 +17,10 @@
 #include "query/catalog.h"
 #include "query/planner.h"
 #include "storage/table.h"
+#include "util/histogram.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/string_util.h"
 
 namespace drugtree {
 namespace bench {
@@ -75,6 +77,14 @@ inline std::unique_ptr<storage::Table> BuildTreeNodesTable(
   DT_CHECK(table->CreateIndex("node_id", storage::IndexKind::kHash).ok());
   DT_CHECK(table->Analyze().ok());
   return table;
+}
+
+/// Canonical "p50=..ms p95=..ms p99=..ms" rendering of a latency histogram.
+/// Benches report through this (or obs::HistogramMetric::ValueAtPercentile
+/// for registry metrics) instead of re-deriving percentiles by hand.
+inline std::string PercentileSummary(const util::Histogram& h) {
+  return util::StringPrintf("p50=%.2fms p95=%.2fms p99=%.2fms", h.Median(),
+                            h.Percentile(95), h.Percentile(99));
 }
 
 /// Prints the experiment banner all bench binaries lead with.

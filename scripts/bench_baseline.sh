@@ -8,30 +8,41 @@
 # throughput smoke's row-vs-batch speedup is recorded as text as well.
 #
 # Usage: scripts/bench_baseline.sh [build-dir]   (default: build)
+# Env:
+#   BENCH_OUT_DIR  where the artifacts land (default: baselines). bench_diff
+#                  points this at a scratch dir to snapshot a fresh run.
+#   BENCH_LIST     the metrics-bearing benches to run (default: all five).
+#   BENCH_SMOKE    0 skips the vectorized throughput smoke (default: 1).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
-OUT_DIR="baselines"
+OUT_DIR="${BENCH_OUT_DIR:-baselines}"
+BENCH_LIST="${BENCH_LIST:-bench_integration bench_end_to_end bench_server \
+bench_tree_query bench_optimizer_ablation}"
 mkdir -p "${OUT_DIR}"
 
 if [[ ! -d "${BUILD_DIR}" ]]; then
   cmake -B "${BUILD_DIR}" -S .
 fi
+SMOKE="${BENCH_SMOKE:-1}"
+SMOKE_TARGET=""
+if [[ "${SMOKE}" == "1" ]]; then SMOKE_TARGET="bench_vectorized_smoke"; fi
+# shellcheck disable=SC2086
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
-  --target bench_integration bench_end_to_end bench_server \
-           bench_tree_query bench_optimizer_ablation bench_vectorized_smoke
+  --target ${BENCH_LIST} ${SMOKE_TARGET}
 
-for name in bench_integration bench_end_to_end bench_server \
-            bench_tree_query bench_optimizer_ablation; do
+for name in ${BENCH_LIST}; do
   bin="${BUILD_DIR}/bench/${name}"
   echo "== ${name} -> ${OUT_DIR}/BENCH_${name}.{json,txt}"
   "${bin}" --metrics-json="${OUT_DIR}/BENCH_${name}.json" \
     | tee "${OUT_DIR}/BENCH_${name}.txt"
 done
 
-echo "== bench_vectorized_smoke -> ${OUT_DIR}/BENCH_bench_vectorized_smoke.txt"
-"${BUILD_DIR}/bench/bench_vectorized_smoke" \
-  | tee "${OUT_DIR}/BENCH_bench_vectorized_smoke.txt"
+if [[ "${SMOKE}" == "1" ]]; then
+  echo "== bench_vectorized_smoke -> ${OUT_DIR}/BENCH_bench_vectorized_smoke.txt"
+  "${BUILD_DIR}/bench/bench_vectorized_smoke" \
+    | tee "${OUT_DIR}/BENCH_bench_vectorized_smoke.txt"
+fi
 
 echo "baselines written to ${OUT_DIR}/"

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Perf-trajectory diff against the recorded baselines. Re-runs the selected
+# benches with --metrics-json into a scratch dir (via bench_baseline.sh), then
+# compares per-operation span timings — span.<x>.total_micros divided by
+# span.<x>.count — against baselines/BENCH_<name>.json. Per-op time is the
+# stable quantity: raw counters drift with the benchmark harness's adaptive
+# iteration counts, but micros-per-operation should not.
+#
+# Exits non-zero when any per-op timing regresses past the threshold, so
+# callers decide whether that is fatal (tier1 treats it as informational:
+# shared machines are noisy and baselines may predate hardware changes).
+#
+# Usage: scripts/bench_diff.sh [build-dir]
+# Env:
+#   BENCH_DIFF_LIST           benches to run (default: bench_tree_query)
+#   BENCH_DIFF_THRESHOLD_PCT  allowed per-op regression (default: 25)
+#   BENCH_DIFF_BASELINES      baseline dir (default: baselines)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+LIST="${BENCH_DIFF_LIST:-bench_tree_query}"
+THRESHOLD="${BENCH_DIFF_THRESHOLD_PCT:-25}"
+BASE_DIR="${BENCH_DIFF_BASELINES:-baselines}"
+
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "${SCRATCH}"' EXIT
+
+# Fresh snapshots through the same driver that recorded the baselines.
+BENCH_OUT_DIR="${SCRATCH}" BENCH_LIST="${LIST}" BENCH_SMOKE=0 \
+  scripts/bench_baseline.sh "${BUILD_DIR}" >/dev/null 2>&1
+
+status=0
+for name in ${LIST}; do
+  base="${BASE_DIR}/BENCH_${name}.json"
+  fresh="${SCRATCH}/BENCH_${name}.json"
+  if [[ ! -f "${base}" ]]; then
+    echo "bench_diff: no baseline for ${name} (skipped)"
+    continue
+  fi
+  python3 - "${base}" "${fresh}" "${THRESHOLD}" "${name}" <<'EOF' || status=1
+import json, sys
+
+base_path, fresh_path, threshold, name = (
+    sys.argv[1], sys.argv[2], float(sys.argv[3]), sys.argv[4])
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {m["name"]: m.get("value", 0) for m in doc["metrics"]
+            if m.get("kind") == "counter"}
+
+base, fresh = load(base_path), load(fresh_path)
+suffix = ".total_micros"
+rows, regressions = [], 0
+for metric in sorted(base):
+    if not metric.endswith(suffix):
+        continue
+    count_metric = metric[: -len(suffix)] + ".count"
+    b_total, b_count = base[metric], base.get(count_metric, 0)
+    f_total, f_count = fresh.get(metric, 0), fresh.get(count_metric, 0)
+    # Skip spans absent from either run or too small to time reliably.
+    if b_count <= 0 or f_count <= 0 or b_total < 10_000:
+        continue
+    b_per, f_per = b_total / b_count, f_total / f_count
+    delta = 100.0 * (f_per - b_per) / b_per
+    flag = ""
+    if delta > threshold:
+        flag = "  << REGRESSION"
+        regressions += 1
+    span = metric[: -len(suffix)]
+    rows.append(f"  {span:<42} {b_per:10.2f}us {f_per:10.2f}us "
+                f"{delta:+7.1f}%{flag}")
+
+print(f"== bench_diff {name} (per-op span timings, threshold "
+      f"+{threshold:.0f}%)")
+print(f"  {'span':<42} {'baseline':>12} {'fresh':>12} {'delta':>8}")
+print("\n".join(rows) if rows else "  (no comparable span timings)")
+sys.exit(1 if regressions else 0)
+EOF
+done
+
+if [[ ${status} -ne 0 ]]; then
+  echo "bench_diff: per-op regressions flagged (threshold +${THRESHOLD}%)"
+fi
+exit ${status}

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# DRUGTREE_OBS_NOOP A/B overhead gate: the fully-instrumented Release build
+# (spans compiled in, trace capture enabled via DRUGTREE_TRACE_CAPTURE=1)
+# must stay within a small budget of the noop build (DRUGTREE_OBS_NOOP=ON,
+# spans compiled out) on the tree-query bench.
+#
+# Shared machines show ~10% run-to-run wall noise, so a naive single-run
+# comparison would flake. The gate interleaves A/B process runs and takes
+# the best-of-N per benchmark (noise is strictly additive, so min converges
+# on the true cost), then gates on the geomean of the per-benchmark ratios.
+#
+# Usage: scripts/obs_noop_ab.sh [instrumented-build-dir] [noop-build-dir]
+# Env:
+#   DRUGTREE_AB_BUDGET_PCT  allowed geomean overhead (default: 5)
+#   DRUGTREE_AB_REPS        interleaved A/B repetitions (default: 5)
+#   DRUGTREE_AB_FILTER      --benchmark_filter for the probe workload
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ON_DIR="${1:-build-rel}"
+OFF_DIR="${2:-build-noop}"
+BUDGET="${DRUGTREE_AB_BUDGET_PCT:-5}"
+REPS="${DRUGTREE_AB_REPS:-5}"
+FILTER="${DRUGTREE_AB_FILTER:-BM_SubtreeQuery_(Naive|Optimized)/1024|BM_AncestorQuery_Optimized/4096}"
+
+if [[ ! -d "${ON_DIR}" ]]; then
+  cmake -B "${ON_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+if [[ ! -d "${OFF_DIR}" ]]; then
+  cmake -B "${OFF_DIR}" -S . -DCMAKE_BUILD_TYPE=Release -DDRUGTREE_OBS_NOOP=ON
+fi
+cmake --build "${ON_DIR}" -j "$(nproc)" --target bench_tree_query
+cmake --build "${OFF_DIR}" -j "$(nproc)" --target bench_tree_query
+
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "${SCRATCH}"' EXIT
+
+echo "== obs noop A/B gate: ${REPS} interleaved reps, budget +${BUDGET}%"
+for i in $(seq 1 "${REPS}"); do
+  DRUGTREE_TRACE_CAPTURE=1 "${ON_DIR}/bench/bench_tree_query" \
+    --benchmark_filter="${FILTER}" \
+    --benchmark_out="${SCRATCH}/on_${i}.json" \
+    --benchmark_out_format=json >/dev/null 2>&1
+  "${OFF_DIR}/bench/bench_tree_query" \
+    --benchmark_filter="${FILTER}" \
+    --benchmark_out="${SCRATCH}/off_${i}.json" \
+    --benchmark_out_format=json >/dev/null 2>&1
+done
+
+python3 - "${SCRATCH}" "${REPS}" "${BUDGET}" <<'EOF'
+import json, math, sys
+
+scratch, reps, budget = sys.argv[1], int(sys.argv[2]), float(sys.argv[3])
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {b["name"]: b["real_time"] for b in doc["benchmarks"]
+            if b.get("run_type", "iteration") == "iteration"}
+
+on, off = {}, {}
+for i in range(1, reps + 1):
+    for name, v in load(f"{scratch}/on_{i}.json").items():
+        on.setdefault(name, []).append(v)
+    for name, v in load(f"{scratch}/off_{i}.json").items():
+        off.setdefault(name, []).append(v)
+
+common = sorted(set(on) & set(off))
+if not common:
+    sys.exit("obs_noop_ab: no common benchmarks between the two builds")
+
+ratios = []
+for name in common:
+    a, b = min(on[name]), min(off[name])
+    ratios.append(a / b)
+    print(f"  {name:<40} traced={a:12.1f}ns noop={b:12.1f}ns "
+          f"{100 * (a / b - 1):+.1f}%")
+
+geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+overhead = 100 * (geomean - 1)
+print(f"  geomean overhead {overhead:+.2f}% (budget +{budget:.0f}%)")
+if overhead > budget:
+    sys.exit(f"obs_noop_ab: FAIL — tracing overhead {overhead:+.2f}% exceeds "
+             f"+{budget:.0f}% budget")
+print("obs_noop_ab: OK")
+EOF

@@ -34,4 +34,14 @@ cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-rel -j "$(nproc)" --target bench_vectorized_smoke
 ./build-rel/bench/bench_vectorized_smoke
 
+# Tracing overhead A/B gate: the instrumented Release build (with trace
+# capture on) must stay within budget of the DRUGTREE_OBS_NOOP build.
+scripts/obs_noop_ab.sh build-rel build-noop
+
+# Informational perf diff vs the recorded baselines. Never fails tier-1:
+# shared machines are noisy and baselines may predate hardware changes —
+# read the table when it flags.
+scripts/bench_diff.sh build \
+  || echo "bench_diff: regressions flagged (informational)"
+
 echo "tier-1 OK"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace_context.h"
 #include "util/logging.h"
 
 namespace drugtree {
@@ -99,6 +100,13 @@ SimulatedNetwork::Completion SimulatedNetwork::SubmitLocked(
     break;
   }
   channels_[chosen] = start + total;
+  // Per-query attribution: tag the requesting thread's trace (if any) with
+  // the channel occupancy window so the Chrome export can draw one lane per
+  // link channel.
+  if (obs::TraceContext* trace = obs::TraceContext::Current()) {
+    trace->AddFetchEvent(static_cast<int>(chosen), start, channels_[chosen],
+                         payload_bytes);
+  }
   return Completion{channels_[chosen], total};
 }
 
@@ -111,7 +119,13 @@ SimulatedNetwork::Completion SimulatedNetwork::SubmitRequest(
 void SimulatedNetwork::WaitUntil(int64_t ready_micros) {
   std::lock_guard<std::mutex> lock(mu_);
   int64_t now = clock_->NowMicros();
-  if (ready_micros > now) clock_->AdvanceMicros(ready_micros - now);
+  if (ready_micros > now) {
+    clock_->AdvanceMicros(ready_micros - now);
+    if (obs::TraceContext* trace = obs::TraceContext::Current()) {
+      trace->AddBlockedMicros(obs::TracePhase::kFetchBlocked,
+                              ready_micros - now);
+    }
+  }
 }
 
 void SimulatedNetwork::Quiesce() {
@@ -130,6 +144,10 @@ int64_t SimulatedNetwork::Request(uint64_t payload_bytes) {
     int64_t now = clock_->NowMicros();
     if (done.ready_micros > now) {
       clock_->AdvanceMicros(done.ready_micros - now);
+      if (obs::TraceContext* trace = obs::TraceContext::Current()) {
+        trace->AddBlockedMicros(obs::TracePhase::kFetchBlocked,
+                                done.ready_micros - now);
+      }
     }
   }
   return done.charged_micros;

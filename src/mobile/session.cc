@@ -2,6 +2,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "util/string_util.h"
 
 namespace drugtree {
@@ -25,6 +26,9 @@ std::string SessionReport::ToString() const {
         "  served-overlays=%llu shed=%llu deadline-missed=%llu\n",
         (unsigned long long)overlay_queries, (unsigned long long)overlay_shed,
         (unsigned long long)overlay_deadline_missed);
+  }
+  if (!tail_attribution.empty()) {
+    out += "  tail: " + tail_attribution;
   }
   return out;
 }
@@ -86,6 +90,26 @@ util::Result<uint64_t> MobileSession::ServedOverlayQuery(phylo::NodeId node) {
 }
 
 util::Result<int64_t> MobileSession::Interact(const Action& action) {
+  if (options_.trace_sink == nullptr) return InteractInner(action);
+  // Trace ids: session id in the high bits keeps ids unique when several
+  // sessions share one sink.
+  obs::TraceContext trace((served_.session_id << 32) | ++trace_seq_, clock_);
+  trace.set_session_id(served_.session_id);
+  trace.set_query_class("mobile");
+  trace.set_lane(
+      util::StringPrintf("session-%llu",
+                         (unsigned long long)served_.session_id));
+  trace.set_sql(ActionKindName(action.kind));
+  util::Result<int64_t> out = [&] {
+    obs::ScopedTraceContext installed(&trace);
+    return InteractInner(action);
+  }();
+  options_.trace_sink->Record(
+      trace.Finish(out.ok() ? "ok" : out.status().ToString(), out.ok()));
+  return out;
+}
+
+util::Result<int64_t> MobileSession::InteractInner(const Action& action) {
   DT_SPAN("mobile.interact");
   static obs::Counter* bytes_shipped =
       obs::MetricRegistry::Default()->GetCounter("mobile.session.bytes");
@@ -125,17 +149,24 @@ util::Result<int64_t> MobileSession::Interact(const Action& action) {
   if (action.kind == ActionKind::kOverlayQuery) {
     DT_SPAN("mobile.overlay_query");
     uint64_t payload = 256;
-    if (served_.server != nullptr) {
-      // Serving layer: admission + scheduling + execution, with the
-      // wall-clock spent (queueing included) charged to the session.
-      util::Timer server_timer(util::RealClock::Instance());
-      DRUGTREE_ASSIGN_OR_RETURN(payload, ServedOverlayQuery(action.node));
-      clock_->AdvanceMicros(server_timer.ElapsedMicros());
-    } else if (overlay_query_) {
-      // Charge real server compute time into the session clock.
-      util::Timer server_timer(util::RealClock::Instance());
-      DRUGTREE_ASSIGN_OR_RETURN(payload, overlay_query_(action.node));
-      clock_->AdvanceMicros(server_timer.ElapsedMicros());
+    {
+      obs::TracePhaseScope execute_phase(obs::TracePhase::kExecute);
+      if (served_.server != nullptr) {
+        // Serving layer: admission + scheduling + execution, with the
+        // wall-clock spent (queueing included) charged to the session.
+        util::Timer server_timer(util::RealClock::Instance());
+        DRUGTREE_ASSIGN_OR_RETURN(payload, ServedOverlayQuery(action.node));
+        if (options_.charge_real_compute) {
+          clock_->AdvanceMicros(server_timer.ElapsedMicros());
+        }
+      } else if (overlay_query_) {
+        // Charge real server compute time into the session clock.
+        util::Timer server_timer(util::RealClock::Instance());
+        DRUGTREE_ASSIGN_OR_RETURN(payload, overlay_query_(action.node));
+        if (options_.charge_real_compute) {
+          clock_->AdvanceMicros(server_timer.ElapsedMicros());
+        }
+      }
     }
     network_.Request(payload);
     report_.bytes_shipped += payload;
@@ -143,6 +174,7 @@ util::Result<int64_t> MobileSession::Interact(const Action& action) {
   } else {
     std::vector<LodNode> cut;
     {
+      obs::TracePhaseScope serialize_phase(obs::TracePhase::kSerialize);
       DT_SPAN("mobile.lod_cut");
       if (options_.progressive_lod) {
         LodParams lod = options_.lod;
@@ -154,10 +186,14 @@ util::Result<int64_t> MobileSession::Interact(const Action& action) {
         cut = FullTreeCut(*tree_, *index_, *layout_, annotation_);
       }
     }
-    DT_SPAN("mobile.frame_encode");
-    Frame frame = BuildFrame(
-        cut, client_cache_.CollapsedIds(), client_cache_.ExpandedIds(),
-        options_.delta_encoding);
+    Frame frame;
+    {
+      obs::TracePhaseScope serialize_phase(obs::TracePhase::kSerialize);
+      DT_SPAN("mobile.frame_encode");
+      frame = BuildFrame(
+          cut, client_cache_.CollapsedIds(), client_cache_.ExpandedIds(),
+          options_.delta_encoding);
+    }
     network_.Request(frame.bytes);
     client_cache_.Install(frame.nodes);
     // 3. Client render cost for the shipped nodes.
@@ -188,6 +224,20 @@ util::Result<SessionReport> MobileSession::Run(
     clock_->AdvanceMicros(500'000);
   }
   report_.total_session_micros = clock_->NowMicros() - start;
+  if (options_.trace_sink != nullptr) {
+    // The sink may be shared (server + many sessions); attribute only this
+    // session's interaction traces.
+    std::vector<obs::TraceRecord> mine;
+    for (obs::TraceRecord& r : options_.trace_sink->Snapshot()) {
+      if (r.query_class == "mobile" && r.session_id == served_.session_id) {
+        mine.push_back(std::move(r));
+      }
+    }
+    for (const obs::TailAttribution& a : obs::ComputeTailAttribution(mine)) {
+      report_.tail_attribution += a.ToString();
+      report_.tail_attribution += "\n";
+    }
+  }
   return report_;
 }
 

@@ -18,6 +18,7 @@
 #include "mobile/lod.h"
 #include "mobile/trace.h"
 #include "mobile/viewport.h"
+#include "obs/trace_store.h"
 #include "phylo/layout.h"
 #include "query/planner.h"
 #include "server/server.h"
@@ -35,6 +36,17 @@ struct SessionOptions {
   /// Skip nodes the client already caches.
   bool delta_encoding = true;
   LodParams lod;
+  /// Charge real wall-clock compute time of overlay/server work into the
+  /// session clock (realistic latencies on simulated-clock builds). Turn
+  /// off for bit-deterministic virtual-time runs — interactions then cost
+  /// only simulated link time.
+  bool charge_real_compute = true;
+  /// When set (borrowed, must outlive the session), every interaction is
+  /// traced as query class "mobile" on lane "session-<id>": overlay/server
+  /// work as execute, LOD cut + frame encoding as serialize, device-link
+  /// transfers as fetch_blocked. Finished records land here and the session
+  /// report gains a tail-attribution line.
+  obs::TraceStore* trace_sink = nullptr;
 };
 
 /// Callback that runs the ligand-overlay query for a focused subtree on the
@@ -74,6 +86,9 @@ struct SessionReport {
   uint64_t overlay_queries = 0;
   uint64_t overlay_shed = 0;           // admission rejected (server busy)
   uint64_t overlay_deadline_missed = 0;  // cancelled mid-flight or expired
+  /// Per-phase tail attribution of this session's interactions (empty
+  /// unless SessionOptions::trace_sink was set).
+  std::string tail_attribution;
 
   std::string ToString() const;
 };
@@ -99,6 +114,9 @@ class MobileSession {
  private:
   util::Result<int64_t> Interact(const Action& action);
 
+  /// The interaction body Interact wraps with per-interaction tracing.
+  util::Result<int64_t> InteractInner(const Action& action);
+
   /// Runs one overlay action through the server (served sessions) and
   /// returns the payload size; shed/deadline outcomes degrade to a small
   /// error frame and bump the report counters.
@@ -118,6 +136,7 @@ class MobileSession {
   ClientCache client_cache_;
   Viewport viewport_;
   SessionReport report_;
+  uint64_t trace_seq_ = 0;  // per-session trace id counter
 };
 
 }  // namespace mobile

@@ -94,6 +94,15 @@ class HistogramMetric {
     return hist_;
   }
 
+  /// The approximate p-th percentile (p in [0, 100]) of everything observed
+  /// so far, with util::Histogram's bucket-interpolation semantics. The
+  /// accessor benches and reports use for p50/p95/p99 instead of re-deriving
+  /// percentiles from snapshots by hand.
+  double ValueAtPercentile(double p) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_.Percentile(p);
+  }
+
   void Reset() {
     std::lock_guard<std::mutex> lock(mu_);
     hist_.Clear();

@@ -1,7 +1,10 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
+#include "obs/trace_context.h"
 #include "util/string_util.h"
 
 namespace drugtree {
@@ -71,7 +74,17 @@ int64_t Span::SelfMicros() const {
 }
 
 Tracer* Tracer::Default() {
-  static Tracer* tracer = new Tracer();
+  static Tracer* tracer = [] {
+    Tracer* t = new Tracer();
+    // Opt into trace-tree capture from the environment so overhead A/B runs
+    // (tier1.sh's DRUGTREE_OBS_NOOP gate) can exercise the capture path in
+    // unmodified bench binaries.
+    const char* env = std::getenv("DRUGTREE_TRACE_CAPTURE");
+    if (env != nullptr && std::strcmp(env, "0") != 0 && env[0] != '\0') {
+      t->set_capture(true);
+    }
+    return t;
+  }();
   return tracer;
 }
 
@@ -126,8 +139,16 @@ void Tracer::CloseSpan(Span* span, const SpanSite* site) {
   }
   if (tls.stack.empty() && tls.open_root != nullptr &&
       tls.open_root.get() == span) {
-    std::lock_guard<std::mutex> lock(mu_);
-    last_trace_ = std::move(tls.open_root);
+    // Per-query capture: a thread executing under a TraceContext hands its
+    // completed root to that context, so concurrent server slots never
+    // clobber each other. The process-global "last trace" keeps serving the
+    // legacy single-threaded benches/tests on untraced threads.
+    if (TraceContext* context = TraceContext::Current()) {
+      context->AdoptRootSpan(std::move(tls.open_root));
+    } else {
+      std::lock_guard<std::mutex> lock(mu_);
+      last_trace_ = std::move(tls.open_root);
+    }
   }
 }
 

@@ -97,8 +97,12 @@ class Tracer {
   /// new root). Returns null when disabled or not capturing.
   Span* BeginSpan(const std::string& name);
 
-  /// Closes a span opened by BeginSpan. Completed *root* spans replace the
-  /// retained last trace; every closed span feeds the metrics registry.
+  /// Closes a span opened by BeginSpan. A completed *root* span is adopted
+  /// by the thread's installed obs::TraceContext when one is present
+  /// (per-query capture — concurrent server slots each keep their own
+  /// tree); otherwise it replaces the process-global retained last trace
+  /// (the legacy single-threaded API). Every closed span feeds the metrics
+  /// registry either way.
   void EndSpan(Span* span);
 
   /// Fast-path close for DT_SPAN: the site carries pre-resolved counters, so

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "query/parser.h"
 #include "util/string_util.h"
 
@@ -286,7 +287,9 @@ util::Result<QueryOutcome> Planner::Run(const std::string& sql,
   if (context != nullptr) {
     DRUGTREE_RETURN_IF_ERROR(context->Check());
   }
+  obs::TraceContext* trace = obs::TraceContext::Current();
   DRUGTREE_ASSIGN_OR_RETURN(Statement stmt, [&] {
+    obs::TracePhaseScope plan_phase(obs::TracePhase::kPlan);
     DT_SPAN("query.parse");
     return ParseStatement(sql);
   }());
@@ -299,13 +302,16 @@ util::Result<QueryOutcome> Planner::Run(const std::string& sql,
   if (use_cache) {
     cache_key = ResultCache::MakeKey(stmt.select.ToString(), catalog_->epoch());
     if (auto cached = result_cache_->Get(cache_key)) {
+      if (trace != nullptr) trace->BumpCounter("result_cache_hit");
       QueryOutcome outcome;
       outcome.result = std::move(*cached);
       outcome.from_result_cache = true;
       return outcome;
     }
+    if (trace != nullptr) trace->BumpCounter("result_cache_miss");
   }
   DRUGTREE_ASSIGN_OR_RETURN(LogicalPtr optimized, [&] {
+    obs::TracePhaseScope plan_phase(obs::TracePhase::kPlan);
     DT_SPAN("query.optimize");
     util::Result<LogicalPtr> logical = BuildLogicalPlan(stmt.select, *catalog_);
     if (!logical.ok()) return logical;
@@ -314,6 +320,7 @@ util::Result<QueryOutcome> Planner::Run(const std::string& sql,
   QueryOutcome outcome;
   outcome.logical_plan = optimized->ToString();
   DRUGTREE_ASSIGN_OR_RETURN(PhysicalPtr physical, [&] {
+    obs::TracePhaseScope plan_phase(obs::TracePhase::kPlan);
     DT_SPAN("query.plan.physical");
     return ToPhysical(optimized, options, &outcome.stats);
   }());
@@ -322,14 +329,24 @@ util::Result<QueryOutcome> Planner::Run(const std::string& sql,
     // Plan-only: the plan texts are the result.
     return outcome;
   }
-  if (stmt.explain == ExplainMode::kAnalyze) {
+  // Per-operator analyze instrumentation: explicit EXPLAIN ANALYZE, or
+  // opted in by the serving layer so slow-query forensics has the plan of
+  // an offender without re-running it.
+  const bool analyze =
+      stmt.explain == ExplainMode::kAnalyze ||
+      (context != nullptr && context->collect_analyze);
+  if (analyze) {
     physical->EnableAnalyze(obs::Tracer::Default()->clock());
   }
-  DRUGTREE_ASSIGN_OR_RETURN(
-      outcome.result,
-      ExecutePlan(physical.get(), context, options.batch_size));
-  if (stmt.explain == ExplainMode::kAnalyze) {
+  {
+    obs::TracePhaseScope execute_phase(obs::TracePhase::kExecute);
+    DRUGTREE_ASSIGN_OR_RETURN(
+        outcome.result,
+        ExecutePlan(physical.get(), context, options.batch_size));
+  }
+  if (analyze) {
     outcome.analyzed_plan = obs::RenderExplainTree(physical->AnalyzeTree());
+    if (trace != nullptr) trace->set_analyzed_plan(outcome.analyzed_plan);
   }
   if (use_cache) {
     result_cache_->Put(cache_key, outcome.result);

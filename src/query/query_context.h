@@ -29,6 +29,11 @@ struct QueryContext {
   /// Cooperative cancellation flag (set by ResponseHandle::Cancel or the
   /// dispatcher). Null = not cancellable.
   const std::atomic<bool>* cancel = nullptr;
+  /// When set, the planner enables per-operator analyze instrumentation even
+  /// for plain (non-EXPLAIN) queries and publishes the rendered tree to the
+  /// active obs::TraceContext, so slow-query forensics can show the plan of
+  /// an offender after the fact. Adds two clock reads per operator per batch.
+  bool collect_analyze = false;
 
   bool has_deadline() const { return clock != nullptr && deadline_micros > 0; }
 

@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/trace_context.h"
 #include "query/planner.h"
 
 namespace drugtree {
@@ -64,6 +65,10 @@ struct PendingRequest {
   int64_t enqueue_micros = 0;
   uint64_t seq = 0;  // admission order; the final dispatch tiebreak
   std::shared_ptr<ResponseState> response;
+  /// Per-request trace carried through the pipeline (null when the server
+  /// runs with tracing disabled). Shared: the submit thread and the
+  /// executing worker both annotate it; TraceContext is internally locked.
+  std::shared_ptr<obs::TraceContext> trace;
 };
 
 }  // namespace server

@@ -1,12 +1,32 @@
 #include "server/server.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <utility>
 
 #include "obs/trace.h"
+#include "obs/trace_context.h"
+#include "util/string_util.h"
 
 namespace drugtree {
 namespace server {
+
+namespace {
+
+/// DRUGTREE_SLOW_QUERY_MICROS overrides ServerOptions::slow_query_micros so
+/// operators can arm the slow-query log on a deployed binary without a
+/// rebuild. Unset / unparsable -> the configured value.
+int64_t ResolveSlowQueryMicros(int64_t configured) {
+  const char* env = std::getenv("DRUGTREE_SLOW_QUERY_MICROS");
+  if (env == nullptr || env[0] == '\0') return configured;
+  char* end = nullptr;
+  long long parsed = std::strtoll(env, &end, 10);
+  if (end == env || parsed < 0) return configured;
+  return static_cast<int64_t>(parsed);
+}
+
+}  // namespace
 
 bool ResponseHandle::Done() const {
   if (state_ == nullptr) return false;
@@ -37,6 +57,8 @@ DrugTreeServer::DrugTreeServer(query::Catalog* catalog, util::Clock* clock,
     : catalog_(catalog),
       clock_(clock),
       options_(options),
+      trace_store_(options.trace_store_capacity,
+                   ResolveSlowQueryMicros(options.slow_query_micros)),
       admission_(options.admission, clock),
       scheduler_(options.scheduler, &admission_) {
   if (options_.result_cache_bytes > 0) {
@@ -78,11 +100,29 @@ ResponseHandle DrugTreeServer::SubmitAsync(QueryRequest request) {
   pending.response = std::make_shared<ResponseState>();
   ResponseHandle handle(pending.response);
   QueryClass cls = pending.request.query_class;
+  std::shared_ptr<obs::TraceContext> trace;
+  int64_t submit_micros = 0;
+  if (options_.enable_tracing) {
+    submit_micros = clock_->NowMicros();
+    trace = std::make_shared<obs::TraceContext>(
+        next_trace_id_.fetch_add(1, std::memory_order_relaxed), clock_);
+    trace->set_session_id(pending.request.session_id);
+    trace->set_query_class(QueryClassName(cls));
+    trace->set_sql(pending.request.sql);
+    pending.trace = trace;
+  }
   util::Status admitted;
   {
     std::lock_guard<std::mutex> lock(mu_);
     admitted = admission_.Admit(&pending);
     if (admitted.ok()) {
+      if (trace != nullptr) {
+        // Admission stamps enqueue_micros under mu_; [submit, enqueue] is
+        // the admission-control work. Tag it before DispatchLocked can hand
+        // the request to a worker.
+        trace->AddPhaseInterval(obs::TracePhase::kAdmit, submit_micros,
+                                pending.enqueue_micros);
+      }
       counters_[static_cast<size_t>(cls)].admitted++;
       DispatchLocked();
     } else {
@@ -90,6 +130,11 @@ ResponseHandle DrugTreeServer::SubmitAsync(QueryRequest request) {
     }
   }
   if (!admitted.ok()) {
+    if (trace != nullptr) {
+      trace->AddPhaseInterval(obs::TracePhase::kAdmit, submit_micros,
+                              clock_->NowMicros());
+      trace_store_.Record(trace->Finish("shed", /*ok=*/false));
+    }
     Complete(handle.state_, std::move(admitted));
   }
   return handle;
@@ -116,6 +161,30 @@ void DrugTreeServer::Drain() {
   drain_cv_.wait(lock, [&] {
     return admission_.Empty() && scheduler_.running_total() == 0;
   });
+}
+
+std::string DrugTreeServer::TailAttributionReport() {
+  std::vector<obs::TailAttribution> attrs =
+      obs::ComputeTailAttribution(trace_store_.Snapshot());
+  if (attrs.empty()) return "(no traces recorded)\n";
+  auto* registry = obs::MetricRegistry::Default();
+  std::string out;
+  for (const obs::TailAttribution& a : attrs) {
+    registry
+        ->GetGauge("server.tail.p99_micros", {{"class", a.query_class}})
+        ->Set(a.p99_micros);
+    for (int p = 0; p < obs::kNumTracePhases; ++p) {
+      registry
+          ->GetGauge("server.tail.share_pct",
+                     {{"class", a.query_class},
+                      {"phase",
+                       obs::TracePhaseName(static_cast<obs::TracePhase>(p))}})
+          ->Set(std::llround(100.0 * a.share[static_cast<size_t>(p)]));
+    }
+    out += a.ToString();
+    out += "\n";
+  }
+  return out;
 }
 
 DrugTreeServer::ClassCounters DrugTreeServer::counters(QueryClass c) const {
@@ -158,48 +227,81 @@ void DrugTreeServer::DispatchLocked() {
 }
 
 void DrugTreeServer::Execute(PendingRequest req, int slot) {
-  DT_SPAN("server.execute");
   QueryClass cls = req.request.query_class;
   ClassMetrics& m = metrics_[static_cast<size_t>(cls)];
   int64_t deadline = req.request.deadline_micros;
-  int64_t now = clock_->NowMicros();
-
+  std::shared_ptr<obs::TraceContext> trace = req.trace;
   util::Result<query::QueryOutcome> result{util::Status::Internal("pending")};
-  bool already_dead = deadline > 0 && now > deadline;
-  if (req.response->cancel_.load(std::memory_order_relaxed)) {
-    result = util::Status::Cancelled("cancelled before dispatch");
-  } else if (already_dead) {
-    // Don't waste a slot on work nobody can use anymore.
-    result = util::Status::Cancelled("deadline exceeded before dispatch");
-  } else {
-    query::QueryContext context;
-    context.clock = clock_;
-    context.deadline_micros = deadline;
-    context.cancel = &req.response->cancel_;
-    result = planners_[static_cast<size_t>(slot)]->Run(
-        req.request.sql, req.request.planner, &context);
-  }
-
-  int64_t end = clock_->NowMicros();
-  bool deadline_missed = deadline > 0 && end > deadline;
+  int64_t end = 0;
+  bool deadline_missed = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    ClassCounters& c = counters_[static_cast<size_t>(cls)];
-    if (result.ok()) {
-      ++c.completed;
-      m.completed->Increment();
-      m.latency_ms->Observe(
-          static_cast<double>(end - req.enqueue_micros) / 1000.0);
-    } else if (result.status().IsCancelled()) {
-      ++c.cancelled;
-      m.cancelled->Increment();
-      if (deadline_missed) {
-        ++c.deadline_missed;
-        m.deadline_missed->Increment();
+    obs::ScopedTraceContext installed(trace.get());
+    // Inner scope: the server.execute root span closes (and is adopted by
+    // the installed context) before Finish() freezes the record below.
+    {
+      DT_SPAN("server.execute");
+      int64_t now = clock_->NowMicros();
+      if (trace != nullptr) {
+        trace->set_lane(util::StringPrintf("slot-%d", slot));
+        trace->AddPhaseInterval(obs::TracePhase::kQueueWait,
+                                req.enqueue_micros, now);
       }
-    } else {
-      ++c.failed;
-      m.failed->Increment();
+
+      bool already_dead = deadline > 0 && now > deadline;
+      if (req.response->cancel_.load(std::memory_order_relaxed)) {
+        result = util::Status::Cancelled("cancelled before dispatch");
+      } else if (already_dead) {
+        // Don't waste a slot on work nobody can use anymore.
+        result = util::Status::Cancelled("deadline exceeded before dispatch");
+      } else {
+        query::QueryContext context;
+        context.clock = clock_;
+        context.deadline_micros = deadline;
+        context.cancel = &req.response->cancel_;
+        // Slow-query forensics wants the offender's analyzed plan, and we
+        // only know a query was slow after it ran — so collect whenever the
+        // slow log is armed.
+        context.collect_analyze =
+            trace != nullptr && trace_store_.slow_threshold_micros() > 0;
+        result = planners_[static_cast<size_t>(slot)]->Run(
+            req.request.sql, req.request.planner, &context);
+      }
+
+      end = clock_->NowMicros();
+      deadline_missed = deadline > 0 && end > deadline;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ClassCounters& c = counters_[static_cast<size_t>(cls)];
+        if (result.ok()) {
+          ++c.completed;
+          m.completed->Increment();
+          m.latency_ms->Observe(
+              static_cast<double>(end - req.enqueue_micros) / 1000.0);
+        } else if (result.status().IsCancelled()) {
+          ++c.cancelled;
+          m.cancelled->Increment();
+          if (deadline_missed) {
+            ++c.deadline_missed;
+            m.deadline_missed->Increment();
+          }
+        } else {
+          ++c.failed;
+          m.failed->Increment();
+        }
+      }
+    }
+    if (trace != nullptr) {
+      // Serialize = the result-packaging epilogue. Stamp and file the
+      // record strictly *before* Complete publishes the result: the waiter
+      // may advance a simulated clock the instant it wakes, and a stamp
+      // taken after that would make timelines nondeterministic.
+      trace->AddPhaseInterval(obs::TracePhase::kSerialize, end,
+                              clock_->NowMicros());
+      std::string status = result.ok() ? "ok"
+                           : result.status().IsCancelled()
+                               ? (deadline_missed ? "deadline" : "cancelled")
+                               : result.status().ToString();
+      trace_store_.Record(trace->Finish(std::move(status), result.ok()));
     }
   }
   Complete(req.response, std::move(result));

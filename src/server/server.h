@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace_store.h"
 #include "query/planner.h"
 #include "query/query_context.h"
 #include "query/result_cache.h"
@@ -48,6 +49,17 @@ struct ServerOptions {
   /// Server-owned semantic result cache shared by every worker (requests
   /// opt in via PlannerOptions::use_result_cache). 0 disables it.
   uint64_t result_cache_bytes = 16 * 1024 * 1024;
+  /// Per-request tracing: every request carries an obs::TraceContext whose
+  /// finished record lands in the server's TraceStore. Cheap (a handful of
+  /// clock reads per request); turn off only for overhead A/B runs.
+  bool enable_tracing = true;
+  /// Retained completed traces (ring buffer; oldest overwritten).
+  size_t trace_store_capacity = 4096;
+  /// Slow-query threshold in micros; > 0 turns on the slow-query log (full
+  /// phase timeline + EXPLAIN ANALYZE of offenders at WARNING) and makes
+  /// workers collect analyze stats. 0 = off. Overridden by the
+  /// DRUGTREE_SLOW_QUERY_MICROS environment variable when set.
+  int64_t slow_query_micros = 0;
 };
 
 /// Shared completion state behind a ResponseHandle. Internal to the serving
@@ -139,6 +151,16 @@ class DrugTreeServer {
   util::Clock* clock() const { return clock_; }
   query::ResultCache* result_cache() { return result_cache_.get(); }
 
+  /// Completed per-request traces (slow-query log, Chrome export, tail
+  /// attribution). Always present; empty when tracing is disabled.
+  obs::TraceStore* trace_store() { return &trace_store_; }
+
+  /// Per-class tail-latency attribution over everything traced so far, one
+  /// line per class ("interactive p99=12.40ms (n=3/300): 71% queue_wait ...").
+  /// Also publishes server.tail.p99_micros{class=} and
+  /// server.tail.share_pct{class=,phase=} gauges to the metric registry.
+  std::string TailAttributionReport();
+
   ClassCounters counters(QueryClass c) const;
 
   /// Test/debug hook: record session ids in dispatch order. Off by default
@@ -170,6 +192,8 @@ class DrugTreeServer {
   query::Catalog* catalog_;
   util::Clock* clock_;
   ServerOptions options_;
+  obs::TraceStore trace_store_;
+  std::atomic<uint64_t> next_trace_id_{1};
   std::unique_ptr<query::ResultCache> result_cache_;
   /// One planner per scheduler slot: a slot is an exclusive token, so its
   /// planner (and any lazily created morsel pool) is never shared.

@@ -4,12 +4,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
+#include "obs/trace_store.h"
 #include "query/planner.h"
 #include "util/clock.h"
 
@@ -310,6 +314,230 @@ TEST_F(ExplainAnalyzeTest, AnalyzeBypassesResultCache) {
   ASSERT_TRUE(second.ok());
   EXPECT_FALSE(second->from_result_cache);
   EXPECT_FALSE(second->analyzed_plan.empty());
+}
+
+TEST(MetricRegistryTest, HistogramValueAtPercentile) {
+  MetricRegistry registry;
+  obs::HistogramMetric* h = registry.GetHistogram("test.latency");
+  for (int i = 1; i <= 100; ++i) h->Observe(static_cast<double>(i));
+  EXPECT_GT(h->ValueAtPercentile(99), h->ValueAtPercentile(50));
+  double p50 = h->ValueAtPercentile(50);
+  EXPECT_GE(p50, 40.0);
+  EXPECT_LE(p50, 60.0);
+  // Matches the snapshot-derived percentile exactly (same bucket math).
+  EXPECT_DOUBLE_EQ(p50, h->Snapshot().Percentile(50));
+}
+
+// ---------------------------------------------------------------------------
+// Per-query trace context + trace store
+// ---------------------------------------------------------------------------
+
+TEST(TraceContextTest, PhaseTimelineIsExactOnVirtualClock) {
+  util::SimulatedClock clock;
+  obs::TraceContext trace(7, &clock);
+  trace.set_query_class("interactive");
+  trace.set_lane("slot-0");
+  trace.AddPhaseInterval(obs::TracePhase::kAdmit, 0, 100);
+  clock.AdvanceMicros(100);
+  trace.BeginPhase(obs::TracePhase::kPlan);
+  clock.AdvanceMicros(250);
+  trace.EndPhase(obs::TracePhase::kPlan);
+  trace.BeginPhase(obs::TracePhase::kExecute);
+  clock.AdvanceMicros(1'000);
+  trace.AddBlockedMicros(obs::TracePhase::kFetchBlocked, 400);
+  trace.EndPhase(obs::TracePhase::kExecute);
+  EXPECT_EQ(trace.PhaseMicros(obs::TracePhase::kPlan), 250);
+
+  obs::TraceRecord record = trace.Finish("ok", true);
+  EXPECT_EQ(record.trace_id, 7u);
+  EXPECT_TRUE(record.ok);
+  EXPECT_EQ(record.TotalMicros(), 1'350);
+  EXPECT_EQ(record.PhaseMicros(obs::TracePhase::kAdmit), 100);
+  EXPECT_EQ(record.PhaseMicros(obs::TracePhase::kPlan), 250);
+  EXPECT_EQ(record.PhaseMicros(obs::TracePhase::kExecute), 1'000);
+  EXPECT_EQ(record.PhaseMicros(obs::TracePhase::kFetchBlocked), 400);
+  // Intervals come back in timeline order regardless of close order (the
+  // execute interval closed after the nested fetch_blocked one).
+  ASSERT_EQ(record.intervals.size(), 4u);
+  EXPECT_EQ(record.intervals[0].phase, obs::TracePhase::kAdmit);
+  EXPECT_EQ(record.intervals[2].phase, obs::TracePhase::kExecute);
+  for (size_t i = 1; i < record.intervals.size(); ++i) {
+    EXPECT_GE(record.intervals[i].start_micros,
+              record.intervals[i - 1].start_micros);
+  }
+  std::string timeline = record.TimelineString();
+  EXPECT_NE(timeline.find("plan"), std::string::npos);
+  EXPECT_NE(timeline.find("fetch_blocked"), std::string::npos);
+}
+
+TEST(TraceContextTest, FinishClosesOpenPhasesAndUnmatchedEndIsIgnored) {
+  util::SimulatedClock clock;
+  obs::TraceContext trace(1, &clock);
+  trace.EndPhase(obs::TracePhase::kPlan);  // no matching open: ignored
+  trace.BeginPhase(obs::TracePhase::kExecute);
+  clock.AdvanceMicros(500);
+  obs::TraceRecord record = trace.Finish("cancelled", false);
+  EXPECT_EQ(record.PhaseMicros(obs::TracePhase::kPlan), 0);
+  EXPECT_EQ(record.PhaseMicros(obs::TracePhase::kExecute), 500);
+  EXPECT_FALSE(record.ok);
+  EXPECT_EQ(record.status, "cancelled");
+}
+
+TEST(TraceContextTest, ScopedInstallNestsAndPhaseScopeIsInertUntraced) {
+  EXPECT_EQ(obs::TraceContext::Current(), nullptr);
+  { obs::TracePhaseScope untraced(obs::TracePhase::kExecute); }  // no-op
+  util::SimulatedClock clock;
+  obs::TraceContext outer(1, &clock);
+  obs::TraceContext inner(2, &clock);
+  {
+    obs::ScopedTraceContext install_outer(&outer);
+    EXPECT_EQ(obs::TraceContext::Current(), &outer);
+    {
+      obs::ScopedTraceContext install_inner(&inner);
+      EXPECT_EQ(obs::TraceContext::Current(), &inner);
+      obs::TracePhaseScope phase(obs::TracePhase::kPlan);
+      clock.AdvanceMicros(40);
+    }
+    EXPECT_EQ(obs::TraceContext::Current(), &outer);
+  }
+  EXPECT_EQ(obs::TraceContext::Current(), nullptr);
+  EXPECT_EQ(inner.PhaseMicros(obs::TracePhase::kPlan), 40);
+  EXPECT_EQ(outer.PhaseMicros(obs::TracePhase::kPlan), 0);
+}
+
+TEST(TraceContextTest, FetchEventsAndCountersSurviveIntoRecord) {
+  util::SimulatedClock clock;
+  obs::TraceContext trace(3, &clock);
+  trace.AddFetchEvent(/*channel=*/1, /*start=*/10, /*end=*/250,
+                      /*bytes=*/4096);
+  trace.BumpCounter("result_cache_hit");
+  trace.BumpCounter("result_cache_hit");
+  obs::TraceRecord record = trace.Finish("ok", true);
+  ASSERT_EQ(record.fetches.size(), 1u);
+  EXPECT_EQ(record.fetches[0].channel, 1);
+  EXPECT_EQ(record.fetches[0].bytes, 4096u);
+  EXPECT_EQ(record.counters.at("result_cache_hit"), 2);
+}
+
+obs::TraceRecord MakeTraceRecord(uint64_t id, const std::string& cls,
+                                 int64_t begin_micros, int64_t total_micros) {
+  util::SimulatedClock clock;
+  clock.AdvanceMicros(begin_micros);
+  obs::TraceContext trace(id, &clock);
+  trace.set_query_class(cls);
+  trace.BeginPhase(obs::TracePhase::kExecute);
+  clock.AdvanceMicros(total_micros);
+  trace.EndPhase(obs::TracePhase::kExecute);
+  return trace.Finish("ok", true);
+}
+
+TEST(TraceStoreTest, RingOverwritesBeyondCapacityAndCountsDrops) {
+  obs::TraceStore store(/*capacity=*/16);
+  for (uint64_t id = 0; id < 40; ++id) {
+    store.Record(MakeTraceRecord(id, "interactive",
+                                 /*begin_micros=*/static_cast<int64_t>(id),
+                                 /*total_micros=*/10));
+  }
+  EXPECT_EQ(store.total_recorded(), 40);
+  EXPECT_EQ(store.dropped(), 24);
+  EXPECT_EQ(store.Snapshot().size(), 16u);
+  store.Clear();
+  EXPECT_EQ(store.total_recorded(), 0);
+  EXPECT_TRUE(store.Snapshot().empty());
+}
+
+TEST(TraceStoreTest, SlowLogCapturesOffendersInTimelineOrder) {
+  obs::TraceStore store(/*capacity=*/64, /*slow_threshold_micros=*/1'000);
+  store.Record(MakeTraceRecord(1, "interactive", 500, 2'000));  // slow
+  store.Record(MakeTraceRecord(2, "interactive", 0, 5'000));    // slow, first
+  store.Record(MakeTraceRecord(3, "interactive", 100, 10));     // fast
+  EXPECT_EQ(store.slow_count(), 2);
+  std::vector<obs::TraceRecord> slow = store.SlowQueries();
+  ASSERT_EQ(slow.size(), 2u);
+  // Sorted by begin time, not filing order.
+  EXPECT_EQ(slow[0].trace_id, 2u);
+  EXPECT_EQ(slow[1].trace_id, 1u);
+  EXPECT_TRUE(slow[0].slow);
+  EXPECT_EQ(store.Snapshot().size(), 3u);  // the fast one is still retained
+}
+
+TEST(TraceStoreTest, ConcurrentRecordingIsSafeAndLossAccounted) {
+  obs::TraceStore store(/*capacity=*/128);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        uint64_t id = static_cast<uint64_t>(t) * 1'000 +
+                      static_cast<uint64_t>(i);
+        store.Record(MakeTraceRecord(id, "interactive", i, 10));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(store.total_recorded(), kThreads * kPerThread);
+  EXPECT_EQ(store.Snapshot().size(), 128u);
+  EXPECT_EQ(store.dropped(), kThreads * kPerThread - 128);
+}
+
+TEST(ChromeTraceExportTest, EmitsMetadataAndCompleteEvents) {
+  util::SimulatedClock clock;
+  obs::TraceContext trace(9, &clock);
+  trace.set_query_class("interactive");
+  trace.set_lane("slot-1");
+  trace.set_sql("SELECT 1");
+  trace.BeginPhase(obs::TracePhase::kExecute);
+  clock.AdvanceMicros(100);
+  trace.EndPhase(obs::TracePhase::kExecute);
+  trace.AddFetchEvent(/*channel=*/0, /*start=*/20, /*end=*/80, /*bytes=*/512);
+  std::vector<obs::TraceRecord> records;
+  records.push_back(trace.Finish("ok", true));
+
+  std::string json = obs::ExportChromeTrace(records);
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // lane metadata
+  EXPECT_NE(json.find("\"name\":\"slot-1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"net-ch0\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // complete events
+  EXPECT_NE(json.find("\"name\":\"execute\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":100"), std::string::npos);
+  // Cheap well-formedness check: balanced braces, closed at the end.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(TailAttributionTest, SharesSumToOneWithExecuteNetOfFetch) {
+  // One record: 60% queue wait, 40% execute of which half was fetch-blocked.
+  util::SimulatedClock clock;
+  obs::TraceContext trace(1, &clock);
+  trace.set_query_class("interactive");
+  trace.AddPhaseInterval(obs::TracePhase::kQueueWait, 0, 600);
+  trace.AddPhaseInterval(obs::TracePhase::kExecute, 600, 1'000);
+  trace.AddPhaseInterval(obs::TracePhase::kFetchBlocked, 700, 900);
+  clock.AdvanceMicros(1'000);
+  std::vector<obs::TraceRecord> records;
+  records.push_back(trace.Finish("ok", true));
+
+  std::vector<obs::TailAttribution> attr =
+      obs::ComputeTailAttribution(records);
+  ASSERT_EQ(attr.size(), 1u);
+  EXPECT_EQ(attr[0].query_class, "interactive");
+  EXPECT_EQ(attr[0].count, 1);
+  EXPECT_EQ(attr[0].tail_count, 1);
+  EXPECT_EQ(attr[0].p99_micros, 1'000);
+  EXPECT_DOUBLE_EQ(
+      attr[0].share[static_cast<size_t>(obs::TracePhase::kQueueWait)], 0.6);
+  // Execute is reported net of the fetch-blocked time nested inside it.
+  EXPECT_DOUBLE_EQ(
+      attr[0].share[static_cast<size_t>(obs::TracePhase::kExecute)], 0.2);
+  EXPECT_DOUBLE_EQ(
+      attr[0].share[static_cast<size_t>(obs::TracePhase::kFetchBlocked)], 0.2);
+  double sum = attr[0].other_share;
+  for (double s : attr[0].share) sum += s;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_NE(attr[0].ToString().find("queue_wait"), std::string::npos);
 }
 
 }  // namespace

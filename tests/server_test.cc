@@ -6,11 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "core/drugtree.h"
+#include "obs/trace_context.h"
+#include "obs/trace_store.h"
 #include "server/server.h"
 #include "util/clock.h"
 
@@ -265,6 +269,145 @@ TEST_F(ServerTest, ServedSessionDegradesGracefullyWhenShed) {
   EXPECT_GT(report->overlay_queries, 0u);
   EXPECT_EQ(report->overlay_shed, report->overlay_queries);
   EXPECT_EQ(report->overlay_deadline_missed, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-query request tracing
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerTest, TraceTimelineIsDeterministicOnVirtualClock) {
+  ServerOptions options;
+  options.worker_threads = 1;
+  options.scheduler.total_slots = 1;
+  auto server = dt_->MakeServer(options);
+  server->Pause();
+  int64_t submit = clock_->NowMicros();
+  ResponseHandle handle = server->SubmitAsync(Interactive(1, CheapSql()));
+  clock_->AdvanceMicros(25'000);  // queued for exactly 25ms of virtual time
+  server->Resume();
+  ASSERT_TRUE(handle.Wait().ok());
+  server->Drain();
+
+  std::vector<obs::TraceRecord> records = server->trace_store()->Snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  const obs::TraceRecord& r = records[0];
+  EXPECT_EQ(r.begin_micros, submit);
+  EXPECT_EQ(r.session_id, 1u);
+  EXPECT_EQ(r.query_class, "interactive");
+  EXPECT_EQ(r.lane, "slot-0");
+  EXPECT_EQ(r.status, "ok");
+  EXPECT_TRUE(r.ok);
+  // Admission is instantaneous in virtual time; the queue wait is exactly
+  // the 25ms spent paused; planning and execution advance no virtual time.
+  EXPECT_EQ(r.PhaseMicros(obs::TracePhase::kAdmit), 0);
+  EXPECT_EQ(r.PhaseMicros(obs::TracePhase::kQueueWait), 25'000);
+  EXPECT_EQ(r.PhaseMicros(obs::TracePhase::kExecute), 0);
+  EXPECT_EQ(r.PhaseMicros(obs::TracePhase::kSerialize), 0);
+  EXPECT_EQ(r.TotalMicros(), 25'000);
+}
+
+TEST_F(ServerTest, SlowQueryLogCapturesTimelineAndAnalyzedPlan) {
+  ServerOptions options;
+  options.slow_query_micros = 10'000;
+  auto server = dt_->MakeServer(options);
+  server->Pause();
+  ResponseHandle handle = server->SubmitAsync(Interactive(1, CheapSql()));
+  clock_->AdvanceMicros(50'000);  // cross the threshold while queued
+  server->Resume();
+  ASSERT_TRUE(handle.Wait().ok());
+  server->Drain();
+
+  EXPECT_EQ(server->trace_store()->slow_count(), 1);
+  std::vector<obs::TraceRecord> slow = server->trace_store()->SlowQueries();
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_TRUE(slow[0].slow);
+  EXPECT_GE(slow[0].TotalMicros(), 10'000);
+  EXPECT_EQ(slow[0].PhaseMicros(obs::TracePhase::kQueueWait), 50'000);
+  // A configured slow threshold arms EXPLAIN ANALYZE collection, so the
+  // offender carries the plan it actually executed.
+  ASSERT_FALSE(slow[0].analyzed_plan.empty());
+  EXPECT_NE(slow[0].analyzed_plan.find("rows="), std::string::npos);
+  EXPECT_NE(slow[0].TimelineString().find("queue_wait"), std::string::npos);
+}
+
+TEST_F(ServerTest, SlowQueryEnvOverridesConfiguredThreshold) {
+  setenv("DRUGTREE_SLOW_QUERY_MICROS", "123", 1);
+  ServerOptions options;
+  options.slow_query_micros = 10'000;
+  auto server = dt_->MakeServer(options);
+  unsetenv("DRUGTREE_SLOW_QUERY_MICROS");
+  EXPECT_EQ(server->trace_store()->slow_threshold_micros(), 123);
+}
+
+TEST_F(ServerTest, ShedRequestIsTracedWithShedStatus) {
+  ServerOptions options;
+  options.admission.interactive_queue_capacity = 0;
+  auto server = dt_->MakeServer(options);
+  auto result = server->Submit(Interactive(1, CheapSql()));
+  ASSERT_FALSE(result.ok());
+  std::vector<obs::TraceRecord> records = server->trace_store()->Snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].status, "shed");
+  EXPECT_FALSE(records[0].ok);
+}
+
+TEST_F(ServerTest, TracingDisabledRecordsNothing) {
+  ServerOptions options;
+  options.enable_tracing = false;
+  auto server = dt_->MakeServer(options);
+  ASSERT_TRUE(server->Submit(Interactive(1, CheapSql())).ok());
+  EXPECT_EQ(server->trace_store()->total_recorded(), 0);
+}
+
+TEST_F(ServerTest, ConcurrentRequestsEachGetTheirOwnTrace) {
+  // Four slots executing in parallel: every request must finish with its
+  // own trace identity — no clobbered ids, no cross-request phase bleed.
+  // (Runs under TSan in tier-1 to check the capture paths for races.)
+  ServerOptions options;
+  options.worker_threads = 4;
+  options.scheduler.total_slots = 4;
+  options.scheduler.interactive_slots = 4;
+  options.admission.interactive_queue_capacity = 64;
+  auto server = dt_->MakeServer(options);
+  std::vector<ResponseHandle> handles;
+  for (int i = 0; i < 24; ++i) {
+    handles.push_back(server->SubmitAsync(
+        Interactive(static_cast<uint64_t>(i) + 1, CheapSql())));
+  }
+  for (auto& h : handles) EXPECT_TRUE(h.Wait().ok());
+  server->Drain();
+
+  std::vector<obs::TraceRecord> records = server->trace_store()->Snapshot();
+  ASSERT_EQ(records.size(), 24u);
+  std::set<uint64_t> ids;
+  std::set<uint64_t> sessions;
+  for (const auto& r : records) {
+    ids.insert(r.trace_id);
+    sessions.insert(r.session_id);
+    EXPECT_EQ(r.status, "ok");
+    EXPECT_EQ(r.query_class, "interactive");
+  }
+  EXPECT_EQ(ids.size(), 24u);
+  EXPECT_EQ(sessions.size(), 24u);
+}
+
+TEST_F(ServerTest, TailAttributionReportCoversServedClasses) {
+  auto server = dt_->MakeServer();
+  server->Pause();
+  std::vector<ResponseHandle> handles;
+  for (int i = 0; i < 3; ++i) {
+    handles.push_back(server->SubmitAsync(Interactive(1, CheapSql())));
+  }
+  handles.push_back(server->SubmitAsync(Analytic(2, CheapSql())));
+  clock_->AdvanceMicros(5'000);
+  server->Resume();
+  for (auto& h : handles) EXPECT_TRUE(h.Wait().ok());
+  server->Drain();
+
+  std::string report = server->TailAttributionReport();
+  EXPECT_NE(report.find("interactive"), std::string::npos);
+  EXPECT_NE(report.find("analytic"), std::string::npos);
+  EXPECT_NE(report.find("queue_wait"), std::string::npos);
 }
 
 }  // namespace
