@@ -17,6 +17,8 @@
 
 #include "bench_util.h"
 #include "core/drugtree.h"
+#include "obs/resource_tracker.h"
+#include "obs/slo_tracker.h"
 #include "obs/trace.h"
 #include "obs/trace_store.h"
 #include "server/server.h"
@@ -228,6 +230,143 @@ int RunForensics(const std::string& trace_json_path) {
   return 0;
 }
 
+// `--statusz`: runs a small deterministic workload on a virtual clock and
+// prints only the server's Statusz() JSON — the machine-readable
+// introspection snapshot scripts/statusz_check.sh validates.
+int RunStatusz() {
+  util::SimulatedClock clock;
+  auto dt = MakeInstance(&clock);
+  server::ServerOptions sopts;
+  sopts.worker_threads = 2;
+  sopts.scheduler.total_slots = 2;
+  auto server = dt->MakeServer(sopts);
+
+  util::Rng rng(11);
+  size_t num_nodes = dt->tree().NumNodes();
+  for (int i = 0; i < 6; ++i) {
+    server::QueryRequest request;
+    request.session_id = static_cast<uint64_t>(1 + i % 3);
+    request.sql = dt->OverlayQuerySql(
+        static_cast<phylo::NodeId>(rng.Uniform(num_nodes)));
+    request.query_class = server::QueryClass::kInteractive;
+    auto r = server->Submit(std::move(request));
+    DT_CHECK(r.ok()) << r.status();
+  }
+  {
+    server::QueryRequest request;
+    request.session_id = 9;
+    request.sql = kAnalyticSql;
+    request.query_class = server::QueryClass::kAnalytic;
+    auto r = server->Submit(std::move(request));
+    DT_CHECK(r.ok()) << r.status();
+  }
+  server->Drain();
+  std::printf("%s\n", server->Statusz().c_str());
+  return 0;
+}
+
+// E12: memory-pressure saturation sweep on a virtual clock. Resident
+// pressure is staged directly against the server's root tracker (an
+// unconditional ScopedMemoryCharge, so the sweep point is exact and does
+// not depend on execution order), then a fixed interactive + analytic
+// workload runs at each point. The resource-accounting claim: above the
+// high watermark analytic work is shed at admission while interactive work
+// keeps completing inside its SLO, and per-query budgets turn would-be
+// OOMs into clean kResourceExhausted aborts.
+int RunMemSweep() {
+  bench::Banner("E12",
+                "memory-pressure saturation sweep: analytic shedding,\n"
+                "interactive floor, per-query budget aborts (virtual clock)");
+  util::SimulatedClock clock;
+  auto dt = MakeInstance(&clock);
+  std::printf("tree: %zu nodes, %zu leaves (virtual clock)\n\n",
+              dt->tree().NumNodes(), dt->tree().NumLeaves());
+
+  constexpr int kInteractive = 12;
+  constexpr int kAnalytic = 4;
+  std::printf("%-10s %9s %9s %9s %9s %11s %11s %12s\n", "pressure",
+              "int-done", "int-comp", "int-burn", "ana-done", "ana-shed",
+              "ana-memshed", "peak-mb");
+  for (double fraction : {0.0, 0.50, 0.85, 0.95}) {
+    server::ServerOptions sopts;
+    sopts.worker_threads = 2;
+    sopts.scheduler.total_slots = 2;
+    auto server = dt->MakeServer(sopts);
+    obs::MemoryTracker* root = server->memory_tracker();
+    int64_t staged = static_cast<int64_t>(
+        fraction * static_cast<double>(sopts.server_memory_bytes));
+    obs::ScopedMemoryCharge pressure(root, staged);
+
+    server->Pause();
+    std::vector<server::ResponseHandle> handles;
+    util::Rng rng(41);
+    size_t num_nodes = dt->tree().NumNodes();
+    for (int i = 0; i < kInteractive; ++i) {
+      server::QueryRequest request;
+      request.session_id = static_cast<uint64_t>(1 + i % 4);
+      request.sql = dt->OverlayQuerySql(
+          static_cast<phylo::NodeId>(rng.Uniform(num_nodes)));
+      request.query_class = server::QueryClass::kInteractive;
+      handles.push_back(server->SubmitAsync(std::move(request)));
+    }
+    for (int i = 0; i < kAnalytic; ++i) {
+      server::QueryRequest request;
+      request.session_id = static_cast<uint64_t>(20 + i);
+      request.sql = kAnalyticSql;
+      request.query_class = server::QueryClass::kAnalytic;
+      handles.push_back(server->SubmitAsync(std::move(request)));
+    }
+    clock.AdvanceMicros(10'000);
+    server->Resume();
+    for (auto& h : handles) h.Wait();  // sheds resolve to statuses
+    server->Drain();
+
+    auto ci = server->counters(server::QueryClass::kInteractive);
+    auto ca = server->counters(server::QueryClass::kAnalytic);
+    auto si = server->slo_tracker(server::QueryClass::kInteractive)
+                  ->GetSnapshot();
+    bool over = fraction >= sopts.memory_high_watermark;
+    // Shape gates: the interactive floor holds at every pressure point;
+    // analytic admission flips exactly at the watermark.
+    DT_CHECK(ci.completed == kInteractive) << "interactive floor broken";
+    DT_CHECK(ci.memory_shed == 0);
+    DT_CHECK(ca.memory_shed == (over ? kAnalytic : 0))
+        << "at pressure " << fraction;
+    DT_CHECK(ca.completed == (over ? 0 : kAnalytic));
+    std::printf("%8.0f%% %9lld %9.4f %9.3f %9lld %11lld %11lld %10.2f\n",
+                fraction * 100.0, (long long)ci.completed, si.compliance,
+                si.burn_rate, (long long)ca.completed, (long long)ca.shed,
+                (long long)ca.memory_shed,
+                static_cast<double>(root->peak()) / (1024.0 * 1024.0));
+  }
+
+  // Per-query budget point: a 4 KiB budget turns the full-table sort into
+  // a clean caller-visible abort, and the server keeps serving.
+  {
+    server::ServerOptions sopts;
+    sopts.worker_threads = 2;
+    sopts.scheduler.total_slots = 2;
+    sopts.query_memory_bytes = 4 * 1024;
+    auto server = dt->MakeServer(sopts);
+    server::QueryRequest request;
+    request.session_id = 1;
+    request.sql = "SELECT * FROM activities ORDER BY affinity_nm";
+    request.query_class = server::QueryClass::kAnalytic;
+    auto r = server->Submit(std::move(request));
+    DT_CHECK(!r.ok() && r.status().IsResourceExhausted()) << r.status();
+    auto ca = server->counters(server::QueryClass::kAnalytic);
+    DT_CHECK(ca.memory_aborted == 1);
+    std::printf("\nper-query budget: 4KiB sort abort -> %s\n",
+                r.status().ToString().c_str());
+  }
+
+  std::printf("\nshape check: interactive completes everything at every\n"
+              "pressure point; analytic admission flips off exactly at the\n"
+              "%d%% watermark; budget breaches abort, never OOM.\n",
+              80);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -235,12 +374,23 @@ int main(int argc, char** argv) {
   // `--forensics [--trace-json=path]` runs the deterministic E11 forensics
   // pipeline instead of the E10 load sweep.
   bool forensics = false;
+  bool statusz = false;
+  bool memsweep = false;
   std::string trace_json_path = "bench_forensics_trace.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--forensics") == 0) forensics = true;
+    if (std::strcmp(argv[i], "--statusz") == 0) statusz = true;
+    if (std::strcmp(argv[i], "--memsweep") == 0) memsweep = true;
     if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
       trace_json_path = argv[i] + 13;
     }
+  }
+  // `--statusz` keeps stdout machine-readable: the JSON snapshot only.
+  if (statusz) return RunStatusz();
+  if (memsweep) {
+    int rc = RunMemSweep();
+    drugtree::bench::DumpMetrics(metrics_flag);
+    return rc;
   }
   if (forensics) {
     int rc = RunForensics(trace_json_path);

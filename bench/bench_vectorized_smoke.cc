@@ -7,6 +7,11 @@
 // is ever slower than the row engine on the workload vectorization is
 // supposed to win. scripts/bench_baseline.sh records its output so the
 // measured speedup lands in baselines/.
+//
+// With DRUGTREE_SMOKE_TRACKED=1 it instead gates the memory-tracker fast
+// path: the same batch query runs interleaved with and without a
+// per-query obs::MemoryTracker attached, and the run fails if tracking
+// costs more than DRUGTREE_TRACKER_BUDGET_PCT percent (default 5).
 
 #include <algorithm>
 #include <chrono>
@@ -15,7 +20,9 @@
 #include <memory>
 #include <string>
 
+#include "obs/resource_tracker.h"
 #include "query/planner.h"
+#include "query/query_context.h"
 #include "storage/table.h"
 
 namespace {
@@ -28,11 +35,14 @@ const char* kSql =
     "SELECT w.k, w.v * 2.0 AS v2 FROM wide w "
     "WHERE w.v > 50.0 AND w.k < 50000";
 
-double RunOnce(query::Planner* planner, size_t batch_size, size_t* rows_out) {
+double RunOnce(query::Planner* planner, size_t batch_size, size_t* rows_out,
+               obs::MemoryTracker* tracker = nullptr) {
   query::PlannerOptions opts;  // optimized defaults
   opts.batch_size = batch_size;
+  query::QueryContext context;
+  context.memory = tracker;
   auto start = std::chrono::steady_clock::now();
-  auto outcome = planner->Run(kSql, opts);
+  auto outcome = planner->Run(kSql, opts, tracker ? &context : nullptr);
   auto stop = std::chrono::steady_clock::now();
   if (!outcome.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
@@ -63,6 +73,51 @@ int main() {
   query::Catalog catalog;
   if (!catalog.Register(&wide).ok()) return 2;
   query::Planner planner(&catalog);
+
+  const char* tracked_env = std::getenv("DRUGTREE_SMOKE_TRACKED");
+  if (tracked_env != nullptr && std::string(tracked_env) == "1") {
+    // Tracker fast-path gate: identical batch query with and without a
+    // hierarchical tracker (three levels, like the serving path) attached.
+    double budget_pct = 5.0;
+    if (const char* b = std::getenv("DRUGTREE_TRACKER_BUDGET_PCT")) {
+      budget_pct = std::atof(b);
+    }
+    obs::MemoryTracker root("server");
+    obs::MemoryTracker* session = root.GetOrCreateChild("interactive")
+                                      ->GetOrCreateChild("session-1");
+    double plain_best = 1e300, tracked_best = 1e300;
+    size_t plain_rows = 0, tracked_rows = 0;
+    for (int r = 0; r < kRounds; ++r) {
+      plain_best = std::min(plain_best, RunOnce(&planner, 1024, &plain_rows));
+      obs::MemoryTracker query_tracker("query", session);
+      tracked_best = std::min(
+          tracked_best, RunOnce(&planner, 1024, &tracked_rows, &query_tracker));
+    }
+    if (plain_rows != tracked_rows) {
+      std::fprintf(stderr, "tracked/plain result mismatch: %zu vs %zu rows\n",
+                   tracked_rows, plain_rows);
+      return 2;
+    }
+    double overhead_pct = (tracked_best / plain_best - 1.0) * 100.0;
+    std::printf(
+        "tracker smoke: batch scan-filter-project over %d rows (%zu out)\n"
+        "  untracked: %8.3f ms\n"
+        "  tracked:   %8.3f ms  (peak %lld bytes at root)\n"
+        "  overhead: %+.1f%% (budget %.1f%%)\n",
+        kRows, tracked_rows, plain_best * 1e3, tracked_best * 1e3,
+        (long long)root.peak(), overhead_pct, budget_pct);
+    if (overhead_pct > budget_pct) {
+      std::fprintf(stderr, "FAIL: tracker overhead %.1f%% over budget %.1f%%\n",
+                   overhead_pct, budget_pct);
+      return 1;
+    }
+    if (root.peak() <= 0) {
+      std::fprintf(stderr, "FAIL: tracked run charged nothing\n");
+      return 1;
+    }
+    std::printf("OK\n");
+    return 0;
+  }
 
   // Interleaved best-of-N so one-off stalls don't skew either side.
   double row_best = 1e300, batch_best = 1e300;

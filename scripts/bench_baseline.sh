@@ -45,4 +45,10 @@ if [[ "${SMOKE}" == "1" ]]; then
     | tee "${OUT_DIR}/BENCH_bench_vectorized_smoke.txt"
 fi
 
+# E12 memory-pressure saturation sweep: virtual clock, so the recorded
+# table is bit-stable and diffable across PRs.
+echo "== bench_server --memsweep -> ${OUT_DIR}/BENCH_bench_server_memsweep.txt"
+"${BUILD_DIR}/bench/bench_server" --memsweep \
+  | tee "${OUT_DIR}/BENCH_bench_server_memsweep.txt"
+
 echo "baselines written to ${OUT_DIR}/"

@@ -9,11 +9,17 @@
 # the best-of-N per benchmark (noise is strictly additive, so min converges
 # on the true cost), then gates on the geomean of the per-benchmark ratios.
 #
+# A second gate covers the memory-tracker fast path: the vectorized smoke
+# in tracked mode (DRUGTREE_SMOKE_TRACKED=1) interleaves the same batch
+# query with and without a per-query tracker hierarchy attached and fails
+# if charging costs more than DRUGTREE_TRACKER_BUDGET_PCT percent.
+#
 # Usage: scripts/obs_noop_ab.sh [instrumented-build-dir] [noop-build-dir]
 # Env:
-#   DRUGTREE_AB_BUDGET_PCT  allowed geomean overhead (default: 5)
-#   DRUGTREE_AB_REPS        interleaved A/B repetitions (default: 5)
-#   DRUGTREE_AB_FILTER      --benchmark_filter for the probe workload
+#   DRUGTREE_AB_BUDGET_PCT       allowed geomean overhead (default: 5)
+#   DRUGTREE_AB_REPS             interleaved A/B repetitions (default: 5)
+#   DRUGTREE_AB_FILTER           --benchmark_filter for the probe workload
+#   DRUGTREE_TRACKER_BUDGET_PCT  tracker fast-path budget (default: 5)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,7 +35,8 @@ fi
 if [[ ! -d "${OFF_DIR}" ]]; then
   cmake -B "${OFF_DIR}" -S . -DCMAKE_BUILD_TYPE=Release -DDRUGTREE_OBS_NOOP=ON
 fi
-cmake --build "${ON_DIR}" -j "$(nproc)" --target bench_tree_query
+cmake --build "${ON_DIR}" -j "$(nproc)" \
+  --target bench_tree_query bench_vectorized_smoke
 cmake --build "${OFF_DIR}" -j "$(nproc)" --target bench_tree_query
 
 SCRATCH="$(mktemp -d)"
@@ -84,3 +91,6 @@ if overhead > budget:
              f"+{budget:.0f}% budget")
 print("obs_noop_ab: OK")
 EOF
+
+echo "== memory-tracker fast-path gate (budget +${DRUGTREE_TRACKER_BUDGET_PCT:-5}%)"
+DRUGTREE_SMOKE_TRACKED=1 "${ON_DIR}/bench/bench_vectorized_smoke"

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Statusz smoke: `bench_server --statusz` must emit one parseable JSON
+# object covering every introspection surface the serving layer exports —
+# the memory-tracker tree, per-class SLO state, admission occupancy,
+# scheduler slots, per-class counters, and TraceStore totals. Runs on a
+# virtual clock, so the shape (not just the parse) is asserted exactly.
+#
+# Usage: scripts/statusz_check.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+if [[ ! -x "${BUILD_DIR}/bench/bench_server" ]]; then
+  cmake -B "${BUILD_DIR}" -S .
+  cmake --build "${BUILD_DIR}" -j "$(nproc)" --target bench_server
+fi
+
+SNAPSHOT="$(mktemp)"
+trap 'rm -f "${SNAPSHOT}"' EXIT
+"${BUILD_DIR}/bench/bench_server" --statusz > "${SNAPSHOT}"
+
+python3 - "${SNAPSHOT}" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+def need(cond, what):
+    if not cond:
+        sys.exit(f"statusz_check: FAIL — {what}")
+
+# Memory-tracker tree: rooted at "server", recursive children, and every
+# node carries the accounting quadruple.
+mem = doc.get("memory")
+need(isinstance(mem, dict), "missing memory tree")
+need(mem.get("name") == "server", "memory root not named 'server'")
+def walk(node, depth=0):
+    for key in ("name", "used", "peak", "soft_limit", "hard_limit",
+                "children"):
+        need(key in node, f"tracker node {node.get('name')!r} missing {key}")
+    need(node["peak"] >= node["used"] >= 0,
+         f"tracker node {node['name']!r} has peak < used")
+    for child in node["children"]:
+        walk(child, depth + 1)
+walk(mem)
+classes = {c["name"] for c in mem["children"]}
+need({"interactive", "analytic"} <= classes,
+     f"memory tree missing class nodes (got {sorted(classes)})")
+
+# Per-class SLO state with the burn-rate math surfaced.
+slo = doc.get("slo")
+need(isinstance(slo, dict), "missing slo section")
+for cls in ("interactive", "analytic"):
+    s = slo.get(cls)
+    need(isinstance(s, dict), f"missing slo[{cls}]")
+    for key in ("target_micros", "objective", "window_total", "window_good",
+                "window_bad", "compliance", "burn_rate", "total"):
+        need(key in s, f"slo[{cls}] missing {key}")
+    need(0.0 <= s["compliance"] <= 1.0, f"slo[{cls}] compliance out of range")
+
+# Admission occupancy, scheduler slots, per-class serving counters.
+adm = doc.get("admission")
+need(isinstance(adm, dict), "missing admission section")
+for cls in ("interactive", "analytic"):
+    a = adm.get(cls)
+    need(isinstance(a, dict), f"missing admission[{cls}]")
+    for key in ("queue_depth", "queue_capacity", "admitted", "shed"):
+        need(key in a, f"admission[{cls}] missing {key}")
+
+sched = doc.get("scheduler")
+need(isinstance(sched, dict), "missing scheduler section")
+for key in ("total_slots", "free_slots", "running", "paused"):
+    need(key in sched, f"scheduler missing {key}")
+need(sched["free_slots"] == sched["total_slots"],
+     "drained server should have every slot free")
+
+cls_section = doc.get("classes")
+need(isinstance(cls_section, dict), "missing classes section")
+for cls in ("interactive", "analytic"):
+    c = cls_section.get(cls)
+    need(isinstance(c, dict), f"missing classes[{cls}]")
+    for key in ("admitted", "shed", "memory_shed", "completed", "failed",
+                "memory_aborted", "cancelled", "deadline_missed"):
+        need(key in c, f"classes[{cls}] missing {key}")
+need(cls_section["interactive"]["completed"] > 0,
+     "statusz workload completed no interactive requests")
+
+# TraceStore totals match the served workload.
+ts = doc.get("trace_store")
+need(isinstance(ts, dict), "missing trace_store section")
+for key in ("recorded", "dropped", "slow"):
+    need(key in ts, f"trace_store missing {key}")
+need(ts["recorded"] > 0, "trace_store recorded nothing")
+
+print("statusz_check: OK —",
+      f"{cls_section['interactive']['completed']} interactive +",
+      f"{cls_section['analytic']['completed']} analytic served,",
+      f"{ts['recorded']} traces, root peak {mem['peak']} bytes")
+EOF

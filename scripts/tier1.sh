@@ -28,6 +28,10 @@ cmake --build build-tsan -j "$(nproc)" \
 ./build-tsan/tests/server_test
 ./build-tsan/tests/query_batch_test
 
+# Statusz smoke: the serving layer's JSON introspection snapshot must parse
+# and cover every exported surface (tracker tree, SLOs, occupancy, traces).
+scripts/statusz_check.sh build
+
 # Release-build throughput smoke: the columnar batch engine must never be
 # slower than the row engine on the scan-filter-project workload it targets.
 cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release
@@ -35,7 +39,8 @@ cmake --build build-rel -j "$(nproc)" --target bench_vectorized_smoke
 ./build-rel/bench/bench_vectorized_smoke
 
 # Tracing overhead A/B gate: the instrumented Release build (with trace
-# capture on) must stay within budget of the DRUGTREE_OBS_NOOP build.
+# capture on) must stay within budget of the DRUGTREE_OBS_NOOP build. Also
+# gates the memory-tracker fast path (tracked vectorized smoke, <5%).
 scripts/obs_noop_ab.sh build-rel build-noop
 
 # Informational perf diff vs the recorded baselines. Never fails tier-1:

@@ -74,6 +74,10 @@ util::Result<std::unique_ptr<DrugTree>> DrugTree::Build(
   dt->mediator_ = std::make_unique<integration::Mediator>(
       dt->protein_source_.get(), dt->ligand_source_.get(),
       dt->activity_source_.get(), dt->semantic_cache_.get());
+  dt->semantic_cache_->AttachMemoryTracker(
+      dt->integration_tracker_.GetOrCreateChild("semantic_cache"));
+  dt->mediator_->AttachMemoryTracker(
+      dt->integration_tracker_.GetOrCreateChild("mediator"));
   integration::MediatorOptions mo;
   mo.batch_requests = options.batch_requests;
   mo.max_concurrency = options.fetch_concurrency;

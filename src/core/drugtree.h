@@ -158,6 +158,14 @@ class DrugTree {
   storage::Table* ligands() { return dataset_.ligands.get(); }
   storage::Table* activities() { return dataset_.activities.get(); }
 
+  /// Root of the integration layer's memory accounting (semantic cache +
+  /// mediator fetch buffers as child nodes). Owned by the instance so it
+  /// shares the caches' lifetime; server trees track query-side memory
+  /// separately.
+  obs::MemoryTracker* integration_memory_tracker() {
+    return &integration_tracker_;
+  }
+
  private:
   DrugTree() = default;
 
@@ -167,6 +175,8 @@ class DrugTree {
   util::Status FinishWiring(uint64_t result_cache_bytes);
 
   util::Clock* clock_ = nullptr;
+  /// Declared before the components attached to it so it is destroyed last.
+  obs::MemoryTracker integration_tracker_{"integration"};
   std::unique_ptr<integration::SimulatedNetwork> network_;
   std::unique_ptr<integration::ProteinSource> protein_source_;
   std::unique_ptr<integration::LigandSource> ligand_source_;

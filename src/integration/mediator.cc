@@ -98,6 +98,15 @@ obs::Counter* FetchCounter(const char* source) {
       std::string("integration.fetch.") + source);
 }
 
+/// Summed record sizes of a fetch buffer (each record type exposes its own
+/// wire-size estimate).
+template <typename T>
+int64_t SumApproxBytes(const std::vector<T>& recs) {
+  int64_t bytes = 0;
+  for (const auto& r : recs) bytes += static_cast<int64_t>(r.ApproxBytes());
+  return bytes;
+}
+
 }  // namespace
 
 std::string Mediator::EncodeProtein(const ProteinRecord& rec) {
@@ -319,6 +328,11 @@ util::Result<IntegratedDataset> Mediator::IntegrateAll(
     }
   }
   protein_fetches->Add(static_cast<int64_t>(proteins.size()));
+  // Account the transient fetch buffers while they are resident: each scope
+  // covers the span between "records fetched" and "records loaded into the
+  // table + buffer freed" (end of IntegrateAll).
+  obs::ScopedMemoryCharge protein_buf_charge(memory_,
+                                             SumApproxBytes(proteins));
   for (const auto& p : proteins) {
     DRUGTREE_RETURN_IF_ERROR(ds.proteins->Insert(ProteinToRow(p)).status());
     if (CacheEnabled(options)) {
@@ -353,6 +367,7 @@ util::Result<IntegratedDataset> Mediator::IntegrateAll(
     }
   }
   ligand_fetches->Add(static_cast<int64_t>(ligands.size()));
+  obs::ScopedMemoryCharge ligand_buf_charge(memory_, SumApproxBytes(ligands));
   for (const auto& e : ligands) {
     DRUGTREE_RETURN_IF_ERROR(ds.ligands->Insert(LigandToRow(e)).status());
   }
@@ -398,6 +413,8 @@ util::Result<IntegratedDataset> Mediator::IntegrateAll(
     }
   }
   activity_fetches->Add(static_cast<int64_t>(activities.size()));
+  obs::ScopedMemoryCharge activity_buf_charge(memory_,
+                                              SumApproxBytes(activities));
   DT_SPAN("integrate.resolve");
   std::map<std::tuple<std::string, std::string, std::string>,
            std::vector<const ActivityRecord*>>

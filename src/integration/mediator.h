@@ -15,6 +15,7 @@
 #include "integration/ligand_source.h"
 #include "integration/protein_source.h"
 #include "integration/semantic_cache.h"
+#include "obs/resource_tracker.h"
 #include "storage/table.h"
 #include "util/result.h"
 
@@ -112,6 +113,11 @@ class Mediator {
   /// Stats from the last IntegrateAll run that used max_concurrency > 1.
   const MediatorAsyncStats& async_stats() const { return async_stats_; }
 
+  /// Accounts IntegrateAll's transient fetch buffers (the record vectors
+  /// held between fetch and table load) against a tracker node. Null
+  /// detaches; the tracker must outlive the mediator.
+  void AttachMemoryTracker(obs::MemoryTracker* tracker) { memory_ = tracker; }
+
   /// Serialization helpers (exposed for tests and the prefetcher).
   static std::string EncodeProtein(const ProteinRecord& rec);
   static util::Result<ProteinRecord> DecodeProtein(const std::string& blob);
@@ -129,6 +135,7 @@ class Mediator {
   ActivitySource* activity_source_;
   SemanticCache* cache_;
   MediatorAsyncStats async_stats_;
+  obs::MemoryTracker* memory_ = nullptr;
 };
 
 }  // namespace integration

@@ -58,6 +58,11 @@ class SemanticCache {
   bool Contains(const std::string& key) const { return cache_.Contains(key); }
   void Clear() { cache_.Clear(); }
 
+  /// Mirrors cached payload bytes into a tracker node (resource hierarchy).
+  void AttachMemoryTracker(obs::MemoryTracker* tracker) {
+    cache_.AttachMemoryTracker(tracker);
+  }
+
   const storage::CacheStats& stats() const { return cache_.stats(); }
   uint64_t used_bytes() const { return cache_.used(); }
 

@@ -1,0 +1,111 @@
+#include "obs/slo_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace obs {
+
+SloTracker::SloTracker(std::string name, const SloOptions& options,
+                       const util::Clock* clock)
+    : name_(std::move(name)),
+      options_(options),
+      clock_(clock),
+      bucket_width_micros_(std::max<int64_t>(
+          1, options.window_micros / std::max(1, options.num_buckets))),
+      buckets_(static_cast<size_t>(std::max(1, options.num_buckets))) {
+  auto* registry = MetricRegistry::Default();
+  Labels labels = {{"class", name_}};
+  burn_gauge_ = registry->GetGauge("server.slo.burn_rate_x1000", labels);
+  compliance_gauge_ =
+      registry->GetGauge("server.slo.compliance_x10000", labels);
+}
+
+void SloTracker::WindowSumsLocked(int64_t now, int64_t* good,
+                                  int64_t* bad) const {
+  int64_t current_epoch = now / bucket_width_micros_;
+  int64_t oldest_live =
+      current_epoch - static_cast<int64_t>(buckets_.size()) + 1;
+  *good = 0;
+  *bad = 0;
+  for (const Bucket& b : buckets_) {
+    if (b.epoch >= oldest_live && b.epoch <= current_epoch) {
+      *good += b.good;
+      *bad += b.bad;
+    }
+  }
+}
+
+void SloTracker::Record(int64_t latency_micros, bool ok) {
+  bool good = ok && latency_micros <= options_.target_latency_micros;
+  int64_t now = clock_->NowMicros();
+  int64_t epoch = now / bucket_width_micros_;
+  double burn = 0.0, compliance = 1.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Bucket& b = buckets_[static_cast<size_t>(
+        epoch % static_cast<int64_t>(buckets_.size()))];
+    if (b.epoch != epoch) {
+      b.epoch = epoch;
+      b.good = 0;
+      b.bad = 0;
+    }
+    ++total_;
+    if (good) {
+      ++b.good;
+      ++good_;
+    } else {
+      ++b.bad;
+      ++bad_;
+    }
+    int64_t wgood = 0, wbad = 0;
+    WindowSumsLocked(now, &wgood, &wbad);
+    int64_t wtotal = wgood + wbad;
+    if (wtotal > 0) {
+      double bad_fraction =
+          static_cast<double>(wbad) / static_cast<double>(wtotal);
+      compliance = 1.0 - bad_fraction;
+      double budget = std::max(1e-9, 1.0 - options_.objective);
+      burn = bad_fraction / budget;
+    }
+  }
+  burn_gauge_->Set(std::llround(burn * 1000.0));
+  compliance_gauge_->Set(std::llround(compliance * 10000.0));
+}
+
+SloTracker::Snapshot SloTracker::GetSnapshot() const {
+  Snapshot snap;
+  int64_t now = clock_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  WindowSumsLocked(now, &snap.window_good, &snap.window_bad);
+  snap.window_total = snap.window_good + snap.window_bad;
+  snap.total = total_;
+  snap.good = good_;
+  snap.bad = bad_;
+  if (snap.window_total > 0) {
+    double bad_fraction = static_cast<double>(snap.window_bad) /
+                          static_cast<double>(snap.window_total);
+    snap.compliance = 1.0 - bad_fraction;
+    snap.burn_rate = bad_fraction / std::max(1e-9, 1.0 - options_.objective);
+  }
+  return snap;
+}
+
+std::string SloTracker::ToJson() const {
+  Snapshot snap = GetSnapshot();
+  return util::StringPrintf(
+      "{\"name\":\"%s\",\"target_micros\":%lld,\"objective\":%.6g,"
+      "\"window_total\":%lld,\"window_good\":%lld,\"window_bad\":%lld,"
+      "\"compliance\":%.6g,\"burn_rate\":%.6g,"
+      "\"total\":%lld,\"good\":%lld,\"bad\":%lld}",
+      name_.c_str(), (long long)options_.target_latency_micros,
+      options_.objective, (long long)snap.window_total,
+      (long long)snap.window_good, (long long)snap.window_bad, snap.compliance,
+      snap.burn_rate, (long long)snap.total, (long long)snap.good,
+      (long long)snap.bad);
+}
+
+}  // namespace obs
+}  // namespace drugtree

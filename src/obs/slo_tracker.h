@@ -1,0 +1,107 @@
+// Per-class SLO tracking: "objective% of <class> requests complete within
+// target latency". Each terminal request outcome is recorded as good (ok
+// and within target) or bad (slow, failed, cancelled, or shed); the tracker
+// keeps both cumulative totals and a rolling window of time buckets on the
+// provided util::Clock, so a SimulatedClock yields bit-identical windows
+// across runs.
+//
+// The headline derived gauge is the error-budget burn rate:
+//
+//   burn = bad_fraction / (1 - objective)
+//
+// burn == 1 means the class is consuming its error budget exactly as fast
+// as the objective allows; burn > 1 means the budget will be exhausted
+// before the window rolls over. Record() publishes the burn rate and
+// compliance to the process metric registry ("server.slo.*{class=}") so
+// dashboards and Statusz() read the same numbers.
+
+#ifndef DRUGTREE_OBS_SLO_TRACKER_H_
+#define DRUGTREE_OBS_SLO_TRACKER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/clock.h"
+
+namespace drugtree {
+namespace obs {
+
+struct SloOptions {
+  /// A request is "good" when it succeeds within this many micros.
+  int64_t target_latency_micros = 50'000;
+  /// Fraction of requests that must be good (0 < objective < 1).
+  double objective = 0.99;
+  /// Rolling window the burn rate is computed over.
+  int64_t window_micros = 60'000'000;
+  /// Buckets the window is divided into (granularity of expiry).
+  int num_buckets = 60;
+};
+
+class SloTracker {
+ public:
+  struct Snapshot {
+    int64_t window_total = 0;
+    int64_t window_good = 0;
+    int64_t window_bad = 0;
+    int64_t total = 0;  // cumulative since construction
+    int64_t good = 0;
+    int64_t bad = 0;
+    /// Window good fraction; 1.0 while the window is empty (no news is
+    /// good news for an idle class).
+    double compliance = 1.0;
+    /// Window bad fraction / (1 - objective); 0 while empty.
+    double burn_rate = 0.0;
+  };
+
+  /// `clock` is borrowed and stamps bucket boundaries; `name` labels the
+  /// published metrics (the query-class name).
+  SloTracker(std::string name, const SloOptions& options,
+             const util::Clock* clock);
+
+  /// Records one terminal request outcome. `ok` is the request's success;
+  /// a request only counts as good when it succeeded AND met the latency
+  /// target (sheds/failures pass ok=false and any latency).
+  void Record(int64_t latency_micros, bool ok);
+
+  Snapshot GetSnapshot() const;
+
+  /// {"name":...,"target_micros":...,"objective":...,"window_total":...,
+  ///  "window_good":...,"window_bad":...,"compliance":...,"burn_rate":...,
+  ///  "total":...,"good":...,"bad":...}
+  std::string ToJson() const;
+
+  const std::string& name() const { return name_; }
+  const SloOptions& options() const { return options_; }
+
+ private:
+  struct Bucket {
+    int64_t epoch = -1;  // bucket_width-sized epoch this bucket holds
+    int64_t good = 0;
+    int64_t bad = 0;
+  };
+
+  /// Computes window sums at `now`, expiring stale buckets. Caller holds mu_.
+  void WindowSumsLocked(int64_t now, int64_t* good, int64_t* bad) const;
+
+  const std::string name_;
+  const SloOptions options_;
+  const util::Clock* clock_;
+  const int64_t bucket_width_micros_;
+
+  mutable std::mutex mu_;
+  mutable std::vector<Bucket> buckets_;
+  int64_t total_ = 0;
+  int64_t good_ = 0;
+  int64_t bad_ = 0;
+
+  Gauge* burn_gauge_ = nullptr;        // burn rate x1000
+  Gauge* compliance_gauge_ = nullptr;  // compliance x10000
+};
+
+}  // namespace obs
+}  // namespace drugtree
+
+#endif  // DRUGTREE_OBS_SLO_TRACKER_H_

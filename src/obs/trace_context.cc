@@ -44,6 +44,11 @@ std::string TraceRecord::TimelineString() const {
         (long long)(f.start_micros - begin_micros),
         (long long)(f.end_micros - begin_micros), (unsigned long long)f.bytes);
   }
+  if (peak_memory_bytes > 0 || cpu_micros > 0) {
+    out += util::StringPrintf("  resources     peak_mem=%lldB cpu=%lldus\n",
+                              (long long)peak_memory_bytes,
+                              (long long)cpu_micros);
+  }
   for (const auto& [name, value] : counters) {
     out += util::StringPrintf("  #%s=%lld\n", name.c_str(), (long long)value);
   }
@@ -122,6 +127,16 @@ void TraceContext::BumpCounter(const std::string& name, int64_t delta) {
 void TraceContext::set_analyzed_plan(std::string analyzed_plan) {
   std::lock_guard<std::mutex> lock(mu_);
   record_.analyzed_plan = std::move(analyzed_plan);
+}
+
+void TraceContext::set_peak_memory_bytes(int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record_.peak_memory_bytes = bytes;
+}
+
+void TraceContext::set_cpu_micros(int64_t micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record_.cpu_micros = micros;
 }
 
 void TraceContext::AdoptRootSpan(std::unique_ptr<Span> root) {

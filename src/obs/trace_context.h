@@ -91,6 +91,14 @@ struct TraceRecord {
   std::vector<PhaseInterval> intervals;
   std::vector<FetchEvent> fetches;
   std::map<std::string, int64_t> counters;  // cache hits, retries, ...
+  /// Peak bytes held by the request's MemoryTracker over its lifetime
+  /// (deterministic on a virtual-clock workload: charges are byte counts,
+  /// not times). 0 when the server ran without resource accounting.
+  int64_t peak_memory_bytes = 0;
+  /// Thread CPU time consumed executing the request, in micros. Real time
+  /// (CLOCK_THREAD_CPUTIME_ID), so forensics can tell a heavy query from a
+  /// queued one — never asserted on in deterministic tests.
+  int64_t cpu_micros = 0;
   /// EXPLAIN ANALYZE of the executed plan; only captured when the owner ran
   /// with analyze collection on (the slow-query forensics path).
   std::string analyzed_plan;
@@ -157,6 +165,10 @@ class TraceContext {
 
   /// Stores the EXPLAIN ANALYZE text of the executed plan.
   void set_analyzed_plan(std::string analyzed_plan);
+
+  /// Resource accounting stamped by the serving layer at completion.
+  void set_peak_memory_bytes(int64_t bytes);
+  void set_cpu_micros(int64_t micros);
 
   /// Adopts a completed root span tree (called by Tracer when a root span
   /// closes while this context is installed — the per-query fix for the

@@ -68,7 +68,9 @@ std::string TailAttribution::ToString() const {
 }
 
 TraceStore::TraceStore(size_t capacity, int64_t slow_threshold_micros)
-    : per_shard_capacity_(std::max<size_t>(1, capacity / kShards)),
+    // Ceiling split so total retained capacity is never below the request
+    // (truncating division silently shrank e.g. capacity=12 to 8 records).
+    : per_shard_capacity_(std::max<size_t>(1, (capacity + kShards - 1) / kShards)),
       slow_threshold_micros_(slow_threshold_micros) {}
 
 void TraceStore::Record(TraceRecord record) {

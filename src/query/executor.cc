@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/resource_tracker.h"
 #include "obs/trace.h"
 #include "util/string_util.h"
 
@@ -65,20 +66,55 @@ util::Result<QueryResult> ExecutePlan(PhysicalOperator* root,
   for (const auto& c : root->schema().columns()) {
     result.columns.push_back(c.name);
   }
+  // Result-buffer accounting: growth is charged against the query's tracker
+  // as rows accumulate (so a runaway result aborts at the hard limit, and
+  // its size lands in the peak watermark) and released on exit — the buffer
+  // is handed to the caller, whose own tracker node takes over ownership.
+  obs::MemoryTracker* tracker = context != nullptr ? context->memory : nullptr;
+  struct Charged {
+    obs::MemoryTracker* t;
+    int64_t n = 0;
+    ~Charged() {
+      if (t != nullptr && n > 0) t->Release(n);
+    }
+  } charged{tracker};
   if (batch_size > 1) {
     storage::RowBatch batch;
     for (;;) {
       DRUGTREE_ASSIGN_OR_RETURN(bool more, root->NextBatch(&batch));
       if (!more) break;
+      if (tracker != nullptr) {
+        int64_t bytes = static_cast<int64_t>(batch.ApproxBytes());
+        DRUGTREE_RETURN_IF_ERROR(tracker->TryCharge(bytes));
+        charged.n += bytes;
+      }
       batch.EmitRowsTo(&result.rows);
     }
     return result;
   }
   storage::Row row;
+  int64_t pending = 0;
   for (;;) {
     DRUGTREE_ASSIGN_OR_RETURN(bool more, root->Next(&row));
     if (!more) break;
+    if (tracker != nullptr) {
+      pending += 32 + static_cast<int64_t>(row.size()) * 16;
+      for (const auto& v : row) {
+        if (v.type() == storage::ValueType::kString) {
+          pending += static_cast<int64_t>(v.AsString().size());
+        }
+      }
+      if (pending >= 64 * 1024) {
+        DRUGTREE_RETURN_IF_ERROR(tracker->TryCharge(pending));
+        charged.n += pending;
+        pending = 0;
+      }
+    }
     result.rows.push_back(std::move(row));
+  }
+  if (tracker != nullptr && pending > 0) {
+    DRUGTREE_RETURN_IF_ERROR(tracker->TryCharge(pending));
+    charged.n += pending;
   }
   return result;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "obs/resource_tracker.h"
 #include "obs/trace.h"
 #include "util/string_util.h"
 
@@ -48,7 +49,47 @@ obs::Counter* ParallelRowsCounter() {
   return c;
 }
 
+/// Estimated resident bytes of one materialized row: vector header, inline
+/// Value slots, and string payloads.
+int64_t ApproxRowBytes(const Row& row) {
+  int64_t bytes =
+      static_cast<int64_t>(sizeof(Row) + row.size() * sizeof(Value));
+  for (const auto& v : row) {
+    if (v.type() == ValueType::kString) {
+      bytes += static_cast<int64_t>(v.AsString().size());
+    }
+  }
+  return bytes;
+}
+
+/// Materializing loops charge in chunks of this size so a hard limit aborts
+/// the build mid-flight (bounded overshoot) without a tracker round-trip
+/// per row.
+constexpr int64_t kChargeChunkBytes = 64 * 1024;
+
 }  // namespace
+
+PhysicalOperator::~PhysicalOperator() {
+  if (charged_tracker_ != nullptr && charged_bytes_ > 0) {
+    charged_tracker_->Release(charged_bytes_);
+  }
+}
+
+util::Status PhysicalOperator::ChargeOperatorMemory(int64_t bytes) {
+  if (bytes <= 0) return util::Status::OK();
+  // Stick with the tracker of the first charge: the destructor releases the
+  // whole accumulated total against one node, so mixing trackers across a
+  // context swap would corrupt both.
+  obs::MemoryTracker* tracker = charged_tracker_;
+  if (tracker == nullptr && query_context_ != nullptr) {
+    tracker = query_context_->memory;
+  }
+  if (tracker == nullptr) return util::Status::OK();
+  DRUGTREE_RETURN_IF_ERROR(tracker->TryCharge(bytes));
+  charged_tracker_ = tracker;
+  charged_bytes_ += bytes;
+  return util::Status::OK();
+}
 
 std::string PhysicalOperator::ExplainString(int indent) const {
   std::string out(static_cast<size_t>(indent) * 2, ' ');
@@ -113,20 +154,28 @@ util::Result<bool> PhysicalOperator::NextBatch(storage::RowBatch* out) {
     util::Status live = query_context_->Check();
     if (!live.ok()) return live;
   }
-  if (analyze_clock_ == nullptr) {
-    util::Result<bool> more = NextBatchImpl(out);
-    if (more.ok() && *more) {
-      op_stats_.rows_out += static_cast<int64_t>(out->size());
-      ++op_stats_.batches;
-    }
-    return more;
-  }
-  int64_t start = analyze_clock_->NowMicros();
-  util::Result<bool> more = NextBatchImpl(out);
-  op_stats_.elapsed_micros += analyze_clock_->NowMicros() - start;
+  util::Result<bool> more = [&]() -> util::Result<bool> {
+    if (analyze_clock_ == nullptr) return NextBatchImpl(out);
+    int64_t start = analyze_clock_->NowMicros();
+    util::Result<bool> r = NextBatchImpl(out);
+    op_stats_.elapsed_micros += analyze_clock_->NowMicros() - start;
+    return r;
+  }();
   if (more.ok() && *more) {
     op_stats_.rows_out += static_cast<int64_t>(out->size());
     ++op_stats_.batches;
+    // High-water accounting for the in-flight output batch: only growth
+    // beyond the largest batch seen so far is charged, so steady-state
+    // batches of stable size cost one ApproxBytes() walk and no tracker
+    // traffic.
+    if (query_context_ != nullptr && query_context_->memory != nullptr) {
+      int64_t bytes = static_cast<int64_t>(out->ApproxBytes());
+      if (bytes > batch_charged_bytes_) {
+        DRUGTREE_RETURN_IF_ERROR(
+            ChargeOperatorMemory(bytes - batch_charged_bytes_));
+        batch_charged_bytes_ = bytes;
+      }
+    }
   }
   return more;
 }
@@ -250,7 +299,8 @@ util::Status SeqScanOp::MaterializeParallel() {
   }
   MorselCounter()->Add(static_cast<int64_t>(num_morsels));
   ParallelRowsCounter()->Add(static_cast<int64_t>(n));
-  return util::Status::OK();
+  return ChargeOperatorMemory(
+      static_cast<int64_t>(matches_.size() * sizeof(storage::RowId)));
 }
 
 util::Result<bool> SeqScanOp::NextImpl(Row* out) {
@@ -351,7 +401,8 @@ util::Status IndexScanOp::OpenImpl() {
                                      bounds_.hi, bounds_.hi_inclusive));
   }
   cursor_ = 0;
-  return util::Status::OK();
+  return ChargeOperatorMemory(
+      static_cast<int64_t>(matches_.size() * sizeof(storage::RowId)));
 }
 
 util::Result<bool> IndexScanOp::NextImpl(Row* out) {
@@ -565,14 +616,22 @@ util::Status NestedLoopJoinOp::OpenImpl() {
   if (condition_) {
     DRUGTREE_RETURN_IF_ERROR(BindExpr(condition_.get(), schema_));
   }
-  // Materialize the inner side once.
+  // Materialize the inner side once, charging as it grows so a hard memory
+  // limit aborts the build instead of completing it first.
   right_rows_.clear();
   Row r;
+  int64_t pending = 0;
   for (;;) {
     DRUGTREE_ASSIGN_OR_RETURN(bool more, right_->Next(&r));
     if (!more) break;
+    pending += ApproxRowBytes(r);
     right_rows_.push_back(r);
+    if (pending >= kChargeChunkBytes) {
+      DRUGTREE_RETURN_IF_ERROR(ChargeOperatorMemory(pending));
+      pending = 0;
+    }
   }
+  DRUGTREE_RETURN_IF_ERROR(ChargeOperatorMemory(pending));
   have_left_ = false;
   right_cursor_ = 0;
   return util::Status::OK();
@@ -676,11 +735,18 @@ util::Status HashJoinOp::OpenImpl() {
   hash_table_.clear();
   right_rows_.clear();
   Row r;
+  int64_t pending = 0;
   for (;;) {
     DRUGTREE_ASSIGN_OR_RETURN(bool more, right_->Next(&r));
     if (!more) break;
+    pending += ApproxRowBytes(r);
     right_rows_.push_back(r);
+    if (pending >= kChargeChunkBytes) {
+      DRUGTREE_RETURN_IF_ERROR(ChargeOperatorMemory(pending));
+      pending = 0;
+    }
   }
+  DRUGTREE_RETURN_IF_ERROR(ChargeOperatorMemory(pending));
   const size_t n = right_rows_.size();
   std::vector<uint64_t> hashes(n);
   std::vector<char> valid(n, 0);
@@ -733,6 +799,13 @@ util::Status HashJoinOp::OpenImpl() {
   for (size_t i = 0; i < n; ++i) {
     if (valid[i]) hash_table_[hashes[i]].push_back(i);
   }
+  // Coarse hash-table overhead: bucket/node bookkeeping per distinct key
+  // plus one index slot per build row.
+  int64_t table_bytes = 0;
+  for (const auto& [h, list] : hash_table_) {
+    table_bytes += 64 + static_cast<int64_t>(list.size()) * 8;
+  }
+  DRUGTREE_RETURN_IF_ERROR(ChargeOperatorMemory(table_bytes));
   have_left_ = false;
   probe_list_ = nullptr;
   probe_batch_.Reset(0);
@@ -859,11 +932,18 @@ util::Status SortOp::OpenImpl() {
   }
   rows_.clear();
   Row r;
+  int64_t pending = 0;
   for (;;) {
     DRUGTREE_ASSIGN_OR_RETURN(bool more, child_->Next(&r));
     if (!more) break;
+    pending += ApproxRowBytes(r);
     rows_.push_back(std::move(r));
+    if (pending >= kChargeChunkBytes) {
+      DRUGTREE_RETURN_IF_ERROR(ChargeOperatorMemory(pending));
+      pending = 0;
+    }
   }
+  DRUGTREE_RETURN_IF_ERROR(ChargeOperatorMemory(pending));
   // Precompute sort keys, then sort by them.
   std::vector<std::pair<std::vector<Value>, size_t>> keyed;
   keyed.reserve(rows_.size());
@@ -937,6 +1017,7 @@ util::Status HashAggregateOp::OpenImpl() {
   std::unordered_map<uint64_t, std::vector<size_t>> key_to_groups;
   groups_.clear();
   Row in;
+  int64_t pending = 0;
   for (;;) {
     DRUGTREE_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
     if (!more) break;
@@ -958,6 +1039,15 @@ util::Status HashAggregateOp::OpenImpl() {
     }
     if (group_idx == SIZE_MAX) {
       group_idx = groups_.size();
+      // Memory grows with group cardinality, not input rows: charge per
+      // new group (key bytes + aggregate states + index-entry overhead).
+      pending += ApproxRowBytes(key) +
+                 static_cast<int64_t>(aggregates_.size() * sizeof(AggState)) +
+                 48;
+      if (pending >= kChargeChunkBytes) {
+        DRUGTREE_RETURN_IF_ERROR(ChargeOperatorMemory(pending));
+        pending = 0;
+      }
       groups_.emplace_back(key,
                            std::vector<AggState>(aggregates_.size()));
       key_to_groups[h].push_back(group_idx);
@@ -981,6 +1071,7 @@ util::Status HashAggregateOp::OpenImpl() {
       if (st.max.is_null() || v.Compare(st.max) > 0) st.max = v;
     }
   }
+  DRUGTREE_RETURN_IF_ERROR(ChargeOperatorMemory(pending));
   // A global aggregate (no GROUP BY) over zero rows still emits one group.
   if (groups_.empty() && group_by_.empty()) {
     groups_.emplace_back(Row{}, std::vector<AggState>(aggregates_.size()));

@@ -77,7 +77,9 @@ struct OperatorStats {
 
 class PhysicalOperator {
  public:
-  virtual ~PhysicalOperator() = default;
+  /// Releases any operator-state memory charged against the query's tracker
+  /// (materialized build sides, sort buffers, aggregate state).
+  virtual ~PhysicalOperator();
 
   /// Prepares for iteration (binds expressions, builds hash tables, sorts).
   util::Status Open();
@@ -149,6 +151,14 @@ class PhysicalOperator {
   /// The attached context; null when the query is not cancellable.
   const QueryContext* query_context() const { return query_context_; }
 
+  /// Charges `bytes` of operator-held state against the query's memory
+  /// tracker (no-op when no tracker is attached). Charges accumulate and
+  /// are released by the operator destructor, so call once per buffer
+  /// growth, not per row. Returns the tracker's resource-exhausted status
+  /// when the charge would breach a hard limit; operators must propagate
+  /// that status so the query aborts instead of OOMing.
+  util::Status ChargeOperatorMemory(int64_t bytes);
+
   storage::Schema schema_;
   std::vector<PhysicalOperator*> explain_children_;  // borrowed, for explain
 
@@ -163,6 +173,13 @@ class PhysicalOperator {
   size_t batch_size_ = 1;
   storage::RowBatch drain_batch_;  // batch->row adapter state
   size_t drain_pos_ = 0;
+  // Memory accounting: tracker the charges went to (captured at first
+  // charge so destruction releases against the right node even after the
+  // context is detached), total charged, and the high-water charge for the
+  // in-flight output batch (NextBatch shell charges deltas only).
+  obs::MemoryTracker* charged_tracker_ = nullptr;
+  int64_t charged_bytes_ = 0;
+  int64_t batch_charged_bytes_ = 0;
 };
 
 using PhysicalPtr = std::unique_ptr<PhysicalOperator>;

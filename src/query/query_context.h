@@ -18,6 +18,9 @@
 #include "util/status.h"
 
 namespace drugtree {
+namespace obs {
+class MemoryTracker;
+}  // namespace obs
 namespace query {
 
 struct QueryContext {
@@ -34,6 +37,12 @@ struct QueryContext {
   /// active obs::TraceContext, so slow-query forensics can show the plan of
   /// an offender after the fact. Adds two clock reads per operator per batch.
   bool collect_analyze = false;
+  /// Per-query memory tracker (a transient node parented under the server
+  /// hierarchy). Operators charge materialized state and batch buffers
+  /// against it; a hard-limit breach aborts the query with
+  /// kResourceExhausted at the offending allocation instead of OOMing.
+  /// Null = no resource accounting (the default for unserved callers).
+  obs::MemoryTracker* memory = nullptr;
 
   bool has_deadline() const { return clock != nullptr && deadline_micros > 0; }
 

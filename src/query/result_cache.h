@@ -44,6 +44,13 @@ class ResultCache {
     cache_.Put(key, std::move(result), charge);
   }
 
+  /// Mirrors the cache's resident bytes into a server-owned tracker node
+  /// (see LruCache::AttachMemoryTracker). Call before concurrent use.
+  void AttachMemoryTracker(obs::MemoryTracker* tracker) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.AttachMemoryTracker(tracker);
+  }
+
   void Clear() {
     std::lock_guard<std::mutex> lock(mu_);
     cache_.Clear();

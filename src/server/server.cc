@@ -59,11 +59,31 @@ DrugTreeServer::DrugTreeServer(query::Catalog* catalog, util::Clock* clock,
       options_(options),
       trace_store_(options.trace_store_capacity,
                    ResolveSlowQueryMicros(options.slow_query_micros)),
+      memory_root_("server", /*parent=*/nullptr,
+                   static_cast<int64_t>(
+                       options.memory_high_watermark *
+                       static_cast<double>(options.server_memory_bytes)),
+                   static_cast<int64_t>(options.server_memory_bytes)),
       admission_(options.admission, clock),
       scheduler_(options.scheduler, &admission_) {
+  for (int c = 0; c < kNumQueryClasses; ++c) {
+    QueryClass qc = static_cast<QueryClass>(c);
+    class_trackers_[static_cast<size_t>(c)] =
+        memory_root_.GetOrCreateChild(QueryClassName(qc));
+    obs::SloOptions slo_opts;
+    slo_opts.target_latency_micros = qc == QueryClass::kInteractive
+                                         ? options_.interactive_slo_micros
+                                         : options_.analytic_slo_micros;
+    slo_opts.objective = options_.slo_objective;
+    slo_opts.window_micros = options_.slo_window_micros;
+    slo_[static_cast<size_t>(c)] = std::make_unique<obs::SloTracker>(
+        QueryClassName(qc), slo_opts, clock_);
+  }
   if (options_.result_cache_bytes > 0) {
     result_cache_ =
         std::make_unique<query::ResultCache>(options_.result_cache_bytes);
+    result_cache_->AttachMemoryTracker(
+        memory_root_.GetOrCreateChild("result_cache"));
   }
   int slots = std::max(1, options_.scheduler.total_slots);
   for (int s = 0; s < slots; ++s) {
@@ -112,28 +132,48 @@ ResponseHandle DrugTreeServer::SubmitAsync(QueryRequest request) {
     pending.trace = trace;
   }
   util::Status admitted;
+  bool memory_shed = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    admitted = admission_.Admit(&pending);
-    if (admitted.ok()) {
-      if (trace != nullptr) {
-        // Admission stamps enqueue_micros under mu_; [submit, enqueue] is
-        // the admission-control work. Tag it before DispatchLocked can hand
-        // the request to a worker.
-        trace->AddPhaseInterval(obs::TracePhase::kAdmit, submit_micros,
-                                pending.enqueue_micros);
-      }
-      counters_[static_cast<size_t>(cls)].admitted++;
-      DispatchLocked();
-    } else {
+    // Memory-pressure admission: once tracked usage crosses the high
+    // watermark, analytic work is shed before it can queue — the headroom
+    // between watermark and hard limit stays reserved for interactive
+    // traffic, which is never memory-shed.
+    if (cls == QueryClass::kAnalytic && memory_root_.OverSoftLimit()) {
+      admitted = util::Status::ResourceExhausted(util::StringPrintf(
+          "analytic admission shed: server memory %lld bytes above high "
+          "watermark %lld",
+          (long long)memory_root_.used(),
+          (long long)memory_root_.soft_limit_bytes()));
+      memory_shed = true;
       counters_[static_cast<size_t>(cls)].shed++;
+      counters_[static_cast<size_t>(cls)].memory_shed++;
+    } else {
+      admitted = admission_.Admit(&pending);
+      if (admitted.ok()) {
+        if (trace != nullptr) {
+          // Admission stamps enqueue_micros under mu_; [submit, enqueue] is
+          // the admission-control work. Tag it before DispatchLocked can
+          // hand the request to a worker.
+          trace->AddPhaseInterval(obs::TracePhase::kAdmit, submit_micros,
+                                  pending.enqueue_micros);
+        }
+        counters_[static_cast<size_t>(cls)].admitted++;
+        DispatchLocked();
+      } else {
+        counters_[static_cast<size_t>(cls)].shed++;
+      }
     }
   }
   if (!admitted.ok()) {
+    // A shed request is an instantly-failed one from the SLO's viewpoint.
+    slo_[static_cast<size_t>(cls)]->Record(/*latency_micros=*/0,
+                                           /*ok=*/false);
     if (trace != nullptr) {
       trace->AddPhaseInterval(obs::TracePhase::kAdmit, submit_micros,
                               clock_->NowMicros());
-      trace_store_.Record(trace->Finish("shed", /*ok=*/false));
+      trace_store_.Record(
+          trace->Finish(memory_shed ? "shed_memory" : "shed", /*ok=*/false));
     }
     Complete(handle.state_, std::move(admitted));
   }
@@ -191,8 +231,63 @@ DrugTreeServer::ClassCounters DrugTreeServer::counters(QueryClass c) const {
   std::lock_guard<std::mutex> lock(mu_);
   ClassCounters out = counters_[static_cast<size_t>(c)];
   // Shed/admitted are also tracked by admission; keep the authoritative
-  // values consistent with the obs counters it bumps.
-  out.shed = admission_.shed(c);
+  // values consistent with the obs counters it bumps. Memory-pressure sheds
+  // happen before admission ever sees the request, so they are added on
+  // top of the queue-driven sheds.
+  out.shed = admission_.shed(c) + out.memory_shed;
+  return out;
+}
+
+std::string DrugTreeServer::Statusz() {
+  std::string out = "{\"memory\":";
+  out += memory_root_.ToJson();
+  out += ",\"slo\":{";
+  for (int c = 0; c < kNumQueryClasses; ++c) {
+    if (c) out += ",";
+    out += util::StringPrintf("\"%s\":",
+                              QueryClassName(static_cast<QueryClass>(c)));
+    out += slo_[static_cast<size_t>(c)]->ToJson();
+  }
+  out += "}";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out += ",\"admission\":{";
+    for (int c = 0; c < kNumQueryClasses; ++c) {
+      QueryClass qc = static_cast<QueryClass>(c);
+      if (c) out += ",";
+      out += util::StringPrintf(
+          "\"%s\":{\"queue_depth\":%zu,\"queue_capacity\":%d,"
+          "\"admitted\":%lld,\"shed\":%lld}",
+          QueryClassName(qc), admission_.QueueDepth(qc),
+          options_.admission.queue_capacity(qc),
+          (long long)admission_.admitted(qc), (long long)admission_.shed(qc));
+    }
+    out += util::StringPrintf(
+        "},\"scheduler\":{\"total_slots\":%d,\"free_slots\":%zu,"
+        "\"running\":%d,\"paused\":%s}",
+        std::max(1, options_.scheduler.total_slots), free_slots_.size(),
+        scheduler_.running_total(), paused_ ? "true" : "false");
+    out += ",\"classes\":{";
+    for (int c = 0; c < kNumQueryClasses; ++c) {
+      QueryClass qc = static_cast<QueryClass>(c);
+      const ClassCounters& cc = counters_[static_cast<size_t>(c)];
+      if (c) out += ",";
+      out += util::StringPrintf(
+          "\"%s\":{\"admitted\":%lld,\"shed\":%lld,\"memory_shed\":%lld,"
+          "\"completed\":%lld,\"failed\":%lld,\"memory_aborted\":%lld,"
+          "\"cancelled\":%lld,\"deadline_missed\":%lld}",
+          QueryClassName(qc), (long long)cc.admitted,
+          (long long)(admission_.shed(qc) + cc.memory_shed),
+          (long long)cc.memory_shed, (long long)cc.completed,
+          (long long)cc.failed, (long long)cc.memory_aborted,
+          (long long)cc.cancelled, (long long)cc.deadline_missed);
+    }
+    out += "}";
+  }
+  out += util::StringPrintf(
+      ",\"trace_store\":{\"recorded\":%lld,\"dropped\":%lld,\"slow\":%lld}}",
+      (long long)trace_store_.total_recorded(),
+      (long long)trace_store_.dropped(), (long long)trace_store_.slow_count());
   return out;
 }
 
@@ -234,6 +329,21 @@ void DrugTreeServer::Execute(PendingRequest req, int slot) {
   util::Result<query::QueryOutcome> result{util::Status::Internal("pending")};
   int64_t end = 0;
   bool deadline_missed = false;
+  // Per-query tracker: stack-local, parented into the session node so every
+  // charge propagates session -> class -> server. Its hard limit is the
+  // per-query budget; its peak is stamped into the trace. Destroyed after
+  // the trace is filed, releasing anything the engine left charged.
+  obs::MemoryTracker* session_tracker =
+      class_trackers_[static_cast<size_t>(cls)]->GetOrCreateChild(
+          util::StringPrintf("session-%llu",
+                             (unsigned long long)req.request.session_id));
+  obs::MemoryTracker query_tracker(
+      util::StringPrintf(
+          "query-%llu", (unsigned long long)next_query_id_.fetch_add(
+                            1, std::memory_order_relaxed)),
+      session_tracker, /*soft_limit_bytes=*/0,
+      static_cast<int64_t>(options_.query_memory_bytes));
+  int64_t cpu_micros = 0;
   {
     obs::ScopedTraceContext installed(trace.get());
     // Inner scope: the server.execute root span closes (and is adopted by
@@ -247,6 +357,7 @@ void DrugTreeServer::Execute(PendingRequest req, int slot) {
                                 req.enqueue_micros, now);
       }
 
+      int64_t cpu_start = obs::ThreadCpuMicros();
       bool already_dead = deadline > 0 && now > deadline;
       if (req.response->cancel_.load(std::memory_order_relaxed)) {
         result = util::Status::Cancelled("cancelled before dispatch");
@@ -258,6 +369,7 @@ void DrugTreeServer::Execute(PendingRequest req, int slot) {
         context.clock = clock_;
         context.deadline_micros = deadline;
         context.cancel = &req.response->cancel_;
+        context.memory = &query_tracker;
         // Slow-query forensics wants the offender's analyzed plan, and we
         // only know a query was slow after it ran — so collect whenever the
         // slow log is armed.
@@ -266,9 +378,12 @@ void DrugTreeServer::Execute(PendingRequest req, int slot) {
         result = planners_[static_cast<size_t>(slot)]->Run(
             req.request.sql, req.request.planner, &context);
       }
+      cpu_micros = obs::ThreadCpuMicros() - cpu_start;
 
       end = clock_->NowMicros();
       deadline_missed = deadline > 0 && end > deadline;
+      slo_[static_cast<size_t>(cls)]->Record(end - req.enqueue_micros,
+                                             result.ok());
       {
         std::lock_guard<std::mutex> lock(mu_);
         ClassCounters& c = counters_[static_cast<size_t>(cls)];
@@ -286,6 +401,7 @@ void DrugTreeServer::Execute(PendingRequest req, int slot) {
           }
         } else {
           ++c.failed;
+          if (result.status().IsResourceExhausted()) ++c.memory_aborted;
           m.failed->Increment();
         }
       }
@@ -297,7 +413,11 @@ void DrugTreeServer::Execute(PendingRequest req, int slot) {
       // taken after that would make timelines nondeterministic.
       trace->AddPhaseInterval(obs::TracePhase::kSerialize, end,
                               clock_->NowMicros());
+      trace->set_peak_memory_bytes(query_tracker.peak());
+      trace->set_cpu_micros(cpu_micros);
       std::string status = result.ok() ? "ok"
+                           : result.status().IsResourceExhausted()
+                               ? "resource_exhausted"
                            : result.status().IsCancelled()
                                ? (deadline_missed ? "deadline" : "cancelled")
                                : result.status().ToString();

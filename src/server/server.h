@@ -26,6 +26,8 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/resource_tracker.h"
+#include "obs/slo_tracker.h"
 #include "obs/trace_store.h"
 #include "query/planner.h"
 #include "query/query_context.h"
@@ -60,6 +62,29 @@ struct ServerOptions {
   /// workers collect analyze stats. 0 = off. Overridden by the
   /// DRUGTREE_SLOW_QUERY_MICROS environment variable when set.
   int64_t slow_query_micros = 0;
+
+  /// Resource accounting. The server owns a tracker hierarchy
+  /// (server -> class -> session -> query); these knobs size its limits.
+  /// Total tracked bytes the server budgets for (root hard limit; charges
+  /// beyond it fail with kResourceExhausted).
+  uint64_t server_memory_bytes = 256 * 1024 * 1024;
+  /// Fraction of server_memory_bytes at which the server is "under memory
+  /// pressure": analytic submissions are shed at admission while
+  /// interactive traffic keeps the remaining headroom as its reserved
+  /// floor.
+  double memory_high_watermark = 0.80;
+  /// Per-query hard limit (tracked operator state + result buffer). A query
+  /// crossing it aborts with kResourceExhausted instead of OOMing the
+  /// process. 0 = unlimited.
+  uint64_t query_memory_bytes = 64 * 1024 * 1024;
+
+  /// Per-class latency SLOs: target latency (enqueue -> completion) and the
+  /// fraction of requests expected to meet it, tracked over a rolling
+  /// window (see obs::SloTracker).
+  int64_t interactive_slo_micros = 50'000;
+  int64_t analytic_slo_micros = 1'000'000;
+  double slo_objective = 0.99;
+  int64_t slo_window_micros = 60'000'000;
 };
 
 /// Shared completion state behind a ResponseHandle. Internal to the serving
@@ -118,6 +143,8 @@ class DrugTreeServer {
     int64_t failed = 0;            // non-cancellation errors
     int64_t cancelled = 0;         // kCancelled (flag or deadline)
     int64_t deadline_missed = 0;   // subset of cancelled: deadline-driven
+    int64_t memory_shed = 0;       // shed at admission under memory pressure
+    int64_t memory_aborted = 0;    // subset of failed: per-query hard limit
   };
 
   /// `catalog` and `clock` are borrowed and must outlive the server. The
@@ -163,6 +190,23 @@ class DrugTreeServer {
 
   ClassCounters counters(QueryClass c) const;
 
+  /// The root of the server's memory-tracker hierarchy. Tests and benches
+  /// use it to inspect usage or to stage deterministic pressure (an
+  /// obs::ScopedMemoryCharge against the root pushes the server over its
+  /// high watermark regardless of execution timing).
+  obs::MemoryTracker* memory_tracker() { return &memory_root_; }
+
+  /// Per-class SLO state (rolling compliance + error-budget burn rate).
+  const obs::SloTracker* slo_tracker(QueryClass c) const {
+    return slo_[static_cast<size_t>(c)].get();
+  }
+
+  /// One-call JSON introspection snapshot: the full memory-tracker tree,
+  /// per-class SLO state, admission queue occupancy, scheduler slots,
+  /// per-class serving counters, and TraceStore totals. Exported by
+  /// `bench_server --statusz`.
+  std::string Statusz();
+
   /// Test/debug hook: record session ids in dispatch order. Off by default
   /// (the log grows per dispatched request).
   void EnableDispatchLog();
@@ -194,6 +238,14 @@ class DrugTreeServer {
   ServerOptions options_;
   obs::TraceStore trace_store_;
   std::atomic<uint64_t> next_trace_id_{1};
+  std::atomic<uint64_t> next_query_id_{1};
+  /// Root of the tracker hierarchy; class nodes are owned children. Session
+  /// nodes are created lazily under their class node; per-query trackers
+  /// are stack-local in Execute() and parent into the session node, so the
+  /// tree only holds long-lived nodes.
+  obs::MemoryTracker memory_root_;
+  std::array<obs::MemoryTracker*, kNumQueryClasses> class_trackers_{};
+  std::array<std::unique_ptr<obs::SloTracker>, kNumQueryClasses> slo_;
   std::unique_ptr<query::ResultCache> result_cache_;
   /// One planner per scheduler slot: a slot is an exclusive token, so its
   /// planner (and any lazily created morsel pool) is never shared.

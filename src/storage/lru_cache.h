@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "obs/metrics.h"
+#include "obs/resource_tracker.h"
 
 namespace drugtree {
 namespace storage {
@@ -49,19 +50,34 @@ class LruCache {
     metric_evictions_ = registry->GetCounter(name + ".evictions");
   }
 
+  /// Mirrors the cache's resident bytes (`used()`) into a MemoryTracker
+  /// node, so cache memory shows up in the server's resource hierarchy.
+  /// Unconditional charges: the cache polices itself by eviction; the
+  /// tracker observes. Pass null to detach. Synchronization follows the
+  /// cache's own contract (callers of the mutating methods serialize).
+  void AttachMemoryTracker(obs::MemoryTracker* tracker) {
+    if (tracker_ != nullptr && used_ > 0) {
+      tracker_->Release(static_cast<int64_t>(used_));
+    }
+    tracker_ = tracker;
+    if (tracker_ != nullptr && used_ > 0) {
+      tracker_->Charge(static_cast<int64_t>(used_));
+    }
+  }
+
   /// Inserts or overwrites. charge must be >= 1. Entries larger than the
   /// whole capacity are not cached.
   void Put(const K& key, V value, uint64_t charge = 1) {
     if (charge > capacity_) return;
     auto it = map_.find(key);
     if (it != map_.end()) {
-      used_ -= it->second.charge;
+      SubUsed(it->second.charge);
       order_.erase(it->second.pos);
       map_.erase(it);
     }
     order_.push_front(key);
     map_.emplace(key, Entry{std::move(value), charge, order_.begin()});
-    used_ += charge;
+    AddUsed(charge);
     ++stats_.insertions;
     EvictIfNeeded();
   }
@@ -89,7 +105,7 @@ class LruCache {
   void Erase(const K& key) {
     auto it = map_.find(key);
     if (it == map_.end()) return;
-    used_ -= it->second.charge;
+    SubUsed(it->second.charge);
     order_.erase(it->second.pos);
     map_.erase(it);
   }
@@ -97,7 +113,7 @@ class LruCache {
   void Clear() {
     map_.clear();
     order_.clear();
-    used_ = 0;
+    SubUsed(used_);
   }
 
   /// Visits every (key, value) pair in unspecified order (no recency
@@ -123,12 +139,21 @@ class LruCache {
     while (used_ > capacity_ && !order_.empty()) {
       const K& victim = order_.back();
       auto it = map_.find(victim);
-      used_ -= it->second.charge;
+      SubUsed(it->second.charge);
       map_.erase(it);
       order_.pop_back();
       ++stats_.evictions;
       if (metric_evictions_ != nullptr) metric_evictions_->Increment();
     }
+  }
+
+  void AddUsed(uint64_t charge) {
+    used_ += charge;
+    if (tracker_ != nullptr) tracker_->Charge(static_cast<int64_t>(charge));
+  }
+  void SubUsed(uint64_t charge) {
+    used_ -= charge;
+    if (tracker_ != nullptr) tracker_->Release(static_cast<int64_t>(charge));
   }
 
   uint64_t capacity_;
@@ -139,6 +164,7 @@ class LruCache {
   obs::Counter* metric_hits_ = nullptr;
   obs::Counter* metric_misses_ = nullptr;
   obs::Counter* metric_evictions_ = nullptr;
+  obs::MemoryTracker* tracker_ = nullptr;  // mirrors used(); may be null
 };
 
 }  // namespace storage

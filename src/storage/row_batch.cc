@@ -282,5 +282,24 @@ void RowBatch::EmitRowsTo(std::vector<Row>* out) const {
   }
 }
 
+uint64_t ColumnVector::ApproxBytes() const {
+  uint64_t bytes = sizeof(ColumnVector) + null_words_.size() * 8;
+  bytes += bools_.size();
+  bytes += ints_.size() * 8;
+  bytes += doubles_.size() * 8;
+  for (const auto& s : strings_) bytes += sizeof(std::string) + s.size();
+  for (const auto& v : values_) {
+    bytes += 16;
+    if (v.type() == ValueType::kString) bytes += v.AsString().size();
+  }
+  return bytes;
+}
+
+uint64_t RowBatch::ApproxBytes() const {
+  uint64_t bytes = sizeof(RowBatch) + sel_.size() * sizeof(uint32_t);
+  for (const auto& c : columns_) bytes += c.ApproxBytes();
+  return bytes;
+}
+
 }  // namespace storage
 }  // namespace drugtree

@@ -114,6 +114,12 @@ class ColumnVector {
   /// slots directly instead of round-tripping each cell through Value.
   void GatherFrom(const ColumnVector& src, const uint32_t* idx, size_t n);
 
+  /// Estimated resident bytes of this column (payload + null bitmap).
+  /// Typed numeric columns are O(1); string/mixed columns walk their
+  /// payloads — only call on accounting paths (a memory tracker is
+  /// installed), never per cell.
+  uint64_t ApproxBytes() const;
+
  private:
   void SetNullBit(size_t i) {
     null_words_[i >> 6] |= uint64_t{1} << (i & 63);
@@ -180,6 +186,10 @@ class RowBatch {
   /// Appends all logical rows to `out` (the executor's batch -> result
   /// conversion).
   void EmitRowsTo(std::vector<Row>* out) const;
+
+  /// Estimated resident bytes across all columns plus the selection vector
+  /// (see ColumnVector::ApproxBytes for cost).
+  uint64_t ApproxBytes() const;
 
  private:
   std::vector<ColumnVector> columns_;

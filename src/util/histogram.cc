@@ -93,7 +93,11 @@ double Histogram::Mean() const {
 
 double Histogram::Percentile(double p) const {
   if (count_ == 0) return 0.0;
-  p = std::clamp(p, 0.0, 100.0);
+  // Exact edge answers: p0 is the observed minimum and p100 the observed
+  // maximum (bucket interpolation would only blur them), and they also make
+  // the single-observation case return the value itself at every p.
+  if (p <= 0.0) return min_;
+  if (p >= 100.0) return max_;
   double target = p / 100.0 * static_cast<double>(count_);
   int64_t cum = 0;
   const auto& bounds = BucketBounds();

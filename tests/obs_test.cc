@@ -11,6 +11,8 @@
 
 #include "obs/explain.h"
 #include "obs/metrics.h"
+#include "obs/resource_tracker.h"
+#include "obs/slo_tracker.h"
 #include "obs/trace.h"
 #include "obs/trace_context.h"
 #include "obs/trace_store.h"
@@ -538,6 +540,227 @@ TEST(TailAttributionTest, SharesSumToOneWithExecuteNetOfFetch) {
   for (double s : attr[0].share) sum += s;
   EXPECT_NEAR(sum, 1.0, 1e-9);
   EXPECT_NE(attr[0].ToString().find("queue_wait"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Memory tracker hierarchy
+// ---------------------------------------------------------------------------
+
+TEST(MemoryTrackerTest, ChargePropagatesUpAndReleaseUnwinds) {
+  obs::MemoryTracker root("server");
+  obs::MemoryTracker* cls = root.GetOrCreateChild("interactive");
+  obs::MemoryTracker* session = cls->GetOrCreateChild("session-1");
+
+  EXPECT_TRUE(session->TryCharge(1000).ok());
+  EXPECT_EQ(session->used(), 1000);
+  EXPECT_EQ(cls->used(), 1000);
+  EXPECT_EQ(root.used(), 1000);
+
+  session->Release(400);
+  EXPECT_EQ(session->used(), 600);
+  EXPECT_EQ(root.used(), 600);
+  session->Release(600);
+  EXPECT_EQ(root.used(), 0);
+  // Peak watermarks survive the release.
+  EXPECT_EQ(session->peak(), 1000);
+  EXPECT_EQ(root.peak(), 1000);
+}
+
+TEST(MemoryTrackerTest, HardLimitFailsChargeAndRollsBackWholeChain) {
+  obs::MemoryTracker root("server");
+  obs::MemoryTracker* child =
+      root.GetOrCreateChild("limited", /*soft_limit_bytes=*/0,
+                            /*hard_limit_bytes=*/1000);
+  EXPECT_TRUE(child->TryCharge(800).ok());
+  util::Status s = child->TryCharge(300);
+  EXPECT_TRUE(s.IsResourceExhausted());
+  // The failed charge must leave every level exactly where it was.
+  EXPECT_EQ(child->used(), 800);
+  EXPECT_EQ(root.used(), 800);
+  // Peak reflects only successful charges.
+  EXPECT_EQ(child->peak(), 800);
+}
+
+TEST(MemoryTrackerTest, HardLimitOnAncestorRollsBackDescendantCharge) {
+  obs::MemoryTracker root("server", nullptr, /*soft_limit_bytes=*/0,
+                          /*hard_limit_bytes=*/1000);
+  obs::MemoryTracker* child = root.GetOrCreateChild("query");
+  EXPECT_TRUE(child->TryCharge(900).ok());
+  EXPECT_TRUE(child->TryCharge(200).IsResourceExhausted());
+  EXPECT_EQ(child->used(), 900);
+  EXPECT_EQ(root.used(), 900);
+}
+
+TEST(MemoryTrackerTest, SoftLimitObservableButNeverBlocks) {
+  obs::MemoryTracker t("server", nullptr, /*soft_limit_bytes=*/100);
+  EXPECT_FALSE(t.OverSoftLimit());
+  EXPECT_TRUE(t.TryCharge(100).ok());
+  EXPECT_TRUE(t.OverSoftLimit());
+  EXPECT_TRUE(t.TryCharge(100).ok());  // soft limit sheds, it doesn't fail
+  t.Release(200);
+  EXPECT_FALSE(t.OverSoftLimit());
+}
+
+TEST(MemoryTrackerTest, ScopedChargeAndDestructorReleaseBalanceParent) {
+  obs::MemoryTracker root("server");
+  {
+    obs::ScopedMemoryCharge charge(&root, 5000);
+    EXPECT_EQ(root.used(), 5000);
+  }
+  EXPECT_EQ(root.used(), 0);
+  {
+    // A child destroyed with outstanding usage returns it to the parent.
+    obs::MemoryTracker local("query", &root);
+    EXPECT_TRUE(local.TryCharge(700).ok());
+    EXPECT_EQ(root.used(), 700);
+  }
+  EXPECT_EQ(root.used(), 0);
+  EXPECT_EQ(root.peak(), 5000);
+}
+
+TEST(MemoryTrackerTest, GetOrCreateChildDedupesAndToJsonNestsChildren) {
+  obs::MemoryTracker root("server");
+  obs::MemoryTracker* a = root.GetOrCreateChild("interactive");
+  EXPECT_EQ(a, root.GetOrCreateChild("interactive"));
+  obs::MemoryTracker* b = root.GetOrCreateChild("analytic");
+  ASSERT_TRUE(b->TryCharge(42).ok());
+  std::string json = root.ToJson();
+  EXPECT_NE(json.find("\"name\":\"server\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"interactive\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"analytic\""), std::string::npos);
+  EXPECT_NE(json.find("\"used\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"children\":["), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// SLO tracker
+// ---------------------------------------------------------------------------
+
+TEST(SloTrackerTest, BurnRateAndComplianceMatchRecordedOutcomes) {
+  util::SimulatedClock clock;
+  clock.AdvanceMicros(1'000'000);
+  obs::SloOptions opts;
+  opts.target_latency_micros = 10'000;
+  opts.objective = 0.9;  // error budget = 10%
+  opts.window_micros = 60'000'000;
+  obs::SloTracker slo("test-class", opts, &clock);
+
+  // 8 good, 1 slow-but-ok (bad), 1 failed (bad) -> 20% bad, burn = 2.0.
+  for (int i = 0; i < 8; ++i) slo.Record(5'000, /*ok=*/true);
+  slo.Record(50'000, /*ok=*/true);
+  slo.Record(5'000, /*ok=*/false);
+
+  obs::SloTracker::Snapshot snap = slo.GetSnapshot();
+  EXPECT_EQ(snap.window_total, 10);
+  EXPECT_EQ(snap.window_good, 8);
+  EXPECT_EQ(snap.window_bad, 2);
+  EXPECT_DOUBLE_EQ(snap.compliance, 0.8);
+  EXPECT_NEAR(snap.burn_rate, 2.0, 1e-9);
+  EXPECT_EQ(snap.total, 10);
+
+  std::string json = slo.ToJson();
+  EXPECT_NE(json.find("\"name\":\"test-class\""), std::string::npos);
+  EXPECT_NE(json.find("\"window_total\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"burn_rate\""), std::string::npos);
+}
+
+TEST(SloTrackerTest, WindowExpiresOldBucketsCumulativeDoesNot) {
+  util::SimulatedClock clock;
+  obs::SloOptions opts;
+  opts.target_latency_micros = 10'000;
+  opts.objective = 0.99;
+  opts.window_micros = 10'000'000;  // 10s window,
+  opts.num_buckets = 10;            // 1s buckets
+  obs::SloTracker slo("test-window", opts, &clock);
+
+  slo.Record(5'000, /*ok=*/false);  // bad, at t=0
+  EXPECT_EQ(slo.GetSnapshot().window_bad, 1);
+
+  // Advance past the whole window; the bad outcome ages out of the rolling
+  // view but stays in the cumulative totals.
+  clock.AdvanceMicros(20'000'000);
+  obs::SloTracker::Snapshot snap = slo.GetSnapshot();
+  EXPECT_EQ(snap.window_total, 0);
+  EXPECT_EQ(snap.window_bad, 0);
+  EXPECT_DOUBLE_EQ(snap.compliance, 1.0);  // idle window = compliant
+  EXPECT_DOUBLE_EQ(snap.burn_rate, 0.0);
+  EXPECT_EQ(snap.total, 1);
+  EXPECT_EQ(snap.bad, 1);
+}
+
+// ---------------------------------------------------------------------------
+// TraceStore ring wraparound (regression pin)
+// ---------------------------------------------------------------------------
+
+TEST(TraceStoreTest, WraparoundKeepsNewestPerShardSortedWithDropAccounting) {
+  // capacity 16 over 8 shards = 2 records per shard. All trace ids are
+  // multiples of 8, so every record lands in shard 0 and the third record
+  // starts overwriting. The ring must retain the NEWEST records and
+  // Snapshot() must come back begin-time-sorted after wraparound.
+  obs::TraceStore store(/*capacity=*/16);
+  const uint64_t ids[] = {8, 16, 24, 32, 40};
+  int64_t begin = 100;
+  for (uint64_t id : ids) {
+    store.Record(MakeTraceRecord(id, "interactive", begin, /*total=*/10));
+    begin += 100;
+  }
+  EXPECT_EQ(store.total_recorded(), 5);
+  EXPECT_EQ(store.dropped(), 3);  // 5 filed into a 2-slot shard
+  std::vector<obs::TraceRecord> snap = store.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  // Oldest-first eviction: survivors are the last two records, in begin
+  // order (id 32 began at 400, id 40 at 500).
+  EXPECT_EQ(snap[0].trace_id, 32u);
+  EXPECT_EQ(snap[1].trace_id, 40u);
+  EXPECT_LT(snap[0].begin_micros, snap[1].begin_micros);
+}
+
+TEST(TraceStoreTest, CeilingCapacitySplitNeverUndersizesStore) {
+  // capacity 12 over 8 shards must hold at least 12 records (2 per shard),
+  // not the 8 a truncating split would keep.
+  obs::TraceStore store(/*capacity=*/12);
+  for (uint64_t id = 0; id < 12; ++id) {
+    store.Record(MakeTraceRecord(id, "interactive",
+                                 static_cast<int64_t>(id), /*total=*/10));
+  }
+  EXPECT_EQ(store.dropped(), 0);
+  EXPECT_EQ(store.Snapshot().size(), 12u);
+}
+
+// ---------------------------------------------------------------------------
+// HistogramMetric percentile edge cases
+// ---------------------------------------------------------------------------
+
+TEST(MetricRegistryTest, HistogramPercentileEdgeCases) {
+  MetricRegistry registry;
+  obs::HistogramMetric* empty = registry.GetHistogram("test.empty");
+  EXPECT_DOUBLE_EQ(empty->ValueAtPercentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(empty->ValueAtPercentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(empty->ValueAtPercentile(100), 0.0);
+
+  // A single observation: every percentile is that observation, exactly
+  // (p0 -> min, p100 -> max, no bucket-interpolation artifacts).
+  obs::HistogramMetric* one = registry.GetHistogram("test.single");
+  one->Observe(42.0);
+  EXPECT_DOUBLE_EQ(one->ValueAtPercentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(one->ValueAtPercentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(one->ValueAtPercentile(100), 42.0);
+
+  // All mass in one bucket: p0/p100 pin to the true min/max even though
+  // the bucket spans a wider range.
+  obs::HistogramMetric* same = registry.GetHistogram("test.samebucket");
+  same->Observe(100.0);
+  same->Observe(100.5);
+  same->Observe(101.0);
+  EXPECT_DOUBLE_EQ(same->ValueAtPercentile(0), 100.0);
+  EXPECT_DOUBLE_EQ(same->ValueAtPercentile(100), 101.0);
+  double p50 = same->ValueAtPercentile(50);
+  EXPECT_GE(p50, 100.0);
+  EXPECT_LE(p50, 126.0);  // within the 1.25x bucket above 100
+
+  // Out-of-range p clamps to the data extremes.
+  EXPECT_DOUBLE_EQ(same->ValueAtPercentile(-5), 100.0);
+  EXPECT_DOUBLE_EQ(same->ValueAtPercentile(250), 101.0);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <memory>
 #include <set>
@@ -13,6 +14,8 @@
 #include <vector>
 
 #include "core/drugtree.h"
+#include "obs/resource_tracker.h"
+#include "obs/slo_tracker.h"
 #include "obs/trace_context.h"
 #include "obs/trace_store.h"
 #include "server/server.h"
@@ -408,6 +411,166 @@ TEST_F(ServerTest, TailAttributionReportCoversServedClasses) {
   EXPECT_NE(report.find("interactive"), std::string::npos);
   EXPECT_NE(report.find("analytic"), std::string::npos);
   EXPECT_NE(report.find("queue_wait"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Resource accounting: per-query limits, memory-pressure admission, SLOs
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerTest, QueryOverHardLimitAbortsCleanlyAndServerSurvives) {
+  ServerOptions options;
+  options.query_memory_bytes = 4 * 1024;  // far below the sort's state
+  auto server = dt_->MakeServer(options);
+
+  // The full-table sort materializes every activity row into tracked
+  // operator state, blowing the 4 KiB per-query budget.
+  auto result = server->Submit(
+      Analytic(1, "SELECT * FROM activities ORDER BY affinity_nm"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsResourceExhausted()) << result.status();
+
+  // The abort is per-query, not per-server: a small query still runs, and
+  // the aborted query's charges were fully unwound.
+  auto small = server->Submit(Interactive(2, "SELECT COUNT(*) FROM proteins"));
+  EXPECT_TRUE(small.ok()) << small.status();
+  server->Drain();
+  EXPECT_EQ(server->memory_tracker()->used(), 0);
+
+  auto c = server->counters(QueryClass::kAnalytic);
+  EXPECT_EQ(c.failed, 1);
+  EXPECT_EQ(c.memory_aborted, 1);
+  EXPECT_EQ(c.shed, 0);
+
+  // The trace names the abort cause and carries the peak the query reached.
+  std::vector<obs::TraceRecord> records = server->trace_store()->Snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].status, "resource_exhausted");
+  EXPECT_FALSE(records[0].ok);
+  // The failed charge is rolled back, so the recorded peak only covers
+  // bytes that actually resided — never more than the budget.
+  EXPECT_LE(records[0].peak_memory_bytes,
+            static_cast<int64_t>(options.query_memory_bytes));
+  EXPECT_EQ(records[1].status, "ok");
+}
+
+TEST_F(ServerTest, MemoryPressureShedsAnalyticKeepsInteractive) {
+  auto server = dt_->MakeServer();
+  obs::MemoryTracker* root = server->memory_tracker();
+  const int64_t soft = root->soft_limit_bytes();
+  ASSERT_GT(soft, 0);
+  {
+    // Stage deterministic pressure: park the root just over its high
+    // watermark without touching execution timing.
+    obs::ScopedMemoryCharge pressure(root, soft + 1024);
+    ASSERT_TRUE(root->OverSoftLimit());
+
+    // Analytic work is shed at admission with a caller-visible status...
+    auto analytic = server->Submit(Analytic(1, CheapSql()));
+    ASSERT_FALSE(analytic.ok());
+    EXPECT_TRUE(analytic.status().IsResourceExhausted()) << analytic.status();
+
+    // ...while interactive traffic keeps the reserved floor.
+    auto interactive = server->Submit(Interactive(2, CheapSql()));
+    EXPECT_TRUE(interactive.ok()) << interactive.status();
+  }
+  server->Drain();
+
+  auto ca = server->counters(QueryClass::kAnalytic);
+  EXPECT_EQ(ca.memory_shed, 1);
+  EXPECT_EQ(ca.shed, 1);
+  EXPECT_EQ(ca.admitted, 0);
+  auto ci = server->counters(QueryClass::kInteractive);
+  EXPECT_EQ(ci.memory_shed, 0);
+  EXPECT_EQ(ci.completed, 1);
+
+  // A memory shed is a bad SLO outcome and is traced distinctly from a
+  // queue-capacity shed.
+  EXPECT_EQ(server->slo_tracker(QueryClass::kAnalytic)->GetSnapshot().bad, 1);
+  bool saw_memory_shed = false;
+  for (const auto& r : server->trace_store()->Snapshot()) {
+    if (r.status == "shed_memory") saw_memory_shed = true;
+  }
+  EXPECT_TRUE(saw_memory_shed);
+
+  // Pressure released: analytic admits again.
+  EXPECT_FALSE(root->OverSoftLimit());
+  EXPECT_TRUE(server->Submit(Analytic(3, CheapSql())).ok());
+}
+
+TEST_F(ServerTest, PeakMemoryAndSloNumbersAreDeterministicOnVirtualClock) {
+  struct RunResult {
+    std::vector<int64_t> peaks;  // by trace_id
+    obs::SloTracker::Snapshot interactive;
+    obs::SloTracker::Snapshot analytic;
+  };
+  auto run_once = [&]() {
+    ServerOptions options;
+    options.worker_threads = 1;
+    options.scheduler.total_slots = 1;
+    auto server = dt_->MakeServer(options);
+    server->Pause();
+    std::vector<ResponseHandle> handles;
+    for (int i = 0; i < 3; ++i) {
+      handles.push_back(server->SubmitAsync(
+          Interactive(10 + static_cast<uint64_t>(i), CheapSql())));
+    }
+    handles.push_back(server->SubmitAsync(
+        Analytic(20, "SELECT * FROM activities ORDER BY affinity_nm")));
+    handles.push_back(server->SubmitAsync(Analytic(
+        21,
+        "SELECT p.accession, COUNT(*) FROM proteins p, activities a "
+        "WHERE p.accession = a.accession GROUP BY p.accession")));
+    clock_->AdvanceMicros(10'000);
+    server->Resume();
+    for (auto& h : handles) EXPECT_TRUE(h.Wait().ok());
+    server->Drain();
+
+    RunResult out;
+    std::vector<obs::TraceRecord> records = server->trace_store()->Snapshot();
+    std::sort(records.begin(), records.end(),
+              [](const obs::TraceRecord& a, const obs::TraceRecord& b) {
+                return a.trace_id < b.trace_id;
+              });
+    for (const auto& r : records) out.peaks.push_back(r.peak_memory_bytes);
+    out.interactive =
+        server->slo_tracker(QueryClass::kInteractive)->GetSnapshot();
+    out.analytic = server->slo_tracker(QueryClass::kAnalytic)->GetSnapshot();
+    return out;
+  };
+
+  RunResult first = run_once();
+  RunResult second = run_once();
+
+  // Tracked memory is charged from row sizes and operator state — virtual
+  // quantities — so identical workloads must produce bit-identical peaks.
+  ASSERT_EQ(first.peaks.size(), 5u);
+  EXPECT_EQ(first.peaks, second.peaks);
+  int64_t max_peak = *std::max_element(first.peaks.begin(), first.peaks.end());
+  EXPECT_GT(max_peak, 0);
+
+  // Same for the SLO arithmetic (EXPECT_EQ on doubles: exact equality).
+  EXPECT_EQ(first.interactive.window_total, 3);
+  EXPECT_EQ(first.analytic.window_total, 2);
+  EXPECT_EQ(first.interactive.window_good, second.interactive.window_good);
+  EXPECT_EQ(first.interactive.compliance, second.interactive.compliance);
+  EXPECT_EQ(first.interactive.burn_rate, second.interactive.burn_rate);
+  EXPECT_EQ(first.analytic.window_good, second.analytic.window_good);
+  EXPECT_EQ(first.analytic.compliance, second.analytic.compliance);
+  EXPECT_EQ(first.analytic.burn_rate, second.analytic.burn_rate);
+}
+
+TEST_F(ServerTest, StatuszExposesTrackersSlosAndOccupancy) {
+  auto server = dt_->MakeServer();
+  ASSERT_TRUE(server->Submit(Interactive(1, CheapSql())).ok());
+  server->Drain();
+  std::string json = server->Statusz();
+  for (const char* key :
+       {"\"memory\"", "\"slo\"", "\"admission\"", "\"scheduler\"",
+        "\"classes\"", "\"trace_store\"", "\"name\":\"server\"",
+        "\"interactive\"", "\"analytic\"", "\"burn_rate\"",
+        "\"total_slots\"", "\"recorded\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
 }
 
 }  // namespace

@@ -123,6 +123,46 @@ TEST(HistogramTest, PercentileBoundsClamped) {
   EXPECT_LE(h.Percentile(100), 10.0);
 }
 
+TEST(HistogramTest, EmptyPercentileIsZeroAtEveryP) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 0.0);
+}
+
+TEST(HistogramTest, SingleObservationIsEveryPercentile) {
+  Histogram h;
+  h.Add(42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 42.0);
+}
+
+TEST(HistogramTest, PercentileEdgesAreExactMinMax) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  // p0/p100 must be the observed extremes, not bucket-interpolated values.
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 100.0);
+  // Out-of-range p clamps to the same answers.
+  EXPECT_DOUBLE_EQ(h.Percentile(-10), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(150), 100.0);
+}
+
+TEST(HistogramTest, SingleBucketMassStaysWithinObservedRange) {
+  // 100, 100.5, 101 share one geometric bucket (1.25^20 ~ 86.7 to
+  // 1.25^21 ~ 108.4); interpolation must clamp into [min, max].
+  Histogram h;
+  h.Add(100.0);
+  h.Add(100.5);
+  h.Add(101.0);
+  for (double p : {0.0, 25.0, 50.0, 75.0, 100.0}) {
+    double v = h.Percentile(p);
+    EXPECT_GE(v, 100.0) << "p=" << p;
+    EXPECT_LE(v, 101.0) << "p=" << p;
+  }
+}
+
 TEST(HistogramTest, MergeCombines) {
   Histogram a, b;
   for (int i = 0; i < 100; ++i) a.Add(1);
