@@ -27,7 +27,9 @@ if [[ ! -d "${BUILD_DIR}" ]]; then
 fi
 SMOKE="${BENCH_SMOKE:-1}"
 SMOKE_TARGET=""
-if [[ "${SMOKE}" == "1" ]]; then SMOKE_TARGET="bench_vectorized_smoke"; fi
+if [[ "${SMOKE}" == "1" ]]; then
+  SMOKE_TARGET="bench_vectorized_smoke bench_encoding"
+fi
 # shellcheck disable=SC2086
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
   --target ${BENCH_LIST} ${SMOKE_TARGET}
@@ -43,6 +45,11 @@ if [[ "${SMOKE}" == "1" ]]; then
   echo "== bench_vectorized_smoke -> ${OUT_DIR}/BENCH_bench_vectorized_smoke.txt"
   "${BUILD_DIR}/bench/bench_vectorized_smoke" \
     | tee "${OUT_DIR}/BENCH_bench_vectorized_smoke.txt"
+  # E13 encoding sweep: compression ratios are deterministic; timings vary
+  # with the machine but the recorded speedups show the trajectory.
+  echo "== bench_encoding -> ${OUT_DIR}/BENCH_bench_encoding.txt"
+  "${BUILD_DIR}/bench/bench_encoding" \
+    | tee "${OUT_DIR}/BENCH_bench_encoding.txt"
 fi
 
 # E12 memory-pressure saturation sweep: virtual clock, so the recorded

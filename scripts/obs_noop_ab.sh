@@ -36,7 +36,7 @@ if [[ ! -d "${OFF_DIR}" ]]; then
   cmake -B "${OFF_DIR}" -S . -DCMAKE_BUILD_TYPE=Release -DDRUGTREE_OBS_NOOP=ON
 fi
 cmake --build "${ON_DIR}" -j "$(nproc)" \
-  --target bench_tree_query bench_vectorized_smoke
+  --target bench_tree_query bench_vectorized_smoke bench_encoding
 cmake --build "${OFF_DIR}" -j "$(nproc)" --target bench_tree_query
 
 SCRATCH="$(mktemp -d)"
@@ -94,3 +94,6 @@ EOF
 
 echo "== memory-tracker fast-path gate (budget +${DRUGTREE_TRACKER_BUDGET_PCT:-5}%)"
 DRUGTREE_SMOKE_TRACKED=1 "${ON_DIR}/bench/bench_vectorized_smoke"
+
+echo "== encoded-scan tracker gate (budget +${DRUGTREE_TRACKER_BUDGET_PCT:-5}%)"
+DRUGTREE_ENCODED_TRACKED=1 "${ON_DIR}/bench/bench_encoding"

@@ -10,9 +10,11 @@ cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
 cmake -B build-asan -S . -DDRUGTREE_SANITIZE=address
-cmake --build build-asan -j "$(nproc)" --target obs_test query_batch_test
+cmake --build build-asan -j "$(nproc)" \
+  --target obs_test query_batch_test storage_encoding_test
 ./build-asan/tests/obs_test
 ./build-asan/tests/query_batch_test
+./build-asan/tests/storage_encoding_test
 
 # TSan smoke of the concurrency-bearing paths: the thread pool itself, the
 # multi-channel network + windowed mediator, morsel-parallel execution, the
@@ -32,11 +34,16 @@ cmake --build build-tsan -j "$(nproc)" \
 # and cover every exported surface (tracker tree, SLOs, occupancy, traces).
 scripts/statusz_check.sh build
 
-# Release-build throughput smoke: the columnar batch engine must never be
-# slower than the row engine on the scan-filter-project workload it targets.
+# Release-build throughput smokes: the columnar batch engine must never be
+# slower than the row engine on the scan-filter-project workload it targets,
+# and encoded segments must hit >=2x compression on dict/RLE-friendly
+# columns and never lose to the plain batch path on low-cardinality
+# predicates.
 cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-rel -j "$(nproc)" --target bench_vectorized_smoke
+cmake --build build-rel -j "$(nproc)" \
+  --target bench_vectorized_smoke bench_encoding
 ./build-rel/bench/bench_vectorized_smoke
+./build-rel/bench/bench_encoding
 
 # Tracing overhead A/B gate: the instrumented Release build (with trace
 # capture on) must stay within budget of the DRUGTREE_OBS_NOOP build. Also

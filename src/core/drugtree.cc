@@ -147,7 +147,25 @@ util::Status DrugTree::FinishWiring(uint64_t result_cache_bytes) {
 
   result_cache_ = std::make_unique<query::ResultCache>(result_cache_bytes);
   planner_ = std::make_unique<query::Planner>(&catalog_, result_cache_.get());
+  // Compress the now-immutable base tables; scans run directly on the
+  // encoded form until the next mutation marks a snapshot stale.
+  DRUGTREE_RETURN_IF_ERROR(BuildEncodedSegments());
   return util::Status::OK();
+}
+
+util::Status DrugTree::BuildEncodedSegments() {
+  for (const auto& [name, table] : catalog_.tables()) {
+    (void)name;
+    DRUGTREE_RETURN_IF_ERROR(table->BuildEncodedSegments());
+  }
+  return util::Status::OK();
+}
+
+void DrugTree::DropEncodedSegments() {
+  for (const auto& [name, table] : catalog_.tables()) {
+    (void)name;
+    table->DropEncodedSegments();
+  }
 }
 
 namespace {

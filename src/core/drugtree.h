@@ -89,6 +89,18 @@ class DrugTree {
                            const std::string& ligand_id, double affinity_nm,
                            const std::string& assay_type = "IC50");
 
+  // Storage encodings ----------------------------------------------------
+
+  /// (Re)builds compressed columnar segments for every catalog table.
+  /// Called automatically at wiring time; call again after bulk mutations
+  /// (AddActivity marks snapshots stale, which silently falls scans back to
+  /// the plain row path until the next rebuild).
+  util::Status BuildEncodedSegments();
+
+  /// Drops all encoded snapshots; scans revert to the plain paths. Benches
+  /// use this as the uncompressed control arm.
+  void DropEncodedSegments();
+
   // Persistence ---------------------------------------------------------
 
   /// Writes a self-contained snapshot (the three integrated base tables

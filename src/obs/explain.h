@@ -21,6 +21,10 @@ struct ExplainNode {
   int64_t next_calls = 0;      // Next()/NextBatch() invocations (one per
                                // batch under vectorized execution)
   int64_t batches = 0;         // batches produced (0 on pure row paths)
+  int64_t bytes_scanned = 0;   // bytes read from storage: encoded segment
+                               // bytes on the encoded scan path, decoded
+                               // batch bytes on the plain batch path
+                               // (0 on row paths and non-scan operators)
   int64_t elapsed_micros = 0;  // cumulative time inside Open()+Next(),
                                // inclusive of children (Postgres-style)
   std::vector<ExplainNode> children;

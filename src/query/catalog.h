@@ -38,6 +38,12 @@ class Catalog {
 
   util::Result<storage::Table*> Lookup(const std::string& name) const;
 
+  /// All registered tables by name (e.g. for server-wide footprint
+  /// accounting or bulk encoded-segment builds).
+  const std::map<std::string, storage::Table*>& tables() const {
+    return tables_;
+  }
+
   /// Attaches the phylogeny used by tree functions and rewrites.
   void SetTree(const phylo::Tree* tree, const phylo::TreeIndex* index) {
     tree_ = tree;

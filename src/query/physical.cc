@@ -67,6 +67,69 @@ int64_t ApproxRowBytes(const Row& row) {
 /// per row.
 constexpr int64_t kChargeChunkBytes = 64 * 1024;
 
+/// Maps a comparison BinaryOp to the storage layer's CompareOp; false for
+/// non-comparison operators.
+bool ToCompareOp(BinaryOp op, storage::CompareOp* out) {
+  switch (op) {
+    case BinaryOp::kEq: *out = storage::CompareOp::kEq; return true;
+    case BinaryOp::kNe: *out = storage::CompareOp::kNe; return true;
+    case BinaryOp::kLt: *out = storage::CompareOp::kLt; return true;
+    case BinaryOp::kLe: *out = storage::CompareOp::kLe; return true;
+    case BinaryOp::kGt: *out = storage::CompareOp::kGt; return true;
+    case BinaryOp::kGe: *out = storage::CompareOp::kGe; return true;
+    default: return false;
+  }
+}
+
+/// Mirror of a comparison across `literal OP column` -> `column OP' literal`.
+storage::CompareOp FlipCompareOp(storage::CompareOp op) {
+  switch (op) {
+    case storage::CompareOp::kLt: return storage::CompareOp::kGt;
+    case storage::CompareOp::kLe: return storage::CompareOp::kGe;
+    case storage::CompareOp::kGt: return storage::CompareOp::kLt;
+    case storage::CompareOp::kGe: return storage::CompareOp::kLe;
+    default: return op;  // kEq / kNe are symmetric
+  }
+}
+
+/// Translates a scan predicate into encoded-executable clauses. Succeeds
+/// only when the ENTIRE predicate is a conjunction of (column cmp literal)
+/// clauses — partial translation would change error semantics (an encoded
+/// clause could skip rows on which a residual clause would have raised,
+/// e.g. a division by zero). A null predicate translates to zero clauses.
+/// The scan schema mirrors the table's column order, so bound indices are
+/// table column indices.
+bool TranslateEncodedPredicate(const Expr* pred, const ExprPtr& pred_owner,
+                               std::vector<storage::EncodedPredicate>* out) {
+  out->clear();
+  if (pred == nullptr) return true;
+  for (const ExprPtr& clause : SplitConjuncts(pred_owner)) {
+    if (clause->kind != ExprKind::kBinary || clause->children.size() != 2) {
+      return false;
+    }
+    storage::CompareOp op;
+    if (!ToCompareOp(clause->bin_op, &op)) return false;
+    const Expr* l = clause->children[0].get();
+    const Expr* r = clause->children[1].get();
+    const Expr* col;
+    const Expr* lit;
+    if (l->kind == ExprKind::kColumnRef && r->kind == ExprKind::kLiteral) {
+      col = l;
+      lit = r;
+    } else if (l->kind == ExprKind::kLiteral &&
+               r->kind == ExprKind::kColumnRef) {
+      col = r;
+      lit = l;
+      op = FlipCompareOp(op);
+    } else {
+      return false;
+    }
+    if (col->bound_index < 0) return false;
+    out->push_back({static_cast<size_t>(col->bound_index), op, lit->literal});
+  }
+  return true;
+}
+
 }  // namespace
 
 PhysicalOperator::~PhysicalOperator() {
@@ -219,6 +282,7 @@ obs::ExplainNode PhysicalOperator::AnalyzeTree() const {
   node.rows_out = op_stats_.rows_out;
   node.next_calls = op_stats_.next_calls;
   node.batches = op_stats_.batches;
+  node.bytes_scanned = op_stats_.bytes_scanned;
   node.elapsed_micros = op_stats_.elapsed_micros;
   for (const auto* c : explain_children_) {
     node.children.push_back(c->AnalyzeTree());
@@ -246,6 +310,20 @@ util::Status SeqScanOp::OpenImpl() {
   mcursor_ = 0;
   materialized_ = false;
   matches_.clear();
+  encoded_ = nullptr;
+  enc_clauses_.clear();
+  enc_seg_ = 0;
+  enc_pos_ = 0;
+  enc_matches_.clear();
+  // Encoded fast path: only on the batch driver, only when the table has a
+  // fresh encoded snapshot, and only when the whole predicate translates to
+  // (column cmp literal) conjuncts — anything else falls back to the plain
+  // paths, which are exact by construction.
+  if (batch_size() > 1 && table_->encoded() != nullptr &&
+      TranslateEncodedPredicate(predicate_.get(), predicate_, &enc_clauses_)) {
+    encoded_ = table_->encoded();
+    return util::Status::OK();
+  }
   if (par_.enabled() && predicate_ &&
       static_cast<size_t>(table_->NumRows()) >= 2 * par_.morsel_rows) {
     DRUGTREE_RETURN_IF_ERROR(MaterializeParallel());
@@ -333,6 +411,7 @@ util::Result<bool> SeqScanOp::NextImpl(Row* out) {
 
 util::Result<bool> SeqScanOp::NextBatchImpl(storage::RowBatch* out) {
   const size_t cols = schema_.columns().size();
+  if (encoded_ != nullptr) return NextBatchEncoded(out);
   if (materialized_) {
     // Stats were accumulated during the parallel materialization; slice the
     // surviving rows into batches (one batch per morsel at the defaults).
@@ -340,13 +419,20 @@ util::Result<bool> SeqScanOp::NextBatchImpl(storage::RowBatch* out) {
     while (mcursor_ < matches_.size() && out->physical_size() < batch_size()) {
       out->AppendRow(table_->row(matches_[mcursor_++]));
     }
-    return out->physical_size() > 0;
+    if (out->physical_size() == 0) return false;
+    int64_t bytes = static_cast<int64_t>(out->ApproxBytes());
+    stats_->bytes_scanned += bytes;
+    AddBytesScanned(bytes);
+    return true;
   }
   for (;;) {
     out->Reset(cols);
     size_t got = table_->ScanBatch(&cursor_, batch_size(), out);
     if (got == 0) return false;  // only tombstones remained
     stats_->rows_scanned += static_cast<int64_t>(got);
+    int64_t bytes = static_cast<int64_t>(out->ApproxBytes());
+    stats_->bytes_scanned += bytes;
+    AddBytesScanned(bytes);
     if (predicate_) {
       stats_->predicate_evals += static_cast<int64_t>(got);
       std::vector<uint32_t> sel;
@@ -367,10 +453,52 @@ util::Result<bool> SeqScanOp::NextBatchImpl(storage::RowBatch* out) {
   }
 }
 
+util::Result<bool> SeqScanOp::NextBatchEncoded(storage::RowBatch* out) {
+  out->Reset(schema_.columns().size());
+  size_t appended = 0;
+  while (appended < batch_size()) {
+    if (enc_pos_ >= enc_matches_.size()) {
+      // Current segment drained: filter the next one. Matches are produced
+      // directly on the encoded form; only survivors are ever decoded.
+      if (enc_seg_ >= encoded_->segments.size()) break;
+      // Segment-boundary checkpoint: a selective predicate can walk many
+      // segments per emitted batch.
+      if (query_context() != nullptr) {
+        DRUGTREE_RETURN_IF_ERROR(query_context()->Check());
+      }
+      const storage::EncodedSegment& seg = encoded_->segments[enc_seg_++];
+      stats_->rows_scanned += static_cast<int64_t>(seg.num_rows);
+      if (!enc_clauses_.empty()) {
+        stats_->predicate_evals += static_cast<int64_t>(seg.num_rows);
+      }
+      stats_->bytes_scanned += static_cast<int64_t>(seg.encoded_bytes);
+      AddBytesScanned(static_cast<int64_t>(seg.encoded_bytes));
+      enc_pos_ = 0;
+      storage::FilterSegment(seg, enc_clauses_, &enc_matches_, &enc_scratch_);
+      continue;
+    }
+    const storage::EncodedSegment& seg = encoded_->segments[enc_seg_ - 1];
+    size_t take =
+        std::min(batch_size() - appended, enc_matches_.size() - enc_pos_);
+    for (size_t c = 0; c < seg.columns.size(); ++c) {
+      seg.columns[c].GatherInto(enc_matches_.data() + enc_pos_, take,
+                                &out->column(c));
+    }
+    enc_pos_ += take;
+    appended += take;
+  }
+  if (appended == 0) return false;
+  out->FinishAppendedRows();
+  return true;
+}
+
 std::string SeqScanOp::Describe() const {
   std::string out = "SeqScan " + table_->name();
   if (alias_ != table_->name()) out += " AS " + alias_;
   if (predicate_) out += " [filter: " + predicate_->ToString() + "]";
+  if (const storage::EncodedTableSnapshot* snap = table_->encoded()) {
+    out += " [encoded: " + snap->Summary(table_->schema()) + "]";
+  }
   return out;
 }
 

@@ -40,6 +40,10 @@ struct ExecStats {
   int64_t rows_index_fetched = 0; // rows fetched through an index
   int64_t rows_joined = 0;        // rows emitted by join operators
   int64_t predicate_evals = 0;    // per-row predicate evaluations
+  int64_t bytes_scanned = 0;      // storage bytes the scan touched: encoded
+                                  // segment bytes on the encoded path, the
+                                  // decoded batch's bytes on the plain batch
+                                  // path (0 on pure row paths)
 };
 
 /// Morsel-parallel execution context threaded from the planner into
@@ -73,6 +77,9 @@ struct OperatorStats {
                                // NextBatch() (0 on pure row paths)
   int64_t elapsed_micros = 0;  // Open()+Next()+NextBatch() time, inclusive
                                // of children (only under EnableAnalyze)
+  int64_t bytes_scanned = 0;   // storage bytes touched by scan operators
+                               // (see ExecStats::bytes_scanned); rendered
+                               // as `bytes=` by EXPLAIN ANALYZE when > 0
 };
 
 class PhysicalOperator {
@@ -159,6 +166,10 @@ class PhysicalOperator {
   /// that status so the query aborts instead of OOMing.
   util::Status ChargeOperatorMemory(int64_t bytes);
 
+  /// Accumulates storage bytes touched into this operator's stats (scan
+  /// operators only; surfaces in EXPLAIN ANALYZE as `bytes=`).
+  void AddBytesScanned(int64_t bytes) { op_stats_.bytes_scanned += bytes; }
+
   storage::Schema schema_;
   std::vector<PhysicalOperator*> explain_children_;  // borrowed, for explain
 
@@ -201,6 +212,14 @@ class SeqScanOp : public PhysicalOperator {
   /// identical to the serial cursor path.
   util::Status MaterializeParallel();
 
+  /// Batch production directly on the table's encoded snapshot: predicates
+  /// run per segment on the encoded form (dictionary code ranges, RLE runs,
+  /// frame-of-reference deltas) and only the surviving rows are decoded
+  /// into the output batch. Taken when Open() found a fresh snapshot and
+  /// the whole predicate translated to encoded clauses; row order and
+  /// results are identical to the plain path.
+  util::Result<bool> NextBatchEncoded(storage::RowBatch* out);
+
   const storage::Table* table_;
   std::string alias_;
   ExprPtr predicate_;
@@ -211,6 +230,13 @@ class SeqScanOp : public PhysicalOperator {
   bool materialized_ = false;             // parallel path taken at Open()
   std::vector<storage::RowId> matches_;   // surviving rows, in row order
   size_t mcursor_ = 0;
+  // Encoded-scan state (null snapshot => plain path).
+  const storage::EncodedTableSnapshot* encoded_ = nullptr;
+  std::vector<storage::EncodedPredicate> enc_clauses_;
+  size_t enc_seg_ = 0;                    // next segment to filter
+  std::vector<uint32_t> enc_matches_;     // survivors of segment enc_seg_-1
+  std::vector<uint32_t> enc_scratch_;
+  size_t enc_pos_ = 0;                    // next survivor to emit
 };
 
 /// Index access path: equality (hash or B+-tree) or range (B+-tree).

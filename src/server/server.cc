@@ -79,6 +79,20 @@ DrugTreeServer::DrugTreeServer(query::Catalog* catalog, util::Clock* clock,
     slo_[static_cast<size_t>(c)] = std::make_unique<obs::SloTracker>(
         QueryClassName(qc), slo_opts, clock_);
   }
+  // Account the catalog's resident table data up front: what the scans will
+  // actually read is what admission should budget against. Encoded tables
+  // charge their compressed bytes, plain tables their row-format estimate,
+  // so compression directly widens the watermark headroom. Unconditional
+  // Charge: resident data is a fact, not a request the server may refuse.
+  {
+    obs::MemoryTracker* tables = memory_root_.GetOrCreateChild("tables");
+    for (const auto& [name, table] : catalog_->tables()) {
+      (void)name;
+      resident_table_bytes_ +=
+          static_cast<int64_t>(table->ApproxScanFootprintBytes());
+    }
+    if (resident_table_bytes_ > 0) tables->Charge(resident_table_bytes_);
+  }
   if (options_.result_cache_bytes > 0) {
     result_cache_ =
         std::make_unique<query::ResultCache>(options_.result_cache_bytes);

@@ -196,6 +196,13 @@ class DrugTreeServer {
   /// high watermark regardless of execution timing).
   obs::MemoryTracker* memory_tracker() { return &memory_root_; }
 
+  /// Standing charge for catalog-resident table data, taken against the
+  /// root at construction under the "tables" child. Encoded tables charge
+  /// their compressed footprint, so building encoded segments widens the
+  /// headroom under the memory high watermark (the 80% shed point moves
+  /// with the compression ratio).
+  int64_t resident_table_bytes() const { return resident_table_bytes_; }
+
   /// Per-class SLO state (rolling compliance + error-budget burn rate).
   const obs::SloTracker* slo_tracker(QueryClass c) const {
     return slo_[static_cast<size_t>(c)].get();
@@ -245,6 +252,7 @@ class DrugTreeServer {
   /// tree only holds long-lived nodes.
   obs::MemoryTracker memory_root_;
   std::array<obs::MemoryTracker*, kNumQueryClasses> class_trackers_{};
+  int64_t resident_table_bytes_ = 0;
   std::array<std::unique_ptr<obs::SloTracker>, kNumQueryClasses> slo_;
   std::unique_ptr<query::ResultCache> result_cache_;
   /// One planner per scheduler slot: a slot is an exclusive token, so its

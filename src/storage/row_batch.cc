@@ -140,6 +140,38 @@ void ColumnVector::Append(Value&& v) {
   Append(static_cast<const Value&>(v));
 }
 
+void ColumnVector::AppendRepeated(const Value& v, size_t n) {
+  if (n == 0) return;
+  ValueType t = v.type();
+  if (t == ValueType::kNull) {
+    for (size_t i = 0; i < n; ++i) AppendNull();
+    return;
+  }
+  Append(v);  // fixes the type / demotes exactly like n single appends
+  if (!mixed_ && type_ == t) {
+    EnsureNullCapacity(size_ + n - 1);
+    switch (t) {
+      case ValueType::kBool:
+        bools_.insert(bools_.end(), n - 1, v.AsBool() ? 1 : 0);
+        break;
+      case ValueType::kInt64:
+        ints_.insert(ints_.end(), n - 1, v.AsInt64());
+        break;
+      case ValueType::kDouble:
+        doubles_.insert(doubles_.end(), n - 1, v.AsDouble());
+        break;
+      case ValueType::kString:
+        strings_.insert(strings_.end(), n - 1, v.AsString());
+        break;
+      case ValueType::kNull:
+        break;
+    }
+    size_ += n - 1;
+  } else {
+    for (size_t i = 1; i < n; ++i) Append(v);
+  }
+}
+
 Value ColumnVector::GetValue(size_t i) const {
   if (mixed_) return values_[i];
   if (IsNull(i)) return Value::Null();

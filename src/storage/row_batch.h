@@ -109,6 +109,10 @@ class ColumnVector {
   /// Materializes row i as a Value (exact, any representation).
   Value GetValue(size_t i) const;
 
+  /// Appends `n` copies of `v` with one representation dispatch (the RLE
+  /// decode path appends a whole run per call).
+  void AppendRepeated(const Value& v, size_t n);
+
   /// Bulk-appends src[idx[0..n)] into this column (which must be empty),
   /// adopting src's representation. The typed fast path copies payload
   /// slots directly instead of round-tripping each cell through Value.

@@ -80,11 +80,14 @@ util::Result<TableStats> TableStats::Analyze(const Schema& schema,
     std::vector<double> numeric_values;
     bool numeric_column = schema.column(c).type == ValueType::kInt64 ||
                           schema.column(c).type == ValueType::kDouble;
+    const Value* prev = nullptr;
     for (const Row& row : rows) {
       if (c >= row.size()) {
         return util::Status::InvalidArgument("row narrower than schema");
       }
       const Value& v = row[c];
+      if (prev == nullptr || prev->Compare(v) != 0) ++cs.num_runs_;
+      prev = &v;
       if (v.is_null()) {
         ++cs.num_nulls_;
         continue;

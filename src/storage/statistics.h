@@ -25,6 +25,18 @@ class ColumnStats {
   const Value& min() const { return min_; }
   const Value& max() const { return max_; }
 
+  /// Maximal runs of equal consecutive values (nulls form runs too) over
+  /// the live rows in scan order, and the implied average run length.
+  /// The encoding chooser's cost model keys off these (long runs -> RLE,
+  /// low distinct count -> dictionary).
+  int64_t num_runs() const { return num_runs_; }
+  double avg_run_length() const {
+    return num_runs_ > 0
+               ? static_cast<double>(num_rows_) /
+                     static_cast<double>(num_runs_)
+               : 0.0;
+  }
+
   double NullFraction() const {
     return num_rows_ ? static_cast<double>(num_nulls_) /
                            static_cast<double>(num_rows_)
@@ -45,6 +57,7 @@ class ColumnStats {
   int64_t num_rows_ = 0;
   int64_t num_nulls_ = 0;
   int64_t num_distinct_ = 0;
+  int64_t num_runs_ = 0;
   Value min_;
   Value max_;
   // Equi-depth histogram over numeric columns: boundaries_[i] is the upper

@@ -21,6 +21,7 @@ util::Result<RowId> Table::Insert(Row row) {
   }
   rows_.push_back(std::move(row));
   ++live_rows_;
+  ++version_;  // invalidates the encoded snapshot and stats freshness
   return id;
 }
 
@@ -56,6 +57,7 @@ util::Status Table::Delete(RowId id) {
   }
   rows_[static_cast<size_t>(id)].clear();
   --live_rows_;
+  ++version_;  // invalidates the encoded snapshot and stats freshness
   return util::Status::OK();
 }
 
@@ -128,7 +130,48 @@ util::Status Table::Analyze(int histogram_buckets) {
                             TableStats::Analyze(schema_, live,
                                                 histogram_buckets));
   stats_ = std::make_unique<TableStats>(std::move(stats));
+  stats_version_ = version_;
   return util::Status::OK();
+}
+
+util::Status Table::BuildEncodedSegments(size_t segment_rows) {
+  if (segment_rows == 0) {
+    return util::Status::InvalidArgument("segment_rows must be > 0");
+  }
+  // A rebuild walks every live row anyway, so piggyback a stats refresh
+  // when existing stats have gone stale (mutations since the last
+  // Analyze — including tombstone-creating deletes, which previously kept
+  // being served as fresh). Never-analyzed tables stay that way.
+  if (stats_ != nullptr && !stats_fresh()) {
+    DRUGTREE_RETURN_IF_ERROR(Analyze());
+  }
+  std::vector<const Row*> live;
+  live.reserve(static_cast<size_t>(live_rows_));
+  for (const Row& r : rows_) {
+    if (!r.empty()) live.push_back(&r);
+  }
+  auto snap = std::make_unique<EncodedTableSnapshot>(
+      BuildEncodedTableSnapshot(schema_.NumColumns(), live, segment_rows));
+  snap->built_version = version_;
+  encoded_ = std::move(snap);
+  return util::Status::OK();
+}
+
+uint64_t Table::ApproxScanFootprintBytes() const {
+  if (const EncodedTableSnapshot* snap = encoded()) {
+    return snap->encoded_bytes;
+  }
+  // Plain estimate, mirroring the executor's per-row accounting: vector
+  // header + inline Value slots + string payloads.
+  uint64_t bytes = 0;
+  for (const Row& r : rows_) {
+    if (r.empty()) continue;
+    bytes += sizeof(Row) + r.size() * sizeof(Value);
+    for (const Value& v : r) {
+      if (v.type() == ValueType::kString) bytes += v.AsString().size();
+    }
+  }
+  return bytes;
 }
 
 std::vector<RowId> Table::LiveRows() const {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "storage/bptree.h"
+#include "storage/encoded_segment.h"
 #include "storage/hash_index.h"
 #include "storage/heap_file.h"
 #include "storage/row_batch.h"
@@ -84,6 +85,46 @@ class Table {
   /// Last computed statistics, or nullptr if Analyze was never run.
   const TableStats* stats() const { return stats_.get(); }
 
+  /// True when stats() reflects the current data — i.e. no Insert/Delete
+  /// has happened since the last Analyze(). Consumers needing exact numbers
+  /// (the encoding chooser computes its own per-segment profiles and does
+  /// NOT depend on this) should check before trusting stats().
+  bool stats_fresh() const {
+    return stats_ != nullptr && stats_version_ == version_;
+  }
+
+  /// Monotonic mutation counter: bumped by every Insert and Delete. Encoded
+  /// snapshots and statistics record the version they were built at, which
+  /// is how staleness is detected.
+  uint64_t version() const { return version_; }
+
+  /// Default rows per encoded segment.
+  static constexpr size_t kDefaultSegmentRows = 4096;
+
+  /// Builds (or rebuilds) the encoded columnar snapshot of the live rows.
+  /// Scans on the vectorized path execute directly on it until the next
+  /// mutation invalidates it.
+  util::Status BuildEncodedSegments(size_t segment_rows = kDefaultSegmentRows);
+
+  /// Drops the encoded snapshot; scans revert to the plain row path.
+  void DropEncodedSegments() { encoded_.reset(); }
+
+  /// The encoded snapshot when one exists AND is current, else nullptr.
+  /// Any Insert/Delete after BuildEncodedSegments() makes this return
+  /// nullptr (automatic fallback to the exact plain path); call
+  /// BuildEncodedSegments() again after bulk mutations to re-enable.
+  const EncodedTableSnapshot* encoded() const {
+    return encoded_ != nullptr && encoded_->built_version == version_
+               ? encoded_.get()
+               : nullptr;
+  }
+
+  /// Resident bytes of the representation scans read: the encoded snapshot
+  /// when fresh, else an estimate of the live rows. The serving layer
+  /// charges this against its memory tracker, so compression directly
+  /// widens the admission headroom under the high watermark.
+  uint64_t ApproxScanFootprintBytes() const;
+
   /// Live (non-deleted) row ids in insertion order.
   std::vector<RowId> LiveRows() const;
 
@@ -109,6 +150,9 @@ class Table {
   std::map<std::string, std::unique_ptr<BPlusTree>> btree_indexes_;
   std::map<std::string, std::unique_ptr<HashIndex>> hash_indexes_;
   std::unique_ptr<TableStats> stats_;
+  std::unique_ptr<EncodedTableSnapshot> encoded_;
+  uint64_t version_ = 0;
+  uint64_t stats_version_ = 0;
 };
 
 }  // namespace storage

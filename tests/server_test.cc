@@ -430,11 +430,12 @@ TEST_F(ServerTest, QueryOverHardLimitAbortsCleanlyAndServerSurvives) {
   EXPECT_TRUE(result.status().IsResourceExhausted()) << result.status();
 
   // The abort is per-query, not per-server: a small query still runs, and
-  // the aborted query's charges were fully unwound.
+  // the aborted query's charges were fully unwound. Only the standing
+  // resident-table charge remains.
   auto small = server->Submit(Interactive(2, "SELECT COUNT(*) FROM proteins"));
   EXPECT_TRUE(small.ok()) << small.status();
   server->Drain();
-  EXPECT_EQ(server->memory_tracker()->used(), 0);
+  EXPECT_EQ(server->memory_tracker()->used(), server->resident_table_bytes());
 
   auto c = server->counters(QueryClass::kAnalytic);
   EXPECT_EQ(c.failed, 1);
@@ -495,6 +496,51 @@ TEST_F(ServerTest, MemoryPressureShedsAnalyticKeepsInteractive) {
   // Pressure released: analytic admits again.
   EXPECT_FALSE(root->OverSoftLimit());
   EXPECT_TRUE(server->Submit(Analytic(3, CheapSql())).ok());
+}
+
+TEST_F(ServerTest, WatermarkShedPointMovesWithCompressedTables) {
+  // The server charges resident table bytes against its root at
+  // construction, and encoded tables charge their compressed footprint —
+  // so compressing the catalog physically widens the headroom below the
+  // 80% watermark. Pin that: a staged charge sized between the two
+  // footprints' headrooms pushes the PLAIN server over the watermark while
+  // the ENCODED server still admits analytic work.
+  ASSERT_TRUE(dt_->BuildEncodedSegments().ok());
+  auto encoded_server = dt_->MakeServer();
+  const int64_t b_enc = encoded_server->resident_table_bytes();
+
+  dt_->DropEncodedSegments();
+  auto plain_server = dt_->MakeServer();
+  const int64_t b_plain = plain_server->resident_table_bytes();
+  ASSERT_TRUE(dt_->BuildEncodedSegments().ok());  // restore for later tests
+
+  ASSERT_GT(b_plain, 0);
+  ASSERT_LT(b_enc, b_plain / 2)
+      << "encoded=" << b_enc << " plain=" << b_plain
+      << ": corpus should compress at least 2x";
+
+  const int64_t soft = plain_server->memory_tracker()->soft_limit_bytes();
+  ASSERT_EQ(soft, encoded_server->memory_tracker()->soft_limit_bytes());
+  // Midpoint between the two shed points.
+  const int64_t staged = soft - (b_plain + b_enc) / 2;
+  ASSERT_GT(staged, 0);
+  {
+    obs::ScopedMemoryCharge p1(plain_server->memory_tracker(), staged);
+    obs::ScopedMemoryCharge p2(encoded_server->memory_tracker(), staged);
+    EXPECT_TRUE(plain_server->memory_tracker()->OverSoftLimit());
+    EXPECT_FALSE(encoded_server->memory_tracker()->OverSoftLimit());
+
+    auto shed = plain_server->Submit(Analytic(1, CheapSql()));
+    ASSERT_FALSE(shed.ok());
+    EXPECT_TRUE(shed.status().IsResourceExhausted()) << shed.status();
+
+    auto admitted = encoded_server->Submit(Analytic(1, CheapSql()));
+    EXPECT_TRUE(admitted.ok()) << admitted.status();
+  }
+  plain_server->Drain();
+  encoded_server->Drain();
+  EXPECT_EQ(plain_server->counters(QueryClass::kAnalytic).memory_shed, 1);
+  EXPECT_EQ(encoded_server->counters(QueryClass::kAnalytic).memory_shed, 0);
 }
 
 TEST_F(ServerTest, PeakMemoryAndSloNumbersAreDeterministicOnVirtualClock) {
