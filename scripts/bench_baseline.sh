@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Record the perf baseline for the E1 (tree query), E2 (optimizer ablation +
-# vectorization), E3 (federated integration), E9 (end-to-end workflow), and
-# E10 (multi-session serving) benches. Each run writes two artifacts into
+# vectorization), E3 (federated integration), E9 (end-to-end workflow),
+# E10 (multi-session serving), and E14 (sharded scale-out) benches. Each run writes two artifacts into
 # baselines/: BENCH_<name>.json (the process metric registry snapshot via
 # --metrics-json) and BENCH_<name>.txt (the human-readable tables), so later
 # PRs can diff the perf trajectory against this one. The vectorized
@@ -19,7 +19,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 OUT_DIR="${BENCH_OUT_DIR:-baselines}"
 BENCH_LIST="${BENCH_LIST:-bench_integration bench_end_to_end bench_server \
-bench_tree_query bench_optimizer_ablation}"
+bench_tree_query bench_optimizer_ablation bench_shard}"
 mkdir -p "${OUT_DIR}"
 
 if [[ ! -d "${BUILD_DIR}" ]]; then

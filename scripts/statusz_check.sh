@@ -4,20 +4,28 @@
 # the memory-tracker tree, per-class SLO state, admission occupancy,
 # scheduler slots, per-class counters, and TraceStore totals. Runs on a
 # virtual clock, so the shape (not just the parse) is asserted exactly.
+# A second pass validates the sharded topology snapshot from
+# `bench_shard --statusz`: contiguous interval ranges covering the pre
+# axis, per-replica server snapshots carrying their shard identities, and
+# the router's decision counters.
 #
 # Usage: scripts/statusz_check.sh [build-dir]   (default: build)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
-if [[ ! -x "${BUILD_DIR}/bench/bench_server" ]]; then
+if [[ ! -x "${BUILD_DIR}/bench/bench_server" || \
+      ! -x "${BUILD_DIR}/bench/bench_shard" ]]; then
   cmake -B "${BUILD_DIR}" -S .
-  cmake --build "${BUILD_DIR}" -j "$(nproc)" --target bench_server
+  cmake --build "${BUILD_DIR}" -j "$(nproc)" \
+    --target bench_server bench_shard
 fi
 
 SNAPSHOT="$(mktemp)"
-trap 'rm -f "${SNAPSHOT}"' EXIT
+SHARD_SNAPSHOT="$(mktemp)"
+trap 'rm -f "${SNAPSHOT}" "${SHARD_SNAPSHOT}"' EXIT
 "${BUILD_DIR}/bench/bench_server" --statusz > "${SNAPSHOT}"
+"${BUILD_DIR}/bench/bench_shard" --statusz > "${SHARD_SNAPSHOT}"
 
 python3 - "${SNAPSHOT}" <<'EOF'
 import json, sys
@@ -28,6 +36,13 @@ with open(sys.argv[1]) as f:
 def need(cond, what):
     if not cond:
         sys.exit(f"statusz_check: FAIL — {what}")
+
+# Single-node shape: a shard identity block, explicitly standalone.
+shard = doc.get("shard")
+need(isinstance(shard, dict), "missing shard identity block")
+need(shard.get("id") == "", "single-node server carries a shard id")
+need(shard.get("role") == "standalone",
+     f"single-node role is {shard.get('role')!r}, want 'standalone'")
 
 # Memory-tracker tree: rooted at "server", recursive children, and every
 # node carries the accounting quadruple.
@@ -96,4 +111,76 @@ print("statusz_check: OK —",
       f"{cls_section['interactive']['completed']} interactive +",
       f"{cls_section['analytic']['completed']} analytic served,",
       f"{ts['recorded']} traces, root peak {mem['peak']} bytes")
+EOF
+
+python3 - "${SHARD_SNAPSHOT}" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+def need(cond, what):
+    if not cond:
+        sys.exit(f"statusz_check (sharded): FAIL — {what}")
+
+router = doc.get("router")
+need(isinstance(router, dict), "missing router section")
+shards = router.get("num_shards")
+replicas = router.get("replicas_per_shard")
+need(isinstance(shards, int) and shards >= 1, "bad num_shards")
+need(isinstance(replicas, int) and replicas >= 1, "bad replicas_per_shard")
+
+# Routing decision counters: the workload must have exercised the router.
+dec = router.get("decisions")
+need(isinstance(dec, dict), "missing decisions block")
+for key in ("routed", "scatter", "broadcast", "fallback", "failed"):
+    need(key in dec, f"decisions missing {key}")
+need(dec["failed"] == 0, "router recorded failed requests")
+need(sum(dec[k] for k in ("routed", "scatter", "broadcast", "fallback")) > 0,
+     "router served nothing")
+
+# Topology: contiguous interval ranges covering the pre axis from 0, each
+# shard carrying its fan-out counters and fully-identified replicas.
+topo = router.get("topology")
+need(isinstance(topo, list) and len(topo) == shards,
+     f"topology has {len(topo) if isinstance(topo, list) else '?'} shards, "
+     f"want {shards}")
+expect_lo = 0
+for s, entry in enumerate(topo):
+    need(entry.get("shard") == s, f"shard {s} out of order")
+    need(entry.get("pre_lo") == expect_lo,
+         f"shard {s} range starts at {entry.get('pre_lo')}, want {expect_lo}")
+    need(entry["pre_hi"] >= entry["pre_lo"], f"shard {s} range inverted")
+    expect_lo = entry["pre_hi"] + 1
+    need(entry.get("leaves", 0) >= 1, f"shard {s} owns no leaves")
+    for key in ("sub_requests", "shed", "deadline_missed", "failovers",
+                "hop_cost_micros"):
+        need(key in entry, f"shard {s} missing {key}")
+    reps = entry.get("replicas")
+    need(isinstance(reps, list) and len(reps) == replicas,
+         f"shard {s} has wrong replica count")
+    for r, rep in enumerate(reps):
+        need(rep.get("id") == f"s{s}r{r}", f"replica {s}/{r} misidentified")
+        need(rep.get("down") is False, f"replica {s}/{r} marked down")
+        inner = rep.get("statusz")
+        need(isinstance(inner, dict), f"replica {s}/{r} missing statusz")
+        need(inner.get("shard", {}).get("id") == f"s{s}r{r}",
+             f"replica {s}/{r} server snapshot lacks its shard id")
+        need(inner.get("shard", {}).get("role") == "replica",
+             f"replica {s}/{r} server role is not 'replica'")
+        need("memory" in inner and "scheduler" in inner,
+             f"replica {s}/{r} snapshot not a full server statusz")
+total_subs = sum(e["sub_requests"] for e in topo)
+need(total_subs > 0, "no sub-requests reached any shard")
+
+coord = router.get("coordinator")
+need(isinstance(coord, dict), "missing coordinator snapshot")
+need(coord.get("shard", {}).get("id") == "coord",
+     "coordinator snapshot lacks its identity")
+
+print("statusz_check (sharded): OK —",
+      f"{shards}x{replicas} topology, pre axis [0,{expect_lo - 1}],",
+      f"{total_subs} sub-requests,",
+      f"decisions {dec['routed']}/{dec['scatter']}/{dec['broadcast']}/"
+      f"{dec['fallback']} routed/scatter/broadcast/fallback")
 EOF

@@ -18,17 +18,20 @@ cmake --build build-asan -j "$(nproc)" \
 
 # TSan smoke of the concurrency-bearing paths: the thread pool itself, the
 # multi-channel network + windowed mediator, morsel-parallel execution, the
-# multi-session serving layer (admission/scheduler/cancellation), and the
-# vectorized batch engine under parallelism + mid-query cancellation.
+# multi-session serving layer (admission/scheduler/cancellation), the
+# vectorized batch engine under parallelism + mid-query cancellation, and
+# the sharded scatter-gather tier (replica failover races, per-shard
+# deadline cancellation, cross-replica handle tracking).
 cmake -B build-tsan -S . -DDRUGTREE_SANITIZE=thread
 cmake --build build-tsan -j "$(nproc)" \
   --target util_thread_pool_test integration_async_test query_parallel_test \
-           server_test query_batch_test
+           server_test query_batch_test shard_test
 ./build-tsan/tests/util_thread_pool_test
 ./build-tsan/tests/integration_async_test
 ./build-tsan/tests/query_parallel_test
 ./build-tsan/tests/server_test
 ./build-tsan/tests/query_batch_test
+./build-tsan/tests/shard_test
 
 # Statusz smoke: the serving layer's JSON introspection snapshot must parse
 # and cover every exported surface (tracker tree, SLOs, occupancy, traces).
@@ -41,9 +44,14 @@ scripts/statusz_check.sh build
 # predicates.
 cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-rel -j "$(nproc)" \
-  --target bench_vectorized_smoke bench_encoding
+  --target bench_vectorized_smoke bench_encoding bench_shard
 ./build-rel/bench/bench_vectorized_smoke
 ./build-rel/bench/bench_encoding
+
+# Scale-out gate (E14): the 4-shard topology must deliver >= 2x the
+# 1-shard analytic throughput on the heavy broadcast join, and the routed
+# interactive path must keep its p99 inside the 2ms mobile budget.
+./build-rel/bench/bench_shard --gate
 
 # Tracing overhead A/B gate: the instrumented Release build (with trace
 # capture on) must stay within budget of the DRUGTREE_OBS_NOOP build. Also

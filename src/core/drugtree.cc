@@ -313,6 +313,19 @@ std::unique_ptr<server::DrugTreeServer> DrugTree::MakeServer(
       &catalog_, clock != nullptr ? clock : clock_, options);
 }
 
+util::Result<std::unique_ptr<shard::ShardRouter>> DrugTree::MakeShardRouter(
+    const shard::RouterOptions& options, util::Clock* clock) {
+  shard::ShardSourceTables sources;
+  sources.proteins = overlay_->proteins();
+  sources.tree_nodes = overlay_->tree_nodes();
+  sources.node_overlay = overlay_->node_overlay();
+  sources.activities = dataset_.activities.get();
+  sources.ligands = dataset_.ligands.get();
+  return shard::ShardRouter::Create(&tree_, tree_index_.get(), sources,
+                                    &catalog_, clock != nullptr ? clock : clock_,
+                                    options);
+}
+
 mobile::MobileSession DrugTree::MakeSession(
     const mobile::DeviceProfile& device, const mobile::SessionOptions& options,
     const query::PlannerOptions& query_options,

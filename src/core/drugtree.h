@@ -28,6 +28,7 @@
 #include "query/planner.h"
 #include "query/result_cache.h"
 #include "server/server.h"
+#include "shard/router.h"
 #include "util/clock.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -135,6 +136,18 @@ class DrugTree {
   /// outlive this DrugTree, and must be drained before AddActivity.
   std::unique_ptr<server::DrugTreeServer> MakeServer(
       const server::ServerOptions& options = server::ServerOptions(),
+      util::Clock* clock = nullptr);
+
+  /// Creates a sharded, replicated serving tier over this instance's data:
+  /// the relations are interval-partitioned into options.num_shards ranges
+  /// (ligands replicated), each range served by replicas_per_shard
+  /// DrugTreeServer replicas, fronted by a scatter-gather ShardRouter whose
+  /// fallback coordinator serves the full catalog. `clock` defaults to the
+  /// instance clock. The router must not outlive this DrugTree, and every
+  /// replica must be drained before AddActivity (partitions are snapshots:
+  /// catalog mutations after creation are not reflected in the shards).
+  util::Result<std::unique_ptr<shard::ShardRouter>> MakeShardRouter(
+      const shard::RouterOptions& options = shard::RouterOptions(),
       util::Clock* clock = nullptr);
 
   /// Creates a mobile session whose overlay queries go through `server` as

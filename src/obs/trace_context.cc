@@ -21,6 +21,8 @@ const char* TracePhaseName(TracePhase phase) {
     case TracePhase::kExecute: return "execute";
     case TracePhase::kFetchBlocked: return "fetch_blocked";
     case TracePhase::kSerialize: return "serialize";
+    case TracePhase::kRoute: return "route";
+    case TracePhase::kGather: return "gather";
   }
   return "unknown";
 }

@@ -45,9 +45,11 @@ enum class TracePhase : int {
   kExecute = 3,      // operator-tree execution (includes fetch_blocked)
   kFetchBlocked = 4, // blocked on SimulatedNetwork completions
   kSerialize = 5,    // result packaging / response completion
+  kRoute = 6,        // shard router: parse + routing decision
+  kGather = 7,       // shard router: scatter hops + partial-result waits
 };
 
-inline constexpr int kNumTracePhases = 6;
+inline constexpr int kNumTracePhases = 8;
 
 const char* TracePhaseName(TracePhase phase);
 

@@ -109,6 +109,10 @@ DrugTreeServer::DrugTreeServer(query::Catalog* catalog, util::Clock* clock,
   for (int c = 0; c < kNumQueryClasses; ++c) {
     obs::Labels labels = {
         {"class", QueryClassName(static_cast<QueryClass>(c))}};
+    // Sharded replicas discriminate their serving counters by shard id so
+    // the router's tail attribution can name the slowest shard, not just
+    // the slowest phase. Standalone servers keep the historical label set.
+    if (!options_.shard_id.empty()) labels["shard"] = options_.shard_id;
     ClassMetrics& m = metrics_[static_cast<size_t>(c)];
     m.latency_ms = registry->GetHistogram("server.latency_ms", labels);
     m.completed = registry->GetCounter("server.requests.completed", labels);
@@ -253,7 +257,10 @@ DrugTreeServer::ClassCounters DrugTreeServer::counters(QueryClass c) const {
 }
 
 std::string DrugTreeServer::Statusz() {
-  std::string out = "{\"memory\":";
+  std::string out = util::StringPrintf(
+      "{\"shard\":{\"id\":\"%s\",\"role\":\"%s\"},\"memory\":",
+      options_.shard_id.c_str(),
+      options_.shard_id.empty() ? "standalone" : "replica");
   out += memory_root_.ToJson();
   out += ",\"slo\":{";
   for (int c = 0; c < kNumQueryClasses; ++c) {

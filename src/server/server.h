@@ -63,6 +63,14 @@ struct ServerOptions {
   /// DRUGTREE_SLOW_QUERY_MICROS environment variable when set.
   int64_t slow_query_micros = 0;
 
+  /// Stable shard identity when this server is one replica of a sharded
+  /// topology (e.g. "s2r0"); empty for a standalone single-node server.
+  /// Non-empty ids add a {"shard": id} label to the per-class registry
+  /// metrics (so shed / deadline-miss counters attribute per shard) and a
+  /// "shard" block to Statusz(); the empty default keeps single-node metric
+  /// label sets and the Statusz shape exactly as before.
+  std::string shard_id;
+
   /// Resource accounting. The server owns a tracker hierarchy
   /// (server -> class -> session -> query); these knobs size its limits.
   /// Total tracked bytes the server budgets for (root hard limit; charges

@@ -1,0 +1,226 @@
+#include "shard/partitioner.h"
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "storage/value.h"
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace shard {
+
+using storage::Value;
+using storage::ValueType;
+
+util::Result<std::vector<ShardRange>> IntervalPartitioner::Split(
+    const phylo::Tree& tree, const phylo::TreeIndex& index, int num_shards) {
+  const auto num_nodes = static_cast<int32_t>(index.NumNodes());
+  if (num_shards < 1) {
+    return util::Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (num_shards > num_nodes) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "num_shards %d exceeds node count %d", num_shards, num_nodes));
+  }
+  // Prefix leaf counts along the pre axis; cut at the proportional leaf
+  // targets so every shard owns about the same number of leaves (rows key
+  // on leaf pre numbers, so leaves — not nodes — are the load proxy).
+  int64_t total_leaves = 0;
+  std::vector<int64_t> prefix(static_cast<size_t>(num_nodes));
+  for (int32_t pre = 0; pre < num_nodes; ++pre) {
+    if (tree.node(index.NodeAtPre(pre)).IsLeaf()) ++total_leaves;
+    prefix[static_cast<size_t>(pre)] = total_leaves;
+  }
+
+  std::vector<ShardRange> ranges;
+  ranges.reserve(static_cast<size_t>(num_shards));
+  int32_t lo = 0;
+  for (int s = 0; s < num_shards; ++s) {
+    int32_t hi;
+    if (s == num_shards - 1) {
+      hi = num_nodes - 1;
+    } else {
+      const int64_t target = total_leaves * (s + 1) / num_shards;
+      hi = lo;
+      // Smallest hi >= lo reaching the cumulative leaf target, but leave at
+      // least one pre number per remaining shard.
+      const int32_t max_hi = num_nodes - 1 - (num_shards - 1 - s);
+      while (hi < max_hi && prefix[static_cast<size_t>(hi)] < target) ++hi;
+      hi = std::min(hi, max_hi);
+    }
+    ShardRange r;
+    r.shard = s;
+    r.pre_lo = lo;
+    r.pre_hi = hi;
+    r.leaves = prefix[static_cast<size_t>(hi)] -
+               (lo > 0 ? prefix[static_cast<size_t>(lo - 1)] : 0);
+    ranges.push_back(r);
+    lo = hi + 1;
+  }
+  return ranges;
+}
+
+int IntervalPartitioner::OwnerOf(const std::vector<ShardRange>& ranges,
+                                 int32_t pre) {
+  for (const ShardRange& r : ranges) {
+    if (r.Contains(pre)) return r.shard;
+  }
+  return 0;
+}
+
+namespace {
+
+/// Copies every live source row into its owner shard's table, routing by
+/// `owner_of(row)`. Insertion order within each shard matches the source
+/// scan order, which is what keeps filtered scans (and therefore stable
+/// sorts over them) row-for-row identical to the single-server path.
+util::Status ScatterRows(
+    const storage::Table& source,
+    const std::vector<std::unique_ptr<ShardPartition>>& shards,
+    const std::function<int(const storage::Row&)>& owner_of,
+    std::unique_ptr<storage::Table> ShardPartition::*member) {
+  for (storage::RowId rid : source.LiveRows()) {
+    const storage::Row& row = source.row(rid);
+    int owner = owner_of(row);
+    storage::Table* dest = ((*shards[static_cast<size_t>(owner)]).*member).get();
+    DRUGTREE_RETURN_IF_ERROR(dest->Insert(row).status());
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Result<std::vector<std::unique_ptr<ShardPartition>>>
+IntervalPartitioner::Partition(const phylo::Tree& tree,
+                               const phylo::TreeIndex& index,
+                               const ShardSourceTables& sources,
+                               int num_shards) {
+  if (sources.proteins == nullptr || sources.tree_nodes == nullptr ||
+      sources.node_overlay == nullptr || sources.activities == nullptr ||
+      sources.ligands == nullptr) {
+    return util::Status::InvalidArgument("all source tables must be set");
+  }
+  DRUGTREE_ASSIGN_OR_RETURN(std::vector<ShardRange> ranges,
+                            Split(tree, index, num_shards));
+
+  std::vector<std::unique_ptr<ShardPartition>> shards;
+  shards.reserve(ranges.size());
+  for (const ShardRange& r : ranges) {
+    auto p = std::make_unique<ShardPartition>();
+    p->range = r;
+    // Same relation names as the single-server catalog, so identical SQL
+    // plans against either.
+    p->proteins = std::make_unique<storage::Table>("proteins",
+                                                   sources.proteins->schema());
+    p->tree_nodes = std::make_unique<storage::Table>(
+        "tree_nodes", sources.tree_nodes->schema());
+    p->node_overlay = std::make_unique<storage::Table>(
+        "node_overlay", sources.node_overlay->schema());
+    p->activities = std::make_unique<storage::Table>(
+        "activities", sources.activities->schema());
+    shards.push_back(std::move(p));
+  }
+
+  // Rows partitioned by their own pre column. NULL pre (a protein that did
+  // not match any tree leaf) is not reachable by an interval predicate, so
+  // any fixed owner is exact; shard 0 by convention.
+  auto by_pre_column = [&](const storage::Table& src)
+      -> util::Result<std::function<int(const storage::Row&)>> {
+    DRUGTREE_ASSIGN_OR_RETURN(size_t pre_col, src.schema().IndexOf("pre"));
+    return std::function<int(const storage::Row&)>(
+        [&ranges, pre_col](const storage::Row& row) {
+          const Value& v = row[pre_col];
+          if (v.is_null()) return 0;
+          return OwnerOf(ranges, static_cast<int32_t>(v.AsInt64()));
+        });
+  };
+  {
+    DRUGTREE_ASSIGN_OR_RETURN(auto owner, by_pre_column(*sources.proteins));
+    DRUGTREE_RETURN_IF_ERROR(ScatterRows(*sources.proteins, shards, owner,
+                                         &ShardPartition::proteins));
+  }
+  {
+    DRUGTREE_ASSIGN_OR_RETURN(auto owner, by_pre_column(*sources.tree_nodes));
+    DRUGTREE_RETURN_IF_ERROR(ScatterRows(*sources.tree_nodes, shards, owner,
+                                         &ShardPartition::tree_nodes));
+  }
+  {
+    DRUGTREE_ASSIGN_OR_RETURN(auto owner, by_pre_column(*sources.node_overlay));
+    DRUGTREE_RETURN_IF_ERROR(ScatterRows(*sources.node_overlay, shards, owner,
+                                         &ShardPartition::node_overlay));
+  }
+
+  // Activities co-partition with their protein: accession -> leaf pre ->
+  // owner shard, so the accession equi-join never crosses shards.
+  {
+    DRUGTREE_ASSIGN_OR_RETURN(size_t p_acc,
+                              sources.proteins->schema().IndexOf("accession"));
+    DRUGTREE_ASSIGN_OR_RETURN(size_t p_pre,
+                              sources.proteins->schema().IndexOf("pre"));
+    std::unordered_map<std::string, int> accession_owner;
+    for (storage::RowId rid : sources.proteins->LiveRows()) {
+      const storage::Row& row = sources.proteins->row(rid);
+      if (row[p_acc].type() != ValueType::kString) continue;
+      int owner = row[p_pre].is_null()
+                      ? 0
+                      : OwnerOf(ranges,
+                                static_cast<int32_t>(row[p_pre].AsInt64()));
+      accession_owner.emplace(row[p_acc].AsString(), owner);
+    }
+    DRUGTREE_ASSIGN_OR_RETURN(size_t a_acc,
+                              sources.activities->schema().IndexOf("accession"));
+    auto owner_of = [&accession_owner, a_acc](const storage::Row& row) {
+      if (row[a_acc].type() != ValueType::kString) return 0;
+      auto it = accession_owner.find(row[a_acc].AsString());
+      return it == accession_owner.end() ? 0 : it->second;
+    };
+    DRUGTREE_RETURN_IF_ERROR(ScatterRows(*sources.activities, shards, owner_of,
+                                         &ShardPartition::activities));
+  }
+
+  // Mirror the single-server secondary indexes (Overlay::Build +
+  // DrugTree::FinishWiring), then wire each shard's catalog.
+  for (auto& p : shards) {
+    DRUGTREE_RETURN_IF_ERROR(
+        p->proteins->CreateIndex("accession", storage::IndexKind::kHash));
+    DRUGTREE_RETURN_IF_ERROR(
+        p->proteins->CreateIndex("pre", storage::IndexKind::kBTree));
+    DRUGTREE_RETURN_IF_ERROR(
+        p->tree_nodes->CreateIndex("pre", storage::IndexKind::kBTree));
+    DRUGTREE_RETURN_IF_ERROR(
+        p->tree_nodes->CreateIndex("node_id", storage::IndexKind::kHash));
+    DRUGTREE_RETURN_IF_ERROR(
+        p->node_overlay->CreateIndex("pre", storage::IndexKind::kBTree));
+    DRUGTREE_RETURN_IF_ERROR(
+        p->node_overlay->CreateIndex("node_id", storage::IndexKind::kHash));
+    DRUGTREE_RETURN_IF_ERROR(
+        p->activities->CreateIndex("accession", storage::IndexKind::kHash));
+    DRUGTREE_RETURN_IF_ERROR(
+        p->activities->CreateIndex("affinity_nm", storage::IndexKind::kBTree));
+    for (storage::Table* t : {p->proteins.get(), p->tree_nodes.get(),
+                              p->node_overlay.get(), p->activities.get()}) {
+      DRUGTREE_RETURN_IF_ERROR(t->Analyze());
+      DRUGTREE_RETURN_IF_ERROR(t->BuildEncodedSegments());
+    }
+
+    p->catalog = std::make_unique<query::Catalog>();
+    DRUGTREE_RETURN_IF_ERROR(p->catalog->Register(p->proteins.get()));
+    DRUGTREE_RETURN_IF_ERROR(p->catalog->Register(sources.ligands));
+    DRUGTREE_RETURN_IF_ERROR(p->catalog->Register(p->activities.get()));
+    DRUGTREE_RETURN_IF_ERROR(p->catalog->Register(p->tree_nodes.get()));
+    DRUGTREE_RETURN_IF_ERROR(p->catalog->Register(p->node_overlay.get()));
+    p->catalog->SetTree(&tree, &index);
+    DRUGTREE_RETURN_IF_ERROR(
+        p->catalog->BindTree("proteins", {"node_id", "pre", ""}));
+    DRUGTREE_RETURN_IF_ERROR(
+        p->catalog->BindTree("tree_nodes", {"node_id", "pre", "post"}));
+    DRUGTREE_RETURN_IF_ERROR(
+        p->catalog->BindTree("node_overlay", {"node_id", "pre", "post"}));
+  }
+  return shards;
+}
+
+}  // namespace shard
+}  // namespace drugtree

@@ -1,0 +1,99 @@
+// IntervalPartitioner: splits the DrugTree relations into N shards by
+// contiguous pre-order interval ranges. Because the interval index gives
+// every node one pre number and every subtree one contiguous [pre, post]
+// range, cutting the pre axis into N contiguous ranges makes subtree and
+// ancestor predicates *range-partitionable*: a predicate whose interval
+// falls inside one range is answerable by that shard alone, and any other
+// interval names exactly the shard subset that can hold matching rows.
+//
+// Partitioning rule per relation:
+//   * proteins / tree_nodes / node_overlay — partitioned by the row's own
+//     `pre` column (rows with NULL pre, i.e. proteins off the tree, land on
+//     shard 0 so every row has exactly one owner);
+//   * activities — co-partitioned with proteins via accession -> leaf pre,
+//     so the screening equi-join p.accession = a.accession is always
+//     shard-local (accessions off the tree land on shard 0);
+//   * ligands — a small dimension table, replicated: every shard catalog
+//     registers the same shared Table*.
+//
+// Every shard catalog carries the FULL tree + TreeIndex (tree metadata is
+// tiny next to the relations), so per-shard planners rewrite and evaluate
+// tree predicates exactly like the single-server catalog does.
+
+#ifndef DRUGTREE_SHARD_PARTITIONER_H_
+#define DRUGTREE_SHARD_PARTITIONER_H_
+
+#include <memory>
+#include <vector>
+
+#include "phylo/tree.h"
+#include "phylo/tree_index.h"
+#include "query/catalog.h"
+#include "storage/table.h"
+#include "util/result.h"
+
+namespace drugtree {
+namespace shard {
+
+/// One shard's contiguous slice of the pre-order axis (both ends inclusive).
+struct ShardRange {
+  int shard = 0;
+  int32_t pre_lo = 0;
+  int32_t pre_hi = 0;
+  int64_t leaves = 0;  // leaf count inside the range (the balance target)
+
+  bool Contains(int32_t pre) const { return pre >= pre_lo && pre <= pre_hi; }
+  bool Overlaps(int32_t lo, int32_t hi) const {
+    return lo <= pre_hi && hi >= pre_lo;
+  }
+};
+
+/// The single-server relations a partitioning is extracted from. All
+/// borrowed; `ligands` is registered as-is (replicated) in every shard
+/// catalog and must outlive the partitions.
+struct ShardSourceTables {
+  const storage::Table* proteins = nullptr;      // overlay proteins (has pre)
+  const storage::Table* tree_nodes = nullptr;
+  const storage::Table* node_overlay = nullptr;
+  const storage::Table* activities = nullptr;
+  storage::Table* ligands = nullptr;             // replicated dimension
+};
+
+/// One shard's owned slice: partitioned tables plus a ready-to-serve
+/// catalog (partition tables + shared ligands + full tree bindings).
+struct ShardPartition {
+  ShardRange range;
+  std::unique_ptr<storage::Table> proteins;
+  std::unique_ptr<storage::Table> tree_nodes;
+  std::unique_ptr<storage::Table> node_overlay;
+  std::unique_ptr<storage::Table> activities;
+  std::unique_ptr<query::Catalog> catalog;
+};
+
+class IntervalPartitioner {
+ public:
+  /// Cuts [0, NumNodes) into `num_shards` contiguous pre ranges, balanced
+  /// by subtree leaf count (leaves are where the rows live: proteins and
+  /// activities both key on leaf pre numbers). Fails if num_shards < 1 or
+  /// exceeds the node count.
+  static util::Result<std::vector<ShardRange>> Split(
+      const phylo::Tree& tree, const phylo::TreeIndex& index, int num_shards);
+
+  /// The owning shard of a pre number (ranges must come from Split).
+  static int OwnerOf(const std::vector<ShardRange>& ranges, int32_t pre);
+
+  /// Extracts per-shard partitions: copies each source row into its owner
+  /// shard's table (insertion order preserved, so filtered scans return
+  /// rows in the same relative order as the single-server tables), mirrors
+  /// the single-server secondary indexes, analyzes, and builds encoded
+  /// segments. `tree`/`index`/`sources.ligands` are borrowed by the
+  /// returned partitions' catalogs and must outlive them.
+  static util::Result<std::vector<std::unique_ptr<ShardPartition>>> Partition(
+      const phylo::Tree& tree, const phylo::TreeIndex& index,
+      const ShardSourceTables& sources, int num_shards);
+};
+
+}  // namespace shard
+}  // namespace drugtree
+
+#endif  // DRUGTREE_SHARD_PARTITIONER_H_
