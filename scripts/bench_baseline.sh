@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Record the perf baseline for the E1 (tree query), E2 (optimizer ablation +
 # vectorization), E3 (federated integration), E9 (end-to-end workflow),
-# E10 (multi-session serving), and E14 (sharded scale-out) benches. Each run writes two artifacts into
+# E10 (multi-session serving), E14 (sharded scale-out), and E15 (adaptive
+# planning) benches. Each run writes two artifacts into
 # baselines/: BENCH_<name>.json (the process metric registry snapshot via
 # --metrics-json) and BENCH_<name>.txt (the human-readable tables), so later
 # PRs can diff the perf trajectory against this one. The vectorized
@@ -19,7 +20,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 OUT_DIR="${BENCH_OUT_DIR:-baselines}"
 BENCH_LIST="${BENCH_LIST:-bench_integration bench_end_to_end bench_server \
-bench_tree_query bench_optimizer_ablation bench_shard}"
+bench_tree_query bench_optimizer_ablation bench_shard bench_adaptive}"
 mkdir -p "${OUT_DIR}"
 
 if [[ ! -d "${BUILD_DIR}" ]]; then
@@ -53,9 +54,12 @@ if [[ "${SMOKE}" == "1" ]]; then
 fi
 
 # E12 memory-pressure saturation sweep: virtual clock, so the recorded
-# table is bit-stable and diffable across PRs.
-echo "== bench_server --memsweep -> ${OUT_DIR}/BENCH_bench_server_memsweep.txt"
-"${BUILD_DIR}/bench/bench_server" --memsweep \
-  | tee "${OUT_DIR}/BENCH_bench_server_memsweep.txt"
+# table is bit-stable and diffable across PRs. Skipped on targeted
+# re-records whose BENCH_LIST leaves bench_server unbuilt.
+if [[ " ${BENCH_LIST} " == *" bench_server "* ]]; then
+  echo "== bench_server --memsweep -> ${OUT_DIR}/BENCH_bench_server_memsweep.txt"
+  "${BUILD_DIR}/bench/bench_server" --memsweep \
+    | tee "${OUT_DIR}/BENCH_bench_server_memsweep.txt"
+fi
 
 echo "baselines written to ${OUT_DIR}/"

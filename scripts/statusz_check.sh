@@ -107,10 +107,39 @@ for key in ("recorded", "dropped", "slow"):
     need(key in ts, f"trace_store missing {key}")
 need(ts["recorded"] > 0, "trace_store recorded nothing")
 
+# Adaptive-planning surfaces: plan cache counters, calibrator coefficients,
+# and the per-class controller snapshot.
+pc = doc.get("plan_cache")
+need(isinstance(pc, dict), "missing plan_cache section")
+for key in ("entries", "variants", "capacity", "hits", "rebinds", "misses",
+            "invalidations", "installs", "variant_evictions"):
+    need(key in pc, f"plan_cache missing {key}")
+need(pc["installs"] >= pc["entries"], "plan_cache entries exceed installs")
+
+cal = doc.get("cost_calibrator")
+need(isinstance(cal, dict), "missing cost_calibrator section")
+for key in ("observations", "updates", "version", "coefficients"):
+    need(key in cal, f"cost_calibrator missing {key}")
+need(cal["version"] == 0,
+     "virtual-clock workload moved cost coefficients (determinism break)")
+coeffs = cal["coefficients"]
+for key in ("seq_scan_row", "index_probe", "hash_build_row", "hash_probe_row",
+            "nested_loop_row", "encoded_scan_discount"):
+    need(key in coeffs, f"cost_calibrator coefficients missing {key}")
+
+ada = doc.get("adaptive")
+need(isinstance(ada, dict), "missing adaptive section")
+for key in ("enabled", "decisions", "steps_down", "steps_up",
+            "last_p99_micros", "analytic"):
+    need(key in ada, f"adaptive missing {key}")
+for key in ("batch_size", "parallelism"):
+    need(key in ada["analytic"], f"adaptive.analytic missing {key}")
+
 print("statusz_check: OK —",
       f"{cls_section['interactive']['completed']} interactive +",
       f"{cls_section['analytic']['completed']} analytic served,",
-      f"{ts['recorded']} traces, root peak {mem['peak']} bytes")
+      f"{ts['recorded']} traces, plan cache {pc['hits']}/{pc['installs']}",
+      f"hits/installs, root peak {mem['peak']} bytes")
 EOF
 
 python3 - "${SHARD_SNAPSHOT}" <<'EOF'

@@ -11,27 +11,32 @@ cmake --build build -j "$(nproc)"
 
 cmake -B build-asan -S . -DDRUGTREE_SANITIZE=address
 cmake --build build-asan -j "$(nproc)" \
-  --target obs_test query_batch_test storage_encoding_test
+  --target obs_test query_batch_test storage_encoding_test \
+           query_adaptive_test
 ./build-asan/tests/obs_test
 ./build-asan/tests/query_batch_test
 ./build-asan/tests/storage_encoding_test
+./build-asan/tests/query_adaptive_test
 
 # TSan smoke of the concurrency-bearing paths: the thread pool itself, the
 # multi-channel network + windowed mediator, morsel-parallel execution, the
 # multi-session serving layer (admission/scheduler/cancellation), the
 # vectorized batch engine under parallelism + mid-query cancellation, and
 # the sharded scatter-gather tier (replica failover races, per-shard
-# deadline cancellation, cross-replica handle tracking).
+# deadline cancellation, cross-replica handle tracking), and the adaptive
+# planning loop (shared plan cache / cost calibrator / adaptive controller
+# hit from every serving slot).
 cmake -B build-tsan -S . -DDRUGTREE_SANITIZE=thread
 cmake --build build-tsan -j "$(nproc)" \
   --target util_thread_pool_test integration_async_test query_parallel_test \
-           server_test query_batch_test shard_test
+           server_test query_batch_test shard_test query_adaptive_test
 ./build-tsan/tests/util_thread_pool_test
 ./build-tsan/tests/integration_async_test
 ./build-tsan/tests/query_parallel_test
 ./build-tsan/tests/server_test
 ./build-tsan/tests/query_batch_test
 ./build-tsan/tests/shard_test
+./build-tsan/tests/query_adaptive_test
 
 # Statusz smoke: the serving layer's JSON introspection snapshot must parse
 # and cover every exported surface (tracker tree, SLOs, occupancy, traces).
@@ -44,7 +49,7 @@ scripts/statusz_check.sh build
 # predicates.
 cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-rel -j "$(nproc)" \
-  --target bench_vectorized_smoke bench_encoding bench_shard
+  --target bench_vectorized_smoke bench_encoding bench_shard bench_adaptive
 ./build-rel/bench/bench_vectorized_smoke
 ./build-rel/bench/bench_encoding
 
@@ -52,6 +57,12 @@ cmake --build build-rel -j "$(nproc)" \
 # 1-shard analytic throughput on the heavy broadcast join, and the routed
 # interactive path must keep its p99 inside the 2ms mobile budget.
 ./build-rel/bench/bench_shard --gate
+
+# Adaptive-planning gate (E15): the virtual clock must leave calibration
+# untouched, the plan cache must serve >= 90% of the skewed mix and cut
+# optimizer (re-plan) time at least in half, and the adaptive controller
+# must hold the interactive p99 inside the 2ms budget under analytic load.
+./build-rel/bench/bench_adaptive --gate
 
 # Tracing overhead A/B gate: the instrumented Release build (with trace
 # capture on) must stay within budget of the DRUGTREE_OBS_NOOP build. Also

@@ -1,0 +1,125 @@
+// CostCalibrator: closes the observe -> plan loop. EXPLAIN ANALYZE capture
+// produces neutral ExplainNode trees (per-operator rows/next/time); the
+// calibrator folds them into the named cost-model coefficients via bounded
+// EWMA updates. The planner consumes snapshots, so observed operator costs
+// from production traffic steer join ordering and cardinality defaults.
+//
+// Lives in obs (not query) so the dependency arrow stays query -> obs: the
+// query layer's CostModel reads a CalibratedCosts snapshot, and the serving
+// layer owns the calibrator instance and feeds it analyzed plans.
+//
+// Determinism: updates only fold observations with non-zero elapsed time
+// and non-zero rows, so on a virtual clock (every operator sees 0 elapsed
+// micros) the coefficients never move off their defaults — plans, and
+// therefore results, are bit-identical to the uncalibrated engine.
+
+#ifndef DRUGTREE_OBS_COST_CALIBRATOR_H_
+#define DRUGTREE_OBS_COST_CALIBRATOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "obs/explain.h"
+
+namespace drugtree {
+namespace obs {
+
+/// The planner's named cost coefficients. Per-row costs are expressed in
+/// sequential-scan row units (scanning one plain row costs seq_scan_row =
+/// 1.0 by definition); selectivity priors fill in where statistics are
+/// missing. The defaults reproduce the historical hard-coded constants
+/// exactly, so a default snapshot plans byte-identically to the old engine.
+struct CalibratedCosts {
+  // Per-row operator costs.
+  double seq_scan_row = 1.0;
+  double index_probe = 4.0;       // traversal overhead per probe
+  double index_row = 1.5;         // fetch per matching row
+  double hash_build_row = 1.5;
+  double hash_probe_row = 1.0;
+  double nested_loop_row = 0.6;
+  /// Join-order step multiplier for cross products (no connecting edge).
+  double cross_product_penalty = 10.0;
+  /// Fraction of seq_scan_row an encoded (compressed columnar) scan pays
+  /// per row — the encoded-vs-plain scan discount.
+  double encoded_scan_discount = 0.6;
+
+  // Selectivity priors (used when column statistics cannot answer).
+  double subtree_selectivity = 0.2;     // interval-index SUBTREE clade
+  double ancestor_selectivity = 0.01;   // ANCESTOR_OF root path
+  double is_null_selectivity = 0.05;
+  double eq_default_selectivity = 0.1;
+  double ne_default_selectivity = 0.9;
+  double range_default_selectivity = 0.33;
+
+  /// Bumped on every effective calibration update; plan caches embed it in
+  /// their version signatures so recalibration re-plans cached templates.
+  uint64_t version = 0;
+};
+
+/// Folds analyzed plans into CalibratedCosts. Thread-safe: Observe may race
+/// with snapshot() across serving slots.
+///
+/// Update rule, per operator kind k with a usable observation (rows_out > 0
+/// and exclusive elapsed > 0):
+///   ewma_k <- first observation seeds directly; later observations fold in
+///             with weight kAlpha.
+///   coefficient_k <- clamp(ewma_k / ewma_seqscan,
+///                          default_k / kClampFactor,
+///                          default_k * kClampFactor)
+/// Coefficients only move once a plain sequential scan has been observed
+/// (it defines the unit), and never leave the clamp band — a pathological
+/// trace cannot push the planner into a degenerate cost space.
+class CostCalibrator {
+ public:
+  static constexpr double kAlpha = 0.25;       // EWMA weight of a new sample
+  static constexpr double kClampFactor = 4.0;  // band around the default
+
+  CostCalibrator() = default;
+
+  /// Folds one analyzed plan tree (every operator node) into the model.
+  void Observe(const ExplainNode& root);
+
+  /// Current coefficients (copy; defaults until calibration has data).
+  CalibratedCosts snapshot() const;
+
+  /// Operator observations folded so far (usable ones only).
+  int64_t observations() const;
+  /// Observe() calls that changed at least one coefficient.
+  int64_t effective_updates() const;
+
+  /// {"observations":..,"updates":..,"version":..,"coefficients":{...}}.
+  std::string StatszJson() const;
+
+ private:
+  enum Kind : int {
+    kSeqScan = 0,
+    kEncodedScan,
+    kIndexScan,
+    kHashJoin,
+    kNestedLoop,
+    kNumKinds,
+  };
+
+  struct Ewma {
+    double value = 0.0;
+    bool seeded = false;
+  };
+
+  /// Classifies an operator label; -1 when the operator has no coefficient.
+  static int Classify(const std::string& label);
+
+  void WalkLocked(const ExplainNode& node);
+  void RecomputeLocked();
+
+  mutable std::mutex mu_;
+  Ewma ewma_[kNumKinds];
+  CalibratedCosts costs_;
+  int64_t observations_ = 0;
+  int64_t effective_updates_ = 0;
+};
+
+}  // namespace obs
+}  // namespace drugtree
+
+#endif  // DRUGTREE_OBS_COST_CALIBRATOR_H_

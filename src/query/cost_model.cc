@@ -80,11 +80,11 @@ double CostModel::ConjunctSelectivity(const Expr& conjunct) const {
             break;
         }
       }
-      // No stats: defaults.
+      // No stats: coefficient defaults.
       switch (op) {
-        case BinaryOp::kEq: return 0.1;
-        case BinaryOp::kNe: return 0.9;
-        default: return 0.33;
+        case BinaryOp::kEq: return costs_.eq_default_selectivity;
+        case BinaryOp::kNe: return costs_.ne_default_selectivity;
+        default: return costs_.range_default_selectivity;
       }
     }
     if (conjunct.bin_op == BinaryOp::kAnd) {
@@ -96,10 +96,12 @@ double CostModel::ConjunctSelectivity(const Expr& conjunct) const {
     }
   }
   if (conjunct.kind == ExprKind::kFunction) {
-    // Tree predicates before rewriting: assume a moderately selective clade.
-    if (conjunct.function == "SUBTREE") return 0.2;
-    if (conjunct.function == "ANCESTOR_OF") return 0.01;
-    if (conjunct.function == "IS_NULL") return 0.05;
+    // Tree predicates before rewriting: the interval-index priors.
+    if (conjunct.function == "SUBTREE") return costs_.subtree_selectivity;
+    if (conjunct.function == "ANCESTOR_OF") {
+      return costs_.ancestor_selectivity;
+    }
+    if (conjunct.function == "IS_NULL") return costs_.is_null_selectivity;
   }
   if (conjunct.kind == ExprKind::kUnary &&
       conjunct.un_op == UnaryOp::kNot) {
@@ -118,6 +120,18 @@ double CostModel::EstimateScanRows(const std::string& alias,
     }
   }
   return std::max(1.0, rows);
+}
+
+double CostModel::ScanCost(const std::string& alias) const {
+  double per_row = costs_.seq_scan_row;
+  auto it = alias_to_table_.find(alias);
+  if (it != alias_to_table_.end()) {
+    auto table = catalog_->Lookup(it->second);
+    if (table.ok() && (*table)->encoded() != nullptr) {
+      per_row *= costs_.encoded_scan_discount;
+    }
+  }
+  return per_row * TableRows(alias);
 }
 
 double CostModel::JoinSelectivity(const std::string& left_col,

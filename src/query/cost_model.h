@@ -1,5 +1,9 @@
 // Cardinality and cost estimation over table statistics — the "standard"
-// half of the poster's optimization story.
+// half of the poster's optimization story. Cost and selectivity constants
+// live in one named-coefficient object (obs::CalibratedCosts) instead of
+// being scattered as literals; the serving layer's obs::CostCalibrator
+// re-estimates them from EXPLAIN ANALYZE capture, and the defaults
+// reproduce the historical constants bit-for-bit.
 
 #ifndef DRUGTREE_QUERY_COST_MODEL_H_
 #define DRUGTREE_QUERY_COST_MODEL_H_
@@ -7,6 +11,7 @@
 #include <map>
 #include <string>
 
+#include "obs/cost_calibrator.h"
 #include "query/catalog.h"
 #include "query/expr.h"
 #include "util/result.h"
@@ -16,30 +21,43 @@ namespace query {
 
 /// Estimates selectivities and cardinalities. Alias-aware: expressions use
 /// qualified names ("p.family"), and the estimator is constructed with the
-/// alias -> table mapping of the current query.
+/// alias -> table mapping of the current query. An optional coefficient
+/// snapshot overrides the default cost constants (null = defaults, which
+/// match the pre-calibration engine exactly).
 class CostModel {
  public:
   CostModel(const Catalog* catalog,
-            std::map<std::string, std::string> alias_to_table)
-      : catalog_(catalog), alias_to_table_(std::move(alias_to_table)) {}
+            std::map<std::string, std::string> alias_to_table,
+            const obs::CalibratedCosts* costs = nullptr)
+      : catalog_(catalog), alias_to_table_(std::move(alias_to_table)) {
+    if (costs != nullptr) costs_ = *costs;
+  }
+
+  /// The coefficient snapshot this model prices with.
+  const obs::CalibratedCosts& costs() const { return costs_; }
 
   /// Base row count of the table behind `alias`.
   double TableRows(const std::string& alias) const;
 
   /// Selectivity in [0,1] of one conjunct. Handles col-vs-literal
-  /// comparisons via column statistics; unknown shapes get the classic
-  /// default guesses (0.33 for range, 0.1 for equality, 0.5 otherwise).
+  /// comparisons via column statistics; unknown shapes get the coefficient
+  /// defaults (range/eq priors, interval-index SUBTREE/ANCESTOR_OF priors).
   double ConjunctSelectivity(const Expr& conjunct) const;
 
   /// Estimated output of scanning `alias` under a conjunction (may be null).
   double EstimateScanRows(const std::string& alias, const ExprPtr& pred) const;
+
+  /// Estimated cost of scanning `alias`: per-row scan cost times base rows,
+  /// with the encoded discount when a fresh compressed snapshot exists.
+  double ScanCost(const std::string& alias) const;
 
   /// Equi-join selectivity for `left_col = right_col`: 1/max(ndv_l, ndv_r);
   /// falls back to 0.01 when statistics are missing.
   double JoinSelectivity(const std::string& left_col,
                          const std::string& right_col) const;
 
-  /// Per-operator cost constants (arbitrary units ~ row touches).
+  /// Historical per-operator cost constants (arbitrary units ~ row touches).
+  /// Kept as the documented defaults of the named coefficients.
   static constexpr double kSeqScanRowCost = 1.0;
   static constexpr double kIndexProbeCost = 4.0;   // traversal overhead
   static constexpr double kIndexRowCost = 1.5;     // fetch per matching row
@@ -53,6 +71,7 @@ class CostModel {
 
   const Catalog* catalog_;
   std::map<std::string, std::string> alias_to_table_;
+  obs::CalibratedCosts costs_;
 };
 
 }  // namespace query

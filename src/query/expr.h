@@ -53,6 +53,12 @@ struct Expr {
 
   // kLiteral
   storage::Value literal;
+  /// Positional parameter ordinal assigned by NormalizeStatement (-1 =
+  /// untagged). Clone preserves it; literals synthesized by the optimizer
+  /// (constant folding, tree-predicate rewriting) are untagged, which is how
+  /// the plan cache detects that a literal was consumed at plan time and the
+  /// template cannot be re-bound to new parameter values.
+  int param_index = -1;
 
   // kColumnRef: "alias.column" or bare "column" as written; `bound_index`
   // is filled by binding against an execution schema (-1 = unbound).

@@ -97,7 +97,8 @@ JoinOrderResult GreedyOrder(const std::vector<JoinRelation>& relations,
 }
 
 JoinOrderResult DpOrder(const std::vector<JoinRelation>& relations,
-                        const std::vector<JoinEdge>& edges) {
+                        const std::vector<JoinEdge>& edges,
+                        const obs::CalibratedCosts& costs) {
   const size_t n = relations.size();
   const uint32_t full = (1u << n) - 1;
   struct State {
@@ -120,9 +121,11 @@ JoinOrderResult DpOrder(const std::vector<JoinRelation>& relations,
       if (mask & (1u << i)) continue;
       uint32_t next = mask | (1u << i);
       double out_rows = SetRows(next, relations, edges);
-      // Penalize cross products so connected orders win ties decisively.
+      // Connected steps pay the per-row probe coefficient; cross products
+      // pay the penalty so connected orders win ties decisively.
       bool connected = !EdgesBetween(mask, i, edges).empty();
-      double step_cost = out_rows * (connected ? 1.0 : 10.0);
+      double step_cost = out_rows * (connected ? costs.hash_probe_row
+                                               : costs.cross_product_penalty);
       double total = dp[mask].cost + step_cost;
       if (total < dp[next].cost) {
         dp[next].cost = total;
@@ -154,7 +157,8 @@ JoinOrderResult DpOrder(const std::vector<JoinRelation>& relations,
 
 util::Result<JoinOrderResult> ChooseJoinOrder(
     const std::vector<JoinRelation>& relations,
-    const std::vector<JoinEdge>& edges, bool enable_reordering) {
+    const std::vector<JoinEdge>& edges, bool enable_reordering,
+    const obs::CalibratedCosts& costs) {
   if (relations.empty()) {
     return util::Status::InvalidArgument("no relations to order");
   }
@@ -170,7 +174,7 @@ util::Result<JoinOrderResult> ChooseJoinOrder(
     return FixedOrder(relations, edges);
   }
   if (relations.size() <= kDpTableLimit) {
-    return DpOrder(relations, edges);
+    return DpOrder(relations, edges, costs);
   }
   return GreedyOrder(relations, edges);
 }

@@ -336,5 +336,18 @@ util::Result<LogicalPtr> BuildLogicalPlan(const SelectStatement& stmt,
   return plan;
 }
 
+LogicalPtr CloneLogicalPlan(const LogicalPtr& plan) {
+  if (!plan) return nullptr;
+  auto out = std::make_shared<LogicalNode>(*plan);
+  if (out->scan_predicate) out->scan_predicate = out->scan_predicate->Clone();
+  if (out->predicate) out->predicate = out->predicate->Clone();
+  if (out->join_condition) out->join_condition = out->join_condition->Clone();
+  for (auto& o : out->outputs) o.expr = o.expr->Clone();
+  for (auto& g : out->group_by) g = g->Clone();
+  for (auto& k : out->order_by) k.expr = k.expr->Clone();
+  for (auto& c : out->children) c = CloneLogicalPlan(c);
+  return out;
+}
+
 }  // namespace query
 }  // namespace drugtree

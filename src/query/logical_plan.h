@@ -73,6 +73,11 @@ struct LogicalNode {
   std::string ToString(int indent = 0) const;
 };
 
+/// Deep copy of a plan: every node and every expression is cloned (schemas
+/// are value-copied), so the result can be rewritten — e.g. re-bound to new
+/// parameter values by the plan cache — without touching the original.
+LogicalPtr CloneLogicalPlan(const LogicalPtr& plan);
+
 /// Recomputes the node's (and descendants') output schemas against the
 /// catalog. Must be called after structural rewrites.
 util::Status ComputeSchema(LogicalNode* node, const Catalog& catalog);

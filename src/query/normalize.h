@@ -1,0 +1,52 @@
+// Statement normalization: the one place literals are factored out of a
+// parsed statement. Every cache key in the engine derives from it — the
+// semantic result cache keys on the canonical text, the plan cache keys on
+// the literal-free structural fingerprint, and parameter re-binding uses
+// the extracted literal vector — so equivalent statements can never
+// disagree between caches.
+
+#ifndef DRUGTREE_QUERY_NORMALIZE_H_
+#define DRUGTREE_QUERY_NORMALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "query/parser.h"
+#include "storage/value.h"
+
+namespace drugtree {
+namespace query {
+
+/// The normalized view of one SELECT statement.
+struct NormalizedStatement {
+  /// Canonical rendering with literal values in place — the result-cache
+  /// key text (identical to SelectStatement::ToString()). Empty when the
+  /// caller asked to skip it.
+  std::string canonical;
+  /// Structural fingerprint: the same rendering with every literal replaced
+  /// by its positional placeholder ("?0", "?1", ...). Statements differing
+  /// only in literal values share a fingerprint — the plan-cache key.
+  /// LIMIT is not an Expr and stays verbatim.
+  std::string fingerprint;
+  /// The literal values in placeholder order.
+  std::vector<storage::Value> params;
+};
+
+/// Normalizes `stmt` in place: tags every literal expression node with its
+/// positional parameter ordinal (Expr::param_index) in a fixed traversal
+/// order (select items, WHERE, GROUP BY, ORDER BY — the ToString order),
+/// and returns the canonical text, the fingerprint, and the extracted
+/// parameter vector. Tags survive Clone(), so they flow from the statement
+/// through logical planning into the optimized plan; optimizer-synthesized
+/// literals stay untagged.
+///
+/// `want_canonical` = false skips the canonical rendering (it is only
+/// needed for result-cache keys; the plan-cache hit path runs hot without
+/// it).
+NormalizedStatement NormalizeStatement(SelectStatement* stmt,
+                                       bool want_canonical = true);
+
+}  // namespace query
+}  // namespace drugtree
+
+#endif  // DRUGTREE_QUERY_NORMALIZE_H_

@@ -1,0 +1,236 @@
+#include "query/plan_cache.h"
+
+#include <set>
+
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace query {
+namespace {
+
+void CollectOrdinals(const Expr* expr, std::set<int>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == ExprKind::kLiteral && expr->param_index >= 0) {
+    out->insert(expr->param_index);
+  }
+  for (const auto& c : expr->children) CollectOrdinals(c.get(), out);
+}
+
+void CollectOrdinals(const LogicalPtr& node, std::set<int>* out) {
+  if (node == nullptr) return;
+  CollectOrdinals(node->scan_predicate.get(), out);
+  CollectOrdinals(node->predicate.get(), out);
+  CollectOrdinals(node->join_condition.get(), out);
+  for (const auto& o : node->outputs) CollectOrdinals(o.expr.get(), out);
+  for (const auto& g : node->group_by) CollectOrdinals(g.get(), out);
+  for (const auto& k : node->order_by) CollectOrdinals(k.expr.get(), out);
+  for (const auto& c : node->children) CollectOrdinals(c, out);
+}
+
+/// True iff every ordinal 0..n-1 survived optimization verbatim. A missing
+/// ordinal means a rewrite consumed that literal while planning (folded it,
+/// baked it into interval bounds, or dropped its conjunct), so the template
+/// only reproduces correct results for its own parameter values.
+bool ComputeRebindable(const LogicalPtr& plan, size_t num_params) {
+  std::set<int> present;
+  CollectOrdinals(plan, &present);
+  if (present.size() != num_params) return false;
+  for (size_t i = 0; i < num_params; ++i) {
+    if (present.count(static_cast<int>(i)) == 0) return false;
+  }
+  return true;
+}
+
+void SubstituteParams(Expr* expr, const std::vector<storage::Value>& params) {
+  if (expr == nullptr) return;
+  if (expr->kind == ExprKind::kLiteral && expr->param_index >= 0 &&
+      static_cast<size_t>(expr->param_index) < params.size()) {
+    expr->literal = params[static_cast<size_t>(expr->param_index)];
+  }
+  for (const auto& c : expr->children) SubstituteParams(c.get(), params);
+}
+
+void SubstituteParams(const LogicalPtr& node,
+                      const std::vector<storage::Value>& params) {
+  if (node == nullptr) return;
+  SubstituteParams(node->scan_predicate.get(), params);
+  SubstituteParams(node->predicate.get(), params);
+  SubstituteParams(node->join_condition.get(), params);
+  for (const auto& o : node->outputs) SubstituteParams(o.expr.get(), params);
+  for (const auto& g : node->group_by) SubstituteParams(g.get(), params);
+  for (const auto& k : node->order_by) SubstituteParams(k.expr.get(), params);
+  for (const auto& c : node->children) SubstituteParams(c, params);
+}
+
+bool SameValue(const storage::Value& a, const storage::Value& b) {
+  // Stricter than Value::operator== (which equates Int64 42 and Double
+  // 42.0): a cached plan may have specialized on the literal's type, so
+  // only byte-for-byte-equivalent parameters count as "identical".
+  if (a.type() != b.type()) return false;
+  if (a.is_null()) return true;
+  return a.Compare(b) == 0;
+}
+
+}  // namespace
+
+PlanCache::VersionSignature PlanCache::CaptureVersions(
+    const Catalog& catalog, const SelectStatement& stmt,
+    uint64_t cost_version) {
+  VersionSignature sig;
+  sig.catalog_epoch = catalog.epoch();
+  sig.cost_version = cost_version;
+  sig.tables.reserve(stmt.tables.size());
+  for (const TableRef& ref : stmt.tables) {
+    auto table = catalog.Lookup(ref.table);
+    sig.tables.emplace_back(ref.table,
+                            table.ok() ? (*table)->plan_version() : 0);
+  }
+  return sig;
+}
+
+namespace {
+
+bool SameParams(const std::vector<storage::Value>& a,
+                const std::vector<storage::Value>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!SameValue(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PlanCache::Lookup PlanCache::Get(const std::string& fingerprint,
+                                 const VersionSignature& current,
+                                 const std::vector<storage::Value>& params) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return {};
+  }
+  Entry& entry = it->second;
+  if (!(entry.versions == current)) {
+    lru_.erase(entry.lru_it);
+    entries_.erase(it);
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return {};
+  }
+  // Exact parameter vector: reuse that variant's plan verbatim.
+  for (auto v = entry.variants.begin(); v != entry.variants.end(); ++v) {
+    if (!SameParams(v->params, params)) continue;
+    entry.variants.splice(entry.variants.begin(), entry.variants, v);
+    TouchLocked(entry, fingerprint);
+    ++stats_.hits;
+    return {entry.variants.front().plan, false};
+  }
+  // No exact variant: re-bind any re-bindable one (they are structural
+  // clones of each other, so the first with matching arity + literal types
+  // is as good as any), and memoize the bound clone so the next execution
+  // with these literals skips the clone + substitution too.
+  for (const Template& tmpl : entry.variants) {
+    bool can_rebind = tmpl.rebindable && tmpl.params.size() == params.size();
+    for (size_t i = 0; can_rebind && i < params.size(); ++i) {
+      can_rebind = tmpl.params[i].type() == params[i].type();
+    }
+    if (!can_rebind) continue;
+    LogicalPtr bound = CloneLogicalPlan(tmpl.plan);
+    SubstituteParams(bound, params);
+    entry.variants.push_front(Template{bound, params, /*rebindable=*/true});
+    TrimVariantsLocked(entry);
+    TouchLocked(entry, fingerprint);
+    ++stats_.hits;
+    ++stats_.rebinds;
+    return {std::move(bound), true};
+  }
+  // Structural match only: every resident variant consumed a literal at
+  // plan time (or the types changed). Reusing one could return wrong
+  // results, so re-plan.
+  ++stats_.misses;
+  return {};
+}
+
+void PlanCache::Install(const std::string& fingerprint, LogicalPtr plan,
+                        std::vector<storage::Value> params,
+                        VersionSignature versions) {
+  Template tmpl;
+  tmpl.rebindable = ComputeRebindable(plan, params.size());
+  tmpl.plan = std::move(plan);
+  tmpl.params = std::move(params);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(fingerprint);
+  if (it != entries_.end()) {
+    Entry& entry = it->second;
+    if (!(entry.versions == versions)) {
+      // The entry went stale between this planner's Get and Install (or a
+      // concurrent slot raced a catalog bump): start the variant list over
+      // under the fresh signature.
+      entry.variants.clear();
+      entry.versions = std::move(versions);
+    }
+    entry.variants.push_front(std::move(tmpl));
+    TrimVariantsLocked(entry);
+    TouchLocked(entry, fingerprint);
+  } else {
+    lru_.push_front(fingerprint);
+    Entry entry;
+    entry.versions = std::move(versions);
+    entry.variants.push_front(std::move(tmpl));
+    entry.lru_it = lru_.begin();
+    entries_.emplace(fingerprint, std::move(entry));
+    while (entries_.size() > capacity_) {
+      entries_.erase(lru_.back());
+      lru_.pop_back();
+    }
+  }
+  ++stats_.installs;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::string PlanCache::StatszJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t variants = 0;
+  for (const auto& kv : entries_) variants += kv.second.variants.size();
+  return util::StringPrintf(
+      "{\"entries\":%zu,\"variants\":%zu,\"capacity\":%zu,\"hits\":%lld,"
+      "\"rebinds\":%lld,\"misses\":%lld,\"invalidations\":%lld,"
+      "\"installs\":%lld,\"variant_evictions\":%lld}",
+      entries_.size(), variants, capacity_, (long long)stats_.hits,
+      (long long)stats_.rebinds, (long long)stats_.misses,
+      (long long)stats_.invalidations, (long long)stats_.installs,
+      (long long)stats_.variant_evictions);
+}
+
+void PlanCache::TouchLocked(Entry& entry, const std::string& fingerprint) {
+  lru_.erase(entry.lru_it);
+  lru_.push_front(fingerprint);
+  entry.lru_it = lru_.begin();
+}
+
+void PlanCache::TrimVariantsLocked(Entry& entry) {
+  while (entry.variants.size() > kMaxVariantsPerEntry) {
+    entry.variants.pop_back();
+    ++stats_.variant_evictions;
+  }
+}
+
+}  // namespace query
+}  // namespace drugtree

@@ -5,6 +5,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/trace_context.h"
+#include "query/normalize.h"
 #include "query/parser.h"
 #include "util/string_util.h"
 
@@ -299,8 +300,18 @@ util::Result<QueryOutcome> Planner::Run(const std::string& sql,
   const bool use_cache = options.use_result_cache &&
                          result_cache_ != nullptr &&
                          stmt.explain == ExplainMode::kNone;
+  // Literal normalization: tags every literal in the statement with its
+  // positional ordinal (in place), and yields the canonical text (result
+  // cache key — skipped when unused, it is pure rendering cost on the
+  // plan-cache hit path) plus the structural fingerprint (plan cache key).
+  // Both keys derive from one traversal, so equivalent statements agree by
+  // construction.
+  NormalizedStatement norm = [&] {
+    obs::TracePhaseScope plan_phase(obs::TracePhase::kPlan);
+    return NormalizeStatement(&stmt.select, /*want_canonical=*/use_cache);
+  }();
   if (use_cache) {
-    cache_key = ResultCache::MakeKey(stmt.select.ToString(), catalog_->epoch());
+    cache_key = ResultCache::MakeKey(norm.canonical, catalog_->epoch());
     if (auto cached = result_cache_->Get(cache_key)) {
       if (trace != nullptr) trace->BumpCounter("result_cache_hit");
       QueryOutcome outcome;
@@ -310,14 +321,48 @@ util::Result<QueryOutcome> Planner::Run(const std::string& sql,
     }
     if (trace != nullptr) trace->BumpCounter("result_cache_miss");
   }
-  DRUGTREE_ASSIGN_OR_RETURN(LogicalPtr optimized, [&] {
-    obs::TracePhaseScope plan_phase(obs::TracePhase::kPlan);
-    DT_SPAN("query.optimize");
-    util::Result<LogicalPtr> logical = BuildLogicalPlan(stmt.select, *catalog_);
-    if (!logical.ok()) return logical;
-    return OptimizeLogicalPlan(*logical, *catalog_, options.optimizer);
-  }());
+  // Optimization prices plans with the calibrator's current coefficient
+  // snapshot (defaults when no calibrator is attached). The snapshot's
+  // version is part of the plan-cache signature, so a recalibration
+  // invalidates plans priced under the old coefficients.
+  obs::CalibratedCosts costs;
+  OptimizerOptions optimizer = options.optimizer;
+  if (calibrator_ != nullptr) {
+    costs = calibrator_->snapshot();
+    optimizer.costs = &costs;
+  }
   QueryOutcome outcome;
+  PlanCache::VersionSignature versions;
+  LogicalPtr optimized;
+  if (plan_cache_ != nullptr) {
+    obs::TracePhaseScope plan_phase(obs::TracePhase::kPlan);
+    DT_SPAN("query.plan.cache");
+    versions = PlanCache::CaptureVersions(*catalog_, stmt.select,
+                                          costs.version);
+    PlanCache::Lookup lookup =
+        plan_cache_->Get(norm.fingerprint, versions, norm.params);
+    if (lookup.plan != nullptr) {
+      optimized = std::move(lookup.plan);
+      outcome.from_plan_cache = true;
+    }
+    if (trace != nullptr) {
+      trace->BumpCounter(outcome.from_plan_cache ? "plan_cache_hit"
+                                                 : "plan_cache_miss");
+    }
+  }
+  if (optimized == nullptr) {
+    DRUGTREE_ASSIGN_OR_RETURN(optimized, [&] {
+      obs::TracePhaseScope plan_phase(obs::TracePhase::kPlan);
+      DT_SPAN("query.optimize");
+      util::Result<LogicalPtr> logical =
+          BuildLogicalPlan(stmt.select, *catalog_);
+      if (!logical.ok()) return logical;
+      return OptimizeLogicalPlan(*logical, *catalog_, optimizer);
+    }());
+    if (plan_cache_ != nullptr) {
+      plan_cache_->Install(norm.fingerprint, optimized, norm.params, versions);
+    }
+  }
   outcome.logical_plan = optimized->ToString();
   DRUGTREE_ASSIGN_OR_RETURN(PhysicalPtr physical, [&] {
     obs::TracePhaseScope plan_phase(obs::TracePhase::kPlan);
@@ -325,6 +370,11 @@ util::Result<QueryOutcome> Planner::Run(const std::string& sql,
     return ToPhysical(optimized, options, &outcome.stats);
   }());
   outcome.physical_plan = physical->ExplainString();
+  if (outcome.from_plan_cache) {
+    // Mirror the shard router's "route: ..." convention so EXPLAIN shows
+    // when the optimizer was skipped.
+    outcome.physical_plan = "plan: cached\n" + outcome.physical_plan;
+  }
   if (stmt.explain == ExplainMode::kPlan) {
     // Plan-only: the plan texts are the result.
     return outcome;
@@ -345,8 +395,12 @@ util::Result<QueryOutcome> Planner::Run(const std::string& sql,
         ExecutePlan(physical.get(), context, options.batch_size));
   }
   if (analyze) {
-    outcome.analyzed_plan = obs::RenderExplainTree(physical->AnalyzeTree());
+    obs::ExplainNode analyzed = physical->AnalyzeTree();
+    outcome.analyzed_plan = obs::RenderExplainTree(analyzed);
     if (trace != nullptr) trace->set_analyzed_plan(outcome.analyzed_plan);
+    // Close the loop: fold the observed per-operator timings back into the
+    // cost coefficients future optimizations will price plans with.
+    if (calibrator_ != nullptr) calibrator_->Observe(analyzed);
   }
   if (use_cache) {
     result_cache_->Put(cache_key, outcome.result);

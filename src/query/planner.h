@@ -9,9 +9,11 @@
 #include <memory>
 #include <string>
 
+#include "obs/cost_calibrator.h"
 #include "query/catalog.h"
 #include "query/executor.h"
 #include "query/logical_plan.h"
+#include "query/plan_cache.h"
 #include "query/query_context.h"
 #include "query/result_cache.h"
 #include "query/rules.h"
@@ -61,13 +63,27 @@ struct QueryOutcome {
   std::string analyzed_plan;
   ExecStats stats;
   bool from_result_cache = false;
+  /// True when the logical plan came from the plan cache (reused verbatim
+  /// or re-bound to this statement's literals) instead of the optimizer.
+  bool from_plan_cache = false;
 };
 
 class Planner {
  public:
-  /// `catalog` is borrowed; `result_cache` may be null.
-  explicit Planner(Catalog* catalog, ResultCache* result_cache = nullptr)
-      : catalog_(catalog), result_cache_(result_cache) {}
+  /// `catalog` is borrowed; the caches and the calibrator may be null (and
+  /// are shared across planners when the serving layer passes the same
+  /// instances to every slot). With a `plan_cache`, optimized logical plans
+  /// are cached as parameterized templates keyed by the statement's
+  /// structural fingerprint; with a `calibrator`, optimization prices plans
+  /// with its latest calibrated coefficients and every analyzed execution
+  /// feeds observations back.
+  explicit Planner(Catalog* catalog, ResultCache* result_cache = nullptr,
+                   PlanCache* plan_cache = nullptr,
+                   obs::CostCalibrator* calibrator = nullptr)
+      : catalog_(catalog),
+        result_cache_(result_cache),
+        plan_cache_(plan_cache),
+        calibrator_(calibrator) {}
 
   /// Parses + optimizes + plans + executes one statement. A leading
   /// EXPLAIN prefix skips execution and returns only the plan text; a
@@ -96,6 +112,8 @@ class Planner {
 
   Catalog* catalog_;
   ResultCache* result_cache_;
+  PlanCache* plan_cache_;
+  obs::CostCalibrator* calibrator_;
   std::unique_ptr<util::ThreadPool> pool_;
   int pool_workers_ = 0;
 };

@@ -261,7 +261,7 @@ util::Result<LogicalPtr> OptimizeLogicalPlan(const LogicalPtr& plan,
   }
 
   // Attach scan predicates and estimate cardinalities.
-  CostModel cost(&catalog, alias_to_table);
+  CostModel cost(&catalog, alias_to_table, options.costs);
   std::vector<JoinRelation> relations;
   std::map<std::string, size_t> alias_index;
   for (auto& s : region.scans) {
@@ -288,7 +288,8 @@ util::Result<LogicalPtr> OptimizeLogicalPlan(const LogicalPtr& plan,
 
   DRUGTREE_ASSIGN_OR_RETURN(JoinOrderResult order, [&] {
     DT_SPAN("query.join_order");
-    return ChooseJoinOrder(relations, edges, options.enable_join_reorder);
+    return ChooseJoinOrder(relations, edges, options.enable_join_reorder,
+                           cost.costs());
   }());
 
   // Rebuild the join tree left-deep in the chosen order.

@@ -9,6 +9,7 @@
 #include <map>
 #include <string>
 
+#include "obs/cost_calibrator.h"
 #include "query/catalog.h"
 #include "query/expr.h"
 #include "query/logical_plan.h"
@@ -22,9 +23,13 @@ struct OptimizerOptions {
   bool enable_tree_rewrite = true;
   bool enable_pushdown = true;
   bool enable_join_reorder = true;
+  /// Borrowed calibrated cost coefficients for the CostModel / join
+  /// ordering. Null = the built-in defaults (bit-identical to the
+  /// pre-calibration planner). The planner stamps a fresh snapshot per run.
+  const obs::CalibratedCosts* costs = nullptr;
 
   static OptimizerOptions AllOff() {
-    return {false, false, false, false};
+    return {false, false, false, false, nullptr};
   }
   static OptimizerOptions AllOn() { return {}; }
 };

@@ -99,10 +99,18 @@ DrugTreeServer::DrugTreeServer(query::Catalog* catalog, util::Clock* clock,
     result_cache_->AttachMemoryTracker(
         memory_root_.GetOrCreateChild("result_cache"));
   }
+  // Plan cache / calibrator / adaptive controller are always constructed
+  // (Statusz shows an all-zero block when a feature is off) but only wired
+  // into the planners when enabled.
+  plan_cache_ = std::make_unique<query::PlanCache>(options_.plan_cache_entries);
+  calibrator_ = std::make_unique<obs::CostCalibrator>();
+  adaptive_ = std::make_unique<AdaptiveController>(options_.adaptive);
   int slots = std::max(1, options_.scheduler.total_slots);
   for (int s = 0; s < slots; ++s) {
-    planners_.push_back(
-        std::make_unique<query::Planner>(catalog_, result_cache_.get()));
+    planners_.push_back(std::make_unique<query::Planner>(
+        catalog_, result_cache_.get(),
+        options_.enable_plan_cache ? plan_cache_.get() : nullptr,
+        options_.enable_cost_calibration ? calibrator_.get() : nullptr));
     free_slots_.push_back(s);
   }
   auto* registry = obs::MetricRegistry::Default();
@@ -305,6 +313,12 @@ std::string DrugTreeServer::Statusz() {
     }
     out += "}";
   }
+  out += ",\"plan_cache\":";
+  out += plan_cache_->StatszJson();
+  out += ",\"cost_calibrator\":";
+  out += calibrator_->StatszJson();
+  out += ",\"adaptive\":";
+  out += adaptive_->StatszJson();
   out += util::StringPrintf(
       ",\"trace_store\":{\"recorded\":%lld,\"dropped\":%lld,\"slow\":%lld}}",
       (long long)trace_store_.total_recorded(),
@@ -396,6 +410,14 @@ void DrugTreeServer::Execute(PendingRequest req, int slot) {
         // slow log is armed.
         context.collect_analyze =
             trace != nullptr && trace_store_.slow_threshold_micros() > 0;
+        // Adaptive knob override: batch size and parallelism are
+        // result-invariance axes, so retuning them per class changes
+        // latency, never answers.
+        if (adaptive_->options().enabled) {
+          AdaptiveKnobs knobs = adaptive_->knobs(cls);
+          req.request.planner.batch_size = knobs.batch_size;
+          req.request.planner.parallelism = knobs.parallelism;
+        }
         result = planners_[static_cast<size_t>(slot)]->Run(
             req.request.sql, req.request.planner, &context);
       }
@@ -405,6 +427,7 @@ void DrugTreeServer::Execute(PendingRequest req, int slot) {
       deadline_missed = deadline > 0 && end > deadline;
       slo_[static_cast<size_t>(cls)]->Record(end - req.enqueue_micros,
                                              result.ok());
+      adaptive_->Record(cls, end - req.enqueue_micros);
       {
         std::lock_guard<std::mutex> lock(mu_);
         ClassCounters& c = counters_[static_cast<size_t>(cls)];

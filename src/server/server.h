@@ -25,13 +25,16 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/cost_calibrator.h"
 #include "obs/metrics.h"
 #include "obs/resource_tracker.h"
 #include "obs/slo_tracker.h"
 #include "obs/trace_store.h"
+#include "query/plan_cache.h"
 #include "query/planner.h"
 #include "query/query_context.h"
 #include "query/result_cache.h"
+#include "server/adaptive.h"
 #include "server/admission.h"
 #include "server/request.h"
 #include "server/scheduler.h"
@@ -93,6 +96,20 @@ struct ServerOptions {
   int64_t analytic_slo_micros = 1'000'000;
   double slo_objective = 0.99;
   int64_t slo_window_micros = 60'000'000;
+
+  /// Parameterized plan cache shared by every planner slot: optimized
+  /// logical plans are cached as templates keyed by structural fingerprint
+  /// and re-bound to each statement's literals (see query::PlanCache).
+  /// Invalidation is version-driven, so the cache stays correct across
+  /// catalog mutations, Analyze, and encoded-segment builds/drops.
+  bool enable_plan_cache = true;
+  size_t plan_cache_entries = 256;
+  /// Fold observed per-operator timings (from analyzed executions) back
+  /// into the optimizer's cost coefficients (see obs::CostCalibrator).
+  bool enable_cost_calibration = true;
+  /// Closed-loop retuning of per-class batch size / parallelism from
+  /// interactive tail latency. Disabled by default.
+  AdaptiveOptions adaptive;
 };
 
 /// Shared completion state behind a ResponseHandle. Internal to the serving
@@ -185,6 +202,12 @@ class DrugTreeServer {
 
   util::Clock* clock() const { return clock_; }
   query::ResultCache* result_cache() { return result_cache_.get(); }
+  /// Always present; fed by the planners only when the matching
+  /// ServerOptions flag is on, so a disabled feature reads as all-zero
+  /// stats rather than a missing block.
+  query::PlanCache* plan_cache() { return plan_cache_.get(); }
+  obs::CostCalibrator* cost_calibrator() { return calibrator_.get(); }
+  const AdaptiveController* adaptive() const { return adaptive_.get(); }
 
   /// Completed per-request traces (slow-query log, Chrome export, tail
   /// attribution). Always present; empty when tracing is disabled.
@@ -263,6 +286,9 @@ class DrugTreeServer {
   int64_t resident_table_bytes_ = 0;
   std::array<std::unique_ptr<obs::SloTracker>, kNumQueryClasses> slo_;
   std::unique_ptr<query::ResultCache> result_cache_;
+  std::unique_ptr<query::PlanCache> plan_cache_;
+  std::unique_ptr<obs::CostCalibrator> calibrator_;
+  std::unique_ptr<AdaptiveController> adaptive_;
   /// One planner per scheduler slot: a slot is an exclusive token, so its
   /// planner (and any lazily created morsel pool) is never shared.
   std::vector<std::unique_ptr<query::Planner>> planners_;

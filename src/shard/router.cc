@@ -474,10 +474,18 @@ void ShardRouter::FinishSub(Replica& replica, uint64_t token) {
   replica.in_flight.fetch_sub(1, std::memory_order_relaxed);
 }
 
+int64_t UpdateHopCostEwma(std::atomic<int64_t>& ewma, int64_t micros) {
+  int64_t prev = ewma.load(std::memory_order_relaxed);
+  int64_t next;
+  do {
+    next = prev == 0 ? micros : (3 * prev + micros) / 4;
+  } while (!ewma.compare_exchange_weak(prev, next,
+                                       std::memory_order_relaxed));
+  return next;
+}
+
 void ShardRouter::ObserveHopCost(Shard& shard, int64_t micros) {
-  int64_t prev = shard.hop_cost_ewma.load(std::memory_order_relaxed);
-  int64_t next = prev == 0 ? micros : (3 * prev + micros) / 4;
-  shard.hop_cost_ewma.store(next, std::memory_order_relaxed);
+  UpdateHopCostEwma(shard.hop_cost_ewma, micros);
 }
 
 util::Result<query::QueryOutcome> ShardRouter::Submit(

@@ -59,6 +59,15 @@ enum class RouteKind {
 
 const char* RouteKindName(RouteKind kind);
 
+/// Folds one round-trip observation into an atomic hop-cost EWMA
+/// (alpha = 1/4) and returns the stored value. The first observation seeds
+/// the average directly (0 means "never observed", so cold shards don't
+/// spend their first several requests averaging up from zero), and the
+/// whole read-modify-write is a CAS loop: concurrent gathers on the same
+/// shard each fold in exactly one observation instead of silently
+/// overwriting each other.
+int64_t UpdateHopCostEwma(std::atomic<int64_t>& ewma, int64_t micros);
+
 /// The routing decision for one statement — what EXPLAIN surfaces.
 struct RouteDecision {
   RouteKind kind = RouteKind::kFallback;

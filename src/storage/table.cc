@@ -131,6 +131,7 @@ util::Status Table::Analyze(int histogram_buckets) {
                                                 histogram_buckets));
   stats_ = std::make_unique<TableStats>(std::move(stats));
   stats_version_ = version_;
+  ++meta_version_;  // cost estimates derived from stats are now stale
   return util::Status::OK();
 }
 
@@ -154,6 +155,7 @@ util::Status Table::BuildEncodedSegments(size_t segment_rows) {
       BuildEncodedTableSnapshot(schema_.NumColumns(), live, segment_rows));
   snap->built_version = version_;
   encoded_ = std::move(snap);
+  ++meta_version_;  // scan access paths (and their costs) changed
   return util::Status::OK();
 }
 

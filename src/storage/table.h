@@ -98,6 +98,13 @@ class Table {
   /// is how staleness is detected.
   uint64_t version() const { return version_; }
 
+  /// Monotonic counter covering everything a cached *plan* depends on:
+  /// bumped by mutations (data + cardinalities change), by Analyze()
+  /// (statistics the cost model read change), and by building or dropping
+  /// encoded segments (the access paths the planner priced change). The
+  /// plan cache captures it per referenced table and re-plans on any bump.
+  uint64_t plan_version() const { return version_ + meta_version_; }
+
   /// Default rows per encoded segment.
   static constexpr size_t kDefaultSegmentRows = 4096;
 
@@ -107,7 +114,10 @@ class Table {
   util::Status BuildEncodedSegments(size_t segment_rows = kDefaultSegmentRows);
 
   /// Drops the encoded snapshot; scans revert to the plain row path.
-  void DropEncodedSegments() { encoded_.reset(); }
+  void DropEncodedSegments() {
+    if (encoded_ != nullptr) ++meta_version_;
+    encoded_.reset();
+  }
 
   /// The encoded snapshot when one exists AND is current, else nullptr.
   /// Any Insert/Delete after BuildEncodedSegments() makes this return
@@ -153,6 +163,8 @@ class Table {
   std::unique_ptr<EncodedTableSnapshot> encoded_;
   uint64_t version_ = 0;
   uint64_t stats_version_ = 0;
+  /// Non-mutation plan dependencies: Analyze + encoded build/drop bumps.
+  uint64_t meta_version_ = 0;
 };
 
 }  // namespace storage

@@ -400,6 +400,36 @@ TEST_F(ShardTest, StatuszAndObservabilitySurfaces) {
   EXPECT_NE(tail.find("slowest shard"), std::string::npos) << tail;
 }
 
+TEST(HopCostEwmaTest, FirstObservationSeedsDirectly) {
+  std::atomic<int64_t> ewma{0};
+  // A cold shard adopts the first round-trip outright instead of averaging
+  // up from zero over several requests.
+  EXPECT_EQ(UpdateHopCostEwma(ewma, 400), 400);
+  EXPECT_EQ(ewma.load(), 400);
+  // Subsequent observations fold in at alpha = 1/4.
+  EXPECT_EQ(UpdateHopCostEwma(ewma, 800), 500);  // (3*400 + 800) / 4
+  EXPECT_EQ(ewma.load(), 500);
+}
+
+TEST(HopCostEwmaTest, ConcurrentUpdatesNeverLoseObservations) {
+  std::atomic<int64_t> ewma{0};
+  constexpr int kThreads = 8;
+  constexpr int kUpdates = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ewma] {
+      for (int i = 0; i < kUpdates; ++i) {
+        UpdateHopCostEwma(ewma, 500);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Every fold of a constant series converges to (and stays at) the
+  // constant; with the CAS loop no interleaving can leave anything else.
+  EXPECT_EQ(ewma.load(), 500);
+}
+
 }  // namespace
 }  // namespace shard
 }  // namespace drugtree
