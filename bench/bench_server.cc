@@ -17,8 +17,11 @@
 
 #include "bench_util.h"
 #include "core/drugtree.h"
+#include "obs/alerts.h"
+#include "obs/metrics.h"
 #include "obs/resource_tracker.h"
 #include "obs/slo_tracker.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "obs/trace_store.h"
 #include "server/server.h"
@@ -413,6 +416,166 @@ int RunMemSweep() {
   return 0;
 }
 
+// E16: continuous telemetry on a virtual clock. A single-slot server runs a
+// serialized closed-loop workload in three phases — healthy, browned-out
+// (the fault knob adds 20ms of virtual execution delay, 4x the 5ms
+// interactive SLO), recovery — while the sampler records the metric
+// timeline and the alert engine watches the SLO burn rate. The telemetry
+// claim: the multi-window burn-rate alert fires during the brown-out (and
+// only then), health goes critical, the alert resolves once the faulted
+// requests roll out of the SLO window, and the whole timeline + alert
+// history is *bit-identical* across runs — which is what perf_gate.sh
+// stands on.
+struct TelemetryRunResult {
+  std::string timeline_json;
+  std::string alerts_json;
+  int64_t timeline_points = 0;
+  size_t num_series = 0;
+  int64_t burn_fired = 0;
+  int64_t burn_resolved = 0;
+};
+
+TelemetryRunResult RunTelemetryScenarioOnce() {
+  // Registry metrics are process-global and cumulative; reset so the second
+  // run starts from the same state as the first.
+  obs::MetricRegistry::Default()->ResetAll();
+  util::SimulatedClock clock;
+  auto dt = MakeInstance(&clock);
+
+  server::ServerOptions sopts;
+  sopts.worker_threads = 1;
+  sopts.scheduler.total_slots = 1;
+  sopts.scheduler.interactive_slots = 1;
+  sopts.scheduler.analytic_slots = 1;
+  sopts.interactive_slo_micros = 5'000;    // fault delay (20ms) is 4x this
+  sopts.slo_window_micros = 2'000'000;     // 2s rolling SLO window
+  sopts.telemetry.sample_interval_micros = 100'000;
+  auto server = dt->MakeServer(sopts);
+  DT_CHECK(server->timeline() != nullptr)
+      << "telemetry disabled (DRUGTREE_TELEMETRY=0?) -- E16 needs it on";
+
+  util::Rng rng(31);
+  size_t num_nodes = dt->tree().NumNodes();
+  auto pump = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      server::QueryRequest request;
+      request.session_id = 1;
+      request.sql = dt->OverlayQuerySql(
+          static_cast<phylo::NodeId>(rng.Uniform(num_nodes)));
+      request.query_class = server::QueryClass::kInteractive;
+      auto r = server->Submit(std::move(request));
+      DT_CHECK(r.ok()) << r.status();
+      clock.AdvanceMicros(50'000);  // 20 requests/s of virtual time
+    }
+  };
+
+  pump(20);  // phase 1: healthy (zero virtual latency, SLO met)
+  DT_CHECK(server->health() == obs::HealthState::kHealthy)
+      << "healthy phase ended " << obs::HealthStateName(server->health());
+
+  server->set_fault_execution_delay_micros(20'000);
+  pump(20);  // phase 2: brown-out (every request misses the 5ms SLO)
+  DT_CHECK(server->health() == obs::HealthState::kCritical)
+      << "brown-out did not go critical: "
+      << obs::HealthStateName(server->health());
+
+  server->set_fault_execution_delay_micros(0);
+  // Phase 3: recovery. 3s of virtual time -- the SLO window is 2s and the
+  // last faulted request landed ~2.4s in (the fault itself advances the
+  // clock), so the misses roll out with a full second of clean samples to
+  // spare for the alert's own short window to drop below threshold.
+  pump(60);
+  server->Drain();
+  DT_CHECK(server->health() == obs::HealthState::kHealthy)
+      << "recovery ended " << obs::HealthStateName(server->health());
+
+  TelemetryRunResult out;
+  out.timeline_json = server->timeline()->ToJson();
+  out.alerts_json = server->alert_engine()->ToJson();
+  out.timeline_points = server->timeline()->total_points();
+  out.num_series = server->timeline()->num_series();
+  for (const obs::AlertStatus& s : server->alert_engine()->Statuses()) {
+    if (s.rule.name != "interactive_burn") continue;
+    out.burn_fired = s.fired;
+    out.burn_resolved = s.resolved;
+    DT_CHECK(s.state == obs::AlertState::kInactive)
+        << "interactive_burn still " << obs::AlertStateName(s.state);
+  }
+  DT_CHECK(out.burn_fired == 1 && out.burn_resolved == 1)
+      << "interactive_burn fired " << out.burn_fired << " resolved "
+      << out.burn_resolved;
+  return out;
+}
+
+int RunTelemetry(const std::string& timeline_json_path) {
+  bench::Banner("E16",
+                "continuous telemetry: deterministic metric timeline,\n"
+                "burn-rate alert firing/resolution, health transitions");
+  TelemetryRunResult a = RunTelemetryScenarioOnce();
+  TelemetryRunResult b = RunTelemetryScenarioOnce();
+  DT_CHECK(a.timeline_json == b.timeline_json)
+      << "timeline JSON differs across identical runs";
+  DT_CHECK(a.alerts_json == b.alerts_json)
+      << "alert JSON differs across identical runs";
+  std::printf("timeline: %zu series, %lld points (ring-bounded)\n",
+              a.num_series, (long long)a.timeline_points);
+  std::printf("interactive_burn: fired %lld, resolved %lld\n",
+              (long long)a.burn_fired, (long long)a.burn_resolved);
+  std::printf("bit-determinism: run1 == run2 (%zu timeline bytes, "
+              "%zu alert bytes)\n",
+              a.timeline_json.size(), a.alerts_json.size());
+
+  std::string artifact = "{\"timeline\":" + a.timeline_json +
+                         ",\"alerts\":" + a.alerts_json + "}";
+  std::FILE* f = std::fopen(timeline_json_path.c_str(), "w");
+  DT_CHECK(f != nullptr) << "cannot open " << timeline_json_path;
+  std::fprintf(f, "%s\n", artifact.c_str());
+  std::fclose(f);
+  std::printf("timeline artifact -> %s (%zu bytes)\n",
+              timeline_json_path.c_str(), artifact.size());
+
+  std::printf("\nshape check: the burn-rate alert fires exactly once (during\n"
+              "the injected brown-out), resolves after the SLO window rolls\n"
+              "clear, health walks healthy -> critical -> healthy, and both\n"
+              "runs produce byte-identical telemetry.\n");
+  return 0;
+}
+
+// `--abprobe`: a fixed-count serialized real-clock workload whose total
+// wall time is the only output. scripts/obs_noop_ab.sh runs it with
+// DRUGTREE_TELEMETRY=0 vs =1 (interleaved, best-of-N) to bound telemetry
+// overhead. The 10ms sample interval makes sampling *actually happen* many
+// times within the run, unlike the 250ms default.
+int RunAbProbe() {
+  util::SimulatedClock build_clock;
+  auto dt = MakeInstance(&build_clock);
+  server::ServerOptions sopts;
+  sopts.worker_threads = 2;
+  sopts.scheduler.total_slots = 2;
+  sopts.telemetry.sample_interval_micros = 10'000;
+  auto server = dt->MakeServer(sopts, util::RealClock::Instance());
+
+  util::Rng rng(3);
+  size_t num_nodes = dt->tree().NumNodes();
+  util::Clock* wall = util::RealClock::Instance();
+  auto submit_one = [&] {
+    server::QueryRequest request;
+    request.session_id = 1;
+    request.sql = dt->OverlayQuerySql(
+        static_cast<phylo::NodeId>(rng.Uniform(num_nodes)));
+    request.query_class = server::QueryClass::kInteractive;
+    auto r = server->Submit(std::move(request));
+    DT_CHECK(r.ok()) << r.status();
+  };
+  for (int i = 0; i < 50; ++i) submit_one();  // warm caches + pool
+  int64_t start = wall->NowMicros();
+  for (int i = 0; i < 400; ++i) submit_one();
+  int64_t micros = wall->NowMicros() - start;
+  server->Drain();
+  std::printf("abprobe_micros: %lld\n", (long long)micros);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -422,17 +585,32 @@ int main(int argc, char** argv) {
   bool forensics = false;
   bool statusz = false;
   bool memsweep = false;
+  bool telemetry = false;
+  bool abprobe = false;
   std::string trace_json_path = "bench_forensics_trace.json";
+  std::string timeline_json_path = "bench_server_timeline.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--forensics") == 0) forensics = true;
     if (std::strcmp(argv[i], "--statusz") == 0) statusz = true;
     if (std::strcmp(argv[i], "--memsweep") == 0) memsweep = true;
+    if (std::strcmp(argv[i], "--telemetry") == 0) telemetry = true;
+    if (std::strcmp(argv[i], "--abprobe") == 0) abprobe = true;
     if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
       trace_json_path = argv[i] + 13;
+    }
+    if (std::strncmp(argv[i], "--timeline-json=", 16) == 0) {
+      timeline_json_path = argv[i] + 16;
     }
   }
   // `--statusz` keeps stdout machine-readable: the JSON snapshot only.
   if (statusz) return RunStatusz();
+  // `--abprobe` keeps stdout machine-readable: the wall-time line only.
+  if (abprobe) return RunAbProbe();
+  if (telemetry) {
+    int rc = RunTelemetry(timeline_json_path);
+    drugtree::bench::DumpMetrics(metrics_flag);
+    return rc;
+  }
   if (memsweep) {
     int rc = RunMemSweep();
     drugtree::bench::DumpMetrics(metrics_flag);

@@ -6,7 +6,11 @@
 # baselines/: BENCH_<name>.json (the process metric registry snapshot via
 # --metrics-json) and BENCH_<name>.txt (the human-readable tables), so later
 # PRs can diff the perf trajectory against this one. The vectorized
-# throughput smoke's row-vs-batch speedup is recorded as text as well.
+# throughput smoke's row-vs-batch speedup is recorded as text as well, and
+# the E16 telemetry timeline (bench_server --telemetry) is recorded as the
+# reference artifact for scripts/perf_gate.sh. Every JSON artifact is
+# checked to exist and be non-empty; a bench that silently writes nothing
+# fails the script.
 #
 # Usage: scripts/bench_baseline.sh [build-dir]   (default: build)
 # Env:
@@ -38,8 +42,16 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)" \
 for name in ${BENCH_LIST}; do
   bin="${BUILD_DIR}/bench/${name}"
   echo "== ${name} -> ${OUT_DIR}/BENCH_${name}.{json,txt}"
+  rm -f "${OUT_DIR}/BENCH_${name}.json"
   "${bin}" --metrics-json="${OUT_DIR}/BENCH_${name}.json" \
     | tee "${OUT_DIR}/BENCH_${name}.txt"
+  # A bench that exits zero but writes no registry snapshot would silently
+  # record an empty baseline and every later bench_diff would "pass".
+  if [[ ! -s "${OUT_DIR}/BENCH_${name}.json" ]]; then
+    echo "bench_baseline: FAIL — ${name} produced no metrics JSON artifact" \
+         "at ${OUT_DIR}/BENCH_${name}.json" >&2
+    exit 1
+  fi
 done
 
 if [[ "${SMOKE}" == "1" ]]; then
@@ -60,6 +72,20 @@ if [[ " ${BENCH_LIST} " == *" bench_server "* ]]; then
   echo "== bench_server --memsweep -> ${OUT_DIR}/BENCH_bench_server_memsweep.txt"
   "${BUILD_DIR}/bench/bench_server" --memsweep \
     | tee "${OUT_DIR}/BENCH_bench_server_memsweep.txt"
+
+  # E16 telemetry timeline: the brown-out scenario on the virtual clock is
+  # bit-deterministic, so the recorded timeline + alert transitions are the
+  # reference artifact for scripts/perf_gate.sh.
+  echo "== bench_server --telemetry -> ${OUT_DIR}/BENCH_bench_server_timeline.json"
+  rm -f "${OUT_DIR}/BENCH_bench_server_timeline.json"
+  "${BUILD_DIR}/bench/bench_server" --telemetry \
+    --timeline-json="${OUT_DIR}/BENCH_bench_server_timeline.json" \
+    | tee "${OUT_DIR}/BENCH_bench_server_telemetry.txt"
+  if [[ ! -s "${OUT_DIR}/BENCH_bench_server_timeline.json" ]]; then
+    echo "bench_baseline: FAIL — bench_server --telemetry produced no" \
+         "timeline artifact" >&2
+    exit 1
+  fi
 fi
 
 echo "baselines written to ${OUT_DIR}/"

@@ -20,6 +20,8 @@
 #   DRUGTREE_AB_REPS             interleaved A/B repetitions (default: 5)
 #   DRUGTREE_AB_FILTER           --benchmark_filter for the probe workload
 #   DRUGTREE_TRACKER_BUDGET_PCT  tracker fast-path budget (default: 5)
+#   DRUGTREE_TELEMETRY_BUDGET_PCT  telemetry on/off budget (default: 5)
+#   DRUGTREE_TELEMETRY_AB_REPS     telemetry lane repetitions (default: 10)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,7 +38,7 @@ if [[ ! -d "${OFF_DIR}" ]]; then
   cmake -B "${OFF_DIR}" -S . -DCMAKE_BUILD_TYPE=Release -DDRUGTREE_OBS_NOOP=ON
 fi
 cmake --build "${ON_DIR}" -j "$(nproc)" \
-  --target bench_tree_query bench_vectorized_smoke bench_encoding
+  --target bench_tree_query bench_vectorized_smoke bench_encoding bench_server
 cmake --build "${OFF_DIR}" -j "$(nproc)" --target bench_tree_query
 
 SCRATCH="$(mktemp -d)"
@@ -90,6 +92,47 @@ if overhead > budget:
     sys.exit(f"obs_noop_ab: FAIL — tracing overhead {overhead:+.2f}% exceeds "
              f"+{budget:.0f}% budget")
 print("obs_noop_ab: OK")
+EOF
+
+# Continuous-telemetry overhead lane: the same serving probe workload with
+# the sampler + alert engine live (DRUGTREE_TELEMETRY=1, 10ms cadence) vs
+# disabled (DRUGTREE_TELEMETRY=0, null telemetry surfaces). Interleaved
+# best-of-N like the tracing gate; the probe prints one machine-readable
+# `abprobe_micros:` wall total per run.
+TELEMETRY_BUDGET="${DRUGTREE_TELEMETRY_BUDGET_PCT:-5}"
+# The serving probe is short (~20ms) so per-run scheduler jitter is large
+# relative to the budget; more interleaved reps than the tracing gate let
+# the best-of-N min actually converge.
+TELEMETRY_REPS="${DRUGTREE_TELEMETRY_AB_REPS:-10}"
+echo "== telemetry on/off gate: ${TELEMETRY_REPS} interleaved reps, budget +${TELEMETRY_BUDGET}%"
+for i in $(seq 1 "${TELEMETRY_REPS}"); do
+  DRUGTREE_TELEMETRY=1 "${ON_DIR}/bench/bench_server" --abprobe \
+    > "${SCRATCH}/tel_on_${i}.txt"
+  DRUGTREE_TELEMETRY=0 "${ON_DIR}/bench/bench_server" --abprobe \
+    > "${SCRATCH}/tel_off_${i}.txt"
+done
+
+python3 - "${SCRATCH}" "${TELEMETRY_REPS}" "${TELEMETRY_BUDGET}" <<'EOF'
+import sys
+
+scratch, reps, budget = sys.argv[1], int(sys.argv[2]), float(sys.argv[3])
+
+def load(path):
+    with open(path) as f:
+        for line in f:
+            if line.startswith("abprobe_micros:"):
+                return float(line.split(":", 1)[1])
+    sys.exit(f"obs_noop_ab: {path} carries no abprobe_micros line")
+
+on = min(load(f"{scratch}/tel_on_{i}.txt") for i in range(1, reps + 1))
+off = min(load(f"{scratch}/tel_off_{i}.txt") for i in range(1, reps + 1))
+overhead = 100 * (on / off - 1)
+print(f"  telemetry on={on:.0f}us off={off:.0f}us ({overhead:+.2f}%, "
+      f"budget +{budget:.0f}%)")
+if overhead > budget:
+    sys.exit(f"obs_noop_ab: FAIL — telemetry overhead {overhead:+.2f}% "
+             f"exceeds +{budget:.0f}% budget")
+print("obs_noop_ab: telemetry gate OK")
 EOF
 
 echo "== memory-tracker fast-path gate (budget +${DRUGTREE_TRACKER_BUDGET_PCT:-5}%)"

@@ -1,0 +1,165 @@
+#!/usr/bin/env bash
+# Standing perf-regression gate over the E16 telemetry timeline.
+#
+# `bench_server --telemetry` runs a fixed brown-out scenario on a virtual
+# clock and emits {"timeline":...,"alerts":...} — every sampled point and
+# every alert transition is bit-deterministic, so the artifact is diffable
+# byte-for-byte across machines and PRs. The gate re-runs the scenario and
+# compares the fresh artifact against the recorded baseline
+# (baselines/BENCH_bench_server_timeline.json):
+#
+#   * the series set must match exactly (a vanished series is a telemetry
+#     regression even when nothing else moved);
+#   * per series: observed count, point count, and every timestamp must
+#     match exactly; point values must match within PERF_GATE_TOL_PCT
+#     percent (default 0 = exact);
+#   * alert transitions (rule, from, to, at_micros) must match exactly —
+#     an alert that fires earlier, later, or not at all is a behaviour
+#     change, not noise.
+#
+# Modes:
+#   scripts/perf_gate.sh [build-dir]             gate against the baseline
+#   scripts/perf_gate.sh [build-dir] --record    (re)record the baseline
+#   scripts/perf_gate.sh [build-dir] --selftest  prove the gate can fail:
+#       perturb a copy of the fresh artifact (one point value, one
+#       transition timestamp) and assert the comparison rejects it, then
+#       assert the unperturbed artifact passes against itself.
+#
+# Env: PERF_GATE_TOL_PCT  point-value tolerance band in percent (default 0)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="build"
+MODE="gate"
+for arg in "$@"; do
+  case "${arg}" in
+    --record) MODE="record" ;;
+    --selftest) MODE="selftest" ;;
+    *) BUILD_DIR="${arg}" ;;
+  esac
+done
+BASELINE="baselines/BENCH_bench_server_timeline.json"
+TOL="${PERF_GATE_TOL_PCT:-0}"
+
+if [[ ! -x "${BUILD_DIR}/bench/bench_server" ]]; then
+  cmake -B "${BUILD_DIR}" -S .
+  cmake --build "${BUILD_DIR}" -j "$(nproc)" --target bench_server
+fi
+
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "${SCRATCH}"' EXIT
+FRESH="${SCRATCH}/fresh.json"
+"${BUILD_DIR}/bench/bench_server" --telemetry \
+  --timeline-json="${FRESH}" > "${SCRATCH}/telemetry.txt" 2>&1 \
+  || { cat "${SCRATCH}/telemetry.txt"; echo "perf_gate: bench failed"; exit 1; }
+[[ -s "${FRESH}" ]] || { echo "perf_gate: bench produced no artifact"; exit 1; }
+
+compare() {  # compare <baseline> <fresh> <tol_pct>
+  python3 - "$1" "$2" "$3" <<'EOF'
+import json, sys
+
+base_path, fresh_path, tol_pct = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(base_path) as f:
+    base = json.load(f)
+with open(fresh_path) as f:
+    fresh = json.load(f)
+
+failures = []
+def fail(what):
+    failures.append(what)
+
+def series_map(doc):
+    return {s["name"]: s for s in doc["timeline"]["series"]}
+
+bs, fs = series_map(base), series_map(fresh)
+for name in sorted(set(bs) - set(fs)):
+    fail(f"series vanished: {name}")
+for name in sorted(set(fs) - set(bs)):
+    fail(f"series appeared: {name}")
+
+def close(a, b):
+    if a == b:
+        return True
+    if tol_pct <= 0:
+        return False
+    scale = max(abs(a), abs(b), 1e-12)
+    return abs(a - b) <= scale * tol_pct / 100.0
+
+checked_points = 0
+for name in sorted(set(bs) & set(fs)):
+    b, f = bs[name], fs[name]
+    if b["observed"] != f["observed"]:
+        fail(f"{name}: observed {b['observed']} -> {f['observed']}")
+    if len(b["points"]) != len(f["points"]):
+        fail(f"{name}: {len(b['points'])} -> {len(f['points'])} points")
+        continue
+    for i, (bp, fp) in enumerate(zip(b["points"], f["points"])):
+        if bp[0] != fp[0]:
+            fail(f"{name}[{i}]: timestamp {bp[0]} -> {fp[0]}")
+        if not close(bp[1], fp[1]):
+            fail(f"{name}[{i}] @t={bp[0]}: value {bp[1]} -> {fp[1]} "
+                 f"(tol {tol_pct}%)")
+        checked_points += 1
+
+def transitions(doc):
+    return [(t["rule"], t["from"], t["to"], t["at_micros"])
+            for t in doc["alerts"]["transitions"]]
+
+bt, ft = transitions(base), transitions(fresh)
+if bt != ft:
+    fail(f"alert transitions differ: baseline {bt} vs fresh {ft}")
+
+if failures:
+    for f in failures[:20]:
+        print(f"  perf_gate: {f}")
+    if len(failures) > 20:
+        print(f"  perf_gate: ... and {len(failures) - 20} more")
+    sys.exit(f"perf_gate: FAIL — {len(failures)} divergence(s) vs baseline")
+print(f"perf_gate: OK — {len(bs)} series, {checked_points} points, "
+      f"{len(bt)} alert transitions match (tol {tol_pct}%)")
+EOF
+}
+
+case "${MODE}" in
+  record)
+    mkdir -p baselines
+    cp "${FRESH}" "${BASELINE}"
+    cp "${SCRATCH}/telemetry.txt" "baselines/BENCH_bench_server_telemetry.txt"
+    echo "perf_gate: recorded ${BASELINE}"
+    ;;
+  selftest)
+    # The gate must reject a synthetically regressed baseline...
+    python3 - "${FRESH}" "${SCRATCH}/perturbed.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+# Regress one sampled point by 50% and slide one alert transition by 1ms.
+for s in doc["timeline"]["series"]:
+    if s["points"]:
+        s["points"][-1][1] = s["points"][-1][1] * 1.5 + 1.0
+        break
+if doc["alerts"]["transitions"]:
+    doc["alerts"]["transitions"][0]["at_micros"] += 1000
+with open(sys.argv[2], "w") as f:
+    json.dump(doc, f)
+EOF
+    if compare "${SCRATCH}/perturbed.json" "${FRESH}" "${TOL}" \
+        > "${SCRATCH}/selftest.out" 2>&1; then
+      cat "${SCRATCH}/selftest.out"
+      echo "perf_gate: SELFTEST FAIL — perturbed baseline was accepted"
+      exit 1
+    fi
+    # ...and accept the genuine artifact against itself.
+    compare "${FRESH}" "${FRESH}" "${TOL}" > /dev/null
+    echo "perf_gate: selftest OK — perturbed baseline rejected," \
+         "identical artifact accepted"
+    ;;
+  gate)
+    if [[ ! -s "${BASELINE}" ]]; then
+      echo "perf_gate: FAIL — no baseline at ${BASELINE};" \
+           "run scripts/perf_gate.sh --record (or scripts/bench_baseline.sh)"
+      exit 1
+    fi
+    compare "${BASELINE}" "${FRESH}" "${TOL}"
+    ;;
+esac

@@ -2,12 +2,14 @@
 # Statusz smoke: `bench_server --statusz` must emit one parseable JSON
 # object covering every introspection surface the serving layer exports —
 # the memory-tracker tree, per-class SLO state, admission occupancy,
-# scheduler slots, per-class counters, and TraceStore totals. Runs on a
-# virtual clock, so the shape (not just the parse) is asserted exactly.
+# scheduler slots, per-class counters, TraceStore totals, and the
+# continuous-telemetry surfaces (timeline series summaries, alert rules and
+# transitions, derived per-subsystem health). Runs on a virtual clock, so
+# the shape (not just the parse) is asserted exactly.
 # A second pass validates the sharded topology snapshot from
 # `bench_shard --statusz`: contiguous interval ranges covering the pre
-# axis, per-replica server snapshots carrying their shard identities, and
-# the router's decision counters.
+# axis, per-replica server snapshots carrying their shard identities and
+# health rollups, and the router's decision counters.
 #
 # Usage: scripts/statusz_check.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -135,11 +137,63 @@ for key in ("enabled", "decisions", "steps_down", "steps_up",
 for key in ("batch_size", "parallelism"):
     need(key in ada["analytic"], f"adaptive.analytic missing {key}")
 
+# Continuous-telemetry surfaces: the timeline ring summaries, the alert
+# engine's rule/transition state, and the derived per-subsystem health.
+tl = doc.get("timeline")
+need(isinstance(tl, dict), "missing timeline section")
+need(tl.get("enabled") is True, "telemetry not enabled in statusz workload")
+need(tl.get("sample_interval_micros", 0) > 0, "bad sample_interval_micros")
+need(tl.get("samples", 0) > 0, "sampler never ran during statusz workload")
+series = tl.get("series")
+need(isinstance(series, list) and len(series) > 0, "timeline has no series")
+for s in series:
+    for key in ("name", "points", "observed", "first_t", "last_t", "last",
+                "min", "max", "mean"):
+        need(key in s, f"timeline series {s.get('name')!r} missing {key}")
+    need(s["observed"] >= s["points"] >= 1,
+         f"timeline series {s['name']!r} observed < retained points")
+    need(s["last_t"] >= s["first_t"],
+         f"timeline series {s['name']!r} timestamps inverted")
+series_names = {s["name"] for s in series}
+need("slo.interactive.burn_rate" in series_names,
+     "timeline lacks the interactive burn-rate series")
+need("memory.pressure_pct" in series_names,
+     "timeline lacks the memory pressure series")
+
+al = doc.get("alerts")
+need(isinstance(al, dict), "missing alerts section")
+need(isinstance(al.get("firing"), int), "alerts.firing is not an int")
+rules = al.get("rules")
+need(isinstance(rules, list) and len(rules) > 0, "alert engine has no rules")
+for r in rules:
+    for key in ("name", "kind", "series", "subsystem", "severity", "state",
+                "fired", "resolved"):
+        need(key in r, f"alert rule {r.get('name')!r} missing {key}")
+    need(r["state"] in ("inactive", "pending", "firing"),
+         f"alert rule {r['name']!r} has unknown state {r['state']!r}")
+need({"interactive_burn", "memory_pressure"} <=
+     {r["name"] for r in rules}, "default alert rules missing")
+need(isinstance(al.get("transitions"), list), "alerts missing transitions")
+
+health = doc.get("health")
+need(isinstance(health, dict), "missing health section")
+need(health.get("overall") in ("healthy", "degraded", "critical"),
+     f"bad overall health {health.get('overall')!r}")
+subs = health.get("subsystems")
+need(isinstance(subs, dict), "missing health.subsystems")
+for sub in ("admission", "scheduler", "plan_cache", "memory", "serving"):
+    need(subs.get(sub) in ("healthy", "degraded", "critical"),
+         f"health.subsystems missing or bad {sub!r}")
+need(health["overall"] == "healthy",
+     "drained statusz workload should end healthy")
+
 print("statusz_check: OK —",
       f"{cls_section['interactive']['completed']} interactive +",
       f"{cls_section['analytic']['completed']} analytic served,",
       f"{ts['recorded']} traces, plan cache {pc['hits']}/{pc['installs']}",
-      f"hits/installs, root peak {mem['peak']} bytes")
+      f"hits/installs, root peak {mem['peak']} bytes,",
+      f"{len(series)} timeline series / {tl['samples']} samples,",
+      f"{len(rules)} alert rules, health {health['overall']}")
 EOF
 
 python3 - "${SHARD_SNAPSHOT}" <<'EOF'
@@ -191,6 +245,8 @@ for s, entry in enumerate(topo):
     for r, rep in enumerate(reps):
         need(rep.get("id") == f"s{s}r{r}", f"replica {s}/{r} misidentified")
         need(rep.get("down") is False, f"replica {s}/{r} marked down")
+        need(rep.get("health") in ("healthy", "degraded", "critical"),
+             f"replica {s}/{r} health is {rep.get('health')!r}")
         inner = rep.get("statusz")
         need(isinstance(inner, dict), f"replica {s}/{r} missing statusz")
         need(inner.get("shard", {}).get("id") == f"s{s}r{r}",
@@ -199,6 +255,14 @@ for s, entry in enumerate(topo):
              f"replica {s}/{r} server role is not 'replica'")
         need("memory" in inner and "scheduler" in inner,
              f"replica {s}/{r} snapshot not a full server statusz")
+        # Every replica carries the full telemetry surface: its own
+        # timeline, alert engine, and derived health rollup.
+        need(inner.get("timeline", {}).get("enabled") is True,
+             f"replica {s}/{r} snapshot lacks an enabled timeline")
+        need(isinstance(inner.get("alerts", {}).get("rules"), list),
+             f"replica {s}/{r} snapshot lacks alert rules")
+        need(inner.get("health", {}).get("overall") == rep.get("health"),
+             f"replica {s}/{r} top-level health disagrees with its rollup")
 total_subs = sum(e["sub_requests"] for e in topo)
 need(total_subs > 0, "no sub-requests reached any shard")
 

@@ -11,9 +11,10 @@ cmake --build build -j "$(nproc)"
 
 cmake -B build-asan -S . -DDRUGTREE_SANITIZE=address
 cmake --build build-asan -j "$(nproc)" \
-  --target obs_test query_batch_test storage_encoding_test \
-           query_adaptive_test
+  --target obs_test obs_telemetry_test query_batch_test \
+           storage_encoding_test query_adaptive_test
 ./build-asan/tests/obs_test
+./build-asan/tests/obs_telemetry_test
 ./build-asan/tests/query_batch_test
 ./build-asan/tests/storage_encoding_test
 ./build-asan/tests/query_adaptive_test
@@ -25,11 +26,13 @@ cmake --build build-asan -j "$(nproc)" \
 # the sharded scatter-gather tier (replica failover races, per-shard
 # deadline cancellation, cross-replica handle tracking), and the adaptive
 # planning loop (shared plan cache / cost calibrator / adaptive controller
-# hit from every serving slot).
+# hit from every serving slot), and the continuous-telemetry stack (gauge
+# Set vs Snapshot hammer, sampler/alert engine ticked from serving threads).
 cmake -B build-tsan -S . -DDRUGTREE_SANITIZE=thread
 cmake --build build-tsan -j "$(nproc)" \
   --target util_thread_pool_test integration_async_test query_parallel_test \
-           server_test query_batch_test shard_test query_adaptive_test
+           server_test query_batch_test shard_test query_adaptive_test \
+           obs_test obs_telemetry_test
 ./build-tsan/tests/util_thread_pool_test
 ./build-tsan/tests/integration_async_test
 ./build-tsan/tests/query_parallel_test
@@ -37,10 +40,19 @@ cmake --build build-tsan -j "$(nproc)" \
 ./build-tsan/tests/query_batch_test
 ./build-tsan/tests/shard_test
 ./build-tsan/tests/query_adaptive_test
+./build-tsan/tests/obs_test
+./build-tsan/tests/obs_telemetry_test
 
 # Statusz smoke: the serving layer's JSON introspection snapshot must parse
-# and cover every exported surface (tracker tree, SLOs, occupancy, traces).
+# and cover every exported surface (tracker tree, SLOs, occupancy, traces,
+# timeline/alerts/health telemetry blocks).
 scripts/statusz_check.sh build
+
+# Standing perf-regression gate (E16): the deterministic telemetry timeline
+# must match the recorded baseline point-for-point (and the selftest proves
+# the gate rejects a synthetically regressed artifact).
+scripts/perf_gate.sh build
+scripts/perf_gate.sh build --selftest
 
 # Release-build throughput smokes: the columnar batch engine must never be
 # slower than the row engine on the scan-filter-project workload it targets,
@@ -66,7 +78,8 @@ cmake --build build-rel -j "$(nproc)" \
 
 # Tracing overhead A/B gate: the instrumented Release build (with trace
 # capture on) must stay within budget of the DRUGTREE_OBS_NOOP build. Also
-# gates the memory-tracker fast path (tracked vectorized smoke, <5%).
+# gates the memory-tracker fast path (tracked vectorized smoke, <5%) and
+# the continuous-telemetry sampler (DRUGTREE_TELEMETRY on/off, <5%).
 scripts/obs_noop_ab.sh build-rel build-noop
 
 # Informational perf diff vs the recorded baselines. Never fails tier-1:

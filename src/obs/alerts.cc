@@ -1,0 +1,293 @@
+#include "obs/alerts.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace drugtree {
+namespace obs {
+
+const char* AlertKindName(AlertKind kind) {
+  switch (kind) {
+    case AlertKind::kThreshold: return "threshold";
+    case AlertKind::kRateOfChange: return "rate_of_change";
+    case AlertKind::kBurnRate: return "burn_rate";
+  }
+  return "unknown";
+}
+
+const char* AlertSeverityName(AlertSeverity severity) {
+  switch (severity) {
+    case AlertSeverity::kWarning: return "warning";
+    case AlertSeverity::kCritical: return "critical";
+  }
+  return "unknown";
+}
+
+const char* AlertStateName(AlertState state) {
+  switch (state) {
+    case AlertState::kInactive: return "inactive";
+    case AlertState::kPending: return "pending";
+    case AlertState::kFiring: return "firing";
+  }
+  return "unknown";
+}
+
+AlertEngine::AlertEngine(const TimeSeriesStore* store,
+                         const util::Clock* clock)
+    : store_(store), clock_(clock) {}
+
+void AlertEngine::AddRule(AlertRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RuleState rs;
+  rs.rule = std::move(rule);
+  rules_.push_back(std::move(rs));
+}
+
+bool AlertEngine::EvaluateValueLocked(const AlertRule& rule, int64_t now,
+                                      double* value) const {
+  switch (rule.kind) {
+    case AlertKind::kThreshold: {
+      TimePoint latest;
+      if (!store_->Latest(rule.series, &latest)) return false;
+      *value = latest.value;
+      return true;
+    }
+    case AlertKind::kRateOfChange: {
+      std::vector<TimePoint> points = store_->Points(rule.series);
+      if (points.size() < 2) return false;
+      const TimePoint& a = points[points.size() - 2];
+      const TimePoint& b = points.back();
+      if (b.t_micros <= a.t_micros) return false;
+      *value = (b.value - a.value) /
+               (static_cast<double>(b.t_micros - a.t_micros) / 1e6);
+      return true;
+    }
+    case AlertKind::kBurnRate: {
+      double short_avg = 0.0, long_avg = 0.0;
+      if (!store_->WindowAverage(rule.series, now, rule.short_window_micros,
+                                 &short_avg) ||
+          !store_->WindowAverage(rule.series, now, rule.long_window_micros,
+                                 &long_avg)) {
+        return false;
+      }
+      // Both windows must cross: report the short (prompt) one, but gate on
+      // the worse-behaved of the two so a blip in either cannot fire alone.
+      *value = rule.fire_above ? std::min(short_avg, long_avg)
+                               : std::max(short_avg, long_avg);
+      return true;
+    }
+  }
+  return false;
+}
+
+void AlertEngine::TransitionLocked(RuleState* rs, AlertState to, int64_t now,
+                                   std::vector<AlertTransition>* out) {
+  AlertTransition t;
+  t.rule = rs->rule.name;
+  t.from = rs->state;
+  t.to = to;
+  t.at_micros = now;
+  t.value = rs->last_value;
+  if (to == AlertState::kFiring) {
+    ++rs->fired;
+    DT_LOG(WARNING) << "alert FIRING: " << rs->rule.name << " ("
+                    << AlertKindName(rs->rule.kind) << " on "
+                    << rs->rule.series << ", value " << rs->last_value
+                    << " vs threshold " << rs->rule.threshold << ", subsystem "
+                    << rs->rule.subsystem << ", severity "
+                    << AlertSeverityName(rs->rule.severity) << ") at t="
+                    << now << "us";
+  } else if (rs->state == AlertState::kFiring) {
+    ++rs->resolved;
+    DT_LOG(WARNING) << "alert resolved: " << rs->rule.name << " (value "
+                    << rs->last_value << ") at t=" << now << "us";
+  }
+  rs->state = to;
+  rs->since_micros = now;
+  history_.push_back(std::move(t));
+  if (history_.size() > kHistoryCapacity) history_.pop_front();
+  if (out != nullptr) out->push_back(history_.back());
+}
+
+std::vector<AlertTransition> AlertEngine::Evaluate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = clock_->NowMicros();
+  std::vector<AlertTransition> out;
+  for (RuleState& rs : rules_) {
+    double value = 0.0;
+    rs.has_value = EvaluateValueLocked(rs.rule, now, &value);
+    if (rs.has_value) rs.last_value = value;
+    // An unevaluable series (no data yet / window rolled empty) reads as
+    // condition-false: alerts resolve when their signal disappears.
+    bool cond = rs.has_value &&
+                (rs.rule.fire_above ? value > rs.rule.threshold
+                                    : value < rs.rule.threshold);
+    switch (rs.state) {
+      case AlertState::kInactive:
+        if (cond) {
+          if (rs.rule.for_micros <= 0) {
+            TransitionLocked(&rs, AlertState::kFiring, now, &out);
+          } else {
+            rs.pending_since_micros = now;
+            TransitionLocked(&rs, AlertState::kPending, now, &out);
+          }
+        }
+        break;
+      case AlertState::kPending:
+        if (!cond) {
+          TransitionLocked(&rs, AlertState::kInactive, now, &out);
+        } else if (now - rs.pending_since_micros >= rs.rule.for_micros) {
+          TransitionLocked(&rs, AlertState::kFiring, now, &out);
+        }
+        break;
+      case AlertState::kFiring:
+        if (!cond) TransitionLocked(&rs, AlertState::kInactive, now, &out);
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<AlertStatus> AlertEngine::Statuses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AlertStatus> out;
+  out.reserve(rules_.size());
+  for (const RuleState& rs : rules_) {
+    AlertStatus s;
+    s.rule = rs.rule;
+    s.state = rs.state;
+    s.since_micros = rs.since_micros;
+    s.last_value = rs.last_value;
+    s.has_value = rs.has_value;
+    s.fired = rs.fired;
+    s.resolved = rs.resolved;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<AlertTransition> AlertEngine::History() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<AlertTransition>(history_.begin(), history_.end());
+}
+
+int64_t AlertEngine::firing_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t n = 0;
+  for (const RuleState& rs : rules_) {
+    if (rs.state == AlertState::kFiring) ++n;
+  }
+  return n;
+}
+
+std::string AlertEngine::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t firing = 0;
+  for (const RuleState& rs : rules_) {
+    if (rs.state == AlertState::kFiring) ++firing;
+  }
+  std::string out = util::StringPrintf("{\"firing\":%lld,\"rules\":[",
+                                       (long long)firing);
+  bool first = true;
+  for (const RuleState& rs : rules_) {
+    if (!first) out += ",";
+    first = false;
+    out += util::StringPrintf(
+        "{\"name\":\"%s\",\"kind\":\"%s\",\"series\":\"%s\","
+        "\"subsystem\":\"%s\",\"severity\":\"%s\",\"state\":\"%s\","
+        "\"since_micros\":%lld,\"last_value\":%.6g,\"fired\":%lld,"
+        "\"resolved\":%lld}",
+        rs.rule.name.c_str(), AlertKindName(rs.rule.kind),
+        rs.rule.series.c_str(), rs.rule.subsystem.c_str(),
+        AlertSeverityName(rs.rule.severity), AlertStateName(rs.state),
+        (long long)rs.since_micros, rs.last_value, (long long)rs.fired,
+        (long long)rs.resolved);
+  }
+  out += "],\"transitions\":[";
+  first = true;
+  for (const AlertTransition& t : history_) {
+    if (!first) out += ",";
+    first = false;
+    out += util::StringPrintf(
+        "{\"rule\":\"%s\",\"from\":\"%s\",\"to\":\"%s\",\"at_micros\":%lld,"
+        "\"value\":%.6g}",
+        t.rule.c_str(), AlertStateName(t.from), AlertStateName(t.to),
+        (long long)t.at_micros, t.value);
+  }
+  out += "]}";
+  return out;
+}
+
+std::vector<TraceInstant> AlertEngine::TraceInstants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceInstant> out;
+  for (const AlertTransition& t : history_) {
+    bool entering = t.to == AlertState::kFiring;
+    bool leaving = t.from == AlertState::kFiring &&
+                   t.to == AlertState::kInactive;
+    if (!entering && !leaving) continue;
+    TraceInstant inst;
+    inst.name = util::StringPrintf("alert:%s %s", t.rule.c_str(),
+                                   entering ? "firing" : "resolved");
+    inst.lane = "alerts";
+    inst.ts_micros = t.at_micros;
+    inst.args_json = util::StringPrintf("{\"value\":%.6g}", t.value);
+    out.push_back(std::move(inst));
+  }
+  return out;
+}
+
+// Health rollup --------------------------------------------------------
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kCritical: return "critical";
+  }
+  return "unknown";
+}
+
+std::string HealthSnapshot::ToJson() const {
+  std::string out = util::StringPrintf("{\"overall\":\"%s\",\"subsystems\":{",
+                                       HealthStateName(overall));
+  bool first = true;
+  for (const auto& [name, state] : subsystems) {
+    if (!first) out += ",";
+    first = false;
+    out += util::StringPrintf("\"%s\":\"%s\"", name.c_str(),
+                              HealthStateName(state));
+  }
+  out += "}}";
+  return out;
+}
+
+HealthSnapshot DeriveHealth(const std::vector<AlertStatus>& statuses,
+                            const std::vector<std::string>& baseline) {
+  HealthSnapshot out;
+  for (const std::string& name : baseline) {
+    out.subsystems.emplace(name, HealthState::kHealthy);
+  }
+  for (const AlertStatus& s : statuses) {
+    std::string subsystem =
+        s.rule.subsystem.empty() ? "unassigned" : s.rule.subsystem;
+    HealthState& h =
+        out.subsystems.emplace(subsystem, HealthState::kHealthy).first->second;
+    if (s.state != AlertState::kFiring) continue;
+    HealthState raised = s.rule.severity == AlertSeverity::kCritical
+                             ? HealthState::kCritical
+                             : HealthState::kDegraded;
+    h = std::max(h, raised);
+  }
+  for (const auto& [name, state] : out.subsystems) {
+    (void)name;
+    out.overall = std::max(out.overall, state);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace drugtree

@@ -1,0 +1,173 @@
+// Continuous telemetry, part 2: declarative alerting + health rollup.
+//
+// AlertEngine evaluates rules against a TimeSeriesStore on the provided
+// util::Clock. Three rule kinds:
+//
+//   * kThreshold    — latest point vs a static threshold;
+//   * kRateOfChange — slope between the last two points, per second
+//                     (queue growth, plan-cache hit-rate collapse);
+//   * kBurnRate     — SRE-style multi-window condition: the series' mean
+//                     over BOTH a short and a long window must cross the
+//                     threshold. The short window makes firing prompt, the
+//                     long window suppresses one-sample blips.
+//
+// Each rule runs a firing state machine with for-duration debounce:
+//
+//   kInactive --cond--> kPending --cond held for_micros--> kFiring
+//   kPending  --!cond-> kInactive            kFiring --!cond--> kInactive
+//
+// Transitions into and out of kFiring log at WARNING, are retained in a
+// bounded history, surface in Statusz ("alerts" block), and render as
+// Chrome-trace instant events (an "alerts" lane next to the phase lanes).
+//
+// HealthModel: per-subsystem health derived purely from active alerts —
+// a firing kWarning rule marks its subsystem kDegraded, a firing kCritical
+// rule marks it kCritical, overall = worst subsystem. The ShardRouter reads
+// each replica's overall health when picking replicas, so a browned-out
+// replica sheds load before it misses deadlines.
+//
+// Determinism: evaluation is pull-based (no thread); on a SimulatedClock
+// with a serialized workload, firing / resolved timestamps are
+// bit-identical across runs.
+
+#ifndef DRUGTREE_OBS_ALERTS_H_
+#define DRUGTREE_OBS_ALERTS_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/timeseries.h"
+#include "obs/trace_store.h"
+#include "util/clock.h"
+
+namespace drugtree {
+namespace obs {
+
+enum class AlertKind { kThreshold, kRateOfChange, kBurnRate };
+enum class AlertSeverity { kWarning, kCritical };
+enum class AlertState { kInactive, kPending, kFiring };
+
+const char* AlertKindName(AlertKind kind);
+const char* AlertSeverityName(AlertSeverity severity);
+const char* AlertStateName(AlertState state);
+
+struct AlertRule {
+  std::string name;       // unique within an engine
+  std::string series;     // TimeSeriesStore series the rule watches
+  std::string subsystem;  // health rollup bucket ("memory", "serving", ...)
+  AlertKind kind = AlertKind::kThreshold;
+  double threshold = 0.0;
+  /// true: fire when value > threshold; false: fire when value < threshold.
+  bool fire_above = true;
+  /// Debounce: the condition must hold this long before kFiring (0 = fire
+  /// on the first evaluation that sees the condition).
+  int64_t for_micros = 0;
+  /// kBurnRate windows; both means must cross the threshold.
+  int64_t short_window_micros = 0;
+  int64_t long_window_micros = 0;
+  AlertSeverity severity = AlertSeverity::kWarning;
+};
+
+struct AlertTransition {
+  std::string rule;
+  AlertState from = AlertState::kInactive;
+  AlertState to = AlertState::kInactive;
+  int64_t at_micros = 0;
+  double value = 0.0;  // the evaluated value driving the transition
+};
+
+struct AlertStatus {
+  AlertRule rule;
+  AlertState state = AlertState::kInactive;
+  int64_t since_micros = 0;  // when the current state was entered
+  double last_value = 0.0;
+  bool has_value = false;  // the series produced an evaluable value
+  int64_t fired = 0;       // cumulative kFiring entries
+  int64_t resolved = 0;    // cumulative kFiring exits
+};
+
+class AlertEngine {
+ public:
+  /// `store` and `clock` are borrowed and must outlive the engine.
+  AlertEngine(const TimeSeriesStore* store, const util::Clock* clock);
+
+  AlertEngine(const AlertEngine&) = delete;
+  AlertEngine& operator=(const AlertEngine&) = delete;
+
+  void AddRule(AlertRule rule);
+
+  /// Evaluates every rule at clock->NowMicros() and returns the transitions
+  /// this pass produced. Entering / leaving kFiring logs at WARNING.
+  std::vector<AlertTransition> Evaluate();
+
+  std::vector<AlertStatus> Statuses() const;
+  /// Bounded transition history, oldest first.
+  std::vector<AlertTransition> History() const;
+  int64_t firing_count() const;
+
+  /// {"firing":N,"rules":[{"name":...,"kind":...,"series":...,
+  ///  "subsystem":...,"severity":...,"state":...,"since_micros":...,
+  ///  "last_value":...,"fired":N,"resolved":N},...],
+  ///  "transitions":[{"rule":...,"to":...,"at_micros":...},...]}
+  std::string ToJson() const;
+
+  /// Chrome-trace instant events ("alert:<rule> firing" / "... resolved")
+  /// on an "alerts" lane, one per kFiring entry/exit in the history.
+  std::vector<TraceInstant> TraceInstants() const;
+
+ private:
+  struct RuleState {
+    AlertRule rule;
+    AlertState state = AlertState::kInactive;
+    int64_t since_micros = 0;
+    int64_t pending_since_micros = 0;
+    double last_value = 0.0;
+    bool has_value = false;
+    int64_t fired = 0;
+    int64_t resolved = 0;
+  };
+
+  static constexpr size_t kHistoryCapacity = 256;
+
+  /// (value, has_value) for one rule at `now`. Caller holds mu_.
+  bool EvaluateValueLocked(const AlertRule& rule, int64_t now,
+                           double* value) const;
+  void TransitionLocked(RuleState* rs, AlertState to, int64_t now,
+                        std::vector<AlertTransition>* out);
+
+  const TimeSeriesStore* const store_;
+  const util::Clock* const clock_;
+
+  mutable std::mutex mu_;
+  std::vector<RuleState> rules_;
+  std::deque<AlertTransition> history_;
+};
+
+// Health rollup --------------------------------------------------------
+
+enum class HealthState { kHealthy = 0, kDegraded = 1, kCritical = 2 };
+
+const char* HealthStateName(HealthState state);
+
+struct HealthSnapshot {
+  std::map<std::string, HealthState> subsystems;
+  HealthState overall = HealthState::kHealthy;
+
+  /// {"overall":"healthy","subsystems":{"memory":"healthy",...}}
+  std::string ToJson() const;
+};
+
+/// Derives per-subsystem health from active alerts: every baseline
+/// subsystem starts kHealthy; each firing rule raises its subsystem to
+/// kDegraded (kWarning) or kCritical (kCritical); overall = the worst.
+HealthSnapshot DeriveHealth(const std::vector<AlertStatus>& statuses,
+                            const std::vector<std::string>& baseline);
+
+}  // namespace obs
+}  // namespace drugtree
+
+#endif  // DRUGTREE_OBS_ALERTS_H_

@@ -148,14 +148,23 @@ void TraceStore::Clear() {
 }
 
 std::string ExportChromeTrace(const std::vector<TraceRecord>& records) {
-  // Stable lane -> tid assignment: record lanes first (sorted), then
-  // network channel lanes above 1000.
+  return ExportChromeTrace(records, {});
+}
+
+std::string ExportChromeTrace(const std::vector<TraceRecord>& records,
+                              const std::vector<TraceInstant>& instants) {
+  // Stable lane -> tid assignment: record + instant lanes first (sorted),
+  // then network channel lanes above 1000.
   std::map<std::string, int> lane_tids;
   std::map<int, int> channel_tids;
   for (const auto& r : records) {
     std::string lane = r.lane.empty() ? std::string("unlaned") : r.lane;
     lane_tids.emplace(lane, 0);
     for (const auto& f : r.fetches) channel_tids.emplace(f.channel, 0);
+  }
+  for (const auto& inst : instants) {
+    lane_tids.emplace(inst.lane.empty() ? std::string("unlaned") : inst.lane,
+                      0);
   }
   int next_tid = 1;
   for (auto& [lane, tid] : lane_tids) tid = next_tid++;
@@ -205,6 +214,15 @@ std::string ExportChromeTrace(const std::vector<TraceRecord>& records) {
           (long long)(f.end_micros - f.start_micros),
           (unsigned long long)r.trace_id, (unsigned long long)f.bytes));
     }
+  }
+  for (const auto& inst : instants) {
+    std::string lane = inst.lane.empty() ? std::string("unlaned") : inst.lane;
+    emit(util::StringPrintf(
+        "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,"
+        "\"ts\":%lld,\"args\":%s}",
+        JsonEscape(inst.name).c_str(), lane_tids[lane],
+        (long long)inst.ts_micros,
+        inst.args_json.empty() ? "{}" : inst.args_json.c_str()));
   }
   out += "\n]}";
   return out;

@@ -115,11 +115,26 @@ class TraceStore {
   std::deque<TraceRecord> slow_log_;
 };
 
+/// A point-in-time marker rendered as a Chrome-trace instant event
+/// ("ph":"i") on its own named lane — alert firings/resolutions, config
+/// flips, anything without a duration. Lanes share the tid namespace with
+/// record lanes, so "s0r0/alerts" sorts next to "s0r0/slot-0".
+struct TraceInstant {
+  std::string name;
+  std::string lane;
+  int64_t ts_micros = 0;
+  /// Optional pre-rendered JSON object for "args" (empty = "{}").
+  std::string args_json;
+};
+
 /// Renders trace records as a Chrome trace-event JSON object
 /// ({"traceEvents":[...]}) loadable in chrome://tracing or Perfetto. Each
 /// distinct record lane ("slot-0", "session-7") becomes one named thread
 /// row of complete ("ph":"X") phase events; fetch events render on one
-/// additional lane per network channel ("net-ch0", ...).
+/// additional lane per network channel ("net-ch0", ...); `instants` render
+/// as "ph":"i" markers on their own lanes.
+std::string ExportChromeTrace(const std::vector<TraceRecord>& records,
+                              const std::vector<TraceInstant>& instants);
 std::string ExportChromeTrace(const std::vector<TraceRecord>& records);
 
 /// Per-class tail attribution over `records` (classes sorted by name).

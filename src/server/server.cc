@@ -26,6 +26,24 @@ int64_t ResolveSlowQueryMicros(int64_t configured) {
   return static_cast<int64_t>(parsed);
 }
 
+/// DRUGTREE_TELEMETRY=0 kills the sampler/alert wiring on a deployed binary
+/// (the obs_noop_ab overhead lane); any other value keeps the configured
+/// setting.
+bool ResolveTelemetryEnabled(bool configured) {
+  const char* env = std::getenv("DRUGTREE_TELEMETRY");
+  if (env == nullptr || env[0] == '\0') return configured;
+  return !(env[0] == '0' && env[1] == '\0');
+}
+
+/// Health rollup buckets every server reports on, even when no alert
+/// targets them yet.
+const std::vector<std::string>& HealthBaseline() {
+  static const std::vector<std::string>* baseline =
+      new std::vector<std::string>{"admission", "scheduler", "plan_cache",
+                                   "memory", "serving"};
+  return *baseline;
+}
+
 }  // namespace
 
 bool ResponseHandle::Done() const {
@@ -130,6 +148,115 @@ DrugTreeServer::DrugTreeServer(query::Catalog* catalog, util::Clock* clock,
         registry->GetCounter("server.requests.deadline_missed", labels);
   }
   pool_queue_gauge_ = registry->GetGauge("server.pool.queue_depth");
+  obs::Labels shard_labels;
+  if (!options_.shard_id.empty()) shard_labels["shard"] = options_.shard_id;
+  free_slots_gauge_ =
+      registry->GetGauge("server.scheduler.free_slots", shard_labels);
+  free_slots_gauge_->Set(static_cast<int64_t>(free_slots_.size()));
+
+  if (ResolveTelemetryEnabled(options_.telemetry.enabled)) {
+    timeline_ = std::make_unique<obs::TimeSeriesStore>(
+        options_.telemetry.timeline_points);
+    obs::SamplerOptions sampler_opts;
+    sampler_opts.interval_micros = options_.telemetry.sample_interval_micros;
+    sampler_opts.registry_prefixes = {"server.", "router."};
+    sampler_ = std::make_unique<obs::MetricsSampler>(
+        timeline_.get(), registry, clock_, std::move(sampler_opts));
+    sampler_->AddProbe("memory.used_bytes", [this] {
+      return static_cast<double>(memory_root_.used());
+    });
+    sampler_->AddProbe("memory.pressure_pct", [this] {
+      int64_t soft = memory_root_.soft_limit_bytes();
+      if (soft <= 0) return std::nan("");
+      return 100.0 * static_cast<double>(memory_root_.used()) /
+             static_cast<double>(soft);
+    });
+    for (int c = 0; c < kNumQueryClasses; ++c) {
+      const char* cls = QueryClassName(static_cast<QueryClass>(c));
+      const obs::SloTracker* slo = slo_[static_cast<size_t>(c)].get();
+      sampler_->AddProbe(util::StringPrintf("slo.%s.burn_rate", cls),
+                         [slo] { return slo->GetSnapshot().burn_rate; });
+      sampler_->AddProbe(util::StringPrintf("slo.%s.compliance", cls),
+                         [slo] { return slo->GetSnapshot().compliance; });
+    }
+    // Saturation = queued work while zero slots are free. A serialized
+    // closed-loop client always completes with its own slot busy but the
+    // queue empty, so this reads 0 unless dispatch genuinely starves.
+    // Probes run from TelemetryTick, which is never called with mu_ held.
+    sampler_->AddProbe("scheduler.starved_depth", [this] {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_slots_.empty()) return 0.0;
+      return static_cast<double>(
+          admission_.QueueDepth(QueryClass::kInteractive) +
+          admission_.QueueDepth(QueryClass::kAnalytic));
+    });
+    sampler_->AddProbe("plan_cache.hit_rate_pct", [this] {
+      query::PlanCache::Stats s = plan_cache_->stats();
+      int64_t lookups = s.hits + s.misses;
+      if (lookups == 0) return std::nan("");
+      return 100.0 * static_cast<double>(s.hits) /
+             static_cast<double>(lookups);
+    });
+
+    alerts_ = std::make_unique<obs::AlertEngine>(timeline_.get(), clock_);
+    int64_t interval = options_.telemetry.sample_interval_micros;
+    if (options_.telemetry.default_rules) {
+      obs::AlertRule rule;
+      rule.name = "memory_pressure";
+      rule.kind = obs::AlertKind::kThreshold;
+      rule.series = "memory.pressure_pct";
+      rule.threshold = 100.0;
+      rule.subsystem = "memory";
+      alerts_->AddRule(rule);
+
+      rule = obs::AlertRule();
+      rule.name = "interactive_burn";
+      rule.kind = obs::AlertKind::kBurnRate;
+      rule.series = "slo.interactive.burn_rate";
+      rule.threshold = 1.0;
+      rule.short_window_micros = 2 * interval;
+      rule.long_window_micros = 8 * interval;
+      rule.subsystem = "serving";
+      rule.severity = obs::AlertSeverity::kCritical;
+      alerts_->AddRule(rule);
+
+      rule.name = "analytic_burn";
+      rule.series = "slo.analytic.burn_rate";
+      rule.severity = obs::AlertSeverity::kWarning;
+      alerts_->AddRule(rule);
+
+      rule = obs::AlertRule();
+      rule.name = "interactive_queue_growth";
+      rule.kind = obs::AlertKind::kRateOfChange;
+      rule.series = "server.admission.queue_depth{class=interactive}";
+      rule.threshold = 50.0;  // sustained +50 queued requests per second
+      rule.for_micros = 2 * interval;
+      rule.subsystem = "admission";
+      alerts_->AddRule(rule);
+
+      rule = obs::AlertRule();
+      rule.name = "plan_cache_collapse";
+      rule.kind = obs::AlertKind::kRateOfChange;
+      rule.series = "plan_cache.hit_rate_pct";
+      rule.threshold = -10.0;  // hit rate falling >10 pct-points per second
+      rule.fire_above = false;
+      rule.for_micros = 2 * interval;
+      rule.subsystem = "plan_cache";
+      alerts_->AddRule(rule);
+
+      rule = obs::AlertRule();
+      rule.name = "scheduler_saturated";
+      rule.kind = obs::AlertKind::kThreshold;
+      rule.series = "scheduler.starved_depth";
+      rule.threshold = 0.5;  // any queued work while zero slots free
+      rule.for_micros = 4 * interval;
+      rule.subsystem = "scheduler";
+      alerts_->AddRule(rule);
+    }
+    for (const obs::AlertRule& extra : options_.telemetry.extra_rules) {
+      alerts_->AddRule(extra);
+    }
+  }
   pool_ = std::make_unique<util::ThreadPool>(
       std::max(1, options_.worker_threads));
 }
@@ -201,6 +328,9 @@ ResponseHandle DrugTreeServer::SubmitAsync(QueryRequest request) {
       trace_store_.Record(
           trace->Finish(memory_shed ? "shed_memory" : "shed", /*ok=*/false));
     }
+    // Tick before Complete() publishes: a serialized virtual-clock client is
+    // still blocked in Wait, so the sample lands at a deterministic point.
+    TelemetryTick();
     Complete(handle.state_, std::move(admitted));
   }
   return handle;
@@ -223,10 +353,47 @@ void DrugTreeServer::Resume() {
 }
 
 void DrugTreeServer::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  drain_cv_.wait(lock, [&] {
-    return admission_.Empty() && scheduler_.running_total() == 0;
-  });
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait(lock, [&] {
+      return admission_.Empty() && scheduler_.running_total() == 0;
+    });
+  }
+  // A quiesced server still moves the timeline forward (burn rates decay,
+  // alerts resolve) when someone drains it after advancing the clock.
+  TelemetryTick();
+}
+
+bool DrugTreeServer::TelemetryTick() {
+  if (sampler_ == nullptr) return false;
+  // Off-cadence ticks (the common case — every request completion lands
+  // here) bail on a lock-free check before touching telemetry_mu_.
+  if (!sampler_->Due()) return false;
+  std::lock_guard<std::mutex> lock(telemetry_mu_);
+  if (!sampler_->SampleIfDue()) return false;
+  alerts_->Evaluate();
+  overall_health_.store(
+      static_cast<int>(
+          obs::DeriveHealth(alerts_->Statuses(), HealthBaseline()).overall),
+      std::memory_order_relaxed);
+  return true;
+}
+
+void DrugTreeServer::ForceTelemetrySample() {
+  if (sampler_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(telemetry_mu_);
+  sampler_->SampleNow();
+  alerts_->Evaluate();
+  overall_health_.store(
+      static_cast<int>(
+          obs::DeriveHealth(alerts_->Statuses(), HealthBaseline()).overall),
+      std::memory_order_relaxed);
+}
+
+obs::HealthSnapshot DrugTreeServer::HealthSnapshotNow() const {
+  return obs::DeriveHealth(
+      alerts_ != nullptr ? alerts_->Statuses() : std::vector<obs::AlertStatus>(),
+      HealthBaseline());
 }
 
 std::string DrugTreeServer::TailAttributionReport() {
@@ -265,6 +432,9 @@ DrugTreeServer::ClassCounters DrugTreeServer::counters(QueryClass c) const {
 }
 
 std::string DrugTreeServer::Statusz() {
+  // Freshen the timeline (if due) so the snapshot reports current history.
+  // Must run before mu_ is taken below: probes read server state.
+  TelemetryTick();
   std::string out = util::StringPrintf(
       "{\"shard\":{\"id\":\"%s\",\"role\":\"%s\"},\"memory\":",
       options_.shard_id.c_str(),
@@ -320,6 +490,19 @@ std::string DrugTreeServer::Statusz() {
   out += ",\"adaptive\":";
   out += adaptive_->StatszJson();
   out += util::StringPrintf(
+      ",\"timeline\":{\"enabled\":%s,\"sample_interval_micros\":%lld,"
+      "\"samples\":%lld,\"series\":",
+      timeline_ != nullptr ? "true" : "false",
+      (long long)options_.telemetry.sample_interval_micros,
+      (long long)(sampler_ != nullptr ? sampler_->samples() : 0));
+  out += timeline_ != nullptr ? timeline_->SummaryJson() : "[]";
+  out += "},\"alerts\":";
+  out += alerts_ != nullptr
+             ? alerts_->ToJson()
+             : "{\"firing\":0,\"rules\":[],\"transitions\":[]}";
+  out += ",\"health\":";
+  out += HealthSnapshotNow().ToJson();
+  out += util::StringPrintf(
       ",\"trace_store\":{\"recorded\":%lld,\"dropped\":%lld,\"slow\":%lld}}",
       (long long)trace_store_.total_recorded(),
       (long long)trace_store_.dropped(), (long long)trace_store_.slow_count());
@@ -341,6 +524,11 @@ std::vector<uint64_t> DrugTreeServer::TakeDispatchLog() {
 
 void DrugTreeServer::DispatchLocked() {
   if (paused_) return;
+  // Read the pool depth *before* handing new work to the pool: a worker
+  // dequeues a just-submitted task at an arbitrary real-time instant, so a
+  // post-submit read races — and a raced value sampled into the telemetry
+  // timeline breaks bit-determinism for serialized virtual-clock workloads.
+  pool_queue_gauge_->Set(static_cast<int64_t>(pool_->QueueDepth()));
   while (!free_slots_.empty()) {
     std::optional<PendingRequest> next = scheduler_.PickNext();
     if (!next.has_value()) break;
@@ -353,7 +541,7 @@ void DrugTreeServer::DispatchLocked() {
     auto boxed = std::make_shared<PendingRequest>(std::move(*next));
     pool_->Submit([this, boxed, slot] { Execute(std::move(*boxed), slot); });
   }
-  pool_queue_gauge_->Set(static_cast<int64_t>(pool_->QueueDepth()));
+  free_slots_gauge_->Set(static_cast<int64_t>(free_slots_.size()));
 }
 
 void DrugTreeServer::Execute(PendingRequest req, int slot) {
@@ -400,6 +588,12 @@ void DrugTreeServer::Execute(PendingRequest req, int slot) {
         // Don't waste a slot on work nobody can use anymore.
         result = util::Status::Cancelled("deadline exceeded before dispatch");
       } else {
+        // Brown-out fault injection (benches/tests): burn clock time before
+        // planning so the request's latency blows its SLO target. A
+        // SimulatedClock jumps deterministically; a RealClock sleeps.
+        int64_t fault =
+            fault_execution_delay_micros_.load(std::memory_order_relaxed);
+        if (fault > 0) clock_->AdvanceMicros(fault);
         query::QueryContext context;
         context.clock = clock_;
         context.deadline_micros = deadline;
@@ -468,6 +662,9 @@ void DrugTreeServer::Execute(PendingRequest req, int slot) {
       trace_store_.Record(trace->Finish(std::move(status), result.ok()));
     }
   }
+  // Same contract as the trace record above: sample before the waiter can
+  // wake and advance a simulated clock, so timelines stay bit-deterministic.
+  TelemetryTick();
   Complete(req.response, std::move(result));
   {
     std::lock_guard<std::mutex> lock(mu_);

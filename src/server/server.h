@@ -25,10 +25,12 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/alerts.h"
 #include "obs/cost_calibrator.h"
 #include "obs/metrics.h"
 #include "obs/resource_tracker.h"
 #include "obs/slo_tracker.h"
+#include "obs/timeseries.h"
 #include "obs/trace_store.h"
 #include "query/plan_cache.h"
 #include "query/planner.h"
@@ -44,6 +46,24 @@
 
 namespace drugtree {
 namespace server {
+
+/// Continuous telemetry: a TimeSeriesStore of sampled metric history plus
+/// an AlertEngine evaluated at well-defined points (request completion,
+/// Drain, Statusz) — never from a dedicated thread, so SimulatedClock
+/// workloads stay bit-deterministic. The DRUGTREE_TELEMETRY environment
+/// variable overrides `enabled` ("0" disables) for overhead A/B runs.
+struct TelemetryOptions {
+  bool enabled = true;
+  /// Minimum micros between samples.
+  int64_t sample_interval_micros = 250'000;
+  /// Retained points per series (ring; oldest evicted).
+  size_t timeline_points = 240;
+  /// Install the built-in rule set (memory pressure, per-class SLO burn
+  /// rate, queue growth, plan-cache collapse, scheduler saturation).
+  bool default_rules = true;
+  /// Additional rules appended after the defaults.
+  std::vector<obs::AlertRule> extra_rules;
+};
 
 struct ServerOptions {
   /// Worker threads executing dispatched requests. Keep >= scheduler
@@ -110,6 +130,8 @@ struct ServerOptions {
   /// Closed-loop retuning of per-class batch size / parallelism from
   /// interactive tail latency. Disabled by default.
   AdaptiveOptions adaptive;
+  /// Continuous telemetry: sampled metric history + alerting + health.
+  TelemetryOptions telemetry;
 };
 
 /// Shared completion state behind a ResponseHandle. Internal to the serving
@@ -239,10 +261,47 @@ class DrugTreeServer {
     return slo_[static_cast<size_t>(c)].get();
   }
 
+  // Continuous telemetry ------------------------------------------------
+
+  /// Sampled metric history; null when telemetry is disabled.
+  obs::TimeSeriesStore* timeline() { return timeline_.get(); }
+  /// Alert rules + firing state; null when telemetry is disabled.
+  obs::AlertEngine* alert_engine() { return alerts_.get(); }
+
+  /// Samples the timeline if the interval elapsed, then re-evaluates the
+  /// alert rules and the cached health. Invoked from request completion,
+  /// Drain, and Statusz; tests and benches may call it directly. Must NOT
+  /// be called with mu_ held (probes read server state). Returns whether a
+  /// sample was taken (always false when telemetry is disabled).
+  bool TelemetryTick();
+  /// Unconditional sample + evaluation (tests; no-op when disabled).
+  void ForceTelemetrySample();
+
+  /// Cached overall health from the last alert evaluation — a relaxed
+  /// atomic read, cheap enough for the ShardRouter's replica picker.
+  obs::HealthState health() const {
+    return static_cast<obs::HealthState>(
+        overall_health_.load(std::memory_order_relaxed));
+  }
+  /// Fresh per-subsystem rollup (admission, scheduler, plan_cache, memory,
+  /// serving) derived from the currently-firing alerts.
+  obs::HealthSnapshot HealthSnapshotNow() const;
+
+  /// Fault-injection knob (benches/tests): every executed request advances
+  /// the server clock by this many micros before planning — a SimulatedClock
+  /// jumps (deterministic brown-out), a RealClock sleeps. 0 = off.
+  void set_fault_execution_delay_micros(int64_t micros) {
+    fault_execution_delay_micros_.store(micros, std::memory_order_relaxed);
+  }
+  int64_t fault_execution_delay_micros() const {
+    return fault_execution_delay_micros_.load(std::memory_order_relaxed);
+  }
+
   /// One-call JSON introspection snapshot: the full memory-tracker tree,
   /// per-class SLO state, admission queue occupancy, scheduler slots,
-  /// per-class serving counters, and TraceStore totals. Exported by
-  /// `bench_server --statusz`.
+  /// per-class serving counters, TraceStore totals, and the telemetry
+  /// timeline / alerts / health blocks. Exported by `bench_server
+  /// --statusz`.
   std::string Statusz();
 
   /// Test/debug hook: record session ids in dispatch order. Off by default
@@ -294,6 +353,17 @@ class DrugTreeServer {
   std::vector<std::unique_ptr<query::Planner>> planners_;
   std::array<ClassMetrics, kNumQueryClasses> metrics_;
   obs::Gauge* pool_queue_gauge_ = nullptr;
+  obs::Gauge* free_slots_gauge_ = nullptr;
+
+  /// Telemetry (all null when disabled). telemetry_mu_ serializes
+  /// sample+evaluate passes so concurrent completions cannot interleave a
+  /// sample with a rule evaluation.
+  std::unique_ptr<obs::TimeSeriesStore> timeline_;
+  std::unique_ptr<obs::MetricsSampler> sampler_;
+  std::unique_ptr<obs::AlertEngine> alerts_;
+  std::mutex telemetry_mu_;
+  std::atomic<int> overall_health_{0};
+  std::atomic<int64_t> fault_execution_delay_micros_{0};
 
   mutable std::mutex mu_;
   std::condition_variable drain_cv_;

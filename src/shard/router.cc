@@ -418,14 +418,22 @@ RouteDecision ShardRouter::RouteSelect(
 }
 
 int ShardRouter::PickReplica(const Shard& shard) const {
+  // Health-then-load ordering: a replica whose alert-derived health is worse
+  // (degraded, critical) only takes traffic when every healthier sibling is
+  // down. Within a health tier the least-loaded replica wins; ties keep the
+  // lowest index so traffic deterministically returns after recovery.
   int best = -1;
+  int best_health = 0;
   int64_t best_load = 0;
   for (size_t i = 0; i < shard.replicas.size(); ++i) {
     const Replica& r = *shard.replicas[i];
     if (r.down.load(std::memory_order_acquire)) continue;
+    int health = static_cast<int>(r.server->health());
     int64_t load = r.in_flight.load(std::memory_order_relaxed);
-    if (best < 0 || load < best_load) {
+    if (best < 0 || health < best_health ||
+        (health == best_health && load < best_load)) {
       best = static_cast<int>(i);
+      best_health = health;
       best_load = load;
     }
   }
@@ -490,6 +498,10 @@ void ShardRouter::ObserveHopCost(Shard& shard, int64_t micros) {
 
 util::Result<query::QueryOutcome> ShardRouter::Submit(
     server::QueryRequest request) {
+  // Tick every member's telemetry before routing: a replica that alerts
+  // divert traffic away from would otherwise never sample again, so its
+  // burn-rate window could not roll over and the alert would stick firing.
+  TickTelemetry();
   std::unique_ptr<obs::TraceContext> trace;
   if (options_.enable_tracing) {
     trace = std::make_unique<obs::TraceContext>(
@@ -845,8 +857,10 @@ std::string ShardRouter::Statusz() {
       Replica& replica = *shard.replicas[r];
       if (r > 0) out += ",";
       out += util::StringPrintf(
-          "{\"id\":\"%s\",\"down\":%s,\"statusz\":", replica.id.c_str(),
-          replica.down.load(std::memory_order_acquire) ? "true" : "false");
+          "{\"id\":\"%s\",\"down\":%s,\"health\":\"%s\",\"statusz\":",
+          replica.id.c_str(),
+          replica.down.load(std::memory_order_acquire) ? "true" : "false",
+          obs::HealthStateName(replica.server->health()));
       out += replica.server->Statusz();
       out += "}";
     }
@@ -890,19 +904,35 @@ std::string ShardRouter::TailAttributionReport() {
 
 std::string ShardRouter::ExportChromeTrace() {
   std::vector<obs::TraceRecord> all = trace_store_->Snapshot();
-  auto add = [&all](obs::TraceStore* store, const std::string& prefix) {
-    for (auto& rec : store->Snapshot()) {
+  std::vector<obs::TraceInstant> instants;
+  auto add = [&](server::DrugTreeServer* server, const std::string& prefix) {
+    for (auto& rec : server->trace_store()->Snapshot()) {
       rec.lane = prefix + "/" + rec.lane;
       all.push_back(std::move(rec));
+    }
+    if (server->alert_engine() != nullptr) {
+      for (auto& inst : server->alert_engine()->TraceInstants()) {
+        inst.lane = prefix + "/" + inst.lane;
+        instants.push_back(std::move(inst));
+      }
     }
   };
   for (const auto& shard : shards_) {
     for (const auto& replica : shard->replicas) {
-      add(replica->server->trace_store(), replica->id);
+      add(replica->server.get(), replica->id);
     }
   }
-  add(coordinator_->trace_store(), "coord");
-  return obs::ExportChromeTrace(all);
+  add(coordinator_.get(), "coord");
+  return obs::ExportChromeTrace(all, instants);
+}
+
+void ShardRouter::TickTelemetry() {
+  for (const auto& shard : shards_) {
+    for (const auto& replica : shard->replicas) {
+      replica->server->TelemetryTick();
+    }
+  }
+  coordinator_->TelemetryTick();
 }
 
 void ShardRouter::Drain() {

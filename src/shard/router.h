@@ -212,8 +212,13 @@ class ShardRouter {
   /// Routing analysis over a parsed SELECT (interval extraction,
   /// co-partition grouping, scatter-safety).
   RouteDecision RouteSelect(const query::SelectStatement& select) const;
-  /// Healthy least-loaded replica index, or -1 when all are down.
+  /// Healthy least-loaded replica index, or -1 when all are down. Orders
+  /// candidates by alert-derived health before in-flight load, so a
+  /// browned-out (degraded/critical) replica sheds traffic to siblings.
   int PickReplica(const Shard& shard) const;
+  /// Advances telemetry (sample + alert evaluation) on every replica and
+  /// the coordinator; called once per routed request.
+  void TickTelemetry();
   /// Sub-request with the per-shard deadline (request deadline minus the
   /// shard's smoothed hop cost).
   server::QueryRequest MakeSubRequest(const server::QueryRequest& request,

@@ -1,0 +1,663 @@
+// Continuous-telemetry tests: TimeSeriesStore ring semantics, the
+// MetricsSampler's counter-differencing / gauge / histogram / probe paths,
+// the AlertEngine state machine (threshold debounce, multi-window burn
+// rate), the health rollup, end-to-end server scenarios that must be
+// bit-deterministic on a virtual clock, router brown-out diversion and
+// recovery, and Chrome-trace export shape (per-lane timestamp monotonicity,
+// alert instant placement, shard-replica lane prefixes).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/drugtree.h"
+#include "obs/alerts.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "obs/trace_store.h"
+#include "server/server.h"
+#include "shard/router.h"
+#include "util/clock.h"
+
+namespace drugtree {
+namespace obs {
+namespace {
+
+// Tiny deterministic instance for the end-to-end scenarios.
+core::BuildOptions TinyBuild() {
+  core::BuildOptions options;
+  options.seed = 77;
+  options.num_families = 3;
+  options.taxa_per_family = 6;
+  options.sequence_length = 60;
+  options.num_ligands = 60;
+  return options;
+}
+
+TEST(TimeSeriesStore, RingEvictsOldestAndKeepsOrder) {
+  TimeSeriesStore store(4);
+  for (int i = 0; i < 6; ++i) {
+    store.Observe("s", 100 * (i + 1), static_cast<double>(i));
+  }
+  std::vector<TimePoint> points = store.Points("s");
+  ASSERT_EQ(4u, points.size());  // capacity-bounded
+  EXPECT_EQ(300, points[0].t_micros);  // two oldest evicted
+  EXPECT_EQ(600, points[3].t_micros);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LT(points[i - 1].t_micros, points[i].t_micros);
+  }
+  EXPECT_EQ(6, store.total_points());  // evicted points still counted
+  TimePoint latest;
+  ASSERT_TRUE(store.Latest("s", &latest));
+  EXPECT_EQ(600, latest.t_micros);
+  EXPECT_DOUBLE_EQ(5.0, latest.value);
+  EXPECT_FALSE(store.Latest("missing", &latest));
+  EXPECT_EQ(1u, store.num_series());
+}
+
+TEST(TimeSeriesStore, WindowAverageIsHalfOpen) {
+  TimeSeriesStore store(16);
+  store.Observe("s", 100, 10.0);
+  store.Observe("s", 200, 20.0);
+  store.Observe("s", 300, 30.0);
+  double avg = 0.0;
+  // (100, 300]: the point at exactly now-window is excluded.
+  ASSERT_TRUE(store.WindowAverage("s", 300, 200, &avg));
+  EXPECT_DOUBLE_EQ(25.0, avg);
+  ASSERT_TRUE(store.WindowAverage("s", 300, 1000, &avg));
+  EXPECT_DOUBLE_EQ(20.0, avg);
+  // A window with no points reads as unevaluable, not as zero.
+  EXPECT_FALSE(store.WindowAverage("s", 1000, 100, &avg));
+  EXPECT_FALSE(store.WindowAverage("missing", 300, 200, &avg));
+}
+
+TEST(MetricsSampler, CountersDifferenceIntoRates) {
+  MetricRegistry registry;
+  util::SimulatedClock clock;
+  TimeSeriesStore store(16);
+  SamplerOptions options;
+  options.interval_micros = 1'000;
+  options.registry_prefixes = {"server."};
+  MetricsSampler sampler(&store, &registry, &clock, options);
+  Counter* requests = registry.GetCounter("server.requests");
+  Gauge* depth = registry.GetGauge("server.depth");
+  HistogramMetric* lat = registry.GetHistogram("server.lat_ms");
+  Counter* other = registry.GetCounter("query.other");  // prefix-filtered
+
+  requests->Add(5);
+  depth->Set(3);
+  lat->Observe(10.0);
+  lat->Observe(20.0);
+  other->Add(99);
+  ASSERT_TRUE(sampler.SampleIfDue());
+  // The first sample seeds the counter baseline -- no bogus rate spike.
+  EXPECT_TRUE(store.Points("server.requests.rate").empty());
+  ASSERT_EQ(1u, store.Points("server.depth").size());
+  EXPECT_DOUBLE_EQ(3.0, store.Points("server.depth")[0].value);
+  EXPECT_EQ(1u, store.Points("server.lat_ms.p50").size());
+  EXPECT_EQ(1u, store.Points("server.lat_ms.p95").size());
+  EXPECT_EQ(1u, store.Points("server.lat_ms.p99").size());
+  EXPECT_TRUE(store.Points("query.other.rate").empty());
+  EXPECT_TRUE(store.Points("query.other").empty());
+
+  // Debounce: no virtual time elapsed, no sample.
+  EXPECT_FALSE(sampler.SampleIfDue());
+  EXPECT_EQ(1, sampler.samples());
+
+  clock.AdvanceMicros(2'000'000);
+  requests->Add(10);
+  ASSERT_TRUE(sampler.SampleIfDue());
+  std::vector<TimePoint> rate = store.Points("server.requests.rate");
+  ASSERT_EQ(1u, rate.size());
+  EXPECT_DOUBLE_EQ(5.0, rate[0].value);  // +10 over 2s
+  EXPECT_EQ(2, sampler.samples());
+}
+
+TEST(MetricsSampler, NanProbeSkipsThePoint) {
+  MetricRegistry registry;
+  util::SimulatedClock clock;
+  TimeSeriesStore store(16);
+  SamplerOptions options;
+  options.interval_micros = 1'000;
+  MetricsSampler sampler(&store, &registry, &clock, options);
+  double probe_value = std::nan("");
+  sampler.AddProbe("probe", [&probe_value] { return probe_value; });
+  sampler.SampleNow();
+  EXPECT_TRUE(store.Points("probe").empty());  // NaN = no data yet
+  probe_value = 7.5;
+  clock.AdvanceMicros(1'000);
+  sampler.SampleNow();
+  ASSERT_EQ(1u, store.Points("probe").size());
+  EXPECT_DOUBLE_EQ(7.5, store.Points("probe")[0].value);
+}
+
+TEST(AlertEngine, ThresholdWithForDurationDebounce) {
+  util::SimulatedClock clock;
+  TimeSeriesStore store(32);
+  AlertEngine engine(&store, &clock);
+  AlertRule rule;
+  rule.name = "hot";
+  rule.series = "temp";
+  rule.kind = AlertKind::kThreshold;
+  rule.threshold = 10.0;
+  rule.for_micros = 500;
+  engine.AddRule(rule);
+
+  // Unevaluable series (no data) reads as condition-false.
+  engine.Evaluate();
+  EXPECT_EQ(AlertState::kInactive, engine.Statuses()[0].state);
+
+  store.Observe("temp", clock.NowMicros(), 5.0);
+  engine.Evaluate();
+  EXPECT_EQ(AlertState::kInactive, engine.Statuses()[0].state);
+
+  clock.AdvanceMicros(100);
+  store.Observe("temp", clock.NowMicros(), 20.0);
+  engine.Evaluate();
+  EXPECT_EQ(AlertState::kPending, engine.Statuses()[0].state);
+
+  // 300us into the 500us debounce: still pending, not firing.
+  clock.AdvanceMicros(300);
+  store.Observe("temp", clock.NowMicros(), 20.0);
+  engine.Evaluate();
+  EXPECT_EQ(AlertState::kPending, engine.Statuses()[0].state);
+
+  clock.AdvanceMicros(300);
+  store.Observe("temp", clock.NowMicros(), 20.0);
+  std::vector<AlertTransition> t = engine.Evaluate();
+  ASSERT_EQ(1u, t.size());
+  EXPECT_EQ(AlertState::kFiring, t[0].to);
+  EXPECT_EQ(clock.NowMicros(), t[0].at_micros);
+  EXPECT_EQ(1, engine.firing_count());
+
+  clock.AdvanceMicros(100);
+  store.Observe("temp", clock.NowMicros(), 5.0);
+  engine.Evaluate();
+  AlertStatus status = engine.Statuses()[0];
+  EXPECT_EQ(AlertState::kInactive, status.state);
+  EXPECT_EQ(1, status.fired);
+  EXPECT_EQ(1, status.resolved);
+  // History: inactive->pending, pending->firing, firing->inactive.
+  EXPECT_EQ(3u, engine.History().size());
+}
+
+TEST(AlertEngine, PendingAbortsWhenConditionClears) {
+  util::SimulatedClock clock;
+  TimeSeriesStore store(32);
+  AlertEngine engine(&store, &clock);
+  AlertRule rule;
+  rule.name = "hot";
+  rule.series = "temp";
+  rule.threshold = 10.0;
+  rule.for_micros = 1'000;
+  engine.AddRule(rule);
+  store.Observe("temp", clock.NowMicros(), 20.0);
+  engine.Evaluate();
+  EXPECT_EQ(AlertState::kPending, engine.Statuses()[0].state);
+  clock.AdvanceMicros(100);
+  store.Observe("temp", clock.NowMicros(), 5.0);  // blip ended pre-debounce
+  engine.Evaluate();
+  AlertStatus status = engine.Statuses()[0];
+  EXPECT_EQ(AlertState::kInactive, status.state);
+  EXPECT_EQ(0, status.fired);  // never fired, so nothing to resolve
+}
+
+TEST(AlertEngine, BurnRateRequiresBothWindows) {
+  util::SimulatedClock clock;
+  TimeSeriesStore store(64);
+  AlertEngine engine(&store, &clock);
+  AlertRule rule;
+  rule.name = "burn";
+  rule.series = "slo.burn";
+  rule.kind = AlertKind::kBurnRate;
+  rule.threshold = 1.0;
+  rule.short_window_micros = 200;
+  rule.long_window_micros = 800;
+  engine.AddRule(rule);
+
+  // A quiet history, then a single-sample blip: the short window crosses
+  // ((0 + 5) / 2 = 2.5 > 1) but the long window stays clean
+  // (5 / 8 = 0.625 < 1) -- no fire.
+  for (int i = 0; i < 7; ++i) {
+    store.Observe("slo.burn", clock.NowMicros(), 0.0);
+    clock.AdvanceMicros(100);
+  }
+  store.Observe("slo.burn", clock.NowMicros(), 5.0);
+  engine.Evaluate();
+  EXPECT_EQ(AlertState::kInactive, engine.Statuses()[0].state);
+
+  // Sustained burn contaminates the long window too -- fires.
+  int64_t fired_at = -1;
+  for (int i = 0; i < 8; ++i) {
+    clock.AdvanceMicros(100);
+    store.Observe("slo.burn", clock.NowMicros(), 5.0);
+    for (const AlertTransition& t : engine.Evaluate()) {
+      if (t.to == AlertState::kFiring) fired_at = t.at_micros;
+    }
+  }
+  EXPECT_GE(fired_at, 0) << "sustained burn never fired";
+  EXPECT_EQ(AlertState::kFiring, engine.Statuses()[0].state);
+
+  // Recovery: clean samples roll both windows back under threshold.
+  for (int i = 0; i < 10; ++i) {
+    clock.AdvanceMicros(100);
+    store.Observe("slo.burn", clock.NowMicros(), 0.0);
+    engine.Evaluate();
+  }
+  AlertStatus status = engine.Statuses()[0];
+  EXPECT_EQ(AlertState::kInactive, status.state);
+  EXPECT_EQ(1, status.fired);
+  EXPECT_EQ(1, status.resolved);
+}
+
+TEST(HealthModel, RollupTakesTheWorstSubsystem) {
+  AlertRule warn;
+  warn.name = "w";
+  warn.subsystem = "memory";
+  warn.severity = AlertSeverity::kWarning;
+  AlertRule crit;
+  crit.name = "c";
+  crit.subsystem = "serving";
+  crit.severity = AlertSeverity::kCritical;
+
+  AlertStatus firing_warn;
+  firing_warn.rule = warn;
+  firing_warn.state = AlertState::kFiring;
+  AlertStatus firing_crit;
+  firing_crit.rule = crit;
+  firing_crit.state = AlertState::kFiring;
+  AlertStatus idle_crit;
+  idle_crit.rule = crit;
+  idle_crit.state = AlertState::kInactive;
+
+  std::vector<std::string> baseline = {"memory", "serving", "scheduler"};
+  HealthSnapshot all_clear = DeriveHealth({idle_crit}, baseline);
+  EXPECT_EQ(HealthState::kHealthy, all_clear.overall);
+  EXPECT_EQ(3u, all_clear.subsystems.size());  // baseline always present
+
+  HealthSnapshot degraded = DeriveHealth({firing_warn, idle_crit}, baseline);
+  EXPECT_EQ(HealthState::kDegraded, degraded.overall);
+  EXPECT_EQ(HealthState::kDegraded, degraded.subsystems.at("memory"));
+  EXPECT_EQ(HealthState::kHealthy, degraded.subsystems.at("serving"));
+
+  HealthSnapshot critical =
+      DeriveHealth({firing_warn, firing_crit}, baseline);
+  EXPECT_EQ(HealthState::kCritical, critical.overall);
+  EXPECT_EQ(HealthState::kCritical, critical.subsystems.at("serving"));
+  EXPECT_EQ(0u, critical.ToJson().rfind("{\"overall\":\"critical\"", 0));
+}
+
+// One serialized brown-out scenario against a fresh server; returns the
+// full telemetry dump. Must be bit-identical across invocations.
+struct ScenarioResult {
+  std::string timeline_json;
+  std::string alerts_json;
+  int64_t fired = 0;
+  int64_t resolved = 0;
+};
+
+ScenarioResult RunServerScenario() {
+  MetricRegistry::Default()->ResetAll();  // global metrics are cumulative
+  util::SimulatedClock clock;
+  auto built = core::DrugTree::Build(TinyBuild(), &clock);
+  EXPECT_TRUE(built.ok()) << built.status();
+  auto dt = std::move(*built);
+
+  server::ServerOptions sopts;
+  sopts.worker_threads = 1;
+  sopts.scheduler.total_slots = 1;
+  sopts.scheduler.interactive_slots = 1;
+  sopts.scheduler.analytic_slots = 1;
+  sopts.interactive_slo_micros = 5'000;
+  sopts.slo_window_micros = 500'000;
+  sopts.telemetry.sample_interval_micros = 50'000;
+  auto server = dt->MakeServer(sopts);
+
+  size_t num_nodes = dt->tree().NumNodes();
+  auto pump = [&](int n, uint64_t seed_base) {
+    for (int i = 0; i < n; ++i) {
+      server::QueryRequest request;
+      request.session_id = 1;
+      request.sql = dt->OverlayQuerySql(
+          static_cast<phylo::NodeId>((seed_base + static_cast<uint64_t>(i)) %
+                                     num_nodes));
+      request.query_class = server::QueryClass::kInteractive;
+      auto r = server->Submit(std::move(request));
+      EXPECT_TRUE(r.ok()) << r.status();
+      clock.AdvanceMicros(25'000);
+    }
+  };
+
+  pump(6, 0);  // healthy
+  EXPECT_EQ(HealthState::kHealthy, server->health());
+  server->set_fault_execution_delay_micros(20'000);
+  pump(6, 6);  // browned out: 20ms >> the 5ms SLO
+  EXPECT_EQ(HealthState::kCritical, server->health());
+  server->set_fault_execution_delay_micros(0);
+  pump(30, 12);  // recovery: misses roll out of the 500ms SLO window
+  server->Drain();
+  EXPECT_EQ(HealthState::kHealthy, server->health());
+
+  ScenarioResult out;
+  out.timeline_json = server->timeline()->ToJson();
+  out.alerts_json = server->alert_engine()->ToJson();
+  for (const AlertStatus& s : server->alert_engine()->Statuses()) {
+    if (s.rule.name != "interactive_burn") continue;
+    out.fired = s.fired;
+    out.resolved = s.resolved;
+  }
+  return out;
+}
+
+TEST(ServerTelemetry, BrownOutScenarioIsBitDeterministic) {
+  ScenarioResult a = RunServerScenario();
+  ScenarioResult b = RunServerScenario();
+  EXPECT_EQ(1, a.fired);
+  EXPECT_EQ(1, a.resolved);
+  // Identical runs, identical telemetry: every sampled point, every alert
+  // firing / resolved timestamp, byte for byte.
+  EXPECT_EQ(a.timeline_json, b.timeline_json);
+  EXPECT_EQ(a.alerts_json, b.alerts_json);
+  EXPECT_EQ(a.fired, b.fired);
+  EXPECT_EQ(a.resolved, b.resolved);
+}
+
+TEST(ServerTelemetry, StatuszCarriesTimelineAlertsAndHealth) {
+  MetricRegistry::Default()->ResetAll();
+  util::SimulatedClock clock;
+  auto built = core::DrugTree::Build(TinyBuild(), &clock);
+  ASSERT_TRUE(built.ok()) << built.status();
+  auto dt = std::move(*built);
+  auto server = dt->MakeServer();
+  server::QueryRequest request;
+  request.session_id = 1;
+  request.sql = dt->OverlayQuerySql(dt->tree().root());
+  request.query_class = server::QueryClass::kInteractive;
+  ASSERT_TRUE(server->Submit(std::move(request)).ok());
+  server->Drain();
+  std::string statusz = server->Statusz();
+  EXPECT_NE(std::string::npos, statusz.find("\"timeline\":{\"enabled\":true"));
+  EXPECT_NE(std::string::npos, statusz.find("\"alerts\":{\"firing\":0"));
+  EXPECT_NE(std::string::npos, statusz.find("\"health\":{\"overall\":"));
+  EXPECT_NE(std::string::npos, statusz.find("\"subsystems\":{"));
+  EXPECT_NE(std::string::npos, statusz.find("slo.interactive.burn_rate"));
+}
+
+TEST(ServerTelemetry, DisabledTelemetryLeavesNullSurfaces) {
+  MetricRegistry::Default()->ResetAll();
+  util::SimulatedClock clock;
+  auto built = core::DrugTree::Build(TinyBuild(), &clock);
+  ASSERT_TRUE(built.ok()) << built.status();
+  auto dt = std::move(*built);
+  server::ServerOptions sopts;
+  sopts.telemetry.enabled = false;
+  auto server = dt->MakeServer(sopts);
+  EXPECT_EQ(nullptr, server->timeline());
+  EXPECT_EQ(nullptr, server->alert_engine());
+  EXPECT_FALSE(server->TelemetryTick());
+  EXPECT_EQ(HealthState::kHealthy, server->health());
+  server::QueryRequest request;
+  request.session_id = 1;
+  request.sql = dt->OverlayQuerySql(dt->tree().root());
+  request.query_class = server::QueryClass::kInteractive;
+  ASSERT_TRUE(server->Submit(std::move(request)).ok());
+  server->Drain();
+  std::string statusz = server->Statusz();
+  EXPECT_NE(std::string::npos,
+            statusz.find("\"timeline\":{\"enabled\":false"));
+}
+
+// Router brown-out: replica r0 of the only shard gets a 20ms execution
+// fault; its burn-rate alert fires, health flips, PickReplica diverts
+// traffic to r1, and after the fault clears the alert resolves and traffic
+// returns to r0 (lowest-index tie-break).
+TEST(RouterHealth, BrownOutDivertsTrafficAndRecovers) {
+  MetricRegistry::Default()->ResetAll();
+  util::SimulatedClock clock;
+  auto built = core::DrugTree::Build(TinyBuild(), &clock);
+  ASSERT_TRUE(built.ok()) << built.status();
+  auto dt = std::move(*built);
+
+  shard::RouterOptions options;
+  options.num_shards = 1;
+  options.replicas_per_shard = 2;
+  options.replica.worker_threads = 1;
+  options.replica.scheduler.total_slots = 1;
+  options.replica.scheduler.interactive_slots = 1;
+  options.replica.scheduler.analytic_slots = 1;
+  options.replica.interactive_slo_micros = 5'000;
+  options.replica.slo_window_micros = 500'000;
+  options.replica.telemetry.sample_interval_micros = 50'000;
+  options.coordinator.worker_threads = 1;
+  options.coordinator.scheduler.total_slots = 1;
+  auto router_or = dt->MakeShardRouter(options);
+  ASSERT_TRUE(router_or.ok()) << router_or.status();
+  shard::ShardRouter* router = router_or->get();
+  server::DrugTreeServer* r0 = router->replica_server(0, 0);
+  server::DrugTreeServer* r1 = router->replica_server(0, 1);
+
+  size_t num_nodes = dt->tree().NumNodes();
+  uint64_t next_node = 0;
+  auto submit_one = [&] {
+    server::QueryRequest request;
+    request.session_id = 1;
+    request.sql =
+        dt->OverlayQuerySql(static_cast<phylo::NodeId>(next_node++ %
+                                                       num_nodes));
+    request.query_class = server::QueryClass::kInteractive;
+    auto r = router->Submit(std::move(request));
+    ASSERT_TRUE(r.ok()) << r.status();
+    clock.AdvanceMicros(25'000);
+  };
+  auto completed = [](server::DrugTreeServer* s) {
+    return s->counters(server::QueryClass::kInteractive).completed;
+  };
+
+  // Healthy: the tie-break sends every request to the lowest index, r0.
+  for (int i = 0; i < 6; ++i) submit_one();
+  EXPECT_EQ(6, completed(r0));
+  EXPECT_EQ(0, completed(r1));
+  EXPECT_EQ(HealthState::kHealthy, r0->health());
+
+  // Brown-out r0 and pump until its burn-rate alert flips its health.
+  r0->set_fault_execution_delay_micros(20'000);
+  int pumped = 0;
+  while (r0->health() == HealthState::kHealthy && pumped < 24) {
+    submit_one();
+    ++pumped;
+  }
+  ASSERT_EQ(HealthState::kCritical, r0->health())
+      << "brown-out never flipped r0 health (pumped " << pumped << ")";
+
+  // Diversion: with r0 critical, every new request lands on healthy r1.
+  int64_t r0_at_divert = completed(r0);
+  int64_t r1_at_divert = completed(r1);
+  for (int i = 0; i < 4; ++i) submit_one();
+  EXPECT_EQ(r0_at_divert, completed(r0)) << "critical replica kept traffic";
+  EXPECT_EQ(r1_at_divert + 4, completed(r1));
+
+  // Statusz surfaces per-replica health inside the topology block.
+  EXPECT_NE(std::string::npos,
+            router->Statusz().find("\"id\":\"s0r0\",\"down\":false,"
+                                   "\"health\":\"critical\""));
+
+  // Recovery: fault off; diverted ticks keep sampling r0, the misses roll
+  // out of its SLO window, the alert resolves, traffic returns to r0.
+  r0->set_fault_execution_delay_micros(0);
+  pumped = 0;
+  while (r0->health() != HealthState::kHealthy && pumped < 48) {
+    submit_one();
+    ++pumped;
+  }
+  ASSERT_EQ(HealthState::kHealthy, r0->health())
+      << "r0 never recovered (pumped " << pumped << ")";
+  int64_t r0_at_recovery = completed(r0);
+  for (int i = 0; i < 4; ++i) submit_one();
+  EXPECT_EQ(r0_at_recovery + 4, completed(r0))
+      << "traffic did not return to the recovered replica";
+
+  // The burn alert fired and resolved exactly once on r0, never on r1.
+  for (const AlertStatus& s : r0->alert_engine()->Statuses()) {
+    if (s.rule.name != "interactive_burn") continue;
+    EXPECT_EQ(1, s.fired);
+    EXPECT_EQ(1, s.resolved);
+  }
+  for (const AlertStatus& s : r1->alert_engine()->Statuses()) {
+    if (s.rule.name != "interactive_burn") continue;
+    EXPECT_EQ(0, s.fired);
+  }
+  router->Drain();
+}
+
+// Chrome-trace export shape: "ph":"X" timestamps are monotone within each
+// lane (tid), alert instants land on their own lane at their transition
+// times, and replica lanes keep their "s<shard>r<replica>/" prefixes.
+struct ParsedEvent {
+  int tid = 0;
+  int64_t ts = 0;
+  bool instant = false;
+};
+
+std::vector<ParsedEvent> ParseEvents(const std::string& json) {
+  std::vector<ParsedEvent> out;
+  size_t pos = 0;
+  while ((pos = json.find("\"ph\":\"", pos)) != std::string::npos) {
+    char ph = json[pos + 6];
+    size_t line_start = json.rfind('{', pos);
+    size_t line_end = json.find('}', pos);
+    if (ph == 'M') {  // metadata has a nested args object
+      pos = line_end + 1;
+      continue;
+    }
+    std::string line = json.substr(line_start, line_end - line_start);
+    ParsedEvent ev;
+    ev.instant = ph == 'i';
+    size_t tid_pos = line.find("\"tid\":");
+    size_t ts_pos = line.find("\"ts\":");
+    EXPECT_NE(std::string::npos, tid_pos);
+    EXPECT_NE(std::string::npos, ts_pos);
+    ev.tid = std::stoi(line.substr(tid_pos + 6));
+    ev.ts = std::stoll(line.substr(ts_pos + 5));
+    out.push_back(ev);
+    pos = line_end + 1;
+  }
+  return out;
+}
+
+TEST(ChromeTrace, LaneTimestampsMonotoneAndInstantsPlaced) {
+  TraceStore store(64, /*slow_threshold_micros=*/0);
+  // Two lanes of strictly ordered records plus a cross-lane interleaving.
+  for (int i = 0; i < 4; ++i) {
+    TraceRecord rec;
+    rec.trace_id = static_cast<uint64_t>(i + 1);
+    rec.lane = (i % 2 == 0) ? "slot0" : "slot1";
+    rec.begin_micros = 1'000 * i;
+    PhaseInterval iv;
+    iv.phase = TracePhase::kExecute;
+    iv.start_micros = 1'000 * i;
+    iv.end_micros = 1'000 * i + 400;
+    rec.intervals.push_back(iv);
+    store.Record(std::move(rec));
+  }
+  std::vector<TraceInstant> instants;
+  TraceInstant inst;
+  inst.name = "alert:burn firing";
+  inst.lane = "alerts";
+  inst.ts_micros = 2'500;
+  instants.push_back(inst);
+  inst.name = "alert:burn resolved";
+  inst.ts_micros = 3'500;
+  instants.push_back(inst);
+
+  std::string json = ExportChromeTrace(store.Snapshot(), instants);
+  ASSERT_EQ(0u, json.rfind("{\"traceEvents\":", 0));
+  EXPECT_NE(std::string::npos, json.find("\"name\":\"alerts\""));
+  EXPECT_NE(std::string::npos, json.find("\"alert:burn firing\""));
+  EXPECT_NE(std::string::npos,
+            json.find("\"ph\":\"i\",\"s\":\"t\""));
+
+  std::vector<ParsedEvent> events = ParseEvents(json);
+  std::map<int, int64_t> last_ts;
+  int instants_seen = 0;
+  for (const ParsedEvent& ev : events) {
+    if (ev.instant) {
+      ++instants_seen;
+      EXPECT_TRUE(ev.ts == 2'500 || ev.ts == 3'500);
+      continue;
+    }
+    auto it = last_ts.find(ev.tid);
+    if (it != last_ts.end()) {
+      EXPECT_LE(it->second, ev.ts) << "lane tid " << ev.tid
+                                   << " went backwards";
+    }
+    last_ts[ev.tid] = ev.ts;
+  }
+  EXPECT_EQ(2, instants_seen);
+}
+
+TEST(ChromeTrace, RouterExportPrefixesReplicaAlertLanes) {
+  MetricRegistry::Default()->ResetAll();
+  util::SimulatedClock clock;
+  auto built = core::DrugTree::Build(TinyBuild(), &clock);
+  ASSERT_TRUE(built.ok()) << built.status();
+  auto dt = std::move(*built);
+
+  shard::RouterOptions options;
+  options.num_shards = 1;
+  options.replicas_per_shard = 2;
+  options.replica.worker_threads = 1;
+  options.replica.scheduler.total_slots = 1;
+  options.replica.interactive_slo_micros = 5'000;
+  options.replica.slo_window_micros = 500'000;
+  options.replica.telemetry.sample_interval_micros = 50'000;
+  options.coordinator.worker_threads = 1;
+  options.coordinator.scheduler.total_slots = 1;
+  auto router_or = dt->MakeShardRouter(options);
+  ASSERT_TRUE(router_or.ok()) << router_or.status();
+  shard::ShardRouter* router = router_or->get();
+
+  // Brown out r0 long enough to fire its burn alert, producing instants.
+  router->replica_server(0, 0)->set_fault_execution_delay_micros(20'000);
+  size_t num_nodes = dt->tree().NumNodes();
+  for (int i = 0; i < 24; ++i) {
+    server::QueryRequest request;
+    request.session_id = 1;
+    request.sql = dt->OverlayQuerySql(
+        static_cast<phylo::NodeId>(static_cast<uint64_t>(i) % num_nodes));
+    request.query_class = server::QueryClass::kInteractive;
+    ASSERT_TRUE(router->Submit(std::move(request)).ok());
+    clock.AdvanceMicros(25'000);
+  }
+  router->Drain();
+  ASSERT_GT(router->replica_server(0, 0)->alert_engine()->History().size(),
+            0u);
+
+  std::string json = router->ExportChromeTrace();
+  // Replica record lanes and the replica's alert lane both carry the
+  // "s0r0/" prefix; the instants themselves survive the merge.
+  EXPECT_NE(std::string::npos, json.find("s0r0/"));
+  EXPECT_NE(std::string::npos, json.find("\"name\":\"s0r0/alerts\""));
+  EXPECT_NE(std::string::npos, json.find("alert:interactive_burn firing"));
+
+  // Per-lane monotonicity holds across the merged, prefixed export too.
+  std::vector<ParsedEvent> events = ParseEvents(json);
+  std::map<int, int64_t> last_ts;
+  for (const ParsedEvent& ev : events) {
+    if (ev.instant) continue;
+    auto it = last_ts.find(ev.tid);
+    if (it != last_ts.end()) {
+      EXPECT_LE(it->second, ev.ts) << "merged lane tid " << ev.tid
+                                   << " went backwards";
+    }
+    last_ts[ev.tid] = ev.ts;
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace drugtree

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <set>
 #include <thread>
 #include <vector>
@@ -104,6 +105,52 @@ TEST(MetricRegistryTest, CounterIsThreadSafe) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(c->Value(), kThreads * kAddsPerThread);
+}
+
+// Audit result (gauge Set vs concurrent snapshot): Gauge is one relaxed
+// std::atomic<int64_t>, so a registry Snapshot() racing Set()/Add() reads a
+// whole former value — no torn read is possible, and no update is lost
+// because Set is a plain store and Add a fetch_add. This hammer pins that:
+// under TSan any regression to a non-atomic value_ (or an unlocked map walk
+// in Snapshot) reports a data race, and the post-join assertions catch lost
+// updates.
+TEST(MetricRegistryTest, GaugeSetRacesSnapshotWithoutTearing) {
+  MetricRegistry registry;
+  obs::Gauge* g = registry.GetGauge("test.gauge_race");
+  obs::Gauge* adder = registry.GetGauge("test.gauge_adder");
+  constexpr int kWriters = 4;
+  constexpr int kIters = 4000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        // Values distinguishable per writer: a torn read would surface a
+        // value no single writer ever stored.
+        g->Set(static_cast<int64_t>(t + 1) * 1'000'000'007);
+        adder->Add(1);
+      }
+    });
+  }
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      obs::RegistrySnapshot snap = registry.Snapshot();
+      int64_t v = snap.Value("test.gauge_race");
+      // Every observed value is exactly one writer's store (or the initial
+      // zero), never a mix of two writers' bit patterns.
+      bool whole = v == 0;
+      for (int t = 0; t < kWriters; ++t) {
+        whole = whole || v == static_cast<int64_t>(t + 1) * 1'000'000'007;
+      }
+      EXPECT_TRUE(whole) << "torn gauge read: " << v;
+    }
+  });
+  for (auto& t : threads) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(kWriters * kIters, adder->Value());  // no lost Add
+  g->Set(42);
+  EXPECT_EQ(42, g->Value());  // last write wins after quiescence
 }
 
 // ---------------------------------------------------------------------------
